@@ -1,0 +1,310 @@
+//! Graph and schedule execution on the CPU reference backend.
+//!
+//! [`execute_graph`] runs a graph sequentially in topological order;
+//! [`execute_schedule`] runs an IOS schedule stage by stage, executing the
+//! groups of a concurrent stage on separate worker threads and executing
+//! merged stages through an actual merged weight tensor plus a split — so a
+//! passing [`verify_schedule`] demonstrates that the schedule transformation
+//! preserves the network's semantics, the guarantee cuDNN gives the paper's
+//! engine for free.
+
+use crate::ops_cpu::{conv2d, conv_weights, execute_op};
+use crate::tensor_data::TensorData;
+use ios_core::{try_merge, ParallelizationStrategy, Schedule};
+use ios_ir::{Graph, OpId, OpKind, Value};
+
+/// Per-operator weight seed: stable across execution strategies.
+fn weight_seed(graph: &Graph, op: OpId) -> u64 {
+    // Combine the graph name hash and the operator index so different blocks
+    // get different weights but the same block always gets the same ones.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in graph.name().bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+    }
+    h ^ (op.index() as u64).wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+fn resolve<'a>(
+    value: Value,
+    inputs: &'a [TensorData],
+    outputs: &'a [Option<TensorData>],
+) -> &'a TensorData {
+    match value {
+        Value::Input(i) => &inputs[i],
+        Value::Op(id) => outputs[id.index()].as_ref().expect("producer already executed"),
+    }
+}
+
+/// Executes the graph sequentially and returns every operator's output.
+///
+/// # Panics
+///
+/// Panics if `inputs` does not match the graph's declared input shapes.
+#[must_use]
+pub fn execute_graph(graph: &Graph, inputs: &[TensorData]) -> Vec<TensorData> {
+    check_inputs(graph, inputs);
+    let mut outputs: Vec<Option<TensorData>> = vec![None; graph.len()];
+    for id in graph.topological_order() {
+        let op = graph.op(id);
+        let op_inputs: Vec<&TensorData> =
+            op.inputs.iter().map(|v| resolve(*v, inputs, &outputs)).collect();
+        let out = execute_op(op, &op_inputs, weight_seed(graph, id));
+        assert_eq!(out.shape, op.output_shape, "shape inference mismatch for {}", op.name);
+        outputs[id.index()] = Some(out);
+    }
+    outputs.into_iter().map(|o| o.expect("all ops executed")).collect()
+}
+
+/// Executes an IOS schedule stage by stage and returns every operator's
+/// output. Concurrent-execution stages run their groups on scoped worker
+/// threads; operator-merge stages run one merged convolution built from the
+/// stacked (and zero-padded) per-operator weights, followed by a split.
+///
+/// # Panics
+///
+/// Panics if the schedule is not valid for `graph` or the inputs mismatch.
+#[must_use]
+pub fn execute_schedule(graph: &Graph, schedule: &Schedule, inputs: &[TensorData]) -> Vec<TensorData> {
+    check_inputs(graph, inputs);
+    schedule.validate(graph).expect("schedule must be valid for the graph");
+    let mut outputs: Vec<Option<TensorData>> = vec![None; graph.len()];
+
+    for stage in &schedule.stages {
+        match stage.strategy {
+            ParallelizationStrategy::ConcurrentExecution => {
+                // Each group runs independently on its own thread; groups only
+                // read outputs of earlier stages or earlier ops of their own
+                // group, so a snapshot of `outputs` is sufficient input state.
+                let snapshot = &outputs;
+                let group_results: Vec<Vec<(OpId, TensorData)>> =
+                    crossbeam::thread::scope(|scope| {
+                        let handles: Vec<_> = stage
+                            .groups
+                            .iter()
+                            .map(|group| {
+                                scope.spawn(move |_| {
+                                    let mut local: Vec<(OpId, TensorData)> = Vec::new();
+                                    for &op_id in group {
+                                        let op = graph.op(op_id);
+                                        let op_inputs: Vec<&TensorData> = op
+                                            .inputs
+                                            .iter()
+                                            .map(|v| match v {
+                                                Value::Input(i) => &inputs[*i],
+                                                Value::Op(id) => {
+                                                    if let Some(t) = snapshot[id.index()].as_ref() {
+                                                        t
+                                                    } else {
+                                                        local
+                                                            .iter()
+                                                            .find(|(lid, _)| lid == id)
+                                                            .map(|(_, t)| t)
+                                                            .expect("intra-group dependency")
+                                                    }
+                                                }
+                                            })
+                                            .collect();
+                                        let out =
+                                            execute_op(op, &op_inputs, weight_seed(graph, op_id));
+                                        local.push((op_id, out));
+                                    }
+                                    local
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().expect("group thread")).collect()
+                    })
+                    .expect("thread scope");
+                for group in group_results {
+                    for (op_id, tensor) in group {
+                        outputs[op_id.index()] = Some(tensor);
+                    }
+                }
+            }
+            ParallelizationStrategy::OperatorMerge => {
+                let merged = try_merge(graph, stage.ops)
+                    .expect("merged stage must satisfy the merge eligibility rule");
+                let input = resolve(merged.input, inputs, &outputs).clone();
+                // Stack the per-part weights, zero-padding smaller kernels so
+                // they stay centred inside the merged kernel.
+                let in_c = merged.input_shape.channels;
+                let (mkh, mkw) = merged.params.kernel;
+                let mut weights = vec![0.0f32; merged.params.out_channels * in_c * mkh * mkw];
+                let mut oc_offset = 0usize;
+                for &part in &merged.parts {
+                    let op = graph.op(part);
+                    let OpKind::Conv2d(p) = &op.kind else {
+                        panic!("merged parts must be convolutions")
+                    };
+                    let part_weights =
+                        conv_weights(weight_seed(graph, part), p.out_channels, in_c, p.kernel);
+                    let (kh, kw) = p.kernel;
+                    let (dy, dx) = ((mkh - kh) / 2, (mkw - kw) / 2);
+                    for oc in 0..p.out_channels {
+                        for ic in 0..in_c {
+                            for y in 0..kh {
+                                for x in 0..kw {
+                                    let src = ((oc * in_c + ic) * kh + y) * kw + x;
+                                    let dst = (((oc_offset + oc) * in_c + ic) * mkh + y + dy) * mkw
+                                        + x
+                                        + dx;
+                                    weights[dst] = part_weights[src];
+                                }
+                            }
+                        }
+                    }
+                    oc_offset += p.out_channels;
+                }
+                let merged_out = conv2d(&input, &merged.params, &weights);
+                // Split the merged output back into the per-part outputs.
+                let mut oc_offset = 0usize;
+                for (&part, &section) in merged.parts.iter().zip(&merged.split_sections) {
+                    let op = graph.op(part);
+                    let mut part_out = TensorData::zeros(op.output_shape);
+                    for n in 0..part_out.shape.batch {
+                        for c in 0..section {
+                            for h in 0..part_out.shape.height {
+                                for w in 0..part_out.shape.width {
+                                    part_out.set(n, c, h, w, merged_out.at(n, oc_offset + c, h, w));
+                                }
+                            }
+                        }
+                    }
+                    outputs[part.index()] = Some(part_out);
+                    oc_offset += section;
+                }
+            }
+        }
+    }
+    outputs.into_iter().map(|o| o.expect("all ops executed")).collect()
+}
+
+/// Largest absolute element-wise difference between two executions.
+#[must_use]
+pub fn max_abs_difference(a: &[TensorData], b: &[TensorData]) -> f32 {
+    assert_eq!(a.len(), b.len(), "executions cover different operator counts");
+    let mut max = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.shape, y.shape);
+        for (u, v) in x.data.iter().zip(&y.data) {
+            max = max.max((u - v).abs());
+        }
+    }
+    max
+}
+
+/// Executes the graph both sequentially and under `schedule` with the same
+/// random inputs and returns the largest absolute difference across all
+/// operator outputs. A value within floating point tolerance (≤ 1e-3 for the
+/// padded-kernel merges) demonstrates the schedule preserves semantics.
+#[must_use]
+pub fn verify_schedule(graph: &Graph, schedule: &Schedule, seed: u64) -> f32 {
+    let inputs: Vec<TensorData> = graph
+        .input_shapes()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| TensorData::random(*s, seed.wrapping_add(i as u64)))
+        .collect();
+    let reference = execute_graph(graph, &inputs);
+    let scheduled = execute_schedule(graph, schedule, &inputs);
+    max_abs_difference(&reference, &scheduled)
+}
+
+fn check_inputs(graph: &Graph, inputs: &[TensorData]) {
+    assert_eq!(graph.input_shapes().len(), inputs.len(), "wrong number of graph inputs");
+    for (shape, tensor) in graph.input_shapes().iter().zip(inputs) {
+        assert_eq!(*shape, tensor.shape, "graph input shape mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_core::{greedy_schedule, schedule_graph, SchedulerConfig, SimCostModel};
+    use ios_ir::Conv2dParams;
+    use ios_ir::{GraphBuilder, TensorShape};
+    use ios_sim::{DeviceKind, Simulator};
+
+    /// A small multi-branch block with mergeable convolutions.
+    fn branchy() -> Graph {
+        let mut b = GraphBuilder::new("verify_block", TensorShape::new(1, 8, 10, 10));
+        let x = b.input(0);
+        let a = b.conv2d("a", x, ios_ir::Conv2dParams::relu(8, (3, 3), (1, 1), (1, 1)));
+        let c = b.conv2d("c", x, Conv2dParams::relu(12, (1, 1), (1, 1), (0, 0)));
+        let d = b.conv2d("d", a, Conv2dParams::relu(8, (3, 3), (1, 1), (1, 1)));
+        let p = b.pool("p", x, ios_ir::PoolParams::max((3, 3), (2, 2), (0, 0)));
+        let pc = b.conv2d("pc", p, Conv2dParams::relu(4, (1, 1), (1, 1), (0, 0)));
+        let cat = b.concat("cat", &[c, d]);
+        b.build(vec![cat, pc])
+    }
+
+    #[test]
+    fn sequential_execution_produces_expected_shapes() {
+        let g = branchy();
+        let inputs = vec![TensorData::random(TensorShape::new(1, 8, 10, 10), 1)];
+        let outs = execute_graph(&g, &inputs);
+        assert_eq!(outs.len(), g.len());
+        for (op, out) in g.ops().iter().zip(&outs) {
+            assert_eq!(op.output_shape, out.shape);
+        }
+    }
+
+    #[test]
+    fn greedy_schedule_execution_matches_sequential() {
+        let g = branchy();
+        let cost = SimCostModel::new(Simulator::new(DeviceKind::TeslaV100));
+        let schedule = greedy_schedule(&g, &cost);
+        let diff = verify_schedule(&g, &schedule, 3);
+        assert!(diff < 1e-5, "difference = {diff}");
+    }
+
+    #[test]
+    fn ios_schedule_execution_matches_sequential_including_merge() {
+        let g = branchy();
+        let cost = SimCostModel::new(Simulator::new(DeviceKind::TeslaV100));
+        let result = schedule_graph(&g, &cost, &SchedulerConfig::paper_default());
+        let diff = verify_schedule(&g, &result.schedule, 7);
+        assert!(diff < 1e-3, "difference = {diff}");
+    }
+
+    #[test]
+    fn forced_merge_stage_matches_sequential() {
+        // Build a schedule by hand that merges the two shared-input convs
+        // (a 3×3 and c 1×1 — the padding path) to pin down merge semantics.
+        let g = branchy();
+        let merged_ops: ios_ir::OpSet = [OpId(0), OpId(1)].into_iter().collect();
+        assert!(try_merge(&g, merged_ops).is_some());
+        let schedule = Schedule::new(
+            g.name(),
+            vec![
+                ios_core::Stage {
+                    ops: merged_ops,
+                    strategy: ParallelizationStrategy::OperatorMerge,
+                    groups: vec![vec![OpId(0), OpId(1)]],
+                    measured_latency_us: 1.0,
+                },
+                ios_core::Stage {
+                    ops: [OpId(2), OpId(3)].into_iter().collect(),
+                    strategy: ParallelizationStrategy::ConcurrentExecution,
+                    groups: vec![vec![OpId(2)], vec![OpId(3)]],
+                    measured_latency_us: 1.0,
+                },
+                ios_core::Stage {
+                    ops: [OpId(4), OpId(5)].into_iter().collect(),
+                    strategy: ParallelizationStrategy::ConcurrentExecution,
+                    groups: vec![vec![OpId(4)], vec![OpId(5)]],
+                    measured_latency_us: 1.0,
+                },
+            ],
+        );
+        let diff = verify_schedule(&g, &schedule, 11);
+        assert!(diff < 1e-3, "difference = {diff}");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of graph inputs")]
+    fn input_count_mismatch_panics() {
+        let g = branchy();
+        let _ = execute_graph(&g, &[]);
+    }
+}

@@ -1,0 +1,21 @@
+//! # ios-backend — CPU numerical reference executor
+//!
+//! The paper's execution engine runs on cuDNN, so the numerical correctness
+//! of its schedule transformations (operator merge + split, concurrent group
+//! execution) comes for free. This crate provides the equivalent assurance
+//! for the reproduction: small, obviously-correct CPU implementations of
+//! every operator, an executor that can run either a plain graph or an IOS
+//! [`ios_core::Schedule`] (stage by stage, groups on worker threads), and
+//! helpers asserting that both produce the same tensors.
+//!
+//! Performance is a non-goal; correctness and clarity are.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod executor;
+pub mod ops_cpu;
+pub mod tensor_data;
+
+pub use executor::{execute_graph, execute_schedule, max_abs_difference, verify_schedule};
+pub use tensor_data::TensorData;

@@ -1,0 +1,378 @@
+//! Naive CPU implementations of the IR operators.
+//!
+//! Weights are generated deterministically from a seed derived from the
+//! operator id, so that two different execution strategies of the same graph
+//! (e.g. the original convolutions vs. their merged counterpart) see the
+//! same parameters and must produce the same outputs.
+
+use crate::tensor_data::TensorData;
+use ios_ir::{Activation, Conv2dParams, MatMulParams, Op, OpKind, PoolKind, PoolParams, TensorShape};
+
+/// Deterministic weight tensor for a convolution: layout
+/// `[out_c][in_c_per_group][kh][kw]`, values derived from `seed`.
+#[must_use]
+pub fn conv_weights(seed: u64, out_c: usize, in_c_per_group: usize, kernel: (usize, usize)) -> Vec<f32> {
+    let count = out_c * in_c_per_group * kernel.0 * kernel.1;
+    deterministic_values(seed, count)
+}
+
+/// Deterministic weight matrix for a fully connected layer: `[out][in]`.
+#[must_use]
+pub fn matmul_weights(seed: u64, out_features: usize, in_features: usize) -> Vec<f32> {
+    deterministic_values(seed, out_features * in_features)
+}
+
+fn deterministic_values(seed: u64, count: usize) -> Vec<f32> {
+    // SplitMix64 stream mapped to [-0.5, 0.5); fast, reproducible, and
+    // independent of the `rand` crate's version-specific stream.
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    (0..count)
+        .map(|_| {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            (z as f64 / u64::MAX as f64 - 0.5) as f32
+        })
+        .collect()
+}
+
+fn apply_activation(activation: Activation, v: f32) -> f32 {
+    match activation {
+        Activation::None => v,
+        Activation::Relu => v.max(0.0),
+    }
+}
+
+/// Dense / grouped 2-D convolution with explicit weights.
+#[must_use]
+pub fn conv2d(input: &TensorData, params: &Conv2dParams, weights: &[f32]) -> TensorData {
+    let in_shape = input.shape;
+    let (oh, ow) = in_shape.conv_output_hw(params.kernel, params.stride, params.padding);
+    let out_shape = TensorShape::new(in_shape.batch, params.out_channels, oh, ow);
+    let mut out = TensorData::zeros(out_shape);
+    let in_c_per_group = in_shape.channels / params.groups;
+    let out_c_per_group = params.out_channels / params.groups;
+    let (kh, kw) = params.kernel;
+    for n in 0..in_shape.batch {
+        for oc in 0..params.out_channels {
+            let group = oc / out_c_per_group;
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ic in 0..in_c_per_group {
+                        let in_channel = group * in_c_per_group + ic;
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let iy = (y * params.stride.0 + ky) as isize - params.padding.0 as isize;
+                                let ix = (x * params.stride.1 + kx) as isize - params.padding.1 as isize;
+                                if iy < 0
+                                    || ix < 0
+                                    || iy >= in_shape.height as isize
+                                    || ix >= in_shape.width as isize
+                                {
+                                    continue;
+                                }
+                                let w = weights
+                                    [((oc * in_c_per_group + ic) * kh + ky) * kw + kx];
+                                acc += w * input.at(n, in_channel, iy as usize, ix as usize);
+                            }
+                        }
+                    }
+                    out.set(n, oc, y, x, apply_activation(params.activation, acc));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Depthwise-separable convolution: ReLU on the input, depthwise k×k, then
+/// pointwise 1×1 (the "Relu-SepConv" unit).
+#[must_use]
+pub fn sep_conv2d(input: &TensorData, params: &Conv2dParams, seed: u64) -> TensorData {
+    // Pre-activation.
+    let mut activated = input.clone();
+    for v in &mut activated.data {
+        *v = v.max(0.0);
+    }
+    // Depthwise pass: groups = channels, one output channel per input channel.
+    let dw_params = Conv2dParams {
+        out_channels: input.shape.channels,
+        kernel: params.kernel,
+        stride: params.stride,
+        padding: params.padding,
+        groups: input.shape.channels,
+        activation: Activation::None,
+    };
+    let dw_weights = conv_weights(seed ^ 0xD17, input.shape.channels, 1, params.kernel);
+    let depthwise = conv2d(&activated, &dw_params, &dw_weights);
+    // Pointwise 1×1.
+    let pw_params = Conv2dParams {
+        out_channels: params.out_channels,
+        kernel: (1, 1),
+        stride: (1, 1),
+        padding: (0, 0),
+        groups: 1,
+        activation: Activation::None,
+    };
+    let pw_weights = conv_weights(seed ^ 0x901_17, params.out_channels, input.shape.channels, (1, 1));
+    conv2d(&depthwise, &pw_params, &pw_weights)
+}
+
+/// Pooling.
+#[must_use]
+pub fn pool(input: &TensorData, params: &PoolParams) -> TensorData {
+    let in_shape = input.shape;
+    match params.kind {
+        PoolKind::GlobalAvg => {
+            let out_shape = TensorShape::new(in_shape.batch, in_shape.channels, 1, 1);
+            let mut out = TensorData::zeros(out_shape);
+            let hw = (in_shape.height * in_shape.width) as f32;
+            for n in 0..in_shape.batch {
+                for c in 0..in_shape.channels {
+                    let mut acc = 0.0;
+                    for h in 0..in_shape.height {
+                        for w in 0..in_shape.width {
+                            acc += input.at(n, c, h, w);
+                        }
+                    }
+                    out.set(n, c, 0, 0, acc / hw);
+                }
+            }
+            out
+        }
+        PoolKind::Max | PoolKind::Avg => {
+            let (oh, ow) = in_shape.conv_output_hw(params.kernel, params.stride, params.padding);
+            let out_shape = TensorShape::new(in_shape.batch, in_shape.channels, oh, ow);
+            let mut out = TensorData::zeros(out_shape);
+            for n in 0..in_shape.batch {
+                for c in 0..in_shape.channels {
+                    for y in 0..oh {
+                        for x in 0..ow {
+                            let mut acc: f32 =
+                                if params.kind == PoolKind::Max { f32::NEG_INFINITY } else { 0.0 };
+                            let mut count = 0usize;
+                            for ky in 0..params.kernel.0 {
+                                for kx in 0..params.kernel.1 {
+                                    let iy = (y * params.stride.0 + ky) as isize
+                                        - params.padding.0 as isize;
+                                    let ix = (x * params.stride.1 + kx) as isize
+                                        - params.padding.1 as isize;
+                                    if iy < 0
+                                        || ix < 0
+                                        || iy >= in_shape.height as isize
+                                        || ix >= in_shape.width as isize
+                                    {
+                                        continue;
+                                    }
+                                    let v = input.at(n, c, iy as usize, ix as usize);
+                                    if params.kind == PoolKind::Max {
+                                        acc = acc.max(v);
+                                    } else {
+                                        acc += v;
+                                    }
+                                    count += 1;
+                                }
+                            }
+                            let value = if params.kind == PoolKind::Max {
+                                acc
+                            } else {
+                                acc / count.max(1) as f32
+                            };
+                            out.set(n, c, y, x, value);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Fully connected layer.
+#[must_use]
+pub fn matmul(input: &TensorData, params: &MatMulParams, weights: &[f32]) -> TensorData {
+    let in_features = input.shape.elements_per_item();
+    let out_shape = TensorShape::vector(input.shape.batch, params.out_features);
+    let mut out = TensorData::zeros(out_shape);
+    for n in 0..input.shape.batch {
+        let row = &input.data[n * in_features..(n + 1) * in_features];
+        for o in 0..params.out_features {
+            let w = &weights[o * in_features..(o + 1) * in_features];
+            let acc: f32 = row.iter().zip(w).map(|(a, b)| a * b).sum();
+            out.data[n * params.out_features + o] = apply_activation(params.activation, acc);
+        }
+    }
+    out
+}
+
+/// Channel-wise concatenation.
+#[must_use]
+pub fn concat(inputs: &[&TensorData]) -> TensorData {
+    let first = inputs[0].shape;
+    let channels: usize = inputs.iter().map(|t| t.shape.channels).sum();
+    let out_shape = TensorShape::new(first.batch, channels, first.height, first.width);
+    let mut out = TensorData::zeros(out_shape);
+    for n in 0..first.batch {
+        let mut c_off = 0;
+        for t in inputs {
+            for c in 0..t.shape.channels {
+                for h in 0..first.height {
+                    for w in 0..first.width {
+                        out.set(n, c_off + c, h, w, t.at(n, c, h, w));
+                    }
+                }
+            }
+            c_off += t.shape.channels;
+        }
+    }
+    out
+}
+
+/// Element-wise addition of all inputs.
+#[must_use]
+pub fn add(inputs: &[&TensorData]) -> TensorData {
+    let mut out = inputs[0].clone();
+    for t in &inputs[1..] {
+        for (o, v) in out.data.iter_mut().zip(&t.data) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Standalone ReLU.
+#[must_use]
+pub fn relu(input: &TensorData) -> TensorData {
+    let mut out = input.clone();
+    for v in &mut out.data {
+        *v = v.max(0.0);
+    }
+    out
+}
+
+/// Executes one operator given its resolved inputs, using deterministic
+/// weights derived from `weight_seed`.
+#[must_use]
+pub fn execute_op(op: &Op, inputs: &[&TensorData], weight_seed: u64) -> TensorData {
+    match &op.kind {
+        OpKind::Conv2d(p) => {
+            let in_c_per_group = inputs[0].shape.channels / p.groups;
+            let w = conv_weights(weight_seed, p.out_channels, in_c_per_group, p.kernel);
+            conv2d(inputs[0], p, &w)
+        }
+        OpKind::SepConv2d(p) => sep_conv2d(inputs[0], p, weight_seed),
+        OpKind::Pool(p) => pool(inputs[0], p),
+        OpKind::MatMul(p) => {
+            let w = matmul_weights(weight_seed, p.out_features, inputs[0].shape.elements_per_item());
+            matmul(inputs[0], p, &w)
+        }
+        OpKind::Concat => concat(inputs),
+        OpKind::Add => add(inputs),
+        OpKind::Relu => relu(inputs[0]),
+        OpKind::Identity => inputs[0].clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // A 1×1 convolution with an identity-like weight copies channels.
+        let input = TensorData::random(TensorShape::new(1, 2, 3, 3), 1);
+        let params = Conv2dParams::plain(2, (1, 1), (1, 1), (0, 0));
+        // weights[oc][ic]: identity matrix.
+        let weights = vec![1.0, 0.0, 0.0, 1.0];
+        let out = conv2d(&input, &params, &weights);
+        assert_eq!(out.shape, input.shape);
+        for i in 0..input.data.len() {
+            assert!((out.data[i] - input.data[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn conv2d_relu_clamps_negatives() {
+        let input = TensorData::random(TensorShape::new(1, 3, 5, 5), 2);
+        let params = Conv2dParams::relu(4, (3, 3), (1, 1), (1, 1));
+        let w = conv_weights(3, 4, 3, (3, 3));
+        let out = conv2d(&input, &params, &w);
+        assert!(out.data.iter().all(|v| *v >= 0.0));
+        assert_eq!(out.shape, TensorShape::new(1, 4, 5, 5));
+    }
+
+    #[test]
+    fn strided_conv_shrinks_output() {
+        let input = TensorData::random(TensorShape::new(1, 2, 8, 8), 4);
+        let params = Conv2dParams::plain(2, (3, 3), (2, 2), (1, 1));
+        let w = conv_weights(5, 2, 2, (3, 3));
+        let out = conv2d(&input, &params, &w);
+        assert_eq!(out.shape, TensorShape::new(1, 2, 4, 4));
+    }
+
+    #[test]
+    fn max_pool_picks_maximum() {
+        let mut input = TensorData::zeros(TensorShape::new(1, 1, 4, 4));
+        input.set(0, 0, 1, 1, 5.0);
+        input.set(0, 0, 2, 3, -2.0);
+        let out = pool(&input, &PoolParams::max((2, 2), (2, 2), (0, 0)));
+        assert_eq!(out.shape, TensorShape::new(1, 1, 2, 2));
+        assert_eq!(out.at(0, 0, 0, 0), 5.0);
+        assert_eq!(out.at(0, 0, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn global_avg_pool_averages() {
+        let input = TensorData { shape: TensorShape::new(1, 1, 2, 2), data: vec![1.0, 2.0, 3.0, 6.0] };
+        let out = pool(&input, &PoolParams::global_avg());
+        assert_eq!(out.at(0, 0, 0, 0), 3.0);
+    }
+
+    #[test]
+    fn concat_and_add_and_relu() {
+        let a = TensorData { shape: TensorShape::new(1, 1, 1, 2), data: vec![1.0, -2.0] };
+        let b = TensorData { shape: TensorShape::new(1, 1, 1, 2), data: vec![3.0, 4.0] };
+        let cat = concat(&[&a, &b]);
+        assert_eq!(cat.shape.channels, 2);
+        assert_eq!(cat.data, vec![1.0, -2.0, 3.0, 4.0]);
+        let sum = add(&[&a, &b]);
+        assert_eq!(sum.data, vec![4.0, 2.0]);
+        let r = relu(&a);
+        assert_eq!(r.data, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn matmul_matches_manual_computation() {
+        let input = TensorData { shape: TensorShape::vector(1, 2), data: vec![2.0, 3.0] };
+        let weights = vec![1.0, 0.0, 1.0, 1.0]; // [[1,0],[1,1]]
+        let params = MatMulParams { out_features: 2, activation: Activation::None };
+        let out = matmul(&input, &params, &weights);
+        assert_eq!(out.data, vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn sepconv_output_shape_and_determinism() {
+        let input = TensorData::random(TensorShape::new(1, 4, 6, 6), 9);
+        let params = Conv2dParams::relu(8, (3, 3), (1, 1), (1, 1));
+        let a = sep_conv2d(&input, &params, 11);
+        let b = sep_conv2d(&input, &params, 11);
+        assert_eq!(a.shape, TensorShape::new(1, 8, 6, 6));
+        assert_eq!(a, b);
+        let c = sep_conv2d(&input, &params, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn deterministic_weights_are_stable_and_seed_dependent() {
+        let a = conv_weights(1, 2, 2, (3, 3));
+        let b = conv_weights(1, 2, 2, (3, 3));
+        let c = conv_weights(2, 2, 2, (3, 3));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 2 * 2 * 9);
+        assert!(a.iter().all(|v| v.abs() <= 0.5));
+    }
+}

@@ -1,0 +1,79 @@
+//! Dense FP32 tensors in NCHW layout.
+
+use ios_ir::TensorShape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense FP32 tensor with NCHW layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorData {
+    /// Shape of the tensor.
+    pub shape: TensorShape,
+    /// Row-major (N, C, H, W) data.
+    pub data: Vec<f32>,
+}
+
+impl TensorData {
+    /// A tensor filled with zeros.
+    #[must_use]
+    pub fn zeros(shape: TensorShape) -> Self {
+        TensorData { shape, data: vec![0.0; shape.num_elements()] }
+    }
+
+    /// A tensor filled with deterministic pseudo-random values in [-1, 1).
+    #[must_use]
+    pub fn random(shape: TensorShape, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..shape.num_elements()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        TensorData { shape, data }
+    }
+
+    /// Linear index of `(n, c, h, w)`.
+    #[must_use]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        ((n * self.shape.channels + c) * self.shape.height + h) * self.shape.width + w
+    }
+
+    /// Value at `(n, c, h, w)`.
+    #[must_use]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.index(n, c, h, w)]
+    }
+
+    /// Mutable value at `(n, c, h, w)`.
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, value: f32) {
+        let idx = self.index(n, c, h, w);
+        self.data[idx] = value;
+    }
+
+    /// Largest absolute element.
+    #[must_use]
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |acc, v| acc.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut t = TensorData::zeros(TensorShape::new(2, 3, 4, 5));
+        t.set(1, 2, 3, 4, 7.5);
+        assert_eq!(t.at(1, 2, 3, 4), 7.5);
+        assert_eq!(t.at(0, 0, 0, 0), 0.0);
+        assert_eq!(t.data.len(), 120);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let shape = TensorShape::new(1, 2, 3, 3);
+        let a = TensorData::random(shape, 7);
+        let b = TensorData::random(shape, 7);
+        let c = TensorData::random(shape, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.max_abs() <= 1.0);
+    }
+}

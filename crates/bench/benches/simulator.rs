@@ -1,0 +1,42 @@
+//! Criterion benchmark: throughput of the stage-latency measurement (the
+//! simulator call the dynamic program makes for every candidate stage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ios_ir::OpId;
+use ios_models::figure2_block;
+use ios_sim::{DeviceKind, Simulator};
+
+fn bench_stage_measurement(c: &mut Criterion) {
+    let net = figure2_block(1);
+    let graph = &net.blocks[0].graph;
+    let sim = Simulator::new(DeviceKind::TeslaV100);
+    let mut group = c.benchmark_group("simulator/measure_stage");
+    group.sample_size(50);
+
+    let sequential: Vec<Vec<OpId>> = vec![(0..4).map(OpId).collect()];
+    let concurrent: Vec<Vec<OpId>> = (0..4).map(|i| vec![OpId(i)]).collect();
+    for (label, groups) in [("sequential4", &sequential), ("concurrent4", &concurrent)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), groups, |b, groups| {
+            b.iter(|| sim.measure_stage(graph, groups));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/batch");
+    group.sample_size(30);
+    for batch in [1usize, 32, 128] {
+        let net = figure2_block(batch);
+        let graph = net.blocks[0].graph.clone();
+        let sim = Simulator::new(DeviceKind::TeslaV100);
+        let groups: Vec<Vec<OpId>> = (0..4).map(|i| vec![OpId(i)]).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| sim.measure_stage(&graph, &groups));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stage_measurement, bench_batch_scaling);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 10: the schedules IOS finds for the last Inception V3 block at
+//! batch 1 vs. batch 32 (different stage counts; operator merge appears at
+//! the larger batch size). Also writes Graphviz renderings.
+
+use ios_bench::{fmt3, maybe_write_json, BenchOptions};
+use ios_core::{evaluate_network, optimize_network, IosVariant, NetworkSchedule, SimCostModel};
+use ios_ir::{graphviz::graph_to_dot_with_stages, Block, Network};
+use ios_models::inception::inception_v3_last_block;
+use ios_sim::Simulator;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let config = opts.scheduler_config(IosVariant::Both);
+    let cost = SimCostModel::new(Simulator::new(opts.device));
+
+    let mut schedules: Vec<(usize, Network, NetworkSchedule)> = Vec::new();
+    for batch in [1usize, 32] {
+        let graph = inception_v3_last_block(batch);
+        let net = Network::new(
+            format!("inception_last_block_b{batch}"),
+            graph.input_shapes()[0],
+            vec![Block::new(graph)],
+        );
+        let report = optimize_network(&net, &cost, &config);
+        schedules.push((batch, net, report.schedule));
+    }
+
+    for (batch, net, schedule) in &schedules {
+        println!("== schedule optimized for batch {batch} ==");
+        let block_schedule = &schedule.block_schedules[0];
+        print!("{}", block_schedule.render(&net.blocks[0].graph));
+        println!(
+            "stages: {}, merge stages: {}, latency: {} ms\n",
+            block_schedule.num_stages(),
+            block_schedule
+                .stages
+                .iter()
+                .filter(|s| s.strategy == ios_core::ParallelizationStrategy::OperatorMerge)
+                .count(),
+            fmt3(schedule.latency_ms())
+        );
+        let dot = graph_to_dot_with_stages(&net.blocks[0].graph, &block_schedule.stage_sets());
+        let path = format!("fig10_batch{batch}.dot");
+        if std::fs::write(&path, dot).is_ok() {
+            println!("wrote {path}");
+        }
+    }
+
+    // Cross evaluation: each schedule executed at the other batch size.
+    let (_, net1, sched1) = &schedules[0];
+    let (_, net32, sched32) = &schedules[1];
+    let s1_on_b1 = sched1.latency_us;
+    let s32_on_b1 = evaluate_network(net1, sched32, &cost);
+    let s32_on_b32 = sched32.latency_us;
+    let s1_on_b32 = evaluate_network(net32, sched1, &cost);
+    println!(
+        "batch 1: own schedule {:.3} ms vs batch-32 schedule {:.3} ms ({:+.1}%)",
+        s1_on_b1 / 1e3,
+        s32_on_b1 / 1e3,
+        (s32_on_b1 / s1_on_b1 - 1.0) * 100.0
+    );
+    println!(
+        "batch 32: own schedule {:.3} ms vs batch-1 schedule {:.3} ms ({:+.1}%)",
+        s32_on_b32 / 1e3,
+        s1_on_b32 / 1e3,
+        (s1_on_b32 / s32_on_b32 - 1.0) * 100.0
+    );
+    println!("paper: schedule (1) is 28% faster at batch 1; schedule (2) is 8% faster at batch 32 and merges the 1x3/3x1 pair");
+    maybe_write_json(&opts, &[s1_on_b1, s32_on_b1, s32_on_b32, s1_on_b32]);
+}

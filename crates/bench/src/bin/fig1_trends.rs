@@ -1,0 +1,41 @@
+//! Figure 1: hardware peak performance vs. number of convolutions vs.
+//! average FLOPs per convolution across GPU/CNN generations.
+
+use ios_bench::{fmt3, maybe_write_json, render_table, BenchOptions};
+use ios_sim::trends::{gap_growth, trend_point};
+use ios_sim::DeviceKind;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let points = vec![
+        trend_point(&ios_models::vgg16(1), DeviceKind::Gtx980Ti, 2013),
+        trend_point(&ios_models::inception_v3(1), DeviceKind::Gtx1080, 2015),
+        trend_point(&ios_models::nasnet_a(1), DeviceKind::TeslaV100, 2018),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.year.to_string(),
+                p.network.clone(),
+                p.device.clone(),
+                fmt3(p.peak_gflops),
+                p.num_convs.to_string(),
+                fmt3(p.avg_mflops_per_conv),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Figure 1: peak performance vs per-convolution work",
+            &["year", "network", "device", "peak GFLOP/s", "#conv", "MFLOPs/conv"],
+            &rows
+        )
+    );
+    println!(
+        "utilization gap growth 2013→2018: {:.1}x (paper: peak ×2.7, per-conv work ÷28)",
+        gap_growth(&points[0], &points[2])
+    );
+    maybe_write_json(&opts, &points);
+}

@@ -1,0 +1,49 @@
+//! Figure 6 (V100) / Figure 14 (RTX 2080 Ti with `--device 2080ti`):
+//! normalized throughput of Sequential, Greedy, IOS-Merge, IOS-Parallel and
+//! IOS-Both across the benchmark CNNs at batch one.
+
+use ios_bench::{fmt3, geomean, maybe_write_json, normalize_by_best, render_table, schedule_comparison, BenchOptions};
+use std::collections::BTreeMap;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let networks = opts.benchmark_networks();
+    let mut per_method: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut all_rows = Vec::new();
+    let mut table_rows = Vec::new();
+
+    for net in &networks {
+        let rows = schedule_comparison(net, &opts);
+        let normalized = normalize_by_best(&rows);
+        for ((label, norm), row) in normalized.iter().zip(&rows) {
+            per_method.entry(label.clone()).or_default().push(*norm);
+            table_rows.push(vec![
+                net.name.clone(),
+                label.clone(),
+                fmt3(row.latency_ms),
+                fmt3(row.throughput),
+                fmt3(*norm),
+            ]);
+        }
+        all_rows.extend(rows);
+    }
+    for (label, values) in &per_method {
+        table_rows.push(vec![
+            "GeoMean".to_string(),
+            label.clone(),
+            String::new(),
+            String::new(),
+            fmt3(geomean(values)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!("Figure 6/14: schedule comparison on {} (batch {})", opts.device, opts.batch),
+            &["network", "schedule", "latency (ms)", "images/s", "normalized"],
+            &table_rows
+        )
+    );
+    println!("paper shape: IOS-Both best everywhere; greedy good on RandWire/NasNet but hurts SqueezeNet; IOS-Merge == Sequential where nothing merges");
+    maybe_write_json(&opts, &all_rows);
+}

@@ -1,0 +1,47 @@
+//! Figure 7 (V100) / Figure 15 (RTX 2080 Ti with `--device 2080ti`):
+//! normalized throughput of the cuDNN-based frameworks and IOS across the
+//! benchmark CNNs at batch one.
+
+use ios_bench::{fmt3, framework_comparison, geomean, maybe_write_json, normalize_by_best, render_table, BenchOptions};
+use std::collections::BTreeMap;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let networks = opts.benchmark_networks();
+    let mut per_framework: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut all_rows = Vec::new();
+    let mut table_rows = Vec::new();
+
+    for net in &networks {
+        let rows = framework_comparison(net, &opts, false);
+        let normalized = normalize_by_best(&rows);
+        for ((label, norm), row) in normalized.iter().zip(&rows) {
+            per_framework.entry(label.clone()).or_default().push(*norm);
+            table_rows.push(vec![
+                net.name.clone(),
+                label.clone(),
+                fmt3(row.latency_ms),
+                fmt3(*norm),
+            ]);
+        }
+        all_rows.extend(rows);
+    }
+    for (label, values) in &per_framework {
+        table_rows.push(vec![
+            "GeoMean".to_string(),
+            label.clone(),
+            String::new(),
+            fmt3(geomean(values)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!("Figure 7/15: framework comparison on {} (batch {})", opts.device, opts.batch),
+            &["network", "framework", "latency (ms)", "normalized"],
+            &table_rows
+        )
+    );
+    println!("paper shape: IOS best on all four networks, 1.1-1.5x over TASO / TVM-cuDNN / TensorRT");
+    maybe_write_json(&opts, &all_rows);
+}

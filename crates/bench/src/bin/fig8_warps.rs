@@ -1,0 +1,72 @@
+//! Figure 8: active warps over time for the sequential schedule vs. the IOS
+//! schedule of the Figure 2 block, sampled from the simulated timeline.
+
+use ios_bench::{fmt3, maybe_write_json, render_table, BenchOptions};
+use ios_core::{
+    optimize_network, sequential_network_schedule, IosVariant, NetworkSchedule, SimCostModel,
+};
+use ios_ir::Network;
+use ios_sim::profiler::{concat_timelines, ActiveWarpProfile};
+use ios_sim::{Simulator};
+
+fn timeline_of(net: &Network, schedule: &NetworkSchedule, sim: &Simulator) -> (f64, Vec<ios_sim::KernelEvent>) {
+    let mut stages = Vec::new();
+    for (block, block_schedule) in net.blocks.iter().zip(&schedule.block_schedules) {
+        for stage in &block_schedule.stages {
+            let m = sim.measure_stage(&block.graph, &stage.groups);
+            stages.push((m.latency_us, m.events));
+        }
+    }
+    concat_timelines(&stages)
+}
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let net = ios_models::figure2_block(opts.batch);
+    let sim = Simulator::new(opts.device);
+    let cost = SimCostModel::new(Simulator::new(opts.device));
+
+    let seq = sequential_network_schedule(&net, &cost);
+    let ios = optimize_network(&net, &cost, &opts.scheduler_config(IosVariant::Parallel)).schedule;
+
+    let device = opts.device.spec();
+    let interval = 2.1; // µs, mirroring the paper's 2.1 ms CUPTI sampling at scale
+    let (seq_dur, seq_events) = timeline_of(&net, &seq, &sim);
+    let (ios_dur, ios_events) = timeline_of(&net, &ios, &sim);
+    let seq_profile = ActiveWarpProfile::from_events(&seq_events, seq_dur, interval, &device);
+    let ios_profile = ActiveWarpProfile::from_events(&ios_events, ios_dur, interval, &device);
+
+    let rows = vec![
+        vec![
+            "Sequential".to_string(),
+            fmt3(seq_dur / 1e3),
+            fmt3(seq_profile.average_active_warps()),
+            seq_profile.peak_active_warps().to_string(),
+        ],
+        vec![
+            "IOS".to_string(),
+            fmt3(ios_dur / 1e3),
+            fmt3(ios_profile.average_active_warps()),
+            ios_profile.peak_active_warps().to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            "Figure 8: active warps (simulated CUPTI sampling)",
+            &["schedule", "duration (ms)", "avg active warps", "peak active warps"],
+            &rows
+        )
+    );
+    let ratio = ios_profile.average_active_warps() / seq_profile.average_active_warps().max(1e-9);
+    println!("IOS keeps {ratio:.2}x more warps active on average (paper: 1.58x)");
+
+    println!("\nsampled series (time µs, sequential warps, IOS warps):");
+    let n = seq_profile.samples.len().max(ios_profile.samples.len()).min(48);
+    for i in 0..n {
+        let s = seq_profile.samples.get(i).map_or(0, |s| s.active_warps);
+        let o = ios_profile.samples.get(i).map_or(0, |s| s.active_warps);
+        println!("{:8.1} {:8} {:8}", i as f64 * interval, s, o);
+    }
+    maybe_write_json(&opts, &(seq_profile, ios_profile));
+}

@@ -1,0 +1,44 @@
+//! Figure 9: trade-off between optimized latency and optimization cost for
+//! pruning parameters r ∈ {1, 2, 3} and s ∈ {3, 8} on Inception V3 and
+//! NasNet.
+
+use ios_bench::{fmt3, maybe_write_json, render_table, BenchOptions};
+use ios_core::{optimize_network, IosVariant, SchedulerConfig, SimCostModel};
+use ios_sim::Simulator;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let networks = if opts.quick {
+        vec![ios_models::inception_v3(opts.batch)]
+    } else {
+        vec![ios_models::inception_v3(opts.batch), ios_models::nasnet_a(opts.batch)]
+    };
+    let mut rows = Vec::new();
+    for net in &networks {
+        for s in [3usize, 8] {
+            for r in [1usize, 2, 3] {
+                let cost = SimCostModel::new(Simulator::new(opts.device));
+                let config = SchedulerConfig::for_variant(IosVariant::Both).with_pruning(r, s);
+                let report = optimize_network(net, &cost, &config);
+                rows.push(vec![
+                    net.name.clone(),
+                    format!("r={r} s={s}"),
+                    fmt3(report.schedule.latency_ms()),
+                    report.measurements.to_string(),
+                    report.transitions.to_string(),
+                    fmt3(report.search_seconds),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "Figure 9: pruning trade-off (latency vs optimization cost)",
+            &["network", "pruning", "latency (ms)", "#measurements", "#transitions", "search (s)"],
+            &rows
+        )
+    );
+    println!("paper shape: smaller r/s cut the optimization cost sharply at a small latency penalty");
+    maybe_write_json(&opts, &rows);
+}

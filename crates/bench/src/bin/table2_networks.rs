@@ -1,0 +1,36 @@
+//! Table 2: the benchmark networks (blocks, operators, main operator type).
+
+use ios_bench::{maybe_write_json, render_table, BenchOptions};
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let networks = opts.benchmark_networks();
+    let rows: Vec<Vec<String>> = networks
+        .iter()
+        .map(|net| {
+            let op_type = if net.name.contains("randwire") || net.name.contains("nasnet") {
+                "Relu-SepConv"
+            } else {
+                "Conv-Relu"
+            };
+            vec![
+                net.name.clone(),
+                net.num_blocks().to_string(),
+                net.num_operators().to_string(),
+                net.num_compute_units().to_string(),
+                op_type.to_string(),
+                format!("{:.2}", net.total_flops() as f64 / 1e9),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table 2: CNN benchmarks",
+            &["network", "#blocks", "#operators", "#compute units", "operator type", "GFLOPs"],
+            &rows
+        )
+    );
+    println!("paper: Inception 11/119 Conv-Relu; RandWire 3/120 Relu-SepConv; NasNet 13/374 Relu-SepConv; SqueezeNet 10/50 Conv-Relu");
+    maybe_write_json(&opts, &rows);
+}

@@ -1,0 +1,288 @@
+//! Operator merge (the second parallelization strategy of Section 3).
+//!
+//! Convolutions that consume the same input tensor, have the same stride and
+//! produce the same spatial output can be stacked into one larger
+//! convolution: smaller kernels are zero-padded to the largest kernel size
+//! and the output channels are concatenated, followed by a split operator
+//! that recovers the original outputs. Besides exposing more intra-operator
+//! parallelism, the merged kernel reads the shared input only once — the
+//! effect Figure 10 highlights for large batch sizes — at the cost of the
+//! extra FLOPs introduced by kernel padding (a 3×1 and a 1×3 kernel both
+//! become 3×3).
+
+use ios_ir::{Activation, Conv2dParams, Graph, OpId, OpKind, OpSet, TensorShape, Value};
+use serde::{Deserialize, Serialize};
+
+/// Description of a merged convolution covering several original operators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergedConv {
+    /// The original operators, in ascending id order; the merged output is
+    /// their channel-wise concatenation in this order.
+    pub parts: Vec<OpId>,
+    /// The shared input value all merged operators read.
+    pub input: Value,
+    /// Shape of the shared input.
+    pub input_shape: TensorShape,
+    /// Parameters of the merged convolution (padded kernel, summed output
+    /// channels).
+    pub params: Conv2dParams,
+    /// Output channels contributed by each part (the sections of the split
+    /// operator that follows the merged convolution).
+    pub split_sections: Vec<usize>,
+}
+
+impl MergedConv {
+    /// Total floating point work of the merged kernel (including the padded
+    /// kernel positions that compute zeros).
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        let (oh, ow) = self.input_shape.conv_output_hw(
+            self.params.kernel,
+            self.params.stride,
+            self.params.padding,
+        );
+        let out_elems = (self.input_shape.batch * self.params.out_channels * oh * ow) as u64;
+        let k = (self.input_shape.channels / self.params.groups)
+            * self.params.kernel.0
+            * self.params.kernel.1;
+        2 * out_elems * k as u64
+            + if self.params.activation.is_some() { out_elems } else { 0 }
+    }
+
+    /// Bytes moved by the split operator that restores the original outputs
+    /// (read + write of the merged output tensor).
+    #[must_use]
+    pub fn split_bytes(&self) -> u64 {
+        let (oh, ow) = self.input_shape.conv_output_hw(
+            self.params.kernel,
+            self.params.stride,
+            self.params.padding,
+        );
+        let elems = self.input_shape.batch * self.params.out_channels * oh * ow;
+        2 * (elems * 4) as u64
+    }
+}
+
+/// Attempts to merge the operators of `ops` into a single convolution.
+///
+/// Returns `None` when the stage is not eligible: fewer than two operators,
+/// any non-convolution operator, mismatched inputs, strides, groups or
+/// activations, or kernels whose zero-padding would shift their alignment
+/// (the size difference must be even in both dimensions).
+#[must_use]
+pub fn try_merge(graph: &Graph, ops: OpSet) -> Option<MergedConv> {
+    if ops.len() < 2 {
+        return None;
+    }
+    let mut parts: Vec<OpId> = ops.iter().collect();
+    parts.sort_unstable();
+
+    let mut shared_input: Option<Value> = None;
+    let mut stride = None;
+    let mut groups = None;
+    let mut activation: Option<Activation> = None;
+    let mut max_kernel = (1usize, 1usize);
+    let mut sections = Vec::with_capacity(parts.len());
+    let mut out_hw: Option<(usize, usize)> = None;
+
+    for &op_id in &parts {
+        let op = graph.op(op_id);
+        let params = match &op.kind {
+            OpKind::Conv2d(p) => p,
+            _ => return None,
+        };
+        if op.inputs.len() != 1 {
+            return None;
+        }
+        let input = op.inputs[0];
+        match shared_input {
+            None => shared_input = Some(input),
+            Some(existing) if existing == input => {}
+            Some(_) => return None,
+        }
+        match stride {
+            None => stride = Some(params.stride),
+            Some(s) if s == params.stride => {}
+            Some(_) => return None,
+        }
+        match groups {
+            None => groups = Some(params.groups),
+            Some(g) if g == params.groups => {}
+            Some(_) => return None,
+        }
+        if params.groups != 1 {
+            // Stacking grouped convolutions would interleave channel groups;
+            // keep the rule conservative as the paper only merges dense convs.
+            return None;
+        }
+        match activation {
+            None => activation = Some(params.activation),
+            Some(a) if a == params.activation => {}
+            Some(_) => return None,
+        }
+        match out_hw {
+            None => out_hw = Some((op.output_shape.height, op.output_shape.width)),
+            Some(hw) if hw == (op.output_shape.height, op.output_shape.width) => {}
+            Some(_) => return None,
+        }
+        max_kernel = (max_kernel.0.max(params.kernel.0), max_kernel.1.max(params.kernel.1));
+        sections.push(params.out_channels);
+    }
+
+    // Kernel padding must preserve alignment: the padding added on each side
+    // of a smaller kernel is (max - k) / 2, so the difference must be even.
+    for &op_id in &parts {
+        let op = graph.op(op_id);
+        if let OpKind::Conv2d(p) = &op.kind {
+            if (max_kernel.0 - p.kernel.0) % 2 != 0 || (max_kernel.1 - p.kernel.1) % 2 != 0 {
+                return None;
+            }
+        }
+    }
+
+    let input = shared_input.expect("at least two parts");
+    let input_shape = graph.value_shape(input);
+    let stride = stride.expect("set");
+    let out_hw = out_hw.expect("set");
+    // The merged convolution must itself produce the common output size with
+    // "same"-style padding of the padded kernel.
+    let padding = (max_kernel.0 / 2, max_kernel.1 / 2);
+    let computed = input_shape.conv_output_hw(max_kernel, stride, padding);
+    if computed != out_hw {
+        return None;
+    }
+
+    let params = Conv2dParams {
+        out_channels: sections.iter().sum(),
+        kernel: max_kernel,
+        stride,
+        padding,
+        groups: 1,
+        activation: activation.expect("set"),
+    };
+    Some(MergedConv { parts, input, input_shape, params, split_sections: sections })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_ir::{GraphBuilder, PoolParams};
+
+    /// Builds the Figure 3 style graph: conv a (128×3×3) and conv b (256×3×3)
+    /// reading the same input, plus a conv with a different kernel and a pool.
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new("merge_test", TensorShape::new(1, 64, 14, 14));
+        let x = b.input(0);
+        let _a = b.conv2d("a", x, Conv2dParams::relu(128, (3, 3), (1, 1), (1, 1)));
+        let _b = b.conv2d("b", x, Conv2dParams::relu(256, (3, 3), (1, 1), (1, 1)));
+        let _c = b.conv2d("c", x, Conv2dParams::relu(64, (1, 1), (1, 1), (0, 0)));
+        let _p = b.pool("p", x, PoolParams::avg((3, 3), (1, 1), (1, 1)));
+        let a = Value::Op(OpId(0));
+        let bb = Value::Op(OpId(1));
+        let _down = b.conv2d("down", a, Conv2dParams::relu(64, (3, 3), (2, 2), (1, 1)));
+        let cat = b.concat("cat", &[a, bb]);
+        b.build(vec![cat])
+    }
+
+    fn set(ids: &[usize]) -> OpSet {
+        ids.iter().map(|&i| OpId(i)).collect()
+    }
+
+    #[test]
+    fn merge_same_kernel_convs() {
+        // Figure 3's example: 128 + 256 3×3 kernels stack into a 384-channel conv.
+        let g = graph();
+        let m = try_merge(&g, set(&[0, 1])).expect("mergeable");
+        assert_eq!(m.params.out_channels, 384);
+        assert_eq!(m.params.kernel, (3, 3));
+        assert_eq!(m.split_sections, vec![128, 256]);
+        assert_eq!(m.parts, vec![OpId(0), OpId(1)]);
+        assert!(m.flops() > 0);
+        assert!(m.split_bytes() > 0);
+    }
+
+    #[test]
+    fn merge_pads_smaller_kernels() {
+        // 3×3 and 1×1 (both odd, same output size) can merge; the merged
+        // kernel is 3×3 and the padded 1×1 adds FLOPs.
+        let g = graph();
+        let m = try_merge(&g, set(&[0, 2])).expect("mergeable");
+        assert_eq!(m.params.kernel, (3, 3));
+        assert_eq!(m.params.out_channels, 128 + 64);
+        // Padded FLOPs exceed the sum of the original FLOPs.
+        let original: u64 = [0, 2].iter().map(|&i| g.op_flops(OpId(i))).sum();
+        assert!(m.flops() > original);
+    }
+
+    #[test]
+    fn merge_rejects_non_convolutions() {
+        let g = graph();
+        assert!(try_merge(&g, set(&[0, 3])).is_none(), "conv + pool must not merge");
+    }
+
+    #[test]
+    fn merge_rejects_different_inputs() {
+        let g = graph();
+        // op 4 ("down") reads op 0's output, not the graph input.
+        assert!(try_merge(&g, set(&[1, 4])).is_none());
+    }
+
+    #[test]
+    fn merge_rejects_different_strides_and_output_sizes() {
+        let mut b = GraphBuilder::new("strides", TensorShape::new(1, 32, 16, 16));
+        let x = b.input(0);
+        let _s1 = b.conv2d("s1", x, Conv2dParams::relu(32, (3, 3), (1, 1), (1, 1)));
+        let _s2 = b.conv2d("s2", x, Conv2dParams::relu(32, (3, 3), (2, 2), (1, 1)));
+        let g = b.build(vec![Value::Op(OpId(0)), Value::Op(OpId(1))]);
+        assert!(try_merge(&g, set(&[0, 1])).is_none());
+    }
+
+    #[test]
+    fn merge_rejects_single_operator_and_empty() {
+        let g = graph();
+        assert!(try_merge(&g, set(&[0])).is_none());
+        assert!(try_merge(&g, OpSet::empty()).is_none());
+    }
+
+    #[test]
+    fn merge_rejects_misaligned_kernels() {
+        // A 2×2 kernel cannot be centred inside a 3×3 one (and cannot even
+        // produce the same output resolution), so it never merges with odd
+        // kernels.
+        let mut b = GraphBuilder::new("asym", TensorShape::new(1, 32, 16, 16));
+        let x = b.input(0);
+        let _f = b.conv2d("f", x, Conv2dParams::relu(32, (3, 3), (1, 1), (1, 1)));
+        let _h = b.conv2d("h", x, Conv2dParams::relu(32, (2, 2), (1, 1), (0, 0)));
+        let graph = b.build(vec![Value::Op(OpId(0)), Value::Op(OpId(1))]);
+        assert!(try_merge(&graph, set(&[0, 1])).is_none());
+    }
+
+    #[test]
+    fn figure10_one_by_three_and_three_by_one_merge() {
+        // With matching "same" padding both 3×1 and 1×3 produce the input
+        // resolution and merge into a padded 3×3 convolution.
+        let mut b = GraphBuilder::new("fig10", TensorShape::new(32, 384, 8, 8));
+        let x = b.input(0);
+        let _f = b.conv2d("f", x, Conv2dParams::relu(384, (3, 1), (1, 1), (1, 0)));
+        let _g = b.conv2d("g", x, Conv2dParams::relu(384, (1, 3), (1, 1), (0, 1)));
+        let graph = b.build(vec![Value::Op(OpId(0)), Value::Op(OpId(1))]);
+        let m = try_merge(&graph, OpSet::full(2)).expect("mergeable");
+        assert_eq!(m.params.kernel, (3, 3));
+        assert_eq!(m.params.out_channels, 768);
+        // The padded kernels triple the work of each branch (3 vs 9 taps per
+        // kernel position): merged FLOPs ≈ 3× the original sum.
+        let original: u64 = (0..2).map(|i| graph.op_flops(OpId(i))).sum();
+        let ratio = m.flops() as f64 / original as f64;
+        assert!((2.5..=3.5).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn mixed_activation_rejected() {
+        let mut b = GraphBuilder::new("act", TensorShape::new(1, 32, 16, 16));
+        let x = b.input(0);
+        let _r = b.conv2d("r", x, Conv2dParams::relu(32, (3, 3), (1, 1), (1, 1)));
+        let _p = b.conv2d("p", x, Conv2dParams::plain(32, (3, 3), (1, 1), (1, 1)));
+        let g = b.build(vec![Value::Op(OpId(0)), Value::Op(OpId(1))]);
+        assert!(try_merge(&g, OpSet::full(2)).is_none());
+    }
+}

@@ -1,0 +1,375 @@
+//! Schedule and stage types.
+//!
+//! A schedule `Q = {(S₁, T₁), …, (S_k, T_k)}` partitions the operators of a
+//! graph into stages executed sequentially; each stage is executed with one
+//! of the two parallelization strategies of Section 3.
+
+use ios_ir::{Graph, OpId, OpSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The parallelization strategy of a stage (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParallelizationStrategy {
+    /// Operators are partitioned into groups; groups run concurrently on
+    /// separate streams, operators inside a group run sequentially.
+    ConcurrentExecution,
+    /// All operators of the stage are merged into one larger operator
+    /// followed by a split.
+    OperatorMerge,
+}
+
+impl fmt::Display for ParallelizationStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParallelizationStrategy::ConcurrentExecution => write!(f, "concurrent execution"),
+            ParallelizationStrategy::OperatorMerge => write!(f, "operator merge"),
+        }
+    }
+}
+
+/// One stage of a schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// The operators of the stage.
+    pub ops: OpSet,
+    /// The parallelization strategy chosen for the stage.
+    pub strategy: ParallelizationStrategy,
+    /// The execution groups: for concurrent execution these are the
+    /// connected components of the stage (each executed sequentially in the
+    /// stored order); for operator merge there is a single group listing the
+    /// merged operators.
+    pub groups: Vec<Vec<OpId>>,
+    /// The stage latency measured by the cost model when the stage was
+    /// chosen, in µs.
+    pub measured_latency_us: f64,
+}
+
+impl Stage {
+    /// Number of operators in the stage.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the stage contains no operators.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of concurrent groups.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// A complete schedule for one graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Name of the graph this schedule belongs to.
+    pub graph_name: String,
+    /// Stages in execution order.
+    pub stages: Vec<Stage>,
+}
+
+impl Schedule {
+    /// Creates a schedule from its stages.
+    #[must_use]
+    pub fn new(graph_name: impl Into<String>, stages: Vec<Stage>) -> Self {
+        Schedule { graph_name: graph_name.into(), stages }
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Sum of the measured latencies of all stages, in µs.
+    #[must_use]
+    pub fn total_measured_latency_us(&self) -> f64 {
+        self.stages.iter().map(|s| s.measured_latency_us).sum()
+    }
+
+    /// The stage sets in order (useful for Graphviz rendering).
+    #[must_use]
+    pub fn stage_sets(&self) -> Vec<OpSet> {
+        self.stages.iter().map(|s| s.ops).collect()
+    }
+
+    /// Index of the stage containing each operator.
+    #[must_use]
+    pub fn stage_of(&self, op: OpId) -> Option<usize> {
+        self.stages.iter().position(|s| s.ops.contains(op))
+    }
+
+    /// Validates that the schedule is feasible for `graph`:
+    ///
+    /// * every operator appears in exactly one stage;
+    /// * for every dependency edge `(u, v)`, `u` is scheduled no later than
+    ///   `v`, and if they share a stage they share a group with `u` ordered
+    ///   before `v`;
+    /// * the groups of each stage partition the stage's operators.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self, graph: &Graph) -> Result<(), String> {
+        let mut seen = OpSet::empty();
+        for (si, stage) in self.stages.iter().enumerate() {
+            let mut group_union = OpSet::empty();
+            for group in &stage.groups {
+                for op in group {
+                    if !stage.ops.contains(*op) {
+                        return Err(format!(
+                            "stage {si}: group operator {op} not in the stage set"
+                        ));
+                    }
+                    if group_union.contains(*op) {
+                        return Err(format!("stage {si}: operator {op} appears in two groups"));
+                    }
+                    group_union.insert(*op);
+                }
+            }
+            if group_union != stage.ops {
+                return Err(format!("stage {si}: groups do not cover the stage"));
+            }
+            if !seen.is_disjoint(stage.ops) {
+                return Err(format!("stage {si}: operators scheduled twice"));
+            }
+            seen = seen.union(stage.ops);
+        }
+        if seen != graph.all_ops() {
+            return Err(format!(
+                "schedule covers {} operators, graph has {}",
+                seen.len(),
+                graph.len()
+            ));
+        }
+        // Dependency order.
+        for op in graph.ops() {
+            let v_stage = self.stage_of(op.id).expect("covered");
+            for pred in graph.predecessors(op.id) {
+                let u_stage = self.stage_of(pred).expect("covered");
+                if u_stage > v_stage {
+                    return Err(format!(
+                        "operator {} (stage {v_stage}) depends on {} scheduled later (stage {u_stage})",
+                        op.name,
+                        graph.op(pred).name
+                    ));
+                }
+                if u_stage == v_stage {
+                    let stage = &self.stages[v_stage];
+                    let same_group = stage.groups.iter().find(|g| g.contains(&op.id));
+                    match same_group {
+                        Some(g) if g.contains(&pred) => {
+                            let pu = g.iter().position(|x| *x == pred).expect("present");
+                            let pv = g.iter().position(|x| *x == op.id).expect("present");
+                            if pu > pv {
+                                return Err(format!(
+                                    "stage {v_stage}: {} ordered before its dependency {}",
+                                    op.name,
+                                    graph.op(pred).name
+                                ));
+                            }
+                        }
+                        _ if stage.strategy == ParallelizationStrategy::OperatorMerge => {
+                            // Merged operators are computed simultaneously from
+                            // the shared input; dependencies inside a merged
+                            // stage are impossible by the merge eligibility
+                            // rule, so reaching this arm means the stage is
+                            // malformed.
+                            return Err(format!(
+                                "stage {v_stage}: merged stage contains dependent operators {} → {}",
+                                graph.op(pred).name,
+                                op.name
+                            ));
+                        }
+                        _ => {
+                            return Err(format!(
+                                "stage {v_stage}: dependent operators {} → {} are in different groups",
+                                graph.op(pred).name,
+                                op.name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the schedule as a compact human-readable table.
+    #[must_use]
+    pub fn render(&self, graph: &Graph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "schedule for `{}` ({} stages):", self.graph_name, self.num_stages());
+        for (i, stage) in self.stages.iter().enumerate() {
+            let groups: Vec<String> = stage
+                .groups
+                .iter()
+                .map(|g| {
+                    let names: Vec<&str> =
+                        g.iter().map(|op| graph.op(*op).name.as_str()).collect();
+                    format!("{{{}}}", names.join(", "))
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  stage {}: [{}] via {} ({:.1} µs)",
+                i + 1,
+                groups.join(" | "),
+                stage.strategy,
+                stage.measured_latency_us
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_ir::{Conv2dParams, GraphBuilder, TensorShape};
+
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new("diamond", TensorShape::new(1, 16, 8, 8));
+        let input = b.input(0);
+        let a = b.conv2d("a", input, Conv2dParams::relu(16, (1, 1), (1, 1), (0, 0)));
+        let x = b.conv2d("x", a, Conv2dParams::relu(16, (3, 3), (1, 1), (1, 1)));
+        let y = b.conv2d("y", a, Conv2dParams::relu(16, (3, 3), (1, 1), (1, 1)));
+        let d = b.concat("d", &[x, y]);
+        b.build(vec![d])
+    }
+
+    fn stage(ops: &[usize], groups: &[&[usize]], strategy: ParallelizationStrategy) -> Stage {
+        Stage {
+            ops: ops.iter().map(|&i| OpId(i)).collect(),
+            strategy,
+            groups: groups.iter().map(|g| g.iter().map(|&i| OpId(i)).collect()).collect(),
+            measured_latency_us: 1.0,
+        }
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let g = diamond();
+        let s = Schedule::new(
+            "diamond",
+            vec![
+                stage(&[0], &[&[0]], ParallelizationStrategy::ConcurrentExecution),
+                stage(&[1, 2], &[&[1], &[2]], ParallelizationStrategy::ConcurrentExecution),
+                stage(&[3], &[&[3]], ParallelizationStrategy::ConcurrentExecution),
+            ],
+        );
+        assert!(s.validate(&g).is_ok());
+        assert_eq!(s.num_stages(), 3);
+        assert_eq!(s.stage_of(OpId(2)), Some(1));
+        assert!((s.total_measured_latency_us() - 3.0).abs() < 1e-12);
+        let rendered = s.render(&g);
+        assert!(rendered.contains("stage 2"));
+        assert!(rendered.contains("concurrent execution"));
+    }
+
+    #[test]
+    fn missing_operator_fails() {
+        let g = diamond();
+        let s = Schedule::new(
+            "diamond",
+            vec![stage(&[0, 1, 2], &[&[0, 1, 2]], ParallelizationStrategy::ConcurrentExecution)],
+        );
+        assert!(s.validate(&g).unwrap_err().contains("covers 3 operators"));
+    }
+
+    #[test]
+    fn dependency_violation_fails() {
+        let g = diamond();
+        let s = Schedule::new(
+            "diamond",
+            vec![
+                stage(&[1, 2], &[&[1], &[2]], ParallelizationStrategy::ConcurrentExecution),
+                stage(&[0], &[&[0]], ParallelizationStrategy::ConcurrentExecution),
+                stage(&[3], &[&[3]], ParallelizationStrategy::ConcurrentExecution),
+            ],
+        );
+        assert!(s.validate(&g).unwrap_err().contains("scheduled later"));
+    }
+
+    #[test]
+    fn same_stage_dependency_requires_group_order() {
+        let g = diamond();
+        // a and x in the same stage, same group, correct order: fine.
+        let ok = Schedule::new(
+            "diamond",
+            vec![
+                stage(&[0, 1], &[&[0, 1]], ParallelizationStrategy::ConcurrentExecution),
+                stage(&[2], &[&[2]], ParallelizationStrategy::ConcurrentExecution),
+                stage(&[3], &[&[3]], ParallelizationStrategy::ConcurrentExecution),
+            ],
+        );
+        assert!(ok.validate(&g).is_ok());
+        // Reversed order inside the group: rejected.
+        let bad = Schedule::new(
+            "diamond",
+            vec![
+                stage(&[0, 1], &[&[1, 0]], ParallelizationStrategy::ConcurrentExecution),
+                stage(&[2], &[&[2]], ParallelizationStrategy::ConcurrentExecution),
+                stage(&[3], &[&[3]], ParallelizationStrategy::ConcurrentExecution),
+            ],
+        );
+        assert!(bad.validate(&g).unwrap_err().contains("ordered before"));
+        // Different groups in the same stage: rejected.
+        let split = Schedule::new(
+            "diamond",
+            vec![
+                stage(&[0, 1], &[&[0], &[1]], ParallelizationStrategy::ConcurrentExecution),
+                stage(&[2], &[&[2]], ParallelizationStrategy::ConcurrentExecution),
+                stage(&[3], &[&[3]], ParallelizationStrategy::ConcurrentExecution),
+            ],
+        );
+        assert!(split.validate(&g).unwrap_err().contains("different groups"));
+    }
+
+    #[test]
+    fn duplicated_or_uncovered_group_ops_fail() {
+        let g = diamond();
+        let dup = Schedule::new(
+            "diamond",
+            vec![
+                stage(&[0], &[&[0]], ParallelizationStrategy::ConcurrentExecution),
+                stage(&[1, 2], &[&[1, 2], &[2]], ParallelizationStrategy::ConcurrentExecution),
+                stage(&[3], &[&[3]], ParallelizationStrategy::ConcurrentExecution),
+            ],
+        );
+        assert!(dup.validate(&g).unwrap_err().contains("two groups"));
+        let uncovered = Schedule::new(
+            "diamond",
+            vec![
+                stage(&[0], &[&[0]], ParallelizationStrategy::ConcurrentExecution),
+                stage(&[1, 2], &[&[1]], ParallelizationStrategy::ConcurrentExecution),
+                stage(&[3], &[&[3]], ParallelizationStrategy::ConcurrentExecution),
+            ],
+        );
+        assert!(uncovered.validate(&g).unwrap_err().contains("do not cover"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Schedule::new(
+            "x",
+            vec![stage(&[0], &[&[0]], ParallelizationStrategy::OperatorMerge)],
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(ParallelizationStrategy::ConcurrentExecution.to_string(), "concurrent execution");
+        assert_eq!(ParallelizationStrategy::OperatorMerge.to_string(), "operator merge");
+    }
+}

@@ -1,0 +1,167 @@
+//! Schedule specialization (Table 3 of the paper).
+//!
+//! IOS profiles stages on the target device at the target batch size, so the
+//! schedule it finds is specialized to that configuration. Table 3 shows
+//! that executing a schedule under the configuration it was optimized for is
+//! always the fastest option: a schedule tuned for batch 32 is sub-optimal
+//! at batch 1, and a schedule tuned for a Tesla K80 is sub-optimal on a
+//! V100. This module provides the cross-evaluation matrix behind that table.
+
+use crate::cost_model::CostModel;
+use crate::optimizer::{evaluate_network, NetworkSchedule};
+use ios_ir::Network;
+use serde::{Deserialize, Serialize};
+
+/// One cell of the Table 3 cross-evaluation matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecializationCell {
+    /// Label of the configuration the schedule was optimized for (column).
+    pub optimized_for: String,
+    /// Label of the configuration the schedule is executed on (row).
+    pub executed_on: String,
+    /// Measured latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// An execution context: a network instance (already shaped for the target
+/// batch size) and the cost model of the target device.
+pub struct ExecutionContext<'a, C: CostModel> {
+    /// Label shown in the table (e.g. `"batch 32"` or `"V100"`).
+    pub label: String,
+    /// The network shaped for this context.
+    pub network: &'a Network,
+    /// The cost model of this context.
+    pub cost_model: &'a C,
+}
+
+impl<'a, C: CostModel> ExecutionContext<'a, C> {
+    /// Creates an execution context.
+    #[must_use]
+    pub fn new(label: impl Into<String>, network: &'a Network, cost_model: &'a C) -> Self {
+        ExecutionContext { label: label.into(), network, cost_model }
+    }
+}
+
+/// Evaluates every schedule under every execution context.
+///
+/// Rows iterate over execution contexts and columns over schedules, exactly
+/// like Table 3. The schedules' labels are taken from
+/// [`NetworkSchedule::label`] unless overridden by `schedule_labels`.
+#[must_use]
+pub fn cross_evaluate<C: CostModel>(
+    contexts: &[ExecutionContext<'_, C>],
+    schedules: &[(String, &NetworkSchedule)],
+) -> Vec<SpecializationCell> {
+    let mut cells = Vec::with_capacity(contexts.len() * schedules.len());
+    for ctx in contexts {
+        for (label, schedule) in schedules {
+            let latency_us = evaluate_network(ctx.network, schedule, ctx.cost_model);
+            cells.push(SpecializationCell {
+                optimized_for: label.clone(),
+                executed_on: ctx.label.clone(),
+                latency_ms: latency_us / 1e3,
+            });
+        }
+    }
+    cells
+}
+
+/// Checks the diagonal-dominance property of a cross-evaluation matrix: for
+/// every execution context, the schedule optimized for that context is no
+/// slower than any other schedule (within `tolerance`, a relative slack).
+///
+/// Returns the list of violations (empty when specialization always wins).
+#[must_use]
+pub fn specialization_violations(
+    cells: &[SpecializationCell],
+    tolerance: f64,
+) -> Vec<SpecializationCell> {
+    let mut violations = Vec::new();
+    for cell in cells {
+        if cell.optimized_for == cell.executed_on {
+            continue;
+        }
+        let diagonal = cells.iter().find(|c| {
+            c.executed_on == cell.executed_on && c.optimized_for == c.executed_on
+        });
+        if let Some(diag) = diagonal {
+            if diag.latency_ms > cell.latency_ms * (1.0 + tolerance) {
+                violations.push(cell.clone());
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost_model::SimCostModel;
+    use crate::optimizer::optimize_network;
+    use crate::variants::SchedulerConfig;
+    use ios_sim::{DeviceKind, Simulator};
+
+    #[test]
+    fn device_specialization_matrix_shape() {
+        // Use the small Figure 2 network so this stays fast in debug builds;
+        // the full Table 3 reproduction runs Inception V3 in the bench crate.
+        let net = ios_models::figure2_block(1);
+        let v100 = SimCostModel::new(Simulator::new(DeviceKind::TeslaV100));
+        let k80 = SimCostModel::new(Simulator::new(DeviceKind::TeslaK80));
+        let config = SchedulerConfig::paper_default();
+
+        let for_v100 = optimize_network(&net, &v100, &config).schedule;
+        let for_k80 = optimize_network(&net, &k80, &config).schedule;
+
+        let contexts = vec![
+            ExecutionContext::new("V100", &net, &v100),
+            ExecutionContext::new("K80", &net, &k80),
+        ];
+        let schedules =
+            vec![("V100".to_string(), &for_v100), ("K80".to_string(), &for_k80)];
+        let cells = cross_evaluate(&contexts, &schedules);
+        assert_eq!(cells.len(), 4);
+
+        // Diagonal dominance: each device prefers its own schedule.
+        let violations = specialization_violations(&cells, 1e-9);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+
+        // And the K80 is slower than the V100 overall.
+        let v100_diag = cells
+            .iter()
+            .find(|c| c.executed_on == "V100" && c.optimized_for == "V100")
+            .unwrap();
+        let k80_diag = cells
+            .iter()
+            .find(|c| c.executed_on == "K80" && c.optimized_for == "K80")
+            .unwrap();
+        assert!(k80_diag.latency_ms > v100_diag.latency_ms);
+    }
+
+    #[test]
+    fn batch_specialization_keeps_schedule_structure_valid() {
+        let net1 = ios_models::figure2_block(1);
+        let net32 = net1.with_batch_size(32);
+        let cost = SimCostModel::new(Simulator::new(DeviceKind::TeslaV100));
+        let config = SchedulerConfig::paper_default();
+        let for_b32 = optimize_network(&net32, &cost, &config).schedule;
+        // The batch-32 schedule applies cleanly to the batch-1 network.
+        assert!(for_b32.validate(&net1).is_ok());
+        let latency_on_b1 = evaluate_network(&net1, &for_b32, &cost);
+        assert!(latency_on_b1 > 0.0);
+    }
+
+    #[test]
+    fn violation_detection_reports_offdiagonal_wins() {
+        let cells = vec![
+            SpecializationCell { optimized_for: "a".into(), executed_on: "a".into(), latency_ms: 10.0 },
+            SpecializationCell { optimized_for: "b".into(), executed_on: "a".into(), latency_ms: 8.0 },
+            SpecializationCell { optimized_for: "a".into(), executed_on: "b".into(), latency_ms: 9.0 },
+            SpecializationCell { optimized_for: "b".into(), executed_on: "b".into(), latency_ms: 7.0 },
+        ];
+        let violations = specialization_violations(&cells, 0.0);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].optimized_for, "b");
+        assert_eq!(violations[0].executed_on, "a");
+    }
+}

@@ -1,0 +1,139 @@
+//! Scheduler configuration and the IOS variants compared in Figure 6.
+
+use ios_ir::PruningLimits;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which parallelization strategies the scheduler may use — the IOS-Merge,
+/// IOS-Parallel and IOS-Both variants of Section 6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum IosVariant {
+    /// Only the "operator merge" strategy (multi-operator stages must merge).
+    Merge,
+    /// Only the "concurrent execution" strategy.
+    Parallel,
+    /// Both strategies; the better one is chosen per stage (the default and
+    /// what the paper simply calls "IOS").
+    #[default]
+    Both,
+}
+
+impl IosVariant {
+    /// True if the concurrent-execution strategy may be used for
+    /// multi-operator stages.
+    #[must_use]
+    pub fn allows_parallel(self) -> bool {
+        matches!(self, IosVariant::Parallel | IosVariant::Both)
+    }
+
+    /// True if the operator-merge strategy may be used.
+    #[must_use]
+    pub fn allows_merge(self) -> bool {
+        matches!(self, IosVariant::Merge | IosVariant::Both)
+    }
+}
+
+impl fmt::Display for IosVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IosVariant::Merge => write!(f, "IOS-Merge"),
+            IosVariant::Parallel => write!(f, "IOS-Parallel"),
+            IosVariant::Both => write!(f, "IOS-Both"),
+        }
+    }
+}
+
+/// Full configuration of one scheduler run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Which parallelization strategies are enabled.
+    pub variant: IosVariant,
+    /// The pruning strategy `P(r, s)` bounding the explored endings
+    /// (Section 4.3). The paper's default is `r = 3`, `s = 8`.
+    #[serde(with = "pruning_serde")]
+    pub pruning: PruningLimits,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig { variant: IosVariant::Both, pruning: PruningLimits::paper_default() }
+    }
+}
+
+impl SchedulerConfig {
+    /// The paper's default configuration (IOS-Both, r = 3, s = 8).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        SchedulerConfig::default()
+    }
+
+    /// Configuration for a specific variant with the default pruning.
+    #[must_use]
+    pub fn for_variant(variant: IosVariant) -> Self {
+        SchedulerConfig { variant, ..SchedulerConfig::default() }
+    }
+
+    /// Configuration with explicit pruning parameters `r` (max operators per
+    /// group) and `s` (max groups per stage) — the Figure 9 sweep.
+    #[must_use]
+    pub fn with_pruning(mut self, r: usize, s: usize) -> Self {
+        self.pruning = PruningLimits::new(r, s);
+        self
+    }
+}
+
+/// Serde adapter for [`PruningLimits`] (defined in `ios-ir`, which keeps its
+/// types serde-free for the scheduler-facing fields).
+mod pruning_serde {
+    use ios_ir::PruningLimits;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    struct Limits {
+        max_group_size: usize,
+        max_groups: usize,
+    }
+
+    pub fn serialize<S: Serializer>(p: &PruningLimits, s: S) -> Result<S::Ok, S::Error> {
+        Limits { max_group_size: p.max_group_size, max_groups: p.max_groups }.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<PruningLimits, D::Error> {
+        let l = Limits::deserialize(d)?;
+        Ok(PruningLimits::new(l.max_group_size, l.max_groups))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_capabilities() {
+        assert!(IosVariant::Both.allows_merge() && IosVariant::Both.allows_parallel());
+        assert!(IosVariant::Merge.allows_merge() && !IosVariant::Merge.allows_parallel());
+        assert!(!IosVariant::Parallel.allows_merge() && IosVariant::Parallel.allows_parallel());
+        assert_eq!(IosVariant::default(), IosVariant::Both);
+        assert_eq!(IosVariant::Both.to_string(), "IOS-Both");
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = SchedulerConfig::paper_default();
+        assert_eq!(c.pruning.max_group_size, 3);
+        assert_eq!(c.pruning.max_groups, 8);
+        let c = SchedulerConfig::for_variant(IosVariant::Parallel).with_pruning(1, 8);
+        assert_eq!(c.variant, IosVariant::Parallel);
+        assert_eq!(c.pruning.max_group_size, 1);
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = SchedulerConfig::paper_default().with_pruning(2, 3);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SchedulerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.pruning.max_group_size, 2);
+        assert_eq!(back.pruning.max_groups, 3);
+        assert_eq!(back.variant, IosVariant::Both);
+    }
+}

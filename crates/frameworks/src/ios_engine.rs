@@ -1,0 +1,88 @@
+//! The IOS execution engine, packaged like the baseline frameworks so the
+//! benchmark harness can compare them uniformly.
+
+use ios_core::{optimize_network, NetworkSchedule, SchedulerConfig, SimCostModel};
+use ios_ir::Network;
+use ios_sim::{DeviceKind, Simulator};
+
+/// IOS (scheduler + execution engine) bound to a device.
+#[derive(Debug, Clone, Copy)]
+pub struct IosEngine {
+    device: DeviceKind,
+    config: SchedulerConfig,
+}
+
+impl IosEngine {
+    /// Creates the engine with the paper's default configuration
+    /// (IOS-Both, pruning `r = 3`, `s = 8`, cuDNN kernels).
+    #[must_use]
+    pub fn new(device: DeviceKind) -> Self {
+        IosEngine { device, config: SchedulerConfig::paper_default() }
+    }
+
+    /// Creates the engine with an explicit scheduler configuration.
+    #[must_use]
+    pub fn with_config(device: DeviceKind, config: SchedulerConfig) -> Self {
+        IosEngine { device, config }
+    }
+
+    /// The device the engine targets.
+    #[must_use]
+    pub fn device(&self) -> DeviceKind {
+        self.device
+    }
+
+    /// Optimizes the network with IOS and returns the resulting schedule
+    /// (whose `latency_us` is the measured end-to-end latency).
+    #[must_use]
+    pub fn optimize_and_measure(&self, network: &Network) -> NetworkSchedule {
+        let cost = SimCostModel::new(Simulator::new(self.device));
+        optimize_network(network, &cost, &self.config).schedule
+    }
+
+    /// Approximate profiling cost of optimizing the four benchmark networks,
+    /// in GPU hours (Figure 12 reports ~3 hours for IOS).
+    #[must_use]
+    pub fn optimization_cost_gpu_hours() -> f64 {
+        3.0
+    }
+}
+
+/// Convenience: the IOS latency (µs) of a network on a device with the
+/// default configuration.
+#[must_use]
+pub fn ios_latency_us(network: &Network, device: DeviceKind) -> f64 {
+    IosEngine::new(device).optimize_and_measure(network).latency_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_core::IosVariant;
+
+    #[test]
+    fn engine_produces_valid_schedules() {
+        let net = ios_models::figure2_block(1);
+        let engine = IosEngine::new(DeviceKind::TeslaV100);
+        let schedule = engine.optimize_and_measure(&net);
+        assert!(schedule.validate(&net).is_ok());
+        assert!(schedule.latency_us > 0.0);
+        assert_eq!(engine.device(), DeviceKind::TeslaV100);
+        assert!((ios_latency_us(&net, DeviceKind::TeslaV100) - schedule.latency_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_config_is_honoured() {
+        let net = ios_models::figure2_block(1);
+        let parallel_only = IosEngine::with_config(
+            DeviceKind::TeslaV100,
+            SchedulerConfig::for_variant(IosVariant::Parallel),
+        );
+        let schedule = parallel_only.optimize_and_measure(&net);
+        assert!(schedule
+            .block_schedules
+            .iter()
+            .flat_map(|s| &s.stages)
+            .all(|s| s.strategy == ios_core::ParallelizationStrategy::ConcurrentExecution));
+    }
+}

@@ -1,0 +1,389 @@
+//! Enumeration of *endings*.
+//!
+//! Given the remaining operator set `S` of a graph `G`, an ending `S′ ⊆ S`
+//! is a subset such that every edge between `S − S′` and `S′` starts in
+//! `S − S′` and ends in `S′` (Section 4.1, Figure 4 of the paper).
+//! Equivalently, `S′` is closed under successors *within `S`*: if `u ∈ S′`
+//! and `(u, v) ∈ E` with `v ∈ S`, then `v ∈ S′`.
+//!
+//! The IOS dynamic program enumerates the endings of every reachable state,
+//! optionally restricted by the pruning strategy `P(r, s)` which bounds the
+//! number of operators per group (`r`) and the number of groups per stage
+//! (`s`).
+
+use crate::graph::Graph;
+use crate::op::OpId;
+use crate::opset::OpSet;
+
+/// The pruning strategy `P(r, s)` of Section 4.3.
+///
+/// An ending is admitted only if, when partitioned into groups (connected
+/// components within the stage), it has at most `max_groups` groups and each
+/// group has at most `max_group_size` operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PruningLimits {
+    /// Maximum number of operators per group (`r` in the paper).
+    pub max_group_size: usize,
+    /// Maximum number of groups per stage (`s` in the paper).
+    pub max_groups: usize,
+}
+
+impl PruningLimits {
+    /// The default pruning strategy used throughout the paper's evaluation:
+    /// `r = 3`, `s = 8`.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        PruningLimits { max_group_size: 3, max_groups: 8 }
+    }
+
+    /// No pruning: every ending is admitted (used for the Table 1 counts).
+    #[must_use]
+    pub fn unpruned() -> Self {
+        PruningLimits { max_group_size: usize::MAX, max_groups: usize::MAX }
+    }
+
+    /// Creates a pruning strategy with explicit `r` and `s`.
+    #[must_use]
+    pub fn new(max_group_size: usize, max_groups: usize) -> Self {
+        PruningLimits { max_group_size, max_groups }
+    }
+
+    /// Upper bound on the number of operators an admissible ending may have.
+    #[must_use]
+    pub fn max_stage_ops(&self) -> usize {
+        self.max_group_size.saturating_mul(self.max_groups)
+    }
+
+    /// Checks whether a candidate stage satisfies `P`: groups are the
+    /// connected components of `stage` inside `graph`.
+    #[must_use]
+    pub fn admits(&self, graph: &Graph, stage: OpSet) -> bool {
+        if stage.len() > self.max_stage_ops() {
+            return false;
+        }
+        let groups = graph.groups_of(stage);
+        groups.len() <= self.max_groups && groups.iter().all(|g| g.len() <= self.max_group_size)
+    }
+}
+
+impl Default for PruningLimits {
+    fn default() -> Self {
+        PruningLimits::paper_default()
+    }
+}
+
+/// Pre-computed per-graph data for ending enumeration.
+///
+/// Construct once per graph and reuse across all dynamic-programming states;
+/// enumeration itself allocates only the output vector.
+#[derive(Debug, Clone)]
+pub struct EndingEnumerator {
+    /// Successor sets per operator.
+    succs: Vec<OpSet>,
+    /// Reverse topological order of the whole graph.
+    reverse_topo: Vec<OpId>,
+}
+
+impl EndingEnumerator {
+    /// Builds the enumerator for a graph.
+    #[must_use]
+    pub fn new(graph: &Graph) -> Self {
+        let succs = graph.successor_sets();
+        let mut reverse_topo = graph.topological_order();
+        reverse_topo.reverse();
+        EndingEnumerator { succs, reverse_topo }
+    }
+
+    /// Enumerates every non-empty ending of `state`, bounded in size by
+    /// `max_ops` (use `usize::MAX` for no bound).
+    ///
+    /// The enumeration processes operators in reverse topological order and
+    /// decides include/exclude for each; an operator may be included only if
+    /// all of its successors inside `state` have already been included, which
+    /// yields each successor-closed subset exactly once.
+    #[must_use]
+    pub fn endings(&self, state: OpSet, max_ops: usize) -> Vec<OpSet> {
+        let members: Vec<OpId> =
+            self.reverse_topo.iter().copied().filter(|id| state.contains(*id)).collect();
+        let mut out = Vec::new();
+        let mut current = OpSet::empty();
+        self.recurse(&members, 0, state, &mut current, max_ops, &mut out);
+        out
+    }
+
+    fn recurse(
+        &self,
+        members: &[OpId],
+        idx: usize,
+        state: OpSet,
+        current: &mut OpSet,
+        max_ops: usize,
+        out: &mut Vec<OpSet>,
+    ) {
+        if idx == members.len() {
+            if !current.is_empty() {
+                out.push(*current);
+            }
+            return;
+        }
+        let op = members[idx];
+        // Branch 1: exclude `op`.
+        self.recurse(members, idx + 1, state, current, max_ops, out);
+        // Branch 2: include `op`, allowed only if every successor of `op`
+        // inside `state` is already included and the size bound holds.
+        if current.len() < max_ops {
+            let succs_in_state = self.succs[op.index()].intersection(state);
+            if succs_in_state.is_subset(*current) {
+                current.insert(op);
+                self.recurse(members, idx + 1, state, current, max_ops, out);
+                current.remove(op);
+            }
+        }
+    }
+
+    /// Counts the endings of `state` without materializing them (used by the
+    /// Table 1 transition counts, where RandWire has ~1.2 × 10⁶ transitions).
+    #[must_use]
+    pub fn count_endings(&self, state: OpSet, max_ops: usize) -> u64 {
+        let members: Vec<OpId> =
+            self.reverse_topo.iter().copied().filter(|id| state.contains(*id)).collect();
+        let mut current = OpSet::empty();
+        let mut count = 0u64;
+        self.count_recurse(&members, 0, state, &mut current, max_ops, &mut count);
+        count
+    }
+
+    fn count_recurse(
+        &self,
+        members: &[OpId],
+        idx: usize,
+        state: OpSet,
+        current: &mut OpSet,
+        max_ops: usize,
+        count: &mut u64,
+    ) {
+        if idx == members.len() {
+            if !current.is_empty() {
+                *count += 1;
+            }
+            return;
+        }
+        let op = members[idx];
+        self.count_recurse(members, idx + 1, state, current, max_ops, count);
+        if current.len() < max_ops {
+            let succs_in_state = self.succs[op.index()].intersection(state);
+            if succs_in_state.is_subset(*current) {
+                current.insert(op);
+                self.count_recurse(members, idx + 1, state, current, max_ops, count);
+                current.remove(op);
+            }
+        }
+    }
+
+    /// Verifies that `candidate` is a valid ending of `state`.
+    #[must_use]
+    pub fn is_ending(&self, state: OpSet, candidate: OpSet) -> bool {
+        if candidate.is_empty() || !candidate.is_subset(state) {
+            return false;
+        }
+        candidate
+            .iter()
+            .all(|op| self.succs[op.index()].intersection(state).is_subset(candidate))
+    }
+}
+
+/// Convenience wrapper: enumerates the endings of `state` in `graph` that
+/// satisfy the pruning strategy `limits`.
+#[must_use]
+pub fn endings_of(graph: &Graph, state: OpSet, limits: PruningLimits) -> Vec<OpSet> {
+    let enumerator = EndingEnumerator::new(graph);
+    enumerator
+        .endings(state, limits.max_stage_ops())
+        .into_iter()
+        .filter(|s| limits.admits(graph, *s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::op::Conv2dParams;
+    use crate::tensor::TensorShape;
+    use proptest::prelude::*;
+
+    /// Figure 5 graph: a → b, c independent.
+    fn fig5() -> Graph {
+        let mut b = GraphBuilder::new("fig5", TensorShape::new(1, 16, 8, 8));
+        let input = b.input(0);
+        let a = b.conv2d("a", input, Conv2dParams::relu(16, (3, 3), (1, 1), (1, 1)));
+        let bb = b.conv2d("b", a, Conv2dParams::relu(16, (3, 3), (1, 1), (1, 1)));
+        let c = b.conv2d("c", input, Conv2dParams::relu(16, (1, 1), (1, 1), (0, 0)));
+        b.build(vec![bb, c])
+    }
+
+    /// A diamond: a → {b, c} → d.
+    fn diamond() -> Graph {
+        let mut g = GraphBuilder::new("diamond", TensorShape::new(1, 16, 8, 8));
+        let input = g.input(0);
+        let a = g.conv2d("a", input, Conv2dParams::relu(16, (1, 1), (1, 1), (0, 0)));
+        let b = g.conv2d("b", a, Conv2dParams::relu(16, (3, 3), (1, 1), (1, 1)));
+        let c = g.conv2d("c", a, Conv2dParams::relu(16, (3, 3), (1, 1), (1, 1)));
+        let d = g.concat("d", &[b, c]);
+        g.build(vec![d])
+    }
+
+    #[test]
+    fn figure5_endings_of_full_state() {
+        let g = fig5();
+        let e = EndingEnumerator::new(&g);
+        let endings = e.endings(g.all_ops(), usize::MAX);
+        // Figure 5 (2) enumerates the endings of {a,b,c}: {b}, {c}, {b,c},
+        // {a,b}, {a,b,c}, {a,c}... wait — {a,c} is not shown; check:
+        // an ending containing a must contain its successor b.
+        // Valid endings: {b}, {c}, {b,c}, {a,b}, {a,b,c} → 5.
+        assert_eq!(endings.len(), 5);
+        for s in &endings {
+            assert!(e.is_ending(g.all_ops(), *s));
+        }
+        assert_eq!(e.count_endings(g.all_ops(), usize::MAX), 5);
+    }
+
+    #[test]
+    fn endings_respect_successor_closure() {
+        let g = diamond();
+        let e = EndingEnumerator::new(&g);
+        let all = g.all_ops();
+        let endings = e.endings(all, usize::MAX);
+        // `a` may only appear in the full set; `d` alone is an ending.
+        for s in &endings {
+            if s.contains(OpId(0)) {
+                assert_eq!(s.len(), 4, "ending containing the source must be the full set: {s:?}");
+            }
+        }
+        assert!(endings.contains(&OpSet::singleton(OpId(3))));
+        // d, {b,d}, {c,d}, {b,c,d}, {a,b,c,d} = 5 endings.
+        assert_eq!(endings.len(), 5);
+    }
+
+    #[test]
+    fn endings_of_substate() {
+        let g = fig5();
+        let e = EndingEnumerator::new(&g);
+        // State {a, c} (b already scheduled — not reachable in the real DP,
+        // but enumeration must still be correct for arbitrary states).
+        let state: OpSet = [OpId(0), OpId(2)].into_iter().collect();
+        let endings = e.endings(state, usize::MAX);
+        // a and c are unrelated inside the state → {a}, {c}, {a,c}.
+        assert_eq!(endings.len(), 3);
+    }
+
+    #[test]
+    fn max_ops_bound_respected() {
+        let g = diamond();
+        let e = EndingEnumerator::new(&g);
+        let endings = e.endings(g.all_ops(), 1);
+        assert!(endings.iter().all(|s| s.len() == 1));
+        assert_eq!(endings.len(), 1); // only {d}
+    }
+
+    #[test]
+    fn pruning_limits_admit() {
+        let g = fig5();
+        let limits = PruningLimits::new(1, 2);
+        // {a, b} has a group of size 2 → rejected by r=1.
+        let ab: OpSet = [OpId(0), OpId(1)].into_iter().collect();
+        assert!(!limits.admits(&g, ab));
+        // {b, c} are two singleton groups → admitted.
+        let bc: OpSet = [OpId(1), OpId(2)].into_iter().collect();
+        assert!(limits.admits(&g, bc));
+        assert_eq!(PruningLimits::paper_default().max_group_size, 3);
+        assert_eq!(PruningLimits::paper_default().max_groups, 8);
+    }
+
+    #[test]
+    fn endings_of_helper_applies_pruning() {
+        let g = fig5();
+        let pruned = endings_of(&g, g.all_ops(), PruningLimits::new(1, 8));
+        // Endings with the a-b pair grouped together are removed.
+        assert!(pruned.iter().all(|s| g.groups_of(*s).iter().all(|grp| grp.len() <= 1)));
+        let unpruned = endings_of(&g, g.all_ops(), PruningLimits::unpruned());
+        assert_eq!(unpruned.len(), 5);
+    }
+
+    #[test]
+    fn is_ending_rejects_non_subsets_and_empty() {
+        let g = fig5();
+        let e = EndingEnumerator::new(&g);
+        let state: OpSet = [OpId(1), OpId(2)].into_iter().collect();
+        assert!(!e.is_ending(state, OpSet::empty()));
+        assert!(!e.is_ending(state, OpSet::singleton(OpId(0))));
+    }
+
+    /// Builds a random layered DAG for property testing.
+    fn random_layered_graph(layer_sizes: &[usize], edge_bits: u64) -> Graph {
+        let mut b = GraphBuilder::new("rand", TensorShape::new(1, 8, 8, 8));
+        let input = b.input(0);
+        let mut prev: Vec<crate::graph::Value> = vec![input];
+        let mut bit = 0;
+        for (li, &n) in layer_sizes.iter().enumerate() {
+            let mut layer = Vec::new();
+            for i in 0..n {
+                // Each node takes one or two predecessors from the previous layer.
+                let p0 = prev[(edge_bits >> (bit % 60)) as usize % prev.len()];
+                bit += 3;
+                let v = b.conv2d(
+                    format!("l{li}_{i}"),
+                    p0,
+                    Conv2dParams::relu(8, (1, 1), (1, 1), (0, 0)),
+                );
+                layer.push(v);
+            }
+            prev = layer;
+        }
+        b.build(prev)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Every enumerated ending satisfies the closure property, and the
+        /// count matches the enumeration length.
+        #[test]
+        fn prop_endings_are_valid(bits in any::<u64>(),
+                                  l1 in 1usize..4, l2 in 1usize..4, l3 in 1usize..3) {
+            let g = random_layered_graph(&[l1, l2, l3], bits);
+            let e = EndingEnumerator::new(&g);
+            let all = g.all_ops();
+            let endings = e.endings(all, usize::MAX);
+            for s in &endings {
+                prop_assert!(e.is_ending(all, *s));
+            }
+            prop_assert_eq!(endings.len() as u64, e.count_endings(all, usize::MAX));
+            // Endings are unique.
+            let mut sorted = endings.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), endings.len());
+            // The full set is always an ending.
+            prop_assert!(endings.contains(&all));
+        }
+
+        /// Removing an ending from a state yields a state whose complement is
+        /// still an ending of the full set (Lemma 1/2 of the paper).
+        #[test]
+        fn prop_ending_composition(bits in any::<u64>(), l1 in 1usize..4, l2 in 1usize..4) {
+            let g = random_layered_graph(&[l1, l2], bits);
+            let e = EndingEnumerator::new(&g);
+            let all = g.all_ops();
+            for s1 in e.endings(all, usize::MAX) {
+                let rest = all.difference(s1);
+                if rest.is_empty() { continue; }
+                for s2 in e.endings(rest, usize::MAX) {
+                    // S1 ∪ S2 must also be an ending of V (Lemma 1).
+                    prop_assert!(e.is_ending(all, s1.union(s2)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for IR construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating a computation graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// Two tensors that must agree on a dimension do not.
+    ShapeMismatch {
+        /// Human readable description of the operation being checked.
+        context: String,
+        /// The offending shapes rendered as strings.
+        details: String,
+    },
+    /// An operator referenced an input value that does not exist in the graph.
+    UnknownValue {
+        /// The operator name.
+        op: String,
+    },
+    /// The graph contains a cycle and therefore is not a DAG.
+    CyclicGraph {
+        /// Name of the graph.
+        graph: String,
+    },
+    /// The graph has more operators than the scheduler state can represent.
+    TooManyOperators {
+        /// Number of operators in the graph.
+        count: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// A parameter had an invalid value (e.g. zero-sized kernel).
+    InvalidParameter {
+        /// Description of the invalid parameter.
+        message: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::ShapeMismatch { context, details } => {
+                write!(f, "shape mismatch in {context}: {details}")
+            }
+            IrError::UnknownValue { op } => {
+                write!(f, "operator `{op}` references an unknown input value")
+            }
+            IrError::CyclicGraph { graph } => {
+                write!(f, "graph `{graph}` contains a cycle")
+            }
+            IrError::TooManyOperators { count, max } => {
+                write!(f, "graph has {count} operators, more than the supported maximum of {max}")
+            }
+            IrError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = IrError::ShapeMismatch {
+            context: "concat".to_string(),
+            details: "28x28 vs 14x14".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("concat"));
+        assert!(s.contains("28x28"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(IrError::CyclicGraph { graph: "g".into() });
+        assert!(e.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn too_many_operators_message() {
+        let e = IrError::TooManyOperators { count: 200, max: 128 };
+        assert!(e.to_string().contains("200"));
+        assert!(e.to_string().contains("128"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Graphviz (DOT) export for computation graphs.
+//!
+//! Used by the Figure 10 reproduction to render the schedules IOS finds for
+//! the last Inception V3 block at different batch sizes, and generally useful
+//! when inspecting model definitions.
+
+use crate::graph::{Graph, Value};
+use crate::op::OpKind;
+use crate::opset::OpSet;
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// Operators are labelled with their name, kind and output shape. External
+/// inputs are drawn as plain ellipses.
+#[must_use]
+pub fn graph_to_dot(graph: &Graph) -> String {
+    graph_to_dot_with_stages(graph, &[])
+}
+
+/// Renders the graph in DOT format with operators clustered by stage.
+///
+/// `stages` is an ordered list of operator sets; each becomes a
+/// `subgraph cluster_i` so that the stage structure of a schedule is visible,
+/// mirroring the dotted stage separators of Figure 2 and Figure 10.
+#[must_use]
+pub fn graph_to_dot_with_stages(graph: &Graph, stages: &[OpSet]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(graph.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
+
+    for (i, shape) in graph.input_shapes().iter().enumerate() {
+        let _ = writeln!(out, "  input{i} [shape=ellipse, label=\"input {i}\\n{shape}\"];");
+    }
+
+    let in_stage = |idx: usize| stages.iter().position(|s| s.contains(crate::OpId(idx)));
+
+    // Nodes, grouped into clusters when a stage assignment is given.
+    if stages.is_empty() {
+        for op in graph.ops() {
+            let _ = writeln!(out, "  {};", node_decl(graph, op.id.index()));
+        }
+    } else {
+        for (si, stage) in stages.iter().enumerate() {
+            let _ = writeln!(out, "  subgraph cluster_{si} {{");
+            let _ = writeln!(out, "    label=\"stage {}\";", si + 1);
+            let _ = writeln!(out, "    style=dashed;");
+            for op in stage.iter() {
+                let _ = writeln!(out, "    {};", node_decl(graph, op.index()));
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        // Operators not covered by any stage still need declarations.
+        for op in graph.ops() {
+            if in_stage(op.id.index()).is_none() {
+                let _ = writeln!(out, "  {};", node_decl(graph, op.id.index()));
+            }
+        }
+    }
+
+    // Edges.
+    for op in graph.ops() {
+        for value in &op.inputs {
+            match value {
+                Value::Input(i) => {
+                    let _ = writeln!(out, "  input{i} -> n{};", op.id.index());
+                }
+                Value::Op(p) => {
+                    let _ = writeln!(out, "  n{} -> n{};", p.index(), op.id.index());
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn node_decl(graph: &Graph, idx: usize) -> String {
+    let op = &graph.ops()[idx];
+    let extra = match &op.kind {
+        OpKind::Conv2d(p) | OpKind::SepConv2d(p) => {
+            format!("\\n{}x{} k{}x{}", p.out_channels, graph.op_input_shapes(op.id)[0].channels, p.kernel.0, p.kernel.1)
+        }
+        _ => String::new(),
+    };
+    format!(
+        "n{} [label=\"{}\\n{}{}\\n{}\"]",
+        idx,
+        sanitize(&op.name),
+        op.kind.type_name(),
+        extra,
+        op.output_shape
+    )
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('"', "'").replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::op::{Conv2dParams, OpId};
+    use crate::tensor::TensorShape;
+
+    fn small_graph() -> Graph {
+        let mut b = GraphBuilder::new("dot_test", TensorShape::new(1, 16, 8, 8));
+        let input = b.input(0);
+        let a = b.conv2d("a", input, Conv2dParams::relu(16, (3, 3), (1, 1), (1, 1)));
+        let c = b.conv2d("c", input, Conv2dParams::relu(16, (1, 1), (1, 1), (0, 0)));
+        let cat = b.concat("cat", &[a, c]);
+        b.build(vec![cat])
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = small_graph();
+        let dot = graph_to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0"));
+        assert!(dot.contains("n1"));
+        assert!(dot.contains("n2"));
+        assert!(dot.contains("input0 -> n0"));
+        assert!(dot.contains("n0 -> n2"));
+        assert!(dot.contains("Concat"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_with_stages_emits_clusters() {
+        let g = small_graph();
+        let stage1: OpSet = [OpId(0), OpId(1)].into_iter().collect();
+        let stage2: OpSet = [OpId(2)].into_iter().collect();
+        let dot = graph_to_dot_with_stages(&g, &[stage1, stage2]);
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("stage 1"));
+        assert!(dot.contains("stage 2"));
+    }
+
+    #[test]
+    fn sanitize_escapes_quotes() {
+        assert_eq!(sanitize("a\"b\\c"), "a'b/c");
+    }
+}

@@ -1,0 +1,246 @@
+//! Networks as sequences of blocks.
+//!
+//! Modern CNNs are built by stacking blocks (Inception blocks, NasNet cells,
+//! Fire modules, RandWire stages). Section 4.2 of the paper exploits this:
+//! IOS optimizes each block independently and concatenates the per-block
+//! schedules, which keeps the dynamic-programming state space tractable
+//! (`n` and `d` refer to the largest block, not the whole network).
+
+use crate::graph::Graph;
+use crate::tensor::TensorShape;
+use serde::{Deserialize, Serialize};
+
+/// A block: one independently scheduled sub-graph of a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// The block's computation graph. Its external inputs are the outputs of
+    /// the previous block (or the network input for the first block).
+    pub graph: Graph,
+}
+
+impl Block {
+    /// Wraps a graph as a block.
+    #[must_use]
+    pub fn new(graph: Graph) -> Self {
+        Block { graph }
+    }
+
+    /// Number of operators in the block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True if the block is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+}
+
+/// A CNN expressed as a sequence of blocks executed one after another.
+///
+/// The outputs of block `i` feed the external inputs of block `i + 1`; the
+/// network's overall latency under any schedule is the sum of the per-block
+/// latencies, because blocks are sequentially dependent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    /// Name of the network (e.g. `"inception_v3"`).
+    pub name: String,
+    /// Shape of the network input (batch size included).
+    pub input_shape: TensorShape,
+    /// The blocks in execution order.
+    pub blocks: Vec<Block>,
+}
+
+impl Network {
+    /// Creates a network from its blocks.
+    #[must_use]
+    pub fn new(name: impl Into<String>, input_shape: TensorShape, blocks: Vec<Block>) -> Self {
+        Network { name: name.into(), input_shape, blocks }
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of operators across all blocks.
+    #[must_use]
+    pub fn num_operators(&self) -> usize {
+        self.blocks.iter().map(Block::len).sum()
+    }
+
+    /// Number of *compute units* (convolutions, separable convolutions and
+    /// matrix multiplications) across all blocks — the quantity reported in
+    /// Table 2 of the paper.
+    #[must_use]
+    pub fn num_compute_units(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.graph.ops().iter().filter(|op| op.kind.is_compute_unit()).count())
+            .sum()
+    }
+
+    /// Total floating point operations of one forward pass.
+    #[must_use]
+    pub fn total_flops(&self) -> u64 {
+        self.blocks.iter().map(|b| b.graph.total_flops()).sum()
+    }
+
+    /// Total number of trainable parameters.
+    #[must_use]
+    pub fn total_parameters(&self) -> usize {
+        self.blocks.iter().map(|b| b.graph.total_parameters()).sum()
+    }
+
+    /// Average floating point operations per convolution in MFLOPs — the
+    /// metric plotted in Figure 1 of the paper.
+    #[must_use]
+    pub fn avg_mflops_per_conv(&self) -> f64 {
+        let mut conv_flops = 0u64;
+        let mut conv_count = 0usize;
+        for block in &self.blocks {
+            for op in block.graph.ops() {
+                if op.kind.is_compute_unit() {
+                    conv_flops += block.graph.op_flops(op.id);
+                    conv_count += 1;
+                }
+            }
+        }
+        if conv_count == 0 {
+            0.0
+        } else {
+            conv_flops as f64 / conv_count as f64 / 1e6
+        }
+    }
+
+    /// The index and operator count of the largest block (used by Table 1).
+    #[must_use]
+    pub fn largest_block(&self) -> Option<(usize, usize)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, b.len()))
+            .max_by_key(|&(_, len)| len)
+    }
+
+    /// Returns a copy of the network with every block's tensors re-shaped for
+    /// a different batch size.
+    ///
+    /// Blocks are rebuilt by re-running shape inference, so the operator
+    /// structure (ids, names, dependencies) is preserved exactly.
+    #[must_use]
+    pub fn with_batch_size(&self, batch: usize) -> Network {
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| Block::new(rebuild_with_batch(&b.graph, batch)))
+            .collect();
+        Network {
+            name: self.name.clone(),
+            input_shape: self.input_shape.with_batch(batch),
+            blocks,
+        }
+    }
+
+    /// Validates every block.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first block validation error.
+    pub fn validate(&self) -> Result<(), crate::IrError> {
+        for block in &self.blocks {
+            block.graph.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Rebuilds a graph with its external input batch dimension changed,
+/// re-running shape inference for every operator.
+fn rebuild_with_batch(graph: &Graph, batch: usize) -> Graph {
+    use crate::graph::GraphBuilder;
+    let inputs: Vec<TensorShape> =
+        graph.input_shapes().iter().map(|s| s.with_batch(batch)).collect();
+    let mut builder = GraphBuilder::with_inputs(graph.name(), inputs);
+    for op in graph.ops() {
+        let produced = builder.add(op.name.clone(), op.kind.clone(), &op.inputs);
+        debug_assert_eq!(produced.as_op(), Some(op.id));
+    }
+    builder.build(graph.outputs().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::op::Conv2dParams;
+
+    fn simple_block(name: &str, input: TensorShape, branches: usize) -> Block {
+        let mut b = GraphBuilder::new(name, input);
+        let x = b.input(0);
+        let mut outs = Vec::new();
+        for i in 0..branches {
+            let v = b.conv2d(format!("{name}_conv{i}"), x, Conv2dParams::relu(32, (3, 3), (1, 1), (1, 1)));
+            outs.push(v);
+        }
+        let cat = b.concat(format!("{name}_cat"), &outs);
+        Block::new(b.build(vec![cat]))
+    }
+
+    fn two_block_network() -> Network {
+        let input = TensorShape::new(1, 64, 28, 28);
+        let b1 = simple_block("b1", input, 3);
+        let b1_out = b1.graph.output_shapes()[0];
+        let b2 = simple_block("b2", b1_out, 2);
+        Network::new("tiny_net", input, vec![b1, b2])
+    }
+
+    #[test]
+    fn operator_and_block_counts() {
+        let net = two_block_network();
+        assert_eq!(net.num_blocks(), 2);
+        assert_eq!(net.num_operators(), 4 + 3);
+        assert_eq!(net.num_compute_units(), 5);
+        assert_eq!(net.largest_block(), Some((0, 4)));
+    }
+
+    #[test]
+    fn flops_and_params_positive() {
+        let net = two_block_network();
+        assert!(net.total_flops() > 0);
+        assert!(net.total_parameters() > 0);
+        assert!(net.avg_mflops_per_conv() > 0.0);
+        assert!(net.validate().is_ok());
+    }
+
+    #[test]
+    fn with_batch_size_rescales_every_block() {
+        let net = two_block_network();
+        let net32 = net.with_batch_size(32);
+        assert_eq!(net32.input_shape.batch, 32);
+        for block in &net32.blocks {
+            for shape in block.graph.input_shapes() {
+                assert_eq!(shape.batch, 32);
+            }
+            for op in block.graph.ops() {
+                assert_eq!(op.output_shape.batch, 32);
+            }
+        }
+        // FLOPs scale linearly with batch size.
+        assert_eq!(net32.total_flops(), 32 * net.total_flops());
+        // Structure is preserved.
+        assert_eq!(net32.num_operators(), net.num_operators());
+        assert_eq!(net32.blocks[0].graph.op(crate::OpId(0)).name, net.blocks[0].graph.op(crate::OpId(0)).name);
+    }
+
+    #[test]
+    fn empty_network_statistics() {
+        let net = Network::new("empty", TensorShape::new(1, 3, 4, 4), vec![]);
+        assert_eq!(net.num_operators(), 0);
+        assert_eq!(net.largest_block(), None);
+        assert_eq!(net.avg_mflops_per_conv(), 0.0);
+    }
+}

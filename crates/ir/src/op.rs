@@ -1,0 +1,544 @@
+//! Operators of a CNN computation graph.
+//!
+//! The operator set is the one used by the paper's benchmark networks:
+//! convolution (optionally with a fused ReLU, the "Conv-Relu" scheduling
+//! unit), separable convolution (the "Relu-SepConv" unit of RandWire and
+//! NasNet), pooling, matrix multiplication, concatenation, element-wise
+//! addition, ReLU and identity.
+//!
+//! Each operator knows how to infer its output shape and how to account for
+//! its floating point work and memory traffic, which is all the analytical
+//! GPU simulator needs.
+
+use crate::error::IrError;
+use crate::tensor::{DType, TensorShape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an operator inside a [`crate::Graph`].
+///
+/// Operator ids are dense indices assigned in insertion order, which lets the
+/// scheduler use them directly as bit positions in an [`crate::OpSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpId(pub usize);
+
+impl OpId {
+    /// Index of this operator inside its graph.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Activation fused into an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Activation {
+    /// No fused activation.
+    #[default]
+    None,
+    /// Rectified linear unit.
+    Relu,
+}
+
+impl Activation {
+    /// True if an activation is fused.
+    #[must_use]
+    pub fn is_some(self) -> bool {
+        self != Activation::None
+    }
+}
+
+/// Hyper-parameters of a (possibly grouped) 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dParams {
+    /// Number of output channels.
+    pub out_channels: usize,
+    /// Kernel spatial size (height, width).
+    pub kernel: (usize, usize),
+    /// Stride (height, width).
+    pub stride: (usize, usize),
+    /// Zero padding (height, width).
+    pub padding: (usize, usize),
+    /// Number of groups (1 = dense convolution, `in_channels` = depthwise).
+    pub groups: usize,
+    /// Activation fused after the convolution ("Conv-Relu" unit).
+    pub activation: Activation,
+}
+
+impl Conv2dParams {
+    /// Convolution without a fused activation.
+    #[must_use]
+    pub fn plain(
+        out_channels: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+    ) -> Self {
+        Conv2dParams {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            groups: 1,
+            activation: Activation::None,
+        }
+    }
+
+    /// Convolution with a fused ReLU — the paper's "Conv-Relu" schedule unit.
+    #[must_use]
+    pub fn relu(
+        out_channels: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+    ) -> Self {
+        Conv2dParams { activation: Activation::Relu, ..Conv2dParams::plain(out_channels, kernel, stride, padding) }
+    }
+
+    /// "Same" padding for odd kernel sizes (output spatial size equals input
+    /// at stride one).
+    #[must_use]
+    pub fn same_padding(kernel: (usize, usize)) -> (usize, usize) {
+        (kernel.0 / 2, kernel.1 / 2)
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidParameter`] if any dimension is zero.
+    pub fn validate(&self) -> Result<(), IrError> {
+        if self.out_channels == 0
+            || self.kernel.0 == 0
+            || self.kernel.1 == 0
+            || self.stride.0 == 0
+            || self.stride.1 == 0
+            || self.groups == 0
+        {
+            return Err(IrError::InvalidParameter {
+                message: format!("conv2d parameters contain a zero dimension: {self:?}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Kind of pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Maximum pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+    /// Global average pooling (pools the whole spatial extent).
+    GlobalAvg,
+}
+
+/// Hyper-parameters of a pooling operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolParams {
+    /// Kind of pooling.
+    pub kind: PoolKind,
+    /// Pooling window (ignored for [`PoolKind::GlobalAvg`]).
+    pub kernel: (usize, usize),
+    /// Stride.
+    pub stride: (usize, usize),
+    /// Zero padding.
+    pub padding: (usize, usize),
+}
+
+impl PoolParams {
+    /// Max pooling with the given window and stride.
+    #[must_use]
+    pub fn max(kernel: (usize, usize), stride: (usize, usize), padding: (usize, usize)) -> Self {
+        PoolParams { kind: PoolKind::Max, kernel, stride, padding }
+    }
+
+    /// Average pooling with the given window and stride.
+    #[must_use]
+    pub fn avg(kernel: (usize, usize), stride: (usize, usize), padding: (usize, usize)) -> Self {
+        PoolParams { kind: PoolKind::Avg, kernel, stride, padding }
+    }
+
+    /// Global average pooling.
+    #[must_use]
+    pub fn global_avg() -> Self {
+        PoolParams { kind: PoolKind::GlobalAvg, kernel: (1, 1), stride: (1, 1), padding: (0, 0) }
+    }
+}
+
+/// Hyper-parameters of a matrix multiplication (fully connected layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatMulParams {
+    /// Number of output features.
+    pub out_features: usize,
+    /// Activation fused after the matrix multiplication.
+    pub activation: Activation,
+}
+
+/// The kind of an operator together with its hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Dense or grouped 2-D convolution (optionally with fused ReLU).
+    Conv2d(Conv2dParams),
+    /// Depthwise-separable convolution: a depthwise k×k convolution followed
+    /// by a pointwise 1×1 convolution, preceded by a ReLU — the
+    /// "Relu-SepConv" schedule unit used by RandWire and NasNet.
+    SepConv2d(Conv2dParams),
+    /// Pooling.
+    Pool(PoolParams),
+    /// Matrix multiplication / fully connected layer.
+    MatMul(MatMulParams),
+    /// Channel-wise concatenation of all inputs.
+    Concat,
+    /// Element-wise addition of all inputs (shapes must match).
+    Add,
+    /// Rectified linear unit as a standalone operator.
+    Relu,
+    /// Identity / no-op (used to model tensor views and residual taps).
+    Identity,
+}
+
+impl OpKind {
+    /// Short human-readable name of the operator kind, used in schedules and
+    /// Graphviz dumps.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            OpKind::Conv2d(_) => "Conv2d",
+            OpKind::SepConv2d(_) => "SepConv2d",
+            OpKind::Pool(_) => "Pool",
+            OpKind::MatMul(_) => "MatMul",
+            OpKind::Concat => "Concat",
+            OpKind::Add => "Add",
+            OpKind::Relu => "Relu",
+            OpKind::Identity => "Identity",
+        }
+    }
+
+    /// True if this operator performs substantial floating point work and is
+    /// therefore a *schedule unit* in the sense of Section 5 of the paper
+    /// (convolutions, separable convolutions and matrix multiplications).
+    ///
+    /// Lightweight "glue" operators (concat, add, relu, identity, pooling)
+    /// are still part of the graph and of stages, but the paper's operator
+    /// counts in Table 2 refer to the heavy units.
+    #[must_use]
+    pub fn is_compute_unit(&self) -> bool {
+        matches!(self, OpKind::Conv2d(_) | OpKind::SepConv2d(_) | OpKind::MatMul(_))
+    }
+}
+
+/// An operator instance inside a graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Op {
+    /// Dense identifier of the operator inside its graph.
+    pub id: OpId,
+    /// Human readable name (unique within the graph by construction).
+    pub name: String,
+    /// Operator kind and hyper-parameters.
+    pub kind: OpKind,
+    /// Input values (graph inputs or outputs of other operators).
+    pub inputs: Vec<crate::graph::Value>,
+    /// Inferred output shape.
+    pub output_shape: TensorShape,
+}
+
+impl Op {
+    /// Number of trainable parameters (weights + biases) of the operator.
+    #[must_use]
+    pub fn num_parameters(&self, input_shapes: &[TensorShape]) -> usize {
+        match &self.kind {
+            OpKind::Conv2d(p) => {
+                let in_c = input_shapes[0].channels;
+                p.out_channels * (in_c / p.groups) * p.kernel.0 * p.kernel.1 + p.out_channels
+            }
+            OpKind::SepConv2d(p) => {
+                let in_c = input_shapes[0].channels;
+                // depthwise kxk + pointwise 1x1
+                in_c * p.kernel.0 * p.kernel.1 + p.out_channels * in_c + p.out_channels
+            }
+            OpKind::MatMul(p) => {
+                let in_f = input_shapes[0].elements_per_item();
+                in_f * p.out_features + p.out_features
+            }
+            _ => 0,
+        }
+    }
+
+    /// Floating point operations performed by this operator (multiply and add
+    /// counted separately, matching the paper's FLOP convention).
+    #[must_use]
+    pub fn flops(&self, input_shapes: &[TensorShape]) -> u64 {
+        let out = &self.output_shape;
+        let out_elems = out.num_elements() as u64;
+        match &self.kind {
+            OpKind::Conv2d(p) => {
+                let in_c = input_shapes[0].channels as u64;
+                let per_output = 2 * (in_c / p.groups as u64) * (p.kernel.0 * p.kernel.1) as u64;
+                let act = if p.activation.is_some() { out_elems } else { 0 };
+                out_elems * per_output + act
+            }
+            OpKind::SepConv2d(p) => {
+                let in_c = input_shapes[0].channels as u64;
+                let spatial = (out.batch * out.height * out.width) as u64;
+                let depthwise = 2 * spatial * in_c * (p.kernel.0 * p.kernel.1) as u64;
+                let pointwise = 2 * spatial * in_c * p.out_channels as u64;
+                let pre_relu = input_shapes[0].num_elements() as u64;
+                depthwise + pointwise + pre_relu
+            }
+            OpKind::Pool(p) => match p.kind {
+                PoolKind::GlobalAvg => input_shapes[0].num_elements() as u64,
+                _ => out_elems * (p.kernel.0 * p.kernel.1) as u64,
+            },
+            OpKind::MatMul(p) => {
+                let in_f = input_shapes[0].elements_per_item() as u64;
+                let batch = input_shapes[0].batch as u64;
+                2 * batch * in_f * p.out_features as u64
+                    + if p.activation.is_some() { out_elems } else { 0 }
+            }
+            OpKind::Concat | OpKind::Identity => 0,
+            OpKind::Add => out_elems * (input_shapes.len().saturating_sub(1)) as u64,
+            OpKind::Relu => out_elems,
+        }
+    }
+
+    /// Bytes of memory traffic: activations read, weights read and outputs
+    /// written. This drives the memory-bound side of the roofline cost model
+    /// and the operator-merge benefit analysis of Figure 10 (merging removes
+    /// a duplicated read of the shared input).
+    #[must_use]
+    pub fn memory_bytes(&self, input_shapes: &[TensorShape], dtype: DType) -> u64 {
+        let reads: u64 = input_shapes.iter().map(|s| s.size_bytes(dtype) as u64).sum();
+        let weights = self.num_parameters(input_shapes) as u64 * dtype.size_bytes() as u64;
+        let writes = self.output_shape.size_bytes(dtype) as u64;
+        reads + weights + writes
+    }
+
+    /// Infers the output shape of an operator from its input shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::ShapeMismatch`] when the inputs are incompatible and
+    /// [`IrError::InvalidParameter`] when the hyper-parameters are malformed.
+    pub fn infer_output_shape(
+        name: &str,
+        kind: &OpKind,
+        input_shapes: &[TensorShape],
+    ) -> Result<TensorShape, IrError> {
+        let require_inputs = |n: usize| -> Result<(), IrError> {
+            if input_shapes.len() < n {
+                return Err(IrError::ShapeMismatch {
+                    context: name.to_string(),
+                    details: format!("expected at least {n} inputs, got {}", input_shapes.len()),
+                });
+            }
+            Ok(())
+        };
+        match kind {
+            OpKind::Conv2d(p) | OpKind::SepConv2d(p) => {
+                require_inputs(1)?;
+                p.validate()?;
+                let input = input_shapes[0];
+                if input.channels % p.groups != 0 {
+                    return Err(IrError::InvalidParameter {
+                        message: format!(
+                            "operator `{name}`: input channels {} not divisible by groups {}",
+                            input.channels, p.groups
+                        ),
+                    });
+                }
+                let (h, w) = input.conv_output_hw(p.kernel, p.stride, p.padding);
+                Ok(TensorShape::new(input.batch, p.out_channels, h, w))
+            }
+            OpKind::Pool(p) => {
+                require_inputs(1)?;
+                let input = input_shapes[0];
+                match p.kind {
+                    PoolKind::GlobalAvg => Ok(TensorShape::new(input.batch, input.channels, 1, 1)),
+                    _ => {
+                        let (h, w) = input.conv_output_hw(p.kernel, p.stride, p.padding);
+                        Ok(TensorShape::new(input.batch, input.channels, h, w))
+                    }
+                }
+            }
+            OpKind::MatMul(p) => {
+                require_inputs(1)?;
+                let input = input_shapes[0];
+                Ok(TensorShape::vector(input.batch, p.out_features))
+            }
+            OpKind::Concat => {
+                require_inputs(1)?;
+                let first = input_shapes[0];
+                let mut channels = 0;
+                for s in input_shapes {
+                    if !s.same_spatial(&first) {
+                        return Err(IrError::ShapeMismatch {
+                            context: format!("concat `{name}`"),
+                            details: format!("{s} vs {first}"),
+                        });
+                    }
+                    channels += s.channels;
+                }
+                Ok(TensorShape::new(first.batch, channels, first.height, first.width))
+            }
+            OpKind::Add => {
+                require_inputs(1)?;
+                let first = input_shapes[0];
+                for s in input_shapes {
+                    if s != &first {
+                        return Err(IrError::ShapeMismatch {
+                            context: format!("add `{name}`"),
+                            details: format!("{s} vs {first}"),
+                        });
+                    }
+                }
+                Ok(first)
+            }
+            OpKind::Relu | OpKind::Identity => {
+                require_inputs(1)?;
+                Ok(input_shapes[0])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Value;
+
+    fn make_op(kind: OpKind, inputs: &[TensorShape]) -> Op {
+        let shape = Op::infer_output_shape("t", &kind, inputs).unwrap();
+        Op {
+            id: OpId(0),
+            name: "t".to_string(),
+            kind,
+            inputs: vec![Value::Input(0); inputs.len()],
+            output_shape: shape,
+        }
+    }
+
+    #[test]
+    fn conv_shape_and_flops() {
+        let input = TensorShape::new(1, 384, 8, 8);
+        let op = make_op(OpKind::Conv2d(Conv2dParams::relu(384, (3, 3), (1, 1), (1, 1))), &[input]);
+        assert_eq!(op.output_shape, TensorShape::new(1, 384, 8, 8));
+        // 2 * 8*8*384 * 384*3*3 = ~169.8 MFLOPs + relu
+        let flops = op.flops(&[input]);
+        assert!(flops > 169_000_000 && flops < 171_000_000, "flops = {flops}");
+    }
+
+    #[test]
+    fn conv_flops_match_figure2_magnitudes() {
+        // Figure 2: Conv 3x3x384 on a 1920-channel... the figure reports
+        // 0.6 GFLOPs for the 384-channel branch and 1.2 GFLOPs for the
+        // 768-channel branch on the same input; the ratio must be exactly 2.
+        let input = TensorShape::new(1, 384, 15, 15);
+        let a = make_op(OpKind::Conv2d(Conv2dParams::relu(384, (3, 3), (1, 1), (1, 1))), &[input]);
+        let b = make_op(OpKind::Conv2d(Conv2dParams::relu(768, (3, 3), (1, 1), (1, 1))), &[input]);
+        let fa = a.flops(&[input]) as f64;
+        let fb = b.flops(&[input]) as f64;
+        assert!((fb / fa - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn grouped_conv_divides_flops() {
+        let input = TensorShape::new(1, 64, 28, 28);
+        let dense = make_op(OpKind::Conv2d(Conv2dParams::plain(64, (3, 3), (1, 1), (1, 1))), &[input]);
+        let mut grouped_params = Conv2dParams::plain(64, (3, 3), (1, 1), (1, 1));
+        grouped_params.groups = 4;
+        let grouped = make_op(OpKind::Conv2d(grouped_params), &[input]);
+        assert_eq!(dense.flops(&[input]) / grouped.flops(&[input]), 4);
+    }
+
+    #[test]
+    fn sepconv_cheaper_than_dense() {
+        let input = TensorShape::new(1, 128, 28, 28);
+        let dense = make_op(OpKind::Conv2d(Conv2dParams::plain(128, (3, 3), (1, 1), (1, 1))), &[input]);
+        let sep = make_op(OpKind::SepConv2d(Conv2dParams::plain(128, (3, 3), (1, 1), (1, 1))), &[input]);
+        assert!(sep.flops(&[input]) < dense.flops(&[input]) / 4);
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let a = TensorShape::new(1, 64, 28, 28);
+        let b = TensorShape::new(1, 96, 28, 28);
+        let op = make_op(OpKind::Concat, &[a, b]);
+        assert_eq!(op.output_shape.channels, 160);
+        assert_eq!(op.flops(&[a, b]), 0);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_spatial() {
+        let a = TensorShape::new(1, 64, 28, 28);
+        let b = TensorShape::new(1, 96, 14, 14);
+        let err = Op::infer_output_shape("c", &OpKind::Concat, &[a, b]).unwrap_err();
+        assert!(matches!(err, IrError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn add_requires_identical_shapes() {
+        let a = TensorShape::new(1, 64, 28, 28);
+        let b = TensorShape::new(1, 64, 28, 28);
+        assert!(Op::infer_output_shape("a", &OpKind::Add, &[a, b]).is_ok());
+        let c = TensorShape::new(1, 65, 28, 28);
+        assert!(Op::infer_output_shape("a", &OpKind::Add, &[a, c]).is_err());
+    }
+
+    #[test]
+    fn global_avg_pool_collapses_spatial() {
+        let input = TensorShape::new(4, 2048, 8, 8);
+        let op = make_op(OpKind::Pool(PoolParams::global_avg()), &[input]);
+        assert_eq!(op.output_shape, TensorShape::new(4, 2048, 1, 1));
+    }
+
+    #[test]
+    fn matmul_shape_and_params() {
+        let input = TensorShape::vector(8, 2048);
+        let op = make_op(OpKind::MatMul(MatMulParams { out_features: 1000, activation: Activation::None }), &[input]);
+        assert_eq!(op.output_shape, TensorShape::vector(8, 1000));
+        assert_eq!(op.num_parameters(&[input]), 2048 * 1000 + 1000);
+        assert_eq!(op.flops(&[input]), 2 * 8 * 2048 * 1000);
+    }
+
+    #[test]
+    fn memory_bytes_counts_reads_weights_writes() {
+        let input = TensorShape::new(1, 64, 8, 8);
+        let op = make_op(OpKind::Conv2d(Conv2dParams::plain(32, (1, 1), (1, 1), (0, 0))), &[input]);
+        let expect_reads = input.size_bytes(DType::F32) as u64;
+        let expect_weights = (32 * 64 + 32) as u64 * 4;
+        let expect_writes = op.output_shape.size_bytes(DType::F32) as u64;
+        assert_eq!(op.memory_bytes(&[input], DType::F32), expect_reads + expect_weights + expect_writes);
+    }
+
+    #[test]
+    fn zero_parameter_conv_is_rejected() {
+        let p = Conv2dParams::plain(0, (3, 3), (1, 1), (1, 1));
+        assert!(p.validate().is_err());
+        let p = Conv2dParams { stride: (0, 1), ..Conv2dParams::plain(8, (3, 3), (1, 1), (1, 1)) };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn groups_must_divide_channels() {
+        let input = TensorShape::new(1, 30, 8, 8);
+        let mut p = Conv2dParams::plain(30, (3, 3), (1, 1), (1, 1));
+        p.groups = 4;
+        assert!(Op::infer_output_shape("g", &OpKind::Conv2d(p), &[input]).is_err());
+    }
+
+    #[test]
+    fn type_names_and_compute_units() {
+        assert_eq!(OpKind::Concat.type_name(), "Concat");
+        assert!(OpKind::Conv2d(Conv2dParams::plain(8, (1, 1), (1, 1), (0, 0))).is_compute_unit());
+        assert!(!OpKind::Relu.is_compute_unit());
+        assert!(!OpKind::Pool(PoolParams::global_avg()).is_compute_unit());
+    }
+}

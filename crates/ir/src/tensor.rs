@@ -1,0 +1,209 @@
+//! Tensor shapes and data types.
+//!
+//! The IOS reproduction only needs 4-dimensional NCHW activation tensors and
+//! FP32 weights, so the shape type is deliberately concrete rather than a
+//! generic rank-N shape.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element data type of a tensor.
+///
+/// The paper evaluates single-precision inference exclusively; `F16` is kept
+/// so the cost model can express half-precision what-if experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DType {
+    /// 32-bit IEEE-754 floating point (the default used throughout the paper).
+    #[default]
+    F32,
+    /// 16-bit IEEE-754 floating point.
+    F16,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    #[must_use]
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F16 => 2,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::F32 => write!(f, "f32"),
+            DType::F16 => write!(f, "f16"),
+        }
+    }
+}
+
+/// Shape of an activation tensor in NCHW layout.
+///
+/// `batch` is the inference batch size (`N`), `channels` the number of
+/// feature maps (`C`) and `height`/`width` the spatial extent (`H`/`W`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Batch dimension (N).
+    pub batch: usize,
+    /// Channel dimension (C).
+    pub channels: usize,
+    /// Spatial height (H).
+    pub height: usize,
+    /// Spatial width (W).
+    pub width: usize,
+}
+
+impl TensorShape {
+    /// Creates a new NCHW shape.
+    #[must_use]
+    pub fn new(batch: usize, channels: usize, height: usize, width: usize) -> Self {
+        TensorShape { batch, channels, height, width }
+    }
+
+    /// A 1x1 spatial shape, useful for fully-connected layers expressed as
+    /// matrix multiplications.
+    #[must_use]
+    pub fn vector(batch: usize, features: usize) -> Self {
+        TensorShape::new(batch, features, 1, 1)
+    }
+
+    /// Number of elements in the tensor.
+    #[must_use]
+    pub fn num_elements(&self) -> usize {
+        self.batch * self.channels * self.height * self.width
+    }
+
+    /// Number of elements per batch item.
+    #[must_use]
+    pub fn elements_per_item(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Size in bytes when stored with data type `dtype`.
+    #[must_use]
+    pub fn size_bytes(&self, dtype: DType) -> usize {
+        self.num_elements() * dtype.size_bytes()
+    }
+
+    /// Returns a copy of this shape with a different batch size.
+    ///
+    /// Used by the specialization experiments (Table 3) that re-evaluate the
+    /// same network at batch sizes 1, 32 and 128.
+    #[must_use]
+    pub fn with_batch(&self, batch: usize) -> Self {
+        TensorShape { batch, ..*self }
+    }
+
+    /// Returns a copy of this shape with a different channel count.
+    #[must_use]
+    pub fn with_channels(&self, channels: usize) -> Self {
+        TensorShape { channels, ..*self }
+    }
+
+    /// Spatial extent after a convolution/pooling window is applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel (after padding) does not fit inside the input,
+    /// which indicates a malformed model definition.
+    #[must_use]
+    pub fn conv_output_hw(
+        &self,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+    ) -> (usize, usize) {
+        let h_in = self.height + 2 * padding.0;
+        let w_in = self.width + 2 * padding.1;
+        assert!(
+            h_in >= kernel.0 && w_in >= kernel.1,
+            "kernel {kernel:?} does not fit input {self} with padding {padding:?}"
+        );
+        let h = (h_in - kernel.0) / stride.0 + 1;
+        let w = (w_in - kernel.1) / stride.1 + 1;
+        (h, w)
+    }
+
+    /// True if two shapes agree on every dimension except channels.
+    ///
+    /// This is the compatibility requirement for channel-wise concatenation.
+    #[must_use]
+    pub fn same_spatial(&self, other: &TensorShape) -> bool {
+        self.batch == other.batch && self.height == other.height && self.width == other.width
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.batch, self.channels, self.height, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_count_and_bytes() {
+        let s = TensorShape::new(2, 3, 4, 5);
+        assert_eq!(s.num_elements(), 120);
+        assert_eq!(s.elements_per_item(), 60);
+        assert_eq!(s.size_bytes(DType::F32), 480);
+        assert_eq!(s.size_bytes(DType::F16), 240);
+    }
+
+    #[test]
+    fn conv_output_same_padding() {
+        let s = TensorShape::new(1, 64, 28, 28);
+        assert_eq!(s.conv_output_hw((3, 3), (1, 1), (1, 1)), (28, 28));
+        assert_eq!(s.conv_output_hw((1, 1), (1, 1), (0, 0)), (28, 28));
+    }
+
+    #[test]
+    fn conv_output_stride_two() {
+        let s = TensorShape::new(1, 64, 28, 28);
+        assert_eq!(s.conv_output_hw((3, 3), (2, 2), (1, 1)), (14, 14));
+        let odd = TensorShape::new(1, 64, 29, 29);
+        assert_eq!(odd.conv_output_hw((3, 3), (2, 2), (0, 0)), (14, 14));
+    }
+
+    #[test]
+    fn asymmetric_kernels() {
+        // The Inception V3 tail uses 1x3 and 3x1 convolutions (Figure 10).
+        let s = TensorShape::new(1, 384, 8, 8);
+        assert_eq!(s.conv_output_hw((1, 3), (1, 1), (0, 1)), (8, 8));
+        assert_eq!(s.conv_output_hw((3, 1), (1, 1), (1, 0)), (8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn kernel_too_large_panics() {
+        let _ = TensorShape::new(1, 3, 2, 2).conv_output_hw((5, 5), (1, 1), (0, 0));
+    }
+
+    #[test]
+    fn with_batch_keeps_other_dims() {
+        let s = TensorShape::new(1, 192, 17, 17).with_batch(32);
+        assert_eq!(s.batch, 32);
+        assert_eq!(s.channels, 192);
+        assert_eq!(s.height, 17);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TensorShape::new(1, 3, 299, 299).to_string(), "1x3x299x299");
+        assert_eq!(DType::F32.to_string(), "f32");
+    }
+
+    #[test]
+    fn same_spatial_checks() {
+        let a = TensorShape::new(1, 64, 28, 28);
+        let b = TensorShape::new(1, 96, 28, 28);
+        let c = TensorShape::new(1, 64, 14, 14);
+        assert!(a.same_spatial(&b));
+        assert!(!a.same_spatial(&c));
+    }
+}

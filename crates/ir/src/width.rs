@@ -1,0 +1,290 @@
+//! DAG width and chain decomposition.
+//!
+//! The paper's complexity bound (Section 4.2) is expressed in terms of the
+//! *width* `d` of the computation graph: the size of the largest antichain,
+//! i.e. the largest set of operators such that no path connects any two of
+//! them. By Dilworth's theorem this equals the size of the smallest chain
+//! decomposition, which we compute as a minimum path cover of the transitive
+//! closure via maximum bipartite matching.
+
+use crate::graph::Graph;
+use crate::op::OpId;
+use crate::opset::OpSet;
+
+/// Computes the width `d` of the graph's operator DAG.
+///
+/// The width of the empty graph is zero.
+#[must_use]
+pub fn dag_width(graph: &Graph) -> usize {
+    if graph.is_empty() {
+        return 0;
+    }
+    let n = graph.len();
+    let reach = graph.reachability();
+    let matching = maximum_bipartite_matching(n, &reach);
+    n - matching
+}
+
+/// Decomposes the operators into `dag_width(graph)` chains (paths in the
+/// transitive closure), per Dilworth's theorem / Corollary 1 of the paper.
+///
+/// Each returned chain is ordered topologically, and every operator appears
+/// in exactly one chain.
+#[must_use]
+pub fn chain_decomposition(graph: &Graph) -> Vec<Vec<OpId>> {
+    let n = graph.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let reach = graph.reachability();
+    let match_to = bipartite_matching_assignment(n, &reach);
+    // `match_to[u] = Some(v)` means the chain continues from u to v.
+    // Find chain heads: nodes that are not matched as a right endpoint.
+    let mut is_tail = vec![false; n];
+    for u in 0..n {
+        if let Some(v) = match_to[u] {
+            is_tail[v] = true;
+        }
+    }
+    let mut chains = Vec::new();
+    for head in 0..n {
+        if is_tail[head] {
+            continue;
+        }
+        let mut chain = vec![OpId(head)];
+        let mut cur = head;
+        while let Some(next) = match_to[cur] {
+            chain.push(OpId(next));
+            cur = next;
+        }
+        chains.push(chain);
+    }
+    chains
+}
+
+/// Size of the maximum matching in the bipartite graph where left node `u`
+/// connects to right node `v` iff `v` is reachable from `u`.
+fn maximum_bipartite_matching(n: usize, reach: &[OpSet]) -> usize {
+    bipartite_matching_assignment(n, reach).iter().filter(|m| m.is_some()).count()
+}
+
+/// Returns, for each left node, the right node it is matched to (if any),
+/// using the classic Hungarian augmenting-path algorithm. Graphs here have at
+/// most 128 nodes, so the O(V·E) bound is more than fast enough.
+fn bipartite_matching_assignment(n: usize, reach: &[OpSet]) -> Vec<Option<usize>> {
+    let mut match_left: Vec<Option<usize>> = vec![None; n]; // left -> right
+    let mut match_right: Vec<Option<usize>> = vec![None; n]; // right -> left
+
+    fn try_augment(
+        u: usize,
+        reach: &[OpSet],
+        visited: &mut [bool],
+        match_left: &mut [Option<usize>],
+        match_right: &mut [Option<usize>],
+    ) -> bool {
+        for v in reach[u].iter().map(OpId::index) {
+            if visited[v] {
+                continue;
+            }
+            visited[v] = true;
+            let free = match match_right[v] {
+                None => true,
+                Some(w) => try_augment(w, reach, visited, match_left, match_right),
+            };
+            if free {
+                match_left[u] = Some(v);
+                match_right[v] = Some(u);
+                return true;
+            }
+        }
+        false
+    }
+
+    for u in 0..n {
+        let mut visited = vec![false; n];
+        try_augment(u, reach, &mut visited, &mut match_left, &mut match_right);
+    }
+    match_left
+}
+
+/// Upper bound on the number of `(S, S′)` transitions of the IOS dynamic
+/// program, `∏ᵢ C(cᵢ + 2, 2)` over the chain sizes `cᵢ` (Theorem in
+/// Section 4.2 / Appendix A). The relaxed form `((n/d) + 1)^(2d)` is also
+/// available via [`relaxed_transition_bound`].
+#[must_use]
+pub fn transition_upper_bound(graph: &Graph) -> f64 {
+    chain_decomposition(graph)
+        .iter()
+        .map(|chain| {
+            let c = chain.len() as f64;
+            (c + 2.0) * (c + 1.0) / 2.0
+        })
+        .product()
+}
+
+/// The relaxed transition bound `((n/d) + 1)^(2d)` from the theorem statement.
+#[must_use]
+pub fn relaxed_transition_bound(graph: &Graph) -> f64 {
+    let n = graph.len() as f64;
+    let d = dag_width(graph) as f64;
+    if d == 0.0 {
+        return 1.0;
+    }
+    (n / d + 1.0).powf(2.0 * d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::op::Conv2dParams;
+    use crate::tensor::TensorShape;
+    use proptest::prelude::*;
+
+    fn conv() -> Conv2dParams {
+        Conv2dParams::relu(8, (1, 1), (1, 1), (0, 0))
+    }
+
+    /// A pure chain has width 1.
+    #[test]
+    fn chain_has_width_one() {
+        let mut b = GraphBuilder::new("chain", TensorShape::new(1, 8, 8, 8));
+        let mut v = b.input(0);
+        for i in 0..6 {
+            v = b.conv2d(format!("c{i}"), v, conv());
+        }
+        let g = b.build(vec![v]);
+        assert_eq!(dag_width(&g), 1);
+        let chains = chain_decomposition(&g);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].len(), 6);
+    }
+
+    /// `k` independent branches have width `k`.
+    #[test]
+    fn independent_branches_width_equals_branch_count() {
+        let mut b = GraphBuilder::new("branches", TensorShape::new(1, 8, 8, 8));
+        let input = b.input(0);
+        let mut outs = Vec::new();
+        for i in 0..5 {
+            let v = b.conv2d(format!("c{i}"), input, conv());
+            outs.push(v);
+        }
+        let g = b.build(outs);
+        assert_eq!(dag_width(&g), 5);
+        assert_eq!(chain_decomposition(&g).len(), 5);
+    }
+
+    /// The worst-case family of Figure 13: `d` chains of `c` operators each.
+    #[test]
+    fn figure13_chains_by_length() {
+        let (c, d) = (4, 3);
+        let mut b = GraphBuilder::new("fig13", TensorShape::new(1, 8, 8, 8));
+        let input = b.input(0);
+        let mut outs = Vec::new();
+        for chain in 0..d {
+            let mut v = input;
+            for i in 0..c {
+                v = b.conv2d(format!("p{chain}_{i}"), v, conv());
+            }
+            outs.push(v);
+        }
+        let g = b.build(outs);
+        assert_eq!(dag_width(&g), d);
+        let chains = chain_decomposition(&g);
+        assert_eq!(chains.len(), d);
+        assert!(chains.iter().all(|ch| ch.len() == c));
+        // Bound: C(c+2, 2)^d = 15^3.
+        let bound = transition_upper_bound(&g);
+        assert!((bound - 15f64.powi(3)).abs() < 1e-6);
+    }
+
+    /// A diamond (a → b,c → d) has width 2.
+    #[test]
+    fn diamond_width_two() {
+        let mut b = GraphBuilder::new("diamond", TensorShape::new(1, 8, 8, 8));
+        let input = b.input(0);
+        let a = b.conv2d("a", input, conv());
+        let x = b.conv2d("x", a, conv());
+        let y = b.conv2d("y", a, conv());
+        let d = b.concat("d", &[x, y]);
+        let g = b.build(vec![d]);
+        assert_eq!(dag_width(&g), 2);
+    }
+
+    #[test]
+    fn chain_decomposition_covers_all_ops_once() {
+        let mut b = GraphBuilder::new("mixed", TensorShape::new(1, 8, 8, 8));
+        let input = b.input(0);
+        let a = b.conv2d("a", input, conv());
+        let x = b.conv2d("x", a, conv());
+        let y = b.conv2d("y", a, conv());
+        let z = b.conv2d("z", input, conv());
+        let d = b.concat("d", &[x, y, z]);
+        let g = b.build(vec![d]);
+        let chains = chain_decomposition(&g);
+        let mut seen = OpSet::empty();
+        for chain in &chains {
+            for op in chain {
+                assert!(!seen.contains(*op), "operator {op} appears in two chains");
+                seen.insert(*op);
+            }
+        }
+        assert_eq!(seen.len(), g.len());
+        assert_eq!(chains.len(), dag_width(&g));
+        // Every chain must indeed be a chain: consecutive ops connected by a path.
+        let reach = g.reachability();
+        for chain in &chains {
+            for w in chain.windows(2) {
+                assert!(reach[w[0].index()].contains(w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_bound_dominates_tight_bound() {
+        let mut b = GraphBuilder::new("g", TensorShape::new(1, 8, 8, 8));
+        let input = b.input(0);
+        let a = b.conv2d("a", input, conv());
+        let x = b.conv2d("x", a, conv());
+        let y = b.conv2d("y", a, conv());
+        let d = b.concat("d", &[x, y]);
+        let g = b.build(vec![d]);
+        assert!(relaxed_transition_bound(&g) >= transition_upper_bound(&g) * 0.999);
+    }
+
+    #[test]
+    fn empty_graph_width_zero() {
+        let b = GraphBuilder::new("empty", TensorShape::new(1, 8, 8, 8));
+        let g = b.build(vec![]);
+        assert_eq!(dag_width(&g), 0);
+        assert!(chain_decomposition(&g).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Width is between 1 and n, and the chain decomposition always has
+        /// exactly `width` chains covering every operator.
+        #[test]
+        fn prop_width_consistent(seed in any::<u64>(), n in 2usize..12) {
+            let mut b = GraphBuilder::new("rand", TensorShape::new(1, 8, 8, 8));
+            let input = b.input(0);
+            let mut values = vec![input];
+            let mut rng = seed;
+            for i in 0..n {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let pred = values[(rng >> 33) as usize % values.len()];
+                let v = b.conv2d(format!("c{i}"), pred, conv());
+                values.push(v);
+            }
+            let g = b.build(vec![*values.last().unwrap()]);
+            let w = dag_width(&g);
+            prop_assert!(w >= 1 && w <= n);
+            let chains = chain_decomposition(&g);
+            prop_assert_eq!(chains.len(), w);
+            let covered: usize = chains.iter().map(Vec::len).sum();
+            prop_assert_eq!(covered, n);
+        }
+    }
+}

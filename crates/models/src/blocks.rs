@@ -1,0 +1,100 @@
+//! Hand-built graphs used in the paper's illustrations and analysis.
+
+use crate::common::conv_relu;
+use ios_ir::{Block, Conv2dParams, GraphBuilder, Network, TensorShape};
+
+/// The four-convolution block of Figure 2: convolutions `a` (3×3×384),
+/// `b` (3×3×768), `c` (3×3×384) and `d` (3×3×768) all reading the same
+/// 384-channel input, followed by a channel concatenation. The per-branch
+/// work (0.6 / 1.2 / 0.6 / 1.2 GFLOPs) matches the figure's annotations.
+#[must_use]
+pub fn figure2_block(batch: usize) -> Network {
+    let input = TensorShape::new(batch, 384, 15, 15);
+    let mut b = GraphBuilder::new("figure2_block", input);
+    let x = b.input(0);
+    let a = conv_relu(&mut b, "conv_a", x, 384, (3, 3), (1, 1));
+    let bb = conv_relu(&mut b, "conv_b", x, 768, (3, 3), (1, 1));
+    let c = conv_relu(&mut b, "conv_c", x, 384, (3, 3), (1, 1));
+    let d = conv_relu(&mut b, "conv_d", x, 768, (3, 3), (1, 1));
+    let cat = b.concat("concat", &[a, bb, c, d]);
+    let graph = b.build(vec![cat]);
+    Network::new("figure2", input, vec![Block::new(graph)])
+}
+
+/// The three-operator example of Figure 5: `a → b`, with `c` independent of
+/// both.
+#[must_use]
+pub fn figure5_graph(batch: usize) -> ios_ir::Graph {
+    let input = TensorShape::new(batch, 64, 28, 28);
+    let mut b = GraphBuilder::new("figure5", input);
+    let x = b.input(0);
+    let a = b.conv2d("a", x, Conv2dParams::relu(96, (3, 3), (1, 1), (1, 1)));
+    let bb = b.conv2d("b", a, Conv2dParams::relu(96, (3, 3), (1, 1), (1, 1)));
+    let c = b.conv2d("c", x, Conv2dParams::relu(64, (1, 1), (1, 1), (0, 0)));
+    b.build(vec![bb, c])
+}
+
+/// The worst-case complexity family of Figure 13: `d` independent chains of
+/// `c` convolutions each. The number of dynamic-programming transitions for
+/// this graph reaches the upper bound `C(c+2, 2)^d`.
+#[must_use]
+pub fn worst_case_chains(chains: usize, chain_len: usize, batch: usize) -> Network {
+    assert!(chains >= 1 && chain_len >= 1, "need at least one chain of one operator");
+    let input = TensorShape::new(batch, 32, 16, 16);
+    let mut b = GraphBuilder::new(format!("chains_{chains}x{chain_len}"), input);
+    let x = b.input(0);
+    let mut outs = Vec::new();
+    for ci in 0..chains {
+        let mut v = x;
+        for oi in 0..chain_len {
+            v = conv_relu(&mut b, format!("chain{ci}_op{oi}"), v, 32, (3, 3), (1, 1));
+        }
+        outs.push(v);
+    }
+    let graph = b.build(outs);
+    Network::new(format!("worst_case_{chains}x{chain_len}"), input, vec![Block::new(graph)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_ir::dag_width;
+
+    #[test]
+    fn figure2_block_structure() {
+        let net = figure2_block(1);
+        assert_eq!(net.num_blocks(), 1);
+        let g = &net.blocks[0].graph;
+        // Four convolutions and a concat.
+        assert_eq!(g.len(), 5);
+        assert_eq!(net.num_compute_units(), 4);
+        // Concat output combines all four branches.
+        assert_eq!(g.output_shapes()[0].channels, 384 + 768 + 384 + 768);
+        // All four convolutions are mutually independent.
+        assert_eq!(dag_width(g), 4);
+        // Total conv work is 0.6 + 1.2 + 0.6 + 1.2 ≈ 3.6 GFLOPs.
+        let gflops = net.total_flops() as f64 / 1e9;
+        assert!((gflops - 3.6).abs() < 0.2, "total = {gflops} GFLOPs");
+    }
+
+    #[test]
+    fn figure5_graph_structure() {
+        let g = figure5_graph(1);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.successors(ios_ir::OpId(0)), vec![ios_ir::OpId(1)]);
+        assert!(g.successors(ios_ir::OpId(2)).is_empty());
+    }
+
+    #[test]
+    fn worst_case_width_equals_chain_count() {
+        let net = worst_case_chains(4, 3, 1);
+        assert_eq!(net.num_operators(), 12);
+        assert_eq!(dag_width(&net.blocks[0].graph), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chain")]
+    fn worst_case_rejects_zero_chains() {
+        let _ = worst_case_chains(0, 3, 1);
+    }
+}

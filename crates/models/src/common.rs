@@ -1,0 +1,82 @@
+//! Shared helpers for model definitions.
+
+use ios_ir::{Conv2dParams, GraphBuilder, PoolParams, TensorShape, Value};
+
+/// Adds a convolution with fused ReLU and "same" padding for odd kernels.
+pub fn conv_relu(
+    b: &mut GraphBuilder,
+    name: impl Into<String>,
+    input: Value,
+    out_channels: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+) -> Value {
+    let padding = Conv2dParams::same_padding(kernel);
+    b.conv2d(name, input, Conv2dParams::relu(out_channels, kernel, stride, padding))
+}
+
+/// Adds a convolution with fused ReLU and explicit padding.
+pub fn conv_relu_pad(
+    b: &mut GraphBuilder,
+    name: impl Into<String>,
+    input: Value,
+    out_channels: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> Value {
+    b.conv2d(name, input, Conv2dParams::relu(out_channels, kernel, stride, padding))
+}
+
+/// Adds a ReLU-SepConv unit (the RandWire / NasNet schedule unit) with
+/// "same" padding.
+pub fn sep_conv(
+    b: &mut GraphBuilder,
+    name: impl Into<String>,
+    input: Value,
+    out_channels: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+) -> Value {
+    let padding = Conv2dParams::same_padding(kernel);
+    b.sep_conv2d(name, input, Conv2dParams::relu(out_channels, kernel, stride, padding))
+}
+
+/// Adds a 3×3 stride-2 max pool (the classic grid-reduction pool).
+pub fn max_pool_3x3_s2(b: &mut GraphBuilder, name: impl Into<String>, input: Value) -> Value {
+    b.pool(name, input, PoolParams::max((3, 3), (2, 2), (1, 1)))
+}
+
+/// Adds a 3×3 stride-1 average pool with padding 1 (used inside Inception
+/// branches).
+pub fn avg_pool_3x3_s1(b: &mut GraphBuilder, name: impl Into<String>, input: Value) -> Value {
+    b.pool(name, input, PoolParams::avg((3, 3), (1, 1), (1, 1)))
+}
+
+/// The canonical ImageNet input shape at a given batch size and resolution.
+#[must_use]
+pub fn imagenet_input(batch: usize, resolution: usize) -> TensorShape {
+    TensorShape::new(batch, 3, resolution, resolution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_ir::GraphBuilder;
+
+    #[test]
+    fn helpers_produce_expected_shapes() {
+        let mut b = GraphBuilder::new("t", imagenet_input(2, 64));
+        let x = b.input(0);
+        let c = conv_relu(&mut b, "c", x, 32, (3, 3), (1, 1));
+        assert_eq!(b.shape_of(c), TensorShape::new(2, 32, 64, 64));
+        let s = sep_conv(&mut b, "s", c, 64, (5, 5), (1, 1));
+        assert_eq!(b.shape_of(s), TensorShape::new(2, 64, 64, 64));
+        let p = max_pool_3x3_s2(&mut b, "p", s);
+        assert_eq!(b.shape_of(p), TensorShape::new(2, 64, 32, 32));
+        let a = avg_pool_3x3_s1(&mut b, "a", p);
+        assert_eq!(b.shape_of(a), TensorShape::new(2, 64, 32, 32));
+        let g = b.build(vec![a]);
+        assert_eq!(g.len(), 4);
+    }
+}

@@ -1,0 +1,274 @@
+//! Inception V3 (Szegedy et al., 2016).
+//!
+//! The network is built as the 11 inception blocks the paper schedules
+//! (Table 2): three Inception-A blocks, a grid reduction, four Inception-B
+//! blocks, a second grid reduction and two Inception-C blocks. The stem
+//! convolutions are folded into the first block and the classifier (global
+//! average pooling + fully connected layer) into the last block, so the
+//! block count matches the paper's "11 blocks" exactly while every operator
+//! of the network is still scheduled.
+
+use crate::common::{avg_pool_3x3_s1, conv_relu, conv_relu_pad, imagenet_input};
+use ios_ir::{Block, GraphBuilder, Network, PoolParams, TensorShape, Value};
+
+/// Builds Inception V3 for the given batch size (299×299 RGB input).
+#[must_use]
+pub fn inception_v3(batch: usize) -> Network {
+    let input = imagenet_input(batch, 299);
+    let mut blocks = Vec::new();
+
+    // Block 1: stem + Inception-A (288 output channels at 35×35).
+    let mut shape = input;
+    let (block, out) = block_a(1, shape, true, 32);
+    blocks.push(block);
+    shape = out;
+
+    // Blocks 2-3: Inception-A.
+    for (i, pool_ch) in [(2usize, 64usize), (3, 64)] {
+        let (block, out) = block_a(i, shape, false, pool_ch);
+        blocks.push(block);
+        shape = out;
+    }
+
+    // Block 4: grid reduction A (35×35 → 17×17).
+    let (block, out) = reduction_a(4, shape);
+    blocks.push(block);
+    shape = out;
+
+    // Blocks 5-8: Inception-B with growing 7×7 branch widths.
+    for (i, ch7) in [(5usize, 128usize), (6, 160), (7, 160), (8, 192)] {
+        let (block, out) = block_b(i, shape, ch7);
+        blocks.push(block);
+        shape = out;
+    }
+
+    // Block 9: grid reduction B (17×17 → 8×8).
+    let (block, out) = reduction_b(9, shape);
+    blocks.push(block);
+    shape = out;
+
+    // Block 10: Inception-C.
+    let (block, out) = block_c(10, shape, false);
+    blocks.push(block);
+    shape = out;
+
+    // Block 11: Inception-C + classifier.
+    let (block, _) = block_c(11, shape, true);
+    blocks.push(block);
+
+    Network::new("inception_v3", input, blocks)
+}
+
+/// Inception-A block. When `with_stem` is true the standard Inception V3
+/// stem convolutions are prepended (this is the first block of the network).
+fn block_a(index: usize, input: TensorShape, with_stem: bool, pool_ch: usize) -> (Block, TensorShape) {
+    let name = format!("inception_a{index}");
+    let mut b = GraphBuilder::new(name.clone(), input);
+    let mut x = b.input(0);
+
+    if with_stem {
+        x = conv_relu_pad(&mut b, "stem_conv1", x, 32, (3, 3), (2, 2), (0, 0));
+        x = conv_relu_pad(&mut b, "stem_conv2", x, 32, (3, 3), (1, 1), (0, 0));
+        x = conv_relu(&mut b, "stem_conv3", x, 64, (3, 3), (1, 1));
+        x = b.pool("stem_pool1", x, PoolParams::max((3, 3), (2, 2), (0, 0)));
+        x = conv_relu(&mut b, "stem_conv4", x, 80, (1, 1), (1, 1));
+        x = conv_relu_pad(&mut b, "stem_conv5", x, 192, (3, 3), (1, 1), (0, 0));
+        x = b.pool("stem_pool2", x, PoolParams::max((3, 3), (2, 2), (0, 0)));
+    }
+
+    // Branch 1: 1×1.
+    let b1 = conv_relu(&mut b, format!("{name}_b1_1x1"), x, 64, (1, 1), (1, 1));
+    // Branch 2: 1×1 → 5×5.
+    let b2 = conv_relu(&mut b, format!("{name}_b2_1x1"), x, 48, (1, 1), (1, 1));
+    let b2 = conv_relu(&mut b, format!("{name}_b2_5x5"), b2, 64, (5, 5), (1, 1));
+    // Branch 3: 1×1 → 3×3 → 3×3.
+    let b3 = conv_relu(&mut b, format!("{name}_b3_1x1"), x, 64, (1, 1), (1, 1));
+    let b3 = conv_relu(&mut b, format!("{name}_b3_3x3a"), b3, 96, (3, 3), (1, 1));
+    let b3 = conv_relu(&mut b, format!("{name}_b3_3x3b"), b3, 96, (3, 3), (1, 1));
+    // Branch 4: avg pool → 1×1.
+    let b4 = avg_pool_3x3_s1(&mut b, format!("{name}_b4_pool"), x);
+    let b4 = conv_relu(&mut b, format!("{name}_b4_1x1"), b4, pool_ch, (1, 1), (1, 1));
+
+    let cat = b.concat(format!("{name}_concat"), &[b1, b2, b3, b4]);
+    let out_shape = b.shape_of(cat);
+    (Block::new(b.build(vec![cat])), out_shape)
+}
+
+/// Grid reduction A (35×35 → 17×17).
+fn reduction_a(index: usize, input: TensorShape) -> (Block, TensorShape) {
+    let name = format!("reduction_a{index}");
+    let mut b = GraphBuilder::new(name.clone(), input);
+    let x = b.input(0);
+    let b1 = conv_relu_pad(&mut b, format!("{name}_b1_3x3"), x, 384, (3, 3), (2, 2), (0, 0));
+    let b2 = conv_relu(&mut b, format!("{name}_b2_1x1"), x, 64, (1, 1), (1, 1));
+    let b2 = conv_relu(&mut b, format!("{name}_b2_3x3a"), b2, 96, (3, 3), (1, 1));
+    let b2 = conv_relu_pad(&mut b, format!("{name}_b2_3x3b"), b2, 96, (3, 3), (2, 2), (0, 0));
+    let b3 = b.pool(format!("{name}_pool"), x, PoolParams::max((3, 3), (2, 2), (0, 0)));
+    let cat = b.concat(format!("{name}_concat"), &[b1, b2, b3]);
+    let out_shape = b.shape_of(cat);
+    (Block::new(b.build(vec![cat])), out_shape)
+}
+
+/// Inception-B block (17×17 grid, 768 channels, factorized 7×7 branches).
+fn block_b(index: usize, input: TensorShape, ch7: usize) -> (Block, TensorShape) {
+    let name = format!("inception_b{index}");
+    let mut b = GraphBuilder::new(name.clone(), input);
+    let x = b.input(0);
+    // Branch 1: 1×1.
+    let b1 = conv_relu(&mut b, format!("{name}_b1_1x1"), x, 192, (1, 1), (1, 1));
+    // Branch 2: 1×1 → 1×7 → 7×1.
+    let b2 = conv_relu(&mut b, format!("{name}_b2_1x1"), x, ch7, (1, 1), (1, 1));
+    let b2 = conv_relu(&mut b, format!("{name}_b2_1x7"), b2, ch7, (1, 7), (1, 1));
+    let b2 = conv_relu(&mut b, format!("{name}_b2_7x1"), b2, 192, (7, 1), (1, 1));
+    // Branch 3: 1×1 → 7×1 → 1×7 → 7×1 → 1×7.
+    let b3 = conv_relu(&mut b, format!("{name}_b3_1x1"), x, ch7, (1, 1), (1, 1));
+    let b3 = conv_relu(&mut b, format!("{name}_b3_7x1a"), b3, ch7, (7, 1), (1, 1));
+    let b3 = conv_relu(&mut b, format!("{name}_b3_1x7a"), b3, ch7, (1, 7), (1, 1));
+    let b3 = conv_relu(&mut b, format!("{name}_b3_7x1b"), b3, ch7, (7, 1), (1, 1));
+    let b3 = conv_relu(&mut b, format!("{name}_b3_1x7b"), b3, 192, (1, 7), (1, 1));
+    // Branch 4: pool → 1×1.
+    let b4 = avg_pool_3x3_s1(&mut b, format!("{name}_b4_pool"), x);
+    let b4 = conv_relu(&mut b, format!("{name}_b4_1x1"), b4, 192, (1, 1), (1, 1));
+
+    let cat = b.concat(format!("{name}_concat"), &[b1, b2, b3, b4]);
+    let out_shape = b.shape_of(cat);
+    (Block::new(b.build(vec![cat])), out_shape)
+}
+
+/// Grid reduction B (17×17 → 8×8).
+fn reduction_b(index: usize, input: TensorShape) -> (Block, TensorShape) {
+    let name = format!("reduction_b{index}");
+    let mut b = GraphBuilder::new(name.clone(), input);
+    let x = b.input(0);
+    let b1 = conv_relu(&mut b, format!("{name}_b1_1x1"), x, 192, (1, 1), (1, 1));
+    let b1 = conv_relu_pad(&mut b, format!("{name}_b1_3x3"), b1, 320, (3, 3), (2, 2), (0, 0));
+    let b2 = conv_relu(&mut b, format!("{name}_b2_1x1"), x, 192, (1, 1), (1, 1));
+    let b2 = conv_relu(&mut b, format!("{name}_b2_1x7"), b2, 192, (1, 7), (1, 1));
+    let b2 = conv_relu(&mut b, format!("{name}_b2_7x1"), b2, 192, (7, 1), (1, 1));
+    let b2 = conv_relu_pad(&mut b, format!("{name}_b2_3x3"), b2, 192, (3, 3), (2, 2), (0, 0));
+    let b3 = b.pool(format!("{name}_pool"), x, PoolParams::max((3, 3), (2, 2), (0, 0)));
+    let cat = b.concat(format!("{name}_concat"), &[b1, b2, b3]);
+    let out_shape = b.shape_of(cat);
+    (Block::new(b.build(vec![cat])), out_shape)
+}
+
+/// Inception-C block (8×8 grid). This is the block drawn in Figure 10, with
+/// the two expanded 1×3 / 3×1 pairs. When `with_classifier` is true, global
+/// average pooling and the 1000-way fully connected layer are appended.
+fn block_c(index: usize, input: TensorShape, with_classifier: bool) -> (Block, TensorShape) {
+    let name = format!("inception_c{index}");
+    let mut b = GraphBuilder::new(name.clone(), input);
+    let x = b.input(0);
+    // Branch 1 (operator `a` of Figure 10): 1×1, 320 channels.
+    let b1 = conv_relu(&mut b, format!("{name}_b1_1x1"), x, 320, (1, 1), (1, 1));
+    // Branch 2 (`b` then `f`/`g`): 1×1 384 → {1×3, 3×1} in parallel.
+    let b2 = conv_relu(&mut b, format!("{name}_b2_1x1"), x, 384, (1, 1), (1, 1));
+    let b2a = conv_relu(&mut b, format!("{name}_b2_1x3"), b2, 384, (1, 3), (1, 1));
+    let b2b = conv_relu(&mut b, format!("{name}_b2_3x1"), b2, 384, (3, 1), (1, 1));
+    // Branch 3 (`c`, `e`, then `h`/`i`): 1×1 448 → 3×3 384 → {1×3, 3×1}.
+    let b3 = conv_relu(&mut b, format!("{name}_b3_1x1"), x, 448, (1, 1), (1, 1));
+    let b3 = conv_relu(&mut b, format!("{name}_b3_3x3"), b3, 384, (3, 3), (1, 1));
+    let b3a = conv_relu(&mut b, format!("{name}_b3_1x3"), b3, 384, (1, 3), (1, 1));
+    let b3b = conv_relu(&mut b, format!("{name}_b3_3x1"), b3, 384, (3, 1), (1, 1));
+    // Branch 4 (`P` then `d`): pool → 1×1 192.
+    let b4 = avg_pool_3x3_s1(&mut b, format!("{name}_b4_pool"), x);
+    let b4 = conv_relu(&mut b, format!("{name}_b4_1x1"), b4, 192, (1, 1), (1, 1));
+
+    let cat = b.concat(format!("{name}_concat"), &[b1, b2a, b2b, b3a, b3b, b4]);
+    let (out, out_shape): (Value, TensorShape) = if with_classifier {
+        let pool = b.pool(format!("{name}_global_pool"), cat, PoolParams::global_avg());
+        let fc = b.matmul(format!("{name}_fc"), pool, 1000);
+        let s = b.shape_of(fc);
+        (fc, s)
+    } else {
+        let s = b.shape_of(cat);
+        (cat, s)
+    };
+    (Block::new(b.build(vec![out])), out_shape)
+}
+
+/// The last Inception V3 block in isolation (the one Figure 10 visualizes),
+/// at the given batch size, without the classifier so that only the branch
+/// structure is scheduled.
+#[must_use]
+pub fn inception_v3_last_block(batch: usize) -> ios_ir::Graph {
+    let input = TensorShape::new(batch, 2048, 8, 8);
+    block_c(11, input, false).0.graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_ir::dag_width;
+
+    #[test]
+    fn eleven_blocks_as_in_table2() {
+        let net = inception_v3(1);
+        assert_eq!(net.num_blocks(), 11);
+        assert!(net.validate().is_ok());
+    }
+
+    #[test]
+    fn operator_count_in_table2_ballpark() {
+        // Table 2 reports 119 operators (Conv-Relu units plus the other
+        // scheduled operators). The reconstruction lands in the same range.
+        let net = inception_v3(1);
+        let n = net.num_operators();
+        assert!((95..=140).contains(&n), "operator count = {n}");
+        let convs = net.num_compute_units();
+        assert!((90..=100).contains(&convs), "compute units = {convs}");
+    }
+
+    #[test]
+    fn spatial_resolution_follows_the_architecture() {
+        let net = inception_v3(1);
+        // Block 3 (last Inception-A) outputs 35×35.
+        let a_out = net.blocks[2].graph.output_shapes()[0];
+        assert_eq!((a_out.height, a_out.width), (35, 35));
+        assert_eq!(a_out.channels, 288);
+        // Block 8 (last Inception-B) outputs 17×17×768.
+        let b_out = net.blocks[7].graph.output_shapes()[0];
+        assert_eq!((b_out.height, b_out.width, b_out.channels), (17, 17, 768));
+        // Block 10 (first Inception-C) outputs 8×8×2048.
+        let c_out = net.blocks[9].graph.output_shapes()[0];
+        assert_eq!((c_out.height, c_out.width, c_out.channels), (8, 8, 2048));
+        // The final block ends in the 1000-way classifier.
+        let out = net.blocks[10].graph.output_shapes()[0];
+        assert_eq!(out.channels, 1000);
+    }
+
+    #[test]
+    fn largest_block_matches_table1_shape() {
+        // Table 1: the largest Inception V3 block has n = 11 operators and
+        // width 6. Our reconstruction folds the stem into the first block,
+        // so the largest block is slightly bigger, but the width (the
+        // quantity that drives the DP complexity) stays in the same range.
+        let net = inception_v3(1);
+        let (idx, n) = net.largest_block().unwrap();
+        assert!((11..=16).contains(&n), "largest block has {n} ops");
+        let width = dag_width(&net.blocks[idx].graph);
+        assert!((4..=6).contains(&width), "width = {width}");
+    }
+
+    #[test]
+    fn total_flops_close_to_reference() {
+        // Inception V3 is ~5.7 GFLOPs (11.4 GMACs double-counted) per image.
+        let net = inception_v3(1);
+        let gflops = net.total_flops() as f64 / 1e9;
+        assert!((4.0..=13.0).contains(&gflops), "total = {gflops} GFLOPs");
+        // FLOPs scale with batch.
+        let net8 = inception_v3(8);
+        assert_eq!(net8.total_flops(), 8 * net.total_flops());
+    }
+
+    #[test]
+    fn last_block_has_figure10_structure() {
+        let g = inception_v3_last_block(1);
+        // 9 convolutions + pool + concat = 11 operators, matching Table 1's
+        // n = 11 for Inception V3.
+        assert_eq!(g.ops().iter().filter(|o| o.kind.is_compute_unit()).count(), 9);
+        assert_eq!(g.len(), 11);
+        let w = dag_width(&g);
+        assert!((4..=6).contains(&w), "width = {w}");
+    }
+}

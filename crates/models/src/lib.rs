@@ -1,0 +1,85 @@
+//! # ios-models — CNN model zoo for the IOS reproduction
+//!
+//! Builds the benchmark networks of the paper (Table 2) as [`ios_ir`]
+//! computation graphs, partitioned into the blocks that IOS schedules
+//! independently:
+//!
+//! | Network | Blocks | Main operator type |
+//! |---|---|---|
+//! | [`inception::inception_v3`] | 11 | Conv-Relu |
+//! | [`randwire::randwire_small`] | 3 | Relu-SepConv |
+//! | [`nasnet::nasnet_a`] | 13 | Relu-SepConv |
+//! | [`squeezenet::squeezenet`] | 10 | Conv-Relu |
+//!
+//! plus [`resnet`] (limited inter-operator parallelism, discussed in
+//! Section 5) and [`vgg`] (the 2013 representative of Figure 1), and the
+//! hand-built four-convolution block of Figure 2
+//! ([`blocks::figure2_block`]).
+//!
+//! # Example
+//!
+//! ```
+//! let net = ios_models::inception_v3(1);
+//! assert_eq!(net.num_blocks(), 11);
+//! assert!(net.num_compute_units() > 90);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod blocks;
+pub mod common;
+pub mod inception;
+pub mod nasnet;
+pub mod randwire;
+pub mod resnet;
+pub mod squeezenet;
+pub mod vgg;
+
+pub use blocks::{figure2_block, figure5_graph, worst_case_chains};
+pub use inception::inception_v3;
+pub use nasnet::nasnet_a;
+pub use randwire::{randwire_small, RandWireConfig};
+pub use resnet::{resnet34, resnet50};
+pub use squeezenet::squeezenet;
+pub use vgg::vgg16;
+
+use ios_ir::Network;
+
+/// The four benchmark networks of the paper's evaluation (Table 2), at the
+/// given batch size.
+#[must_use]
+pub fn paper_benchmarks(batch: usize) -> Vec<Network> {
+    vec![inception_v3(batch), randwire_small(batch), nasnet_a(batch), squeezenet(batch)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_suite_matches_table2_block_counts() {
+        let nets = paper_benchmarks(1);
+        let blocks: Vec<usize> = nets.iter().map(|n| n.num_blocks()).collect();
+        assert_eq!(blocks, vec![11, 3, 13, 10]);
+        for net in &nets {
+            assert!(net.validate().is_ok(), "{} failed validation", net.name);
+            assert!(net.num_operators() > 0);
+        }
+    }
+
+    #[test]
+    fn every_block_fits_the_scheduler_state() {
+        for net in paper_benchmarks(1) {
+            for block in &net.blocks {
+                assert!(
+                    block.len() <= ios_ir::opset::MAX_OPS,
+                    "block {} of {} has {} ops",
+                    block.graph.name(),
+                    net.name,
+                    block.len()
+                );
+            }
+        }
+    }
+}

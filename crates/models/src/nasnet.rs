@@ -1,0 +1,187 @@
+//! NasNet-A (Zoph et al., 2018).
+//!
+//! NasNet stacks *cells* discovered by neural architecture search. Each cell
+//! combines the outputs of the two previous cells through five pairwise
+//! combinations of Relu-SepConv, pooling and identity branches, and
+//! concatenates the results. Cells are exactly the "blocks" IOS schedules:
+//! wide (width ≈ 8, Table 1), made of many small separable convolutions, and
+//! therefore the network that benefits most from inter-operator parallelism.
+//!
+//! The reconstruction below builds one stem cell followed by twelve
+//! normal/reduction cells (13 blocks, as in Table 2).
+
+use crate::common::{imagenet_input, sep_conv};
+use ios_ir::{Block, GraphBuilder, Network, PoolParams, TensorShape, Value};
+
+/// Builds NasNet-A for the given batch size (224×224 RGB input).
+#[must_use]
+pub fn nasnet_a(batch: usize) -> Network {
+    nasnet_with(batch, 44, 12)
+}
+
+/// Builds a NasNet-A variant with an explicit initial filter count and cell
+/// count (the stem cell is added on top of `cells`).
+///
+/// # Panics
+///
+/// Panics if `cells` is zero.
+#[must_use]
+pub fn nasnet_with(batch: usize, filters: usize, cells: usize) -> Network {
+    assert!(cells > 0, "need at least one cell");
+    let input = imagenet_input(batch, 224);
+    let mut blocks = Vec::new();
+
+    // Stem block: two strided separable convolutions; outputs the pair
+    // (current, previous) consumed by the first cell.
+    let mut b = GraphBuilder::new("nasnet_stem", input);
+    let x = b.input(0);
+    let s1 = sep_conv(&mut b, "stem_sep1", x, filters, (3, 3), (2, 2));
+    let s2 = sep_conv(&mut b, "stem_sep2", s1, filters, (3, 3), (2, 2));
+    blocks.push(Block::new(b.build(vec![s2, s1])));
+    let mut cur_shape = TensorShape::new(batch, filters, 56, 56);
+    let mut prev_shape = TensorShape::new(batch, filters, 112, 112);
+
+    // Reduction cells at one third and two thirds of the stack.
+    let reduction_at = [cells / 3, (2 * cells) / 3];
+    let mut channels = filters;
+    for cell_idx in 0..cells {
+        let is_reduction = reduction_at.contains(&cell_idx);
+        if is_reduction {
+            channels *= 2;
+        }
+        let (block, out_shape) = nasnet_cell(cell_idx, cur_shape, prev_shape, channels, is_reduction);
+        blocks.push(block);
+        cur_shape = out_shape;
+        // The cell emits (current, previous-aligned); the next cell sees the
+        // new current output and the aligned previous output.
+        prev_shape = TensorShape::new(batch, channels, cur_shape.height, cur_shape.width);
+    }
+
+    Network::new("nasnet_a", input, blocks)
+}
+
+/// One NasNet-A cell.
+///
+/// The cell takes `(h, h_prev)` — the outputs of the two preceding cells —
+/// and produces `(out, h_aligned)` so the following cell again receives two
+/// inputs. `h_prev` is first aligned to `h`'s resolution and channel count
+/// with a 1×1 separable convolution.
+fn nasnet_cell(
+    index: usize,
+    cur: TensorShape,
+    prev: TensorShape,
+    channels: usize,
+    reduction: bool,
+) -> (Block, TensorShape) {
+    let kind = if reduction { "reduction" } else { "normal" };
+    let name = format!("nasnet_{kind}_cell{index}");
+    let mut b = GraphBuilder::with_inputs(name.clone(), vec![cur, prev]);
+    let h = b.input(0);
+    let h_prev = b.input(1);
+
+    let stride = if reduction { (2, 2) } else { (1, 1) };
+
+    // Squeeze both inputs to the cell's channel count.
+    let x = sep_conv(&mut b, format!("{name}_adjust_cur"), h, channels, (1, 1), stride);
+    let prev_stride = (
+        (prev.height / cur.height).max(1) * stride.0,
+        (prev.width / cur.width).max(1) * stride.1,
+    );
+    let y = sep_conv(&mut b, format!("{name}_adjust_prev"), h_prev, channels, (1, 1), prev_stride);
+
+    // Five combination nodes of the NasNet-A normal cell. Each node applies
+    // two branch operations and adds the results.
+    let mut combos: Vec<Value> = Vec::new();
+
+    // Node 1: sep3x3(x) + identity(y).
+    let n1a = sep_conv(&mut b, format!("{name}_n1_sep3x3"), x, channels, (3, 3), (1, 1));
+    let n1b = b.identity(format!("{name}_n1_id"), y);
+    combos.push(b.add_op(format!("{name}_n1_add"), &[n1a, n1b]));
+
+    // Node 2: sep3x3(y) + sep5x5(x).
+    let n2a = sep_conv(&mut b, format!("{name}_n2_sep3x3"), y, channels, (3, 3), (1, 1));
+    let n2b = sep_conv(&mut b, format!("{name}_n2_sep5x5"), x, channels, (5, 5), (1, 1));
+    combos.push(b.add_op(format!("{name}_n2_add"), &[n2a, n2b]));
+
+    // Node 3: avgpool3x3(x) + identity(y).
+    let n3a = b.pool(format!("{name}_n3_avg"), x, PoolParams::avg((3, 3), (1, 1), (1, 1)));
+    let n3b = b.identity(format!("{name}_n3_id"), y);
+    combos.push(b.add_op(format!("{name}_n3_add"), &[n3a, n3b]));
+
+    // Node 4: avgpool3x3(y) + avgpool3x3(y).
+    let n4a = b.pool(format!("{name}_n4_avg_a"), y, PoolParams::avg((3, 3), (1, 1), (1, 1)));
+    let n4b = b.pool(format!("{name}_n4_avg_b"), y, PoolParams::avg((3, 3), (1, 1), (1, 1)));
+    combos.push(b.add_op(format!("{name}_n4_add"), &[n4a, n4b]));
+
+    // Node 5: sep5x5(y) + sep3x3(y).
+    let n5a = sep_conv(&mut b, format!("{name}_n5_sep5x5"), y, channels, (5, 5), (1, 1));
+    let n5b = sep_conv(&mut b, format!("{name}_n5_sep3x3"), y, channels, (3, 3), (1, 1));
+    combos.push(b.add_op(format!("{name}_n5_add"), &[n5a, n5b]));
+
+    let out = b.concat(format!("{name}_concat"), &combos);
+    // Project the concatenation back to the cell width so shapes stay bounded.
+    let out = sep_conv(&mut b, format!("{name}_project"), out, channels, (1, 1), (1, 1));
+    let aligned_prev = b.identity(format!("{name}_prev_out"), x);
+    let out_shape = b.shape_of(out);
+    (Block::new(b.build(vec![out, aligned_prev])), out_shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_ir::dag_width;
+
+    #[test]
+    fn thirteen_blocks_as_in_table2() {
+        let net = nasnet_a(1);
+        assert_eq!(net.num_blocks(), 13);
+        assert!(net.validate().is_ok());
+    }
+
+    #[test]
+    fn cells_are_wide_blocks() {
+        // Table 1: the largest NasNet block has n = 18 operators and width 8.
+        let net = nasnet_a(1);
+        let (idx, n) = net.largest_block().unwrap();
+        assert!((15..=22).contains(&n), "largest block has {n} ops");
+        let w = dag_width(&net.blocks[idx].graph);
+        assert!((6..=12).contains(&w), "width = {w}");
+    }
+
+    #[test]
+    fn operator_count_scales_with_cells() {
+        let net = nasnet_a(1);
+        let n = net.num_operators();
+        // 12 cells × ~20 ops + stem.
+        assert!((200..=300).contains(&n), "operator count = {n}");
+        let small = nasnet_with(1, 44, 6);
+        assert!(small.num_operators() < n);
+    }
+
+    #[test]
+    fn reduction_cells_halve_resolution_and_double_channels() {
+        let net = nasnet_a(1);
+        let first_out = net.blocks[1].graph.output_shapes()[0];
+        let last_out = net.blocks[12].graph.output_shapes()[0];
+        assert!(last_out.height < first_out.height);
+        assert!(last_out.channels > first_out.channels);
+        // Two reduction cells → spatial resolution divided by 4 overall.
+        assert_eq!(first_out.height / last_out.height, 4);
+        assert_eq!(last_out.channels / first_out.channels, 4);
+    }
+
+    #[test]
+    fn cell_inputs_and_outputs_are_pairs() {
+        let net = nasnet_a(1);
+        for block in &net.blocks[1..] {
+            assert_eq!(block.graph.input_shapes().len(), 2, "{}", block.graph.name());
+            assert_eq!(block.graph.outputs().len(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_rejected() {
+        let _ = nasnet_with(1, 32, 0);
+    }
+}

@@ -1,0 +1,354 @@
+//! RandWire (Xie et al., 2019): randomly wired networks.
+//!
+//! Each stage is a random DAG generated with the Watts–Strogatz small-world
+//! model; every node is a Relu-SepConv unit, nodes with multiple inputs sum
+//! their inputs first, and the stage output aggregates all sink nodes. The
+//! paper benchmarks a RandWire network with 3 such stages and ~120
+//! operators whose largest block has 33 operators and width 8 (Tables 1-2).
+//!
+//! Generation is deterministic given the seed, so experiments are
+//! reproducible run to run.
+
+use crate::common::{imagenet_input, sep_conv};
+use ios_ir::{Block, GraphBuilder, Network, TensorShape, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the Watts–Strogatz random graph generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandWireConfig {
+    /// Number of nodes per stage.
+    pub nodes_per_stage: usize,
+    /// Number of stages (blocks).
+    pub stages: usize,
+    /// Each node is initially connected to `k` nearest neighbours on the ring
+    /// (must be even).
+    pub k: usize,
+    /// Rewiring probability.
+    pub p: f64,
+    /// Base channel count of the first stage (doubles per stage).
+    pub channels: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for RandWireConfig {
+    fn default() -> Self {
+        // A Watts-Strogatz regime sized so the largest block has roughly the
+        // 33 operators of the paper's RandWire benchmark (Table 1); the full
+        // WS(32, 4, 0.75) network is also expressible via `randwire`.
+        RandWireConfig { nodes_per_stage: 20, stages: 3, k: 4, p: 0.75, channels: 78, seed: 2021 }
+    }
+}
+
+/// Builds the default RandWire benchmark network at the given batch size.
+#[must_use]
+pub fn randwire_small(batch: usize) -> Network {
+    randwire(batch, RandWireConfig::default())
+}
+
+/// Builds a RandWire network with an explicit configuration.
+///
+/// # Panics
+///
+/// Panics if `k` is odd or larger than the number of nodes.
+#[must_use]
+pub fn randwire(batch: usize, config: RandWireConfig) -> Network {
+    assert!(config.k % 2 == 0, "Watts-Strogatz k must be even");
+    assert!(config.k < config.nodes_per_stage, "k must be smaller than the node count");
+    let input = imagenet_input(batch, 224);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut blocks = Vec::new();
+
+    // Stem: halve resolution twice and lift channels, so the random stages
+    // operate at 56×56 like the reference implementation.
+    let mut b = GraphBuilder::new("randwire_stem", input);
+    let x = b.input(0);
+    let c1 = sep_conv(&mut b, "stem_conv1", x, config.channels / 2, (3, 3), (2, 2));
+    let c2 = sep_conv(&mut b, "stem_conv2", c1, config.channels, (3, 3), (2, 2));
+    let stem_shape = b.shape_of(c2);
+    let stem = Block::new(b.build(vec![c2]));
+
+    let mut shape = stem_shape;
+    for stage in 0..config.stages {
+        let channels = config.channels * (1 << stage);
+        let stride = 2;
+        let (block, out_shape) =
+            random_stage(stage, shape, channels, stride, &config, &mut rng);
+        blocks.push(block);
+        shape = out_shape;
+    }
+
+    // Fold the stem into the first random stage? The paper counts 3 blocks
+    // for RandWire, so we prepend the stem to the first block by keeping it
+    // as part of the returned network only through the block list below.
+    let mut all_blocks = vec![stem];
+    all_blocks.extend(blocks);
+    // Merge stem into the first random stage to keep exactly 3 blocks.
+    let net = Network::new("randwire", input, all_blocks);
+    merge_first_two_blocks(net)
+}
+
+/// Generates one random stage as a block.
+fn random_stage(
+    stage: usize,
+    input: TensorShape,
+    channels: usize,
+    stride: usize,
+    config: &RandWireConfig,
+    rng: &mut StdRng,
+) -> (Block, TensorShape) {
+    let n = config.nodes_per_stage;
+    let edges = watts_strogatz_dag(n, config.k, config.p, rng);
+
+    let name = format!("randwire_stage{stage}");
+    let mut b = GraphBuilder::new(name.clone(), input);
+    let x = b.input(0);
+
+    // Node 0..n: each is (sum of inputs) → Relu-SepConv.
+    let mut node_values: Vec<Option<Value>> = vec![None; n];
+    for node in 0..n {
+        let preds: Vec<usize> = edges.iter().filter(|&&(_, v)| v == node).map(|&(u, _)| u).collect();
+        let node_stride = if preds.is_empty() && stride == 2 { (2, 2) } else { (1, 1) };
+        let input_value = if preds.is_empty() {
+            x
+        } else if preds.len() == 1 {
+            node_values[preds[0]].expect("predecessor already built")
+        } else {
+            let values: Vec<Value> =
+                preds.iter().map(|&p| node_values[p].expect("predecessor built")).collect();
+            b.add_op(format!("{name}_sum{node}"), &values)
+        };
+        let v = sep_conv(
+            &mut b,
+            format!("{name}_sepconv{node}"),
+            input_value,
+            channels,
+            (3, 3),
+            node_stride,
+        );
+        node_values[node] = Some(v);
+    }
+
+    // Output: average the sink nodes (nodes with no successors). Sinks at
+    // full resolution must be downsampled to match the strided entry nodes.
+    let has_succ: Vec<bool> =
+        (0..n).map(|u| edges.iter().any(|&(a, _)| a == u)).collect();
+    let mut sinks: Vec<Value> = Vec::new();
+    let mut sink_shape: Option<TensorShape> = None;
+    for node in 0..n {
+        if !has_succ[node] {
+            let v = node_values[node].expect("node built");
+            let s = b.shape_of(v);
+            match sink_shape {
+                None => {
+                    sink_shape = Some(s);
+                    sinks.push(v);
+                }
+                Some(expected) if s == expected => sinks.push(v),
+                Some(expected) => {
+                    // Resolution mismatch (the node consumed the stage input
+                    // directly): bring it to the common resolution.
+                    let fixed = sep_conv(
+                        &mut b,
+                        format!("{name}_align{node}"),
+                        v,
+                        channels,
+                        (3, 3),
+                        (expected_stride(s, expected), expected_stride(s, expected)),
+                    );
+                    sinks.push(fixed);
+                }
+            }
+        }
+    }
+    let out = if sinks.len() == 1 {
+        sinks[0]
+    } else {
+        b.add_op(format!("{name}_aggregate"), &sinks)
+    };
+    let out_shape = b.shape_of(out);
+    (Block::new(b.build(vec![out])), out_shape)
+}
+
+fn expected_stride(from: TensorShape, to: TensorShape) -> usize {
+    (from.height / to.height).max(1)
+}
+
+/// Generates a Watts–Strogatz small-world graph and orients every edge from
+/// the lower to the higher node index, producing a DAG.
+fn watts_strogatz_dag(n: usize, k: usize, p: f64, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Ring lattice: node i connects to its k/2 clockwise neighbours.
+    for i in 0..n {
+        for j in 1..=(k / 2) {
+            let target = (i + j) % n;
+            edges.push((i, target));
+        }
+    }
+    // Rewire each edge's endpoint with probability p.
+    let mut rewired = Vec::with_capacity(edges.len());
+    for (u, v) in edges {
+        if rng.gen_bool(p) {
+            let mut new_v = rng.gen_range(0..n);
+            let mut guard = 0;
+            while (new_v == u || rewired.contains(&(u, new_v)) || rewired.contains(&(new_v, u)))
+                && guard < 32
+            {
+                new_v = rng.gen_range(0..n);
+                guard += 1;
+            }
+            rewired.push((u, new_v));
+        } else {
+            rewired.push((u, v));
+        }
+    }
+    // Orient low → high to obtain a DAG and drop self loops / duplicates.
+    let mut dag: Vec<(usize, usize)> = rewired
+        .into_iter()
+        .filter(|&(u, v)| u != v)
+        .map(|(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    dag.sort_unstable();
+    dag.dedup();
+    dag
+}
+
+/// Merges the first two blocks of a network into one (used to attach the stem
+/// to the first random stage so the block count matches the paper).
+fn merge_first_two_blocks(net: Network) -> Network {
+    if net.blocks.len() < 2 {
+        return net;
+    }
+    let stem = &net.blocks[0].graph;
+    let first = &net.blocks[1].graph;
+    let mut b = GraphBuilder::with_inputs(first.name(), stem.input_shapes().to_vec());
+    // Replay the stem.
+    let mut stem_map: Vec<Value> = Vec::new();
+    for op in stem.ops() {
+        let inputs: Vec<Value> = op
+            .inputs
+            .iter()
+            .map(|v| match v {
+                Value::Input(i) => Value::Input(*i),
+                Value::Op(id) => stem_map[id.index()],
+            })
+            .collect();
+        stem_map.push(b.add(op.name.clone(), op.kind.clone(), &inputs));
+    }
+    let stem_outputs: Vec<Value> = stem
+        .outputs()
+        .iter()
+        .map(|v| match v {
+            Value::Input(i) => Value::Input(*i),
+            Value::Op(id) => stem_map[id.index()],
+        })
+        .collect();
+    // Replay the first stage on top of the stem outputs.
+    let mut first_map: Vec<Value> = Vec::new();
+    for op in first.ops() {
+        let inputs: Vec<Value> = op
+            .inputs
+            .iter()
+            .map(|v| match v {
+                Value::Input(i) => stem_outputs[*i],
+                Value::Op(id) => first_map[id.index()],
+            })
+            .collect();
+        first_map.push(b.add(op.name.clone(), op.kind.clone(), &inputs));
+    }
+    let outputs: Vec<Value> = first
+        .outputs()
+        .iter()
+        .map(|v| match v {
+            Value::Input(i) => stem_outputs[*i],
+            Value::Op(id) => first_map[id.index()],
+        })
+        .collect();
+    let merged = Block::new(b.build(outputs));
+    let mut blocks = vec![merged];
+    blocks.extend(net.blocks.into_iter().skip(2));
+    Network::new(net.name, net.input_shape, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_ir::dag_width;
+
+    #[test]
+    fn three_blocks_as_in_table2() {
+        let net = randwire_small(1);
+        assert_eq!(net.num_blocks(), 3);
+        assert!(net.validate().is_ok());
+    }
+
+    #[test]
+    fn operator_count_in_table2_ballpark() {
+        // Sized so that each random stage is close to the paper's largest
+        // RandWire block (33 operators, Table 1).
+        let net = randwire_small(1);
+        let sepconvs = net.num_compute_units();
+        assert!((56..=80).contains(&sepconvs), "sepconv count = {sepconvs}");
+        let (_, largest) = net.largest_block().unwrap();
+        assert!((26..=45).contains(&largest), "largest block = {largest}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = randwire_small(1);
+        let b = randwire_small(1);
+        assert_eq!(a.num_operators(), b.num_operators());
+        assert_eq!(a.blocks[1].graph.num_edges(), b.blocks[1].graph.num_edges());
+        // A different seed gives a different wiring.
+        let other = randwire(1, RandWireConfig { seed: 7, ..RandWireConfig::default() });
+        assert!(
+            other.blocks[1].graph.num_edges() != a.blocks[1].graph.num_edges()
+                || other.num_operators() != a.num_operators()
+        );
+    }
+
+    #[test]
+    fn blocks_are_wide_dags() {
+        // Table 1: the largest RandWire block has width 8. Random wiring
+        // makes the exact value seed dependent; it must be clearly larger
+        // than a chain and fit the scheduler.
+        let net = randwire_small(1);
+        for block in &net.blocks {
+            let w = dag_width(&block.graph);
+            assert!(w >= 3, "block {} has width {w}", block.graph.name());
+            assert!(block.len() <= 128);
+        }
+    }
+
+    #[test]
+    fn channels_double_each_stage() {
+        let net = randwire_small(1);
+        let c0 = net.blocks[0].graph.output_shapes()[0].channels;
+        let c1 = net.blocks[1].graph.output_shapes()[0].channels;
+        let c2 = net.blocks[2].graph.output_shapes()[0].channels;
+        assert_eq!(c1, 2 * c0);
+        assert_eq!(c2, 2 * c1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_k_is_rejected() {
+        let _ = randwire(1, RandWireConfig { k: 3, ..RandWireConfig::default() });
+    }
+
+    #[test]
+    fn watts_strogatz_produces_dag_edges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let edges = watts_strogatz_dag(16, 4, 0.5, &mut rng);
+        assert!(!edges.is_empty());
+        for &(u, v) in &edges {
+            assert!(u < v, "edge ({u},{v}) is not oriented low→high");
+            assert!(v < 16);
+        }
+        // No duplicates.
+        let mut sorted = edges.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), edges.len());
+    }
+}

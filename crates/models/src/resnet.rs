@@ -1,0 +1,135 @@
+//! ResNet-34 and ResNet-50 (He et al., 2016).
+//!
+//! Section 5 of the paper explains why ResNets are *not* part of the main
+//! benchmark: their blocks are almost pure chains, so inter-operator
+//! parallelism only exists between a residual stage's main path and its
+//! downsample convolution, yielding just 2-5% speedup. These models are
+//! included to reproduce that observation in the test suite and examples.
+
+use crate::common::{conv_relu, conv_relu_pad, imagenet_input};
+use ios_ir::{Block, GraphBuilder, Network, PoolParams, TensorShape, Value};
+
+/// Builds ResNet-34 (basic residual blocks) for the given batch size.
+#[must_use]
+pub fn resnet34(batch: usize) -> Network {
+    resnet(batch, &[3, 4, 6, 3], false, "resnet34")
+}
+
+/// Builds ResNet-50 (bottleneck residual blocks) for the given batch size.
+#[must_use]
+pub fn resnet50(batch: usize) -> Network {
+    resnet(batch, &[3, 4, 6, 3], true, "resnet50")
+}
+
+fn resnet(batch: usize, stage_sizes: &[usize], bottleneck: bool, name: &str) -> Network {
+    let input = imagenet_input(batch, 224);
+    let mut blocks = Vec::new();
+
+    // Stem.
+    let mut b = GraphBuilder::new(format!("{name}_stem"), input);
+    let x = b.input(0);
+    let c = conv_relu_pad(&mut b, "conv1", x, 64, (7, 7), (2, 2), (3, 3));
+    let p = b.pool("pool1", c, PoolParams::max((3, 3), (2, 2), (1, 1)));
+    let mut shape = b.shape_of(p);
+    blocks.push(Block::new(b.build(vec![p])));
+
+    let base_channels = [64usize, 128, 256, 512];
+    for (stage, &num_units) in stage_sizes.iter().enumerate() {
+        let channels = base_channels[stage];
+        for unit in 0..num_units {
+            let stride = if stage > 0 && unit == 0 { 2 } else { 1 };
+            let (block, out) = residual_unit(
+                format!("{name}_s{stage}_u{unit}"),
+                shape,
+                channels,
+                stride,
+                bottleneck,
+            );
+            blocks.push(block);
+            shape = out;
+        }
+    }
+
+    // Classifier.
+    let mut b = GraphBuilder::new(format!("{name}_classifier"), shape);
+    let x = b.input(0);
+    let p = b.pool("global_pool", x, PoolParams::global_avg());
+    let fc = b.matmul("fc", p, 1000);
+    blocks.push(Block::new(b.build(vec![fc])));
+
+    Network::new(name, input, blocks)
+}
+
+/// One residual unit; the projection shortcut (when present) is the only
+/// operator that can run in parallel with the main path.
+fn residual_unit(
+    name: String,
+    input: TensorShape,
+    channels: usize,
+    stride: usize,
+    bottleneck: bool,
+) -> (Block, TensorShape) {
+    let out_channels = if bottleneck { channels * 4 } else { channels };
+    let mut b = GraphBuilder::new(name.clone(), input);
+    let x = b.input(0);
+
+    let main: Value = if bottleneck {
+        let c1 = conv_relu(&mut b, format!("{name}_conv1x1a"), x, channels, (1, 1), (1, 1));
+        let c2 = conv_relu(&mut b, format!("{name}_conv3x3"), c1, channels, (3, 3), (stride, stride));
+        conv_relu(&mut b, format!("{name}_conv1x1b"), c2, out_channels, (1, 1), (1, 1))
+    } else {
+        let c1 = conv_relu(&mut b, format!("{name}_conv3x3a"), x, channels, (3, 3), (stride, stride));
+        conv_relu(&mut b, format!("{name}_conv3x3b"), c1, channels, (3, 3), (1, 1))
+    };
+
+    let needs_projection = stride != 1 || input.channels != out_channels;
+    let shortcut = if needs_projection {
+        conv_relu(&mut b, format!("{name}_downsample"), x, out_channels, (1, 1), (stride, stride))
+    } else {
+        b.identity(format!("{name}_identity"), x)
+    };
+
+    let sum = b.add_op(format!("{name}_add"), &[main, shortcut]);
+    let out = b.relu(format!("{name}_relu"), sum);
+    let out_shape = b.shape_of(out);
+    (Block::new(b.build(vec![out])), out_shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_ir::dag_width;
+
+    #[test]
+    fn resnet50_structure() {
+        let net = resnet50(1);
+        // stem + 16 residual units + classifier.
+        assert_eq!(net.num_blocks(), 18);
+        assert!(net.validate().is_ok());
+        // 1 stem conv + 16 × (3 convs + possibly a downsample) + fc.
+        let convs = net.num_compute_units();
+        assert!((50..=60).contains(&convs), "compute units = {convs}");
+        let out = net.blocks.last().unwrap().graph.output_shapes()[0];
+        assert_eq!(out.channels, 1000);
+    }
+
+    #[test]
+    fn resnet_blocks_are_nearly_chains() {
+        // The whole point of including ResNet: width ≤ 2 everywhere, so
+        // inter-operator parallelism is marginal.
+        for net in [resnet34(1), resnet50(1)] {
+            for block in &net.blocks {
+                let w = dag_width(&block.graph);
+                assert!(w <= 2, "block {} of {} has width {w}", block.graph.name(), net.name);
+            }
+        }
+    }
+
+    #[test]
+    fn resnet34_flops_are_reasonable() {
+        // ResNet-34 is ~7.3 GFLOPs (counting multiply and add separately).
+        let net = resnet34(1);
+        let gflops = net.total_flops() as f64 / 1e9;
+        assert!((5.0..=10.0).contains(&gflops), "total = {gflops} GFLOPs");
+    }
+}

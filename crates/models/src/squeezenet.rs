@@ -1,0 +1,128 @@
+//! SqueezeNet 1.0 (Iandola et al., 2016).
+//!
+//! Ten blocks (Table 2): the stem convolution, eight Fire modules and the
+//! classifier. A Fire module squeezes the input with a 1×1 convolution and
+//! expands it with parallel 1×1 and 3×3 convolutions whose outputs are
+//! concatenated — exactly the kind of short, wide block where inter-operator
+//! parallelism is available but synchronization overhead matters (which is
+//! why the greedy schedule loses on SqueezeNet in Figure 6).
+
+use crate::common::{conv_relu, conv_relu_pad, imagenet_input};
+use ios_ir::{Block, GraphBuilder, Network, PoolParams, TensorShape};
+
+/// Builds SqueezeNet 1.0 for the given batch size (224×224 RGB input).
+#[must_use]
+pub fn squeezenet(batch: usize) -> Network {
+    let input = imagenet_input(batch, 224);
+    let mut blocks = Vec::new();
+
+    // Block 1: stem conv 7×7/2 + max pool.
+    let mut b = GraphBuilder::new("squeeze_stem", input);
+    let x = b.input(0);
+    let c = conv_relu_pad(&mut b, "conv1", x, 96, (7, 7), (2, 2), (2, 2));
+    let p = b.pool("pool1", c, PoolParams::max((3, 3), (2, 2), (0, 0)));
+    let shape = b.shape_of(p);
+    blocks.push(Block::new(b.build(vec![p])));
+
+    // Fire modules 2-9 with the 1.0 configuration; pooling after fire4 and fire8.
+    let fire_cfg: [(usize, usize, bool); 8] = [
+        (16, 64, false),  // fire2
+        (16, 64, false),  // fire3
+        (32, 128, true),  // fire4 (+pool)
+        (32, 128, false), // fire5
+        (48, 192, false), // fire6
+        (48, 192, false), // fire7
+        (64, 256, true),  // fire8 (+pool)
+        (64, 256, false), // fire9
+    ];
+    let mut shape = shape;
+    for (i, (squeeze, expand, pool_after)) in fire_cfg.iter().enumerate() {
+        let (block, out) = fire_module(i + 2, shape, *squeeze, *expand, *pool_after);
+        blocks.push(block);
+        shape = out;
+    }
+
+    // Block 10: classifier conv 1×1 (1000) + global average pool.
+    let mut b = GraphBuilder::new("squeeze_classifier", shape);
+    let x = b.input(0);
+    let c = conv_relu(&mut b, "conv10", x, 1000, (1, 1), (1, 1));
+    let p = b.pool("global_pool", c, PoolParams::global_avg());
+    blocks.push(Block::new(b.build(vec![p])));
+
+    Network::new("squeezenet", input, blocks)
+}
+
+/// One Fire module: squeeze 1×1 → {expand 1×1, expand 3×3} → concat,
+/// optionally followed by a stride-2 max pool.
+fn fire_module(
+    index: usize,
+    input: TensorShape,
+    squeeze: usize,
+    expand: usize,
+    pool_after: bool,
+) -> (Block, TensorShape) {
+    let name = format!("fire{index}");
+    let mut b = GraphBuilder::new(name.clone(), input);
+    let x = b.input(0);
+    let s = conv_relu(&mut b, format!("{name}_squeeze1x1"), x, squeeze, (1, 1), (1, 1));
+    let e1 = conv_relu(&mut b, format!("{name}_expand1x1"), s, expand, (1, 1), (1, 1));
+    let e3 = conv_relu(&mut b, format!("{name}_expand3x3"), s, expand, (3, 3), (1, 1));
+    let cat = b.concat(format!("{name}_concat"), &[e1, e3]);
+    let out = if pool_after {
+        b.pool(format!("{name}_pool"), cat, PoolParams::max((3, 3), (2, 2), (0, 0)))
+    } else {
+        cat
+    };
+    let out_shape = b.shape_of(out);
+    (Block::new(b.build(vec![out])), out_shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_ir::dag_width;
+
+    #[test]
+    fn ten_blocks_as_in_table2() {
+        let net = squeezenet(1);
+        assert_eq!(net.num_blocks(), 10);
+        assert!(net.validate().is_ok());
+    }
+
+    #[test]
+    fn operator_count_near_table2() {
+        // Table 2 reports 50 operators.
+        let net = squeezenet(1);
+        let n = net.num_operators();
+        assert!((38..=55).contains(&n), "operator count = {n}");
+        // 1 stem + 8×3 fire convs + 1 classifier = 26 compute units.
+        assert_eq!(net.num_compute_units(), 26);
+    }
+
+    #[test]
+    fn fire_module_width_matches_table1() {
+        // Table 1: largest SqueezeNet block has n = 6, width 3 — a fire
+        // module with its pool. Our fire4 block has 5-6 ops and width 2-3.
+        let net = squeezenet(1);
+        let (idx, n) = net.largest_block().unwrap();
+        assert!((5..=6).contains(&n), "largest block has {n} ops");
+        let w = dag_width(&net.blocks[idx].graph);
+        assert!((2..=3).contains(&w), "width = {w}");
+    }
+
+    #[test]
+    fn classifier_outputs_1000_channels() {
+        let net = squeezenet(1);
+        let out = net.blocks[9].graph.output_shapes()[0];
+        assert_eq!(out.channels, 1000);
+        assert_eq!((out.height, out.width), (1, 1));
+    }
+
+    #[test]
+    fn squeezenet_is_much_smaller_than_inception() {
+        let sq = squeezenet(1);
+        let inc = crate::inception_v3(1);
+        assert!(sq.total_flops() < inc.total_flops() / 2);
+        assert!(sq.total_parameters() < inc.total_parameters() / 5);
+    }
+}

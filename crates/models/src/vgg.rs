@@ -1,0 +1,77 @@
+//! VGG-16 (Simonyan & Zisserman) — the 2013-era representative of Figure 1:
+//! few convolutions, each with a very large amount of work per kernel
+//! (~2330 MFLOPs on average), which is why sequential execution saturated
+//! the GPUs of that generation.
+
+use crate::common::{conv_relu, imagenet_input};
+use ios_ir::{Block, GraphBuilder, Network, PoolParams};
+
+/// Builds VGG-16 for the given batch size (224×224 RGB input).
+#[must_use]
+pub fn vgg16(batch: usize) -> Network {
+    let input = imagenet_input(batch, 224);
+    let cfg: [(usize, usize); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+
+    let mut blocks = Vec::new();
+    let mut shape = input;
+    for (stage, (convs, channels)) in cfg.iter().enumerate() {
+        let mut b = GraphBuilder::new(format!("vgg_stage{stage}"), shape);
+        let mut v = b.input(0);
+        for i in 0..*convs {
+            v = conv_relu(&mut b, format!("s{stage}_conv{i}"), v, *channels, (3, 3), (1, 1));
+        }
+        v = b.pool(format!("s{stage}_pool"), v, PoolParams::max((2, 2), (2, 2), (0, 0)));
+        shape = b.shape_of(v);
+        blocks.push(Block::new(b.build(vec![v])));
+    }
+
+    // Classifier: three fully connected layers.
+    let mut b = GraphBuilder::new("vgg_classifier", shape);
+    let x = b.input(0);
+    let f1 = b.matmul("fc1", x, 4096);
+    let f2 = b.matmul("fc2", f1, 4096);
+    let f3 = b.matmul("fc3", f2, 1000);
+    blocks.push(Block::new(b.build(vec![f3])));
+
+    Network::new("vgg16", input, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_ir::dag_width;
+
+    #[test]
+    fn vgg16_has_thirteen_convs_and_three_fcs() {
+        let net = vgg16(1);
+        assert_eq!(net.num_compute_units(), 16);
+        assert_eq!(net.num_blocks(), 6);
+        assert!(net.validate().is_ok());
+    }
+
+    #[test]
+    fn vgg_is_a_pure_chain() {
+        let net = vgg16(1);
+        for block in &net.blocks {
+            assert_eq!(dag_width(&block.graph), 1);
+        }
+    }
+
+    #[test]
+    fn vgg_average_conv_work_is_huge() {
+        // Figure 1: ~2330 MFLOPs per convolution for VGG.
+        let net = vgg16(1);
+        let avg = net.avg_mflops_per_conv();
+        assert!(avg > 1_200.0, "avg MFLOPs per conv = {avg}");
+        // And far larger than Inception V3's per-conv work.
+        let inception = crate::inception_v3(1);
+        assert!(avg > 5.0 * inception.avg_mflops_per_conv());
+    }
+
+    #[test]
+    fn vgg_flops_around_30_gflops() {
+        let net = vgg16(1);
+        let gflops = net.total_flops() as f64 / 1e9;
+        assert!((25.0..=40.0).contains(&gflops), "total = {gflops} GFLOPs");
+    }
+}

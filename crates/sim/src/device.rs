@@ -1,0 +1,254 @@
+//! GPU device specifications.
+//!
+//! The presets carry the published characteristics of the GPUs used in the
+//! paper (Tesla V100 and K80, RTX 2080 Ti, and the GTX 980 Ti / GTX 1080 of
+//! the Figure 1 trend plot). Only the handful of parameters that the cost
+//! model consumes are represented.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a known device preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// NVIDIA Tesla V100 (Volta, 2018) — the paper's primary platform.
+    TeslaV100,
+    /// NVIDIA Tesla K80 (Kepler, 2014) — the low-end device of Table 3 (2).
+    TeslaK80,
+    /// NVIDIA GeForce RTX 2080 Ti (Turing) — Appendix B.
+    Rtx2080Ti,
+    /// NVIDIA GeForce GTX 1080 (Pascal) — Figure 1, 2015 representative.
+    Gtx1080,
+    /// NVIDIA GeForce GTX 980 Ti (Maxwell) — Figure 1, 2013 representative.
+    Gtx980Ti,
+    /// NVIDIA A100 (Ampere) — mentioned in the introduction (19.5 TFLOP/s).
+    A100,
+}
+
+impl DeviceKind {
+    /// All known presets.
+    #[must_use]
+    pub fn all() -> &'static [DeviceKind] {
+        &[
+            DeviceKind::TeslaV100,
+            DeviceKind::TeslaK80,
+            DeviceKind::Rtx2080Ti,
+            DeviceKind::Gtx1080,
+            DeviceKind::Gtx980Ti,
+            DeviceKind::A100,
+        ]
+    }
+
+    /// The specification of this preset.
+    #[must_use]
+    pub fn spec(self) -> DeviceSpec {
+        match self {
+            DeviceKind::TeslaV100 => DeviceSpec {
+                name: "Tesla V100".to_string(),
+                sm_count: 80,
+                peak_gflops: 15_700.0,
+                mem_bandwidth_gbs: 900.0,
+                l2_cache_bytes: 6 * 1024 * 1024,
+                max_warps_per_sm: 64,
+                contention_alpha: 0.25,
+                l2_miss_factor: 0.65,
+            },
+            DeviceKind::TeslaK80 => DeviceSpec {
+                name: "Tesla K80".to_string(),
+                sm_count: 13,
+                peak_gflops: 4_100.0,
+                mem_bandwidth_gbs: 240.0,
+                l2_cache_bytes: 1536 * 1024,
+                max_warps_per_sm: 64,
+                contention_alpha: 0.45,
+                l2_miss_factor: 0.55,
+            },
+            DeviceKind::Rtx2080Ti => DeviceSpec {
+                name: "RTX 2080 Ti".to_string(),
+                sm_count: 68,
+                peak_gflops: 13_400.0,
+                mem_bandwidth_gbs: 616.0,
+                l2_cache_bytes: 5632 * 1024,
+                max_warps_per_sm: 32,
+                contention_alpha: 0.28,
+                l2_miss_factor: 0.62,
+            },
+            DeviceKind::Gtx1080 => DeviceSpec {
+                name: "GTX 1080".to_string(),
+                sm_count: 20,
+                peak_gflops: 8_425.0,
+                mem_bandwidth_gbs: 320.0,
+                l2_cache_bytes: 2048 * 1024,
+                max_warps_per_sm: 64,
+                contention_alpha: 0.35,
+                l2_miss_factor: 0.6,
+            },
+            DeviceKind::Gtx980Ti => DeviceSpec {
+                name: "GTX 980 Ti".to_string(),
+                sm_count: 22,
+                peak_gflops: 5_767.0,
+                mem_bandwidth_gbs: 336.0,
+                l2_cache_bytes: 3072 * 1024,
+                max_warps_per_sm: 64,
+                contention_alpha: 0.35,
+                l2_miss_factor: 0.6,
+            },
+            DeviceKind::A100 => DeviceSpec {
+                name: "A100".to_string(),
+                sm_count: 108,
+                peak_gflops: 19_500.0,
+                mem_bandwidth_gbs: 1_555.0,
+                l2_cache_bytes: 40 * 1024 * 1024,
+                max_warps_per_sm: 64,
+                contention_alpha: 0.22,
+                l2_miss_factor: 0.7,
+            },
+        }
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.spec().name)
+    }
+}
+
+/// The device parameters consumed by the cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Peak single-precision throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Last-level (L2) cache capacity in bytes; concurrent working sets that
+    /// exceed it pay the [`DeviceSpec::l2_miss_factor`] bandwidth penalty.
+    pub l2_cache_bytes: usize,
+    /// Maximum resident warps per SM (used by the active-warp profiler).
+    pub max_warps_per_sm: usize,
+    /// Strength of the slowdown when the device is oversubscribed by
+    /// concurrent kernels (larger = contention hurts more).
+    pub contention_alpha: f64,
+    /// Multiplier applied to memory bandwidth when the combined working set
+    /// of concurrently resident kernels exceeds the L2 capacity.
+    pub l2_miss_factor: f64,
+}
+
+impl DeviceSpec {
+    /// Peak throughput in FLOP/µs (convenient unit for latencies in µs).
+    #[must_use]
+    pub fn peak_flops_per_us(&self) -> f64 {
+        self.peak_gflops * 1e3
+    }
+
+    /// Memory bandwidth in bytes/µs.
+    #[must_use]
+    pub fn bytes_per_us(&self) -> f64 {
+        self.mem_bandwidth_gbs * 1e3
+    }
+
+    /// Total number of warps the device can keep resident.
+    #[must_use]
+    pub fn max_resident_warps(&self) -> usize {
+        self.sm_count * self.max_warps_per_sm
+    }
+}
+
+/// Host-side overheads of the execution engine driving the device.
+///
+/// These model the costs that are *not* kernel execution: launching a kernel
+/// from the CPU, and synchronizing the streams of a multi-group stage before
+/// the next stage may start. Different frameworks have very different per-op
+/// overheads, which is part of what the Figure 7 baselines capture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionOverheads {
+    /// Host time to launch one kernel, in µs.
+    pub kernel_launch_us: f64,
+    /// Cost of synchronizing the streams of a stage that uses more than one
+    /// group, in µs (applied once per multi-group stage).
+    pub stage_sync_us: f64,
+}
+
+impl ExecutionOverheads {
+    /// Overheads of the IOS execution engine (thin C++/cuDNN wrapper).
+    #[must_use]
+    pub fn ios_engine() -> Self {
+        ExecutionOverheads { kernel_launch_us: 3.0, stage_sync_us: 6.0 }
+    }
+
+    /// Zero overheads (useful for isolating the kernel cost model in tests).
+    #[must_use]
+    pub fn none() -> Self {
+        ExecutionOverheads { kernel_launch_us: 0.0, stage_sync_us: 0.0 }
+    }
+
+    /// Overheads with explicit values.
+    #[must_use]
+    pub fn new(kernel_launch_us: f64, stage_sync_us: f64) -> Self {
+        ExecutionOverheads { kernel_launch_us, stage_sync_us }
+    }
+}
+
+impl Default for ExecutionOverheads {
+    fn default() -> Self {
+        ExecutionOverheads::ios_engine()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_figure1_peaks() {
+        // Figure 1 quotes 5767, 8425 and 15700 GFLOP/s for the 2013/2015/2018
+        // representatives.
+        assert_eq!(DeviceKind::Gtx980Ti.spec().peak_gflops, 5_767.0);
+        assert_eq!(DeviceKind::Gtx1080.spec().peak_gflops, 8_425.0);
+        assert_eq!(DeviceKind::TeslaV100.spec().peak_gflops, 15_700.0);
+        // The introduction quotes 19.5 TFLOP/s for A100.
+        assert_eq!(DeviceKind::A100.spec().peak_gflops, 19_500.0);
+    }
+
+    #[test]
+    fn v100_is_much_more_parallel_than_k80() {
+        let v100 = DeviceKind::TeslaV100.spec();
+        let k80 = DeviceKind::TeslaK80.spec();
+        assert!(v100.sm_count > 5 * k80.sm_count);
+        assert!(v100.peak_gflops > 3.0 * k80.peak_gflops);
+        assert!(v100.max_resident_warps() > k80.max_resident_warps());
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let v100 = DeviceKind::TeslaV100.spec();
+        assert!((v100.peak_flops_per_us() - 15_700_000.0).abs() < 1.0);
+        assert!((v100.bytes_per_us() - 900_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn all_presets_are_well_formed() {
+        for kind in DeviceKind::all() {
+            let spec = kind.spec();
+            assert!(spec.sm_count > 0, "{kind}");
+            assert!(spec.peak_gflops > 0.0);
+            assert!(spec.mem_bandwidth_gbs > 0.0);
+            assert!(spec.l2_cache_bytes > 0);
+            assert!(spec.l2_miss_factor > 0.0 && spec.l2_miss_factor <= 1.0);
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn overhead_presets() {
+        let ios = ExecutionOverheads::ios_engine();
+        assert!(ios.kernel_launch_us > 0.0);
+        assert!(ios.stage_sync_us > 0.0);
+        let none = ExecutionOverheads::none();
+        assert_eq!(none.kernel_launch_us, 0.0);
+        assert_eq!(ExecutionOverheads::default(), ios);
+    }
+}

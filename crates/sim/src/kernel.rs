@@ -1,0 +1,351 @@
+//! Kernel descriptors and kernel libraries.
+//!
+//! Each operator of the computation graph is lowered to a [`KernelSpec`]
+//! describing the quantities the cost model needs: floating point work,
+//! memory traffic, thread-block count (the unit of intra-operator
+//! parallelism the GPU can distribute across SMs) and the efficiency of the
+//! library implementation.
+//!
+//! Convolutions and matrix multiplications are modeled as *tiled GEMMs*: a
+//! convolution with output `N×C_out×H×W` over `C_in` input channels is an
+//! implicit GEMM of size `M = N·H·W`, `N = C_out`, `K = C_in·k_h·k_w`, tiled
+//! into `⌈M/T⌉ · ⌈C_out/T⌉` thread blocks. This is what makes small-batch
+//! convolutions unable to fill a large GPU: at batch one the `M` dimension
+//! collapses, only a handful of thread blocks exist, and most SMs idle —
+//! the central premise of the paper (Figures 1 and 2).
+
+use ios_ir::{Graph, Op, OpId, OpKind, PoolKind, TensorShape};
+use serde::{Deserialize, Serialize};
+
+/// Bytes per FP32 element.
+const F32_BYTES: u64 = 4;
+
+/// Threads per thread block assumed for all kernels.
+pub const THREADS_PER_BLOCK: usize = 256;
+
+/// Warps per thread block (threads / 32).
+pub const WARPS_PER_BLOCK: usize = THREADS_PER_BLOCK / 32;
+
+/// The kernel implementation library an operator is executed with.
+///
+/// The library determines both the GEMM tile size and an efficiency factor
+/// (fraction of peak achievable by a fully occupied kernel). The relative
+/// values encode the well-known qualitative differences the paper leans on:
+/// cuDNN is excellent at dense convolutions but poor at depthwise/separable
+/// convolutions, TVM's auto-tuned kernels close that gap (Figure 12), and
+/// TensorRT's kernel selection is slightly better than stock cuDNN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum KernelLibrary {
+    /// Vendor library (cuDNN) — what IOS, TASO, TF and TVM-cuDNN call into.
+    #[default]
+    CuDnn,
+    /// TVM auto-tuned kernels (Ansor-style schedule search).
+    TvmAutoTuned,
+    /// TensorRT's selected/generated kernels.
+    TensorRt,
+    /// Unoptimized reference kernels (used in tests as a pessimistic bound).
+    Reference,
+}
+
+impl KernelLibrary {
+    /// GEMM tile edge (square tiles of `tile × tile` outputs per block).
+    #[must_use]
+    pub fn gemm_tile(self) -> usize {
+        match self {
+            KernelLibrary::CuDnn => 64,
+            KernelLibrary::TvmAutoTuned => 48,
+            KernelLibrary::TensorRt => 64,
+            KernelLibrary::Reference => 32,
+        }
+    }
+
+    /// Fraction of peak FLOP/s a fully occupied dense-convolution kernel
+    /// reaches with this library.
+    #[must_use]
+    pub fn conv_efficiency(self) -> f64 {
+        match self {
+            KernelLibrary::CuDnn => 0.82,
+            KernelLibrary::TvmAutoTuned => 0.86,
+            KernelLibrary::TensorRt => 0.90,
+            KernelLibrary::Reference => 0.35,
+        }
+    }
+
+    /// Fraction of peak for depthwise-separable convolutions. cuDNN is
+    /// notoriously weak here, which is why TVM-AutoTune wins on RandWire and
+    /// NasNet in Figure 12.
+    #[must_use]
+    pub fn sepconv_efficiency(self) -> f64 {
+        match self {
+            KernelLibrary::CuDnn => 0.38,
+            KernelLibrary::TvmAutoTuned => 0.74,
+            KernelLibrary::TensorRt => 0.48,
+            KernelLibrary::Reference => 0.20,
+        }
+    }
+
+    /// Fraction of peak for dense matrix multiplications.
+    #[must_use]
+    pub fn matmul_efficiency(self) -> f64 {
+        match self {
+            KernelLibrary::CuDnn => 0.85,
+            KernelLibrary::TvmAutoTuned => 0.85,
+            KernelLibrary::TensorRt => 0.88,
+            KernelLibrary::Reference => 0.40,
+        }
+    }
+
+    /// Fraction of peak memory bandwidth reached by element-wise kernels.
+    #[must_use]
+    pub fn elementwise_efficiency(self) -> f64 {
+        match self {
+            KernelLibrary::CuDnn => 0.80,
+            KernelLibrary::TvmAutoTuned => 0.85,
+            KernelLibrary::TensorRt => 0.85,
+            KernelLibrary::Reference => 0.50,
+        }
+    }
+}
+
+/// Everything the cost model needs to know about one GPU kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelSpec {
+    /// Name (for timelines and profiling output).
+    pub name: String,
+    /// Floating point operations.
+    pub flops: u64,
+    /// DRAM traffic in bytes (activations + weights + outputs).
+    pub mem_bytes: u64,
+    /// Activation working set (inputs + outputs, excluding weights) — the
+    /// quantity compared against L2 capacity for the contention model.
+    pub working_set_bytes: u64,
+    /// Number of thread blocks the kernel decomposes into.
+    pub thread_blocks: usize,
+    /// Fraction of peak FLOP/s attainable at full occupancy.
+    pub compute_efficiency: f64,
+    /// Fraction of peak memory bandwidth attainable.
+    pub memory_efficiency: f64,
+}
+
+impl KernelSpec {
+    /// Number of warps this kernel can keep resident.
+    #[must_use]
+    pub fn warps(&self) -> usize {
+        self.thread_blocks * WARPS_PER_BLOCK
+    }
+
+    /// Arithmetic intensity in FLOP/byte.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.mem_bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.flops as f64 / self.mem_bytes as f64
+        }
+    }
+}
+
+fn ceil_div(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+/// Builds the kernel descriptor for a dense 2-D convolution given explicit
+/// shapes. Exposed so that the scheduler's operator-merge pass can cost a
+/// merged convolution that does not exist as a graph operator.
+#[must_use]
+pub fn conv2d_kernel(
+    name: impl Into<String>,
+    input: TensorShape,
+    params: ios_ir::Conv2dParams,
+    library: KernelLibrary,
+) -> KernelSpec {
+    let (oh, ow) = input.conv_output_hw(params.kernel, params.stride, params.padding);
+    let output = TensorShape::new(input.batch, params.out_channels, oh, ow);
+    let k = (input.channels / params.groups) * params.kernel.0 * params.kernel.1;
+    let flops = 2 * output.num_elements() as u64 * k as u64
+        + if params.activation.is_some() { output.num_elements() as u64 } else { 0 };
+    let weight_bytes = (params.out_channels * k + params.out_channels) as u64 * F32_BYTES;
+    let act_bytes = (input.num_elements() + output.num_elements()) as u64 * F32_BYTES;
+    let tile = library.gemm_tile();
+    let m = output.batch * output.height * output.width;
+    let blocks = ceil_div(m, tile) * ceil_div(params.out_channels, tile) * params.groups.min(4);
+    KernelSpec {
+        name: name.into(),
+        flops,
+        mem_bytes: act_bytes + weight_bytes,
+        working_set_bytes: act_bytes,
+        thread_blocks: blocks.max(1),
+        compute_efficiency: library.conv_efficiency(),
+        memory_efficiency: library.elementwise_efficiency(),
+    }
+}
+
+/// Lowers a graph operator to its kernel descriptor.
+///
+/// # Panics
+///
+/// Panics if `op` is not part of `graph`.
+#[must_use]
+pub fn kernel_for_op(graph: &Graph, op_id: OpId, library: KernelLibrary) -> KernelSpec {
+    let op = graph.op(op_id);
+    let input_shapes = graph.op_input_shapes(op_id);
+    kernel_for_op_inner(op, &input_shapes, library)
+}
+
+fn kernel_for_op_inner(op: &Op, input_shapes: &[TensorShape], library: KernelLibrary) -> KernelSpec {
+    let output = op.output_shape;
+    let flops = op.flops(input_shapes);
+    let mem_bytes = op.memory_bytes(input_shapes, ios_ir::DType::F32);
+    let act_bytes: u64 = input_shapes
+        .iter()
+        .map(|s| s.size_bytes(ios_ir::DType::F32) as u64)
+        .sum::<u64>()
+        + output.size_bytes(ios_ir::DType::F32) as u64;
+    let tile = library.gemm_tile();
+    let (thread_blocks, compute_eff) = match &op.kind {
+        OpKind::Conv2d(p) => {
+            let m = output.batch * output.height * output.width;
+            let blocks = ceil_div(m, tile) * ceil_div(p.out_channels, tile);
+            (blocks.max(1), library.conv_efficiency())
+        }
+        OpKind::SepConv2d(p) => {
+            // Dominated by the pointwise 1×1 GEMM; the depthwise pass adds
+            // blocks but little useful compute, captured by the efficiency.
+            let m = output.batch * output.height * output.width;
+            let pointwise = ceil_div(m, tile) * ceil_div(p.out_channels, tile);
+            let depthwise = ceil_div(output.num_elements(), THREADS_PER_BLOCK);
+            ((pointwise + depthwise / 4).max(1), library.sepconv_efficiency())
+        }
+        OpKind::MatMul(p) => {
+            let blocks = ceil_div(output.batch, tile) * ceil_div(p.out_features, tile);
+            (blocks.max(1), library.matmul_efficiency())
+        }
+        OpKind::Pool(p) => {
+            let blocks = ceil_div(output.num_elements(), THREADS_PER_BLOCK);
+            let eff = match p.kind {
+                PoolKind::GlobalAvg => library.elementwise_efficiency(),
+                _ => library.elementwise_efficiency(),
+            };
+            (blocks.max(1), eff)
+        }
+        OpKind::Concat | OpKind::Add | OpKind::Relu | OpKind::Identity => {
+            (ceil_div(output.num_elements(), THREADS_PER_BLOCK).max(1), library.elementwise_efficiency())
+        }
+    };
+    KernelSpec {
+        name: op.name.clone(),
+        flops,
+        mem_bytes,
+        working_set_bytes: act_bytes,
+        thread_blocks,
+        compute_efficiency: compute_eff,
+        memory_efficiency: library.elementwise_efficiency(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_ir::{Conv2dParams, GraphBuilder};
+
+    fn conv_graph(batch: usize) -> Graph {
+        let mut b = GraphBuilder::new("g", TensorShape::new(batch, 384, 15, 15));
+        let input = b.input(0);
+        let a = b.conv2d("a", input, Conv2dParams::relu(384, (3, 3), (1, 1), (1, 1)));
+        b.build(vec![a])
+    }
+
+    #[test]
+    fn batch_one_conv_has_few_thread_blocks() {
+        let g = conv_graph(1);
+        let k = kernel_for_op(&g, OpId(0), KernelLibrary::CuDnn);
+        // M = 225, N = 384, tile 64 → 4 × 6 = 24 blocks: far fewer than the
+        // 80 SMs of a V100, so the kernel cannot fill the device.
+        assert_eq!(k.thread_blocks, 24);
+        assert!(k.warps() < 80 * 8);
+        assert!(k.flops > 100_000_000);
+    }
+
+    #[test]
+    fn larger_batch_multiplies_blocks() {
+        let g1 = conv_graph(1);
+        let g32 = conv_graph(32);
+        let k1 = kernel_for_op(&g1, OpId(0), KernelLibrary::CuDnn);
+        let k32 = kernel_for_op(&g32, OpId(0), KernelLibrary::CuDnn);
+        assert!(k32.thread_blocks > 20 * k1.thread_blocks);
+        assert_eq!(k32.flops, 32 * (k1.flops - 0) + 0);
+    }
+
+    #[test]
+    fn conv2d_kernel_matches_kernel_for_op() {
+        let g = conv_graph(1);
+        let from_graph = kernel_for_op(&g, OpId(0), KernelLibrary::CuDnn);
+        let direct = conv2d_kernel(
+            "a",
+            TensorShape::new(1, 384, 15, 15),
+            Conv2dParams::relu(384, (3, 3), (1, 1), (1, 1)),
+            KernelLibrary::CuDnn,
+        );
+        assert_eq!(from_graph.flops, direct.flops);
+        assert_eq!(from_graph.thread_blocks, direct.thread_blocks);
+        assert_eq!(from_graph.mem_bytes, direct.mem_bytes);
+    }
+
+    #[test]
+    fn sepconv_has_lower_efficiency_under_cudnn_than_tvm() {
+        let mut b = GraphBuilder::new("g", TensorShape::new(1, 128, 28, 28));
+        let input = b.input(0);
+        let s = b.sep_conv2d("s", input, Conv2dParams::relu(128, (3, 3), (1, 1), (1, 1)));
+        let g = b.build(vec![s]);
+        let cudnn = kernel_for_op(&g, OpId(0), KernelLibrary::CuDnn);
+        let tvm = kernel_for_op(&g, OpId(0), KernelLibrary::TvmAutoTuned);
+        assert!(cudnn.compute_efficiency < 0.5);
+        assert!(tvm.compute_efficiency > 1.5 * cudnn.compute_efficiency);
+    }
+
+    #[test]
+    fn elementwise_kernels_have_zero_or_low_intensity() {
+        let mut b = GraphBuilder::new("g", TensorShape::new(1, 64, 28, 28));
+        let input = b.input(0);
+        let r = b.relu("r", input);
+        let g = b.build(vec![r]);
+        let k = kernel_for_op(&g, OpId(0), KernelLibrary::CuDnn);
+        assert!(k.arithmetic_intensity() < 1.0);
+        assert!(k.thread_blocks >= 1);
+    }
+
+    #[test]
+    fn concat_kernel_moves_bytes_but_no_flops() {
+        let mut b = GraphBuilder::new("g", TensorShape::new(1, 64, 28, 28));
+        let input = b.input(0);
+        let a = b.conv2d("a", input, Conv2dParams::relu(32, (1, 1), (1, 1), (0, 0)));
+        let c = b.conv2d("c", input, Conv2dParams::relu(32, (1, 1), (1, 1), (0, 0)));
+        let cat = b.concat("cat", &[a, c]);
+        let g = b.build(vec![cat]);
+        let k = kernel_for_op(&g, OpId(2), KernelLibrary::CuDnn);
+        assert_eq!(k.flops, 0);
+        assert!(k.mem_bytes > 0);
+        assert!(k.arithmetic_intensity() < f64::EPSILON);
+    }
+
+    #[test]
+    fn merged_conv_has_more_blocks_than_parts() {
+        // Two 384-out-channel convs merged into one 768-channel conv must
+        // expose at least as much intra-op parallelism as each part.
+        let input = TensorShape::new(1, 384, 15, 15);
+        let part = conv2d_kernel("p", input, Conv2dParams::relu(384, (3, 3), (1, 1), (1, 1)), KernelLibrary::CuDnn);
+        let merged = conv2d_kernel("m", input, Conv2dParams::relu(768, (3, 3), (1, 1), (1, 1)), KernelLibrary::CuDnn);
+        assert!(merged.thread_blocks >= 2 * part.thread_blocks);
+        // And it reads the shared input only once, so memory traffic is less
+        // than the sum of the parts.
+        assert!(merged.mem_bytes < 2 * part.mem_bytes);
+    }
+
+    #[test]
+    fn library_efficiencies_are_ordered_sensibly() {
+        assert!(KernelLibrary::TensorRt.conv_efficiency() > KernelLibrary::CuDnn.conv_efficiency());
+        assert!(KernelLibrary::Reference.conv_efficiency() < KernelLibrary::CuDnn.conv_efficiency());
+        assert!(KernelLibrary::TvmAutoTuned.sepconv_efficiency() > KernelLibrary::CuDnn.sepconv_efficiency());
+        assert_eq!(KernelLibrary::default(), KernelLibrary::CuDnn);
+    }
+}

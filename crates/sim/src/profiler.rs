@@ -1,0 +1,166 @@
+//! Active-warp profiling of simulated timelines.
+//!
+//! Figure 8 of the paper samples the number of active warps on the GPU with
+//! CUPTI while repeatedly executing a block under the sequential schedule and
+//! under the IOS schedule, showing that IOS keeps ~1.6× more warps active on
+//! average. This module produces the same measurement from the simulator's
+//! kernel timeline.
+
+use crate::device::DeviceSpec;
+use crate::stream::KernelEvent;
+use serde::{Deserialize, Serialize};
+
+/// One sample of the active-warp counter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WarpSample {
+    /// Sample timestamp in µs.
+    pub time_us: f64,
+    /// Number of warps active on the device at that instant.
+    pub active_warps: usize,
+}
+
+/// Sampled active-warp profile of a simulated execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActiveWarpProfile {
+    /// Samples in increasing time order.
+    pub samples: Vec<WarpSample>,
+    /// Sampling interval in µs.
+    pub interval_us: f64,
+    /// Total duration profiled in µs.
+    pub duration_us: f64,
+}
+
+impl ActiveWarpProfile {
+    /// Builds a profile by sampling a kernel timeline every `interval_us`.
+    ///
+    /// The timeline may come from a single stage or from the concatenation
+    /// of several stages (see [`concat_timelines`]). Warps of concurrently
+    /// executing kernels add up, clamped to the device's resident capacity.
+    #[must_use]
+    pub fn from_events(
+        events: &[KernelEvent],
+        duration_us: f64,
+        interval_us: f64,
+        device: &DeviceSpec,
+    ) -> Self {
+        assert!(interval_us > 0.0, "sampling interval must be positive");
+        let mut samples = Vec::new();
+        let mut t = 0.0;
+        let cap = device.max_resident_warps();
+        while t <= duration_us {
+            let active: usize = events
+                .iter()
+                .filter(|e| e.start_us <= t && t < e.end_us)
+                .map(|e| e.warps)
+                .sum();
+            samples.push(WarpSample { time_us: t, active_warps: active.min(cap) });
+            t += interval_us;
+        }
+        ActiveWarpProfile { samples, interval_us, duration_us }
+    }
+
+    /// Mean number of active warps over the profiled duration.
+    #[must_use]
+    pub fn average_active_warps(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.active_warps as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Peak number of active warps.
+    #[must_use]
+    pub fn peak_active_warps(&self) -> usize {
+        self.samples.iter().map(|s| s.active_warps).max().unwrap_or(0)
+    }
+
+    /// Active warp-time per millisecond: the `warps/ms` figure of merit
+    /// annotated in Figure 8 (1.7×10⁸ for sequential vs 2.7×10⁸ for IOS).
+    ///
+    /// Each warp contributes its residency time; the value is normalized per
+    /// millisecond of wall-clock time.
+    #[must_use]
+    pub fn warp_time_per_ms(&self, cycles_per_us: f64) -> f64 {
+        self.average_active_warps() * cycles_per_us * 1e3
+    }
+}
+
+/// Concatenates the timelines of consecutive stages into a single timeline,
+/// offsetting each stage by the end of the previous one.
+#[must_use]
+pub fn concat_timelines(stages: &[(f64, Vec<KernelEvent>)]) -> (f64, Vec<KernelEvent>) {
+    let mut offset = 0.0;
+    let mut events = Vec::new();
+    for (latency, stage_events) in stages {
+        for e in stage_events {
+            let mut shifted = e.clone();
+            shifted.start_us += offset;
+            shifted.end_us += offset;
+            events.push(shifted);
+        }
+        offset += latency;
+    }
+    (offset, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+
+    fn event(name: &str, start: f64, end: f64, warps: usize) -> KernelEvent {
+        KernelEvent { name: name.to_string(), group: 0, start_us: start, end_us: end, warps, flops: 0 }
+    }
+
+    #[test]
+    fn sampling_counts_overlapping_kernels() {
+        let dev = DeviceKind::TeslaV100.spec();
+        let events = vec![event("a", 0.0, 10.0, 100), event("b", 5.0, 15.0, 200)];
+        let profile = ActiveWarpProfile::from_events(&events, 20.0, 1.0, &dev);
+        // At t=0..4 only a (100), t=5..9 both (300), t=10..14 only b (200), after: 0.
+        let at = |t: f64| {
+            profile.samples.iter().find(|s| (s.time_us - t).abs() < 1e-9).unwrap().active_warps
+        };
+        assert_eq!(at(0.0), 100);
+        assert_eq!(at(7.0), 300);
+        assert_eq!(at(12.0), 200);
+        assert_eq!(at(16.0), 0);
+        assert_eq!(profile.peak_active_warps(), 300);
+        assert!(profile.average_active_warps() > 0.0);
+    }
+
+    #[test]
+    fn warps_clamped_to_device_capacity() {
+        let dev = DeviceKind::TeslaK80.spec();
+        let cap = dev.max_resident_warps();
+        let events = vec![event("a", 0.0, 10.0, cap * 3)];
+        let profile = ActiveWarpProfile::from_events(&events, 10.0, 1.0, &dev);
+        assert_eq!(profile.peak_active_warps(), cap);
+    }
+
+    #[test]
+    fn concat_offsets_stage_timelines() {
+        let s1 = (10.0, vec![event("a", 0.0, 10.0, 64)]);
+        let s2 = (8.0, vec![event("b", 0.0, 8.0, 32)]);
+        let (total, merged) = concat_timelines(&[s1, s2]);
+        assert_eq!(total, 18.0);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[1].start_us, 10.0);
+        assert_eq!(merged[1].end_us, 18.0);
+    }
+
+    #[test]
+    fn empty_profile_is_zero() {
+        let dev = DeviceKind::TeslaV100.spec();
+        let profile = ActiveWarpProfile::from_events(&[], 0.0, 2.1, &dev);
+        assert_eq!(profile.average_active_warps(), 0.0);
+        assert_eq!(profile.peak_active_warps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        let dev = DeviceKind::TeslaV100.spec();
+        let _ = ActiveWarpProfile::from_events(&[], 1.0, 0.0, &dev);
+    }
+}

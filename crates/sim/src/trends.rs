@@ -1,0 +1,96 @@
+//! Data behind Figure 1: the widening gap between hardware peak performance
+//! and per-convolution work.
+//!
+//! The figure plots, for three generations (2013/2015/2018), the GPU peak
+//! throughput, the number of convolutions of a representative CNN and the
+//! average FLOPs per convolution. The devices come from
+//! [`crate::device::DeviceKind`]; the network statistics come from any
+//! [`ios_ir::Network`] (the model zoo provides VGG, Inception V3 and NasNet).
+
+use crate::device::DeviceKind;
+use ios_ir::Network;
+use serde::{Deserialize, Serialize};
+
+/// One row of the Figure 1 trend plot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendPoint {
+    /// Representative year.
+    pub year: u32,
+    /// Network name.
+    pub network: String,
+    /// Device name.
+    pub device: String,
+    /// Device peak throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Number of convolution-like compute units in the network.
+    pub num_convs: usize,
+    /// Average MFLOPs per convolution.
+    pub avg_mflops_per_conv: f64,
+    /// Time to execute one *average* convolution at peak, in µs — a direct
+    /// proxy for how little work each kernel gives the device.
+    pub us_per_conv_at_peak: f64,
+}
+
+/// Builds the trend point for a (network, device, year) triple.
+#[must_use]
+pub fn trend_point(network: &Network, device: DeviceKind, year: u32) -> TrendPoint {
+    let spec = device.spec();
+    let num_convs = network.num_compute_units();
+    let avg_mflops = network.avg_mflops_per_conv();
+    TrendPoint {
+        year,
+        network: network.name.clone(),
+        device: spec.name.clone(),
+        peak_gflops: spec.peak_gflops,
+        num_convs,
+        avg_mflops_per_conv: avg_mflops,
+        us_per_conv_at_peak: avg_mflops * 1e6 / spec.peak_flops_per_us() / 1e0,
+    }
+}
+
+/// Utilization gap indicator: the ratio between peak throughput growth and
+/// per-convolution work shrinkage across two trend points. A value greater
+/// than one means the gap widened.
+#[must_use]
+pub fn gap_growth(earlier: &TrendPoint, later: &TrendPoint) -> f64 {
+    let peak_growth = later.peak_gflops / earlier.peak_gflops;
+    let work_shrink = earlier.avg_mflops_per_conv / later.avg_mflops_per_conv.max(f64::MIN_POSITIVE);
+    peak_growth * work_shrink
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_ir::{Block, Conv2dParams, GraphBuilder, Network, TensorShape};
+
+    fn toy_network(name: &str, convs: usize, channels: usize) -> Network {
+        let input = TensorShape::new(1, channels, 28, 28);
+        let mut b = GraphBuilder::new(format!("{name}_block"), input);
+        let mut v = b.input(0);
+        for i in 0..convs {
+            v = b.conv2d(format!("c{i}"), v, Conv2dParams::relu(channels, (3, 3), (1, 1), (1, 1)));
+        }
+        let graph = b.build(vec![v]);
+        Network::new(name, input, vec![Block::new(graph)])
+    }
+
+    #[test]
+    fn trend_point_reports_network_and_device() {
+        let net = toy_network("vgg_like", 4, 64);
+        let p = trend_point(&net, DeviceKind::Gtx980Ti, 2013);
+        assert_eq!(p.num_convs, 4);
+        assert_eq!(p.peak_gflops, 5_767.0);
+        assert!(p.avg_mflops_per_conv > 0.0);
+        assert!(p.us_per_conv_at_peak > 0.0);
+        assert_eq!(p.year, 2013);
+    }
+
+    #[test]
+    fn gap_grows_when_peak_rises_and_convs_shrink() {
+        let big_convs = toy_network("vgg_like", 4, 256);
+        let small_convs = toy_network("nasnet_like", 16, 32);
+        let earlier = trend_point(&big_convs, DeviceKind::Gtx980Ti, 2013);
+        let later = trend_point(&small_convs, DeviceKind::TeslaV100, 2018);
+        assert!(gap_growth(&earlier, &later) > 1.0);
+    }
+}

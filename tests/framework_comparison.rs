@@ -1,0 +1,107 @@
+//! Cross-crate integration tests for the simulated baseline frameworks
+//! (Figure 7 / Figure 11 behaviour at the network level).
+
+use ios::frameworks::{Framework, FrameworkKind, IosEngine};
+use ios::prelude::*;
+
+#[test]
+fn ios_beats_cudnn_frameworks_on_squeezenet() {
+    // SqueezeNet is the benchmark where inter-operator parallelism helps the
+    // least (narrow fire modules, tiny kernels): IOS must still beat every
+    // framework built on the same cuDNN kernels, and stay within a small
+    // margin of TensorRT's tuned kernels (the paper's Appendix B likewise
+    // reports parity with TASO/TensorRT on SqueezeNet for the RTX 2080 Ti).
+    let network = ios::models::squeezenet(1);
+    let device = DeviceKind::TeslaV100;
+    let ios = IosEngine::new(device).optimize_and_measure(&network);
+    for kind in [
+        FrameworkKind::TensorFlow,
+        FrameworkKind::TensorFlowXla,
+        FrameworkKind::Taso,
+        FrameworkKind::TvmCuDnn,
+    ] {
+        let result = Framework::new(kind, device).measure(&network);
+        let speedup = result.latency_us / ios.latency_us;
+        assert!(speedup > 1.0, "IOS should beat {kind} (speedup = {speedup:.3})");
+        assert!(speedup < 4.0, "speedup over {kind} is implausible ({speedup:.3})");
+    }
+    let trt = Framework::new(FrameworkKind::TensorRt, device).measure(&network);
+    let ratio = ios.latency_us / trt.latency_us;
+    assert!(ratio < 1.15, "IOS should stay within 15% of TensorRT on SqueezeNet (ratio = {ratio:.3})");
+}
+
+#[test]
+fn throughput_grows_with_batch_size_and_ios_stays_on_top() {
+    // Figure 11's shape on a single Inception block: throughput increases
+    // with batch size for every method, and IOS never falls behind TensorRT.
+    let device = DeviceKind::TeslaV100;
+    let graph = ios::models::inception::inception_v3_last_block(1);
+    let base = ios::ir::Network::new(
+        "last_block",
+        graph.input_shapes()[0],
+        vec![ios::ir::Block::new(graph)],
+    );
+    let mut prev_ios_throughput = 0.0;
+    for batch in [1usize, 8, 32] {
+        let net = base.with_batch_size(batch);
+        let ios = IosEngine::new(device).optimize_and_measure(&net);
+        let ios_throughput = ios.throughput(batch);
+        // Compare against the strongest baseline built on the same kernel
+        // library (TVM-cuDNN); TensorRT's tuned kernels are a separate axis.
+        let tvm = Framework::new(FrameworkKind::TvmCuDnn, device).measure(&net);
+        assert!(
+            ios_throughput >= tvm.throughput * 0.999,
+            "batch {batch}: IOS {ios_throughput:.0} img/s vs TVM-cuDNN {:.0}",
+            tvm.throughput
+        );
+        assert!(
+            ios_throughput > prev_ios_throughput,
+            "throughput should grow with batch size"
+        );
+        prev_ios_throughput = ios_throughput;
+    }
+}
+
+#[test]
+fn relative_gain_of_ios_shrinks_as_batch_grows() {
+    // Larger batches provide more intra-operator parallelism, so the benefit
+    // of inter-operator parallelism shrinks (Section 7.3).
+    let device = DeviceKind::TeslaV100;
+    let graph = ios::models::inception::inception_v3_last_block(1);
+    let base = ios::ir::Network::new(
+        "last_block",
+        graph.input_shapes()[0],
+        vec![ios::ir::Block::new(graph)],
+    );
+    let gain = |batch: usize| {
+        let net = base.with_batch_size(batch);
+        let cost = SimCostModel::new(Simulator::new(device));
+        let seq = sequential_network_schedule(&net, &cost);
+        let ios = optimize_network(&net, &cost, &SchedulerConfig::paper_default());
+        seq.latency_us / ios.schedule.latency_us
+    };
+    let gain_b1 = gain(1);
+    let gain_b64 = gain(64);
+    assert!(gain_b1 > gain_b64, "batch-1 gain {gain_b1:.2} should exceed batch-64 gain {gain_b64:.2}");
+    assert!(gain_b1 > 1.3, "batch-1 gain should be substantial, got {gain_b1:.2}");
+    assert!(gain_b64 >= 1.0 - 1e-9);
+}
+
+#[test]
+fn framework_rewrites_keep_graphs_valid_on_every_benchmark() {
+    for network in ios::models::paper_benchmarks(1) {
+        for kind in FrameworkKind::all() {
+            let fw = Framework::new(*kind, DeviceKind::TeslaV100);
+            for block in &network.blocks {
+                let rewritten = fw.rewrite(&block.graph);
+                assert!(
+                    rewritten.validate().is_ok(),
+                    "{kind} rewrite broke block {} of {}",
+                    block.graph.name(),
+                    network.name
+                );
+                assert!(rewritten.len() <= block.graph.len());
+            }
+        }
+    }
+}

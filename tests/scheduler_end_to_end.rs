@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: models → simulator → scheduler.
+//!
+//! These check the paper's headline qualitative claims end to end on the
+//! real benchmark networks (kept to the fast ones so debug-mode CI stays
+//! responsive; the full sweeps live in the `ios-bench` binaries).
+
+use ios::prelude::*;
+
+fn cost_model(device: DeviceKind) -> SimCostModel {
+    SimCostModel::new(Simulator::new(device))
+}
+
+#[test]
+fn ios_beats_sequential_and_greedy_on_inception_v3() {
+    let network = ios::models::inception_v3(1);
+    let cost = cost_model(DeviceKind::TeslaV100);
+    let config = SchedulerConfig::paper_default();
+
+    let sequential = sequential_network_schedule(&network, &cost);
+    let greedy = greedy_network_schedule(&network, &cost);
+    let ios = optimize_network(&network, &cost, &config);
+
+    assert!(ios.schedule.validate(&network).is_ok());
+    let seq_speedup = sequential.latency_us / ios.schedule.latency_us;
+    let greedy_speedup = greedy.latency_us / ios.schedule.latency_us;
+    // Figure 6: IOS-Both clearly beats Sequential on Inception V3 (the paper
+    // reports ~1.6x) and is at least as good as Greedy.
+    assert!(seq_speedup > 1.25, "speedup over sequential = {seq_speedup:.3}");
+    assert!(greedy_speedup >= 1.0 - 1e-9, "speedup over greedy = {greedy_speedup:.3}");
+}
+
+#[test]
+fn greedy_hurts_squeezenet_but_ios_does_not() {
+    // Figure 6's SqueezeNet column: greedy degrades performance because of
+    // synchronization overhead, while IOS never does worse than sequential.
+    let network = ios::models::squeezenet(1);
+    let cost = cost_model(DeviceKind::TeslaV100);
+    let sequential = sequential_network_schedule(&network, &cost);
+    let greedy = greedy_network_schedule(&network, &cost);
+    let ios = optimize_network(&network, &cost, &SchedulerConfig::paper_default());
+
+    assert!(ios.schedule.latency_us <= sequential.latency_us + 1e-6);
+    assert!(ios.schedule.latency_us <= greedy.latency_us + 1e-6);
+    // IOS must beat greedy by a visible margin on SqueezeNet.
+    assert!(
+        greedy.latency_us / ios.schedule.latency_us > 1.02,
+        "greedy {} vs IOS {}",
+        greedy.latency_us,
+        ios.schedule.latency_us
+    );
+}
+
+#[test]
+fn resnet_gains_are_marginal() {
+    // Section 5: ResNet has almost no inter-operator parallelism, so IOS
+    // only wins a few percent — which is why it is not a benchmark network.
+    let network = ios::models::resnet34(1);
+    let cost = cost_model(DeviceKind::TeslaV100);
+    let sequential = sequential_network_schedule(&network, &cost);
+    let ios = optimize_network(&network, &cost, &SchedulerConfig::paper_default());
+    let speedup = sequential.latency_us / ios.schedule.latency_us;
+    assert!(speedup >= 1.0 - 1e-9);
+    assert!(speedup < 1.30, "ResNet speedup should be marginal, got {speedup:.3}");
+}
+
+#[test]
+fn ios_variants_are_ordered_on_inception() {
+    // IOS-Both ≤ IOS-Parallel and IOS-Both ≤ IOS-Merge on every network.
+    let network = ios::models::inception_v3(1);
+    let cost = cost_model(DeviceKind::TeslaV100);
+    let both = optimize_network(&network, &cost, &SchedulerConfig::for_variant(IosVariant::Both));
+    let parallel =
+        optimize_network(&network, &cost, &SchedulerConfig::for_variant(IosVariant::Parallel));
+    let merge = optimize_network(&network, &cost, &SchedulerConfig::for_variant(IosVariant::Merge));
+    assert!(both.schedule.latency_us <= parallel.schedule.latency_us + 1e-6);
+    assert!(both.schedule.latency_us <= merge.schedule.latency_us + 1e-6);
+}
+
+#[test]
+fn merge_only_variant_equals_sequential_when_nothing_merges() {
+    // Figure 6: IOS-Merge finds the same schedule as Sequential for networks
+    // whose units are Relu-SepConv (nothing can merge). A single RandWire
+    // stage demonstrates the same property quickly.
+    let network = ios::models::randwire_small(1);
+    let block = ios::ir::Network::new(
+        "randwire_stage",
+        network.blocks[2].graph.input_shapes()[0],
+        vec![network.blocks[2].clone()],
+    );
+    let cost = cost_model(DeviceKind::TeslaV100);
+    let merge_only =
+        optimize_network(&block, &cost, &SchedulerConfig::for_variant(IosVariant::Merge));
+    let sequential = sequential_network_schedule(&block, &cost);
+    // No stage may use operator merge, and the latency difference against
+    // sequential comes only from packing consecutive ops into stages.
+    assert!(merge_only
+        .schedule
+        .block_schedules
+        .iter()
+        .flat_map(|s| &s.stages)
+        .all(|s| s.strategy == ParallelizationStrategy::ConcurrentExecution));
+    assert!(merge_only.schedule.latency_us <= sequential.latency_us + 1e-6);
+    assert!(merge_only.schedule.latency_us > 0.9 * sequential.latency_us);
+}
+
+#[test]
+fn specialized_schedules_win_on_their_own_device() {
+    // Table 3 (2), on the last Inception block for speed.
+    let graph = ios::models::inception::inception_v3_last_block(1);
+    let network =
+        ios::ir::Network::new("last_block", graph.input_shapes()[0], vec![ios::ir::Block::new(graph)]);
+    let v100 = cost_model(DeviceKind::TeslaV100);
+    let k80 = cost_model(DeviceKind::TeslaK80);
+    let config = SchedulerConfig::paper_default();
+    let for_v100 = optimize_network(&network, &v100, &config).schedule;
+    let for_k80 = optimize_network(&network, &k80, &config).schedule;
+
+    let v100_own = for_v100.latency_us;
+    let v100_cross = evaluate_network(&network, &for_k80, &v100);
+    let k80_own = for_k80.latency_us;
+    let k80_cross = evaluate_network(&network, &for_v100, &k80);
+    assert!(v100_own <= v100_cross + 1e-6, "V100 prefers its own schedule");
+    assert!(k80_own <= k80_cross + 1e-6, "K80 prefers its own schedule");
+    // Different devices end up with genuinely different schedules.
+    assert!(
+        for_v100.block_schedules[0].stage_sets() != for_k80.block_schedules[0].stage_sets()
+            || (v100_cross - v100_own).abs() < 1e-9,
+        "the two devices should disagree on the best schedule (or agree exactly)"
+    );
+}
