@@ -1,0 +1,408 @@
+//! Batched, weight-reusing network execution — the serving entry point.
+//!
+//! [`execute_graph`](crate::execute_graph) regenerates every operator's
+//! deterministic weights on each call, which is fine for one-off
+//! verification but wasteful when a serving runtime executes the same
+//! network for every incoming batch. This module precomputes the weights
+//! once ([`NetworkWeights`]) and executes whole networks (block chains) with
+//! them, plus the batch stacking/splitting helpers the `ios-serve` dynamic
+//! batcher uses to coalesce single-sample requests.
+//!
+//! Weights depend only on the graph name, the operator index and the
+//! (batch-invariant) channel configuration, so one [`NetworkWeights`] is
+//! valid for *every* batch size of the same network
+//! ([`ios_ir::Network::with_batch_size`] preserves names and indices).
+//! Per-sample results are bit-identical to running each sample alone
+//! through [`crate::execute_graph`]: every operator treats batch items
+//! independently and in the same order.
+
+use crate::executor::{execute_graph_with, execute_schedule_with, weight_seed};
+use crate::ops_cpu::{conv_weights, matmul_weights};
+use crate::tensor_data::TensorData;
+use ios_core::NetworkSchedule;
+use ios_ir::{Graph, Network, OpId, OpKind, TensorShape, Value};
+
+/// Precomputed weights of one operator.
+#[derive(Debug, Clone)]
+pub enum OpWeights {
+    /// Dense / grouped convolution filter, layout `[out_c][in_c/g][kh][kw]`.
+    Conv(Vec<f32>),
+    /// Separable convolution: depthwise then pointwise filters.
+    SepConv {
+        /// Depthwise k×k filter, one output channel per input channel.
+        depthwise: Vec<f32>,
+        /// Pointwise 1×1 filter.
+        pointwise: Vec<f32>,
+    },
+    /// Fully connected weight matrix, layout `[out][in]`.
+    MatMul(Vec<f32>),
+}
+
+/// Precomputed weights for every weighted operator of one graph.
+#[derive(Debug, Clone, Default)]
+pub struct BlockWeights {
+    by_op: Vec<Option<OpWeights>>,
+}
+
+impl BlockWeights {
+    /// Generates the weights of every weighted operator of `graph`, using
+    /// the same seeds as the on-the-fly path so results stay bit-identical.
+    #[must_use]
+    pub fn precompute(graph: &Graph) -> Self {
+        let by_op = graph
+            .ops()
+            .iter()
+            .map(|op| {
+                let seed = weight_seed(graph, op.id);
+                let input_shape = |value: Value| -> TensorShape {
+                    match value {
+                        Value::Input(i) => graph.input_shapes()[i],
+                        Value::Op(id) => graph.op(id).output_shape,
+                    }
+                };
+                match &op.kind {
+                    OpKind::Conv2d(p) => {
+                        let in_c = input_shape(op.inputs[0]).channels / p.groups;
+                        Some(OpWeights::Conv(conv_weights(
+                            seed,
+                            p.out_channels,
+                            in_c,
+                            p.kernel,
+                        )))
+                    }
+                    OpKind::SepConv2d(p) => {
+                        let in_c = input_shape(op.inputs[0]).channels;
+                        Some(OpWeights::SepConv {
+                            depthwise: conv_weights(seed ^ 0xD17, in_c, 1, p.kernel),
+                            pointwise: conv_weights(
+                                seed ^ 0x0009_0117,
+                                p.out_channels,
+                                in_c,
+                                (1, 1),
+                            ),
+                        })
+                    }
+                    OpKind::MatMul(p) => {
+                        let in_features = input_shape(op.inputs[0]).elements_per_item();
+                        Some(OpWeights::MatMul(matmul_weights(
+                            seed,
+                            p.out_features,
+                            in_features,
+                        )))
+                    }
+                    OpKind::Pool(_)
+                    | OpKind::Concat
+                    | OpKind::Add
+                    | OpKind::Relu
+                    | OpKind::Identity => None,
+                }
+            })
+            .collect();
+        BlockWeights { by_op }
+    }
+
+    /// The precomputed weights of `op`, if it is a weighted operator.
+    #[must_use]
+    pub fn get(&self, op: OpId) -> Option<&OpWeights> {
+        self.by_op.get(op.index()).and_then(Option::as_ref)
+    }
+
+    /// The convolution filter of `op`, if it is a convolution.
+    #[must_use]
+    pub fn conv(&self, op: OpId) -> Option<&[f32]> {
+        match self.get(op) {
+            Some(OpWeights::Conv(w)) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Precomputed weights for every block of a network.
+#[derive(Debug, Clone)]
+pub struct NetworkWeights {
+    network_name: String,
+    blocks: Vec<BlockWeights>,
+}
+
+impl NetworkWeights {
+    /// Generates the weights of every block of `network`.
+    #[must_use]
+    pub fn precompute(network: &Network) -> Self {
+        NetworkWeights {
+            network_name: network.name.clone(),
+            blocks: network
+                .blocks
+                .iter()
+                .map(|b| BlockWeights::precompute(&b.graph))
+                .collect(),
+        }
+    }
+
+    /// Name of the network the weights were generated for.
+    #[must_use]
+    pub fn network_name(&self) -> &str {
+        &self.network_name
+    }
+
+    /// The weights of block `index`.
+    #[must_use]
+    pub fn block(&self, index: usize) -> &BlockWeights {
+        &self.blocks[index]
+    }
+
+    /// Number of blocks covered.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of weight parameters held.
+    #[must_use]
+    pub fn num_parameters(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.by_op.iter().flatten())
+            .map(|w| match w {
+                OpWeights::Conv(v) | OpWeights::MatMul(v) => v.len(),
+                OpWeights::SepConv {
+                    depthwise,
+                    pointwise,
+                } => depthwise.len() + pointwise.len(),
+            })
+            .sum()
+    }
+}
+
+/// Resolves the external output tensors of a graph from its per-operator
+/// outputs.
+fn graph_outputs(
+    graph: &Graph,
+    inputs: &[TensorData],
+    op_outputs: &[TensorData],
+) -> Vec<TensorData> {
+    graph
+        .outputs()
+        .iter()
+        .map(|value| match value {
+            Value::Input(i) => inputs[*i].clone(),
+            Value::Op(id) => op_outputs[id.index()].clone(),
+        })
+        .collect()
+}
+
+/// Executes a whole network sequentially (block by block, operators in
+/// topological order), regenerating weights on the fly — the reference the
+/// serving runtime is checked against. Returns the final block's outputs.
+///
+/// # Panics
+///
+/// Panics if `inputs` does not match the first block's input shapes or the
+/// blocks do not chain (block `i` outputs ≠ block `i + 1` inputs).
+#[must_use]
+pub fn execute_network(network: &Network, inputs: &[TensorData]) -> Vec<TensorData> {
+    run_network(network, inputs, |graph, tensors| {
+        crate::execute_graph(graph, tensors)
+    })
+}
+
+/// Executes a whole network under a schedule with precomputed weights — the
+/// serving fast path. Returns the final block's outputs, bit-identical to
+/// [`execute_network`] per sample.
+///
+/// # Panics
+///
+/// Panics if the schedule or weights do not belong to this network's
+/// structure, or the inputs mismatch.
+#[must_use]
+pub fn execute_network_scheduled(
+    network: &Network,
+    schedule: &NetworkSchedule,
+    weights: &NetworkWeights,
+    inputs: &[TensorData],
+) -> Vec<TensorData> {
+    assert_eq!(
+        network.blocks.len(),
+        schedule.block_schedules.len(),
+        "schedule and network block counts differ"
+    );
+    assert_eq!(
+        network.blocks.len(),
+        weights.num_blocks(),
+        "weights and network block counts differ"
+    );
+    let mut block_index = 0;
+    run_network(network, inputs, |graph, tensors| {
+        let out = execute_schedule_with(
+            graph,
+            &schedule.block_schedules[block_index],
+            tensors,
+            Some(weights.block(block_index)),
+        );
+        block_index += 1;
+        out
+    })
+}
+
+/// Executes a whole network sequentially with precomputed weights (no
+/// schedule) — the one-request-at-a-time baseline with weight reuse.
+///
+/// # Panics
+///
+/// Panics if the weights or inputs do not match the network.
+#[must_use]
+pub fn execute_network_with_weights(
+    network: &Network,
+    weights: &NetworkWeights,
+    inputs: &[TensorData],
+) -> Vec<TensorData> {
+    let mut block_index = 0;
+    run_network(network, inputs, |graph, tensors| {
+        let out = execute_graph_with(graph, tensors, Some(weights.block(block_index)));
+        block_index += 1;
+        out
+    })
+}
+
+fn run_network(
+    network: &Network,
+    inputs: &[TensorData],
+    mut run_block: impl FnMut(&Graph, &[TensorData]) -> Vec<TensorData>,
+) -> Vec<TensorData> {
+    let mut current: Vec<TensorData> = inputs.to_vec();
+    for block in &network.blocks {
+        let op_outputs = run_block(&block.graph, &current);
+        current = graph_outputs(&block.graph, &current, &op_outputs);
+    }
+    current
+}
+
+/// Stacks single-sample tensors (batch = 1 each) into one batched tensor
+/// along the batch dimension, in order.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or the per-sample shapes disagree.
+#[must_use]
+pub fn stack_batch(samples: &[&TensorData]) -> TensorData {
+    assert!(!samples.is_empty(), "cannot stack an empty batch");
+    let item = samples[0].shape;
+    let mut data = Vec::with_capacity(item.elements_per_item() * samples.len());
+    let mut batch = 0;
+    for sample in samples {
+        assert_eq!(
+            (
+                sample.shape.channels,
+                sample.shape.height,
+                sample.shape.width
+            ),
+            (item.channels, item.height, item.width),
+            "stacked samples must share their per-item shape"
+        );
+        batch += sample.shape.batch;
+        data.extend_from_slice(&sample.data);
+    }
+    TensorData {
+        shape: TensorShape::new(batch, item.channels, item.height, item.width),
+        data,
+    }
+}
+
+/// Splits a batched tensor back into per-sample tensors of batch 1.
+#[must_use]
+pub fn split_batch(batched: &TensorData) -> Vec<TensorData> {
+    let per_item = batched.shape.elements_per_item();
+    let item_shape = TensorShape::new(
+        1,
+        batched.shape.channels,
+        batched.shape.height,
+        batched.shape.width,
+    );
+    (0..batched.shape.batch)
+        .map(|n| TensorData {
+            shape: item_shape,
+            data: batched.data[n * per_item..(n + 1) * per_item].to_vec(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_core::{optimize_network, SchedulerConfig, SimCostModel};
+    use ios_sim::{DeviceKind, Simulator};
+
+    /// A small two-block network with mergeable branches: heavy enough to
+    /// exercise concurrent and merged stages, light enough for CI.
+    fn tiny_network(batch: usize) -> Network {
+        use ios_ir::{Block, Conv2dParams, GraphBuilder, PoolParams, TensorShape};
+        let input = TensorShape::new(batch, 8, 10, 10);
+        let mut b = GraphBuilder::new("serve_tiny_b0", input);
+        let x = b.input(0);
+        let a = b.conv2d("a", x, Conv2dParams::relu(8, (3, 3), (1, 1), (1, 1)));
+        let c = b.conv2d("c", x, Conv2dParams::relu(12, (1, 1), (1, 1), (0, 0)));
+        let p = b.pool("p", x, PoolParams::max((2, 2), (1, 1), (0, 0)));
+        let cat = b.concat("cat", &[a, c]);
+        let block0 = Block::new(b.build(vec![cat, p]));
+
+        let shapes = block0.graph.output_shapes();
+        let mut b = GraphBuilder::with_inputs("serve_tiny_b1", shapes);
+        let x0 = b.input(0);
+        let x1 = b.input(1);
+        let d = b.conv2d("d", x0, Conv2dParams::relu(8, (3, 3), (1, 1), (1, 1)));
+        let e = b.conv2d("e", x1, Conv2dParams::relu(8, (1, 1), (1, 1), (0, 0)));
+        let block1 = Block::new(b.build(vec![d, e]));
+        Network::new("serve_tiny", input, vec![block0, block1])
+    }
+
+    #[test]
+    fn stack_and_split_round_trip() {
+        let shape = TensorShape::new(1, 3, 4, 4);
+        let samples: Vec<TensorData> = (0..5).map(|i| TensorData::random(shape, 100 + i)).collect();
+        let refs: Vec<&TensorData> = samples.iter().collect();
+        let batched = stack_batch(&refs);
+        assert_eq!(batched.shape, TensorShape::new(5, 3, 4, 4));
+        let back = split_batch(&batched);
+        assert_eq!(back, samples);
+    }
+
+    #[test]
+    fn precomputed_weights_match_on_the_fly_execution() {
+        let net = tiny_network(1);
+        let weights = NetworkWeights::precompute(&net);
+        assert!(weights.num_parameters() > 0);
+        let input = TensorData::random(net.input_shape, 42);
+        let reference = execute_network(&net, std::slice::from_ref(&input));
+        let reused = execute_network_with_weights(&net, &weights, &[input]);
+        assert_eq!(reference, reused, "weight reuse must be bit-identical");
+    }
+
+    #[test]
+    fn scheduled_batched_execution_is_bitwise_per_sample() {
+        let net1 = tiny_network(1);
+        let batch = 3;
+        let net_b = net1.with_batch_size(batch);
+        let cost = SimCostModel::new(Simulator::new(DeviceKind::TeslaV100));
+        let schedule = optimize_network(&net_b, &cost, &SchedulerConfig::paper_default()).schedule;
+        let weights = NetworkWeights::precompute(&net_b);
+
+        let samples: Vec<TensorData> = (0..batch)
+            .map(|i| TensorData::random(net1.input_shape, 7 + i as u64))
+            .collect();
+        let refs: Vec<&TensorData> = samples.iter().collect();
+        let stacked = stack_batch(&refs);
+        let batched_out = execute_network_scheduled(&net_b, &schedule, &weights, &[stacked]);
+        assert_eq!(batched_out.len(), 2, "the tiny network has two outputs");
+        let per_output_samples: Vec<Vec<TensorData>> =
+            batched_out.iter().map(split_batch).collect();
+
+        for (i, sample) in samples.iter().enumerate() {
+            let reference = execute_network(&net1, std::slice::from_ref(sample));
+            for (o, reference_out) in reference.iter().enumerate() {
+                assert_eq!(
+                    &per_output_samples[o][i], reference_out,
+                    "sample {i}, output {o} must match its solo execution bit-for-bit"
+                );
+            }
+        }
+    }
+}

@@ -8,13 +8,14 @@
 //! preserves the network's semantics, the guarantee cuDNN gives the paper's
 //! engine for free.
 
-use crate::ops_cpu::{conv2d, conv_weights, execute_op};
+use crate::batch::BlockWeights;
+use crate::ops_cpu::{conv2d, conv_weights, execute_op, execute_op_with_weights};
 use crate::tensor_data::TensorData;
 use ios_core::{try_merge, ParallelizationStrategy, Schedule};
-use ios_ir::{Graph, OpId, OpKind, Value};
+use ios_ir::{Graph, Op, OpId, OpKind, Value};
 
 /// Per-operator weight seed: stable across execution strategies.
-fn weight_seed(graph: &Graph, op: OpId) -> u64 {
+pub(crate) fn weight_seed(graph: &Graph, op: OpId) -> u64 {
     // Combine the graph name hash and the operator index so different blocks
     // get different weights but the same block always gets the same ones.
     let mut h: u64 = 0xcbf29ce484222325;
@@ -31,7 +32,24 @@ fn resolve<'a>(
 ) -> &'a TensorData {
     match value {
         Value::Input(i) => &inputs[i],
-        Value::Op(id) => outputs[id.index()].as_ref().expect("producer already executed"),
+        Value::Op(id) => outputs[id.index()]
+            .as_ref()
+            .expect("producer already executed"),
+    }
+}
+
+/// Executes one operator, taking its weights from `weights` when
+/// precomputed and regenerating them from the deterministic seed otherwise.
+/// Both paths produce bit-identical tensors.
+fn run_op(
+    graph: &Graph,
+    op: &Op,
+    op_inputs: &[&TensorData],
+    weights: Option<&BlockWeights>,
+) -> TensorData {
+    match weights.and_then(|w| w.get(op.id)) {
+        Some(w) => execute_op_with_weights(op, op_inputs, w),
+        None => execute_op(op, op_inputs, weight_seed(graph, op.id)),
     }
 }
 
@@ -42,17 +60,42 @@ fn resolve<'a>(
 /// Panics if `inputs` does not match the graph's declared input shapes.
 #[must_use]
 pub fn execute_graph(graph: &Graph, inputs: &[TensorData]) -> Vec<TensorData> {
+    execute_graph_with(graph, inputs, None)
+}
+
+/// [`execute_graph`] with optionally precomputed weights
+/// ([`BlockWeights`]); results are bit-identical either way.
+///
+/// # Panics
+///
+/// Panics if `inputs` does not match the graph's declared input shapes.
+#[must_use]
+pub fn execute_graph_with(
+    graph: &Graph,
+    inputs: &[TensorData],
+    weights: Option<&BlockWeights>,
+) -> Vec<TensorData> {
     check_inputs(graph, inputs);
     let mut outputs: Vec<Option<TensorData>> = vec![None; graph.len()];
     for id in graph.topological_order() {
         let op = graph.op(id);
-        let op_inputs: Vec<&TensorData> =
-            op.inputs.iter().map(|v| resolve(*v, inputs, &outputs)).collect();
-        let out = execute_op(op, &op_inputs, weight_seed(graph, id));
-        assert_eq!(out.shape, op.output_shape, "shape inference mismatch for {}", op.name);
+        let op_inputs: Vec<&TensorData> = op
+            .inputs
+            .iter()
+            .map(|v| resolve(*v, inputs, &outputs))
+            .collect();
+        let out = run_op(graph, op, &op_inputs, weights);
+        assert_eq!(
+            out.shape, op.output_shape,
+            "shape inference mismatch for {}",
+            op.name
+        );
         outputs[id.index()] = Some(out);
     }
-    outputs.into_iter().map(|o| o.expect("all ops executed")).collect()
+    outputs
+        .into_iter()
+        .map(|o| o.expect("all ops executed"))
+        .collect()
 }
 
 /// Executes an IOS schedule stage by stage and returns every operator's
@@ -64,9 +107,31 @@ pub fn execute_graph(graph: &Graph, inputs: &[TensorData]) -> Vec<TensorData> {
 ///
 /// Panics if the schedule is not valid for `graph` or the inputs mismatch.
 #[must_use]
-pub fn execute_schedule(graph: &Graph, schedule: &Schedule, inputs: &[TensorData]) -> Vec<TensorData> {
+pub fn execute_schedule(
+    graph: &Graph,
+    schedule: &Schedule,
+    inputs: &[TensorData],
+) -> Vec<TensorData> {
+    execute_schedule_with(graph, schedule, inputs, None)
+}
+
+/// [`execute_schedule`] with optionally precomputed weights
+/// ([`BlockWeights`]); results are bit-identical either way.
+///
+/// # Panics
+///
+/// Panics if the schedule is not valid for `graph` or the inputs mismatch.
+#[must_use]
+pub fn execute_schedule_with(
+    graph: &Graph,
+    schedule: &Schedule,
+    inputs: &[TensorData],
+    weights: Option<&BlockWeights>,
+) -> Vec<TensorData> {
     check_inputs(graph, inputs);
-    schedule.validate(graph).expect("schedule must be valid for the graph");
+    schedule
+        .validate(graph)
+        .expect("schedule must be valid for the graph");
     let mut outputs: Vec<Option<TensorData>> = vec![None; graph.len()];
 
     for stage in &schedule.stages {
@@ -76,45 +141,45 @@ pub fn execute_schedule(graph: &Graph, schedule: &Schedule, inputs: &[TensorData
                 // read outputs of earlier stages or earlier ops of their own
                 // group, so a snapshot of `outputs` is sufficient input state.
                 let snapshot = &outputs;
-                let group_results: Vec<Vec<(OpId, TensorData)>> =
-                    crossbeam::thread::scope(|scope| {
-                        let handles: Vec<_> = stage
-                            .groups
-                            .iter()
-                            .map(|group| {
-                                scope.spawn(move |_| {
-                                    let mut local: Vec<(OpId, TensorData)> = Vec::new();
-                                    for &op_id in group {
-                                        let op = graph.op(op_id);
-                                        let op_inputs: Vec<&TensorData> = op
-                                            .inputs
-                                            .iter()
-                                            .map(|v| match v {
-                                                Value::Input(i) => &inputs[*i],
-                                                Value::Op(id) => {
-                                                    if let Some(t) = snapshot[id.index()].as_ref() {
-                                                        t
-                                                    } else {
-                                                        local
-                                                            .iter()
-                                                            .find(|(lid, _)| lid == id)
-                                                            .map(|(_, t)| t)
-                                                            .expect("intra-group dependency")
-                                                    }
+                let group_results: Vec<Vec<(OpId, TensorData)>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = stage
+                        .groups
+                        .iter()
+                        .map(|group| {
+                            scope.spawn(move || {
+                                let mut local: Vec<(OpId, TensorData)> = Vec::new();
+                                for &op_id in group {
+                                    let op = graph.op(op_id);
+                                    let op_inputs: Vec<&TensorData> = op
+                                        .inputs
+                                        .iter()
+                                        .map(|v| match v {
+                                            Value::Input(i) => &inputs[*i],
+                                            Value::Op(id) => {
+                                                if let Some(t) = snapshot[id.index()].as_ref() {
+                                                    t
+                                                } else {
+                                                    local
+                                                        .iter()
+                                                        .find(|(lid, _)| lid == id)
+                                                        .map(|(_, t)| t)
+                                                        .expect("intra-group dependency")
                                                 }
-                                            })
-                                            .collect();
-                                        let out =
-                                            execute_op(op, &op_inputs, weight_seed(graph, op_id));
-                                        local.push((op_id, out));
-                                    }
-                                    local
-                                })
+                                            }
+                                        })
+                                        .collect();
+                                    let out = run_op(graph, op, &op_inputs, weights);
+                                    local.push((op_id, out));
+                                }
+                                local
                             })
-                            .collect();
-                        handles.into_iter().map(|h| h.join().expect("group thread")).collect()
-                    })
-                    .expect("thread scope");
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("group thread"))
+                        .collect()
+                });
                 for group in group_results {
                     for (op_id, tensor) in group {
                         outputs[op_id.index()] = Some(tensor);
@@ -129,15 +194,27 @@ pub fn execute_schedule(graph: &Graph, schedule: &Schedule, inputs: &[TensorData
                 // they stay centred inside the merged kernel.
                 let in_c = merged.input_shape.channels;
                 let (mkh, mkw) = merged.params.kernel;
-                let mut weights = vec![0.0f32; merged.params.out_channels * in_c * mkh * mkw];
+                let mut merged_weights =
+                    vec![0.0f32; merged.params.out_channels * in_c * mkh * mkw];
                 let mut oc_offset = 0usize;
                 for &part in &merged.parts {
                     let op = graph.op(part);
                     let OpKind::Conv2d(p) = &op.kind else {
                         panic!("merged parts must be convolutions")
                     };
-                    let part_weights =
-                        conv_weights(weight_seed(graph, part), p.out_channels, in_c, p.kernel);
+                    let generated;
+                    let part_weights: &[f32] = match weights.and_then(|w| w.conv(part)) {
+                        Some(precomputed) => precomputed,
+                        None => {
+                            generated = conv_weights(
+                                weight_seed(graph, part),
+                                p.out_channels,
+                                in_c,
+                                p.kernel,
+                            );
+                            &generated
+                        }
+                    };
                     let (kh, kw) = p.kernel;
                     let (dy, dx) = ((mkh - kh) / 2, (mkw - kw) / 2);
                     for oc in 0..p.out_channels {
@@ -148,14 +225,14 @@ pub fn execute_schedule(graph: &Graph, schedule: &Schedule, inputs: &[TensorData
                                     let dst = (((oc_offset + oc) * in_c + ic) * mkh + y + dy) * mkw
                                         + x
                                         + dx;
-                                    weights[dst] = part_weights[src];
+                                    merged_weights[dst] = part_weights[src];
                                 }
                             }
                         }
                     }
                     oc_offset += p.out_channels;
                 }
-                let merged_out = conv2d(&input, &merged.params, &weights);
+                let merged_out = conv2d(&input, &merged.params, &merged_weights);
                 // Split the merged output back into the per-part outputs.
                 let mut oc_offset = 0usize;
                 for (&part, &section) in merged.parts.iter().zip(&merged.split_sections) {
@@ -176,13 +253,20 @@ pub fn execute_schedule(graph: &Graph, schedule: &Schedule, inputs: &[TensorData
             }
         }
     }
-    outputs.into_iter().map(|o| o.expect("all ops executed")).collect()
+    outputs
+        .into_iter()
+        .map(|o| o.expect("all ops executed"))
+        .collect()
 }
 
 /// Largest absolute element-wise difference between two executions.
 #[must_use]
 pub fn max_abs_difference(a: &[TensorData], b: &[TensorData]) -> f32 {
-    assert_eq!(a.len(), b.len(), "executions cover different operator counts");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "executions cover different operator counts"
+    );
     let mut max = 0.0f32;
     for (x, y) in a.iter().zip(b) {
         assert_eq!(x.shape, y.shape);
@@ -211,7 +295,11 @@ pub fn verify_schedule(graph: &Graph, schedule: &Schedule, seed: u64) -> f32 {
 }
 
 fn check_inputs(graph: &Graph, inputs: &[TensorData]) {
-    assert_eq!(graph.input_shapes().len(), inputs.len(), "wrong number of graph inputs");
+    assert_eq!(
+        graph.input_shapes().len(),
+        inputs.len(),
+        "wrong number of graph inputs"
+    );
     for (shape, tensor) in graph.input_shapes().iter().zip(inputs) {
         assert_eq!(*shape, tensor.shape, "graph input shape mismatch");
     }
@@ -229,7 +317,11 @@ mod tests {
     fn branchy() -> Graph {
         let mut b = GraphBuilder::new("verify_block", TensorShape::new(1, 8, 10, 10));
         let x = b.input(0);
-        let a = b.conv2d("a", x, ios_ir::Conv2dParams::relu(8, (3, 3), (1, 1), (1, 1)));
+        let a = b.conv2d(
+            "a",
+            x,
+            ios_ir::Conv2dParams::relu(8, (3, 3), (1, 1), (1, 1)),
+        );
         let c = b.conv2d("c", x, Conv2dParams::relu(12, (1, 1), (1, 1), (0, 0)));
         let d = b.conv2d("d", a, Conv2dParams::relu(8, (3, 3), (1, 1), (1, 1)));
         let p = b.pool("p", x, ios_ir::PoolParams::max((3, 3), (2, 2), (0, 0)));

@@ -13,9 +13,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod executor;
 pub mod ops_cpu;
 pub mod tensor_data;
 
-pub use executor::{execute_graph, execute_schedule, max_abs_difference, verify_schedule};
+pub use batch::{
+    execute_network, execute_network_scheduled, execute_network_with_weights, split_batch,
+    stack_batch, BlockWeights, NetworkWeights, OpWeights,
+};
+pub use executor::{
+    execute_graph, execute_graph_with, execute_schedule, execute_schedule_with, max_abs_difference,
+    verify_schedule,
+};
 pub use tensor_data::TensorData;

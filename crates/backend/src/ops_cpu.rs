@@ -6,12 +6,19 @@
 //! same parameters and must produce the same outputs.
 
 use crate::tensor_data::TensorData;
-use ios_ir::{Activation, Conv2dParams, MatMulParams, Op, OpKind, PoolKind, PoolParams, TensorShape};
+use ios_ir::{
+    Activation, Conv2dParams, MatMulParams, Op, OpKind, PoolKind, PoolParams, TensorShape,
+};
 
 /// Deterministic weight tensor for a convolution: layout
 /// `[out_c][in_c_per_group][kh][kw]`, values derived from `seed`.
 #[must_use]
-pub fn conv_weights(seed: u64, out_c: usize, in_c_per_group: usize, kernel: (usize, usize)) -> Vec<f32> {
+pub fn conv_weights(
+    seed: u64,
+    out_c: usize,
+    in_c_per_group: usize,
+    kernel: (usize, usize),
+) -> Vec<f32> {
     let count = out_c * in_c_per_group * kernel.0 * kernel.1;
     deterministic_values(seed, count)
 }
@@ -65,8 +72,10 @@ pub fn conv2d(input: &TensorData, params: &Conv2dParams, weights: &[f32]) -> Ten
                         let in_channel = group * in_c_per_group + ic;
                         for ky in 0..kh {
                             for kx in 0..kw {
-                                let iy = (y * params.stride.0 + ky) as isize - params.padding.0 as isize;
-                                let ix = (x * params.stride.1 + kx) as isize - params.padding.1 as isize;
+                                let iy =
+                                    (y * params.stride.0 + ky) as isize - params.padding.0 as isize;
+                                let ix =
+                                    (x * params.stride.1 + kx) as isize - params.padding.1 as isize;
                                 if iy < 0
                                     || ix < 0
                                     || iy >= in_shape.height as isize
@@ -74,8 +83,7 @@ pub fn conv2d(input: &TensorData, params: &Conv2dParams, weights: &[f32]) -> Ten
                                 {
                                     continue;
                                 }
-                                let w = weights
-                                    [((oc * in_c_per_group + ic) * kh + ky) * kw + kx];
+                                let w = weights[((oc * in_c_per_group + ic) * kh + ky) * kw + kx];
                                 acc += w * input.at(n, in_channel, iy as usize, ix as usize);
                             }
                         }
@@ -92,6 +100,24 @@ pub fn conv2d(input: &TensorData, params: &Conv2dParams, weights: &[f32]) -> Ten
 /// pointwise 1×1 (the "Relu-SepConv" unit).
 #[must_use]
 pub fn sep_conv2d(input: &TensorData, params: &Conv2dParams, seed: u64) -> TensorData {
+    let dw_weights = conv_weights(seed ^ 0xD17, input.shape.channels, 1, params.kernel);
+    let pw_weights = conv_weights(
+        seed ^ 0x0009_0117,
+        params.out_channels,
+        input.shape.channels,
+        (1, 1),
+    );
+    sep_conv2d_with(input, params, &dw_weights, &pw_weights)
+}
+
+/// [`sep_conv2d`] with explicit depthwise and pointwise weights.
+#[must_use]
+pub fn sep_conv2d_with(
+    input: &TensorData,
+    params: &Conv2dParams,
+    dw_weights: &[f32],
+    pw_weights: &[f32],
+) -> TensorData {
     // Pre-activation.
     let mut activated = input.clone();
     for v in &mut activated.data {
@@ -106,8 +132,7 @@ pub fn sep_conv2d(input: &TensorData, params: &Conv2dParams, seed: u64) -> Tenso
         groups: input.shape.channels,
         activation: Activation::None,
     };
-    let dw_weights = conv_weights(seed ^ 0xD17, input.shape.channels, 1, params.kernel);
-    let depthwise = conv2d(&activated, &dw_params, &dw_weights);
+    let depthwise = conv2d(&activated, &dw_params, dw_weights);
     // Pointwise 1×1.
     let pw_params = Conv2dParams {
         out_channels: params.out_channels,
@@ -117,8 +142,7 @@ pub fn sep_conv2d(input: &TensorData, params: &Conv2dParams, seed: u64) -> Tenso
         groups: 1,
         activation: Activation::None,
     };
-    let pw_weights = conv_weights(seed ^ 0x901_17, params.out_channels, input.shape.channels, (1, 1));
-    conv2d(&depthwise, &pw_params, &pw_weights)
+    conv2d(&depthwise, &pw_params, pw_weights)
 }
 
 /// Pooling.
@@ -151,8 +175,11 @@ pub fn pool(input: &TensorData, params: &PoolParams) -> TensorData {
                 for c in 0..in_shape.channels {
                     for y in 0..oh {
                         for x in 0..ow {
-                            let mut acc: f32 =
-                                if params.kind == PoolKind::Max { f32::NEG_INFINITY } else { 0.0 };
+                            let mut acc: f32 = if params.kind == PoolKind::Max {
+                                f32::NEG_INFINITY
+                            } else {
+                                0.0
+                            };
                             let mut count = 0usize;
                             for ky in 0..params.kernel.0 {
                                 for kx in 0..params.kernel.1 {
@@ -266,13 +293,45 @@ pub fn execute_op(op: &Op, inputs: &[&TensorData], weight_seed: u64) -> TensorDa
         OpKind::SepConv2d(p) => sep_conv2d(inputs[0], p, weight_seed),
         OpKind::Pool(p) => pool(inputs[0], p),
         OpKind::MatMul(p) => {
-            let w = matmul_weights(weight_seed, p.out_features, inputs[0].shape.elements_per_item());
+            let w = matmul_weights(
+                weight_seed,
+                p.out_features,
+                inputs[0].shape.elements_per_item(),
+            );
             matmul(inputs[0], p, &w)
         }
         OpKind::Concat => concat(inputs),
         OpKind::Add => add(inputs),
         OpKind::Relu => relu(inputs[0]),
         OpKind::Identity => inputs[0].clone(),
+    }
+}
+
+/// Executes one weighted operator with precomputed weights. Bit-identical
+/// to [`execute_op`] when the weights come from
+/// [`crate::batch::BlockWeights::precompute`].
+///
+/// # Panics
+///
+/// Panics if the weight kind does not match the operator kind.
+#[must_use]
+pub fn execute_op_with_weights(
+    op: &Op,
+    inputs: &[&TensorData],
+    weights: &crate::batch::OpWeights,
+) -> TensorData {
+    use crate::batch::OpWeights;
+    match (&op.kind, weights) {
+        (OpKind::Conv2d(p), OpWeights::Conv(w)) => conv2d(inputs[0], p, w),
+        (
+            OpKind::SepConv2d(p),
+            OpWeights::SepConv {
+                depthwise,
+                pointwise,
+            },
+        ) => sep_conv2d_with(inputs[0], p, depthwise, pointwise),
+        (OpKind::MatMul(p), OpWeights::MatMul(w)) => matmul(inputs[0], p, w),
+        (kind, _) => panic!("mismatched precomputed weights for operator kind {kind:?}"),
     }
 }
 
@@ -326,15 +385,24 @@ mod tests {
 
     #[test]
     fn global_avg_pool_averages() {
-        let input = TensorData { shape: TensorShape::new(1, 1, 2, 2), data: vec![1.0, 2.0, 3.0, 6.0] };
+        let input = TensorData {
+            shape: TensorShape::new(1, 1, 2, 2),
+            data: vec![1.0, 2.0, 3.0, 6.0],
+        };
         let out = pool(&input, &PoolParams::global_avg());
         assert_eq!(out.at(0, 0, 0, 0), 3.0);
     }
 
     #[test]
     fn concat_and_add_and_relu() {
-        let a = TensorData { shape: TensorShape::new(1, 1, 1, 2), data: vec![1.0, -2.0] };
-        let b = TensorData { shape: TensorShape::new(1, 1, 1, 2), data: vec![3.0, 4.0] };
+        let a = TensorData {
+            shape: TensorShape::new(1, 1, 1, 2),
+            data: vec![1.0, -2.0],
+        };
+        let b = TensorData {
+            shape: TensorShape::new(1, 1, 1, 2),
+            data: vec![3.0, 4.0],
+        };
         let cat = concat(&[&a, &b]);
         assert_eq!(cat.shape.channels, 2);
         assert_eq!(cat.data, vec![1.0, -2.0, 3.0, 4.0]);
@@ -346,9 +414,15 @@ mod tests {
 
     #[test]
     fn matmul_matches_manual_computation() {
-        let input = TensorData { shape: TensorShape::vector(1, 2), data: vec![2.0, 3.0] };
+        let input = TensorData {
+            shape: TensorShape::vector(1, 2),
+            data: vec![2.0, 3.0],
+        };
         let weights = vec![1.0, 0.0, 1.0, 1.0]; // [[1,0],[1,1]]
-        let params = MatMulParams { out_features: 2, activation: Activation::None };
+        let params = MatMulParams {
+            out_features: 2,
+            activation: Activation::None,
+        };
         let out = matmul(&input, &params, &weights);
         assert_eq!(out.data, vec![2.0, 5.0]);
     }

@@ -17,14 +17,19 @@ impl TensorData {
     /// A tensor filled with zeros.
     #[must_use]
     pub fn zeros(shape: TensorShape) -> Self {
-        TensorData { shape, data: vec![0.0; shape.num_elements()] }
+        TensorData {
+            shape,
+            data: vec![0.0; shape.num_elements()],
+        }
     }
 
     /// A tensor filled with deterministic pseudo-random values in [-1, 1).
     #[must_use]
     pub fn random(shape: TensorShape, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let data = (0..shape.num_elements()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let data = (0..shape.num_elements())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         TensorData { shape, data }
     }
 

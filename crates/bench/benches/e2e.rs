@@ -15,8 +15,12 @@ fn bench_schedules_squeezenet(c: &mut Criterion) {
     let cost = SimCostModel::new(Simulator::new(DeviceKind::TeslaV100));
     let mut group = c.benchmark_group("e2e/squeezenet");
     group.sample_size(10);
-    group.bench_function("sequential", |b| b.iter(|| sequential_network_schedule(&net, &cost)));
-    group.bench_function("greedy", |b| b.iter(|| greedy_network_schedule(&net, &cost)));
+    group.bench_function("sequential", |b| {
+        b.iter(|| sequential_network_schedule(&net, &cost))
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| greedy_network_schedule(&net, &cost))
+    });
     group.bench_function("ios_both", |b| {
         let config = SchedulerConfig::for_variant(IosVariant::Both);
         b.iter(|| optimize_network(&net, &cost, &config))
@@ -28,14 +32,26 @@ fn bench_frameworks_squeezenet(c: &mut Criterion) {
     let net = ios_models::squeezenet(1);
     let mut group = c.benchmark_group("e2e/frameworks");
     group.sample_size(10);
-    for kind in [FrameworkKind::TensorFlow, FrameworkKind::TensorRt, FrameworkKind::TvmAutoTune] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.to_string()), &kind, |b, &k| {
-            let fw = Framework::new(k, DeviceKind::TeslaV100);
-            b.iter(|| fw.measure(&net));
-        });
+    for kind in [
+        FrameworkKind::TensorFlow,
+        FrameworkKind::TensorRt,
+        FrameworkKind::TvmAutoTune,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.to_string()),
+            &kind,
+            |b, &k| {
+                let fw = Framework::new(k, DeviceKind::TeslaV100);
+                b.iter(|| fw.measure(&net));
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_schedules_squeezenet, bench_frameworks_squeezenet);
+criterion_group!(
+    benches,
+    bench_schedules_squeezenet,
+    bench_frameworks_squeezenet
+);
 criterion_main!(benches);

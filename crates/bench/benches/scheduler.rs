@@ -13,10 +13,14 @@ fn bench_pruning(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler/pruning");
     group.sample_size(10);
     for (r, s) in [(1usize, 3usize), (2, 3), (3, 3), (3, 8)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("r{r}_s{s}")), &(r, s), |b, &(r, s)| {
-            let config = SchedulerConfig::for_variant(IosVariant::Both).with_pruning(r, s);
-            b.iter(|| schedule_graph(&graph, &cost, &config));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("r{r}_s{s}")),
+            &(r, s),
+            |b, &(r, s)| {
+                let config = SchedulerConfig::for_variant(IosVariant::Both).with_pruning(r, s);
+                b.iter(|| schedule_graph(&graph, &cost, &config));
+            },
+        );
     }
     group.finish();
 }
@@ -43,10 +47,14 @@ fn bench_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler/variant");
     group.sample_size(20);
     for variant in [IosVariant::Merge, IosVariant::Parallel, IosVariant::Both] {
-        group.bench_with_input(BenchmarkId::from_parameter(variant.to_string()), &variant, |b, &v| {
-            let config = SchedulerConfig::for_variant(v);
-            b.iter(|| schedule_graph(&graph, &cost, &config));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.to_string()),
+            &variant,
+            |b, &v| {
+                let config = SchedulerConfig::for_variant(v);
+                b.iter(|| schedule_graph(&graph, &cost, &config));
+            },
+        );
     }
     group.finish();
 }

@@ -8,8 +8,16 @@ use ios_sim::Simulator;
 
 fn main() {
     let opts = BenchOptions::from_args();
-    let batches: &[usize] = if opts.quick { &[1, 32] } else { &[1, 16, 32, 64, 128] };
-    let base = if opts.quick { ios_models::figure2_block(1) } else { ios_models::inception_v3(1) };
+    let batches: &[usize] = if opts.quick {
+        &[1, 32]
+    } else {
+        &[1, 16, 32, 64, 128]
+    };
+    let base = if opts.quick {
+        ios_models::figure2_block(1)
+    } else {
+        ios_models::inception_v3(1)
+    };
 
     let mut rows = Vec::new();
     let mut all = Vec::new();
@@ -19,7 +27,12 @@ fn main() {
 
         let mut record = |label: &str, latency_us: f64| {
             let throughput = batch as f64 / (latency_us / 1e6);
-            rows.push(vec![batch.to_string(), label.to_string(), fmt3(latency_us / 1e3), fmt3(throughput)]);
+            rows.push(vec![
+                batch.to_string(),
+                label.to_string(),
+                fmt3(latency_us / 1e3),
+                fmt3(throughput),
+            ]);
             all.push(MeasurementRow {
                 label: label.to_string(),
                 network: format!("{}@{batch}", net.name),
@@ -28,8 +41,15 @@ fn main() {
             });
         };
 
-        record("Sequential", sequential_network_schedule(&net, &cost).latency_us);
-        for kind in [FrameworkKind::TvmCuDnn, FrameworkKind::Taso, FrameworkKind::TensorRt] {
+        record(
+            "Sequential",
+            sequential_network_schedule(&net, &cost).latency_us,
+        );
+        for kind in [
+            FrameworkKind::TvmCuDnn,
+            FrameworkKind::Taso,
+            FrameworkKind::TensorRt,
+        ] {
             let result = Framework::new(kind, opts.device).measure(&net);
             record(&kind.to_string(), result.latency_us);
         }

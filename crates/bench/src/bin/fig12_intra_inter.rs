@@ -44,7 +44,13 @@ fn main() {
         "{}",
         render_table(
             "Figure 12: TVM-AutoTune vs IOS (normalized throughput)",
-            &["network", "TVM lat (ms)", "IOS lat (ms)", "TVM norm", "IOS norm"],
+            &[
+                "network",
+                "TVM lat (ms)",
+                "IOS lat (ms)",
+                "TVM norm",
+                "IOS norm"
+            ],
             &rows
         )
     );

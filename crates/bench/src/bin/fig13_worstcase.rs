@@ -7,8 +7,11 @@ use ios_models::worst_case_chains;
 
 fn main() {
     let opts = BenchOptions::from_args();
-    let configs: &[(usize, usize)] =
-        if opts.quick { &[(2, 3), (3, 3)] } else { &[(2, 3), (3, 3), (3, 4), (4, 3), (4, 4)] };
+    let configs: &[(usize, usize)] = if opts.quick {
+        &[(2, 3), (3, 3)]
+    } else {
+        &[(2, 3), (3, 3), (3, 4), (4, 3), (4, 4)]
+    };
     let mut rows = Vec::new();
     for &(d, c) in configs {
         let net = worst_case_chains(d, c, 1);
@@ -28,7 +31,15 @@ fn main() {
         "{}",
         render_table(
             "Figure 13: worst-case chain family vs the complexity bound",
-            &["config", "n", "d", "bound C(c+2,2)^d", "#(S,S')", "ratio", "#schedules"],
+            &[
+                "config",
+                "n",
+                "d",
+                "bound C(c+2,2)^d",
+                "#(S,S')",
+                "ratio",
+                "#schedules"
+            ],
             &rows
         )
     );

@@ -14,8 +14,11 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
-    for (i, (block_seq, ios_lat)) in
-        seq.block_schedules.iter().zip(&ios.block_latencies_us).enumerate()
+    for (i, (block_seq, ios_lat)) in seq
+        .block_schedules
+        .iter()
+        .zip(&ios.block_latencies_us)
+        .enumerate()
     {
         let seq_lat = block_seq.total_measured_latency_us();
         let speedup = seq_lat / ios_lat;

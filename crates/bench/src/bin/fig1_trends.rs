@@ -29,7 +29,14 @@ fn main() {
         "{}",
         render_table(
             "Figure 1: peak performance vs per-convolution work",
-            &["year", "network", "device", "peak GFLOP/s", "#conv", "MFLOPs/conv"],
+            &[
+                "year",
+                "network",
+                "device",
+                "peak GFLOP/s",
+                "#conv",
+                "MFLOPs/conv"
+            ],
             &rows
         )
     );

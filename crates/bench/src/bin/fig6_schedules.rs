@@ -2,7 +2,10 @@
 //! normalized throughput of Sequential, Greedy, IOS-Merge, IOS-Parallel and
 //! IOS-Both across the benchmark CNNs at batch one.
 
-use ios_bench::{fmt3, geomean, maybe_write_json, normalize_by_best, render_table, schedule_comparison, BenchOptions};
+use ios_bench::{
+    fmt3, geomean, maybe_write_json, normalize_by_best, render_table, schedule_comparison,
+    BenchOptions,
+};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -39,8 +42,17 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &format!("Figure 6/14: schedule comparison on {} (batch {})", opts.device, opts.batch),
-            &["network", "schedule", "latency (ms)", "images/s", "normalized"],
+            &format!(
+                "Figure 6/14: schedule comparison on {} (batch {})",
+                opts.device, opts.batch
+            ),
+            &[
+                "network",
+                "schedule",
+                "latency (ms)",
+                "images/s",
+                "normalized"
+            ],
             &table_rows
         )
     );

@@ -2,7 +2,10 @@
 //! normalized throughput of the cuDNN-based frameworks and IOS across the
 //! benchmark CNNs at batch one.
 
-use ios_bench::{fmt3, framework_comparison, geomean, maybe_write_json, normalize_by_best, render_table, BenchOptions};
+use ios_bench::{
+    fmt3, framework_comparison, geomean, maybe_write_json, normalize_by_best, render_table,
+    BenchOptions,
+};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -37,11 +40,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &format!("Figure 7/15: framework comparison on {} (batch {})", opts.device, opts.batch),
+            &format!(
+                "Figure 7/15: framework comparison on {} (batch {})",
+                opts.device, opts.batch
+            ),
             &["network", "framework", "latency (ms)", "normalized"],
             &table_rows
         )
     );
-    println!("paper shape: IOS best on all four networks, 1.1-1.5x over TASO / TVM-cuDNN / TensorRT");
+    println!(
+        "paper shape: IOS best on all four networks, 1.1-1.5x over TASO / TVM-cuDNN / TensorRT"
+    );
     maybe_write_json(&opts, &all_rows);
 }

@@ -7,9 +7,13 @@ use ios_core::{
 };
 use ios_ir::Network;
 use ios_sim::profiler::{concat_timelines, ActiveWarpProfile};
-use ios_sim::{Simulator};
+use ios_sim::Simulator;
 
-fn timeline_of(net: &Network, schedule: &NetworkSchedule, sim: &Simulator) -> (f64, Vec<ios_sim::KernelEvent>) {
+fn timeline_of(
+    net: &Network,
+    schedule: &NetworkSchedule,
+    sim: &Simulator,
+) -> (f64, Vec<ios_sim::KernelEvent>) {
     let mut stages = Vec::new();
     for (block, block_schedule) in net.blocks.iter().zip(&schedule.block_schedules) {
         for stage in &block_schedule.stages {
@@ -54,7 +58,12 @@ fn main() {
         "{}",
         render_table(
             "Figure 8: active warps (simulated CUPTI sampling)",
-            &["schedule", "duration (ms)", "avg active warps", "peak active warps"],
+            &[
+                "schedule",
+                "duration (ms)",
+                "avg active warps",
+                "peak active warps"
+            ],
             &rows
         )
     );
@@ -62,7 +71,11 @@ fn main() {
     println!("IOS keeps {ratio:.2}x more warps active on average (paper: 1.58x)");
 
     println!("\nsampled series (time µs, sequential warps, IOS warps):");
-    let n = seq_profile.samples.len().max(ios_profile.samples.len()).min(48);
+    let n = seq_profile
+        .samples
+        .len()
+        .max(ios_profile.samples.len())
+        .min(48);
     for i in 0..n {
         let s = seq_profile.samples.get(i).map_or(0, |s| s.active_warps);
         let o = ios_profile.samples.get(i).map_or(0, |s| s.active_warps);

@@ -11,7 +11,10 @@ fn main() {
     let networks = if opts.quick {
         vec![ios_models::inception_v3(opts.batch)]
     } else {
-        vec![ios_models::inception_v3(opts.batch), ios_models::nasnet_a(opts.batch)]
+        vec![
+            ios_models::inception_v3(opts.batch),
+            ios_models::nasnet_a(opts.batch),
+        ]
     };
     let mut rows = Vec::new();
     for net in &networks {
@@ -35,10 +38,19 @@ fn main() {
         "{}",
         render_table(
             "Figure 9: pruning trade-off (latency vs optimization cost)",
-            &["network", "pruning", "latency (ms)", "#measurements", "#transitions", "search (s)"],
+            &[
+                "network",
+                "pruning",
+                "latency (ms)",
+                "#measurements",
+                "#transitions",
+                "search (s)"
+            ],
             &rows
         )
     );
-    println!("paper shape: smaller r/s cut the optimization cost sharply at a small latency penalty");
+    println!(
+        "paper shape: smaller r/s cut the optimization cost sharply at a small latency penalty"
+    );
     maybe_write_json(&opts, &rows);
 }

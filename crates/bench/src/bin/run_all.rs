@@ -36,7 +36,16 @@ fn main() {
         } else {
             // Fall back to cargo when the sibling binary has not been built.
             Command::new("cargo")
-                .args(["run", "--release", "-q", "-p", "ios-bench", "--bin", bin, "--"])
+                .args([
+                    "run",
+                    "--release",
+                    "-q",
+                    "-p",
+                    "ios-bench",
+                    "--bin",
+                    bin,
+                    "--",
+                ])
                 .args(&forwarded)
                 .status()
         };

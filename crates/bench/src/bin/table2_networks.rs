@@ -27,7 +27,14 @@ fn main() {
         "{}",
         render_table(
             "Table 2: CNN benchmarks",
-            &["network", "#blocks", "#operators", "#compute units", "operator type", "GFLOPs"],
+            &[
+                "network",
+                "#blocks",
+                "#operators",
+                "#compute units",
+                "operator type",
+                "GFLOPs"
+            ],
             &rows
         )
     );

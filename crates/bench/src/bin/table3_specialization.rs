@@ -24,10 +24,14 @@ fn main() {
     let schedules: Vec<_> = nets
         .iter()
         .zip(batches)
-        .map(|(net, b)| (format!("batch {b}"), optimize_network(net, &cost, &config).schedule))
+        .map(|(net, b)| {
+            (
+                format!("batch {b}"),
+                optimize_network(net, &cost, &config).schedule,
+            )
+        })
         .collect();
-    let schedule_refs: Vec<(String, &_)> =
-        schedules.iter().map(|(l, s)| (l.clone(), s)).collect();
+    let schedule_refs: Vec<(String, &_)> = schedules.iter().map(|(l, s)| (l.clone(), s)).collect();
     let contexts: Vec<_> = nets
         .iter()
         .zip(batches)
@@ -36,7 +40,13 @@ fn main() {
     let batch_cells = cross_evaluate(&contexts, &schedule_refs);
     let rows: Vec<Vec<String>> = batch_cells
         .iter()
-        .map(|c| vec![c.executed_on.clone(), c.optimized_for.clone(), fmt3(c.latency_ms)])
+        .map(|c| {
+            vec![
+                c.executed_on.clone(),
+                c.optimized_for.clone(),
+                fmt3(c.latency_ms),
+            ]
+        })
         .collect();
     println!(
         "{}",
@@ -47,15 +57,24 @@ fn main() {
         )
     );
     let violations = specialization_violations(&batch_cells, 1e-6);
-    println!("specialized schedule wins on its own batch size: {}", violations.is_empty());
+    println!(
+        "specialized schedule wins on its own batch size: {}",
+        violations.is_empty()
+    );
 
     // (2) Device specialization at batch one.
     let net = &nets[0];
     let v100 = SimCostModel::new(Simulator::new(DeviceKind::TeslaV100));
     let k80 = SimCostModel::new(Simulator::new(DeviceKind::TeslaK80));
-    let dev_schedules = vec![
-        ("K80".to_string(), optimize_network(net, &k80, &config).schedule),
-        ("V100".to_string(), optimize_network(net, &v100, &config).schedule),
+    let dev_schedules = [
+        (
+            "K80".to_string(),
+            optimize_network(net, &k80, &config).schedule,
+        ),
+        (
+            "V100".to_string(),
+            optimize_network(net, &v100, &config).schedule,
+        ),
     ];
     let dev_refs: Vec<(String, &_)> = dev_schedules.iter().map(|(l, s)| (l.clone(), s)).collect();
     let k80_ctx = ExecutionContext::new("K80", net, &k80);
@@ -63,7 +82,13 @@ fn main() {
     let device_cells = cross_evaluate(&[k80_ctx, v100_ctx], &dev_refs);
     let rows: Vec<Vec<String>> = device_cells
         .iter()
-        .map(|c| vec![c.executed_on.clone(), c.optimized_for.clone(), fmt3(c.latency_ms)])
+        .map(|c| {
+            vec![
+                c.executed_on.clone(),
+                c.optimized_for.clone(),
+                fmt3(c.latency_ms),
+            ]
+        })
         .collect();
     println!(
         "{}",
@@ -74,7 +99,10 @@ fn main() {
         )
     );
     let violations = specialization_violations(&device_cells, 1e-6);
-    println!("specialized schedule wins on its own device: {}", violations.is_empty());
+    println!(
+        "specialized schedule wins on its own device: {}",
+        violations.is_empty()
+    );
     println!("paper: diagonal entries are always the fastest (e.g. 4.03 ms for V100/batch-1 optimized on V100)");
     maybe_write_json(&opts, &(batch_cells, device_cells));
 }

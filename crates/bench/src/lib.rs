@@ -42,7 +42,12 @@ pub struct BenchOptions {
 
 impl Default for BenchOptions {
     fn default() -> Self {
-        BenchOptions { device: DeviceKind::TeslaV100, batch: 1, quick: false, json: None }
+        BenchOptions {
+            device: DeviceKind::TeslaV100,
+            batch: 1,
+            quick: false,
+            json: None,
+        }
     }
 }
 
@@ -101,7 +106,10 @@ impl BenchOptions {
                 ios_models::inception_v3(self.batch),
                 ios_models::randwire::randwire(
                     self.batch,
-                    RandWireConfig { nodes_per_stage: 12, ..RandWireConfig::default() },
+                    RandWireConfig {
+                        nodes_per_stage: 12,
+                        ..RandWireConfig::default()
+                    },
                 ),
                 ios_models::nasnet::nasnet_with(self.batch, 44, 6),
                 ios_models::squeezenet(self.batch),
@@ -213,7 +221,12 @@ pub fn geomean(values: &[f64]) -> f64 {
 pub fn normalize_by_best(rows: &[MeasurementRow]) -> Vec<(String, f64)> {
     let best = rows.iter().map(|r| r.throughput).fold(0.0f64, f64::max);
     rows.iter()
-        .map(|r| (r.label.clone(), if best > 0.0 { r.throughput / best } else { 0.0 }))
+        .map(|r| {
+            (
+                r.label.clone(),
+                if best > 0.0 { r.throughput / best } else { 0.0 },
+            )
+        })
         .collect()
 }
 
@@ -231,8 +244,11 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     }
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");
-    let header_line: Vec<String> =
-        headers.iter().enumerate().map(|(i, h)| format!("{h:<width$}", width = widths[i])).collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:<width$}", width = widths[i]))
+        .collect();
     let _ = writeln!(out, "| {} |", header_line.join(" | "));
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     let _ = writeln!(out, "|-{}-|", sep.join("-|-"));
@@ -240,7 +256,12 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
         let cells: Vec<String> = row
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{c:<width$}",
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect();
         let _ = writeln!(out, "| {} |", cells.join(" | "));
     }
@@ -276,8 +297,18 @@ mod tests {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(geomean(&[]), 0.0);
         let rows = vec![
-            MeasurementRow { label: "a".into(), network: "n".into(), latency_ms: 2.0, throughput: 500.0 },
-            MeasurementRow { label: "b".into(), network: "n".into(), latency_ms: 1.0, throughput: 1000.0 },
+            MeasurementRow {
+                label: "a".into(),
+                network: "n".into(),
+                latency_ms: 2.0,
+                throughput: 500.0,
+            },
+            MeasurementRow {
+                label: "b".into(),
+                network: "n".into(),
+                latency_ms: 1.0,
+                throughput: 1000.0,
+            },
         ];
         let normalized = normalize_by_best(&rows);
         assert_eq!(normalized[1].1, 1.0);

@@ -46,7 +46,10 @@ pub fn greedy_schedule<C: CostModel>(graph: &Graph, cost_model: &C) -> Schedule 
             .iter()
             .filter(|op| preds[op.index()].is_subset(scheduled))
             .collect();
-        assert!(!ready.is_empty(), "dependency cycle while building the greedy schedule");
+        assert!(
+            !ready.is_empty(),
+            "dependency cycle while building the greedy schedule"
+        );
         let groups: Vec<Vec<ios_ir::OpId>> = graph
             .groups_of(ready)
             .into_iter()

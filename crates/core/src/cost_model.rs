@@ -30,6 +30,38 @@ pub trait CostModel {
     fn measurement_count(&self) -> u64;
 }
 
+// Cost models take `&self` everywhere, so references and shared pointers are
+// cost models too. This is what lets one `CachingCostModel` back both the
+// serving-time schedule cache and background re-optimization threads (the
+// `ios-serve` runtime shares an `Arc<CachingCostModel<SimCostModel>>`).
+impl<C: CostModel + ?Sized> CostModel for &C {
+    fn concurrent_latency(&self, graph: &Graph, groups: &[Vec<OpId>]) -> f64 {
+        (**self).concurrent_latency(graph, groups)
+    }
+
+    fn merge_latency(&self, graph: &Graph, merged: &MergedConv) -> f64 {
+        (**self).merge_latency(graph, merged)
+    }
+
+    fn measurement_count(&self) -> u64 {
+        (**self).measurement_count()
+    }
+}
+
+impl<C: CostModel + ?Sized> CostModel for std::sync::Arc<C> {
+    fn concurrent_latency(&self, graph: &Graph, groups: &[Vec<OpId>]) -> f64 {
+        (**self).concurrent_latency(graph, groups)
+    }
+
+    fn merge_latency(&self, graph: &Graph, merged: &MergedConv) -> f64 {
+        (**self).merge_latency(graph, merged)
+    }
+
+    fn measurement_count(&self) -> u64 {
+        (**self).measurement_count()
+    }
+}
+
 /// Cost model backed by the analytical GPU simulator.
 #[derive(Debug)]
 pub struct SimCostModel {
@@ -41,7 +73,10 @@ impl SimCostModel {
     /// Wraps a simulator.
     #[must_use]
     pub fn new(simulator: Simulator) -> Self {
-        SimCostModel { simulator, measurements: AtomicU64::new(0) }
+        SimCostModel {
+            simulator,
+            measurements: AtomicU64::new(0),
+        }
     }
 
     /// The underlying simulator.
@@ -78,7 +113,9 @@ impl CostModel for SimCostModel {
             memory_efficiency: 0.85,
         };
         let _ = graph; // the merged kernel is fully described by `merged`
-        self.simulator.measure_kernel_stage(&[vec![conv, split]]).latency_us
+        self.simulator
+            .measure_kernel_stage(&[vec![conv, split]])
+            .latency_us
     }
 
     fn measurement_count(&self) -> u64 {
@@ -92,11 +129,56 @@ impl CostModel for SimCostModel {
 /// different states; on real hardware each evaluation is a fresh profiling
 /// run, so the paper caches stage latencies — this wrapper plays that role
 /// and also lets the reproduction count *distinct* profiled stages.
+///
+/// The caches use interior mutability behind [`Mutex`]es, so a single
+/// instance is `Send + Sync` (given a `Send + Sync` inner model) and can be
+/// measured from many threads concurrently — the serving runtime relies on
+/// this to share one cost model between its schedule cache and background
+/// re-optimization workers.
+///
+/// Cache entries are keyed by a fingerprint of the measured *graph* (name,
+/// input shapes, size) in addition to the stage itself: operator ids repeat
+/// across the blocks of a network and across batch-resized instances of the
+/// same block, and a one-graph key would silently serve block 0's latency
+/// for block 3's stage, or batch-1 latencies for a batch-32 instance.
 pub struct CachingCostModel<C> {
     inner: C,
-    concurrent_cache: Mutex<HashMap<Vec<Vec<OpId>>, f64>>,
-    merge_cache: Mutex<HashMap<Vec<OpId>, f64>>,
+    concurrent_cache: Mutex<HashMap<ConcurrentStageKey, f64>>,
+    merge_cache: Mutex<HashMap<MergeStageKey, f64>>,
     hits: AtomicU64,
+}
+
+/// Cache key of a concurrent-execution stage: graph fingerprint + groups.
+type ConcurrentStageKey = (u64, Vec<Vec<OpId>>);
+/// Cache key of an operator-merge stage: graph fingerprint + merged parts.
+type MergeStageKey = (u64, Vec<OpId>);
+
+/// A structural fingerprint of a graph, distinguishing the graphs a stage
+/// key may otherwise collide across: different blocks (names differ),
+/// different batch sizes of one block (shapes differ), and same-shaped
+/// graphs whose operators differ only in hyper-parameters (kinds differ).
+fn graph_fingerprint(graph: &Graph) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    graph.name().hash(&mut hasher);
+    graph.input_shapes().hash(&mut hasher);
+    for op in graph.ops() {
+        op.kind.hash(&mut hasher);
+        op.inputs.hash(&mut hasher);
+        op.output_shape.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+impl<C: std::fmt::Debug> std::fmt::Debug for CachingCostModel<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachingCostModel")
+            .field("inner", &self.inner)
+            .field("cached_concurrent", &self.concurrent_cache.lock().len())
+            .field("cached_merge", &self.merge_cache.lock().len())
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .finish()
+    }
 }
 
 impl<C: CostModel> CachingCostModel<C> {
@@ -126,7 +208,7 @@ impl<C: CostModel> CachingCostModel<C> {
 
 impl<C: CostModel> CostModel for CachingCostModel<C> {
     fn concurrent_latency(&self, graph: &Graph, groups: &[Vec<OpId>]) -> f64 {
-        let key = groups.to_vec();
+        let key = (graph_fingerprint(graph), groups.to_vec());
         if let Some(cached) = self.concurrent_cache.lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *cached;
@@ -137,7 +219,7 @@ impl<C: CostModel> CostModel for CachingCostModel<C> {
     }
 
     fn merge_latency(&self, graph: &Graph, merged: &MergedConv) -> f64 {
-        let key = merged.parts.clone();
+        let key = (graph_fingerprint(graph), merged.parts.clone());
         if let Some(cached) = self.merge_cache.lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *cached;
@@ -208,13 +290,17 @@ mod tests {
     use ios_ir::{Conv2dParams, GraphBuilder, TensorShape};
     use ios_sim::DeviceKind;
 
-    fn two_branch_graph() -> Graph {
-        let mut b = GraphBuilder::new("two_branch", TensorShape::new(1, 128, 16, 16));
+    fn two_branch_graph_at(batch: usize) -> Graph {
+        let mut b = GraphBuilder::new("two_branch", TensorShape::new(batch, 128, 16, 16));
         let x = b.input(0);
         let a = b.conv2d("a", x, Conv2dParams::relu(128, (3, 3), (1, 1), (1, 1)));
         let c = b.conv2d("c", x, Conv2dParams::relu(128, (3, 3), (1, 1), (1, 1)));
         let cat = b.concat("cat", &[a, c]);
         b.build(vec![cat])
+    }
+
+    fn two_branch_graph() -> Graph {
+        two_branch_graph_at(1)
     }
 
     #[test]
@@ -235,6 +321,103 @@ mod tests {
         let merge = cost.merge_latency(&g, &merged);
         let seq = cost.concurrent_latency(&g, &[vec![OpId(0), OpId(1)]]);
         assert!(merge < seq, "merge {merge} vs sequential {seq}");
+    }
+
+    #[test]
+    fn caching_never_mixes_graphs_or_batch_sizes() {
+        // Operator ids repeat across blocks and across batch-resized
+        // instances of one block, so the cache key must include the graph.
+        let g1 = two_branch_graph_at(1);
+        let g8 = two_branch_graph_at(8);
+        let mut other_name = GraphBuilder::new("other_block", TensorShape::new(1, 128, 16, 16));
+        let x = other_name.input(0);
+        let a = other_name.conv2d("a", x, Conv2dParams::relu(16, (1, 1), (1, 1), (0, 0)));
+        let c = other_name.conv2d("c", x, Conv2dParams::relu(16, (1, 1), (1, 1), (0, 0)));
+        let cat = other_name.concat("cat", &[a, c]);
+        let other = other_name.build(vec![cat]);
+
+        // Same name, same shapes, same op count — only the kernel size of
+        // one conv differs: still a distinct cache entry.
+        let mut same_shape = GraphBuilder::new("two_branch", TensorShape::new(1, 128, 16, 16));
+        let x = same_shape.input(0);
+        let a = same_shape.conv2d("a", x, Conv2dParams::relu(128, (1, 1), (1, 1), (0, 0)));
+        let c = same_shape.conv2d("c", x, Conv2dParams::relu(128, (1, 1), (1, 1), (0, 0)));
+        let cat = same_shape.concat("cat", &[a, c]);
+        let params_only = same_shape.build(vec![cat]);
+
+        let cost = CachingCostModel::new(SimCostModel::new(Simulator::new(DeviceKind::TeslaV100)));
+        let groups = vec![vec![OpId(0)], vec![OpId(1)]];
+        let l1 = cost.concurrent_latency(&g1, &groups);
+        let l8 = cost.concurrent_latency(&g8, &groups);
+        let lo = cost.concurrent_latency(&other, &groups);
+        let lp = cost.concurrent_latency(&params_only, &groups);
+        assert_eq!(
+            cost.cache_hits(),
+            0,
+            "four distinct graphs must be four cache entries"
+        );
+        assert_eq!(cost.inner().measurement_count(), 4);
+        assert!(
+            lp < l1,
+            "the 1×1-kernel variant must be cheaper than its 3×3 twin ({lp} vs {l1})"
+        );
+        assert!(
+            l8 > l1,
+            "batch 8 must cost more than batch 1 ({l8} vs {l1})"
+        );
+        assert!(
+            lo < l1,
+            "the 1×1/16-channel block must be cheaper ({lo} vs {l1})"
+        );
+        // Repeats still hit.
+        let again = cost.concurrent_latency(&g8, &groups);
+        assert_eq!(again, l8);
+        assert_eq!(cost.cache_hits(), 1);
+    }
+
+    #[test]
+    fn cost_models_are_thread_safe_and_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimCostModel>();
+        assert_send_sync::<CachingCostModel<SimCostModel>>();
+
+        // One shared caching model measured from several threads at once;
+        // every thread must observe the same latency and the distinct-stage
+        // count must not double-count the shared stage.
+        let g = two_branch_graph();
+        let cost = std::sync::Arc::new(CachingCostModel::new(SimCostModel::new(Simulator::new(
+            DeviceKind::TeslaV100,
+        ))));
+        let groups = vec![vec![OpId(0)], vec![OpId(1)]];
+        let expected = cost.concurrent_latency(&g, &groups);
+        let results: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cost = std::sync::Arc::clone(&cost);
+                    let g = &g;
+                    let groups = &groups;
+                    scope.spawn(move || cost.concurrent_latency(g, groups))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("measurement thread"))
+                .collect()
+        });
+        assert!(results.iter().all(|&r| r == expected));
+        assert_eq!(
+            cost.inner().measurement_count(),
+            1,
+            "all threads must hit the cache"
+        );
+        assert_eq!(cost.cache_hits(), 4);
+
+        // `&C` and `Arc<C>` are cost models themselves (blanket impls).
+        fn takes_cost_model<C: CostModel>(c: C) -> u64 {
+            c.measurement_count()
+        }
+        assert_eq!(takes_cost_model(&*cost), 1);
+        assert_eq!(takes_cost_model(std::sync::Arc::clone(&cost)), 1);
     }
 
     #[test]

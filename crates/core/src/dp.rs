@@ -91,7 +91,11 @@ impl<'a, C: CostModel> Scheduler<'a, C> {
         let mut stages_rev: Vec<Stage> = Vec::new();
         let mut state = all;
         while !state.is_empty() {
-            let choice = self.choice.get(&state).expect("solved state has a choice").clone();
+            let choice = self
+                .choice
+                .get(&state)
+                .expect("solved state has a choice")
+                .clone();
             stages_rev.push(Stage {
                 ops: choice.stage_ops,
                 strategy: choice.strategy,
@@ -122,7 +126,9 @@ impl<'a, C: CostModel> Scheduler<'a, C> {
         if let Some(&cached) = self.cost.get(&state) {
             return cached;
         }
-        let endings = self.enumerator.endings(state, self.config.pruning.max_stage_ops());
+        let endings = self
+            .enumerator
+            .endings(state, self.config.pruning.max_stage_ops());
         let mut best = f64::INFINITY;
         let mut best_choice: Option<Choice> = None;
         for ending in endings {
@@ -188,15 +194,21 @@ impl<'a, C: CostModel> Scheduler<'a, C> {
         match (concurrent, merged) {
             (Some(c), Some((m, merged_conv))) => {
                 if m < c {
-                    Some((m, ParallelizationStrategy::OperatorMerge, vec![merged_conv.parts]))
+                    Some((
+                        m,
+                        ParallelizationStrategy::OperatorMerge,
+                        vec![merged_conv.parts],
+                    ))
                 } else {
                     Some((c, ParallelizationStrategy::ConcurrentExecution, groups))
                 }
             }
             (Some(c), None) => Some((c, ParallelizationStrategy::ConcurrentExecution, groups)),
-            (None, Some((m, merged_conv))) => {
-                Some((m, ParallelizationStrategy::OperatorMerge, vec![merged_conv.parts]))
-            }
+            (None, Some((m, merged_conv))) => Some((
+                m,
+                ParallelizationStrategy::OperatorMerge,
+                vec![merged_conv.parts],
+            )),
             (None, None) => None,
         }
     }
@@ -253,10 +265,18 @@ mod tests {
         // schedule can do better.
         let g = fig5();
         let cost = UnitCostModel::default();
-        let result = schedule_graph(&g, &cost, &SchedulerConfig::for_variant(IosVariant::Parallel));
+        let result = schedule_graph(
+            &g,
+            &cost,
+            &SchedulerConfig::for_variant(IosVariant::Parallel),
+        );
         assert!(result.schedule.validate(&g).is_ok());
         assert_eq!(result.schedule.num_stages(), 1);
-        assert!((result.latency_us - 21.0).abs() < 1e-9, "latency = {}", result.latency_us);
+        assert!(
+            (result.latency_us - 21.0).abs() < 1e-9,
+            "latency = {}",
+            result.latency_us
+        );
         // Figure 5 (2) shows 6 states including ∅ (we do not memoize ∅) and
         // 12 transitions.
         assert_eq!(result.states, 5);
@@ -289,23 +309,28 @@ mod tests {
     fn merge_variant_uses_operator_merge_on_shared_input_convs() {
         let g = wide_block();
         let cost = SimCostModel::new(Simulator::new(DeviceKind::TeslaV100));
-        let result =
-            schedule_graph(&g, &cost, &SchedulerConfig::for_variant(IosVariant::Merge));
+        let result = schedule_graph(&g, &cost, &SchedulerConfig::for_variant(IosVariant::Merge));
         assert!(result.schedule.validate(&g).is_ok());
         let used_merge = result
             .schedule
             .stages
             .iter()
             .any(|s| s.strategy == ParallelizationStrategy::OperatorMerge);
-        assert!(used_merge, "IOS-Merge should merge the shared-input convolutions");
+        assert!(
+            used_merge,
+            "IOS-Merge should merge the shared-input convolutions"
+        );
     }
 
     #[test]
     fn parallel_variant_never_merges() {
         let g = wide_block();
         let cost = SimCostModel::new(Simulator::new(DeviceKind::TeslaV100));
-        let result =
-            schedule_graph(&g, &cost, &SchedulerConfig::for_variant(IosVariant::Parallel));
+        let result = schedule_graph(
+            &g,
+            &cost,
+            &SchedulerConfig::for_variant(IosVariant::Parallel),
+        );
         assert!(result
             .schedule
             .stages
@@ -319,8 +344,11 @@ mod tests {
         let cost = SimCostModel::new(Simulator::new(DeviceKind::TeslaV100));
         let both = schedule_graph(&g, &cost, &SchedulerConfig::for_variant(IosVariant::Both));
         let merge = schedule_graph(&g, &cost, &SchedulerConfig::for_variant(IosVariant::Merge));
-        let parallel =
-            schedule_graph(&g, &cost, &SchedulerConfig::for_variant(IosVariant::Parallel));
+        let parallel = schedule_graph(
+            &g,
+            &cost,
+            &SchedulerConfig::for_variant(IosVariant::Parallel),
+        );
         assert!(both.latency_us <= merge.latency_us + 1e-6);
         assert!(both.latency_us <= parallel.latency_us + 1e-6);
     }
@@ -342,7 +370,11 @@ mod tests {
         let mut b = GraphBuilder::new("chain", TensorShape::new(1, 32, 8, 8));
         let mut v = b.input(0);
         for i in 0..5 {
-            v = b.conv2d(format!("c{i}"), v, Conv2dParams::relu(32, (3, 3), (1, 1), (1, 1)));
+            v = b.conv2d(
+                format!("c{i}"),
+                v,
+                Conv2dParams::relu(32, (3, 3), (1, 1), (1, 1)),
+            );
         }
         let g = b.build(vec![v]);
         let cost = UnitCostModel::default();

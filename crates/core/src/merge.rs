@@ -46,7 +46,11 @@ impl MergedConv {
             * self.params.kernel.0
             * self.params.kernel.1;
         2 * out_elems * k as u64
-            + if self.params.activation.is_some() { out_elems } else { 0 }
+            + if self.params.activation.is_some() {
+                out_elems
+            } else {
+                0
+            }
     }
 
     /// Bytes moved by the split operator that restores the original outputs
@@ -125,7 +129,10 @@ pub fn try_merge(graph: &Graph, ops: OpSet) -> Option<MergedConv> {
             Some(hw) if hw == (op.output_shape.height, op.output_shape.width) => {}
             Some(_) => return None,
         }
-        max_kernel = (max_kernel.0.max(params.kernel.0), max_kernel.1.max(params.kernel.1));
+        max_kernel = (
+            max_kernel.0.max(params.kernel.0),
+            max_kernel.1.max(params.kernel.1),
+        );
         sections.push(params.out_channels);
     }
 
@@ -134,7 +141,9 @@ pub fn try_merge(graph: &Graph, ops: OpSet) -> Option<MergedConv> {
     for &op_id in &parts {
         let op = graph.op(op_id);
         if let OpKind::Conv2d(p) = &op.kind {
-            if (max_kernel.0 - p.kernel.0) % 2 != 0 || (max_kernel.1 - p.kernel.1) % 2 != 0 {
+            if !(max_kernel.0 - p.kernel.0).is_multiple_of(2)
+                || !(max_kernel.1 - p.kernel.1).is_multiple_of(2)
+            {
                 return None;
             }
         }
@@ -160,7 +169,13 @@ pub fn try_merge(graph: &Graph, ops: OpSet) -> Option<MergedConv> {
         groups: 1,
         activation: activation.expect("set"),
     };
-    Some(MergedConv { parts, input, input_shape, params, split_sections: sections })
+    Some(MergedConv {
+        parts,
+        input,
+        input_shape,
+        params,
+        split_sections: sections,
+    })
 }
 
 #[cfg(test)]
@@ -217,7 +232,10 @@ mod tests {
     #[test]
     fn merge_rejects_non_convolutions() {
         let g = graph();
-        assert!(try_merge(&g, set(&[0, 3])).is_none(), "conv + pool must not merge");
+        assert!(
+            try_merge(&g, set(&[0, 3])).is_none(),
+            "conv + pool must not merge"
+        );
     }
 
     #[test]

@@ -134,7 +134,10 @@ pub fn optimize_network<C: CostModel>(
 
 /// Builds the network-level sequential baseline schedule.
 #[must_use]
-pub fn sequential_network_schedule<C: CostModel>(network: &Network, cost_model: &C) -> NetworkSchedule {
+pub fn sequential_network_schedule<C: CostModel>(
+    network: &Network,
+    cost_model: &C,
+) -> NetworkSchedule {
     baseline_schedule(network, cost_model, "Sequential", sequential_schedule)
 }
 
@@ -150,9 +153,15 @@ fn baseline_schedule<C: CostModel>(
     label: &str,
     build: impl Fn(&ios_ir::Graph, &C) -> Schedule,
 ) -> NetworkSchedule {
-    let block_schedules: Vec<Schedule> =
-        network.blocks.iter().map(|b| build(&b.graph, cost_model)).collect();
-    let latency_us = block_schedules.iter().map(Schedule::total_measured_latency_us).sum();
+    let block_schedules: Vec<Schedule> = network
+        .blocks
+        .iter()
+        .map(|b| build(&b.graph, cost_model))
+        .collect();
+    let latency_us = block_schedules
+        .iter()
+        .map(Schedule::total_measured_latency_us)
+        .sum();
     NetworkSchedule {
         network_name: network.name.clone(),
         label: label.to_string(),
@@ -220,8 +229,16 @@ mod tests {
         let out_shape = block0.graph.output_shapes()[0];
         let mut b = ios_ir::GraphBuilder::new("second", out_shape);
         let x = b.input(0);
-        let a = b.conv2d("a2", x, ios_ir::Conv2dParams::relu(256, (1, 1), (1, 1), (0, 0)));
-        let c = b.conv2d("c2", x, ios_ir::Conv2dParams::relu(256, (3, 3), (1, 1), (1, 1)));
+        let a = b.conv2d(
+            "a2",
+            x,
+            ios_ir::Conv2dParams::relu(256, (1, 1), (1, 1), (0, 0)),
+        );
+        let c = b.conv2d(
+            "c2",
+            x,
+            ios_ir::Conv2dParams::relu(256, (3, 3), (1, 1), (1, 1)),
+        );
         let cat = b.concat("cat2", &[a, c]);
         let block1 = ios_ir::Block::new(b.build(vec![cat]));
         Network::new("two_block", single.input_shape, vec![block0, block1])
@@ -279,7 +296,10 @@ mod tests {
         let k80 = SimCostModel::new(Simulator::new(DeviceKind::TeslaK80));
         let report = optimize_network(&net, &v100, &SchedulerConfig::paper_default());
         let on_k80 = evaluate_network(&net, &report.schedule, &k80);
-        assert!(on_k80 > report.schedule.latency_us, "K80 must be slower than V100");
+        assert!(
+            on_k80 > report.schedule.latency_us,
+            "K80 must be slower than V100"
+        );
     }
 
     #[test]

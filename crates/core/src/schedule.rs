@@ -78,7 +78,10 @@ impl Schedule {
     /// Creates a schedule from its stages.
     #[must_use]
     pub fn new(graph_name: impl Into<String>, stages: Vec<Stage>) -> Self {
-        Schedule { graph_name: graph_name.into(), stages }
+        Schedule {
+            graph_name: graph_name.into(),
+            stages,
+        }
     }
 
     /// Number of stages.
@@ -206,14 +209,18 @@ impl Schedule {
     pub fn render(&self, graph: &Graph) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "schedule for `{}` ({} stages):", self.graph_name, self.num_stages());
+        let _ = writeln!(
+            out,
+            "schedule for `{}` ({} stages):",
+            self.graph_name,
+            self.num_stages()
+        );
         for (i, stage) in self.stages.iter().enumerate() {
             let groups: Vec<String> = stage
                 .groups
                 .iter()
                 .map(|g| {
-                    let names: Vec<&str> =
-                        g.iter().map(|op| graph.op(*op).name.as_str()).collect();
+                    let names: Vec<&str> = g.iter().map(|op| graph.op(*op).name.as_str()).collect();
                     format!("{{{}}}", names.join(", "))
                 })
                 .collect();
@@ -249,7 +256,10 @@ mod tests {
         Stage {
             ops: ops.iter().map(|&i| OpId(i)).collect(),
             strategy,
-            groups: groups.iter().map(|g| g.iter().map(|&i| OpId(i)).collect()).collect(),
+            groups: groups
+                .iter()
+                .map(|g| g.iter().map(|&i| OpId(i)).collect())
+                .collect(),
             measured_latency_us: 1.0,
         }
     }
@@ -261,7 +271,11 @@ mod tests {
             "diamond",
             vec![
                 stage(&[0], &[&[0]], ParallelizationStrategy::ConcurrentExecution),
-                stage(&[1, 2], &[&[1], &[2]], ParallelizationStrategy::ConcurrentExecution),
+                stage(
+                    &[1, 2],
+                    &[&[1], &[2]],
+                    ParallelizationStrategy::ConcurrentExecution,
+                ),
                 stage(&[3], &[&[3]], ParallelizationStrategy::ConcurrentExecution),
             ],
         );
@@ -279,7 +293,11 @@ mod tests {
         let g = diamond();
         let s = Schedule::new(
             "diamond",
-            vec![stage(&[0, 1, 2], &[&[0, 1, 2]], ParallelizationStrategy::ConcurrentExecution)],
+            vec![stage(
+                &[0, 1, 2],
+                &[&[0, 1, 2]],
+                ParallelizationStrategy::ConcurrentExecution,
+            )],
         );
         assert!(s.validate(&g).unwrap_err().contains("covers 3 operators"));
     }
@@ -290,7 +308,11 @@ mod tests {
         let s = Schedule::new(
             "diamond",
             vec![
-                stage(&[1, 2], &[&[1], &[2]], ParallelizationStrategy::ConcurrentExecution),
+                stage(
+                    &[1, 2],
+                    &[&[1], &[2]],
+                    ParallelizationStrategy::ConcurrentExecution,
+                ),
                 stage(&[0], &[&[0]], ParallelizationStrategy::ConcurrentExecution),
                 stage(&[3], &[&[3]], ParallelizationStrategy::ConcurrentExecution),
             ],
@@ -305,7 +327,11 @@ mod tests {
         let ok = Schedule::new(
             "diamond",
             vec![
-                stage(&[0, 1], &[&[0, 1]], ParallelizationStrategy::ConcurrentExecution),
+                stage(
+                    &[0, 1],
+                    &[&[0, 1]],
+                    ParallelizationStrategy::ConcurrentExecution,
+                ),
                 stage(&[2], &[&[2]], ParallelizationStrategy::ConcurrentExecution),
                 stage(&[3], &[&[3]], ParallelizationStrategy::ConcurrentExecution),
             ],
@@ -315,7 +341,11 @@ mod tests {
         let bad = Schedule::new(
             "diamond",
             vec![
-                stage(&[0, 1], &[&[1, 0]], ParallelizationStrategy::ConcurrentExecution),
+                stage(
+                    &[0, 1],
+                    &[&[1, 0]],
+                    ParallelizationStrategy::ConcurrentExecution,
+                ),
                 stage(&[2], &[&[2]], ParallelizationStrategy::ConcurrentExecution),
                 stage(&[3], &[&[3]], ParallelizationStrategy::ConcurrentExecution),
             ],
@@ -325,7 +355,11 @@ mod tests {
         let split = Schedule::new(
             "diamond",
             vec![
-                stage(&[0, 1], &[&[0], &[1]], ParallelizationStrategy::ConcurrentExecution),
+                stage(
+                    &[0, 1],
+                    &[&[0], &[1]],
+                    ParallelizationStrategy::ConcurrentExecution,
+                ),
                 stage(&[2], &[&[2]], ParallelizationStrategy::ConcurrentExecution),
                 stage(&[3], &[&[3]], ParallelizationStrategy::ConcurrentExecution),
             ],
@@ -340,7 +374,11 @@ mod tests {
             "diamond",
             vec![
                 stage(&[0], &[&[0]], ParallelizationStrategy::ConcurrentExecution),
-                stage(&[1, 2], &[&[1, 2], &[2]], ParallelizationStrategy::ConcurrentExecution),
+                stage(
+                    &[1, 2],
+                    &[&[1, 2], &[2]],
+                    ParallelizationStrategy::ConcurrentExecution,
+                ),
                 stage(&[3], &[&[3]], ParallelizationStrategy::ConcurrentExecution),
             ],
         );
@@ -349,7 +387,11 @@ mod tests {
             "diamond",
             vec![
                 stage(&[0], &[&[0]], ParallelizationStrategy::ConcurrentExecution),
-                stage(&[1, 2], &[&[1]], ParallelizationStrategy::ConcurrentExecution),
+                stage(
+                    &[1, 2],
+                    &[&[1]],
+                    ParallelizationStrategy::ConcurrentExecution,
+                ),
                 stage(&[3], &[&[3]], ParallelizationStrategy::ConcurrentExecution),
             ],
         );
@@ -369,7 +411,13 @@ mod tests {
 
     #[test]
     fn strategy_display() {
-        assert_eq!(ParallelizationStrategy::ConcurrentExecution.to_string(), "concurrent execution");
-        assert_eq!(ParallelizationStrategy::OperatorMerge.to_string(), "operator merge");
+        assert_eq!(
+            ParallelizationStrategy::ConcurrentExecution.to_string(),
+            "concurrent execution"
+        );
+        assert_eq!(
+            ParallelizationStrategy::OperatorMerge.to_string(),
+            "operator merge"
+        );
     }
 }

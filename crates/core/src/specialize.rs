@@ -38,7 +38,11 @@ impl<'a, C: CostModel> ExecutionContext<'a, C> {
     /// Creates an execution context.
     #[must_use]
     pub fn new(label: impl Into<String>, network: &'a Network, cost_model: &'a C) -> Self {
-        ExecutionContext { label: label.into(), network, cost_model }
+        ExecutionContext {
+            label: label.into(),
+            network,
+            cost_model,
+        }
     }
 }
 
@@ -81,9 +85,9 @@ pub fn specialization_violations(
         if cell.optimized_for == cell.executed_on {
             continue;
         }
-        let diagonal = cells.iter().find(|c| {
-            c.executed_on == cell.executed_on && c.optimized_for == c.executed_on
-        });
+        let diagonal = cells
+            .iter()
+            .find(|c| c.executed_on == cell.executed_on && c.optimized_for == c.executed_on);
         if let Some(diag) = diagonal {
             if diag.latency_ms > cell.latency_ms * (1.0 + tolerance) {
                 violations.push(cell.clone());
@@ -117,8 +121,10 @@ mod tests {
             ExecutionContext::new("V100", &net, &v100),
             ExecutionContext::new("K80", &net, &k80),
         ];
-        let schedules =
-            vec![("V100".to_string(), &for_v100), ("K80".to_string(), &for_k80)];
+        let schedules = vec![
+            ("V100".to_string(), &for_v100),
+            ("K80".to_string(), &for_k80),
+        ];
         let cells = cross_evaluate(&contexts, &schedules);
         assert_eq!(cells.len(), 4);
 
@@ -154,10 +160,26 @@ mod tests {
     #[test]
     fn violation_detection_reports_offdiagonal_wins() {
         let cells = vec![
-            SpecializationCell { optimized_for: "a".into(), executed_on: "a".into(), latency_ms: 10.0 },
-            SpecializationCell { optimized_for: "b".into(), executed_on: "a".into(), latency_ms: 8.0 },
-            SpecializationCell { optimized_for: "a".into(), executed_on: "b".into(), latency_ms: 9.0 },
-            SpecializationCell { optimized_for: "b".into(), executed_on: "b".into(), latency_ms: 7.0 },
+            SpecializationCell {
+                optimized_for: "a".into(),
+                executed_on: "a".into(),
+                latency_ms: 10.0,
+            },
+            SpecializationCell {
+                optimized_for: "b".into(),
+                executed_on: "a".into(),
+                latency_ms: 8.0,
+            },
+            SpecializationCell {
+                optimized_for: "a".into(),
+                executed_on: "b".into(),
+                latency_ms: 9.0,
+            },
+            SpecializationCell {
+                optimized_for: "b".into(),
+                executed_on: "b".into(),
+                latency_ms: 7.0,
+            },
         ];
         let violations = specialization_violations(&cells, 0.0);
         assert_eq!(violations.len(), 1);

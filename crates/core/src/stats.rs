@@ -40,7 +40,6 @@ pub fn block_statistics(graph: &Graph, max_stage_ops: usize) -> BlockStats {
     let mut transitions = 0u64;
     let all = graph.all_ops();
     let num_schedules = count_schedules(
-        graph,
         &enumerator,
         all,
         max_stage_ops,
@@ -58,7 +57,6 @@ pub fn block_statistics(graph: &Graph, max_stage_ops: usize) -> BlockStats {
 }
 
 fn count_schedules(
-    graph: &Graph,
     enumerator: &EndingEnumerator,
     state: OpSet,
     max_stage_ops: usize,
@@ -75,7 +73,6 @@ fn count_schedules(
     for ending in enumerator.endings(state, max_stage_ops) {
         *transitions += 1;
         total += count_schedules(
-            graph,
             enumerator,
             state.difference(ending),
             max_stage_ops,
@@ -161,7 +158,9 @@ mod tests {
     fn pruning_reduces_transitions_and_schedules() {
         let mut b = GraphBuilder::new("wide", TensorShape::new(1, 8, 8, 8));
         let x = b.input(0);
-        let outs: Vec<_> = (0..5).map(|i| b.conv2d(format!("c{i}"), x, conv())).collect();
+        let outs: Vec<_> = (0..5)
+            .map(|i| b.conv2d(format!("c{i}"), x, conv()))
+            .collect();
         let g = b.build(outs);
         let unpruned = block_statistics(&g, usize::MAX);
         let pruned = block_statistics(&g, 2);

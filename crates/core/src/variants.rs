@@ -56,7 +56,10 @@ pub struct SchedulerConfig {
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
-        SchedulerConfig { variant: IosVariant::Both, pruning: PruningLimits::paper_default() }
+        SchedulerConfig {
+            variant: IosVariant::Both,
+            pruning: PruningLimits::paper_default(),
+        }
     }
 }
 
@@ -70,7 +73,10 @@ impl SchedulerConfig {
     /// Configuration for a specific variant with the default pruning.
     #[must_use]
     pub fn for_variant(variant: IosVariant) -> Self {
-        SchedulerConfig { variant, ..SchedulerConfig::default() }
+        SchedulerConfig {
+            variant,
+            ..SchedulerConfig::default()
+        }
     }
 
     /// Configuration with explicit pruning parameters `r` (max operators per
@@ -95,7 +101,11 @@ mod pruning_serde {
     }
 
     pub fn serialize<S: Serializer>(p: &PruningLimits, s: S) -> Result<S::Ok, S::Error> {
-        Limits { max_group_size: p.max_group_size, max_groups: p.max_groups }.serialize(s)
+        Limits {
+            max_group_size: p.max_group_size,
+            max_groups: p.max_groups,
+        }
+        .serialize(s)
     }
 
     pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<PruningLimits, D::Error> {

@@ -197,7 +197,11 @@ impl Framework {
             framework: self.kind.to_string(),
             network: network.name.clone(),
             latency_us: latency,
-            throughput: if latency > 0.0 { batch as f64 / (latency / 1e6) } else { 0.0 },
+            throughput: if latency > 0.0 {
+                batch as f64 / (latency / 1e6)
+            } else {
+                0.0
+            },
             kernels,
         }
     }
@@ -238,7 +242,11 @@ fn fuse_elementwise(graph: &Graph) -> Graph {
         let inputs: Vec<Value> = op.inputs.iter().map(|v| resolve(v, &mapping)).collect();
         mapping[op.id.index()] = Some(b.add(op.name.clone(), op.kind.clone(), &inputs));
     }
-    let outputs: Vec<Value> = graph.outputs().iter().map(|v| resolve(v, &mapping)).collect();
+    let outputs: Vec<Value> = graph
+        .outputs()
+        .iter()
+        .map(|v| resolve(v, &mapping))
+        .collect();
     b.build(outputs)
 }
 
@@ -253,8 +261,8 @@ fn merge_shared_input_convs(graph: &Graph) -> Graph {
     use std::collections::HashMap;
 
     // Group candidate convs by (input value, kernel, stride, activation).
-    let mut groups: HashMap<(Value, (usize, usize), (usize, usize), bool), Vec<OpId>> =
-        HashMap::new();
+    type SharedConvKey = (Value, (usize, usize), (usize, usize), bool);
+    let mut groups: HashMap<SharedConvKey, Vec<OpId>> = HashMap::new();
     for op in graph.ops() {
         if let OpKind::Conv2d(p) = &op.kind {
             if p.groups == 1 && op.inputs.len() == 1 {
@@ -265,8 +273,7 @@ fn merge_shared_input_convs(graph: &Graph) -> Graph {
             }
         }
     }
-    let merged_groups: Vec<Vec<OpId>> =
-        groups.into_values().filter(|g| g.len() >= 2).collect();
+    let merged_groups: Vec<Vec<OpId>> = groups.into_values().filter(|g| g.len() >= 2).collect();
     if merged_groups.is_empty() {
         return graph.clone();
     }
@@ -291,7 +298,7 @@ fn merge_shared_input_convs(graph: &Graph) -> Graph {
         if let Some(&gi) = group_of.get(&op.id) {
             let members = &merged_groups[gi];
             // Build the merged convolution the first time a member is seen.
-            if !merged_built.contains_key(&gi) {
+            merged_built.entry(gi).or_insert_with(|| {
                 let first = graph.op(members[0]);
                 let params = match &first.kind {
                     OpKind::Conv2d(p) => *p,
@@ -304,27 +311,29 @@ fn merge_shared_input_convs(graph: &Graph) -> Graph {
                         _ => 0,
                     })
                     .sum();
-                let merged_params = Conv2dParams { out_channels: total_out, ..params };
+                let merged_params = Conv2dParams {
+                    out_channels: total_out,
+                    ..params
+                };
                 let input = resolve(&first.inputs[0], &mapping);
-                let merged = b.conv2d(
-                    format!("merged_{}", first.name),
-                    input,
-                    merged_params,
-                );
-                merged_built.insert(gi, merged);
-            }
+                let merged = b.conv2d(format!("merged_{}", first.name), input, merged_params);
+                merged
+            });
             let merged = merged_built[&gi];
             // Each original output becomes an identity view of the merged
             // tensor (channel slicing does not change the cost model's view
             // of downstream operators materially).
-            mapping[op.id.index()] =
-                Some(b.identity(format!("view_{}", op.name), merged));
+            mapping[op.id.index()] = Some(b.identity(format!("view_{}", op.name), merged));
             continue;
         }
         let inputs: Vec<Value> = op.inputs.iter().map(|v| resolve(v, &mapping)).collect();
         mapping[op.id.index()] = Some(b.add(op.name.clone(), op.kind.clone(), &inputs));
     }
-    let outputs: Vec<Value> = graph.outputs().iter().map(|v| resolve(v, &mapping)).collect();
+    let outputs: Vec<Value> = graph
+        .outputs()
+        .iter()
+        .map(|v| resolve(v, &mapping))
+        .collect();
     b.build(outputs)
 }
 
@@ -346,7 +355,10 @@ mod tests {
         let fw = Framework::new(FrameworkKind::TensorFlowXla, DeviceKind::TeslaV100);
         let block = &net.blocks[1].graph;
         let rewritten = fw.rewrite(block);
-        assert!(rewritten.len() < block.len(), "XLA should remove standalone ReLU/Identity ops");
+        assert!(
+            rewritten.len() < block.len(),
+            "XLA should remove standalone ReLU/Identity ops"
+        );
         assert!(rewritten.validate().is_ok());
     }
 
@@ -365,7 +377,10 @@ mod tests {
             .count();
         // All four convolutions share the input, kernel size and stride, so
         // TASO's substitution collapses them into a single wide convolution.
-        assert_eq!(convs, 1, "four identical-shape convolutions should merge into one");
+        assert_eq!(
+            convs, 1,
+            "four identical-shape convolutions should merge into one"
+        );
         assert!(rewritten.validate().is_ok());
     }
 

@@ -17,7 +17,10 @@ impl IosEngine {
     /// (IOS-Both, pruning `r = 3`, `s = 8`, cuDNN kernels).
     #[must_use]
     pub fn new(device: DeviceKind) -> Self {
-        IosEngine { device, config: SchedulerConfig::paper_default() }
+        IosEngine {
+            device,
+            config: SchedulerConfig::paper_default(),
+        }
     }
 
     /// Creates the engine with an explicit scheduler configuration.
@@ -52,7 +55,9 @@ impl IosEngine {
 /// default configuration.
 #[must_use]
 pub fn ios_latency_us(network: &Network, device: DeviceKind) -> f64 {
-    IosEngine::new(device).optimize_and_measure(network).latency_us
+    IosEngine::new(device)
+        .optimize_and_measure(network)
+        .latency_us
 }
 
 #[cfg(test)]

@@ -74,10 +74,8 @@ mod tests {
         // beats IOS; on wide Conv-Relu blocks the opposite holds because
         // only IOS can use the idle SMs.
         let device = DeviceKind::TeslaV100;
-        let mut b = ios_ir::GraphBuilder::new(
-            "sepconv_chain",
-            ios_ir::TensorShape::new(1, 128, 28, 28),
-        );
+        let mut b =
+            ios_ir::GraphBuilder::new("sepconv_chain", ios_ir::TensorShape::new(1, 128, 28, 28));
         let mut v = b.input(0);
         for i in 0..6 {
             v = b.sep_conv2d(
@@ -117,6 +115,9 @@ mod tests {
     fn optimization_cost_gap_matches_figure12() {
         let ios_cost = IosEngine::optimization_cost_gpu_hours();
         let tvm_cost = FrameworkKind::TvmAutoTune.optimization_cost_gpu_hours();
-        assert!(tvm_cost / ios_cost > 50.0, "TVM tuning must be orders of magnitude costlier");
+        assert!(
+            tvm_cost / ios_cost > 50.0,
+            "TVM tuning must be orders of magnitude costlier"
+        );
     }
 }

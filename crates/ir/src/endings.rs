@@ -33,19 +33,28 @@ impl PruningLimits {
     /// `r = 3`, `s = 8`.
     #[must_use]
     pub fn paper_default() -> Self {
-        PruningLimits { max_group_size: 3, max_groups: 8 }
+        PruningLimits {
+            max_group_size: 3,
+            max_groups: 8,
+        }
     }
 
     /// No pruning: every ending is admitted (used for the Table 1 counts).
     #[must_use]
     pub fn unpruned() -> Self {
-        PruningLimits { max_group_size: usize::MAX, max_groups: usize::MAX }
+        PruningLimits {
+            max_group_size: usize::MAX,
+            max_groups: usize::MAX,
+        }
     }
 
     /// Creates a pruning strategy with explicit `r` and `s`.
     #[must_use]
     pub fn new(max_group_size: usize, max_groups: usize) -> Self {
-        PruningLimits { max_group_size, max_groups }
+        PruningLimits {
+            max_group_size,
+            max_groups,
+        }
     }
 
     /// Upper bound on the number of operators an admissible ending may have.
@@ -91,7 +100,10 @@ impl EndingEnumerator {
         let succs = graph.successor_sets();
         let mut reverse_topo = graph.topological_order();
         reverse_topo.reverse();
-        EndingEnumerator { succs, reverse_topo }
+        EndingEnumerator {
+            succs,
+            reverse_topo,
+        }
     }
 
     /// Enumerates every non-empty ending of `state`, bounded in size by
@@ -103,8 +115,12 @@ impl EndingEnumerator {
     /// yields each successor-closed subset exactly once.
     #[must_use]
     pub fn endings(&self, state: OpSet, max_ops: usize) -> Vec<OpSet> {
-        let members: Vec<OpId> =
-            self.reverse_topo.iter().copied().filter(|id| state.contains(*id)).collect();
+        let members: Vec<OpId> = self
+            .reverse_topo
+            .iter()
+            .copied()
+            .filter(|id| state.contains(*id))
+            .collect();
         let mut out = Vec::new();
         let mut current = OpSet::empty();
         self.recurse(&members, 0, state, &mut current, max_ops, &mut out);
@@ -145,8 +161,12 @@ impl EndingEnumerator {
     /// Table 1 transition counts, where RandWire has ~1.2 × 10⁶ transitions).
     #[must_use]
     pub fn count_endings(&self, state: OpSet, max_ops: usize) -> u64 {
-        let members: Vec<OpId> =
-            self.reverse_topo.iter().copied().filter(|id| state.contains(*id)).collect();
+        let members: Vec<OpId> = self
+            .reverse_topo
+            .iter()
+            .copied()
+            .filter(|id| state.contains(*id))
+            .collect();
         let mut current = OpSet::empty();
         let mut count = 0u64;
         self.count_recurse(&members, 0, state, &mut current, max_ops, &mut count);
@@ -186,9 +206,11 @@ impl EndingEnumerator {
         if candidate.is_empty() || !candidate.is_subset(state) {
             return false;
         }
-        candidate
-            .iter()
-            .all(|op| self.succs[op.index()].intersection(state).is_subset(candidate))
+        candidate.iter().all(|op| {
+            self.succs[op.index()]
+                .intersection(state)
+                .is_subset(candidate)
+        })
     }
 }
 
@@ -258,7 +280,11 @@ mod tests {
         // `a` may only appear in the full set; `d` alone is an ending.
         for s in &endings {
             if s.contains(OpId(0)) {
-                assert_eq!(s.len(), 4, "ending containing the source must be the full set: {s:?}");
+                assert_eq!(
+                    s.len(),
+                    4,
+                    "ending containing the source must be the full set: {s:?}"
+                );
             }
         }
         assert!(endings.contains(&OpSet::singleton(OpId(3))));
@@ -306,7 +332,9 @@ mod tests {
         let g = fig5();
         let pruned = endings_of(&g, g.all_ops(), PruningLimits::new(1, 8));
         // Endings with the a-b pair grouped together are removed.
-        assert!(pruned.iter().all(|s| g.groups_of(*s).iter().all(|grp| grp.len() <= 1)));
+        assert!(pruned
+            .iter()
+            .all(|s| g.groups_of(*s).iter().all(|grp| grp.len() <= 1)));
         let unpruned = endings_of(&g, g.all_ops(), PruningLimits::unpruned());
         assert_eq!(unpruned.len(), 5);
     }

@@ -50,7 +50,10 @@ impl fmt::Display for IrError {
                 write!(f, "graph `{graph}` contains a cycle")
             }
             IrError::TooManyOperators { count, max } => {
-                write!(f, "graph has {count} operators, more than the supported maximum of {max}")
+                write!(
+                    f,
+                    "graph has {count} operators, more than the supported maximum of {max}"
+                )
             }
             IrError::InvalidParameter { message } => {
                 write!(f, "invalid parameter: {message}")
@@ -85,7 +88,10 @@ mod tests {
 
     #[test]
     fn too_many_operators_message() {
-        let e = IrError::TooManyOperators { count: 200, max: 128 };
+        let e = IrError::TooManyOperators {
+            count: 200,
+            max: 128,
+        };
         assert!(e.to_string().contains("200"));
         assert!(e.to_string().contains("128"));
     }

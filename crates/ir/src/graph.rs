@@ -111,7 +111,11 @@ impl Graph {
     /// Shapes of the inputs of an operator.
     #[must_use]
     pub fn op_input_shapes(&self, id: OpId) -> Vec<TensorShape> {
-        self.op(id).inputs.iter().map(|v| self.value_shape(*v)).collect()
+        self.op(id)
+            .inputs
+            .iter()
+            .map(|v| self.value_shape(*v))
+            .collect()
     }
 
     /// Floating point operations of a single operator.
@@ -123,7 +127,8 @@ impl Graph {
     /// Memory traffic of a single operator in bytes (FP32).
     #[must_use]
     pub fn op_memory_bytes(&self, id: OpId) -> u64 {
-        self.op(id).memory_bytes(&self.op_input_shapes(id), DType::F32)
+        self.op(id)
+            .memory_bytes(&self.op_input_shapes(id), DType::F32)
     }
 
     /// Total floating point operations of the whole graph.
@@ -135,7 +140,10 @@ impl Graph {
     /// Total number of trainable parameters.
     #[must_use]
     pub fn total_parameters(&self) -> usize {
-        self.ops.iter().map(|op| op.num_parameters(&self.op_input_shapes(op.id))).sum()
+        self.ops
+            .iter()
+            .map(|op| op.num_parameters(&self.op_input_shapes(op.id)))
+            .sum()
     }
 
     /// The full operator set of the graph, `V`.
@@ -148,8 +156,12 @@ impl Graph {
     /// create scheduling dependencies).
     #[must_use]
     pub fn predecessors(&self, id: OpId) -> Vec<OpId> {
-        let mut preds: Vec<OpId> =
-            self.op(id).inputs.iter().filter_map(|v| v.as_op()).collect();
+        let mut preds: Vec<OpId> = self
+            .op(id)
+            .inputs
+            .iter()
+            .filter_map(|v| v.as_op())
+            .collect();
         preds.sort_unstable();
         preds.dedup();
         preds
@@ -265,7 +277,9 @@ impl Graph {
                     continue;
                 }
                 group.insert(cur);
-                let neighbors = preds[cur.index()].union(succs[cur.index()]).intersection(set);
+                let neighbors = preds[cur.index()]
+                    .union(succs[cur.index()])
+                    .intersection(set);
                 for n in neighbors.iter() {
                     if !group.contains(n) {
                         stack.push(n);
@@ -283,7 +297,10 @@ impl Graph {
     /// (operators in a group execute sequentially).
     #[must_use]
     pub fn sequential_order_of(&self, group: OpSet) -> Vec<OpId> {
-        self.topological_order().into_iter().filter(|id| group.contains(*id)).collect()
+        self.topological_order()
+            .into_iter()
+            .filter(|id| group.contains(*id))
+            .collect()
     }
 
     /// Validates the structural invariants of the graph (acyclicity, input
@@ -294,23 +311,32 @@ impl Graph {
     /// Returns the first violated invariant.
     pub fn validate(&self) -> Result<(), IrError> {
         if self.ops.len() > MAX_OPS {
-            return Err(IrError::TooManyOperators { count: self.ops.len(), max: MAX_OPS });
+            return Err(IrError::TooManyOperators {
+                count: self.ops.len(),
+                max: MAX_OPS,
+            });
         }
         for op in &self.ops {
             for v in &op.inputs {
                 match v {
                     Value::Input(i) if *i >= self.inputs.len() => {
-                        return Err(IrError::UnknownValue { op: op.name.clone() })
+                        return Err(IrError::UnknownValue {
+                            op: op.name.clone(),
+                        })
                     }
                     Value::Op(id) if id.index() >= self.ops.len() => {
-                        return Err(IrError::UnknownValue { op: op.name.clone() })
+                        return Err(IrError::UnknownValue {
+                            op: op.name.clone(),
+                        })
                     }
                     _ => {}
                 }
             }
         }
         if self.topological_order().len() != self.ops.len() {
-            return Err(IrError::CyclicGraph { graph: self.name.clone() });
+            return Err(IrError::CyclicGraph {
+                graph: self.name.clone(),
+            });
         }
         Ok(())
     }
@@ -331,14 +357,22 @@ impl GraphBuilder {
     /// Creates a builder for a graph with a single external input.
     #[must_use]
     pub fn new(name: impl Into<String>, input: TensorShape) -> Self {
-        GraphBuilder { name: name.into(), inputs: vec![input], ops: Vec::new() }
+        GraphBuilder {
+            name: name.into(),
+            inputs: vec![input],
+            ops: Vec::new(),
+        }
     }
 
     /// Creates a builder for a graph with several external inputs (used by
     /// NasNet cells, which consume the two previous cell outputs).
     #[must_use]
     pub fn with_inputs(name: impl Into<String>, inputs: Vec<TensorShape>) -> Self {
-        GraphBuilder { name: name.into(), inputs, ops: Vec::new() }
+        GraphBuilder {
+            name: name.into(),
+            inputs,
+            ops: Vec::new(),
+        }
     }
 
     /// The value of the `i`-th external input.
@@ -388,7 +422,13 @@ impl GraphBuilder {
         let input_shapes: Vec<TensorShape> = inputs.iter().map(|v| self.shape_of(*v)).collect();
         let output_shape = Op::infer_output_shape(&name, &kind, &input_shapes)?;
         let id = OpId(self.ops.len());
-        self.ops.push(Op { id, name, kind, inputs: inputs.to_vec(), output_shape });
+        self.ops.push(Op {
+            id,
+            name,
+            kind,
+            inputs: inputs.to_vec(),
+            output_shape,
+        });
         Ok(Value::Op(id))
     }
 
@@ -432,7 +472,10 @@ impl GraphBuilder {
     pub fn matmul(&mut self, name: impl Into<String>, input: Value, out_features: usize) -> Value {
         self.add(
             name,
-            OpKind::MatMul(MatMulParams { out_features, activation: Activation::None }),
+            OpKind::MatMul(MatMulParams {
+                out_features,
+                activation: Activation::None,
+            }),
             &[input],
         )
     }
@@ -466,7 +509,12 @@ impl GraphBuilder {
     /// operator as it is added).
     #[must_use]
     pub fn build(self, outputs: Vec<Value>) -> Graph {
-        let graph = Graph { name: self.name, inputs: self.inputs, ops: self.ops, outputs };
+        let graph = Graph {
+            name: self.name,
+            inputs: self.inputs,
+            ops: self.ops,
+            outputs,
+        };
         graph.validate().expect("builder produced an invalid graph");
         graph
     }
@@ -568,7 +616,10 @@ mod tests {
 
     #[test]
     fn multi_input_graphs() {
-        let shapes = vec![TensorShape::new(1, 32, 14, 14), TensorShape::new(1, 32, 14, 14)];
+        let shapes = vec![
+            TensorShape::new(1, 32, 14, 14),
+            TensorShape::new(1, 32, 14, 14),
+        ];
         let mut b = GraphBuilder::with_inputs("two_in", shapes);
         let x = b.input(0);
         let y = b.input(1);

@@ -31,7 +31,10 @@ pub fn graph_to_dot_with_stages(graph: &Graph, stages: &[OpSet]) -> String {
     let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
 
     for (i, shape) in graph.input_shapes().iter().enumerate() {
-        let _ = writeln!(out, "  input{i} [shape=ellipse, label=\"input {i}\\n{shape}\"];");
+        let _ = writeln!(
+            out,
+            "  input{i} [shape=ellipse, label=\"input {i}\\n{shape}\"];"
+        );
     }
 
     let in_stage = |idx: usize| stages.iter().position(|s| s.contains(crate::OpId(idx)));
@@ -80,7 +83,13 @@ fn node_decl(graph: &Graph, idx: usize) -> String {
     let op = &graph.ops()[idx];
     let extra = match &op.kind {
         OpKind::Conv2d(p) | OpKind::SepConv2d(p) => {
-            format!("\\n{}x{} k{}x{}", p.out_channels, graph.op_input_shapes(op.id)[0].channels, p.kernel.0, p.kernel.1)
+            format!(
+                "\\n{}x{} k{}x{}",
+                p.out_channels,
+                graph.op_input_shapes(op.id)[0].channels,
+                p.kernel.0,
+                p.kernel.1
+            )
         }
         _ => String::new(),
     };

@@ -57,7 +57,11 @@ impl Network {
     /// Creates a network from its blocks.
     #[must_use]
     pub fn new(name: impl Into<String>, input_shape: TensorShape, blocks: Vec<Block>) -> Self {
-        Network { name: name.into(), input_shape, blocks }
+        Network {
+            name: name.into(),
+            input_shape,
+            blocks,
+        }
     }
 
     /// Number of blocks.
@@ -79,7 +83,13 @@ impl Network {
     pub fn num_compute_units(&self) -> usize {
         self.blocks
             .iter()
-            .map(|b| b.graph.ops().iter().filter(|op| op.kind.is_compute_unit()).count())
+            .map(|b| {
+                b.graph
+                    .ops()
+                    .iter()
+                    .filter(|op| op.kind.is_compute_unit())
+                    .count()
+            })
             .sum()
     }
 
@@ -162,8 +172,11 @@ impl Network {
 /// re-running shape inference for every operator.
 fn rebuild_with_batch(graph: &Graph, batch: usize) -> Graph {
     use crate::graph::GraphBuilder;
-    let inputs: Vec<TensorShape> =
-        graph.input_shapes().iter().map(|s| s.with_batch(batch)).collect();
+    let inputs: Vec<TensorShape> = graph
+        .input_shapes()
+        .iter()
+        .map(|s| s.with_batch(batch))
+        .collect();
     let mut builder = GraphBuilder::with_inputs(graph.name(), inputs);
     for op in graph.ops() {
         let produced = builder.add(op.name.clone(), op.kind.clone(), &op.inputs);
@@ -183,7 +196,11 @@ mod tests {
         let x = b.input(0);
         let mut outs = Vec::new();
         for i in 0..branches {
-            let v = b.conv2d(format!("{name}_conv{i}"), x, Conv2dParams::relu(32, (3, 3), (1, 1), (1, 1)));
+            let v = b.conv2d(
+                format!("{name}_conv{i}"),
+                x,
+                Conv2dParams::relu(32, (3, 3), (1, 1), (1, 1)),
+            );
             outs.push(v);
         }
         let cat = b.concat(format!("{name}_cat"), &outs);
@@ -233,7 +250,10 @@ mod tests {
         assert_eq!(net32.total_flops(), 32 * net.total_flops());
         // Structure is preserved.
         assert_eq!(net32.num_operators(), net.num_operators());
-        assert_eq!(net32.blocks[0].graph.op(crate::OpId(0)).name, net.blocks[0].graph.op(crate::OpId(0)).name);
+        assert_eq!(
+            net32.blocks[0].graph.op(crate::OpId(0)).name,
+            net.blocks[0].graph.op(crate::OpId(0)).name
+        );
     }
 
     #[test]

@@ -98,7 +98,10 @@ impl Conv2dParams {
         stride: (usize, usize),
         padding: (usize, usize),
     ) -> Self {
-        Conv2dParams { activation: Activation::Relu, ..Conv2dParams::plain(out_channels, kernel, stride, padding) }
+        Conv2dParams {
+            activation: Activation::Relu,
+            ..Conv2dParams::plain(out_channels, kernel, stride, padding)
+        }
     }
 
     /// "Same" padding for odd kernel sizes (output spatial size equals input
@@ -157,19 +160,34 @@ impl PoolParams {
     /// Max pooling with the given window and stride.
     #[must_use]
     pub fn max(kernel: (usize, usize), stride: (usize, usize), padding: (usize, usize)) -> Self {
-        PoolParams { kind: PoolKind::Max, kernel, stride, padding }
+        PoolParams {
+            kind: PoolKind::Max,
+            kernel,
+            stride,
+            padding,
+        }
     }
 
     /// Average pooling with the given window and stride.
     #[must_use]
     pub fn avg(kernel: (usize, usize), stride: (usize, usize), padding: (usize, usize)) -> Self {
-        PoolParams { kind: PoolKind::Avg, kernel, stride, padding }
+        PoolParams {
+            kind: PoolKind::Avg,
+            kernel,
+            stride,
+            padding,
+        }
     }
 
     /// Global average pooling.
     #[must_use]
     pub fn global_avg() -> Self {
-        PoolParams { kind: PoolKind::GlobalAvg, kernel: (1, 1), stride: (1, 1), padding: (0, 0) }
+        PoolParams {
+            kind: PoolKind::GlobalAvg,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: (0, 0),
+        }
     }
 }
 
@@ -231,7 +249,10 @@ impl OpKind {
     /// counts in Table 2 refer to the heavy units.
     #[must_use]
     pub fn is_compute_unit(&self) -> bool {
-        matches!(self, OpKind::Conv2d(_) | OpKind::SepConv2d(_) | OpKind::MatMul(_))
+        matches!(
+            self,
+            OpKind::Conv2d(_) | OpKind::SepConv2d(_) | OpKind::MatMul(_)
+        )
     }
 }
 
@@ -315,7 +336,10 @@ impl Op {
     /// a duplicated read of the shared input).
     #[must_use]
     pub fn memory_bytes(&self, input_shapes: &[TensorShape], dtype: DType) -> u64 {
-        let reads: u64 = input_shapes.iter().map(|s| s.size_bytes(dtype) as u64).sum();
+        let reads: u64 = input_shapes
+            .iter()
+            .map(|s| s.size_bytes(dtype) as u64)
+            .sum();
         let weights = self.num_parameters(input_shapes) as u64 * dtype.size_bytes() as u64;
         let writes = self.output_shape.size_bytes(dtype) as u64;
         reads + weights + writes
@@ -346,7 +370,7 @@ impl Op {
                 require_inputs(1)?;
                 p.validate()?;
                 let input = input_shapes[0];
-                if input.channels % p.groups != 0 {
+                if !input.channels.is_multiple_of(p.groups) {
                     return Err(IrError::InvalidParameter {
                         message: format!(
                             "operator `{name}`: input channels {} not divisible by groups {}",
@@ -386,7 +410,12 @@ impl Op {
                     }
                     channels += s.channels;
                 }
-                Ok(TensorShape::new(first.batch, channels, first.height, first.width))
+                Ok(TensorShape::new(
+                    first.batch,
+                    channels,
+                    first.height,
+                    first.width,
+                ))
             }
             OpKind::Add => {
                 require_inputs(1)?;
@@ -428,11 +457,17 @@ mod tests {
     #[test]
     fn conv_shape_and_flops() {
         let input = TensorShape::new(1, 384, 8, 8);
-        let op = make_op(OpKind::Conv2d(Conv2dParams::relu(384, (3, 3), (1, 1), (1, 1))), &[input]);
+        let op = make_op(
+            OpKind::Conv2d(Conv2dParams::relu(384, (3, 3), (1, 1), (1, 1))),
+            &[input],
+        );
         assert_eq!(op.output_shape, TensorShape::new(1, 384, 8, 8));
         // 2 * 8*8*384 * 384*3*3 = ~169.8 MFLOPs + relu
         let flops = op.flops(&[input]);
-        assert!(flops > 169_000_000 && flops < 171_000_000, "flops = {flops}");
+        assert!(
+            flops > 169_000_000 && flops < 171_000_000,
+            "flops = {flops}"
+        );
     }
 
     #[test]
@@ -441,8 +476,14 @@ mod tests {
         // 0.6 GFLOPs for the 384-channel branch and 1.2 GFLOPs for the
         // 768-channel branch on the same input; the ratio must be exactly 2.
         let input = TensorShape::new(1, 384, 15, 15);
-        let a = make_op(OpKind::Conv2d(Conv2dParams::relu(384, (3, 3), (1, 1), (1, 1))), &[input]);
-        let b = make_op(OpKind::Conv2d(Conv2dParams::relu(768, (3, 3), (1, 1), (1, 1))), &[input]);
+        let a = make_op(
+            OpKind::Conv2d(Conv2dParams::relu(384, (3, 3), (1, 1), (1, 1))),
+            &[input],
+        );
+        let b = make_op(
+            OpKind::Conv2d(Conv2dParams::relu(768, (3, 3), (1, 1), (1, 1))),
+            &[input],
+        );
         let fa = a.flops(&[input]) as f64;
         let fb = b.flops(&[input]) as f64;
         assert!((fb / fa - 2.0).abs() < 0.01);
@@ -451,7 +492,10 @@ mod tests {
     #[test]
     fn grouped_conv_divides_flops() {
         let input = TensorShape::new(1, 64, 28, 28);
-        let dense = make_op(OpKind::Conv2d(Conv2dParams::plain(64, (3, 3), (1, 1), (1, 1))), &[input]);
+        let dense = make_op(
+            OpKind::Conv2d(Conv2dParams::plain(64, (3, 3), (1, 1), (1, 1))),
+            &[input],
+        );
         let mut grouped_params = Conv2dParams::plain(64, (3, 3), (1, 1), (1, 1));
         grouped_params.groups = 4;
         let grouped = make_op(OpKind::Conv2d(grouped_params), &[input]);
@@ -461,8 +505,14 @@ mod tests {
     #[test]
     fn sepconv_cheaper_than_dense() {
         let input = TensorShape::new(1, 128, 28, 28);
-        let dense = make_op(OpKind::Conv2d(Conv2dParams::plain(128, (3, 3), (1, 1), (1, 1))), &[input]);
-        let sep = make_op(OpKind::SepConv2d(Conv2dParams::plain(128, (3, 3), (1, 1), (1, 1))), &[input]);
+        let dense = make_op(
+            OpKind::Conv2d(Conv2dParams::plain(128, (3, 3), (1, 1), (1, 1))),
+            &[input],
+        );
+        let sep = make_op(
+            OpKind::SepConv2d(Conv2dParams::plain(128, (3, 3), (1, 1), (1, 1))),
+            &[input],
+        );
         assert!(sep.flops(&[input]) < dense.flops(&[input]) / 4);
     }
 
@@ -502,7 +552,13 @@ mod tests {
     #[test]
     fn matmul_shape_and_params() {
         let input = TensorShape::vector(8, 2048);
-        let op = make_op(OpKind::MatMul(MatMulParams { out_features: 1000, activation: Activation::None }), &[input]);
+        let op = make_op(
+            OpKind::MatMul(MatMulParams {
+                out_features: 1000,
+                activation: Activation::None,
+            }),
+            &[input],
+        );
         assert_eq!(op.output_shape, TensorShape::vector(8, 1000));
         assert_eq!(op.num_parameters(&[input]), 2048 * 1000 + 1000);
         assert_eq!(op.flops(&[input]), 2 * 8 * 2048 * 1000);
@@ -511,18 +567,27 @@ mod tests {
     #[test]
     fn memory_bytes_counts_reads_weights_writes() {
         let input = TensorShape::new(1, 64, 8, 8);
-        let op = make_op(OpKind::Conv2d(Conv2dParams::plain(32, (1, 1), (1, 1), (0, 0))), &[input]);
+        let op = make_op(
+            OpKind::Conv2d(Conv2dParams::plain(32, (1, 1), (1, 1), (0, 0))),
+            &[input],
+        );
         let expect_reads = input.size_bytes(DType::F32) as u64;
         let expect_weights = (32 * 64 + 32) as u64 * 4;
         let expect_writes = op.output_shape.size_bytes(DType::F32) as u64;
-        assert_eq!(op.memory_bytes(&[input], DType::F32), expect_reads + expect_weights + expect_writes);
+        assert_eq!(
+            op.memory_bytes(&[input], DType::F32),
+            expect_reads + expect_weights + expect_writes
+        );
     }
 
     #[test]
     fn zero_parameter_conv_is_rejected() {
         let p = Conv2dParams::plain(0, (3, 3), (1, 1), (1, 1));
         assert!(p.validate().is_err());
-        let p = Conv2dParams { stride: (0, 1), ..Conv2dParams::plain(8, (3, 3), (1, 1), (1, 1)) };
+        let p = Conv2dParams {
+            stride: (0, 1),
+            ..Conv2dParams::plain(8, (3, 3), (1, 1), (1, 1))
+        };
         assert!(p.validate().is_err());
     }
 

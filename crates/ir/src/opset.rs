@@ -30,7 +30,10 @@ impl OpSet {
     /// Panics if `n > 128`.
     #[must_use]
     pub fn full(n: usize) -> Self {
-        assert!(n <= MAX_OPS, "OpSet supports at most {MAX_OPS} operators, got {n}");
+        assert!(
+            n <= MAX_OPS,
+            "OpSet supports at most {MAX_OPS} operators, got {n}"
+        );
         if n == MAX_OPS {
             OpSet(u128::MAX)
         } else {
@@ -77,7 +80,11 @@ impl OpSet {
     ///
     /// Panics (in debug builds) if the operator index exceeds [`MAX_OPS`].
     pub fn insert(&mut self, op: OpId) {
-        debug_assert!(op.index() < MAX_OPS, "operator index {} out of range", op.index());
+        debug_assert!(
+            op.index() < MAX_OPS,
+            "operator index {} out of range",
+            op.index()
+        );
         self.0 |= 1u128 << op.index();
     }
 

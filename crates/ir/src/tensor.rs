@@ -60,7 +60,12 @@ impl TensorShape {
     /// Creates a new NCHW shape.
     #[must_use]
     pub fn new(batch: usize, channels: usize, height: usize, width: usize) -> Self {
-        TensorShape { batch, channels, height, width }
+        TensorShape {
+            batch,
+            channels,
+            height,
+            width,
+        }
     }
 
     /// A 1x1 spatial shape, useful for fully-connected layers expressed as
@@ -138,7 +143,11 @@ impl TensorShape {
 
 impl fmt::Display for TensorShape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{}x{}x{}", self.batch, self.channels, self.height, self.width)
+        write!(
+            f,
+            "{}x{}x{}x{}",
+            self.batch, self.channels, self.height, self.width
+        )
     }
 }
 

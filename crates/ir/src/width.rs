@@ -41,14 +41,14 @@ pub fn chain_decomposition(graph: &Graph) -> Vec<Vec<OpId>> {
     // `match_to[u] = Some(v)` means the chain continues from u to v.
     // Find chain heads: nodes that are not matched as a right endpoint.
     let mut is_tail = vec![false; n];
-    for u in 0..n {
-        if let Some(v) = match_to[u] {
+    for matched in &match_to {
+        if let Some(v) = *matched {
             is_tail[v] = true;
         }
     }
     let mut chains = Vec::new();
-    for head in 0..n {
-        if is_tail[head] {
+    for (head, &head_is_tail) in is_tail.iter().enumerate() {
+        if head_is_tail {
             continue;
         }
         let mut chain = vec![OpId(head)];
@@ -65,7 +65,10 @@ pub fn chain_decomposition(graph: &Graph) -> Vec<Vec<OpId>> {
 /// Size of the maximum matching in the bipartite graph where left node `u`
 /// connects to right node `v` iff `v` is reachable from `u`.
 fn maximum_bipartite_matching(n: usize, reach: &[OpSet]) -> usize {
-    bipartite_matching_assignment(n, reach).iter().filter(|m| m.is_some()).count()
+    bipartite_matching_assignment(n, reach)
+        .iter()
+        .filter(|m| m.is_some())
+        .count()
 }
 
 /// Returns, for each left node, the right node it is matched to (if any),

@@ -39,7 +39,10 @@ pub fn figure5_graph(batch: usize) -> ios_ir::Graph {
 /// this graph reaches the upper bound `C(c+2, 2)^d`.
 #[must_use]
 pub fn worst_case_chains(chains: usize, chain_len: usize, batch: usize) -> Network {
-    assert!(chains >= 1 && chain_len >= 1, "need at least one chain of one operator");
+    assert!(
+        chains >= 1 && chain_len >= 1,
+        "need at least one chain of one operator"
+    );
     let input = TensorShape::new(batch, 32, 16, 16);
     let mut b = GraphBuilder::new(format!("chains_{chains}x{chain_len}"), input);
     let x = b.input(0);
@@ -52,7 +55,11 @@ pub fn worst_case_chains(chains: usize, chain_len: usize, batch: usize) -> Netwo
         outs.push(v);
     }
     let graph = b.build(outs);
-    Network::new(format!("worst_case_{chains}x{chain_len}"), input, vec![Block::new(graph)])
+    Network::new(
+        format!("worst_case_{chains}x{chain_len}"),
+        input,
+        vec![Block::new(graph)],
+    )
 }
 
 #[cfg(test)]

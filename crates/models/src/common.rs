@@ -12,7 +12,11 @@ pub fn conv_relu(
     stride: (usize, usize),
 ) -> Value {
     let padding = Conv2dParams::same_padding(kernel);
-    b.conv2d(name, input, Conv2dParams::relu(out_channels, kernel, stride, padding))
+    b.conv2d(
+        name,
+        input,
+        Conv2dParams::relu(out_channels, kernel, stride, padding),
+    )
 }
 
 /// Adds a convolution with fused ReLU and explicit padding.
@@ -25,7 +29,11 @@ pub fn conv_relu_pad(
     stride: (usize, usize),
     padding: (usize, usize),
 ) -> Value {
-    b.conv2d(name, input, Conv2dParams::relu(out_channels, kernel, stride, padding))
+    b.conv2d(
+        name,
+        input,
+        Conv2dParams::relu(out_channels, kernel, stride, padding),
+    )
 }
 
 /// Adds a ReLU-SepConv unit (the RandWire / NasNet schedule unit) with
@@ -39,7 +47,11 @@ pub fn sep_conv(
     stride: (usize, usize),
 ) -> Value {
     let padding = Conv2dParams::same_padding(kernel);
-    b.sep_conv2d(name, input, Conv2dParams::relu(out_channels, kernel, stride, padding))
+    b.sep_conv2d(
+        name,
+        input,
+        Conv2dParams::relu(out_channels, kernel, stride, padding),
+    )
 }
 
 /// Adds a 3×3 stride-2 max pool (the classic grid-reduction pool).

@@ -61,7 +61,12 @@ pub fn inception_v3(batch: usize) -> Network {
 
 /// Inception-A block. When `with_stem` is true the standard Inception V3
 /// stem convolutions are prepended (this is the first block of the network).
-fn block_a(index: usize, input: TensorShape, with_stem: bool, pool_ch: usize) -> (Block, TensorShape) {
+fn block_a(
+    index: usize,
+    input: TensorShape,
+    with_stem: bool,
+    pool_ch: usize,
+) -> (Block, TensorShape) {
     let name = format!("inception_a{index}");
     let mut b = GraphBuilder::new(name.clone(), input);
     let mut x = b.input(0);
@@ -87,7 +92,14 @@ fn block_a(index: usize, input: TensorShape, with_stem: bool, pool_ch: usize) ->
     let b3 = conv_relu(&mut b, format!("{name}_b3_3x3b"), b3, 96, (3, 3), (1, 1));
     // Branch 4: avg pool → 1×1.
     let b4 = avg_pool_3x3_s1(&mut b, format!("{name}_b4_pool"), x);
-    let b4 = conv_relu(&mut b, format!("{name}_b4_1x1"), b4, pool_ch, (1, 1), (1, 1));
+    let b4 = conv_relu(
+        &mut b,
+        format!("{name}_b4_1x1"),
+        b4,
+        pool_ch,
+        (1, 1),
+        (1, 1),
+    );
 
     let cat = b.concat(format!("{name}_concat"), &[b1, b2, b3, b4]);
     let out_shape = b.shape_of(cat);
@@ -99,11 +111,31 @@ fn reduction_a(index: usize, input: TensorShape) -> (Block, TensorShape) {
     let name = format!("reduction_a{index}");
     let mut b = GraphBuilder::new(name.clone(), input);
     let x = b.input(0);
-    let b1 = conv_relu_pad(&mut b, format!("{name}_b1_3x3"), x, 384, (3, 3), (2, 2), (0, 0));
+    let b1 = conv_relu_pad(
+        &mut b,
+        format!("{name}_b1_3x3"),
+        x,
+        384,
+        (3, 3),
+        (2, 2),
+        (0, 0),
+    );
     let b2 = conv_relu(&mut b, format!("{name}_b2_1x1"), x, 64, (1, 1), (1, 1));
     let b2 = conv_relu(&mut b, format!("{name}_b2_3x3a"), b2, 96, (3, 3), (1, 1));
-    let b2 = conv_relu_pad(&mut b, format!("{name}_b2_3x3b"), b2, 96, (3, 3), (2, 2), (0, 0));
-    let b3 = b.pool(format!("{name}_pool"), x, PoolParams::max((3, 3), (2, 2), (0, 0)));
+    let b2 = conv_relu_pad(
+        &mut b,
+        format!("{name}_b2_3x3b"),
+        b2,
+        96,
+        (3, 3),
+        (2, 2),
+        (0, 0),
+    );
+    let b3 = b.pool(
+        format!("{name}_pool"),
+        x,
+        PoolParams::max((3, 3), (2, 2), (0, 0)),
+    );
     let cat = b.concat(format!("{name}_concat"), &[b1, b2, b3]);
     let out_shape = b.shape_of(cat);
     (Block::new(b.build(vec![cat])), out_shape)
@@ -141,12 +173,32 @@ fn reduction_b(index: usize, input: TensorShape) -> (Block, TensorShape) {
     let mut b = GraphBuilder::new(name.clone(), input);
     let x = b.input(0);
     let b1 = conv_relu(&mut b, format!("{name}_b1_1x1"), x, 192, (1, 1), (1, 1));
-    let b1 = conv_relu_pad(&mut b, format!("{name}_b1_3x3"), b1, 320, (3, 3), (2, 2), (0, 0));
+    let b1 = conv_relu_pad(
+        &mut b,
+        format!("{name}_b1_3x3"),
+        b1,
+        320,
+        (3, 3),
+        (2, 2),
+        (0, 0),
+    );
     let b2 = conv_relu(&mut b, format!("{name}_b2_1x1"), x, 192, (1, 1), (1, 1));
     let b2 = conv_relu(&mut b, format!("{name}_b2_1x7"), b2, 192, (1, 7), (1, 1));
     let b2 = conv_relu(&mut b, format!("{name}_b2_7x1"), b2, 192, (7, 1), (1, 1));
-    let b2 = conv_relu_pad(&mut b, format!("{name}_b2_3x3"), b2, 192, (3, 3), (2, 2), (0, 0));
-    let b3 = b.pool(format!("{name}_pool"), x, PoolParams::max((3, 3), (2, 2), (0, 0)));
+    let b2 = conv_relu_pad(
+        &mut b,
+        format!("{name}_b2_3x3"),
+        b2,
+        192,
+        (3, 3),
+        (2, 2),
+        (0, 0),
+    );
+    let b3 = b.pool(
+        format!("{name}_pool"),
+        x,
+        PoolParams::max((3, 3), (2, 2), (0, 0)),
+    );
     let cat = b.concat(format!("{name}_concat"), &[b1, b2, b3]);
     let out_shape = b.shape_of(cat);
     (Block::new(b.build(vec![cat])), out_shape)
@@ -266,7 +318,10 @@ mod tests {
         let g = inception_v3_last_block(1);
         // 9 convolutions + pool + concat = 11 operators, matching Table 1's
         // n = 11 for Inception V3.
-        assert_eq!(g.ops().iter().filter(|o| o.kind.is_compute_unit()).count(), 9);
+        assert_eq!(
+            g.ops().iter().filter(|o| o.kind.is_compute_unit()).count(),
+            9
+        );
         assert_eq!(g.len(), 11);
         let w = dag_width(&g);
         assert!((4..=6).contains(&w), "width = {w}");

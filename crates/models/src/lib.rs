@@ -50,7 +50,12 @@ use ios_ir::Network;
 /// given batch size.
 #[must_use]
 pub fn paper_benchmarks(batch: usize) -> Vec<Network> {
-    vec![inception_v3(batch), randwire_small(batch), nasnet_a(batch), squeezenet(batch)]
+    vec![
+        inception_v3(batch),
+        randwire_small(batch),
+        nasnet_a(batch),
+        squeezenet(batch),
+    ]
 }
 
 #[cfg(test)]

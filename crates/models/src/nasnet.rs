@@ -49,7 +49,8 @@ pub fn nasnet_with(batch: usize, filters: usize, cells: usize) -> Network {
         if is_reduction {
             channels *= 2;
         }
-        let (block, out_shape) = nasnet_cell(cell_idx, cur_shape, prev_shape, channels, is_reduction);
+        let (block, out_shape) =
+            nasnet_cell(cell_idx, cur_shape, prev_shape, channels, is_reduction);
         blocks.push(block);
         cur_shape = out_shape;
         // The cell emits (current, previous-aligned); the next cell sees the
@@ -82,45 +83,113 @@ fn nasnet_cell(
     let stride = if reduction { (2, 2) } else { (1, 1) };
 
     // Squeeze both inputs to the cell's channel count.
-    let x = sep_conv(&mut b, format!("{name}_adjust_cur"), h, channels, (1, 1), stride);
+    let x = sep_conv(
+        &mut b,
+        format!("{name}_adjust_cur"),
+        h,
+        channels,
+        (1, 1),
+        stride,
+    );
     let prev_stride = (
         (prev.height / cur.height).max(1) * stride.0,
         (prev.width / cur.width).max(1) * stride.1,
     );
-    let y = sep_conv(&mut b, format!("{name}_adjust_prev"), h_prev, channels, (1, 1), prev_stride);
+    let y = sep_conv(
+        &mut b,
+        format!("{name}_adjust_prev"),
+        h_prev,
+        channels,
+        (1, 1),
+        prev_stride,
+    );
 
     // Five combination nodes of the NasNet-A normal cell. Each node applies
     // two branch operations and adds the results.
     let mut combos: Vec<Value> = Vec::new();
 
     // Node 1: sep3x3(x) + identity(y).
-    let n1a = sep_conv(&mut b, format!("{name}_n1_sep3x3"), x, channels, (3, 3), (1, 1));
+    let n1a = sep_conv(
+        &mut b,
+        format!("{name}_n1_sep3x3"),
+        x,
+        channels,
+        (3, 3),
+        (1, 1),
+    );
     let n1b = b.identity(format!("{name}_n1_id"), y);
     combos.push(b.add_op(format!("{name}_n1_add"), &[n1a, n1b]));
 
     // Node 2: sep3x3(y) + sep5x5(x).
-    let n2a = sep_conv(&mut b, format!("{name}_n2_sep3x3"), y, channels, (3, 3), (1, 1));
-    let n2b = sep_conv(&mut b, format!("{name}_n2_sep5x5"), x, channels, (5, 5), (1, 1));
+    let n2a = sep_conv(
+        &mut b,
+        format!("{name}_n2_sep3x3"),
+        y,
+        channels,
+        (3, 3),
+        (1, 1),
+    );
+    let n2b = sep_conv(
+        &mut b,
+        format!("{name}_n2_sep5x5"),
+        x,
+        channels,
+        (5, 5),
+        (1, 1),
+    );
     combos.push(b.add_op(format!("{name}_n2_add"), &[n2a, n2b]));
 
     // Node 3: avgpool3x3(x) + identity(y).
-    let n3a = b.pool(format!("{name}_n3_avg"), x, PoolParams::avg((3, 3), (1, 1), (1, 1)));
+    let n3a = b.pool(
+        format!("{name}_n3_avg"),
+        x,
+        PoolParams::avg((3, 3), (1, 1), (1, 1)),
+    );
     let n3b = b.identity(format!("{name}_n3_id"), y);
     combos.push(b.add_op(format!("{name}_n3_add"), &[n3a, n3b]));
 
     // Node 4: avgpool3x3(y) + avgpool3x3(y).
-    let n4a = b.pool(format!("{name}_n4_avg_a"), y, PoolParams::avg((3, 3), (1, 1), (1, 1)));
-    let n4b = b.pool(format!("{name}_n4_avg_b"), y, PoolParams::avg((3, 3), (1, 1), (1, 1)));
+    let n4a = b.pool(
+        format!("{name}_n4_avg_a"),
+        y,
+        PoolParams::avg((3, 3), (1, 1), (1, 1)),
+    );
+    let n4b = b.pool(
+        format!("{name}_n4_avg_b"),
+        y,
+        PoolParams::avg((3, 3), (1, 1), (1, 1)),
+    );
     combos.push(b.add_op(format!("{name}_n4_add"), &[n4a, n4b]));
 
     // Node 5: sep5x5(y) + sep3x3(y).
-    let n5a = sep_conv(&mut b, format!("{name}_n5_sep5x5"), y, channels, (5, 5), (1, 1));
-    let n5b = sep_conv(&mut b, format!("{name}_n5_sep3x3"), y, channels, (3, 3), (1, 1));
+    let n5a = sep_conv(
+        &mut b,
+        format!("{name}_n5_sep5x5"),
+        y,
+        channels,
+        (5, 5),
+        (1, 1),
+    );
+    let n5b = sep_conv(
+        &mut b,
+        format!("{name}_n5_sep3x3"),
+        y,
+        channels,
+        (3, 3),
+        (1, 1),
+    );
     combos.push(b.add_op(format!("{name}_n5_add"), &[n5a, n5b]));
 
     let out = b.concat(format!("{name}_concat"), &combos);
     // Project the concatenation back to the cell width so shapes stay bounded.
-    let out = sep_conv(&mut b, format!("{name}_project"), out, channels, (1, 1), (1, 1));
+    let out = sep_conv(
+        &mut b,
+        format!("{name}_project"),
+        out,
+        channels,
+        (1, 1),
+        (1, 1),
+    );
     let aligned_prev = b.identity(format!("{name}_prev_out"), x);
     let out_shape = b.shape_of(out);
     (Block::new(b.build(vec![out, aligned_prev])), out_shape)
@@ -174,7 +243,12 @@ mod tests {
     fn cell_inputs_and_outputs_are_pairs() {
         let net = nasnet_a(1);
         for block in &net.blocks[1..] {
-            assert_eq!(block.graph.input_shapes().len(), 2, "{}", block.graph.name());
+            assert_eq!(
+                block.graph.input_shapes().len(),
+                2,
+                "{}",
+                block.graph.name()
+            );
             assert_eq!(block.graph.outputs().len(), 2);
         }
     }

@@ -37,7 +37,14 @@ impl Default for RandWireConfig {
         // A Watts-Strogatz regime sized so the largest block has roughly the
         // 33 operators of the paper's RandWire benchmark (Table 1); the full
         // WS(32, 4, 0.75) network is also expressible via `randwire`.
-        RandWireConfig { nodes_per_stage: 20, stages: 3, k: 4, p: 0.75, channels: 78, seed: 2021 }
+        RandWireConfig {
+            nodes_per_stage: 20,
+            stages: 3,
+            k: 4,
+            p: 0.75,
+            channels: 78,
+            seed: 2021,
+        }
     }
 }
 
@@ -54,8 +61,11 @@ pub fn randwire_small(batch: usize) -> Network {
 /// Panics if `k` is odd or larger than the number of nodes.
 #[must_use]
 pub fn randwire(batch: usize, config: RandWireConfig) -> Network {
-    assert!(config.k % 2 == 0, "Watts-Strogatz k must be even");
-    assert!(config.k < config.nodes_per_stage, "k must be smaller than the node count");
+    assert!(config.k.is_multiple_of(2), "Watts-Strogatz k must be even");
+    assert!(
+        config.k < config.nodes_per_stage,
+        "k must be smaller than the node count"
+    );
     let input = imagenet_input(batch, 224);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut blocks = Vec::new();
@@ -73,8 +83,7 @@ pub fn randwire(batch: usize, config: RandWireConfig) -> Network {
     for stage in 0..config.stages {
         let channels = config.channels * (1 << stage);
         let stride = 2;
-        let (block, out_shape) =
-            random_stage(stage, shape, channels, stride, &config, &mut rng);
+        let (block, out_shape) = random_stage(stage, shape, channels, stride, &config, &mut rng);
         blocks.push(block);
         shape = out_shape;
     }
@@ -108,15 +117,25 @@ fn random_stage(
     // Node 0..n: each is (sum of inputs) → Relu-SepConv.
     let mut node_values: Vec<Option<Value>> = vec![None; n];
     for node in 0..n {
-        let preds: Vec<usize> = edges.iter().filter(|&&(_, v)| v == node).map(|&(u, _)| u).collect();
-        let node_stride = if preds.is_empty() && stride == 2 { (2, 2) } else { (1, 1) };
+        let preds: Vec<usize> = edges
+            .iter()
+            .filter(|&&(_, v)| v == node)
+            .map(|&(u, _)| u)
+            .collect();
+        let node_stride = if preds.is_empty() && stride == 2 {
+            (2, 2)
+        } else {
+            (1, 1)
+        };
         let input_value = if preds.is_empty() {
             x
         } else if preds.len() == 1 {
             node_values[preds[0]].expect("predecessor already built")
         } else {
-            let values: Vec<Value> =
-                preds.iter().map(|&p| node_values[p].expect("predecessor built")).collect();
+            let values: Vec<Value> = preds
+                .iter()
+                .map(|&p| node_values[p].expect("predecessor built"))
+                .collect();
             b.add_op(format!("{name}_sum{node}"), &values)
         };
         let v = sep_conv(
@@ -132,8 +151,7 @@ fn random_stage(
 
     // Output: average the sink nodes (nodes with no successors). Sinks at
     // full resolution must be downsampled to match the strided entry nodes.
-    let has_succ: Vec<bool> =
-        (0..n).map(|u| edges.iter().any(|&(a, _)| a == u)).collect();
+    let has_succ: Vec<bool> = (0..n).map(|u| edges.iter().any(|&(a, _)| a == u)).collect();
     let mut sinks: Vec<Value> = Vec::new();
     let mut sink_shape: Option<TensorShape> = None;
     for node in 0..n {
@@ -301,7 +319,13 @@ mod tests {
         assert_eq!(a.num_operators(), b.num_operators());
         assert_eq!(a.blocks[1].graph.num_edges(), b.blocks[1].graph.num_edges());
         // A different seed gives a different wiring.
-        let other = randwire(1, RandWireConfig { seed: 7, ..RandWireConfig::default() });
+        let other = randwire(
+            1,
+            RandWireConfig {
+                seed: 7,
+                ..RandWireConfig::default()
+            },
+        );
         assert!(
             other.blocks[1].graph.num_edges() != a.blocks[1].graph.num_edges()
                 || other.num_operators() != a.num_operators()
@@ -334,7 +358,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be even")]
     fn odd_k_is_rejected() {
-        let _ = randwire(1, RandWireConfig { k: 3, ..RandWireConfig::default() });
+        let _ = randwire(
+            1,
+            RandWireConfig {
+                k: 3,
+                ..RandWireConfig::default()
+            },
+        );
     }
 
     #[test]

@@ -74,17 +74,59 @@ fn residual_unit(
     let x = b.input(0);
 
     let main: Value = if bottleneck {
-        let c1 = conv_relu(&mut b, format!("{name}_conv1x1a"), x, channels, (1, 1), (1, 1));
-        let c2 = conv_relu(&mut b, format!("{name}_conv3x3"), c1, channels, (3, 3), (stride, stride));
-        conv_relu(&mut b, format!("{name}_conv1x1b"), c2, out_channels, (1, 1), (1, 1))
+        let c1 = conv_relu(
+            &mut b,
+            format!("{name}_conv1x1a"),
+            x,
+            channels,
+            (1, 1),
+            (1, 1),
+        );
+        let c2 = conv_relu(
+            &mut b,
+            format!("{name}_conv3x3"),
+            c1,
+            channels,
+            (3, 3),
+            (stride, stride),
+        );
+        conv_relu(
+            &mut b,
+            format!("{name}_conv1x1b"),
+            c2,
+            out_channels,
+            (1, 1),
+            (1, 1),
+        )
     } else {
-        let c1 = conv_relu(&mut b, format!("{name}_conv3x3a"), x, channels, (3, 3), (stride, stride));
-        conv_relu(&mut b, format!("{name}_conv3x3b"), c1, channels, (3, 3), (1, 1))
+        let c1 = conv_relu(
+            &mut b,
+            format!("{name}_conv3x3a"),
+            x,
+            channels,
+            (3, 3),
+            (stride, stride),
+        );
+        conv_relu(
+            &mut b,
+            format!("{name}_conv3x3b"),
+            c1,
+            channels,
+            (3, 3),
+            (1, 1),
+        )
     };
 
     let needs_projection = stride != 1 || input.channels != out_channels;
     let shortcut = if needs_projection {
-        conv_relu(&mut b, format!("{name}_downsample"), x, out_channels, (1, 1), (stride, stride))
+        conv_relu(
+            &mut b,
+            format!("{name}_downsample"),
+            x,
+            out_channels,
+            (1, 1),
+            (stride, stride),
+        )
     } else {
         b.identity(format!("{name}_identity"), x)
     };
@@ -120,7 +162,12 @@ mod tests {
         for net in [resnet34(1), resnet50(1)] {
             for block in &net.blocks {
                 let w = dag_width(&block.graph);
-                assert!(w <= 2, "block {} of {} has width {w}", block.graph.name(), net.name);
+                assert!(
+                    w <= 2,
+                    "block {} of {} has width {w}",
+                    block.graph.name(),
+                    net.name
+                );
             }
         }
     }

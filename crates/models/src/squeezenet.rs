@@ -64,12 +64,37 @@ fn fire_module(
     let name = format!("fire{index}");
     let mut b = GraphBuilder::new(name.clone(), input);
     let x = b.input(0);
-    let s = conv_relu(&mut b, format!("{name}_squeeze1x1"), x, squeeze, (1, 1), (1, 1));
-    let e1 = conv_relu(&mut b, format!("{name}_expand1x1"), s, expand, (1, 1), (1, 1));
-    let e3 = conv_relu(&mut b, format!("{name}_expand3x3"), s, expand, (3, 3), (1, 1));
+    let s = conv_relu(
+        &mut b,
+        format!("{name}_squeeze1x1"),
+        x,
+        squeeze,
+        (1, 1),
+        (1, 1),
+    );
+    let e1 = conv_relu(
+        &mut b,
+        format!("{name}_expand1x1"),
+        s,
+        expand,
+        (1, 1),
+        (1, 1),
+    );
+    let e3 = conv_relu(
+        &mut b,
+        format!("{name}_expand3x3"),
+        s,
+        expand,
+        (3, 3),
+        (1, 1),
+    );
     let cat = b.concat(format!("{name}_concat"), &[e1, e3]);
     let out = if pool_after {
-        b.pool(format!("{name}_pool"), cat, PoolParams::max((3, 3), (2, 2), (0, 0)))
+        b.pool(
+            format!("{name}_pool"),
+            cat,
+            PoolParams::max((3, 3), (2, 2), (0, 0)),
+        )
     } else {
         cat
     };

@@ -18,9 +18,20 @@ pub fn vgg16(batch: usize) -> Network {
         let mut b = GraphBuilder::new(format!("vgg_stage{stage}"), shape);
         let mut v = b.input(0);
         for i in 0..*convs {
-            v = conv_relu(&mut b, format!("s{stage}_conv{i}"), v, *channels, (3, 3), (1, 1));
+            v = conv_relu(
+                &mut b,
+                format!("s{stage}_conv{i}"),
+                v,
+                *channels,
+                (3, 3),
+                (1, 1),
+            );
         }
-        v = b.pool(format!("s{stage}_pool"), v, PoolParams::max((2, 2), (2, 2), (0, 0)));
+        v = b.pool(
+            format!("s{stage}_pool"),
+            v,
+            PoolParams::max((2, 2), (2, 2), (0, 0)),
+        );
         shape = b.shape_of(v);
         blocks.push(Block::new(b.build(vec![v])));
     }

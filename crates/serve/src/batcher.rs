@@ -1,0 +1,182 @@
+//! The dynamic batching queue.
+//!
+//! Single-sample requests accumulate in a FIFO; worker threads take
+//! coalesced batches with the classic dynamic-batching policy: dispatch as
+//! soon as `max_batch` requests are queued, or when the *oldest* queued
+//! request has waited `max_wait`, whichever comes first. Under a deep queue
+//! every dispatch is a full batch (maximum device efficiency); under trickle
+//! load the wait bound keeps tail latency in check.
+
+use crate::request::Pending;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct QueueState {
+    queue: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// A thread-safe dynamic batching queue.
+#[derive(Debug, Default)]
+pub(crate) struct BatchQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+impl BatchQueue {
+    pub fn new() -> Self {
+        BatchQueue::default()
+    }
+
+    /// Enqueues a request. Returns `false` (dropping the request) if the
+    /// queue is closed.
+    pub fn push(&self, pending: Pending) -> bool {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return false;
+        }
+        state.queue.push_back(pending);
+        // Wake one worker; it re-checks the batching condition itself.
+        self.available.notify_one();
+        true
+    }
+
+    /// Number of requests currently queued.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").queue.len()
+    }
+
+    /// Closes the queue: pending requests are still handed out, further
+    /// `push` calls are rejected, and workers receive `None` once drained.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Takes the next batch according to the dynamic batching policy, or
+    /// `None` when the queue is closed and drained.
+    ///
+    /// Blocks while the queue is empty (and open), or while a partial batch
+    /// is still inside the oldest request's `max_wait` window.
+    pub fn next_batch(
+        &self,
+        max_batch: usize,
+        max_wait: std::time::Duration,
+    ) -> Option<Vec<Pending>> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.queue.len() >= max_batch {
+                return Some(drain(&mut state.queue, max_batch));
+            }
+            if state.closed {
+                if state.queue.is_empty() {
+                    return None;
+                }
+                return Some(drain(&mut state.queue, max_batch));
+            }
+            if let Some(oldest) = state.queue.front() {
+                let deadline = oldest.enqueued_at + max_wait;
+                let now = Instant::now();
+                if now >= deadline {
+                    return Some(drain(&mut state.queue, max_batch));
+                }
+                let (guard, _) = self
+                    .available
+                    .wait_timeout(state, deadline - now)
+                    .expect("queue lock");
+                state = guard;
+            } else {
+                state = self.available.wait(state).expect("queue lock");
+            }
+        }
+    }
+}
+
+fn drain(queue: &mut VecDeque<Pending>, max_batch: usize) -> Vec<Pending> {
+    let take = queue.len().min(max_batch);
+    queue.drain(..take).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{InferenceResponse, RequestId};
+    use ios_backend::TensorData;
+    use ios_ir::TensorShape;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn pending(id: u64) -> (Pending, mpsc::Receiver<InferenceResponse>) {
+        let (tx, rx) = mpsc::channel();
+        let pending = Pending {
+            id: RequestId(id),
+            input: TensorData::zeros(TensorShape::new(1, 1, 1, 1)),
+            enqueued_at: Instant::now(),
+            respond_to: tx,
+        };
+        (pending, rx)
+    }
+
+    #[test]
+    fn full_batch_dispatches_immediately() {
+        let queue = BatchQueue::new();
+        let mut receivers = Vec::new();
+        for i in 0..5 {
+            let (p, rx) = pending(i);
+            assert!(queue.push(p));
+            receivers.push(rx);
+        }
+        let batch = queue
+            .next_batch(4, Duration::from_secs(60))
+            .expect("open queue");
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0].id, RequestId(0));
+        assert_eq!(queue.depth(), 1);
+    }
+
+    #[test]
+    fn partial_batch_waits_for_the_deadline() {
+        let queue = BatchQueue::new();
+        let (p, _rx) = pending(0);
+        queue.push(p);
+        let start = Instant::now();
+        let batch = queue
+            .next_batch(8, Duration::from_millis(30))
+            .expect("open queue");
+        assert_eq!(batch.len(), 1);
+        assert!(
+            start.elapsed() >= Duration::from_millis(25),
+            "dispatched after {:?}, before the wait bound",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let queue = BatchQueue::new();
+        let (p, _rx) = pending(0);
+        queue.push(p);
+        queue.close();
+        let batch = queue
+            .next_batch(8, Duration::from_secs(60))
+            .expect("drains first");
+        assert_eq!(batch.len(), 1);
+        assert!(queue.next_batch(8, Duration::from_secs(60)).is_none());
+        let (p, _rx) = pending(1);
+        assert!(!queue.push(p), "closed queue rejects new requests");
+    }
+
+    #[test]
+    fn blocked_worker_wakes_on_close() {
+        let queue = std::sync::Arc::new(BatchQueue::new());
+        let worker = {
+            let queue = std::sync::Arc::clone(&queue);
+            std::thread::spawn(move || queue.next_batch(8, Duration::from_secs(60)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        queue.close();
+        assert!(worker.join().expect("worker").is_none());
+    }
+}

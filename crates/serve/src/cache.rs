@@ -1,0 +1,224 @@
+//! The specialized-schedule cache.
+//!
+//! Table 3 of the paper shows that an IOS schedule is only optimal for the
+//! `(batch size, device)` it was profiled on. An online server sees many
+//! batch sizes, so this cache materializes that insight as a runtime
+//! policy: schedules are keyed by `(network name, batch size, device)`,
+//! optimized lazily on first miss, and an exact-batch miss can be served by
+//! the *nearest* cached batch size (schedule stage structure is valid at any
+//! batch) while a background worker optimizes the exact one.
+
+use ios_core::NetworkSchedule;
+use ios_sim::DeviceKind;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Key of one cached schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScheduleKey {
+    /// Network name (schedules are structure-specific).
+    pub network: String,
+    /// Batch size the schedule was optimized for.
+    pub batch: usize,
+    /// Device the schedule was optimized for.
+    pub device: DeviceKind,
+}
+
+impl ScheduleKey {
+    /// Creates a key.
+    #[must_use]
+    pub fn new(network: impl Into<String>, batch: usize, device: DeviceKind) -> Self {
+        ScheduleKey {
+            network: network.into(),
+            batch,
+            device,
+        }
+    }
+}
+
+/// Counters describing cache behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Exact-key lookups that found a schedule.
+    pub hits: u64,
+    /// Exact-key lookups that found nothing.
+    pub misses: u64,
+    /// Batches served by a nearest-batch schedule while the exact one was
+    /// missing.
+    pub nearest_served: u64,
+    /// Schedules inserted by background re-optimization.
+    pub background_inserts: u64,
+    /// Number of schedules currently cached.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Fraction of exact lookups that hit, in `[0, 1]`.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe cache of batch/device-specialized network schedules.
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    entries: Mutex<HashMap<ScheduleKey, Arc<NetworkSchedule>>>,
+    in_flight: Mutex<HashSet<ScheduleKey>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    nearest_served: AtomicU64,
+    background_inserts: AtomicU64,
+}
+
+impl ScheduleCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ScheduleCache::default()
+    }
+
+    /// Looks up the schedule specialized for exactly `key`, counting a hit
+    /// or miss.
+    #[must_use]
+    pub fn lookup(&self, key: &ScheduleKey) -> Option<Arc<NetworkSchedule>> {
+        let found = self.entries.lock().expect("cache lock").get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Like [`ScheduleCache::lookup`], but without touching the hit/miss
+    /// counters — for double-checked paths that already counted the miss.
+    #[must_use]
+    pub fn peek(&self, key: &ScheduleKey) -> Option<Arc<NetworkSchedule>> {
+        self.entries.lock().expect("cache lock").get(key).cloned()
+    }
+
+    /// Inserts a schedule under `key`.
+    pub fn insert(&self, key: ScheduleKey, schedule: Arc<NetworkSchedule>) {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert(key, schedule);
+    }
+
+    /// Inserts a schedule produced by background re-optimization and clears
+    /// its in-flight marker.
+    pub fn insert_background(&self, key: ScheduleKey, schedule: Arc<NetworkSchedule>) {
+        self.background_inserts.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.lock().expect("in-flight lock").remove(&key);
+        self.insert(key, schedule);
+    }
+
+    /// The cached schedule for the same network and device whose batch size
+    /// is nearest to `key.batch` (ties prefer the smaller batch). Counts a
+    /// nearest-serve when found.
+    #[must_use]
+    pub fn nearest_batch(&self, key: &ScheduleKey) -> Option<(usize, Arc<NetworkSchedule>)> {
+        let entries = self.entries.lock().expect("cache lock");
+        let best = entries
+            .iter()
+            .filter(|(k, _)| k.network == key.network && k.device == key.device)
+            .min_by_key(|(k, _)| (k.batch.abs_diff(key.batch), k.batch))
+            .map(|(k, v)| (k.batch, Arc::clone(v)));
+        drop(entries);
+        if best.is_some() {
+            self.nearest_served.fetch_add(1, Ordering::Relaxed);
+        }
+        best
+    }
+
+    /// Atomically marks `key` as being optimized in the background. Returns
+    /// `false` if an optimization for it is already in flight.
+    pub fn claim_background(&self, key: &ScheduleKey) -> bool {
+        self.in_flight
+            .lock()
+            .expect("in-flight lock")
+            .insert(key.clone())
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            nearest_served: self.nearest_served.load(Ordering::Relaxed),
+            background_inserts: self.background_inserts.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache lock").len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ios_core::Schedule;
+
+    fn schedule(batch: usize) -> Arc<NetworkSchedule> {
+        Arc::new(NetworkSchedule {
+            network_name: "net".to_string(),
+            label: format!("batch{batch}"),
+            block_schedules: vec![Schedule::new("g", vec![])],
+            latency_us: batch as f64,
+        })
+    }
+
+    fn key(batch: usize) -> ScheduleKey {
+        ScheduleKey::new("net", batch, DeviceKind::TeslaV100)
+    }
+
+    #[test]
+    fn exact_hits_and_misses_are_counted() {
+        let cache = ScheduleCache::new();
+        assert!(cache.lookup(&key(4)).is_none());
+        cache.insert(key(4), schedule(4));
+        assert_eq!(cache.lookup(&key(4)).unwrap().label, "batch4");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_batch_prefers_closest_then_smaller() {
+        let cache = ScheduleCache::new();
+        cache.insert(key(1), schedule(1));
+        cache.insert(key(8), schedule(8));
+        let (batch, _) = cache.nearest_batch(&key(6)).unwrap();
+        assert_eq!(batch, 8);
+        let (batch, _) = cache.nearest_batch(&key(3)).unwrap();
+        assert_eq!(
+            batch, 1,
+            "equidistant from 1 and 8 minus... 3 is nearer to 1"
+        );
+        // Different device: no candidates.
+        let other = ScheduleKey::new("net", 6, DeviceKind::TeslaK80);
+        assert!(cache.nearest_batch(&other).is_none());
+    }
+
+    #[test]
+    fn background_claims_deduplicate() {
+        let cache = ScheduleCache::new();
+        assert!(cache.claim_background(&key(16)));
+        assert!(
+            !cache.claim_background(&key(16)),
+            "second claim must be rejected"
+        );
+        cache.insert_background(key(16), schedule(16));
+        assert!(
+            cache.claim_background(&key(16)),
+            "claim reopens after the insert"
+        );
+        assert_eq!(cache.stats().background_inserts, 1);
+    }
+}

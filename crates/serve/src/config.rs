@@ -1,0 +1,147 @@
+//! Serving runtime configuration.
+
+use ios_core::SchedulerConfig;
+use ios_sim::DeviceKind;
+use std::time::Duration;
+
+/// Configuration of a [`crate::ServeEngine`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The (simulated) device schedules are specialized for.
+    pub device: DeviceKind,
+    /// Largest batch the dynamic batcher coalesces. Requests are dispatched
+    /// as soon as `max_batch` are queued.
+    pub max_batch: usize,
+    /// Longest time the oldest queued request waits before a partial batch
+    /// is dispatched anyway.
+    pub max_wait: Duration,
+    /// Number of worker threads executing batches.
+    pub workers: usize,
+    /// Scheduler configuration used when (re-)optimizing schedules.
+    pub scheduler: SchedulerConfig,
+    /// Batch sizes whose specialized schedules are optimized at startup;
+    /// `None` means the default of `[1, max_batch]`. Other batch sizes are
+    /// served by the nearest cached schedule until a background
+    /// re-optimization produces their exact one.
+    pub prewarm_batches: Option<Vec<usize>>,
+    /// Whether a cache miss on an exact batch size triggers background
+    /// re-optimization for that batch size (Table 3 as a runtime policy).
+    pub background_reoptimize: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(4);
+        ServeConfig {
+            device: DeviceKind::TeslaV100,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            workers,
+            scheduler: SchedulerConfig::paper_default(),
+            prewarm_batches: None,
+            background_reoptimize: true,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the maximum batch size (pre-warmed by default, unless an
+    /// explicit pre-warm list was configured).
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the device schedules are specialized for.
+    #[must_use]
+    pub fn with_device(mut self, device: DeviceKind) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sets the number of worker threads.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "at least one worker is required");
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the partial-batch dispatch deadline.
+    #[must_use]
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Sets the batch sizes optimized at startup (overriding the default
+    /// of `[1, max_batch]`).
+    #[must_use]
+    pub fn with_prewarm_batches(mut self, batches: Vec<usize>) -> Self {
+        self.prewarm_batches = Some(batches);
+        self
+    }
+
+    /// The batch sizes the engine pre-warms: the configured list, or
+    /// `[1, max_batch]` when none was set.
+    #[must_use]
+    pub fn effective_prewarm_batches(&self) -> Vec<usize> {
+        let mut batches = self
+            .prewarm_batches
+            .clone()
+            .unwrap_or_else(|| vec![1, self.max_batch]);
+        batches.retain(|&b| b >= 1);
+        batches.sort_unstable();
+        batches.dedup();
+        batches
+    }
+
+    /// Enables or disables background re-optimization on exact-batch misses.
+    #[must_use]
+    pub fn with_background_reoptimize(mut self, enabled: bool) -> Self {
+        self.background_reoptimize = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_compose() {
+        let config = ServeConfig::default()
+            .with_max_batch(32)
+            .with_device(DeviceKind::TeslaK80)
+            .with_workers(2)
+            .with_max_wait(Duration::from_millis(5))
+            .with_background_reoptimize(false);
+        assert_eq!(config.max_batch, 32);
+        assert_eq!(config.effective_prewarm_batches(), vec![1, 32]);
+        assert_eq!(config.device, DeviceKind::TeslaK80);
+        assert_eq!(config.workers, 2);
+        assert!(!config.background_reoptimize);
+    }
+
+    #[test]
+    fn explicit_prewarm_survives_later_max_batch_changes() {
+        let config = ServeConfig::default()
+            .with_prewarm_batches(vec![2, 16, 0, 16])
+            .with_max_batch(32);
+        assert_eq!(
+            config.effective_prewarm_batches(),
+            vec![2, 16],
+            "an explicit pre-warm list must not be overwritten (zeros and dups dropped)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch must be at least 1")]
+    fn zero_batch_rejected() {
+        let _ = ServeConfig::default().with_max_batch(0);
+    }
+}

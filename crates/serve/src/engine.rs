@@ -1,0 +1,615 @@
+//! The serving engine: worker pool wiring the dynamic batcher, the
+//! specialized-schedule cache and a batch execution backend together.
+
+use crate::batcher::BatchQueue;
+use crate::cache::{ScheduleCache, ScheduleKey};
+use crate::config::ServeConfig;
+use crate::exec::{BatchContext, BatchExecutor, CpuReferenceExecutor, SimulatedDeviceExecutor};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::request::{
+    InferenceResponse, Pending, RequestId, ResponseHandle, ScheduleSource, ServeError,
+};
+use ios_backend::{split_batch, stack_batch, NetworkWeights, TensorData};
+use ios_core::{optimize_network, CachingCostModel, NetworkSchedule, SimCostModel};
+use ios_ir::{Network, TensorShape};
+use ios_sim::Simulator;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// State shared between the engine handle, its workers and background
+/// re-optimization threads.
+struct Shared {
+    /// The network at batch size 1 (instances for other batch sizes are
+    /// derived lazily).
+    base: Network,
+    /// Per-sample input shape requests must match.
+    sample_shape: TensorShape,
+    config: ServeConfig,
+    queue: BatchQueue,
+    cache: ScheduleCache,
+    /// One thread-safe cost model backs schedule optimization, background
+    /// re-optimization and (for the simulated backend) batch accounting.
+    cost: Arc<CachingCostModel<SimCostModel>>,
+    /// Weights are batch-size independent, so one table serves every batch.
+    weights: Arc<NetworkWeights>,
+    executor: Box<dyn BatchExecutor>,
+    metrics: ServeMetrics,
+    instances: Mutex<HashMap<usize, Arc<Network>>>,
+    background: Mutex<Vec<JoinHandle<()>>>,
+    /// Serializes cold-start synchronous schedule optimizations.
+    sync_optimize: Mutex<()>,
+    next_id: AtomicU64,
+}
+
+impl Shared {
+    /// The network instance shaped for `batch`, built on first use.
+    fn instance(&self, batch: usize) -> Arc<Network> {
+        let mut instances = self.instances.lock().expect("instances lock");
+        Arc::clone(
+            instances
+                .entry(batch)
+                .or_insert_with(|| Arc::new(self.base.with_batch_size(batch))),
+        )
+    }
+
+    fn key(&self, batch: usize) -> ScheduleKey {
+        ScheduleKey::new(self.base.name.clone(), batch, self.config.device)
+    }
+
+    /// Optimizes a schedule specialized for `batch` (synchronously).
+    fn optimize(&self, batch: usize) -> Arc<NetworkSchedule> {
+        let network = self.instance(batch);
+        Arc::new(optimize_network(&network, &self.cost, &self.config.scheduler).schedule)
+    }
+
+    /// The Table 3 runtime policy: exact specialized schedule if cached,
+    /// else nearest cached batch (kicking off background re-optimization of
+    /// the exact one), else optimize synchronously.
+    fn resolve_schedule(self: &Arc<Self>, batch: usize) -> (Arc<NetworkSchedule>, ScheduleSource) {
+        let key = self.key(batch);
+        if let Some(schedule) = self.cache.lookup(&key) {
+            return (schedule, ScheduleSource::Exact);
+        }
+        if let Some((optimized_for, schedule)) = self.cache.nearest_batch(&key) {
+            if self.config.background_reoptimize && self.cache.claim_background(&key) {
+                let shared = Arc::clone(self);
+                let handle = std::thread::Builder::new()
+                    .name(format!("ios-serve-reopt-b{batch}"))
+                    .spawn(move || {
+                        let schedule = shared.optimize(batch);
+                        shared.cache.insert_background(shared.key(batch), schedule);
+                    })
+                    .expect("spawn background re-optimization thread");
+                self.background
+                    .lock()
+                    .expect("background lock")
+                    .push(handle);
+            }
+            return (schedule, ScheduleSource::Nearest { optimized_for });
+        }
+        // Nothing usable is cached. Serialize synchronous optimizations so
+        // cold-starting workers don't all run the same expensive search;
+        // whoever loses the race finds the winner's entry on re-check.
+        let _only_one_optimizer = self.sync_optimize.lock().expect("sync-optimize lock");
+        if let Some(schedule) = self.cache.peek(&key) {
+            return (schedule, ScheduleSource::Exact);
+        }
+        let schedule = self.optimize(batch);
+        self.cache.insert(key, Arc::clone(&schedule));
+        (schedule, ScheduleSource::FreshlyOptimized)
+    }
+
+    /// One worker: take batches until the queue closes and drains.
+    fn worker_loop(self: &Arc<Self>) {
+        while let Some(batch) = self
+            .queue
+            .next_batch(self.config.max_batch, self.config.max_wait)
+        {
+            self.metrics.set_queue_depth(self.queue.depth());
+            // A panicking batch (e.g. a custom executor bug) must not kill
+            // the worker: its requests' senders drop (their handles see the
+            // disconnect) and the worker moves on to the next batch.
+            let shared = Arc::clone(self);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                shared.run_batch(batch);
+            }));
+            if let Err(panic) = result {
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic".to_string());
+                eprintln!("ios-serve: batch execution panicked: {message}");
+            }
+        }
+    }
+
+    fn run_batch(self: &Arc<Self>, batch: Vec<Pending>) {
+        let batch_size = batch.len();
+        let (schedule, source) = self.resolve_schedule(batch_size);
+        let network = self.instance(batch_size);
+        let dispatched_at = Instant::now();
+
+        let input_refs: Vec<&TensorData> = batch.iter().map(|p| &p.input).collect();
+        let stacked = stack_batch(&input_refs);
+        let outcome = self.executor.execute(&BatchContext {
+            network: &network,
+            schedule: &schedule,
+            weights: &self.weights,
+            inputs: &[stacked],
+        });
+        self.metrics
+            .record_batch(batch_size, outcome.device_time_us);
+
+        // Split the stacked outputs (one entry per network output) back
+        // into per-sample responses.
+        let per_output: Vec<Vec<TensorData>> = outcome
+            .outputs
+            .map(|outputs| outputs.iter().map(split_batch).collect())
+            .unwrap_or_default();
+        let device_share_us = outcome.device_time_us / batch_size as f64;
+
+        for (i, pending) in batch.into_iter().enumerate() {
+            let now = Instant::now();
+            let total_us = (now - pending.enqueued_at).as_secs_f64() * 1e6;
+            let queue_us = (dispatched_at - pending.enqueued_at).as_secs_f64() * 1e6;
+            let outputs: Vec<TensorData> = per_output
+                .iter()
+                .map(|samples| samples[i].clone())
+                .collect();
+            self.metrics.record_latency(total_us);
+            // A dropped ResponseHandle is fine; the send just fails.
+            let _ = pending.respond_to.send(InferenceResponse {
+                id: pending.id,
+                outputs,
+                batch_size,
+                schedule_source: source,
+                queue_us,
+                total_us,
+                device_us: device_share_us,
+            });
+        }
+    }
+}
+
+/// An online batched inference server for one network.
+///
+/// ```
+/// use ios_serve::{ServeConfig, ServeEngine};
+/// use ios_backend::TensorData;
+/// # use ios_ir::{Block, Conv2dParams, GraphBuilder, Network, TensorShape};
+/// # let input = TensorShape::new(1, 4, 6, 6);
+/// # let mut b = GraphBuilder::new("doc_tiny", input);
+/// # let x = b.input(0);
+/// # let a = b.conv2d("a", x, Conv2dParams::relu(4, (3, 3), (1, 1), (1, 1)));
+/// # let network = Network::new("doc_tiny", input, vec![Block::new(b.build(vec![a]))]);
+///
+/// // `network` is any single-input ios_ir::Network.
+/// let engine = ServeEngine::start(network.clone(), ServeConfig::default().with_max_batch(4));
+/// let input = TensorData::random(network.input_shape, 1);
+/// let response = engine.infer(input).unwrap();
+/// assert_eq!(response.outputs.len(), 1);
+/// engine.shutdown();
+/// ```
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Starts an engine computing real numerics on the CPU reference
+    /// backend.
+    #[must_use]
+    pub fn start(network: Network, config: ServeConfig) -> Self {
+        Self::start_with_executor(network, config, Box::new(CpuReferenceExecutor))
+    }
+
+    /// Starts an engine that accounts batches on the analytical GPU
+    /// simulator instead of computing numerics — the configuration for
+    /// serving-throughput studies.
+    #[must_use]
+    pub fn start_simulated(network: Network, config: ServeConfig) -> Self {
+        let cost = Arc::new(CachingCostModel::new(SimCostModel::new(Simulator::new(
+            config.device,
+        ))));
+        let executor = SimulatedDeviceExecutor::new(Arc::clone(&cost));
+        Self::build(network, config, cost, Box::new(executor))
+    }
+
+    /// Starts an engine with a custom execution backend.
+    #[must_use]
+    pub fn start_with_executor(
+        network: Network,
+        config: ServeConfig,
+        executor: Box<dyn BatchExecutor>,
+    ) -> Self {
+        let cost = Arc::new(CachingCostModel::new(SimCostModel::new(Simulator::new(
+            config.device,
+        ))));
+        Self::build(network, config, cost, executor)
+    }
+
+    fn build(
+        network: Network,
+        config: ServeConfig,
+        cost: Arc<CachingCostModel<SimCostModel>>,
+        executor: Box<dyn BatchExecutor>,
+    ) -> Self {
+        assert!(!network.blocks.is_empty(), "cannot serve an empty network");
+        assert_eq!(
+            network.blocks[0].graph.input_shapes().len(),
+            1,
+            "the serving engine batches single-input networks"
+        );
+        let base = if network.input_shape.batch == 1 {
+            network
+        } else {
+            network.with_batch_size(1)
+        };
+        let sample_shape = base.input_shape;
+        let weights = Arc::new(NetworkWeights::precompute(&base));
+
+        let shared = Arc::new(Shared {
+            sample_shape,
+            queue: BatchQueue::new(),
+            cache: ScheduleCache::new(),
+            cost,
+            weights,
+            executor,
+            metrics: ServeMetrics::new(),
+            instances: Mutex::new(HashMap::new()),
+            background: Mutex::new(Vec::new()),
+            sync_optimize: Mutex::new(()),
+            next_id: AtomicU64::new(0),
+            base,
+            config,
+        });
+
+        // Pre-warm the schedule cache: the configured batch sizes get their
+        // specialized schedules before the first request arrives.
+        for batch in shared.config.effective_prewarm_batches() {
+            let schedule = shared.optimize(batch);
+            shared.cache.insert(shared.key(batch), schedule);
+        }
+
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ios-serve-worker-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn serving worker")
+            })
+            .collect();
+
+        ServeEngine { shared, workers }
+    }
+
+    /// Submits one single-sample request; the returned handle resolves to
+    /// the response once its batch executed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WrongInputShape`] if `input` does not match the
+    /// network's per-sample input shape, [`ServeError::ShuttingDown`] after
+    /// [`ServeEngine::shutdown`] began.
+    pub fn submit(&self, input: TensorData) -> Result<ResponseHandle, ServeError> {
+        if input.shape != self.shared.sample_shape {
+            return Err(ServeError::WrongInputShape {
+                expected: self.shared.sample_shape,
+                submitted: input.shape,
+            });
+        }
+        let id = RequestId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
+        let (respond_to, receiver) = mpsc::channel();
+        let pending = Pending {
+            id,
+            input,
+            enqueued_at: Instant::now(),
+            respond_to,
+        };
+        if !self.shared.queue.push(pending) {
+            return Err(ServeError::ShuttingDown);
+        }
+        self.shared
+            .metrics
+            .set_queue_depth(self.shared.queue.depth());
+        Ok(ResponseHandle { id, receiver })
+    }
+
+    /// Submits a request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeEngine::submit`].
+    pub fn infer(&self, input: TensorData) -> Result<InferenceResponse, ServeError> {
+        Ok(self.submit(input)?.wait())
+    }
+
+    /// A snapshot of the serving metrics, including schedule-cache counters.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(self.shared.cache.stats())
+    }
+
+    /// Requests currently waiting in the batching queue.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Name of the served network.
+    #[must_use]
+    pub fn network_name(&self) -> &str {
+        &self.shared.base.name
+    }
+
+    /// Name of the execution backend.
+    #[must_use]
+    pub fn executor_name(&self) -> &'static str {
+        self.shared.executor.name()
+    }
+
+    /// Stops accepting requests, answers everything already queued, waits
+    /// for background re-optimizations, then returns.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Workers may have spawned re-optimizations while draining; take
+        // the list repeatedly until it stays empty.
+        loop {
+            let handles: Vec<JoinHandle<()>> =
+                std::mem::take(&mut *self.shared.background.lock().expect("background lock"));
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("network", &self.shared.base.name)
+            .field("executor", &self.shared.executor.name())
+            .field("max_batch", &self.shared.config.max_batch)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ScheduleSource;
+    use std::time::Duration;
+
+    fn tiny_network() -> Network {
+        use ios_ir::{Block, Conv2dParams, GraphBuilder};
+        let input = TensorShape::new(1, 4, 6, 6);
+        let mut b = GraphBuilder::new("engine_tiny", input);
+        let x = b.input(0);
+        let a = b.conv2d("a", x, Conv2dParams::relu(4, (3, 3), (1, 1), (1, 1)));
+        let c = b.conv2d("c", x, Conv2dParams::relu(4, (1, 1), (1, 1), (0, 0)));
+        let cat = b.concat("cat", &[a, c]);
+        Network::new("engine_tiny", input, vec![Block::new(b.build(vec![cat]))])
+    }
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig::default()
+            .with_max_batch(4)
+            .with_workers(1)
+            .with_max_wait(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn serves_single_requests() {
+        let net = tiny_network();
+        let engine = ServeEngine::start(net.clone(), quick_config());
+        let input = TensorData::random(net.input_shape, 5);
+        let response = engine.infer(input).unwrap();
+        assert_eq!(response.outputs.len(), 1);
+        assert_eq!(response.outputs[0].shape, TensorShape::new(1, 8, 6, 6));
+        assert!(response.total_us >= response.queue_us);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn rejects_wrong_shapes_and_post_shutdown_submissions() {
+        let net = tiny_network();
+        let engine = ServeEngine::start(net.clone(), quick_config());
+        let wrong = TensorData::zeros(TensorShape::new(1, 3, 6, 6));
+        assert!(matches!(
+            engine.submit(wrong),
+            Err(ServeError::WrongInputShape { .. })
+        ));
+        engine.shared.queue.close();
+        let ok_shape = TensorData::zeros(net.input_shape);
+        assert!(matches!(
+            engine.submit(ok_shape),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn coalesces_deep_queues_into_full_batches() {
+        let net = tiny_network();
+        let engine = ServeEngine::start(
+            net.clone(),
+            quick_config().with_max_wait(Duration::from_millis(50)),
+        );
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                engine
+                    .submit(TensorData::random(net.input_shape, i))
+                    .unwrap()
+            })
+            .collect();
+        let responses: Vec<_> = handles.into_iter().map(ResponseHandle::wait).collect();
+        // All eight went through batches of max_batch = 4.
+        assert!(
+            responses.iter().all(|r| r.batch_size == 4),
+            "batch sizes: {:?}",
+            responses.iter().map(|r| r.batch_size).collect::<Vec<_>>()
+        );
+        let metrics = engine.metrics();
+        assert_eq!(metrics.completed, 8);
+        assert!(metrics.mean_batch_size >= 3.9);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn exact_schedules_hit_the_cache_and_odd_batches_fall_back() {
+        let net = tiny_network();
+        // Pre-warm only batch 1 and 4; disable background re-optimization so
+        // the fallback stays observable.
+        let config = quick_config()
+            .with_prewarm_batches(vec![1, 4])
+            .with_background_reoptimize(false)
+            .with_max_wait(Duration::from_millis(30));
+        let engine = ServeEngine::start(net.clone(), config);
+
+        // A full batch of 4 → exact cache hit.
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                engine
+                    .submit(TensorData::random(net.input_shape, i))
+                    .unwrap()
+            })
+            .collect();
+        let responses: Vec<_> = handles.into_iter().map(ResponseHandle::wait).collect();
+        assert!(responses
+            .iter()
+            .all(|r| r.schedule_source == ScheduleSource::Exact));
+
+        // A lone pair → batch 2 has no exact schedule; the nearest cached
+        // batch (1 or 4) serves it.
+        let h1 = engine
+            .submit(TensorData::random(net.input_shape, 10))
+            .unwrap();
+        let h2 = engine
+            .submit(TensorData::random(net.input_shape, 11))
+            .unwrap();
+        let (r1, r2) = (h1.wait(), h2.wait());
+        for r in [&r1, &r2] {
+            if r.batch_size == 2 {
+                assert!(
+                    matches!(r.schedule_source, ScheduleSource::Nearest { optimized_for } if optimized_for == 1 || optimized_for == 4),
+                    "batch 2 must be served by a nearest schedule, got {:?}",
+                    r.schedule_source
+                );
+            }
+        }
+        let stats = engine.metrics().cache;
+        assert!(stats.hits >= 1);
+        assert!(stats.nearest_served >= 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn background_reoptimization_fills_the_exact_entry() {
+        let net = tiny_network();
+        let config = quick_config()
+            .with_prewarm_batches(vec![4])
+            .with_background_reoptimize(true)
+            .with_max_wait(Duration::from_millis(5));
+        let engine = ServeEngine::start(net.clone(), config);
+        // Submit a lone request: batch 1 misses, is served by the batch-4
+        // schedule, and background re-optimization inserts the exact entry.
+        let response = engine
+            .infer(TensorData::random(net.input_shape, 1))
+            .unwrap();
+        assert_eq!(
+            response.schedule_source,
+            ScheduleSource::Nearest { optimized_for: 4 }
+        );
+        // The background thread inserts the exact batch-1 schedule; wait
+        // for it (bounded).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.metrics().cache.background_inserts == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "background re-optimization never completed"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The next lone request is served by its exact schedule.
+        let response = engine
+            .infer(TensorData::random(net.input_shape, 2))
+            .unwrap();
+        assert_eq!(response.schedule_source, ScheduleSource::Exact);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn a_panicking_backend_does_not_kill_the_worker() {
+        use crate::exec::{BatchContext, BatchExecutor, BatchOutcome};
+        use std::sync::atomic::AtomicBool;
+
+        /// Panics on the first batch, behaves afterwards.
+        struct FaultyOnce {
+            fail_next: AtomicBool,
+        }
+        impl BatchExecutor for FaultyOnce {
+            fn name(&self) -> &'static str {
+                "faulty-once"
+            }
+            fn execute(&self, _ctx: &BatchContext<'_>) -> BatchOutcome {
+                if self.fail_next.swap(false, Ordering::SeqCst) {
+                    panic!("injected backend fault");
+                }
+                BatchOutcome {
+                    outputs: None,
+                    device_time_us: 1.0,
+                }
+            }
+        }
+
+        let net = tiny_network();
+        let engine = ServeEngine::start_with_executor(
+            net.clone(),
+            quick_config(),
+            Box::new(FaultyOnce {
+                fail_next: AtomicBool::new(true),
+            }),
+        );
+        // The first request's batch panics: its handle observes the drop
+        // (wait panics), but the worker must survive…
+        let doomed = engine.submit(TensorData::zeros(net.input_shape)).unwrap();
+        let waited = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| doomed.wait()));
+        assert!(waited.is_err(), "the dropped request must not hang");
+        // …and answer the next request normally.
+        let response = engine.infer(TensorData::zeros(net.input_shape)).unwrap();
+        assert_eq!(response.batch_size, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn simulated_backend_reports_device_time_without_outputs() {
+        let net = tiny_network();
+        let engine = ServeEngine::start_simulated(net.clone(), quick_config());
+        let response = engine.infer(TensorData::zeros(net.input_shape)).unwrap();
+        assert!(response.outputs.is_empty());
+        assert!(response.device_us > 0.0);
+        assert_eq!(engine.executor_name(), "simulated-device");
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,70 @@
+//! # ios-serve — online batched inference serving on the IOS scheduler
+//!
+//! The rest of the workspace reproduces IOS (Ding et al., MLSys 2021) as an
+//! *offline* pipeline: build a network, run the ending-based dynamic program
+//! once, report a latency. This crate turns that scheduler into an *online*
+//! engine:
+//!
+//! * **Dynamic batching** ([`batcher`]) — single-sample requests coalesce
+//!   into batches up to `max_batch`, with a `max_wait` bound on the oldest
+//!   request so tail latency stays controlled under trickle load.
+//! * **Specialized-schedule cache** ([`cache`]) — Table 3 of the paper shows
+//!   a schedule is only optimal for the `(batch size, device)` it was
+//!   profiled for. The cache keys schedules by exactly that, optimizes
+//!   lazily on first miss, serves exact misses from the *nearest* cached
+//!   batch size (stage structure is batch-invariant), and re-optimizes the
+//!   exact batch in the background.
+//! * **Pluggable execution** ([`exec`]) — the CPU reference backend returns
+//!   real numerics (bit-identical per sample to
+//!   [`ios_backend::execute_graph`]); the simulated-device backend charges
+//!   batches the analytical GPU latency for throughput studies.
+//! * **Metrics** ([`metrics`]) — p50/p95/p99 latency, wall and device
+//!   throughput, queue depth, batch shape and cache hit rates.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ios_serve::{ServeConfig, ServeEngine};
+//! use ios_backend::TensorData;
+//! # use ios_ir::{Block, Conv2dParams, GraphBuilder, Network, TensorShape};
+//! # let input = TensorShape::new(1, 4, 6, 6);
+//! # let mut b = GraphBuilder::new("doc_tiny", input);
+//! # let x = b.input(0);
+//! # let a = b.conv2d("a", x, Conv2dParams::relu(4, (3, 3), (1, 1), (1, 1)));
+//! # let c = b.conv2d("c", x, Conv2dParams::relu(4, (1, 1), (1, 1), (0, 0)));
+//! # let cat = b.concat("cat", &[a, c]);
+//! # let network = Network::new("doc_tiny", input, vec![Block::new(b.build(vec![cat]))]);
+//!
+//! // `network` is any single-input ios_ir::Network, e.g. ios_models::squeezenet(1).
+//! let engine = ServeEngine::start(network.clone(), ServeConfig::default().with_max_batch(4));
+//!
+//! let handles: Vec<_> = (0..4)
+//!     .map(|i| engine.submit(TensorData::random(network.input_shape, i)).unwrap())
+//!     .collect();
+//! for handle in handles {
+//!     let response = handle.wait();
+//!     assert!(!response.outputs.is_empty());
+//! }
+//! assert_eq!(engine.metrics().completed, 4);
+//! engine.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod batcher;
+pub mod cache;
+pub mod config;
+pub mod engine;
+pub mod exec;
+pub mod metrics;
+pub mod request;
+
+pub use cache::{CacheStats, ScheduleCache, ScheduleKey};
+pub use config::ServeConfig;
+pub use engine::ServeEngine;
+pub use exec::{
+    BatchContext, BatchExecutor, BatchOutcome, CpuReferenceExecutor, SimulatedDeviceExecutor,
+};
+pub use metrics::MetricsSnapshot;
+pub use request::{InferenceResponse, RequestId, ResponseHandle, ScheduleSource, ServeError};

@@ -1,0 +1,181 @@
+//! Serving metrics: latency percentiles, throughput, queue depth, batch
+//! shape and schedule-cache behaviour.
+
+use crate::cache::CacheStats;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Live counters updated by the engine; snapshot with
+/// [`ServeMetrics::snapshot`].
+#[derive(Debug)]
+pub(crate) struct ServeMetrics {
+    started_at: Instant,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    /// Total device time across batches, in nanoseconds (µs lose precision).
+    device_time_ns: AtomicU64,
+    queue_depth: AtomicUsize,
+    /// Completed-request total latencies in µs. Unbounded, which is fine
+    /// for benches and tests; a long-lived deployment would reservoir-sample.
+    latencies_us: Mutex<Vec<f64>>,
+}
+
+impl ServeMetrics {
+    pub fn new() -> Self {
+        ServeMetrics {
+            started_at: Instant::now(),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            device_time_ns: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            latencies_us: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records one dispatched batch.
+    pub fn record_batch(&self, batch_size: usize, device_time_us: f64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.completed
+            .fetch_add(batch_size as u64, Ordering::Relaxed);
+        let ns = (device_time_us * 1e3).max(0.0);
+        self.device_time_ns.fetch_add(ns as u64, Ordering::Relaxed);
+    }
+
+    /// Records one completed request's total latency.
+    pub fn record_latency(&self, total_us: f64) {
+        self.latencies_us
+            .lock()
+            .expect("metrics lock")
+            .push(total_us);
+    }
+
+    /// Publishes the current queue depth gauge.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Snapshots every counter.
+    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+        let latencies = self.latencies_us.lock().expect("metrics lock").clone();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let device_time_us = self.device_time_ns.load(Ordering::Relaxed) as f64 / 1e3;
+        let elapsed = self.started_at.elapsed().as_secs_f64();
+        MetricsSnapshot {
+            completed,
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                completed as f64 / batches as f64
+            },
+            p50_latency_us: percentile(&latencies, 50.0),
+            p95_latency_us: percentile(&latencies, 95.0),
+            p99_latency_us: percentile(&latencies, 99.0),
+            max_latency_us: latencies.iter().copied().fold(0.0, f64::max),
+            wall_throughput_rps: if elapsed > 0.0 {
+                completed as f64 / elapsed
+            } else {
+                0.0
+            },
+            device_time_us,
+            device_throughput_rps: if device_time_us > 0.0 {
+                completed as f64 / (device_time_us / 1e6)
+            } else {
+                0.0
+            },
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            cache,
+        }
+    }
+}
+
+/// A point-in-time view of the serving metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests answered so far.
+    pub completed: u64,
+    /// Batches dispatched so far.
+    pub batches: u64,
+    /// Mean coalesced batch size (`completed / batches`).
+    pub mean_batch_size: f64,
+    /// Median request latency (submission → response), µs wall clock.
+    pub p50_latency_us: f64,
+    /// 95th percentile request latency, µs wall clock.
+    pub p95_latency_us: f64,
+    /// 99th percentile request latency, µs wall clock.
+    pub p99_latency_us: f64,
+    /// Worst request latency, µs wall clock.
+    pub max_latency_us: f64,
+    /// Requests per second of wall clock since the engine started.
+    pub wall_throughput_rps: f64,
+    /// Total (simulated) device time consumed by all batches, µs.
+    pub device_time_us: f64,
+    /// Requests per second of *device* time — the hardware-efficiency
+    /// number batching improves (cf. Figure 11 of the paper).
+    pub device_throughput_rps: f64,
+    /// Requests queued at snapshot time.
+    pub queue_depth: usize,
+    /// Schedule-cache behaviour.
+    pub cache: CacheStats,
+}
+
+/// Nearest-rank percentile of `values` (`p` in 0..=100); 0 when empty.
+fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&values, 50.0), 50.0);
+        assert_eq!(percentile(&values, 95.0), 95.0);
+        assert_eq!(percentile(&values, 99.0), 99.0);
+        assert_eq!(percentile(&values, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn snapshot_aggregates_counters() {
+        let metrics = ServeMetrics::new();
+        metrics.record_batch(4, 200.0);
+        metrics.record_batch(2, 100.0);
+        for latency in [10.0, 20.0, 30.0, 40.0, 50.0, 60.0] {
+            metrics.record_latency(latency);
+        }
+        metrics.set_queue_depth(3);
+        let snap = metrics.snapshot(CacheStats::default());
+        assert_eq!(snap.completed, 6);
+        assert_eq!(snap.batches, 2);
+        assert!((snap.mean_batch_size - 3.0).abs() < 1e-12);
+        assert_eq!(snap.p50_latency_us, 30.0);
+        assert_eq!(snap.max_latency_us, 60.0);
+        assert_eq!(snap.queue_depth, 3);
+        // 6 requests in 300 µs of device time = 20k requests per device-second.
+        assert!((snap.device_throughput_rps - 20_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let metrics = ServeMetrics::new();
+        metrics.record_batch(1, 50.0);
+        metrics.record_latency(80.0);
+        let snap = metrics.snapshot(CacheStats::default());
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,148 @@
+//! Requests, responses and the client-side completion handle.
+
+use ios_backend::TensorData;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Identifier of one inference request within an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// How the schedule that executed a request's batch was obtained — the
+/// runtime face of the paper's Table 3 specialization study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleSource {
+    /// A schedule specialized for exactly this batch size was cached.
+    Exact,
+    /// No exact schedule was cached; the nearest cached batch size served
+    /// the request (its stage structure is valid at any batch size).
+    Nearest {
+        /// The batch size the serving schedule was optimized for.
+        optimized_for: usize,
+    },
+    /// Nothing usable was cached; the schedule was optimized synchronously
+    /// before this batch could run (first-request warm-up cost).
+    FreshlyOptimized,
+}
+
+/// The completed result of one inference request.
+#[derive(Debug, Clone)]
+pub struct InferenceResponse {
+    /// The request this response answers.
+    pub id: RequestId,
+    /// Per-output tensors of this sample (batch dimension 1). Empty when
+    /// the engine runs a backend that does not compute numerics (for
+    /// example the simulated-device backend used for throughput studies).
+    pub outputs: Vec<TensorData>,
+    /// Size of the coalesced batch this request was executed in.
+    pub batch_size: usize,
+    /// How the batch's schedule was obtained.
+    pub schedule_source: ScheduleSource,
+    /// Time spent queued before dispatch, in µs of wall clock.
+    pub queue_us: f64,
+    /// Total time from submission to completion, in µs of wall clock.
+    pub total_us: f64,
+    /// This request's share of the batch's (simulated) device time, in µs.
+    pub device_us: f64,
+}
+
+/// A pending request as carried through the batching queue.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    pub id: RequestId,
+    pub input: TensorData,
+    pub enqueued_at: Instant,
+    pub respond_to: mpsc::Sender<InferenceResponse>,
+}
+
+/// Client-side handle resolving to an [`InferenceResponse`].
+#[derive(Debug)]
+pub struct ResponseHandle {
+    pub(crate) id: RequestId,
+    pub(crate) receiver: mpsc::Receiver<InferenceResponse>,
+}
+
+impl ResponseHandle {
+    /// The id of the awaited request.
+    #[must_use]
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Blocks until the response arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine shut down without answering (a bug: the engine
+    /// drains its queue before stopping).
+    #[must_use]
+    pub fn wait(self) -> InferenceResponse {
+        self.receiver
+            .recv()
+            .expect("engine answered every accepted request")
+    }
+
+    /// Returns the response if it already arrived, or the handle back.
+    ///
+    /// # Errors
+    ///
+    /// Returns `self` unchanged while the response is still pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics (like [`ResponseHandle::wait`]) if the engine dropped the
+    /// request without answering — e.g. its batch panicked inside a custom
+    /// execution backend. Treating that as "still pending" would make a
+    /// polling loop spin forever.
+    pub fn try_wait(self) -> Result<InferenceResponse, ResponseHandle> {
+        match self.receiver.try_recv() {
+            Ok(response) => Ok(response),
+            Err(mpsc::TryRecvError::Empty) => Err(self),
+            Err(mpsc::TryRecvError::Disconnected) => {
+                panic!(
+                    "the engine dropped {} without answering (batch execution failed)",
+                    self.id
+                )
+            }
+        }
+    }
+}
+
+/// Errors surfaced by [`crate::ServeEngine::submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The engine is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The submitted tensor does not match the network's per-sample input
+    /// shape.
+    WrongInputShape {
+        /// The shape the engine expects (batch dimension 1).
+        expected: ios_ir::TensorShape,
+        /// The shape that was submitted.
+        submitted: ios_ir::TensorShape,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ShuttingDown => write!(f, "the serving engine is shutting down"),
+            ServeError::WrongInputShape {
+                expected,
+                submitted,
+            } => write!(
+                f,
+                "submitted input shape {submitted:?} does not match the network's per-sample \
+                 input shape {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -26,8 +26,16 @@ pub fn occupancy(kernel: &KernelSpec, device: &DeviceSpec) -> f64 {
 /// zero FLOPs (e.g. concat) is purely memory bound and vice versa.
 #[must_use]
 pub fn roofline_time_us(flops: f64, bytes: f64, compute_rate: f64, memory_rate: f64) -> f64 {
-    let compute_time = if compute_rate > 0.0 { flops / compute_rate } else { 0.0 };
-    let memory_time = if memory_rate > 0.0 { bytes / memory_rate } else { 0.0 };
+    let compute_time = if compute_rate > 0.0 {
+        flops / compute_rate
+    } else {
+        0.0
+    };
+    let memory_time = if memory_rate > 0.0 {
+        bytes / memory_rate
+    } else {
+        0.0
+    };
     compute_time.max(memory_time)
 }
 
@@ -38,7 +46,12 @@ pub fn isolated_kernel_latency_us(kernel: &KernelSpec, device: &DeviceSpec) -> f
     let occ = occupancy(kernel, device);
     let compute_rate = device.peak_flops_per_us() * occ * kernel.compute_efficiency;
     let memory_rate = device.bytes_per_us() * kernel.memory_efficiency;
-    roofline_time_us(kernel.flops as f64, kernel.mem_bytes as f64, compute_rate, memory_rate)
+    roofline_time_us(
+        kernel.flops as f64,
+        kernel.mem_bytes as f64,
+        compute_rate,
+        memory_rate,
+    )
 }
 
 /// Achieved throughput in TFLOP/s of a kernel that ran for `latency_us`.

@@ -176,19 +176,28 @@ impl ExecutionOverheads {
     /// Overheads of the IOS execution engine (thin C++/cuDNN wrapper).
     #[must_use]
     pub fn ios_engine() -> Self {
-        ExecutionOverheads { kernel_launch_us: 3.0, stage_sync_us: 6.0 }
+        ExecutionOverheads {
+            kernel_launch_us: 3.0,
+            stage_sync_us: 6.0,
+        }
     }
 
     /// Zero overheads (useful for isolating the kernel cost model in tests).
     #[must_use]
     pub fn none() -> Self {
-        ExecutionOverheads { kernel_launch_us: 0.0, stage_sync_us: 0.0 }
+        ExecutionOverheads {
+            kernel_launch_us: 0.0,
+            stage_sync_us: 0.0,
+        }
     }
 
     /// Overheads with explicit values.
     #[must_use]
     pub fn new(kernel_launch_us: f64, stage_sync_us: f64) -> Self {
-        ExecutionOverheads { kernel_launch_us, stage_sync_us }
+        ExecutionOverheads {
+            kernel_launch_us,
+            stage_sync_us,
+        }
     }
 }
 

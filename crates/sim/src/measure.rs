@@ -31,7 +31,11 @@ pub struct MeasureConfig {
 
 impl Default for MeasureConfig {
     fn default() -> Self {
-        MeasureConfig { noise_std: 0.0, seed: 0x105, repeats: 1 }
+        MeasureConfig {
+            noise_std: 0.0,
+            seed: 0x105,
+            repeats: 1,
+        }
     }
 }
 
@@ -46,7 +50,11 @@ impl MeasureConfig {
     /// averaged over `repeats` runs.
     #[must_use]
     pub fn noisy(noise_std: f64, seed: u64, repeats: usize) -> Self {
-        MeasureConfig { noise_std, seed, repeats: repeats.max(1) }
+        MeasureConfig {
+            noise_std,
+            seed,
+            repeats: repeats.max(1),
+        }
     }
 }
 
@@ -102,7 +110,13 @@ impl Simulator {
         config: MeasureConfig,
     ) -> Self {
         let rng = Mutex::new(StdRng::seed_from_u64(config.seed));
-        Simulator { device, library, overheads, config, rng }
+        Simulator {
+            device,
+            library,
+            overheads,
+            config,
+            rng,
+        }
     }
 
     /// The device being simulated.
@@ -132,7 +146,11 @@ impl Simulator {
     /// Measures a stage given explicit kernel groups.
     #[must_use]
     pub fn measure_kernel_stage(&self, groups: &[Vec<KernelSpec>]) -> StageMeasurement {
-        let runs = if self.config.noise_std > 0.0 { self.config.repeats } else { 1 };
+        let runs = if self.config.noise_std > 0.0 {
+            self.config.repeats
+        } else {
+            1
+        };
         let mut last: Option<StageSimulation> = None;
         let mut total = 0.0;
         for _ in 0..runs {
@@ -228,12 +246,21 @@ mod tests {
             ExecutionOverheads::ios_engine(),
             MeasureConfig::noisy(0.05, 42, 16),
         );
-        let truth = clean.measure_stage(&g, &[vec![OpId(0)], vec![OpId(1)]]).latency_us;
-        let measured = noisy.measure_stage(&g, &[vec![OpId(0)], vec![OpId(1)]]).latency_us;
+        let truth = clean
+            .measure_stage(&g, &[vec![OpId(0)], vec![OpId(1)]])
+            .latency_us;
+        let measured = noisy
+            .measure_stage(&g, &[vec![OpId(0)], vec![OpId(1)]])
+            .latency_us;
         assert!(measured > 0.0);
-        assert!((measured - truth).abs() / truth < 0.2, "measured {measured}, truth {truth}");
+        assert!(
+            (measured - truth).abs() / truth < 0.2,
+            "measured {measured}, truth {truth}"
+        );
         // Two consecutive noisy measurements differ.
-        let m2 = noisy.measure_stage(&g, &[vec![OpId(0)], vec![OpId(1)]]).latency_us;
+        let m2 = noisy
+            .measure_stage(&g, &[vec![OpId(0)], vec![OpId(1)]])
+            .latency_us;
         assert_ne!(measured, m2);
     }
 
@@ -250,7 +277,10 @@ mod tests {
         let ops = [OpId(0), OpId(1), OpId(2), OpId(3)];
         let a = cudnn.measure_sequential(&g, &ops).latency_us;
         let b = trt.measure_sequential(&g, &ops).latency_us;
-        assert!(b < a, "TensorRT kernels should be faster than stock cuDNN ({b} vs {a})");
+        assert!(
+            b < a,
+            "TensorRT kernels should be faster than stock cuDNN ({b} vs {a})"
+        );
         assert_eq!(trt.library(), KernelLibrary::TensorRt);
     }
 

@@ -53,10 +53,17 @@ impl ActiveWarpProfile {
                 .filter(|e| e.start_us <= t && t < e.end_us)
                 .map(|e| e.warps)
                 .sum();
-            samples.push(WarpSample { time_us: t, active_warps: active.min(cap) });
+            samples.push(WarpSample {
+                time_us: t,
+                active_warps: active.min(cap),
+            });
             t += interval_us;
         }
-        ActiveWarpProfile { samples, interval_us, duration_us }
+        ActiveWarpProfile {
+            samples,
+            interval_us,
+            duration_us,
+        }
     }
 
     /// Mean number of active warps over the profiled duration.
@@ -65,13 +72,21 @@ impl ActiveWarpProfile {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|s| s.active_warps as f64).sum::<f64>() / self.samples.len() as f64
+        self.samples
+            .iter()
+            .map(|s| s.active_warps as f64)
+            .sum::<f64>()
+            / self.samples.len() as f64
     }
 
     /// Peak number of active warps.
     #[must_use]
     pub fn peak_active_warps(&self) -> usize {
-        self.samples.iter().map(|s| s.active_warps).max().unwrap_or(0)
+        self.samples
+            .iter()
+            .map(|s| s.active_warps)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Active warp-time per millisecond: the `warps/ms` figure of merit
@@ -109,7 +124,14 @@ mod tests {
     use crate::device::DeviceKind;
 
     fn event(name: &str, start: f64, end: f64, warps: usize) -> KernelEvent {
-        KernelEvent { name: name.to_string(), group: 0, start_us: start, end_us: end, warps, flops: 0 }
+        KernelEvent {
+            name: name.to_string(),
+            group: 0,
+            start_us: start,
+            end_us: end,
+            warps,
+            flops: 0,
+        }
     }
 
     #[test]
@@ -119,7 +141,12 @@ mod tests {
         let profile = ActiveWarpProfile::from_events(&events, 20.0, 1.0, &dev);
         // At t=0..4 only a (100), t=5..9 both (300), t=10..14 only b (200), after: 0.
         let at = |t: f64| {
-            profile.samples.iter().find(|s| (s.time_us - t).abs() < 1e-9).unwrap().active_warps
+            profile
+                .samples
+                .iter()
+                .find(|s| (s.time_us - t).abs() < 1e-9)
+                .unwrap()
+                .active_warps
         };
         assert_eq!(at(0.0), 100);
         assert_eq!(at(7.0), 300);

@@ -117,7 +117,11 @@ pub fn simulate_stage(
 ) -> StageSimulation {
     let non_empty: Vec<&Vec<KernelSpec>> = groups.iter().filter(|g| !g.is_empty()).collect();
     if non_empty.is_empty() {
-        return StageSimulation { latency_us: 0.0, events: Vec::new(), total_flops: 0 };
+        return StageSimulation {
+            latency_us: 0.0,
+            events: Vec::new(),
+            total_flops: 0,
+        };
     }
 
     let mut streams: Vec<StreamState<'_>> = non_empty
@@ -150,7 +154,10 @@ pub fn simulate_stage(
 
     while streams.iter().any(|s| !s.done) {
         iterations += 1;
-        assert!(iterations <= max_iterations, "stage simulation failed to converge");
+        assert!(
+            iterations <= max_iterations,
+            "stage simulation failed to converge"
+        );
 
         // Which kernels are resident right now?
         let active: Vec<usize> = streams
@@ -215,7 +222,9 @@ pub fn simulate_stage(
             let compute_rate =
                 device.peak_flops_per_us() * share * k.compute_efficiency * contention;
             let mem_share = if active.len() > 1 {
-                (demands[idx] / total_demand.max(1.0)).max(1.0 / active.len() as f64).min(1.0)
+                (demands[idx] / total_demand.max(1.0))
+                    .max(1.0 / active.len() as f64)
+                    .min(1.0)
             } else {
                 1.0
             };
@@ -270,8 +279,16 @@ pub fn simulate_stage(
         now += dt;
     }
 
-    let sync = if non_empty.len() > 1 { overheads.stage_sync_us } else { 0.0 };
-    StageSimulation { latency_us: now + sync, events, total_flops }
+    let sync = if non_empty.len() > 1 {
+        overheads.stage_sync_us
+    } else {
+        0.0
+    };
+    StageSimulation {
+        latency_us: now + sync,
+        events,
+        total_flops,
+    }
 }
 
 #[cfg(test)]
@@ -309,7 +326,12 @@ mod tests {
         let isolated = crate::cost::isolated_kernel_latency_us(&k, &v100());
         let sim = simulate_stage(&[vec![k]], &v100(), ExecutionOverheads::new(3.0, 6.0));
         assert_eq!(sim.events.len(), 1);
-        assert!((sim.latency_us - (isolated + 3.0)).abs() < 1e-3, "{} vs {}", sim.latency_us, isolated + 3.0);
+        assert!(
+            (sim.latency_us - (isolated + 3.0)).abs() < 1e-3,
+            "{} vs {}",
+            sim.latency_us,
+            isolated + 3.0
+        );
         // Single group → no stream sync.
         assert!(sim.latency_us < isolated + 5.0);
     }
@@ -338,7 +360,10 @@ mod tests {
         let a_alone = simulate_stage(&[vec![a]], &dev, oh).latency_us;
         let b_alone = simulate_stage(&[vec![b]], &dev, oh).latency_us;
         assert!(conc < 0.8 * seq, "concurrent {conc} vs sequential {seq}");
-        assert!(conc >= b_alone.max(a_alone) * 0.99, "cannot be faster than the longest member");
+        assert!(
+            conc >= b_alone.max(a_alone) * 0.99,
+            "cannot be faster than the longest member"
+        );
     }
 
     #[test]
@@ -363,7 +388,10 @@ mod tests {
         let seq1 = simulate_stage(&[vec![a1.clone(), b1.clone()]], &dev, oh).latency_us;
         let conc1 = simulate_stage(&[vec![a1], vec![b1]], &dev, oh).latency_us;
         let big_gain = seq1 / conc1;
-        assert!(big_gain > small_gain + 0.15, "batch-1 gain {big_gain} vs batch-32 gain {small_gain}");
+        assert!(
+            big_gain > small_gain + 0.15,
+            "batch-1 gain {big_gain} vs batch-32 gain {small_gain}"
+        );
     }
 
     #[test]
@@ -385,7 +413,12 @@ mod tests {
         let sim = simulate_stage(&kernels, &dev, oh);
         let total_flops: u64 = sim.total_flops;
         let ideal_us = total_flops as f64 / (dev.peak_flops_per_us() * 0.82);
-        assert!(sim.latency_us > 1.1 * ideal_us, "{} vs ideal {}", sim.latency_us, ideal_us);
+        assert!(
+            sim.latency_us > 1.1 * ideal_us,
+            "{} vs ideal {}",
+            sim.latency_us,
+            ideal_us
+        );
     }
 
     #[test]
@@ -398,7 +431,8 @@ mod tests {
         let two_groups = simulate_stage(&[vec![a.clone()], vec![b.clone()]], &dev, oh).latency_us;
         // The two-group stage pays the 50 µs sync; with zero launch cost and
         // these small kernels the sync is clearly visible.
-        let one_group_no_sync = simulate_stage(&[vec![a, b]], &dev, ExecutionOverheads::none()).latency_us;
+        let one_group_no_sync =
+            simulate_stage(&[vec![a, b]], &dev, ExecutionOverheads::none()).latency_us;
         assert!((one_group - one_group_no_sync).abs() < 1e-6);
         assert!(two_groups > 50.0);
     }
@@ -439,14 +473,15 @@ mod tests {
         let make = |name: &str| fig2_conv(name, 384);
         let oh = ExecutionOverheads::ios_engine();
         let gain = |dev: &DeviceSpec| {
-            let seq = simulate_stage(
-                &[vec![make("a"), make("b"), make("c"), make("d")]],
-                dev,
-                oh,
-            )
-            .latency_us;
+            let seq = simulate_stage(&[vec![make("a"), make("b"), make("c"), make("d")]], dev, oh)
+                .latency_us;
             let conc = simulate_stage(
-                &[vec![make("a")], vec![make("b")], vec![make("c")], vec![make("d")]],
+                &[
+                    vec![make("a")],
+                    vec![make("b")],
+                    vec![make("c")],
+                    vec![make("d")],
+                ],
                 dev,
                 oh,
             )
@@ -455,6 +490,9 @@ mod tests {
         };
         let v100_gain = gain(&DeviceKind::TeslaV100.spec());
         let k80_gain = gain(&DeviceKind::TeslaK80.spec());
-        assert!(v100_gain > k80_gain + 0.3, "V100 gain {v100_gain}, K80 gain {k80_gain}");
+        assert!(
+            v100_gain > k80_gain + 0.3,
+            "V100 gain {v100_gain}, K80 gain {k80_gain}"
+        );
     }
 }

@@ -54,7 +54,8 @@ pub fn trend_point(network: &Network, device: DeviceKind, year: u32) -> TrendPoi
 #[must_use]
 pub fn gap_growth(earlier: &TrendPoint, later: &TrendPoint) -> f64 {
     let peak_growth = later.peak_gflops / earlier.peak_gflops;
-    let work_shrink = earlier.avg_mflops_per_conv / later.avg_mflops_per_conv.max(f64::MIN_POSITIVE);
+    let work_shrink =
+        earlier.avg_mflops_per_conv / later.avg_mflops_per_conv.max(f64::MIN_POSITIVE);
     peak_growth * work_shrink
 }
 
@@ -68,7 +69,11 @@ mod tests {
         let mut b = GraphBuilder::new(format!("{name}_block"), input);
         let mut v = b.input(0);
         for i in 0..convs {
-            v = b.conv2d(format!("c{i}"), v, Conv2dParams::relu(channels, (3, 3), (1, 1), (1, 1)));
+            v = b.conv2d(
+                format!("c{i}"),
+                v,
+                Conv2dParams::relu(channels, (3, 3), (1, 1), (1, 1)),
+            );
         }
         let graph = b.build(vec![v]);
         Network::new(name, input, vec![Block::new(graph)])

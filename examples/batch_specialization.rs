@@ -19,14 +19,26 @@ fn main() {
         .iter()
         .map(|&b| {
             let graph = inception_v3_last_block(b);
-            (b, Network::new(format!("last_block_b{b}"), graph.input_shapes()[0], vec![Block::new(graph)]))
+            (
+                b,
+                Network::new(
+                    format!("last_block_b{b}"),
+                    graph.input_shapes()[0],
+                    vec![Block::new(graph)],
+                ),
+            )
         })
         .collect();
 
     // Optimize a schedule per batch size.
     let schedules: Vec<(String, NetworkSchedule)> = networks
         .iter()
-        .map(|(b, net)| (format!("batch {b}"), optimize_network(net, &cost, &config).schedule))
+        .map(|(b, net)| {
+            (
+                format!("batch {b}"),
+                optimize_network(net, &cost, &config).schedule,
+            )
+        })
         .collect();
 
     for ((batch, net), (_, schedule)) in networks.iter().zip(&schedules) {
@@ -39,7 +51,10 @@ fn main() {
             "schedule optimized for batch {batch}: {} stages, {merges} merged stage(s)",
             schedule.num_stages()
         );
-        print!("{}", schedule.block_schedules[0].render(&net.blocks[0].graph));
+        print!(
+            "{}",
+            schedule.block_schedules[0].render(&net.blocks[0].graph)
+        );
         println!();
     }
 

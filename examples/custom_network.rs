@@ -12,19 +12,43 @@ fn build_block() -> Graph {
     let mut b = GraphBuilder::new("custom_block", TensorShape::new(1, 96, 20, 20));
     let x = b.input(0);
     // Two mergeable 3x3 convolutions plus a cheap 1x1 branch and a pooled branch.
-    let left = b.conv2d("left_3x3", x, Conv2dParams::relu(128, (3, 3), (1, 1), (1, 1)));
-    let right = b.conv2d("right_3x3", x, Conv2dParams::relu(64, (3, 3), (1, 1), (1, 1)));
-    let cheap = b.conv2d("cheap_1x1", x, Conv2dParams::relu(32, (1, 1), (1, 1), (0, 0)));
+    let left = b.conv2d(
+        "left_3x3",
+        x,
+        Conv2dParams::relu(128, (3, 3), (1, 1), (1, 1)),
+    );
+    let right = b.conv2d(
+        "right_3x3",
+        x,
+        Conv2dParams::relu(64, (3, 3), (1, 1), (1, 1)),
+    );
+    let cheap = b.conv2d(
+        "cheap_1x1",
+        x,
+        Conv2dParams::relu(32, (1, 1), (1, 1), (0, 0)),
+    );
     let pooled = b.pool("pool", x, ios::ir::PoolParams::avg((3, 3), (1, 1), (1, 1)));
-    let pooled = b.conv2d("pool_proj", pooled, Conv2dParams::relu(32, (1, 1), (1, 1), (0, 0)));
-    let deep = b.conv2d("deep_3x3", left, Conv2dParams::relu(128, (3, 3), (1, 1), (1, 1)));
+    let pooled = b.conv2d(
+        "pool_proj",
+        pooled,
+        Conv2dParams::relu(32, (1, 1), (1, 1), (0, 0)),
+    );
+    let deep = b.conv2d(
+        "deep_3x3",
+        left,
+        Conv2dParams::relu(128, (3, 3), (1, 1), (1, 1)),
+    );
     let out = b.concat("concat", &[deep, right, cheap, pooled]);
     b.build(vec![out])
 }
 
 fn main() {
     let graph = build_block();
-    println!("custom block: {} operators, width {}", graph.len(), ios::ir::dag_width(&graph));
+    println!(
+        "custom block: {} operators, width {}",
+        graph.len(),
+        ios::ir::dag_width(&graph)
+    );
 
     for device in [DeviceKind::TeslaV100, DeviceKind::TeslaK80] {
         let cost = SimCostModel::new(Simulator::new(device));

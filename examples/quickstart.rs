@@ -10,10 +10,26 @@ fn main() {
     //    the paper: four convolutions reading the same input).
     let mut builder = GraphBuilder::new("quickstart_block", TensorShape::new(1, 384, 15, 15));
     let input = builder.input(0);
-    let a = builder.conv2d("conv_a", input, Conv2dParams::relu(384, (3, 3), (1, 1), (1, 1)));
-    let b = builder.conv2d("conv_b", input, Conv2dParams::relu(768, (3, 3), (1, 1), (1, 1)));
-    let c = builder.conv2d("conv_c", input, Conv2dParams::relu(384, (3, 3), (1, 1), (1, 1)));
-    let d = builder.conv2d("conv_d", input, Conv2dParams::relu(768, (3, 3), (1, 1), (1, 1)));
+    let a = builder.conv2d(
+        "conv_a",
+        input,
+        Conv2dParams::relu(384, (3, 3), (1, 1), (1, 1)),
+    );
+    let b = builder.conv2d(
+        "conv_b",
+        input,
+        Conv2dParams::relu(768, (3, 3), (1, 1), (1, 1)),
+    );
+    let c = builder.conv2d(
+        "conv_c",
+        input,
+        Conv2dParams::relu(384, (3, 3), (1, 1), (1, 1)),
+    );
+    let d = builder.conv2d(
+        "conv_d",
+        input,
+        Conv2dParams::relu(768, (3, 3), (1, 1), (1, 1)),
+    );
     let out = builder.concat("concat", &[a, b, c, d]);
     let graph = builder.build(vec![out]);
 
@@ -34,8 +50,14 @@ fn main() {
     // 4. Compare against the baselines of Section 6.1.
     let sequential = sequential_schedule(&graph, &cost);
     let greedy = greedy_schedule(&graph, &cost);
-    println!("sequential latency: {:8.1} µs", sequential.total_measured_latency_us());
-    println!("greedy latency:     {:8.1} µs", greedy.total_measured_latency_us());
+    println!(
+        "sequential latency: {:8.1} µs",
+        sequential.total_measured_latency_us()
+    );
+    println!(
+        "greedy latency:     {:8.1} µs",
+        greedy.total_measured_latency_us()
+    );
     println!("IOS latency:        {:8.1} µs", result.latency_us);
     println!(
         "speedup over sequential: {:.2}x, over greedy: {:.2}x",

@@ -15,6 +15,9 @@
 //!   TensorRT, TVM, …).
 //! * [`backend`] — CPU reference executor used to verify that schedules
 //!   preserve the network's semantics.
+//! * [`serve`] — the online batched inference-serving runtime: dynamic
+//!   batching, batch/device-specialized schedule cache (Table 3 as a
+//!   runtime policy), worker pool and serving metrics.
 //!
 //! # Quickstart
 //!
@@ -40,6 +43,7 @@ pub use ios_core as core;
 pub use ios_frameworks as frameworks;
 pub use ios_ir as ir;
 pub use ios_models as models;
+pub use ios_serve as serve;
 pub use ios_sim as sim;
 
 /// The most commonly used items, importable with `use ios::prelude::*`.
@@ -53,6 +57,9 @@ pub mod prelude {
     pub use ios_ir::{
         Activation, Conv2dParams, Graph, GraphBuilder, Network, Op, OpId, OpKind, OpSet,
         TensorShape,
+    };
+    pub use ios_serve::{
+        InferenceResponse, MetricsSnapshot, ScheduleSource, ServeConfig, ServeEngine,
     };
     pub use ios_sim::{DeviceKind, KernelLibrary, Simulator};
 }

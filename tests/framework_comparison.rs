@@ -22,12 +22,21 @@ fn ios_beats_cudnn_frameworks_on_squeezenet() {
     ] {
         let result = Framework::new(kind, device).measure(&network);
         let speedup = result.latency_us / ios.latency_us;
-        assert!(speedup > 1.0, "IOS should beat {kind} (speedup = {speedup:.3})");
-        assert!(speedup < 4.0, "speedup over {kind} is implausible ({speedup:.3})");
+        assert!(
+            speedup > 1.0,
+            "IOS should beat {kind} (speedup = {speedup:.3})"
+        );
+        assert!(
+            speedup < 4.0,
+            "speedup over {kind} is implausible ({speedup:.3})"
+        );
     }
     let trt = Framework::new(FrameworkKind::TensorRt, device).measure(&network);
     let ratio = ios.latency_us / trt.latency_us;
-    assert!(ratio < 1.15, "IOS should stay within 15% of TensorRT on SqueezeNet (ratio = {ratio:.3})");
+    assert!(
+        ratio < 1.15,
+        "IOS should stay within 15% of TensorRT on SqueezeNet (ratio = {ratio:.3})"
+    );
 }
 
 #[test]
@@ -82,8 +91,14 @@ fn relative_gain_of_ios_shrinks_as_batch_grows() {
     };
     let gain_b1 = gain(1);
     let gain_b64 = gain(64);
-    assert!(gain_b1 > gain_b64, "batch-1 gain {gain_b1:.2} should exceed batch-64 gain {gain_b64:.2}");
-    assert!(gain_b1 > 1.3, "batch-1 gain should be substantial, got {gain_b1:.2}");
+    assert!(
+        gain_b1 > gain_b64,
+        "batch-1 gain {gain_b1:.2} should exceed batch-64 gain {gain_b64:.2}"
+    );
+    assert!(
+        gain_b1 > 1.3,
+        "batch-1 gain should be substantial, got {gain_b1:.2}"
+    );
     assert!(gain_b64 >= 1.0 - 1e-9);
 }
 

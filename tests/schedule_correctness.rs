@@ -31,7 +31,11 @@ fn merged_stages_preserve_semantics_on_figure2_block() {
     let network = ios::models::figure2_block(1);
     let graph = &network.blocks[0].graph;
     let cost = cost();
-    let merge_only = schedule_graph(graph, &cost, &SchedulerConfig::for_variant(IosVariant::Merge));
+    let merge_only = schedule_graph(
+        graph,
+        &cost,
+        &SchedulerConfig::for_variant(IosVariant::Merge),
+    );
     assert!(merge_only
         .schedule
         .stages

@@ -25,8 +25,14 @@ fn ios_beats_sequential_and_greedy_on_inception_v3() {
     let greedy_speedup = greedy.latency_us / ios.schedule.latency_us;
     // Figure 6: IOS-Both clearly beats Sequential on Inception V3 (the paper
     // reports ~1.6x) and is at least as good as Greedy.
-    assert!(seq_speedup > 1.25, "speedup over sequential = {seq_speedup:.3}");
-    assert!(greedy_speedup >= 1.0 - 1e-9, "speedup over greedy = {greedy_speedup:.3}");
+    assert!(
+        seq_speedup > 1.25,
+        "speedup over sequential = {seq_speedup:.3}"
+    );
+    assert!(
+        greedy_speedup >= 1.0 - 1e-9,
+        "speedup over greedy = {greedy_speedup:.3}"
+    );
 }
 
 #[test]
@@ -60,7 +66,10 @@ fn resnet_gains_are_marginal() {
     let ios = optimize_network(&network, &cost, &SchedulerConfig::paper_default());
     let speedup = sequential.latency_us / ios.schedule.latency_us;
     assert!(speedup >= 1.0 - 1e-9);
-    assert!(speedup < 1.30, "ResNet speedup should be marginal, got {speedup:.3}");
+    assert!(
+        speedup < 1.30,
+        "ResNet speedup should be marginal, got {speedup:.3}"
+    );
 }
 
 #[test]
@@ -68,10 +77,21 @@ fn ios_variants_are_ordered_on_inception() {
     // IOS-Both ≤ IOS-Parallel and IOS-Both ≤ IOS-Merge on every network.
     let network = ios::models::inception_v3(1);
     let cost = cost_model(DeviceKind::TeslaV100);
-    let both = optimize_network(&network, &cost, &SchedulerConfig::for_variant(IosVariant::Both));
-    let parallel =
-        optimize_network(&network, &cost, &SchedulerConfig::for_variant(IosVariant::Parallel));
-    let merge = optimize_network(&network, &cost, &SchedulerConfig::for_variant(IosVariant::Merge));
+    let both = optimize_network(
+        &network,
+        &cost,
+        &SchedulerConfig::for_variant(IosVariant::Both),
+    );
+    let parallel = optimize_network(
+        &network,
+        &cost,
+        &SchedulerConfig::for_variant(IosVariant::Parallel),
+    );
+    let merge = optimize_network(
+        &network,
+        &cost,
+        &SchedulerConfig::for_variant(IosVariant::Merge),
+    );
     assert!(both.schedule.latency_us <= parallel.schedule.latency_us + 1e-6);
     assert!(both.schedule.latency_us <= merge.schedule.latency_us + 1e-6);
 }
@@ -88,8 +108,11 @@ fn merge_only_variant_equals_sequential_when_nothing_merges() {
         vec![network.blocks[2].clone()],
     );
     let cost = cost_model(DeviceKind::TeslaV100);
-    let merge_only =
-        optimize_network(&block, &cost, &SchedulerConfig::for_variant(IosVariant::Merge));
+    let merge_only = optimize_network(
+        &block,
+        &cost,
+        &SchedulerConfig::for_variant(IosVariant::Merge),
+    );
     let sequential = sequential_network_schedule(&block, &cost);
     // No stage may use operator merge, and the latency difference against
     // sequential comes only from packing consecutive ops into stages.
@@ -107,8 +130,11 @@ fn merge_only_variant_equals_sequential_when_nothing_merges() {
 fn specialized_schedules_win_on_their_own_device() {
     // Table 3 (2), on the last Inception block for speed.
     let graph = ios::models::inception::inception_v3_last_block(1);
-    let network =
-        ios::ir::Network::new("last_block", graph.input_shapes()[0], vec![ios::ir::Block::new(graph)]);
+    let network = ios::ir::Network::new(
+        "last_block",
+        graph.input_shapes()[0],
+        vec![ios::ir::Block::new(graph)],
+    );
     let v100 = cost_model(DeviceKind::TeslaV100);
     let k80 = cost_model(DeviceKind::TeslaK80);
     let config = SchedulerConfig::paper_default();
@@ -119,7 +145,10 @@ fn specialized_schedules_win_on_their_own_device() {
     let v100_cross = evaluate_network(&network, &for_k80, &v100);
     let k80_own = for_k80.latency_us;
     let k80_cross = evaluate_network(&network, &for_v100, &k80);
-    assert!(v100_own <= v100_cross + 1e-6, "V100 prefers its own schedule");
+    assert!(
+        v100_own <= v100_cross + 1e-6,
+        "V100 prefers its own schedule"
+    );
     assert!(k80_own <= k80_cross + 1e-6, "K80 prefers its own schedule");
     // Different devices end up with genuinely different schedules.
     assert!(

@@ -1,0 +1,161 @@
+//! Minimal, API-compatible stand-in for the slice of the `rand` crate this
+//! workspace uses: `StdRng`, `SeedableRng::seed_from_u64`, and the
+//! `Rng::gen_range` / `Rng::gen_bool` methods.
+//!
+//! The generator is SplitMix64 — deterministic, seedable and statistically
+//! fine for test data and simulated measurement noise. The value *stream*
+//! differs from the real `rand` crate, which is acceptable here: every use
+//! in this workspace only relies on determinism per seed, not on a specific
+//! stream.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, mirroring the used subset of `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (`low..high`, half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(!range.is_empty(), "cannot sample from an empty range");
+        let mut next = || self.next_u64();
+        T::sample_uniform(range.start, range.end, &mut next)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample in `[low, high)` driven by a source of random words.
+    fn sample_uniform(low: Self, high: Self, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+/// Maps a random word to `[0, 1)` with 53 bits of precision.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(low: Self, high: Self, next: &mut dyn FnMut() -> u64) -> Self {
+                // Modulo sampling: the tiny modulo bias is irrelevant for
+                // test data generation.
+                let span = (high as i128 - low as i128) as u128;
+                let offset = (u128::from(next()) % span) as i128;
+                (low as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(low: Self, high: Self, next: &mut dyn FnMut() -> u64) -> Self {
+                let unit = unit_f64(next()) as $t;
+                low + unit * (high - low)
+            }
+        }
+    )*};
+}
+
+sample_uniform_float!(f32, f64);
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator (SplitMix64 here).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1000)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1000)).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1000)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn float_ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let w: f32 = rng.gen_range(0.25..0.5);
+            assert!((0.25..0.5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen_low = false;
+        for _ in 0..2000 {
+            let v = rng.gen_range(3usize..7);
+            assert!((3..7).contains(&v));
+            seen_low |= v == 3;
+        }
+        assert!(seen_low);
+    }
+
+    #[test]
+    fn gen_bool_probabilities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+}

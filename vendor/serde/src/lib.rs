@@ -1,0 +1,150 @@
+//! Minimal, API-compatible stand-in for the slice of `serde` this workspace
+//! uses.
+//!
+//! The build container has no network access, so the workspace vendors a
+//! small serde look-alike instead of the real crate. The public surface
+//! mirrors serde where the codebase touches it — `#[derive(Serialize,
+//! Deserialize)]`, the `Serialize` / `Deserialize` / `Serializer` /
+//! `Deserializer` traits (enough for `#[serde(with = "module")]` adapters) —
+//! but the data model is deliberately simple: everything serializes into the
+//! JSON-shaped [`Value`] tree, and `serde_json` (also vendored) renders or
+//! parses that tree as JSON text.
+//!
+//! Supported derive shapes (everything this workspace defines): structs with
+//! named fields, unit structs, tuple structs (newtypes serialize
+//! transparently), enums with unit / newtype / tuple / struct variants
+//! (externally tagged, like real serde), and the `#[serde(with = "path")]`
+//! field attribute.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod error;
+mod impls;
+mod value;
+
+pub use error::Error;
+pub use value::{Map, Number, Value};
+
+/// A type that can be serialized into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+
+    /// Serializes `self` with the given serializer (mirrors serde's entry
+    /// point; the default implementation routes through [`Value`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        Self: Sized,
+    {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A type that can be deserialized from the [`Value`] data model.
+///
+/// The lifetime parameter exists for signature compatibility with real serde
+/// (`D: Deserializer<'de>` bounds); this stand-in always deserializes from
+/// owned values.
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first mismatch between the value and
+    /// the expected shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Deserializes from the given deserializer (mirrors serde's entry
+    /// point; the default implementation routes through [`Value`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the deserializer's error.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        Self::from_value(&value).map_err(<D::Error as de::Error>::custom)
+    }
+}
+
+/// A `Deserialize` implementation that does not borrow from its input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A data format that can consume the [`Value`] data model.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type of the format.
+    type Error: ser::Error;
+
+    /// Consumes a fully built [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can produce the [`Value`] data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the format.
+    type Error: de::Error;
+
+    /// Produces the input as a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Serialization-side error support, mirroring `serde::ser`.
+pub mod ser {
+    /// Trait implemented by serializer error types.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error support, mirroring `serde::de`.
+pub mod de {
+    /// Trait implemented by deserializer error types.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// The identity [`Serializer`]: returns the [`Value`] tree unchanged. Used
+/// by derived code to drive `#[serde(with = "...")]` adapter modules.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_value(self, value: Value) -> Result<Value, Error> {
+        Ok(value)
+    }
+}
+
+/// The identity [`Deserializer`]: yields a clone of the wrapped [`Value`].
+/// Used by derived code to drive `#[serde(with = "...")]` adapter modules.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueDeserializer<'a>(pub &'a Value);
+
+impl<'de, 'a> Deserializer<'de> for ValueDeserializer<'a> {
+    type Error = Error;
+
+    fn into_value(self) -> Result<Value, Error> {
+        Ok(self.0.clone())
+    }
+}

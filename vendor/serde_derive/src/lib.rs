@@ -1,0 +1,280 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Real serde_derive builds on `syn`/`quote`; neither is available offline,
+//! so this macro parses the item declaration directly from the token stream.
+//! That is tractable because the supported shapes are exactly the ones this
+//! workspace defines:
+//!
+//! * structs with named fields (any visibility), unit structs, and tuple
+//!   structs — single-field tuple structs (newtypes) serialize
+//!   transparently as their inner value, like real serde;
+//! * enums with unit, newtype, tuple and struct variants, externally tagged
+//!   (`"Variant"` / `{"Variant": ...}`), like real serde;
+//! * the `#[serde(with = "module")]` field attribute, which routes the field
+//!   through `module::serialize` / `module::deserialize`.
+//!
+//! Generics and other serde attributes are rejected with a compile error
+//! rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Field, Input, Kind, VariantKind};
+
+/// Derives `serde::Serialize` (the vendored stand-in's trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (the vendored stand-in's trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    let parsed = match parse::parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            return format!("compile_error!({message:?});")
+                .parse()
+                .expect("valid error tokens")
+        }
+    };
+    gen(&parsed)
+        .parse()
+        .expect("derive output must be valid Rust")
+}
+
+fn serialize_field_expr(field: &Field, access: &str) -> String {
+    match &field.with {
+        None => format!("::serde::Serialize::to_value(&{access})"),
+        Some(path) => format!(
+            "match {path}::serialize(&{access}, ::serde::ValueSerializer) {{ \
+                 ::core::result::Result::Ok(__v) => __v, \
+                 ::core::result::Result::Err(__e) => ::core::panic!(\"{{}}\", __e), \
+             }}"
+        ),
+    }
+}
+
+fn deserialize_field_expr(field: &Field, source: &str) -> String {
+    match &field.with {
+        None => format!("::serde::Deserialize::from_value({source})?"),
+        Some(path) => format!("{path}::deserialize(::serde::ValueDeserializer({source}))?"),
+    }
+}
+
+fn named_fields_to_value(fields: &[Field], access_prefix: &str) -> String {
+    let mut body = String::from("let mut __map = ::serde::Map::new();\n");
+    for field in fields {
+        let expr = serialize_field_expr(field, &format!("{access_prefix}{}", field.name));
+        body.push_str(&format!("__map.insert(\"{}\", {expr});\n", field.name));
+    }
+    body.push_str("::serde::Value::Object(__map)");
+    body
+}
+
+fn named_fields_from_map(fields: &[Field], map_var: &str) -> String {
+    let mut body = String::new();
+    for field in fields {
+        let source = format!(
+            "{map_var}.get(\"{name}\").ok_or_else(|| \
+             ::serde::Error::msg(\"missing field `{name}`\"))?",
+            name = field.name
+        );
+        body.push_str(&format!(
+            "{}: {},\n",
+            field.name,
+            deserialize_field_expr(field, &source)
+        ));
+    }
+    body
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => named_fields_to_value(fields, "self."),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::String(::std::string::String::from(\"{vname}\")),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{ \
+                                 let mut __map = ::serde::Map::new(); \
+                                 __map.insert(\"{vname}\", {inner}); \
+                                 ::serde::Value::Object(__map) \
+                             }},\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_fields_to_value(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{ \
+                                 let __inner = {{ {inner} }}; \
+                                 let mut __map = ::serde::Map::new(); \
+                                 __map.insert(\"{vname}\", __inner); \
+                                 ::serde::Value::Object(__map) \
+                             }},\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!(
+            "if __value.is_null() {{ ::core::result::Result::Ok({name}) }} \
+             else {{ ::core::result::Result::Err(::serde::Error::msg(\"expected null for unit \
+             struct {name}\")) }}"
+        ),
+        Kind::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| \
+                 ::serde::Error::msg(\"expected an array for tuple struct {name}\"))?;\n\
+                 if __items.len() != {n} {{ return ::core::result::Result::Err(\
+                 ::serde::Error::msg(\"wrong tuple length for {name}\")); }}\n\
+                 ::core::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => format!(
+            "let __map = __value.as_object().ok_or_else(|| \
+             ::serde::Error::msg(\"expected an object for struct {name}\"))?;\n\
+             ::core::result::Result::Ok({name} {{\n{fields}\n}})",
+            fields = named_fields_from_map(fields, "__map")
+        ),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{ \
+                                 let __items = __inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::msg(\"expected an array for variant {vname}\"))?; \
+                                 if __items.len() != {n} {{ return ::core::result::Result::Err(\
+                                 ::serde::Error::msg(\"wrong tuple length for variant {vname}\")); }} \
+                                 ::core::result::Result::Ok({name}::{vname}({items})) \
+                             }},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{ \
+                                 let __map = __inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::msg(\"expected an object for variant {vname}\"))?; \
+                                 ::core::result::Result::Ok({name}::{vname} {{ {fields} }}) \
+                             }},\n",
+                            fields = named_fields_from_map(fields, "__map")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::core::result::Result::Err(::serde::Error::msg(\
+                             ::std::format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__map) if __map.len() == 1 => {{\n\
+                         let (__key, __inner) = __map.iter().next().expect(\"len checked\");\n\
+                         match __key.as_str() {{\n\
+                             {tagged_arms}\
+                             __other => ::core::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::core::result::Result::Err(::serde::Error::msg(\
+                         \"expected a string or single-key object for enum {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+pub(crate) fn is_punct(tree: &TokenTree, ch: char) -> bool {
+    matches!(tree, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+pub(crate) fn is_ident(tree: &TokenTree, word: &str) -> bool {
+    matches!(tree, TokenTree::Ident(id) if id.to_string() == word)
+}
+
+pub(crate) fn is_group(tree: &TokenTree, delimiter: Delimiter) -> bool {
+    matches!(tree, TokenTree::Group(g) if g.delimiter() == delimiter)
+}

@@ -1,0 +1,272 @@
+//! Hand-rolled parser for the derive input token stream.
+//!
+//! Only the declaration shapes used in this workspace are supported; any
+//! other shape produces a compile error naming the limitation instead of
+//! silently generating wrong code.
+
+use crate::{is_group, is_ident, is_punct};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct` or `enum` declaration.
+pub struct Input {
+    /// Type name.
+    pub name: String,
+    /// Shape of the declaration.
+    pub kind: Kind,
+}
+
+/// The shape of the derived type.
+pub enum Kind {
+    /// `struct X;`
+    UnitStruct,
+    /// `struct X(A, B);` with the field count.
+    TupleStruct(usize),
+    /// `struct X { a: A, ... }`
+    NamedStruct(Vec<Field>),
+    /// `enum X { ... }`
+    Enum(Vec<Variant>),
+}
+
+/// A named field, possibly carrying `#[serde(with = "path")]`.
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// The `with` adapter module path, if any.
+    pub with: Option<String>,
+}
+
+/// One enum variant.
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// Shape of the variant.
+    pub kind: VariantKind,
+}
+
+/// The shape of an enum variant.
+pub enum VariantKind {
+    /// `Variant`
+    Unit,
+    /// `Variant(A, ...)` with the field count.
+    Tuple(usize),
+    /// `Variant { a: A, ... }`
+    Struct(Vec<Field>),
+}
+
+/// Parses the item a derive macro was attached to.
+pub fn parse_item(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Item-level attributes (doc comments, #[must_use], ...). A container
+    // level #[serde(...)] attribute would change the wire shape, so reject.
+    if parse_attributes(&tokens, &mut i)?.is_some() {
+        return Err(
+            "the serde stand-in does not support container-level #[serde] attributes".to_string(),
+        );
+    }
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = ident_at(&tokens, &mut i, "`struct` or `enum`")?;
+    let name = ident_at(&tokens, &mut i, "type name")?;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        return Err(format!(
+            "the serde stand-in cannot derive for generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Ok(Input {
+                name,
+                kind: Kind::UnitStruct,
+            }),
+            Some(t) if is_punct(t, ';') => Ok(Input {
+                name,
+                kind: Kind::UnitStruct,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Input {
+                    name,
+                    kind: Kind::NamedStruct(fields),
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Input {
+                name,
+                kind: Kind::TupleStruct(count_tuple_fields(g.stream())),
+            }),
+            Some(other) => Err(format!("unexpected token `{other}` in struct `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Input {
+                    name,
+                    kind: Kind::Enum(variants),
+                })
+            }
+            _ => Err(format!("expected a brace-delimited body for enum `{name}`")),
+        },
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+/// Skips attributes starting at `*i`; returns the `with` path if a
+/// `#[serde(with = "path")]` attribute was among them.
+///
+/// Any other `#[serde(...)]` content is an error: the stand-in would change
+/// the wire format silently if it ignored, say, `rename` or `default`.
+fn parse_attributes(tokens: &[TokenTree], i: &mut usize) -> Result<Option<String>, String> {
+    let mut with = None;
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        *i += 1;
+        // Inner attributes (`#![...]`) cannot appear here; the `!` would
+        // belong to the item body.
+        let TokenTree::Group(group) = &tokens[*i] else {
+            return Err("malformed attribute".to_string());
+        };
+        if group.delimiter() != Delimiter::Bracket {
+            return Err("malformed attribute".to_string());
+        }
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        if inner.first().is_some_and(|t| is_ident(t, "serde")) {
+            with = Some(parse_serde_with(&inner)?);
+        }
+        *i += 1;
+    }
+    Ok(with)
+}
+
+/// Parses the payload of `#[serde(with = "path")]`.
+fn parse_serde_with(attr: &[TokenTree]) -> Result<String, String> {
+    let Some(TokenTree::Group(args)) = attr.get(1) else {
+        return Err("unsupported #[serde] attribute form".to_string());
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    match (args.first(), args.get(1), args.get(2), args.len()) {
+        (Some(key), Some(eq), Some(TokenTree::Literal(lit)), 3)
+            if is_ident(key, "with") && is_punct(eq, '=') =>
+        {
+            let text = lit.to_string();
+            let path = text.trim_matches('"');
+            if path.len() == text.len() {
+                return Err("#[serde(with = ...)] expects a string literal".to_string());
+            }
+            Ok(path.to_string())
+        }
+        _ => Err(
+            "the serde stand-in only supports the #[serde(with = \"module\")] attribute"
+                .to_string(),
+        ),
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+        *i += 1;
+        // `pub(crate)`, `pub(super)`, ...
+        if *i < tokens.len() && is_group(&tokens[*i], Delimiter::Parenthesis) {
+            *i += 1;
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: &mut usize, what: &str) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected {what}, found {other:?}")),
+    }
+}
+
+/// Skips a type starting at `*i` up to (and past) the next top-level comma.
+/// Commas nested in angle brackets (`Vec<(A, B)>` parenthesised tuples are
+/// groups already) do not terminate the type.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while *i < tokens.len() {
+        let t = &tokens[*i];
+        if is_punct(t, '<') {
+            angle_depth += 1;
+        } else if is_punct(t, '>') {
+            angle_depth = angle_depth.saturating_sub(1);
+        } else if is_punct(t, ',') && angle_depth == 0 {
+            *i += 1;
+            return;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let with = parse_attributes(&tokens, &mut i)?;
+        skip_visibility(&tokens, &mut i);
+        let name = ident_at(&tokens, &mut i, "field name")?;
+        if !tokens.get(i).is_some_and(|t| is_punct(t, ':')) {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, with });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        // Variant attributes (doc comments, #[default]); a #[serde] here
+        // would be a rename/skip and is rejected by parse_attributes.
+        if parse_attributes(&tokens, &mut i)?.is_some() {
+            return Err(
+                "the serde stand-in does not support #[serde] attributes on variants".to_string(),
+            );
+        }
+        let name = ident_at(&tokens, &mut i, "variant name")?;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        if tokens.get(i).is_some_and(|t| is_punct(t, '=')) {
+            return Err(format!(
+                "the serde stand-in does not support explicit discriminants (variant `{name}`)"
+            ));
+        }
+        if tokens.get(i).is_some_and(|t| is_punct(t, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}

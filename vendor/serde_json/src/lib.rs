@@ -1,0 +1,193 @@
+//! Minimal, API-compatible stand-in for the slice of `serde_json` this
+//! workspace uses: `to_value` / `from_value`, `to_string` /
+//! `to_string_pretty` / `from_str`, the [`Value`] tree (re-exported from the
+//! vendored `serde`), and the [`json!`] macro.
+//!
+//! Floats are written with Rust's shortest round-trippable `Display`
+//! representation, so `to_string` → `from_str` round trips recover every
+//! finite `f64` exactly.
+
+#![warn(missing_docs)]
+
+mod read;
+mod write;
+
+pub use serde::{Error, Map, Number, Value};
+
+use serde::{DeserializeOwned, Serialize};
+
+/// Serializes any value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails for types serialized through the vendored data model; the
+/// `Result` mirrors the real serde_json signature.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Deserializes a typed value out of a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns a message describing the first shape mismatch.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, Error> {
+    T::from_value(&value)
+}
+
+/// Serializes a value as compact JSON text.
+///
+/// # Errors
+///
+/// Fails only on non-finite floats, which JSON cannot represent.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    write::write_value(&value.to_value(), None)
+}
+
+/// Serializes a value as 2-space-indented JSON text.
+///
+/// # Errors
+///
+/// Fails only on non-finite floats, which JSON cannot represent.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    write::write_value(&value.to_value(), Some(2))
+}
+
+/// Parses JSON text into a typed value.
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax error or shape mismatch.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T, Error> {
+    let value = read::parse(text)?;
+    T::from_value(&value)
+}
+
+/// Builds a [`Value`] from JSON-like syntax: `json!({"key": [1, null]})`.
+///
+/// Supported element forms: `null`, nested `{...}` / `[...]`, negative
+/// number literals, and any single-token Rust expression (numbers, strings,
+/// bools, variables).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($content:tt)* ]) => {
+        $crate::Value::Array($crate::__json_array!(@acc [] $($content)*))
+    };
+    ({ $($content:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __map = $crate::Map::new();
+        $crate::__json_object!(__map; $($content)*);
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! literal")
+    };
+}
+
+/// Implementation detail of [`json!`]: array elements, accumulated as
+/// expressions so the expansion is a single `vec![...]`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    (@acc [$($elems:expr,)*]) => {
+        ::std::vec![$($elems),*]
+    };
+    (@acc [$($elems:expr,)*] - $value:tt , $($rest:tt)*) => {
+        $crate::__json_array!(@acc [$($elems,)* $crate::json!(- $value),] $($rest)*)
+    };
+    (@acc [$($elems:expr,)*] - $value:tt) => {
+        $crate::__json_array!(@acc [$($elems,)* $crate::json!(- $value),])
+    };
+    (@acc [$($elems:expr,)*] $value:tt , $($rest:tt)*) => {
+        $crate::__json_array!(@acc [$($elems,)* $crate::json!($value),] $($rest)*)
+    };
+    (@acc [$($elems:expr,)*] $value:tt) => {
+        $crate::__json_array!(@acc [$($elems,)* $crate::json!($value),])
+    };
+}
+
+/// Implementation detail of [`json!`]: object entries.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    ($map:ident;) => {};
+    ($map:ident; $key:literal : - $value:tt , $($rest:tt)*) => {
+        $map.insert($key, $crate::json!(- $value));
+        $crate::__json_object!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : - $value:tt) => {
+        $map.insert($key, $crate::json!(- $value));
+    };
+    ($map:ident; $key:literal : $value:tt , $($rest:tt)*) => {
+        $map.insert($key, $crate::json!($value));
+        $crate::__json_object!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : $value:tt) => {
+        $map.insert($key, $crate::json!($value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["0", "-17", "3.5", "true", "null", "\"a\\nb\""] {
+            let v: Value = from_str(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for f in [0.1, 1.0 / 3.0, 123456.789012345, f64::MIN_POSITIVE, -2.5e-7] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} -> {text} -> {back}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = json!({ "a": [1, 2, {"b": null}], "c": "x", "d": -4, "e": 2.25 });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        // Integer literals may change representation class but not meaning;
+        // the tree itself is compared structurally.
+        assert_eq!(to_string(&back).unwrap(), text);
+        assert_eq!(v["a"][2]["b"], Value::Null);
+        assert_eq!(v["c"], Value::String("x".into()));
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v = json!({ "a": [1] });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": [\n    1\n  ]"), "{pretty}");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "quote \" backslash \\ newline \n tab \t unicode \u{1F600} nul \u{0}";
+        let text = to_string(&original.to_string()).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn value_indexing_and_mutation() {
+        let mut v = json!({ "ops": [ {"inputs": [ {"Input": 0} ]} ] });
+        v["ops"][0]["inputs"][0] = json!({ "Input": 7 });
+        assert_eq!(v["ops"][0]["inputs"][0]["Input"], json!(7));
+    }
+}

@@ -1,0 +1,106 @@
+//! JSON text output.
+
+use serde::{Error, Number, Value};
+use std::fmt::Write as _;
+
+/// Renders a [`Value`] as JSON text; `indent` of `Some(n)` pretty-prints
+/// with `n`-space indentation.
+pub fn write_value(value: &Value, indent: Option<usize>) -> Result<String, Error> {
+    let mut out = String::new();
+    write_inner(value, indent, 0, &mut out)?;
+    Ok(out)
+}
+
+fn newline(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_inner(
+    value: &Value,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(*n, out)?,
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_inner(item, indent, depth + 1, out)?;
+            }
+            if !items.is_empty() {
+                newline(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_inner(item, indent, depth + 1, out)?;
+            }
+            if !map.is_empty() {
+                newline(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_number(number: Number, out: &mut String) -> Result<(), Error> {
+    match number {
+        Number::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::Float(f) => {
+            if !f.is_finite() {
+                return Err(Error::msg("JSON cannot represent a non-finite float"));
+            }
+            // Rust's `Display` for floats is the shortest representation
+            // that parses back to the same bits, so round trips are exact.
+            let _ = write!(out, "{f}");
+        }
+    }
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
