@@ -16,8 +16,12 @@
 //! through [`crate::execute_graph`]: every operator treats batch items
 //! independently and in the same order.
 
-use crate::executor::{execute_graph_with, execute_schedule_with, weight_seed};
-use crate::ops_cpu::{conv_weights, matmul_weights};
+use crate::arena::ScratchPool;
+use crate::executor::{
+    execute_graph_pooled, execute_graph_with, execute_schedule_pooled,
+    execute_schedule_pooled_serial, execute_schedule_with, weight_seed,
+};
+use crate::ops_cpu::{conv_weights, matmul_weights, sep_conv_seeds};
 use crate::tensor_data::TensorData;
 use ios_core::NetworkSchedule;
 use ios_ir::{Graph, Network, OpId, OpKind, TensorShape, Value};
@@ -72,14 +76,10 @@ impl BlockWeights {
                     }
                     OpKind::SepConv2d(p) => {
                         let in_c = input_shape(op.inputs[0]).channels;
+                        let (dw_seed, pw_seed) = sep_conv_seeds(seed);
                         Some(OpWeights::SepConv {
-                            depthwise: conv_weights(seed ^ 0xD17, in_c, 1, p.kernel),
-                            pointwise: conv_weights(
-                                seed ^ 0x0009_0117,
-                                p.out_channels,
-                                in_c,
-                                (1, 1),
-                            ),
+                            depthwise: conv_weights(dw_seed, in_c, 1, p.kernel),
+                            pointwise: conv_weights(pw_seed, p.out_channels, in_c, (1, 1)),
                         })
                     }
                     OpKind::MatMul(p) => {
@@ -274,6 +274,218 @@ fn run_network(
         current = graph_outputs(&block.graph, &current, &op_outputs);
     }
     current
+}
+
+/// A pooled copy of `tensor`.
+fn copy_pooled(tensor: &TensorData, arena: &ScratchPool) -> TensorData {
+    let mut out = arena.take_tensor(tensor.shape);
+    out.data.copy_from_slice(&tensor.data);
+    out
+}
+
+/// A pooled copy of sample `n` of a stacked tensor (batch dimension 1).
+fn sample_pooled(batched: &TensorData, n: usize, arena: &ScratchPool) -> TensorData {
+    let per_item = batched.shape.elements_per_item();
+    let item_shape = TensorShape::new(
+        1,
+        batched.shape.channels,
+        batched.shape.height,
+        batched.shape.width,
+    );
+    let mut out = arena.take_tensor(item_shape);
+    out.data
+        .copy_from_slice(&batched.data[n * per_item..(n + 1) * per_item]);
+    out
+}
+
+/// Executes one sample (or one already-stacked batch) through the whole
+/// network with pooled storage, consuming `inputs` and recycling every
+/// intermediate tensor — the zero-allocation op loop of the serving
+/// runtime. Runs each block under its schedule when one is given,
+/// sequentially otherwise; bit-identical to [`execute_network`] either way.
+fn execute_network_sample_pooled(
+    network: &Network,
+    schedule: Option<&NetworkSchedule>,
+    weights: &NetworkWeights,
+    inputs: Vec<TensorData>,
+    arena: &ScratchPool,
+    serial_stages: bool,
+) -> Vec<TensorData> {
+    let mut current = inputs;
+    for (index, block) in network.blocks.iter().enumerate() {
+        let op_outputs = match schedule {
+            // When several sample workers already cover the cores, nested
+            // per-group threads would only oversubscribe them: run the
+            // stage groups serially (bit-identical either way).
+            Some(s) if serial_stages => execute_schedule_pooled_serial(
+                &block.graph,
+                &s.block_schedules[index],
+                &current,
+                Some(weights.block(index)),
+                arena,
+            ),
+            Some(s) => execute_schedule_pooled(
+                &block.graph,
+                &s.block_schedules[index],
+                &current,
+                Some(weights.block(index)),
+                arena,
+            ),
+            None => execute_graph_pooled(&block.graph, &current, Some(weights.block(index)), arena),
+        };
+        let mut op_outputs: Vec<Option<TensorData>> = op_outputs.into_iter().map(Some).collect();
+        let declared = block.graph.outputs();
+        let mut next: Vec<TensorData> = Vec::with_capacity(declared.len());
+        for (j, value) in declared.iter().enumerate() {
+            let tensor = match value {
+                Value::Input(i) => copy_pooled(&current[*i], arena),
+                Value::Op(id) => {
+                    // An op may be listed as a graph output more than once;
+                    // only the first occurrence can take ownership.
+                    if let Some(prev) = declared[..j].iter().position(|u| u == value) {
+                        copy_pooled(&next[prev], arena)
+                    } else {
+                        op_outputs[id.index()].take().expect("op executed")
+                    }
+                }
+            };
+            next.push(tensor);
+        }
+        for t in op_outputs.into_iter().flatten() {
+            arena.recycle_tensor(t);
+        }
+        for t in current {
+            arena.recycle_tensor(t);
+        }
+        current = next;
+    }
+    current
+}
+
+/// Executes a stacked batch by running every sample independently on scoped
+/// worker threads — the CPU serving fast path. Each sample runs the whole
+/// network (under `schedule` when given) with pooled, allocation-free
+/// storage; because every operator treats batch items independently, the
+/// restacked outputs are **bit-identical** to
+/// [`execute_network_scheduled`] on the stacked batch, and to solo
+/// [`execute_network`] runs per sample — regardless of worker count or
+/// completion order.
+///
+/// `network` may be shaped for any batch size; the per-sample instance is
+/// derived once per call when needed (pass the batch-1 instance to avoid
+/// it). The returned stacked outputs are plain heap tensors (they outlive
+/// the pool); all per-sample scratch returns to `arena`.
+///
+/// # Panics
+///
+/// Panics if the inputs disagree on batch size, or the schedule/weights do
+/// not match the network.
+#[must_use]
+pub fn execute_network_batched(
+    network: &Network,
+    schedule: Option<&NetworkSchedule>,
+    weights: &NetworkWeights,
+    inputs: &[TensorData],
+    arena: &ScratchPool,
+) -> Vec<TensorData> {
+    execute_network_batched_capped(network, schedule, weights, inputs, arena, usize::MAX)
+}
+
+/// [`execute_network_batched`] with the sample-worker fan-out capped at
+/// `max_workers`. A serving runtime that already runs several dispatch
+/// workers should split the cores between them (each batch otherwise
+/// spawns `available_parallelism` threads and the products oversubscribe
+/// the host); `1` runs the samples serially on one worker, which is also
+/// fully deterministic for allocation-accounting tests. Results are
+/// bit-identical for every cap.
+///
+/// # Panics
+///
+/// Same conditions as [`execute_network_batched`].
+#[must_use]
+pub fn execute_network_batched_capped(
+    network: &Network,
+    schedule: Option<&NetworkSchedule>,
+    weights: &NetworkWeights,
+    inputs: &[TensorData],
+    arena: &ScratchPool,
+    max_workers: usize,
+) -> Vec<TensorData> {
+    assert!(!inputs.is_empty(), "cannot execute a batch of no inputs");
+    let batch = inputs[0].shape.batch;
+    assert!(
+        inputs.iter().all(|t| t.shape.batch == batch),
+        "stacked inputs must agree on batch size"
+    );
+    let derived;
+    let per_sample: &Network = if network.input_shape.batch == 1 {
+        network
+    } else {
+        derived = network.with_batch_size(1);
+        &derived
+    };
+    if let Some(s) = schedule {
+        assert_eq!(
+            per_sample.blocks.len(),
+            s.block_schedules.len(),
+            "schedule and network block counts differ"
+        );
+    }
+    assert_eq!(
+        per_sample.blocks.len(),
+        weights.num_blocks(),
+        "weights and network block counts differ"
+    );
+
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(batch)
+        .min(max_workers)
+        .max(1);
+    let chunk = batch.div_ceil(workers);
+    let mut per_sample_outputs: Vec<Option<Vec<TensorData>>> = (0..batch).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (worker, slots) in per_sample_outputs.chunks_mut(chunk).enumerate() {
+            let start = worker * chunk;
+            scope.spawn(move || {
+                for (offset, slot) in slots.iter_mut().enumerate() {
+                    let n = start + offset;
+                    let sample_inputs: Vec<TensorData> =
+                        inputs.iter().map(|t| sample_pooled(t, n, arena)).collect();
+                    *slot = Some(execute_network_sample_pooled(
+                        per_sample,
+                        schedule,
+                        weights,
+                        sample_inputs,
+                        arena,
+                        batch > 1,
+                    ));
+                }
+            });
+        }
+    });
+
+    // Restack: per-sample outputs are recycled, the stacked results are
+    // plain heap tensors handed to the caller.
+    let num_outputs = per_sample_outputs[0]
+        .as_ref()
+        .expect("sample executed")
+        .len();
+    let mut stacked = Vec::with_capacity(num_outputs);
+    for o in 0..num_outputs {
+        let samples: Vec<&TensorData> = per_sample_outputs
+            .iter()
+            .map(|sample| &sample.as_ref().expect("sample executed")[o])
+            .collect();
+        stacked.push(stack_batch(&samples));
+    }
+    for sample in per_sample_outputs.into_iter().flatten() {
+        for t in sample {
+            arena.recycle_tensor(t);
+        }
+    }
+    stacked
 }
 
 /// Stacks single-sample tensors (batch = 1 each) into one batched tensor

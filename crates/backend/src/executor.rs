@@ -7,9 +7,19 @@
 //! passing [`verify_schedule`] demonstrates that the schedule transformation
 //! preserves the network's semantics, the guarantee cuDNN gives the paper's
 //! engine for free.
+//!
+//! Both entry points precompute each weighted operator's parameters once
+//! per call ([`BlockWeights::precompute`]) instead of regenerating them per
+//! operator execution; [`execute_graph_uncached`] keeps the regenerating
+//! path for tests that pin down the equivalence. The `*_pooled` variants
+//! draw all scratch and output storage from a caller-owned
+//! [`ScratchPool`]; the others use the process-global pool.
 
+use crate::arena::{global_pool, ScratchPool};
 use crate::batch::BlockWeights;
-use crate::ops_cpu::{conv2d, conv_weights, execute_op, execute_op_with_weights};
+use crate::ops_cpu::{
+    conv2d_pooled, conv_weights, execute_op_pooled, execute_op_with_weights_pooled,
+};
 use crate::tensor_data::TensorData;
 use ios_core::{try_merge, ParallelizationStrategy, Schedule};
 use ios_ir::{Graph, Op, OpId, OpKind, Value};
@@ -46,20 +56,36 @@ fn run_op(
     op: &Op,
     op_inputs: &[&TensorData],
     weights: Option<&BlockWeights>,
+    arena: &ScratchPool,
 ) -> TensorData {
     match weights.and_then(|w| w.get(op.id)) {
-        Some(w) => execute_op_with_weights(op, op_inputs, w),
-        None => execute_op(op, op_inputs, weight_seed(graph, op.id)),
+        Some(w) => execute_op_with_weights_pooled(op, op_inputs, w, arena),
+        None => execute_op_pooled(op, op_inputs, weight_seed(graph, op.id), arena),
     }
 }
 
 /// Executes the graph sequentially and returns every operator's output.
+/// Weights are precomputed once for the call; results are bit-identical to
+/// [`execute_graph_uncached`].
 ///
 /// # Panics
 ///
 /// Panics if `inputs` does not match the graph's declared input shapes.
 #[must_use]
 pub fn execute_graph(graph: &Graph, inputs: &[TensorData]) -> Vec<TensorData> {
+    let weights = BlockWeights::precompute(graph);
+    execute_graph_with(graph, inputs, Some(&weights))
+}
+
+/// [`execute_graph`] regenerating every operator's weights on the fly —
+/// the original reference path, kept to pin down that weight precomputation
+/// changes nothing.
+///
+/// # Panics
+///
+/// Panics if `inputs` does not match the graph's declared input shapes.
+#[must_use]
+pub fn execute_graph_uncached(graph: &Graph, inputs: &[TensorData]) -> Vec<TensorData> {
     execute_graph_with(graph, inputs, None)
 }
 
@@ -75,6 +101,23 @@ pub fn execute_graph_with(
     inputs: &[TensorData],
     weights: Option<&BlockWeights>,
 ) -> Vec<TensorData> {
+    execute_graph_pooled(graph, inputs, weights, global_pool())
+}
+
+/// [`execute_graph_with`] drawing scratch and output storage from `arena`.
+/// The returned tensors are owned by the caller; recycle them back into
+/// `arena` to keep steady-state execution allocation-free.
+///
+/// # Panics
+///
+/// Panics if `inputs` does not match the graph's declared input shapes.
+#[must_use]
+pub fn execute_graph_pooled(
+    graph: &Graph,
+    inputs: &[TensorData],
+    weights: Option<&BlockWeights>,
+    arena: &ScratchPool,
+) -> Vec<TensorData> {
     check_inputs(graph, inputs);
     let mut outputs: Vec<Option<TensorData>> = vec![None; graph.len()];
     for id in graph.topological_order() {
@@ -84,7 +127,7 @@ pub fn execute_graph_with(
             .iter()
             .map(|v| resolve(*v, inputs, &outputs))
             .collect();
-        let out = run_op(graph, op, &op_inputs, weights);
+        let out = run_op(graph, op, &op_inputs, weights, arena);
         assert_eq!(
             out.shape, op.output_shape,
             "shape inference mismatch for {}",
@@ -102,6 +145,7 @@ pub fn execute_graph_with(
 /// output. Concurrent-execution stages run their groups on scoped worker
 /// threads; operator-merge stages run one merged convolution built from the
 /// stacked (and zero-padded) per-operator weights, followed by a split.
+/// Weights are precomputed once for the call.
 ///
 /// # Panics
 ///
@@ -112,7 +156,8 @@ pub fn execute_schedule(
     schedule: &Schedule,
     inputs: &[TensorData],
 ) -> Vec<TensorData> {
-    execute_schedule_with(graph, schedule, inputs, None)
+    let weights = BlockWeights::precompute(graph);
+    execute_schedule_with(graph, schedule, inputs, Some(&weights))
 }
 
 /// [`execute_schedule`] with optionally precomputed weights
@@ -128,6 +173,55 @@ pub fn execute_schedule_with(
     inputs: &[TensorData],
     weights: Option<&BlockWeights>,
 ) -> Vec<TensorData> {
+    execute_schedule_pooled(graph, schedule, inputs, weights, global_pool())
+}
+
+/// [`execute_schedule_with`] drawing scratch and output storage from
+/// `arena`. Group worker threads share the pool; the returned tensors are
+/// owned by the caller.
+///
+/// # Panics
+///
+/// Panics if the schedule is not valid for `graph` or the inputs mismatch.
+#[must_use]
+pub fn execute_schedule_pooled(
+    graph: &Graph,
+    schedule: &Schedule,
+    inputs: &[TensorData],
+    weights: Option<&BlockWeights>,
+    arena: &ScratchPool,
+) -> Vec<TensorData> {
+    execute_schedule_impl(graph, schedule, inputs, weights, arena, true)
+}
+
+/// [`execute_schedule_pooled`] with concurrent-stage groups run serially on
+/// the calling thread. Group outputs do not depend on each other, so the
+/// result is bit-identical to the threaded path; the batched executor uses
+/// this inside its per-sample workers, where the cores are already busy and
+/// nested spawning would only oversubscribe them.
+///
+/// # Panics
+///
+/// Panics if the schedule is not valid for `graph` or the inputs mismatch.
+#[must_use]
+pub fn execute_schedule_pooled_serial(
+    graph: &Graph,
+    schedule: &Schedule,
+    inputs: &[TensorData],
+    weights: Option<&BlockWeights>,
+    arena: &ScratchPool,
+) -> Vec<TensorData> {
+    execute_schedule_impl(graph, schedule, inputs, weights, arena, false)
+}
+
+fn execute_schedule_impl(
+    graph: &Graph,
+    schedule: &Schedule,
+    inputs: &[TensorData],
+    weights: Option<&BlockWeights>,
+    arena: &ScratchPool,
+    parallel_groups: bool,
+) -> Vec<TensorData> {
     check_inputs(graph, inputs);
     schedule
         .validate(graph)
@@ -137,49 +231,55 @@ pub fn execute_schedule_with(
     for stage in &schedule.stages {
         match stage.strategy {
             ParallelizationStrategy::ConcurrentExecution => {
-                // Each group runs independently on its own thread; groups only
-                // read outputs of earlier stages or earlier ops of their own
-                // group, so a snapshot of `outputs` is sufficient input state.
+                // Each group runs independently (on its own thread when
+                // `parallel_groups`); groups only read outputs of earlier
+                // stages or earlier ops of their own group, so a snapshot of
+                // `outputs` is sufficient input state and the serial order
+                // of groups cannot change any result.
                 let snapshot = &outputs;
-                let group_results: Vec<Vec<(OpId, TensorData)>> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = stage
-                        .groups
-                        .iter()
-                        .map(|group| {
-                            scope.spawn(move || {
-                                let mut local: Vec<(OpId, TensorData)> = Vec::new();
-                                for &op_id in group {
-                                    let op = graph.op(op_id);
-                                    let op_inputs: Vec<&TensorData> = op
-                                        .inputs
-                                        .iter()
-                                        .map(|v| match v {
-                                            Value::Input(i) => &inputs[*i],
-                                            Value::Op(id) => {
-                                                if let Some(t) = snapshot[id.index()].as_ref() {
-                                                    t
-                                                } else {
-                                                    local
-                                                        .iter()
-                                                        .find(|(lid, _)| lid == id)
-                                                        .map(|(_, t)| t)
-                                                        .expect("intra-group dependency")
-                                                }
-                                            }
-                                        })
-                                        .collect();
-                                    let out = run_op(graph, op, &op_inputs, weights);
-                                    local.push((op_id, out));
+                let run_group = |group: &Vec<OpId>| {
+                    let mut local: Vec<(OpId, TensorData)> = Vec::new();
+                    for &op_id in group {
+                        let op = graph.op(op_id);
+                        let op_inputs: Vec<&TensorData> = op
+                            .inputs
+                            .iter()
+                            .map(|v| match v {
+                                Value::Input(i) => &inputs[*i],
+                                Value::Op(id) => {
+                                    if let Some(t) = snapshot[id.index()].as_ref() {
+                                        t
+                                    } else {
+                                        local
+                                            .iter()
+                                            .find(|(lid, _)| lid == id)
+                                            .map(|(_, t)| t)
+                                            .expect("intra-group dependency")
+                                    }
                                 }
-                                local
                             })
+                            .collect();
+                        let out = run_op(graph, op, &op_inputs, weights, arena);
+                        local.push((op_id, out));
+                    }
+                    local
+                };
+                let group_results: Vec<Vec<(OpId, TensorData)>> =
+                    if parallel_groups && stage.groups.len() > 1 {
+                        std::thread::scope(|scope| {
+                            let handles: Vec<_> = stage
+                                .groups
+                                .iter()
+                                .map(|group| scope.spawn(|| run_group(group)))
+                                .collect();
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().expect("group thread"))
+                                .collect()
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("group thread"))
-                        .collect()
-                });
+                    } else {
+                        stage.groups.iter().map(run_group).collect()
+                    };
                 for group in group_results {
                     for (op_id, tensor) in group {
                         outputs[op_id.index()] = Some(tensor);
@@ -189,13 +289,12 @@ pub fn execute_schedule_with(
             ParallelizationStrategy::OperatorMerge => {
                 let merged = try_merge(graph, stage.ops)
                     .expect("merged stage must satisfy the merge eligibility rule");
-                let input = resolve(merged.input, inputs, &outputs).clone();
                 // Stack the per-part weights, zero-padding smaller kernels so
                 // they stay centred inside the merged kernel.
                 let in_c = merged.input_shape.channels;
                 let (mkh, mkw) = merged.params.kernel;
                 let mut merged_weights =
-                    vec![0.0f32; merged.params.out_channels * in_c * mkh * mkw];
+                    arena.take_zeroed(merged.params.out_channels * in_c * mkh * mkw);
                 let mut oc_offset = 0usize;
                 for &part in &merged.parts {
                     let op = graph.op(part);
@@ -220,36 +319,39 @@ pub fn execute_schedule_with(
                     for oc in 0..p.out_channels {
                         for ic in 0..in_c {
                             for y in 0..kh {
-                                for x in 0..kw {
-                                    let src = ((oc * in_c + ic) * kh + y) * kw + x;
-                                    let dst = (((oc_offset + oc) * in_c + ic) * mkh + y + dy) * mkw
-                                        + x
-                                        + dx;
-                                    merged_weights[dst] = part_weights[src];
-                                }
+                                let src = ((oc * in_c + ic) * kh + y) * kw;
+                                let dst =
+                                    (((oc_offset + oc) * in_c + ic) * mkh + y + dy) * mkw + dx;
+                                merged_weights[dst..dst + kw]
+                                    .copy_from_slice(&part_weights[src..src + kw]);
                             }
                         }
                     }
                     oc_offset += p.out_channels;
                 }
-                let merged_out = conv2d(&input, &merged.params, &merged_weights);
-                // Split the merged output back into the per-part outputs.
+                let merged_out = {
+                    let input = resolve(merged.input, inputs, &outputs);
+                    conv2d_pooled(input, &merged.params, &merged_weights, arena)
+                };
+                arena.recycle(merged_weights);
+                // Split the merged output back into the per-part outputs:
+                // each part's channels are one contiguous block per sample.
+                let plane = merged_out.shape.height * merged_out.shape.width;
+                let merged_item = merged.params.out_channels * plane;
                 let mut oc_offset = 0usize;
                 for (&part, &section) in merged.parts.iter().zip(&merged.split_sections) {
                     let op = graph.op(part);
-                    let mut part_out = TensorData::zeros(op.output_shape);
+                    let mut part_out = arena.take_tensor(op.output_shape);
+                    let section_len = section * plane;
                     for n in 0..part_out.shape.batch {
-                        for c in 0..section {
-                            for h in 0..part_out.shape.height {
-                                for w in 0..part_out.shape.width {
-                                    part_out.set(n, c, h, w, merged_out.at(n, oc_offset + c, h, w));
-                                }
-                            }
-                        }
+                        let src = n * merged_item + oc_offset * plane;
+                        part_out.data[n * section_len..(n + 1) * section_len]
+                            .copy_from_slice(&merged_out.data[src..src + section_len]);
                     }
                     outputs[part.index()] = Some(part_out);
                     oc_offset += section;
                 }
+                arena.recycle_tensor(merged_out);
             }
         }
     }
@@ -342,6 +444,15 @@ mod tests {
     }
 
     #[test]
+    fn cached_weights_match_the_uncached_reference_bitwise() {
+        let g = branchy();
+        let inputs = vec![TensorData::random(TensorShape::new(1, 8, 10, 10), 21)];
+        let cached = execute_graph(&g, &inputs);
+        let uncached = execute_graph_uncached(&g, &inputs);
+        assert_eq!(cached, uncached);
+    }
+
+    #[test]
     fn greedy_schedule_execution_matches_sequential() {
         let g = branchy();
         let cost = SimCostModel::new(Simulator::new(DeviceKind::TeslaV100));
@@ -391,6 +502,29 @@ mod tests {
         );
         let diff = verify_schedule(&g, &schedule, 11);
         assert!(diff < 1e-3, "difference = {diff}");
+    }
+
+    #[test]
+    fn pooled_execution_is_bit_identical_and_reuses_buffers() {
+        let g = branchy();
+        let inputs = vec![TensorData::random(TensorShape::new(1, 8, 10, 10), 33)];
+        let weights = BlockWeights::precompute(&g);
+        let reference = execute_graph_with(&g, &inputs, Some(&weights));
+
+        let arena = ScratchPool::new();
+        let first = execute_graph_pooled(&g, &inputs, Some(&weights), &arena);
+        assert_eq!(first, reference);
+        for t in first {
+            arena.recycle_tensor(t);
+        }
+        let after_warmup = arena.fresh_allocations();
+        let second = execute_graph_pooled(&g, &inputs, Some(&weights), &arena);
+        assert_eq!(second, reference);
+        assert_eq!(
+            arena.fresh_allocations(),
+            after_warmup,
+            "a warmed-up pool must serve the whole op loop without fresh allocations"
+        );
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! im2col + register-blocked GEMM convolution, bit-identical to the naive
+//! reference loop.
+//!
+//! The naive `conv2d` computes every output element as a single scalar
+//! accumulation over `(ic, ky, kx)` in that fixed order. This module keeps
+//! that exact accumulation order — the k dimension of the GEMM is
+//! `(ic, ky, kx)` flattened, walked strictly sequentially — and blocks only
+//! over the *independent* output dimensions (output channels × output
+//! pixels), so every output element receives precisely the same sequence of
+//! `mul` + `add` operations as the reference. Padding positions contribute
+//! explicit zero patch values; adding `±0.0 * w` terms never changes a
+//! finite IEEE-754 sum, so results compare equal (`==`) element for
+//! element. No FMA contraction is used on either path.
+//!
+//! Layout:
+//!
+//! * patch matrix `B`: `K × M` where `K = in_c/groups · kh · kw` and
+//!   `M = oh · ow`; row `k` holds the input values the k-th kernel element
+//!   sees at every output pixel (zero where padding is hit);
+//! * weight matrix `A`: the existing `[out_c][in_c/g][kh][kw]` filter —
+//!   each output channel's row is already `K` contiguous values;
+//! * `C = A · B` is the `out_c/g × M` output of one group, written directly
+//!   into the NCHW output tensor.
+//!
+//! Pointwise convolutions (1×1, stride 1, no padding) skip im2col entirely:
+//! the input channel planes already *are* the patch matrix.
+
+use crate::arena::ScratchPool;
+use crate::tensor_data::TensorData;
+use ios_ir::{Conv2dParams, TensorShape};
+
+/// Output-channel rows per register tile.
+const MR: usize = 4;
+/// Output-pixel columns per register tile (two 8-lane vectors on AVX2).
+const NR: usize = 16;
+
+/// im2col + blocked-GEMM convolution. Bit-identical to
+/// [`crate::ops_cpu::conv2d_naive`]; scratch comes from `pool` and is
+/// recycled before returning, the output tensor is taken from `pool` and
+/// owned by the caller.
+#[must_use]
+pub fn conv2d_im2col(
+    input: &TensorData,
+    params: &Conv2dParams,
+    weights: &[f32],
+    pool: &ScratchPool,
+) -> TensorData {
+    let in_shape = input.shape;
+    let (oh, ow) = in_shape.conv_output_hw(params.kernel, params.stride, params.padding);
+    let out_shape = TensorShape::new(in_shape.batch, params.out_channels, oh, ow);
+    let mut out = pool.take_tensor(out_shape);
+
+    let groups = params.groups;
+    let in_c_per_group = in_shape.channels / groups;
+    let out_c_per_group = params.out_channels / groups;
+    let (kh, kw) = params.kernel;
+    let k_len = in_c_per_group * kh * kw;
+    let m_cols = oh * ow;
+    let in_plane = in_shape.height * in_shape.width;
+
+    // A pointwise convolution's patch matrix is the input itself.
+    let pointwise = kh == 1 && kw == 1 && params.stride == (1, 1) && params.padding == (0, 0);
+    let mut patches = if pointwise {
+        Vec::new()
+    } else {
+        pool.take(k_len * m_cols)
+    };
+
+    for n in 0..in_shape.batch {
+        for g in 0..groups {
+            let c0 = g * in_c_per_group;
+            let b: &[f32] = if pointwise {
+                let start = (n * in_shape.channels + c0) * in_plane;
+                &input.data[start..start + k_len * m_cols]
+            } else {
+                im2col_group(input, n, c0, in_c_per_group, params, oh, ow, &mut patches);
+                &patches
+            };
+            let oc0 = g * out_c_per_group;
+            let a = &weights[oc0 * k_len..(oc0 + out_c_per_group) * k_len];
+            let c_start = (n * params.out_channels + oc0) * m_cols;
+            let c = &mut out.data[c_start..c_start + out_c_per_group * m_cols];
+            gemm_bit_exact(out_c_per_group, m_cols, k_len, a, b, c);
+        }
+    }
+    if !pointwise {
+        pool.recycle(patches);
+    }
+    if params.activation == ios_ir::Activation::Relu {
+        for v in &mut out.data {
+            *v = v.max(0.0);
+        }
+    }
+    out
+}
+
+/// Fills `patches` (a `K × M` matrix, `K = in_c_per_group·kh·kw`,
+/// `M = oh·ow`) with the im2col expansion of sample `n`, channels
+/// `[c0, c0 + in_c_per_group)`. Out-of-bounds (padding) positions become
+/// exact `0.0`; every element of `patches` is written.
+#[allow(clippy::too_many_arguments)]
+fn im2col_group(
+    input: &TensorData,
+    n: usize,
+    c0: usize,
+    in_c_per_group: usize,
+    params: &Conv2dParams,
+    oh: usize,
+    ow: usize,
+    patches: &mut [f32],
+) {
+    let shape = input.shape;
+    let (h, w) = (shape.height, shape.width);
+    let (kh, kw) = params.kernel;
+    let (sh, sw) = params.stride;
+    let (ph, pw) = params.padding;
+    let m_cols = oh * ow;
+
+    let mut k = 0usize;
+    for ic in 0..in_c_per_group {
+        let plane_start = (n * shape.channels + c0 + ic) * h * w;
+        let plane = &input.data[plane_start..plane_start + h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = &mut patches[k * m_cols..(k + 1) * m_cols];
+                // Valid output-x range: 0 <= x·sw + kx − pw < w.
+                let (x_lo, x_hi) = valid_range(ow, sw, kx, pw, w);
+                for y in 0..oh {
+                    let iy = (y * sh + ky) as isize - ph as isize;
+                    let seg = &mut row[y * ow..(y + 1) * ow];
+                    if iy < 0 || iy >= h as isize {
+                        seg.fill(0.0);
+                        continue;
+                    }
+                    let in_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                    seg[..x_lo].fill(0.0);
+                    if x_hi > x_lo {
+                        let src = ((x_lo * sw + kx) as isize - pw as isize) as usize;
+                        if sw == 1 {
+                            seg[x_lo..x_hi].copy_from_slice(&in_row[src..src + (x_hi - x_lo)]);
+                        } else {
+                            let mut ix = src;
+                            for s in &mut seg[x_lo..x_hi] {
+                                *s = in_row[ix];
+                                ix += sw;
+                            }
+                        }
+                    }
+                    seg[x_hi..].fill(0.0);
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+/// The half-open range of output positions `x` for which
+/// `0 <= x·stride + k − pad < limit`, clamped to `[0, out)`.
+fn valid_range(out: usize, stride: usize, k: usize, pad: usize, limit: usize) -> (usize, usize) {
+    let lo = if pad > k {
+        (pad - k).div_ceil(stride).min(out)
+    } else {
+        0
+    };
+    // Largest x with x·stride + k − pad <= limit − 1.
+    let hi = if limit + pad > k {
+        (((limit + pad - k - 1) / stride) + 1).min(out)
+    } else {
+        0
+    };
+    (lo, hi.max(lo))
+}
+
+/// `C[i·m + j] = Σ_k A[i·k_len + k] · B[k·m + j]`, with `k` strictly
+/// ascending for every `(i, j)` — the bit-exactness invariant. Register
+/// blocking covers `MR × NR` output tiles; each accumulator's operation
+/// sequence is identical to a scalar loop.
+pub fn gemm_bit_exact(m_rows: usize, m: usize, k_len: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let mut i0 = 0;
+    while i0 < m_rows {
+        let mr = MR.min(m_rows - i0);
+        let mut j0 = 0;
+        while j0 < m {
+            let nr = NR.min(m - j0);
+            if mr == MR && nr == NR {
+                tile_full(i0, j0, m, k_len, a, b, c);
+            } else {
+                tile_edge(i0, j0, mr, nr, m, k_len, a, b, c);
+            }
+            j0 += NR;
+        }
+        i0 += MR;
+    }
+}
+
+/// Full `MR × NR` register tile; the fixed trip counts let the compiler
+/// keep the accumulators in vector registers.
+#[inline]
+fn tile_full(i0: usize, j0: usize, m: usize, k_len: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let mut acc = [[0.0f32; NR]; MR];
+    let mut a_rows = [&a[0..0]; MR];
+    for (i, row) in a_rows.iter_mut().enumerate() {
+        *row = &a[(i0 + i) * k_len..(i0 + i + 1) * k_len];
+    }
+    let b_off = &b[j0..];
+    for kk in 0..k_len {
+        let brow = &b_off[kk * m..kk * m + NR];
+        for i in 0..MR {
+            let aik = a_rows[i][kk];
+            let lane = &mut acc[i];
+            for j in 0..NR {
+                lane[j] += aik * brow[j];
+            }
+        }
+    }
+    for i in 0..MR {
+        c[(i0 + i) * m + j0..(i0 + i) * m + j0 + NR].copy_from_slice(&acc[i]);
+    }
+}
+
+/// Partial tile at the right/bottom edges (`mr <= MR`, `nr <= NR`).
+#[allow(clippy::too_many_arguments)]
+fn tile_edge(
+    i0: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+    m: usize,
+    k_len: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    let b_off = &b[j0..];
+    for kk in 0..k_len {
+        let brow = &b_off[kk * m..kk * m + nr];
+        for i in 0..mr {
+            let aik = a[(i0 + i) * k_len + kk];
+            let lane = &mut acc[i];
+            for (j, bv) in brow.iter().enumerate() {
+                lane[j] += aik * bv;
+            }
+        }
+    }
+    for (i, lane) in acc.iter().enumerate().take(mr) {
+        c[(i0 + i) * m + j0..(i0 + i) * m + j0 + nr].copy_from_slice(&lane[..nr]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_matches_scalar_reference() {
+        // 7×23 output with k = 11: exercises full and edge tiles.
+        let (m_rows, m, k_len) = (7usize, 23usize, 11usize);
+        let a: Vec<f32> = (0..m_rows * k_len).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..k_len * m).map(|i| (i as f32).cos()).collect();
+        let mut c = vec![0.0f32; m_rows * m];
+        gemm_bit_exact(m_rows, m, k_len, &a, &b, &mut c);
+        for i in 0..m_rows {
+            for j in 0..m {
+                let mut acc = 0.0f32;
+                for kk in 0..k_len {
+                    acc += a[i * k_len + kk] * b[kk * m + j];
+                }
+                assert_eq!(c[i * m + j], acc, "tile result must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn valid_range_covers_edges() {
+        // 3×3 kernel, pad 1, stride 1 on width 5 → ow 5.
+        assert_eq!(valid_range(5, 1, 0, 1, 5), (1, 5)); // kx = 0: x ∈ [1, 5)
+        assert_eq!(valid_range(5, 1, 1, 1, 5), (0, 5)); // kx = 1: all valid
+        assert_eq!(valid_range(5, 1, 2, 1, 5), (0, 4)); // kx = 2: x ∈ [0, 4)
+                                                        // Stride 2, no padding, k 3 on width 8 → ow 3: x·2 + kx < 8.
+        assert_eq!(valid_range(3, 2, 0, 0, 8), (0, 3));
+        assert_eq!(valid_range(3, 2, 2, 0, 8), (0, 3));
+        // Degenerate: window entirely outside.
+        assert_eq!(valid_range(4, 1, 0, 9, 5), (4, 4));
+    }
+}

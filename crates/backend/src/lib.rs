@@ -1,29 +1,45 @@
-//! # ios-backend — CPU numerical reference executor
+//! # ios-backend — CPU execution engine and numerical reference
 //!
 //! The paper's execution engine runs on cuDNN, so the numerical correctness
 //! of its schedule transformations (operator merge + split, concurrent group
 //! execution) comes for free. This crate provides the equivalent assurance
-//! for the reproduction: small, obviously-correct CPU implementations of
-//! every operator, an executor that can run either a plain graph or an IOS
-//! [`ios_core::Schedule`] (stage by stage, groups on worker threads), and
-//! helpers asserting that both produce the same tensors.
+//! for the reproduction — plus a CPU hot path fast enough to serve real
+//! traffic through `ios-serve`:
 //!
-//! Performance is a non-goal; correctness and clarity are.
+//! * [`ops_cpu`] — every IR operator, with the naive 7-deep convolution
+//!   loop kept as the oracle ([`ops_cpu::conv2d_naive`]) and an im2col +
+//!   register-blocked GEMM engine ([`gemm`]) as the default path,
+//!   **bit-identical** to the oracle because it preserves the reference's
+//!   `(ic, ky, kx)` accumulation order per output element;
+//! * [`arena`] — a scratch-buffer pool so steady-state execution performs
+//!   zero heap allocation in the op loop;
+//! * [`executor`] — runs a plain graph or an IOS [`ios_core::Schedule`]
+//!   (stage by stage, groups on worker threads), precomputing weights once
+//!   per call;
+//! * [`batch`] — network-level execution, weight precomputation, batch
+//!   stacking/splitting, and [`execute_network_batched`] which fans a
+//!   stacked batch out across worker threads, one deterministic sample per
+//!   task.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod batch;
 pub mod executor;
+pub mod gemm;
 pub mod ops_cpu;
 pub mod tensor_data;
 
+pub use arena::ScratchPool;
 pub use batch::{
-    execute_network, execute_network_scheduled, execute_network_with_weights, split_batch,
-    stack_batch, BlockWeights, NetworkWeights, OpWeights,
+    execute_network, execute_network_batched, execute_network_batched_capped,
+    execute_network_scheduled, execute_network_with_weights, split_batch, stack_batch,
+    BlockWeights, NetworkWeights, OpWeights,
 };
 pub use executor::{
-    execute_graph, execute_graph_with, execute_schedule, execute_schedule_with, max_abs_difference,
+    execute_graph, execute_graph_pooled, execute_graph_uncached, execute_graph_with,
+    execute_schedule, execute_schedule_pooled, execute_schedule_with, max_abs_difference,
     verify_schedule,
 };
 pub use tensor_data::TensorData;

@@ -1,10 +1,20 @@
-//! Naive CPU implementations of the IR operators.
+//! CPU implementations of the IR operators.
 //!
 //! Weights are generated deterministically from a seed derived from the
 //! operator id, so that two different execution strategies of the same graph
 //! (e.g. the original convolutions vs. their merged counterpart) see the
 //! same parameters and must produce the same outputs.
+//!
+//! Two convolution paths exist: [`conv2d_naive`], the obviously-correct
+//! 7-deep reference loop, and [`conv2d`], the im2col + register-blocked GEMM
+//! engine ([`crate::gemm`]) that is several times faster and **bit-identical**
+//! — it preserves the reference's `(ic, ky, kx)` accumulation order per
+//! output element (verified by proptests in `tests/bit_exact.rs`). Every
+//! operator has a `*_pooled` variant drawing scratch and output storage from
+//! a [`ScratchPool`] so steady-state serving allocates nothing in the op
+//! loop; the plain variants use the process-global pool.
 
+use crate::arena::{global_pool, ScratchPool};
 use crate::tensor_data::TensorData;
 use ios_ir::{
     Activation, Conv2dParams, MatMulParams, Op, OpKind, PoolKind, PoolParams, TensorShape,
@@ -52,9 +62,29 @@ fn apply_activation(activation: Activation, v: f32) -> f32 {
     }
 }
 
-/// Dense / grouped 2-D convolution with explicit weights.
+/// Dense / grouped 2-D convolution with explicit weights — the im2col +
+/// blocked-GEMM fast path, bit-identical to [`conv2d_naive`].
 #[must_use]
 pub fn conv2d(input: &TensorData, params: &Conv2dParams, weights: &[f32]) -> TensorData {
+    conv2d_pooled(input, params, weights, global_pool())
+}
+
+/// [`conv2d`] with scratch and output storage drawn from `arena`.
+#[must_use]
+pub fn conv2d_pooled(
+    input: &TensorData,
+    params: &Conv2dParams,
+    weights: &[f32],
+    arena: &ScratchPool,
+) -> TensorData {
+    crate::gemm::conv2d_im2col(input, params, weights, arena)
+}
+
+/// The naive 7-deep reference convolution: one scalar accumulator per
+/// output element, walked over `(ic, ky, kx)` with per-element bounds
+/// checks. Kept as the numerics oracle the fast path is verified against.
+#[must_use]
+pub fn conv2d_naive(input: &TensorData, params: &Conv2dParams, weights: &[f32]) -> TensorData {
     let in_shape = input.shape;
     let (oh, ow) = in_shape.conv_output_hw(params.kernel, params.stride, params.padding);
     let out_shape = TensorShape::new(in_shape.batch, params.out_channels, oh, ow);
@@ -96,17 +126,22 @@ pub fn conv2d(input: &TensorData, params: &Conv2dParams, weights: &[f32]) -> Ten
     out
 }
 
+/// The depthwise and pointwise weight seeds a separable convolution
+/// derives from its operator seed — the single source of truth shared by
+/// the seeded execution paths and [`crate::batch::BlockWeights`], so the
+/// regenerating and precomputed paths can never drift apart.
+#[must_use]
+pub fn sep_conv_seeds(seed: u64) -> (u64, u64) {
+    (seed ^ 0xD17, seed ^ 0x0009_0117)
+}
+
 /// Depthwise-separable convolution: ReLU on the input, depthwise k×k, then
 /// pointwise 1×1 (the "Relu-SepConv" unit).
 #[must_use]
 pub fn sep_conv2d(input: &TensorData, params: &Conv2dParams, seed: u64) -> TensorData {
-    let dw_weights = conv_weights(seed ^ 0xD17, input.shape.channels, 1, params.kernel);
-    let pw_weights = conv_weights(
-        seed ^ 0x0009_0117,
-        params.out_channels,
-        input.shape.channels,
-        (1, 1),
-    );
+    let (dw_seed, pw_seed) = sep_conv_seeds(seed);
+    let dw_weights = conv_weights(dw_seed, input.shape.channels, 1, params.kernel);
+    let pw_weights = conv_weights(pw_seed, params.out_channels, input.shape.channels, (1, 1));
     sep_conv2d_with(input, params, &dw_weights, &pw_weights)
 }
 
@@ -118,10 +153,23 @@ pub fn sep_conv2d_with(
     dw_weights: &[f32],
     pw_weights: &[f32],
 ) -> TensorData {
+    sep_conv2d_pooled(input, params, dw_weights, pw_weights, global_pool())
+}
+
+/// [`sep_conv2d_with`] with pooled scratch; the activation copy and the
+/// depthwise intermediate are recycled before returning.
+#[must_use]
+pub fn sep_conv2d_pooled(
+    input: &TensorData,
+    params: &Conv2dParams,
+    dw_weights: &[f32],
+    pw_weights: &[f32],
+    arena: &ScratchPool,
+) -> TensorData {
     // Pre-activation.
-    let mut activated = input.clone();
-    for v in &mut activated.data {
-        *v = v.max(0.0);
+    let mut activated = arena.take_tensor(input.shape);
+    for (o, v) in activated.data.iter_mut().zip(&input.data) {
+        *o = v.max(0.0);
     }
     // Depthwise pass: groups = channels, one output channel per input channel.
     let dw_params = Conv2dParams {
@@ -132,7 +180,8 @@ pub fn sep_conv2d_with(
         groups: input.shape.channels,
         activation: Activation::None,
     };
-    let depthwise = conv2d(&activated, &dw_params, dw_weights);
+    let depthwise = conv2d_pooled(&activated, &dw_params, dw_weights, arena);
+    arena.recycle_tensor(activated);
     // Pointwise 1×1.
     let pw_params = Conv2dParams {
         out_channels: params.out_channels,
@@ -142,27 +191,38 @@ pub fn sep_conv2d_with(
         groups: 1,
         activation: Activation::None,
     };
-    conv2d(&depthwise, &pw_params, pw_weights)
+    let out = conv2d_pooled(&depthwise, &pw_params, pw_weights, arena);
+    arena.recycle_tensor(depthwise);
+    out
 }
 
 /// Pooling.
 #[must_use]
 pub fn pool(input: &TensorData, params: &PoolParams) -> TensorData {
+    pool_pooled(input, params, global_pool())
+}
+
+/// [`pool`] with pooled output storage. The window loops run over the
+/// precomputed valid `(ky, kx)` ranges of each output position, so the
+/// interior of the plane pays no per-element bounds checks; visit order
+/// (and the average's divisor) match the reference loop exactly.
+#[must_use]
+pub fn pool_pooled(input: &TensorData, params: &PoolParams, arena: &ScratchPool) -> TensorData {
     let in_shape = input.shape;
+    let (h, w) = (in_shape.height, in_shape.width);
+    let plane = h * w;
     match params.kind {
         PoolKind::GlobalAvg => {
             let out_shape = TensorShape::new(in_shape.batch, in_shape.channels, 1, 1);
-            let mut out = TensorData::zeros(out_shape);
-            let hw = (in_shape.height * in_shape.width) as f32;
+            let mut out = arena.take_tensor(out_shape);
+            let hw = plane as f32;
             for n in 0..in_shape.batch {
                 for c in 0..in_shape.channels {
-                    let mut acc = 0.0;
-                    for h in 0..in_shape.height {
-                        for w in 0..in_shape.width {
-                            acc += input.at(n, c, h, w);
-                        }
-                    }
-                    out.set(n, c, 0, 0, acc / hw);
+                    let start = (n * in_shape.channels + c) * plane;
+                    // Slice iteration adds in the same (h, w) order as the
+                    // reference double loop.
+                    let acc: f32 = input.data[start..start + plane].iter().sum();
+                    out.data[n * in_shape.channels + c] = acc / hw;
                 }
             }
             out
@@ -170,45 +230,45 @@ pub fn pool(input: &TensorData, params: &PoolParams) -> TensorData {
         PoolKind::Max | PoolKind::Avg => {
             let (oh, ow) = in_shape.conv_output_hw(params.kernel, params.stride, params.padding);
             let out_shape = TensorShape::new(in_shape.batch, in_shape.channels, oh, ow);
-            let mut out = TensorData::zeros(out_shape);
+            let mut out = arena.take_tensor(out_shape);
+            let (kh, kw) = params.kernel;
+            let (sh, sw) = params.stride;
+            let (ph, pw) = params.padding;
+            let is_max = params.kind == PoolKind::Max;
             for n in 0..in_shape.batch {
                 for c in 0..in_shape.channels {
+                    let ch_start = (n * in_shape.channels + c) * plane;
+                    let ch = &input.data[ch_start..ch_start + plane];
+                    let out_start = (n * in_shape.channels + c) * oh * ow;
                     for y in 0..oh {
-                        for x in 0..ow {
-                            let mut acc: f32 = if params.kind == PoolKind::Max {
-                                f32::NEG_INFINITY
-                            } else {
-                                0.0
-                            };
-                            let mut count = 0usize;
-                            for ky in 0..params.kernel.0 {
-                                for kx in 0..params.kernel.1 {
-                                    let iy = (y * params.stride.0 + ky) as isize
-                                        - params.padding.0 as isize;
-                                    let ix = (x * params.stride.1 + kx) as isize
-                                        - params.padding.1 as isize;
-                                    if iy < 0
-                                        || ix < 0
-                                        || iy >= in_shape.height as isize
-                                        || ix >= in_shape.width as isize
-                                    {
-                                        continue;
-                                    }
-                                    let v = input.at(n, c, iy as usize, ix as usize);
-                                    if params.kind == PoolKind::Max {
+                        let base_y = (y * sh) as isize - ph as isize;
+                        let ky_lo = (-base_y).max(0) as usize;
+                        let ky_hi = ((h as isize - base_y).max(0) as usize).min(kh);
+                        let out_row = &mut out.data[out_start + y * ow..out_start + (y + 1) * ow];
+                        for (x, slot) in out_row.iter_mut().enumerate() {
+                            let base_x = (x * sw) as isize - pw as isize;
+                            let kx_lo = (-base_x).max(0) as usize;
+                            let kx_hi = ((w as isize - base_x).max(0) as usize).min(kw);
+                            let mut acc: f32 = if is_max { f32::NEG_INFINITY } else { 0.0 };
+                            for ky in ky_lo..ky_hi {
+                                let iy = (base_y + ky as isize) as usize;
+                                let row = &ch[iy * w..(iy + 1) * w];
+                                for kx in kx_lo..kx_hi {
+                                    let v = row[(base_x + kx as isize) as usize];
+                                    if is_max {
                                         acc = acc.max(v);
                                     } else {
                                         acc += v;
                                     }
-                                    count += 1;
                                 }
                             }
-                            let value = if params.kind == PoolKind::Max {
+                            let count =
+                                (ky_hi.saturating_sub(ky_lo)) * (kx_hi.saturating_sub(kx_lo));
+                            *slot = if is_max {
                                 acc
                             } else {
                                 acc / count.max(1) as f32
                             };
-                            out.set(n, c, y, x, value);
                         }
                     }
                 }
@@ -221,15 +281,49 @@ pub fn pool(input: &TensorData, params: &PoolParams) -> TensorData {
 /// Fully connected layer.
 #[must_use]
 pub fn matmul(input: &TensorData, params: &MatMulParams, weights: &[f32]) -> TensorData {
+    matmul_pooled(input, params, weights, global_pool())
+}
+
+/// [`matmul`] with pooled output storage. Outputs are computed four at a
+/// time so the input row is read once per quadruple; every accumulator
+/// still sums in ascending feature order, bit-identical to the reference.
+#[must_use]
+pub fn matmul_pooled(
+    input: &TensorData,
+    params: &MatMulParams,
+    weights: &[f32],
+    arena: &ScratchPool,
+) -> TensorData {
     let in_features = input.shape.elements_per_item();
-    let out_shape = TensorShape::vector(input.shape.batch, params.out_features);
-    let mut out = TensorData::zeros(out_shape);
+    let out_features = params.out_features;
+    let out_shape = TensorShape::vector(input.shape.batch, out_features);
+    let mut out = arena.take_tensor(out_shape);
     for n in 0..input.shape.batch {
         let row = &input.data[n * in_features..(n + 1) * in_features];
-        for o in 0..params.out_features {
-            let w = &weights[o * in_features..(o + 1) * in_features];
+        let out_row = &mut out.data[n * out_features..(n + 1) * out_features];
+        let mut o = 0;
+        while o + 4 <= out_features {
+            let w0 = &weights[o * in_features..(o + 1) * in_features];
+            let w1 = &weights[(o + 1) * in_features..(o + 2) * in_features];
+            let w2 = &weights[(o + 2) * in_features..(o + 3) * in_features];
+            let w3 = &weights[(o + 3) * in_features..(o + 4) * in_features];
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for ((((&x, &u0), &u1), &u2), &u3) in row.iter().zip(w0).zip(w1).zip(w2).zip(w3) {
+                a0 += x * u0;
+                a1 += x * u1;
+                a2 += x * u2;
+                a3 += x * u3;
+            }
+            out_row[o] = apply_activation(params.activation, a0);
+            out_row[o + 1] = apply_activation(params.activation, a1);
+            out_row[o + 2] = apply_activation(params.activation, a2);
+            out_row[o + 3] = apply_activation(params.activation, a3);
+            o += 4;
+        }
+        for (oo, slot) in out_row.iter_mut().enumerate().skip(o) {
+            let w = &weights[oo * in_features..(oo + 1) * in_features];
             let acc: f32 = row.iter().zip(w).map(|(a, b)| a * b).sum();
-            out.data[n * params.out_features + o] = apply_activation(params.activation, acc);
+            *slot = apply_activation(params.activation, acc);
         }
     }
     out
@@ -238,21 +332,27 @@ pub fn matmul(input: &TensorData, params: &MatMulParams, weights: &[f32]) -> Ten
 /// Channel-wise concatenation.
 #[must_use]
 pub fn concat(inputs: &[&TensorData]) -> TensorData {
+    concat_pooled(inputs, global_pool())
+}
+
+/// [`concat`] with pooled output storage: each input contributes one
+/// contiguous `channels × h × w` block per sample, copied with a single
+/// memcpy instead of per-element indexing.
+#[must_use]
+pub fn concat_pooled(inputs: &[&TensorData], arena: &ScratchPool) -> TensorData {
     let first = inputs[0].shape;
     let channels: usize = inputs.iter().map(|t| t.shape.channels).sum();
     let out_shape = TensorShape::new(first.batch, channels, first.height, first.width);
-    let mut out = TensorData::zeros(out_shape);
+    let mut out = arena.take_tensor(out_shape);
+    let plane = first.height * first.width;
+    let out_item = channels * plane;
     for n in 0..first.batch {
-        let mut c_off = 0;
+        let mut offset = n * out_item;
         for t in inputs {
-            for c in 0..t.shape.channels {
-                for h in 0..first.height {
-                    for w in 0..first.width {
-                        out.set(n, c_off + c, h, w, t.at(n, c, h, w));
-                    }
-                }
-            }
-            c_off += t.shape.channels;
+            debug_assert_eq!((t.shape.height, t.shape.width), (first.height, first.width));
+            let cpi = t.shape.channels * plane;
+            out.data[offset..offset + cpi].copy_from_slice(&t.data[n * cpi..(n + 1) * cpi]);
+            offset += cpi;
         }
     }
     out
@@ -261,7 +361,14 @@ pub fn concat(inputs: &[&TensorData]) -> TensorData {
 /// Element-wise addition of all inputs.
 #[must_use]
 pub fn add(inputs: &[&TensorData]) -> TensorData {
-    let mut out = inputs[0].clone();
+    add_pooled(inputs, global_pool())
+}
+
+/// [`add`] with pooled output storage.
+#[must_use]
+pub fn add_pooled(inputs: &[&TensorData], arena: &ScratchPool) -> TensorData {
+    let mut out = arena.take_tensor(inputs[0].shape);
+    out.data.copy_from_slice(&inputs[0].data);
     for t in &inputs[1..] {
         for (o, v) in out.data.iter_mut().zip(&t.data) {
             *o += v;
@@ -273,9 +380,15 @@ pub fn add(inputs: &[&TensorData]) -> TensorData {
 /// Standalone ReLU.
 #[must_use]
 pub fn relu(input: &TensorData) -> TensorData {
-    let mut out = input.clone();
-    for v in &mut out.data {
-        *v = v.max(0.0);
+    relu_pooled(input, global_pool())
+}
+
+/// [`relu`] with pooled output storage.
+#[must_use]
+pub fn relu_pooled(input: &TensorData, arena: &ScratchPool) -> TensorData {
+    let mut out = arena.take_tensor(input.shape);
+    for (o, v) in out.data.iter_mut().zip(&input.data) {
+        *o = v.max(0.0);
     }
     out
 }
@@ -284,26 +397,46 @@ pub fn relu(input: &TensorData) -> TensorData {
 /// weights derived from `weight_seed`.
 #[must_use]
 pub fn execute_op(op: &Op, inputs: &[&TensorData], weight_seed: u64) -> TensorData {
+    execute_op_pooled(op, inputs, weight_seed, global_pool())
+}
+
+/// [`execute_op`] with pooled scratch and output storage.
+#[must_use]
+pub fn execute_op_pooled(
+    op: &Op,
+    inputs: &[&TensorData],
+    weight_seed: u64,
+    arena: &ScratchPool,
+) -> TensorData {
     match &op.kind {
         OpKind::Conv2d(p) => {
             let in_c_per_group = inputs[0].shape.channels / p.groups;
             let w = conv_weights(weight_seed, p.out_channels, in_c_per_group, p.kernel);
-            conv2d(inputs[0], p, &w)
+            conv2d_pooled(inputs[0], p, &w, arena)
         }
-        OpKind::SepConv2d(p) => sep_conv2d(inputs[0], p, weight_seed),
-        OpKind::Pool(p) => pool(inputs[0], p),
+        OpKind::SepConv2d(p) => {
+            let (dw_seed, pw_seed) = sep_conv_seeds(weight_seed);
+            let dw = conv_weights(dw_seed, inputs[0].shape.channels, 1, p.kernel);
+            let pw = conv_weights(pw_seed, p.out_channels, inputs[0].shape.channels, (1, 1));
+            sep_conv2d_pooled(inputs[0], p, &dw, &pw, arena)
+        }
+        OpKind::Pool(p) => pool_pooled(inputs[0], p, arena),
         OpKind::MatMul(p) => {
             let w = matmul_weights(
                 weight_seed,
                 p.out_features,
                 inputs[0].shape.elements_per_item(),
             );
-            matmul(inputs[0], p, &w)
+            matmul_pooled(inputs[0], p, &w, arena)
         }
-        OpKind::Concat => concat(inputs),
-        OpKind::Add => add(inputs),
-        OpKind::Relu => relu(inputs[0]),
-        OpKind::Identity => inputs[0].clone(),
+        OpKind::Concat => concat_pooled(inputs, arena),
+        OpKind::Add => add_pooled(inputs, arena),
+        OpKind::Relu => relu_pooled(inputs[0], arena),
+        OpKind::Identity => {
+            let mut out = arena.take_tensor(inputs[0].shape);
+            out.data.copy_from_slice(&inputs[0].data);
+            out
+        }
     }
 }
 
@@ -320,17 +453,32 @@ pub fn execute_op_with_weights(
     inputs: &[&TensorData],
     weights: &crate::batch::OpWeights,
 ) -> TensorData {
+    execute_op_with_weights_pooled(op, inputs, weights, global_pool())
+}
+
+/// [`execute_op_with_weights`] with pooled scratch and output storage.
+///
+/// # Panics
+///
+/// Panics if the weight kind does not match the operator kind.
+#[must_use]
+pub fn execute_op_with_weights_pooled(
+    op: &Op,
+    inputs: &[&TensorData],
+    weights: &crate::batch::OpWeights,
+    arena: &ScratchPool,
+) -> TensorData {
     use crate::batch::OpWeights;
     match (&op.kind, weights) {
-        (OpKind::Conv2d(p), OpWeights::Conv(w)) => conv2d(inputs[0], p, w),
+        (OpKind::Conv2d(p), OpWeights::Conv(w)) => conv2d_pooled(inputs[0], p, w, arena),
         (
             OpKind::SepConv2d(p),
             OpWeights::SepConv {
                 depthwise,
                 pointwise,
             },
-        ) => sep_conv2d_with(inputs[0], p, depthwise, pointwise),
-        (OpKind::MatMul(p), OpWeights::MatMul(w)) => matmul(inputs[0], p, w),
+        ) => sep_conv2d_pooled(inputs[0], p, depthwise, pointwise, arena),
+        (OpKind::MatMul(p), OpWeights::MatMul(w)) => matmul_pooled(inputs[0], p, w, arena),
         (kind, _) => panic!("mismatched precomputed weights for operator kind {kind:?}"),
     }
 }
@@ -373,6 +521,65 @@ mod tests {
     }
 
     #[test]
+    fn gemm_conv_is_bit_identical_to_naive_across_shapes() {
+        // Shapes chosen to hit the pointwise fast path, strides, padding
+        // larger than the kernel reach, grouped and depthwise cases.
+        let cases: Vec<(TensorShape, Conv2dParams)> = vec![
+            (
+                TensorShape::new(2, 8, 9, 7),
+                Conv2dParams::relu(12, (3, 3), (1, 1), (1, 1)),
+            ),
+            (
+                TensorShape::new(1, 6, 11, 11),
+                Conv2dParams::plain(10, (5, 3), (2, 2), (2, 1)),
+            ),
+            (
+                TensorShape::new(1, 16, 6, 6),
+                Conv2dParams::plain(8, (1, 1), (1, 1), (0, 0)),
+            ),
+            (
+                TensorShape::new(1, 12, 8, 8),
+                Conv2dParams {
+                    out_channels: 24,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    padding: (1, 1),
+                    groups: 4,
+                    activation: Activation::Relu,
+                },
+            ),
+            (
+                TensorShape::new(1, 7, 10, 10),
+                Conv2dParams {
+                    out_channels: 7,
+                    kernel: (3, 3),
+                    stride: (2, 2),
+                    padding: (1, 1),
+                    groups: 7,
+                    activation: Activation::None,
+                },
+            ),
+            // Padding wider than the input: the window can miss entirely.
+            (
+                TensorShape::new(1, 3, 4, 4),
+                Conv2dParams::plain(5, (3, 3), (3, 3), (3, 3)),
+            ),
+        ];
+        for (i, (shape, params)) in cases.iter().enumerate() {
+            let input = TensorData::random(*shape, 1000 + i as u64);
+            let w = conv_weights(
+                2000 + i as u64,
+                params.out_channels,
+                shape.channels / params.groups,
+                params.kernel,
+            );
+            let fast = conv2d(&input, params, &w);
+            let reference = conv2d_naive(&input, params, &w);
+            assert_eq!(fast, reference, "case {i} must be bit-identical");
+        }
+    }
+
+    #[test]
     fn max_pool_picks_maximum() {
         let mut input = TensorData::zeros(TensorShape::new(1, 1, 4, 4));
         input.set(0, 0, 1, 1, 5.0);
@@ -381,6 +588,20 @@ mod tests {
         assert_eq!(out.shape, TensorShape::new(1, 1, 2, 2));
         assert_eq!(out.at(0, 0, 0, 0), 5.0);
         assert_eq!(out.at(0, 0, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn padded_max_pool_ignores_out_of_bounds() {
+        let input = TensorData::random(TensorShape::new(1, 2, 5, 5), 77);
+        let out = pool(&input, &PoolParams::max((3, 3), (2, 2), (1, 1)));
+        assert_eq!(out.shape, TensorShape::new(1, 2, 3, 3));
+        // The corner window sees only the 2×2 in-bounds values.
+        let expected = input
+            .at(0, 0, 0, 0)
+            .max(input.at(0, 0, 0, 1))
+            .max(input.at(0, 0, 1, 0))
+            .max(input.at(0, 0, 1, 1));
+        assert_eq!(out.at(0, 0, 0, 0), expected);
     }
 
     #[test]
@@ -425,6 +646,27 @@ mod tests {
         };
         let out = matmul(&input, &params, &weights);
         assert_eq!(out.data, vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn blocked_matmul_handles_remainder_outputs() {
+        // 6 outputs exercises the 4-wide block plus a 2-wide tail.
+        let input = TensorData::random(TensorShape::vector(3, 10), 5);
+        let params = MatMulParams {
+            out_features: 6,
+            activation: Activation::Relu,
+        };
+        let w = matmul_weights(9, 6, 10);
+        let out = matmul(&input, &params, &w);
+        for n in 0..3 {
+            for o in 0..6 {
+                let expected: f32 = (0..10)
+                    .map(|k| input.data[n * 10 + k] * w[o * 10 + k])
+                    .fold(0.0, |acc, v| acc + v)
+                    .max(0.0);
+                assert_eq!(out.data[n * 6 + o], expected);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Property tests pinning down the execution engine's bit-exactness
+//! guarantees: the im2col + blocked-GEMM convolution, the pool/matmul
+//! interior fast paths, the arena-backed executor and the parallel batched
+//! network path must all be **bit-identical** (`assert_eq!`, no tolerances)
+//! to the naive reference across randomized shapes, strides, padding,
+//! groups and batch sizes.
+
+use ios_backend::ops_cpu::{conv2d, conv2d_naive, conv_weights, matmul, matmul_weights, pool};
+use ios_backend::{
+    execute_graph, execute_graph_pooled, execute_graph_uncached, execute_network,
+    execute_network_batched, split_batch, BlockWeights, NetworkWeights, ScratchPool, TensorData,
+};
+use ios_ir::{
+    Activation, Block, Conv2dParams, GraphBuilder, MatMulParams, Network, PoolKind, PoolParams,
+    TensorShape,
+};
+use proptest::prelude::*;
+
+/// The original per-element reference pooling loop, preserved verbatim as
+/// the oracle for the clamped-range fast path.
+fn pool_reference(input: &TensorData, params: &PoolParams) -> TensorData {
+    let in_shape = input.shape;
+    let (oh, ow) = in_shape.conv_output_hw(params.kernel, params.stride, params.padding);
+    let out_shape = TensorShape::new(in_shape.batch, in_shape.channels, oh, ow);
+    let mut out = TensorData::zeros(out_shape);
+    for n in 0..in_shape.batch {
+        for c in 0..in_shape.channels {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut acc: f32 = if params.kind == PoolKind::Max {
+                        f32::NEG_INFINITY
+                    } else {
+                        0.0
+                    };
+                    let mut count = 0usize;
+                    for ky in 0..params.kernel.0 {
+                        for kx in 0..params.kernel.1 {
+                            let iy =
+                                (y * params.stride.0 + ky) as isize - params.padding.0 as isize;
+                            let ix =
+                                (x * params.stride.1 + kx) as isize - params.padding.1 as isize;
+                            if iy < 0
+                                || ix < 0
+                                || iy >= in_shape.height as isize
+                                || ix >= in_shape.width as isize
+                            {
+                                continue;
+                            }
+                            let v = input.at(n, c, iy as usize, ix as usize);
+                            if params.kind == PoolKind::Max {
+                                acc = acc.max(v);
+                            } else {
+                                acc += v;
+                            }
+                            count += 1;
+                        }
+                    }
+                    let value = if params.kind == PoolKind::Max {
+                        acc
+                    } else {
+                        acc / count.max(1) as f32
+                    };
+                    out.set(n, c, y, x, value);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The original row-times-matrix reference for the blocked matmul.
+fn matmul_reference(input: &TensorData, params: &MatMulParams, weights: &[f32]) -> TensorData {
+    let in_features = input.shape.elements_per_item();
+    let out_shape = TensorShape::vector(input.shape.batch, params.out_features);
+    let mut out = TensorData::zeros(out_shape);
+    for n in 0..input.shape.batch {
+        let row = &input.data[n * in_features..(n + 1) * in_features];
+        for o in 0..params.out_features {
+            let w = &weights[o * in_features..(o + 1) * in_features];
+            let acc: f32 = row.iter().zip(w).map(|(a, b)| a * b).sum();
+            let v = match params.activation {
+                Activation::None => acc,
+                Activation::Relu => acc.max(0.0),
+            };
+            out.data[n * params.out_features + o] = v;
+        }
+    }
+    out
+}
+
+/// A tiny two-block network used by the executor/batched properties.
+fn tiny_network() -> Network {
+    let input = TensorShape::new(1, 6, 9, 9);
+    let mut b = GraphBuilder::new("prop_tiny_b0", input);
+    let x = b.input(0);
+    let a = b.conv2d("a", x, Conv2dParams::relu(8, (3, 3), (1, 1), (1, 1)));
+    let c = b.conv2d("c", x, Conv2dParams::relu(4, (1, 1), (1, 1), (0, 0)));
+    let p = b.pool("p", x, PoolParams::max((2, 2), (2, 2), (0, 0)));
+    let cat = b.concat("cat", &[a, c]);
+    let block0 = Block::new(b.build(vec![cat, p]));
+
+    let shapes = block0.graph.output_shapes();
+    let mut b = GraphBuilder::with_inputs("prop_tiny_b1", shapes);
+    let x0 = b.input(0);
+    let x1 = b.input(1);
+    let d = b.conv2d("d", x0, Conv2dParams::relu(6, (3, 3), (1, 1), (1, 1)));
+    let e = b.conv2d("e", x0, Conv2dParams::plain(6, (1, 1), (1, 1), (0, 0)));
+    let s = b.add_op("s", &[d, e]);
+    let f = b.conv2d("f", x1, Conv2dParams::relu(6, (1, 1), (1, 1), (0, 0)));
+    let block1 = Block::new(b.build(vec![s, f]));
+    Network::new("prop_tiny", input, vec![block0, block1])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gemm_conv_is_bit_identical_to_naive(
+        seed in any::<u64>(),
+        batch in 1usize..3,
+        group_case in 0usize..3,
+        channels_per_group in 1usize..5,
+        out_per_group in 1usize..5,
+        height in 1usize..11,
+        width in 1usize..11,
+        kh in 1usize..5,
+        kw in 1usize..5,
+        sh in 1usize..4,
+        sw in 1usize..4,
+        ph in 0usize..4,
+        pw in 0usize..4,
+        relu in any::<bool>(),
+    ) {
+        let groups = [1usize, 2, 3][group_case];
+        let in_c = channels_per_group * groups;
+        let out_c = out_per_group * groups;
+        // The IR requires the padded input to cover the kernel.
+        let h = height.max(kh.saturating_sub(2 * ph));
+        let w = width.max(kw.saturating_sub(2 * pw));
+        let shape = TensorShape::new(batch, in_c, h, w);
+        let params = Conv2dParams {
+            out_channels: out_c,
+            kernel: (kh, kw),
+            stride: (sh, sw),
+            padding: (ph, pw),
+            groups,
+            activation: if relu { Activation::Relu } else { Activation::None },
+        };
+        let input = TensorData::random(shape, seed);
+        let weights = conv_weights(seed ^ 0xC0DE, out_c, channels_per_group, (kh, kw));
+        let fast = conv2d(&input, &params, &weights);
+        let reference = conv2d_naive(&input, &params, &weights);
+        prop_assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn pool_fast_path_is_bit_identical_to_reference(
+        seed in any::<u64>(),
+        batch in 1usize..3,
+        channels in 1usize..5,
+        height in 2usize..12,
+        width in 2usize..12,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        sh in 1usize..3,
+        sw in 1usize..3,
+        ph in 0usize..2,
+        pw in 0usize..2,
+        is_max in any::<bool>(),
+    ) {
+        let h = height.max(kh.saturating_sub(2 * ph));
+        let w = width.max(kw.saturating_sub(2 * pw));
+        let input = TensorData::random(TensorShape::new(batch, channels, h, w), seed);
+        let params = if is_max {
+            PoolParams::max((kh, kw), (sh, sw), (ph, pw))
+        } else {
+            PoolParams::avg((kh, kw), (sh, sw), (ph, pw))
+        };
+        prop_assert_eq!(pool(&input, &params), pool_reference(&input, &params));
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_reference(
+        seed in any::<u64>(),
+        batch in 1usize..4,
+        in_features in 1usize..33,
+        out_features in 1usize..19,
+        relu in any::<bool>(),
+    ) {
+        let input = TensorData::random(TensorShape::vector(batch, in_features), seed);
+        let params = MatMulParams {
+            out_features,
+            activation: if relu { Activation::Relu } else { Activation::None },
+        };
+        let weights = matmul_weights(seed ^ 0xFEED, out_features, in_features);
+        prop_assert_eq!(
+            matmul(&input, &params, &weights),
+            matmul_reference(&input, &params, &weights)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn arena_backed_executor_is_bit_identical(seed in any::<u64>()) {
+        let net = tiny_network();
+        let graph = &net.blocks[0].graph;
+        let inputs = vec![TensorData::random(net.input_shape, seed)];
+        let reference = execute_graph_uncached(graph, &inputs);
+        prop_assert_eq!(&execute_graph(graph, &inputs), &reference);
+        let weights = BlockWeights::precompute(graph);
+        let arena = ScratchPool::new();
+        let pooled = execute_graph_pooled(graph, &inputs, Some(&weights), &arena);
+        prop_assert_eq!(&pooled, &reference);
+    }
+
+    #[test]
+    fn parallel_batched_execution_is_bit_identical_per_sample(
+        seed in any::<u64>(),
+        batch in 1usize..6,
+    ) {
+        let net = tiny_network();
+        let weights = NetworkWeights::precompute(&net);
+        let samples: Vec<TensorData> = (0..batch)
+            .map(|i| TensorData::random(net.input_shape, seed.wrapping_add(i as u64)))
+            .collect();
+        let refs: Vec<&TensorData> = samples.iter().collect();
+        let stacked = ios_backend::stack_batch(&refs);
+        let arena = ScratchPool::new();
+        let batched = execute_network_batched(&net, None, &weights, &[stacked], &arena);
+        let per_output: Vec<Vec<TensorData>> = batched.iter().map(split_batch).collect();
+        for (i, sample) in samples.iter().enumerate() {
+            let solo = execute_network(&net, std::slice::from_ref(sample));
+            for (o, solo_out) in solo.iter().enumerate() {
+                prop_assert_eq!(&per_output[o][i], solo_out);
+            }
+        }
+    }
+}
+
+/// The steady-state guarantee of the serving op loop: after one warm-up
+/// batch, repeat batches of the same shape profile perform zero fresh heap
+/// allocations inside the execution engine. A single sample worker makes
+/// the pool's take/recycle sequence fully deterministic (a multi-worker
+/// pool's *peak simultaneous* demand depends on thread interleaving); the
+/// parallel path's numerics are covered by the proptest above.
+#[test]
+fn batched_execution_op_loop_is_allocation_free_in_steady_state() {
+    let net = tiny_network();
+    let weights = NetworkWeights::precompute(&net);
+    let samples: Vec<TensorData> = (0..4)
+        .map(|i| TensorData::random(net.input_shape, 90 + i as u64))
+        .collect();
+    let refs: Vec<&TensorData> = samples.iter().collect();
+    let stacked = ios_backend::stack_batch(&refs);
+    let run = |arena: &ScratchPool| {
+        ios_backend::execute_network_batched_capped(
+            &net,
+            None,
+            &weights,
+            std::slice::from_ref(&stacked),
+            arena,
+            1,
+        )
+    };
+
+    let arena = ScratchPool::new();
+    let first = run(&arena);
+    let warmed = arena.fresh_allocations();
+    assert!(warmed > 0, "the warm-up batch fills the pool");
+    for round in 0..3 {
+        let again = run(&arena);
+        assert_eq!(again, first, "repeat batches are deterministic");
+        assert_eq!(
+            arena.fresh_allocations(),
+            warmed,
+            "round {round}: steady-state op loop must not allocate"
+        );
+        assert!(arena.reuses() > 0);
+    }
+    // The parallel fan-out shares the same pool and produces the same
+    // stacked outputs (its allocation count depends on interleaving).
+    let parallel =
+        execute_network_batched(&net, None, &weights, std::slice::from_ref(&stacked), &arena);
+    assert_eq!(parallel, first);
+}

@@ -274,6 +274,53 @@ pub fn fmt3(v: f64) -> String {
     format!("{v:.3}")
 }
 
+/// One convolution layer shape benchmarked by the `conv_kernels` bench and
+/// the `conv_gate` CI binary.
+#[derive(Debug, Clone)]
+pub struct ConvCase {
+    /// Short shape label.
+    pub name: &'static str,
+    /// Input tensor shape.
+    pub input: ios_ir::TensorShape,
+    /// Convolution parameters.
+    pub params: ios_ir::Conv2dParams,
+}
+
+/// The convolution shapes the kernel bench and gate run: Inception- and
+/// SqueezeNet-shaped layers covering 3×3, pointwise, strided-downsample
+/// and grouped cases. `quick` halves the channel counts.
+#[must_use]
+pub fn conv_bench_shapes(quick: bool) -> Vec<ConvCase> {
+    use ios_ir::{Conv2dParams, TensorShape};
+    let s = if quick { 2 } else { 1 };
+    vec![
+        ConvCase {
+            // Inception-v3 mixed-block 3×3 branch shape.
+            name: "inception_3x3",
+            input: TensorShape::new(1, 96 / s, 15, 15),
+            params: Conv2dParams::relu(96 / s, (3, 3), (1, 1), (1, 1)),
+        },
+        ConvCase {
+            // Inception 1×1 bottleneck: the pointwise fast path.
+            name: "inception_1x1",
+            input: TensorShape::new(1, 128 / s, 15, 15),
+            params: Conv2dParams::relu(128 / s, (1, 1), (1, 1), (0, 0)),
+        },
+        ConvCase {
+            // SqueezeNet fire-module 3×3 expand.
+            name: "squeezenet_expand3",
+            input: TensorShape::new(1, 16, 27, 27),
+            params: Conv2dParams::relu(64 / s, (3, 3), (1, 1), (1, 1)),
+        },
+        ConvCase {
+            // Strided downsampling layer.
+            name: "downsample_s2",
+            input: TensorShape::new(1, 64 / s, 27, 27),
+            params: Conv2dParams::relu(64 / s, (3, 3), (2, 2), (1, 1)),
+        },
+    ]
+}
+
 /// Writes any serializable value as pretty JSON if a path was requested.
 pub fn maybe_write_json<T: Serialize>(opts: &BenchOptions, value: &T) {
     if let Some(path) = &opts.json {

@@ -19,6 +19,7 @@ use crate::schedule::{ParallelizationStrategy, Schedule, Stage};
 use crate::variants::SchedulerConfig;
 use ios_ir::{EndingEnumerator, Graph, OpId, OpSet};
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::time::Instant;
 
 /// The decision recorded for a state: the last stage's operators, strategy,
@@ -45,6 +46,11 @@ pub struct ScheduleResult {
     pub states: u64,
     /// Number of stage-latency measurements requested from the cost model.
     pub measurements: u64,
+    /// Number of `(S, S′)` transitions whose stage was served from the
+    /// per-run stage memo instead of re-deriving groups and re-measuring:
+    /// `GenerateStage(S′)` depends only on the ending `S′`, not on the
+    /// state `S`, so each distinct ending is generated once.
+    pub stage_memo_hits: u64,
     /// Wall-clock time spent searching, in seconds.
     pub search_seconds: f64,
 }
@@ -57,8 +63,19 @@ pub struct Scheduler<'a, C: CostModel> {
     enumerator: EndingEnumerator,
     cost: HashMap<OpSet, f64>,
     choice: HashMap<OpSet, Choice>,
+    /// `GenerateStage` results memoized by the ending `S′`: the same ending
+    /// is reachable from many states, but its groups and measured latency
+    /// do not depend on the state it is subtracted from. `Rc` keeps memo
+    /// hits allocation-free (the groups are only deep-cloned when a stage
+    /// actually wins a state's minimization).
+    stage_memo: HashMap<OpSet, Option<Rc<GeneratedStage>>>,
+    stage_memo_hits: u64,
     transitions: u64,
 }
+
+/// The outcome of `GenerateStage(S′)`: measured latency, winning strategy
+/// and execution groups.
+type GeneratedStage = (f64, ParallelizationStrategy, Vec<Vec<OpId>>);
 
 impl<'a, C: CostModel> Scheduler<'a, C> {
     /// Creates a scheduler for `graph` using `cost_model` to measure stages.
@@ -71,6 +88,8 @@ impl<'a, C: CostModel> Scheduler<'a, C> {
             enumerator: EndingEnumerator::new(graph),
             cost: HashMap::new(),
             choice: HashMap::new(),
+            stage_memo: HashMap::new(),
+            stage_memo_hits: 0,
             transitions: 0,
         }
     }
@@ -113,6 +132,7 @@ impl<'a, C: CostModel> Scheduler<'a, C> {
             transitions: self.transitions,
             states: self.cost.len() as u64,
             measurements: self.cost_model.measurement_count() - measurements_before,
+            stage_memo_hits: self.stage_memo_hits,
             search_seconds: start.elapsed().as_secs_f64(),
         }
     }
@@ -136,9 +156,21 @@ impl<'a, C: CostModel> Scheduler<'a, C> {
                 continue;
             }
             self.transitions += 1;
-            let Some((latency, strategy, groups)) = self.generate_stage(ending) else {
+            let stage = match self.stage_memo.get(&ending) {
+                Some(cached) => {
+                    self.stage_memo_hits += 1;
+                    cached.clone()
+                }
+                None => {
+                    let generated = self.generate_stage(ending).map(Rc::new);
+                    self.stage_memo.insert(ending, generated.clone());
+                    generated
+                }
+            };
+            let Some(stage) = stage else {
                 continue;
             };
+            let (latency, strategy, ref groups) = *stage;
             let rest = self.solve(state.difference(ending));
             let total = rest + latency;
             if total < best {
@@ -146,7 +178,7 @@ impl<'a, C: CostModel> Scheduler<'a, C> {
                 best_choice = Some(Choice {
                     stage_ops: ending,
                     strategy,
-                    groups,
+                    groups: groups.clone(),
                     latency_us: latency,
                 });
             }
@@ -162,10 +194,7 @@ impl<'a, C: CostModel> Scheduler<'a, C> {
     ///
     /// Returns `None` when the variant forbids every applicable strategy
     /// (e.g. IOS-Merge on a multi-operator stage that cannot merge).
-    fn generate_stage(
-        &self,
-        stage_ops: OpSet,
-    ) -> Option<(f64, ParallelizationStrategy, Vec<Vec<OpId>>)> {
+    fn generate_stage(&self, stage_ops: OpSet) -> Option<GeneratedStage> {
         let groups: Vec<Vec<OpId>> = self
             .graph
             .groups_of(stage_ops)
@@ -410,5 +439,23 @@ mod tests {
         assert!(result.transitions >= result.states);
         assert!(result.measurements > 0);
         assert!(result.search_seconds >= 0.0);
+    }
+
+    #[test]
+    fn stage_memo_deduplicates_repeat_endings() {
+        // The wide block reaches the same single-operator endings from many
+        // states; each must be generated (and measured) only once.
+        let g = wide_block();
+        let cost = UnitCostModel::default();
+        let result = schedule_graph(&g, &cost, &SchedulerConfig::paper_default());
+        assert!(
+            result.stage_memo_hits > 0,
+            "repeat endings must hit the stage memo"
+        );
+        assert!(result.stage_memo_hits < result.transitions);
+        // Every transition either hit the memo or generated a fresh entry,
+        // and fresh entries are bounded by the distinct-ending count.
+        let distinct = result.transitions - result.stage_memo_hits;
+        assert!(distinct >= result.schedule.num_stages() as u64);
     }
 }

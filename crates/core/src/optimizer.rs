@@ -85,6 +85,9 @@ pub struct OptimizeReport {
     pub states: u64,
     /// Total stage-latency measurements requested from the cost model.
     pub measurements: u64,
+    /// Total stage-generation memo hits across all blocks (endings reused
+    /// across DP states without re-deriving groups or re-measuring).
+    pub stage_memo_hits: u64,
     /// Wall-clock search time in seconds.
     pub search_seconds: f64,
     /// Per-block latency in µs (used by the Figure 16 block-wise study).
@@ -103,6 +106,7 @@ pub fn optimize_network<C: CostModel>(
     let mut transitions = 0;
     let mut states = 0;
     let mut measurements = 0;
+    let mut stage_memo_hits = 0;
     let mut search_seconds = 0.0;
     let mut total_latency = 0.0;
 
@@ -111,6 +115,7 @@ pub fn optimize_network<C: CostModel>(
         transitions += result.transitions;
         states += result.states;
         measurements += result.measurements;
+        stage_memo_hits += result.stage_memo_hits;
         search_seconds += result.search_seconds;
         total_latency += result.latency_us;
         block_latencies.push(result.latency_us);
@@ -127,6 +132,7 @@ pub fn optimize_network<C: CostModel>(
         transitions,
         states,
         measurements,
+        stage_memo_hits,
         search_seconds,
         block_latencies_us: block_latencies,
     }

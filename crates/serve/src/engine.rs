@@ -201,10 +201,19 @@ pub struct ServeEngine {
 
 impl ServeEngine {
     /// Starts an engine computing real numerics on the CPU reference
-    /// backend.
+    /// backend. The host's cores are split between the configured dispatch
+    /// workers so concurrent batches do not oversubscribe the machine.
     #[must_use]
     pub fn start(network: Network, config: ServeConfig) -> Self {
-        Self::start_with_executor(network, config, Box::new(CpuReferenceExecutor))
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let per_batch = cores.div_ceil(config.workers.max(1));
+        Self::start_with_executor(
+            network,
+            config,
+            Box::new(CpuReferenceExecutor::with_max_workers(per_batch)),
+        )
     }
 
     /// Starts an engine that accounts batches on the analytical GPU

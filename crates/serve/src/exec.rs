@@ -17,10 +17,10 @@
 //! Later PRs can add further backends (sharded, async, real accelerators)
 //! without touching the queueing or caching layers.
 
-use ios_backend::{execute_network_scheduled, NetworkWeights, TensorData};
+use ios_backend::{execute_network_batched_capped, NetworkWeights, ScratchPool, TensorData};
 use ios_core::{evaluate_network, CachingCostModel, NetworkSchedule, SimCostModel};
 use ios_ir::Network;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Everything a backend needs to run one coalesced batch.
@@ -56,9 +56,99 @@ pub trait BatchExecutor: Send + Sync + 'static {
     fn execute(&self, ctx: &BatchContext<'_>) -> BatchOutcome;
 }
 
-/// Executes batches numerically on the CPU reference backend.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct CpuReferenceExecutor;
+/// Executes batches numerically on the CPU execution engine.
+///
+/// Batches fan out across worker threads, one sample per task
+/// ([`execute_network_batched`]), with all scratch and intermediate
+/// tensors drawn from a long-lived [`ScratchPool`] — after the first batch
+/// of a given shape profile, the op loop performs no heap allocation.
+/// Per-sample results are bit-identical to solo `execute_network` runs.
+#[derive(Debug)]
+pub struct CpuReferenceExecutor {
+    pool: ScratchPool,
+    /// Cap on the per-batch sample-worker fan-out; engines running several
+    /// dispatch workers split the cores between them so concurrent batches
+    /// do not oversubscribe the host.
+    max_workers: usize,
+    /// The batch-1 network instance, derived once per served network so
+    /// repeat batches skip the metadata rescale.
+    per_sample: Mutex<Option<(String, Arc<Network>)>>,
+}
+
+impl Default for CpuReferenceExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CpuReferenceExecutor {
+    /// A new executor with an empty scratch pool and an uncapped per-batch
+    /// worker fan-out (bounded by the host's parallelism and batch size).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_max_workers(usize::MAX)
+    }
+
+    /// A new executor whose per-batch fan-out is capped at `max_workers`
+    /// threads (minimum 1). Use `available cores / dispatch workers` when
+    /// several engine workers execute batches concurrently.
+    #[must_use]
+    pub fn with_max_workers(max_workers: usize) -> Self {
+        CpuReferenceExecutor {
+            pool: ScratchPool::new(),
+            max_workers: max_workers.max(1),
+            per_sample: Mutex::new(None),
+        }
+    }
+
+    /// Scratch-pool counters: `(fresh heap allocations, pool reuses)`.
+    #[must_use]
+    pub fn pool_stats(&self) -> (u64, u64) {
+        (self.pool.fresh_allocations(), self.pool.reuses())
+    }
+
+    fn per_sample_instance(&self, network: &Network) -> Arc<Network> {
+        let mut cached = self.per_sample.lock().expect("per-sample network lock");
+        match cached.as_ref() {
+            Some((name, instance))
+                if *name == network.name && same_structure(instance, network) =>
+            {
+                Arc::clone(instance)
+            }
+            _ => {
+                let instance = Arc::new(if network.input_shape.batch == 1 {
+                    network.clone()
+                } else {
+                    network.with_batch_size(1)
+                });
+                *cached = Some((network.name.clone(), Arc::clone(&instance)));
+                instance
+            }
+        }
+    }
+}
+
+/// Whether a cached batch-1 instance still matches the incoming network's
+/// structure — guards the name-keyed cache against a *different* network
+/// reusing the same name (e.g. one executor shared across engines): block
+/// count, per-block operator kinds *and wiring* (operator inputs, declared
+/// graph outputs) and per-item input shape must all agree.
+fn same_structure(cached: &Network, incoming: &Network) -> bool {
+    let same_item_shape = |a: ios_ir::TensorShape, b: ios_ir::TensorShape| {
+        (a.channels, a.height, a.width) == (b.channels, b.height, b.width)
+    };
+    same_item_shape(cached.input_shape, incoming.input_shape)
+        && cached.blocks.len() == incoming.blocks.len()
+        && cached.blocks.iter().zip(&incoming.blocks).all(|(c, i)| {
+            c.graph.len() == i.graph.len()
+                && c.graph.outputs() == i.graph.outputs()
+                && c.graph
+                    .ops()
+                    .iter()
+                    .zip(i.graph.ops())
+                    .all(|(co, io)| co.kind == io.kind && co.inputs == io.inputs)
+        })
+}
 
 impl BatchExecutor for CpuReferenceExecutor {
     fn name(&self) -> &'static str {
@@ -66,8 +156,16 @@ impl BatchExecutor for CpuReferenceExecutor {
     }
 
     fn execute(&self, ctx: &BatchContext<'_>) -> BatchOutcome {
+        let per_sample = self.per_sample_instance(ctx.network);
         let start = Instant::now();
-        let outputs = execute_network_scheduled(ctx.network, ctx.schedule, ctx.weights, ctx.inputs);
+        let outputs = execute_network_batched_capped(
+            &per_sample,
+            Some(ctx.schedule),
+            ctx.weights,
+            ctx.inputs,
+            &self.pool,
+            self.max_workers,
+        );
         BatchOutcome {
             outputs: Some(outputs),
             device_time_us: start.elapsed().as_secs_f64() * 1e6,
