@@ -21,31 +21,75 @@ use crate::executor::{
     execute_graph_pooled, execute_graph_with, execute_schedule_pooled,
     execute_schedule_pooled_serial, execute_schedule_with, weight_seed,
 };
+use crate::gemm::PackedFilter;
 use crate::ops_cpu::{conv_weights, matmul_weights, sep_conv_seeds};
 use crate::tensor_data::TensorData;
-use ios_core::NetworkSchedule;
-use ios_ir::{Graph, Network, OpId, OpKind, TensorShape, Value};
+use ios_core::{MergedConv, NetworkSchedule};
+use ios_ir::{Graph, Network, OpId, OpKind, OpSet, TensorShape, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// Precomputed weights of one operator.
+/// Precomputed weights of one operator. Convolution filters are
+/// pre-packed into the GEMM microkernel's tile-major layout
+/// ([`PackedFilter`]) so the serving hot path streams `A` contiguously;
+/// only dense convolutions additionally keep the natural layout, which the
+/// merge stage stacks into merged kernels (separable convolutions are
+/// never merged, so storing their natural filters would only double the
+/// weight memory).
 #[derive(Debug, Clone)]
 pub enum OpWeights {
-    /// Dense / grouped convolution filter, layout `[out_c][in_c/g][kh][kw]`.
-    Conv(Vec<f32>),
-    /// Separable convolution: depthwise then pointwise filters.
+    /// Dense / grouped convolution filter.
+    Conv {
+        /// Natural layout `[out_c][in_c/g][kh][kw]`.
+        filter: Vec<f32>,
+        /// The same filter in tile-major packed layout.
+        packed: PackedFilter,
+    },
+    /// Separable convolution: depthwise then pointwise filters, packed.
     SepConv {
-        /// Depthwise k×k filter, one output channel per input channel.
-        depthwise: Vec<f32>,
-        /// Pointwise 1×1 filter.
-        pointwise: Vec<f32>,
+        /// Depthwise k×k filter (one output channel per input channel) in
+        /// tile-major packed layout.
+        depthwise_packed: PackedFilter,
+        /// Pointwise 1×1 filter in tile-major packed layout.
+        pointwise_packed: PackedFilter,
     },
     /// Fully connected weight matrix, layout `[out][in]`.
     MatMul(Vec<f32>),
 }
 
-/// Precomputed weights for every weighted operator of one graph.
-#[derive(Debug, Clone, Default)]
+/// The weights of one operator-merge stage: the per-part filters stacked
+/// (and zero-padded) into the merged kernel, built once per distinct stage
+/// and cached in [`BlockWeights`].
+#[derive(Debug)]
+pub struct MergedWeights {
+    /// The merged filter in natural `[out_c][in_c][mkh][mkw]` layout.
+    pub filter: Vec<f32>,
+    /// The merged filter in tile-major packed layout.
+    pub packed: PackedFilter,
+}
+
+/// Precomputed weights for every weighted operator of one graph, plus a
+/// lazily filled cache of merged-stage weights keyed by the stage's
+/// operator set — so executing the same schedule batch after batch stops
+/// rebuilding the merged tensor every time.
+#[derive(Debug, Default)]
 pub struct BlockWeights {
     by_op: Vec<Option<OpWeights>>,
+    merged: Mutex<HashMap<OpSet, Arc<MergedWeights>>>,
+    merged_builds: AtomicU64,
+    merged_hits: AtomicU64,
+}
+
+impl Clone for BlockWeights {
+    fn clone(&self) -> Self {
+        BlockWeights {
+            by_op: self.by_op.clone(),
+            merged: Mutex::new(self.merged.lock().expect("merged-weight lock").clone()),
+            merged_builds: AtomicU64::new(self.merged_builds.load(Ordering::Relaxed)),
+            merged_hits: AtomicU64::new(self.merged_hits.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl BlockWeights {
@@ -67,19 +111,27 @@ impl BlockWeights {
                 match &op.kind {
                     OpKind::Conv2d(p) => {
                         let in_c = input_shape(op.inputs[0]).channels / p.groups;
-                        Some(OpWeights::Conv(conv_weights(
-                            seed,
+                        let filter = conv_weights(seed, p.out_channels, in_c, p.kernel);
+                        let packed = PackedFilter::pack(
+                            &filter,
                             p.out_channels,
-                            in_c,
-                            p.kernel,
-                        )))
+                            p.groups,
+                            in_c * p.kernel.0 * p.kernel.1,
+                        );
+                        Some(OpWeights::Conv { filter, packed })
                     }
                     OpKind::SepConv2d(p) => {
                         let in_c = input_shape(op.inputs[0]).channels;
                         let (dw_seed, pw_seed) = sep_conv_seeds(seed);
+                        let depthwise = conv_weights(dw_seed, in_c, 1, p.kernel);
+                        let depthwise_packed =
+                            PackedFilter::pack(&depthwise, in_c, in_c, p.kernel.0 * p.kernel.1);
+                        let pointwise = conv_weights(pw_seed, p.out_channels, in_c, (1, 1));
+                        let pointwise_packed =
+                            PackedFilter::pack(&pointwise, p.out_channels, 1, in_c);
                         Some(OpWeights::SepConv {
-                            depthwise: conv_weights(dw_seed, in_c, 1, p.kernel),
-                            pointwise: conv_weights(pw_seed, p.out_channels, in_c, (1, 1)),
+                            depthwise_packed,
+                            pointwise_packed,
                         })
                     }
                     OpKind::MatMul(p) => {
@@ -98,7 +150,10 @@ impl BlockWeights {
                 }
             })
             .collect();
-        BlockWeights { by_op }
+        BlockWeights {
+            by_op,
+            ..BlockWeights::default()
+        }
     }
 
     /// The precomputed weights of `op`, if it is a weighted operator.
@@ -107,13 +162,107 @@ impl BlockWeights {
         self.by_op.get(op.index()).and_then(Option::as_ref)
     }
 
-    /// The convolution filter of `op`, if it is a convolution.
+    /// The convolution filter of `op` (natural layout), if it is a
+    /// convolution.
     #[must_use]
     pub fn conv(&self, op: OpId) -> Option<&[f32]> {
         match self.get(op) {
-            Some(OpWeights::Conv(w)) => Some(w),
+            Some(OpWeights::Conv { filter, .. }) => Some(filter),
             _ => None,
         }
+    }
+
+    /// The merged-stage weights for `merged` (an operator-merge stage of a
+    /// schedule for this graph), built from the precomputed per-part
+    /// filters on first use and served from the cache afterwards — the
+    /// merge stage of [`crate::execute_schedule`] stops rebuilding the
+    /// merged tensor every batch. Keyed by the stage's operator set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any merged part is not a precomputed convolution of this
+    /// block.
+    #[must_use]
+    pub fn merged_stage(&self, graph: &Graph, merged: &MergedConv) -> Arc<MergedWeights> {
+        let key: OpSet = merged.parts.iter().copied().collect();
+        if let Some(cached) = self.merged.lock().expect("merged-weight lock").get(&key) {
+            self.merged_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(cached);
+        }
+        let in_c = merged.input_shape.channels;
+        let (mkh, mkw) = merged.params.kernel;
+        let mut filter = vec![0.0f32; merged.params.out_channels * in_c * mkh * mkw];
+        stack_merged_filter(graph, merged, &mut filter, |part, _| {
+            std::borrow::Cow::Borrowed(
+                self.conv(part)
+                    .expect("merged part must be a precomputed convolution"),
+            )
+        });
+        let packed = PackedFilter::pack(
+            &filter,
+            merged.params.out_channels,
+            merged.params.groups,
+            (in_c / merged.params.groups) * mkh * mkw,
+        );
+        let built = Arc::new(MergedWeights { filter, packed });
+        self.merged_builds.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.merged.lock().expect("merged-weight lock");
+        // Two threads may race to build the same stage; both results are
+        // identical, keep whichever landed first.
+        Arc::clone(cache.entry(key).or_insert(built))
+    }
+
+    /// Number of merged-stage weight tensors built (cache misses).
+    #[must_use]
+    pub fn merged_builds(&self) -> u64 {
+        self.merged_builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of merged-stage requests served from the cache.
+    #[must_use]
+    pub fn merged_hits(&self) -> u64 {
+        self.merged_hits.load(Ordering::Relaxed)
+    }
+}
+
+/// Stacks the per-part filters of `merged` into `dst` (pre-zeroed, length
+/// `out_c · in_c · mkh · mkw`), zero-padding smaller kernels so they stay
+/// centred inside the merged kernel — the single definition both the
+/// cached ([`BlockWeights::merged_stage`]) and the regenerating
+/// (`execute_schedule` without precomputed weights) paths build from, so
+/// the two can never drift apart. `part_filter` supplies each part's
+/// filter in natural `[out_c][in_c][kh][kw]` layout.
+///
+/// # Panics
+///
+/// Panics if any merged part is not a convolution of `graph`.
+pub(crate) fn stack_merged_filter<'a>(
+    graph: &Graph,
+    merged: &MergedConv,
+    dst: &mut [f32],
+    part_filter: impl Fn(OpId, &ios_ir::Conv2dParams) -> std::borrow::Cow<'a, [f32]>,
+) {
+    let in_c = merged.input_shape.channels;
+    let (mkh, mkw) = merged.params.kernel;
+    let mut oc_offset = 0usize;
+    for &part in &merged.parts {
+        let op = graph.op(part);
+        let OpKind::Conv2d(p) = &op.kind else {
+            panic!("merged parts must be convolutions")
+        };
+        let part_weights = part_filter(part, p);
+        let (kh, kw) = p.kernel;
+        let (dy, dx) = ((mkh - kh) / 2, (mkw - kw) / 2);
+        for oc in 0..p.out_channels {
+            for ic in 0..in_c {
+                for y in 0..kh {
+                    let src = ((oc * in_c + ic) * kh + y) * kw;
+                    let at = (((oc_offset + oc) * in_c + ic) * mkh + y + dy) * mkw + dx;
+                    dst[at..at + kw].copy_from_slice(&part_weights[src..src + kw]);
+                }
+            }
+        }
+        oc_offset += p.out_channels;
     }
 }
 
@@ -163,11 +312,12 @@ impl NetworkWeights {
             .iter()
             .flat_map(|b| b.by_op.iter().flatten())
             .map(|w| match w {
-                OpWeights::Conv(v) | OpWeights::MatMul(v) => v.len(),
+                OpWeights::Conv { filter, .. } => filter.len(),
+                OpWeights::MatMul(v) => v.len(),
                 OpWeights::SepConv {
-                    depthwise,
-                    pointwise,
-                } => depthwise.len() + pointwise.len(),
+                    depthwise_packed,
+                    pointwise_packed,
+                } => depthwise_packed.num_weights() + pointwise_packed.num_weights(),
             })
             .sum()
     }
@@ -373,8 +523,11 @@ fn execute_network_sample_pooled(
 ///
 /// `network` may be shaped for any batch size; the per-sample instance is
 /// derived once per call when needed (pass the batch-1 instance to avoid
-/// it). The returned stacked outputs are plain heap tensors (they outlive
-/// the pool); all per-sample scratch returns to `arena`.
+/// it). The returned stacked outputs draw their storage from `arena`:
+/// recycle them after use to keep the full serving boundary
+/// allocation-free (dropping them is also safe — they are ordinary
+/// tensors); all per-sample scratch returns to `arena` before this
+/// returns.
 ///
 /// # Panics
 ///
@@ -466,8 +619,9 @@ pub fn execute_network_batched_capped(
         }
     });
 
-    // Restack: per-sample outputs are recycled, the stacked results are
-    // plain heap tensors handed to the caller.
+    // Restack: per-sample outputs are recycled; the stacked results are
+    // drawn from `arena` so the caller can recycle them too and keep the
+    // whole serving boundary allocation-free.
     let num_outputs = per_sample_outputs[0]
         .as_ref()
         .expect("sample executed")
@@ -478,7 +632,7 @@ pub fn execute_network_batched_capped(
             .iter()
             .map(|sample| &sample.as_ref().expect("sample executed")[o])
             .collect();
-        stacked.push(stack_batch(&samples));
+        stacked.push(stack_batch_pooled(&samples, arena));
     }
     for sample in per_sample_outputs.into_iter().flatten() {
         for t in sample {
@@ -517,6 +671,46 @@ pub fn stack_batch(samples: &[&TensorData]) -> TensorData {
         shape: TensorShape::new(batch, item.channels, item.height, item.width),
         data,
     }
+}
+
+/// [`stack_batch`] drawing the stacked tensor's storage from `arena`
+/// instead of the heap — the serving runtime's allocation-free stacking
+/// path. The result is bit-identical to [`stack_batch`].
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or the per-sample shapes disagree.
+#[must_use]
+pub fn stack_batch_pooled(samples: &[&TensorData], arena: &ScratchPool) -> TensorData {
+    assert!(!samples.is_empty(), "cannot stack an empty batch");
+    let item = samples[0].shape;
+    let batch: usize = samples
+        .iter()
+        .map(|sample| {
+            assert_eq!(
+                (
+                    sample.shape.channels,
+                    sample.shape.height,
+                    sample.shape.width
+                ),
+                (item.channels, item.height, item.width),
+                "stacked samples must share their per-item shape"
+            );
+            sample.shape.batch
+        })
+        .sum();
+    let mut out = arena.take_tensor(TensorShape::new(
+        batch,
+        item.channels,
+        item.height,
+        item.width,
+    ));
+    let mut offset = 0usize;
+    for sample in samples {
+        out.data[offset..offset + sample.data.len()].copy_from_slice(&sample.data);
+        offset += sample.data.len();
+    }
+    out
 }
 
 /// Splits a batched tensor back into per-sample tensors of batch 1.

@@ -18,11 +18,12 @@
 use crate::arena::{global_pool, ScratchPool};
 use crate::batch::BlockWeights;
 use crate::ops_cpu::{
-    conv2d_pooled, conv_weights, execute_op_pooled, execute_op_with_weights_pooled,
+    conv2d_packed_pooled, conv2d_pooled, conv_weights, execute_op_pooled,
+    execute_op_with_weights_pooled,
 };
 use crate::tensor_data::TensorData;
 use ios_core::{try_merge, ParallelizationStrategy, Schedule};
-use ios_ir::{Graph, Op, OpId, OpKind, Value};
+use ios_ir::{Graph, Op, OpId, Value};
 
 /// Per-operator weight seed: stable across execution strategies.
 pub(crate) fn weight_seed(graph: &Graph, op: OpId) -> u64 {
@@ -289,51 +290,42 @@ fn execute_schedule_impl(
             ParallelizationStrategy::OperatorMerge => {
                 let merged = try_merge(graph, stage.ops)
                     .expect("merged stage must satisfy the merge eligibility rule");
-                // Stack the per-part weights, zero-padding smaller kernels so
-                // they stay centred inside the merged kernel.
-                let in_c = merged.input_shape.channels;
-                let (mkh, mkw) = merged.params.kernel;
-                let mut merged_weights =
-                    arena.take_zeroed(merged.params.out_channels * in_c * mkh * mkw);
-                let mut oc_offset = 0usize;
-                for &part in &merged.parts {
-                    let op = graph.op(part);
-                    let OpKind::Conv2d(p) = &op.kind else {
-                        panic!("merged parts must be convolutions")
-                    };
-                    let generated;
-                    let part_weights: &[f32] = match weights.and_then(|w| w.conv(part)) {
-                        Some(precomputed) => precomputed,
-                        None => {
-                            generated = conv_weights(
-                                weight_seed(graph, part),
-                                p.out_channels,
-                                in_c,
-                                p.kernel,
-                            );
-                            &generated
-                        }
-                    };
-                    let (kh, kw) = p.kernel;
-                    let (dy, dx) = ((mkh - kh) / 2, (mkw - kw) / 2);
-                    for oc in 0..p.out_channels {
-                        for ic in 0..in_c {
-                            for y in 0..kh {
-                                let src = ((oc * in_c + ic) * kh + y) * kw;
-                                let dst =
-                                    (((oc_offset + oc) * in_c + ic) * mkh + y + dy) * mkw + dx;
-                                merged_weights[dst..dst + kw]
-                                    .copy_from_slice(&part_weights[src..src + kw]);
-                            }
-                        }
+                let merged_out = match weights {
+                    // The merged tensor is built once per distinct stage and
+                    // cached (pre-packed) inside the BlockWeights; repeat
+                    // batches execute it directly.
+                    Some(w) => {
+                        let stage_weights = w.merged_stage(graph, &merged);
+                        let input = resolve(merged.input, inputs, &outputs);
+                        conv2d_packed_pooled(input, &merged.params, &stage_weights.packed, arena)
                     }
-                    oc_offset += p.out_channels;
-                }
-                let merged_out = {
-                    let input = resolve(merged.input, inputs, &outputs);
-                    conv2d_pooled(input, &merged.params, &merged_weights, arena)
+                    // The regenerating path stacks the per-part weights on
+                    // the fly (same stacking as the cached path, via
+                    // `stack_merged_filter`).
+                    None => {
+                        let in_c = merged.input_shape.channels;
+                        let (mkh, mkw) = merged.params.kernel;
+                        let mut merged_weights =
+                            arena.take_zeroed(merged.params.out_channels * in_c * mkh * mkw);
+                        crate::batch::stack_merged_filter(
+                            graph,
+                            &merged,
+                            &mut merged_weights,
+                            |part, p| {
+                                std::borrow::Cow::Owned(conv_weights(
+                                    weight_seed(graph, part),
+                                    p.out_channels,
+                                    in_c,
+                                    p.kernel,
+                                ))
+                            },
+                        );
+                        let input = resolve(merged.input, inputs, &outputs);
+                        let out = conv2d_pooled(input, &merged.params, &merged_weights, arena);
+                        arena.recycle(merged_weights);
+                        out
+                    }
                 };
-                arena.recycle(merged_weights);
                 // Split the merged output back into the per-part outputs:
                 // each part's channels are one contiguous block per sample.
                 let plane = merged_out.shape.height * merged_out.shape.width;
@@ -472,12 +464,20 @@ mod tests {
 
     #[test]
     fn forced_merge_stage_matches_sequential() {
-        // Build a schedule by hand that merges the two shared-input convs
+        // A hand-built schedule that merges the two shared-input convs
         // (a 3×3 and c 1×1 — the padding path) to pin down merge semantics.
         let g = branchy();
+        let schedule = forced_merge_schedule(&g);
+        let diff = verify_schedule(&g, &schedule, 11);
+        assert!(diff < 1e-3, "difference = {diff}");
+    }
+
+    /// The hand-built schedule of `forced_merge_stage_matches_sequential`,
+    /// reused by the merged-weight cache test.
+    fn forced_merge_schedule(g: &Graph) -> Schedule {
         let merged_ops: ios_ir::OpSet = [OpId(0), OpId(1)].into_iter().collect();
-        assert!(try_merge(&g, merged_ops).is_some());
-        let schedule = Schedule::new(
+        assert!(try_merge(g, merged_ops).is_some());
+        Schedule::new(
             g.name(),
             vec![
                 ios_core::Stage {
@@ -499,9 +499,32 @@ mod tests {
                     measured_latency_us: 1.0,
                 },
             ],
+        )
+    }
+
+    #[test]
+    fn merged_stage_weights_are_built_once_and_cached() {
+        let g = branchy();
+        let schedule = forced_merge_schedule(&g);
+        let weights = BlockWeights::precompute(&g);
+        let inputs = vec![TensorData::random(TensorShape::new(1, 8, 10, 10), 55)];
+
+        let first = execute_schedule_with(&g, &schedule, &inputs, Some(&weights));
+        assert_eq!(weights.merged_builds(), 1, "first batch builds the stage");
+        assert_eq!(weights.merged_hits(), 0);
+        let second = execute_schedule_with(&g, &schedule, &inputs, Some(&weights));
+        assert_eq!(
+            weights.merged_builds(),
+            1,
+            "repeat batches must not rebuild the merged tensor"
         );
-        let diff = verify_schedule(&g, &schedule, 11);
-        assert!(diff < 1e-3, "difference = {diff}");
+        assert_eq!(weights.merged_hits(), 1);
+        assert_eq!(first, second);
+
+        // The cached (packed) merged path must match the regenerating path
+        // bit for bit.
+        let regenerated = execute_schedule_with(&g, &schedule, &inputs, None);
+        assert_eq!(first, regenerated);
     }
 
     #[test]

@@ -24,6 +24,16 @@
 //!
 //! Pointwise convolutions (1×1, stride 1, no padding) skip im2col entirely:
 //! the input channel planes already *are* the patch matrix.
+//!
+//! Two weight representations feed the same semantics: the natural layout
+//! above ([`conv2d_im2col`]) and the pre-packed tile-major panels of
+//! [`PackedFilter`] ([`conv2d_im2col_packed`]), which the serving runtime
+//! packs once at weight-precompute time. The packed kernel walks the
+//! output column blocks in the outer loop so each `K × NR` slice of the
+//! patch matrix stays cache-hot while the packed weights stream through
+//! contiguously — and because packing is a pure permutation and every
+//! accumulator still sums over strictly ascending `k`, both paths are
+//! bit-identical to each other and to the naive reference.
 
 use crate::arena::ScratchPool;
 use crate::tensor_data::TensorData;
@@ -33,6 +43,115 @@ use ios_ir::{Conv2dParams, TensorShape};
 const MR: usize = 4;
 /// Output-pixel columns per register tile (two 8-lane vectors on AVX2).
 const NR: usize = 16;
+/// Output-channel rows per register tile of the *packed* kernel: the
+/// tile-major layout feeds the microkernel one contiguous `PACK_MR`-wide
+/// slab per k step. 4 × 16 accumulators + 2 patch vectors + 1 broadcast
+/// fit the 16 AVX2 registers; wider tiles (6 or 8 rows) measured slower
+/// here because the accumulator array spills.
+const PACK_MR: usize = 4;
+/// Output-pixel columns per register tile of the packed kernel.
+const PACK_NR: usize = 16;
+
+/// A convolution filter pre-packed into the GEMM microkernel's tile-major
+/// layout.
+///
+/// The natural filter layout `[out_c][in_c/g][kh][kw]` makes the kernel
+/// read `PACK_MR` strided rows in parallel. Packing reorders each group's
+/// weight matrix into panels of `PACK_MR` output channels, `k`-major inside
+/// the panel (`data[panel][k][row]`), so the inner loop streams `A` as one
+/// contiguous sequence. Packing is a pure permutation (edge panels are
+/// zero-padded rows that are never read back into the output), so the
+/// packed path consumes exactly the same weight values in exactly the same
+/// order per output element — bit-identical to the unpacked kernel.
+///
+/// Pack once at weight-precompute time ([`crate::batch::BlockWeights`]);
+/// every later execution streams the packed filter directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedFilter {
+    data: Vec<f32>,
+    out_channels: usize,
+    groups: usize,
+    k_len: usize,
+    /// Elements per panel: `k_len * PACK_MR`.
+    panel_stride: usize,
+    /// Elements per group: `ceil(rows_per_group / PACK_MR) * panel_stride`.
+    group_stride: usize,
+}
+
+impl PackedFilter {
+    /// Packs a filter in the natural `[out_c][in_c/g][kh][kw]` layout
+    /// (`k_len = in_c/g · kh · kw` contiguous values per output channel,
+    /// groups concatenated along the output-channel axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != out_channels * k_len` or `out_channels`
+    /// is not divisible by `groups`.
+    #[must_use]
+    pub fn pack(weights: &[f32], out_channels: usize, groups: usize, k_len: usize) -> Self {
+        assert_eq!(
+            weights.len(),
+            out_channels * k_len,
+            "filter length must be out_channels * k_len"
+        );
+        assert_eq!(
+            out_channels % groups,
+            0,
+            "output channels must divide evenly into groups"
+        );
+        let rows_per_group = out_channels / groups;
+        let panels_per_group = rows_per_group.div_ceil(PACK_MR);
+        let panel_stride = k_len * PACK_MR;
+        let group_stride = panels_per_group * panel_stride;
+        let mut data = vec![0.0f32; groups * group_stride];
+        for g in 0..groups {
+            for p in 0..panels_per_group {
+                let rows = PACK_MR.min(rows_per_group - p * PACK_MR);
+                let panel = &mut data[g * group_stride + p * panel_stride..][..panel_stride];
+                for r in 0..rows {
+                    let oc = g * rows_per_group + p * PACK_MR + r;
+                    let row = &weights[oc * k_len..(oc + 1) * k_len];
+                    for (k, &w) in row.iter().enumerate() {
+                        panel[k * PACK_MR + r] = w;
+                    }
+                }
+            }
+        }
+        PackedFilter {
+            data,
+            out_channels,
+            groups,
+            k_len,
+            panel_stride,
+            group_stride,
+        }
+    }
+
+    /// Whether this filter was packed for the given geometry.
+    #[must_use]
+    pub fn matches(&self, out_channels: usize, groups: usize, k_len: usize) -> bool {
+        self.out_channels == out_channels && self.groups == groups && self.k_len == k_len
+    }
+
+    /// The packed panels of group `g`.
+    #[must_use]
+    fn group(&self, g: usize) -> &[f32] {
+        &self.data[g * self.group_stride..(g + 1) * self.group_stride]
+    }
+
+    /// Total packed elements held (including edge-panel zero padding).
+    #[must_use]
+    pub fn num_elements(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of logical weight parameters packed (`out_channels · k_len`,
+    /// excluding edge-panel padding) — the natural filter's length.
+    #[must_use]
+    pub fn num_weights(&self) -> usize {
+        self.out_channels * self.k_len
+    }
+}
 
 /// im2col + blocked-GEMM convolution. Bit-identical to
 /// [`crate::ops_cpu::conv2d_naive`]; scratch comes from `pool` and is
@@ -43,6 +162,50 @@ pub fn conv2d_im2col(
     input: &TensorData,
     params: &Conv2dParams,
     weights: &[f32],
+    pool: &ScratchPool,
+) -> TensorData {
+    conv2d_gemm(input, params, Filter::Unpacked(weights), pool)
+}
+
+/// [`conv2d_im2col`] reading the filter from its pre-packed tile-major
+/// layout — the serving fast path. Bit-identical to the unpacked kernel
+/// (and therefore to [`crate::ops_cpu::conv2d_naive`]).
+///
+/// # Panics
+///
+/// Panics if `packed` was not packed for this convolution's geometry.
+#[must_use]
+pub fn conv2d_im2col_packed(
+    input: &TensorData,
+    params: &Conv2dParams,
+    packed: &PackedFilter,
+    pool: &ScratchPool,
+) -> TensorData {
+    let k_len = (input.shape.channels / params.groups) * params.kernel.0 * params.kernel.1;
+    assert!(
+        packed.matches(params.out_channels, params.groups, k_len),
+        "packed filter geometry (out_c {}, groups {}, k {}) does not match the convolution \
+         (out_c {}, groups {}, k {})",
+        packed.out_channels,
+        packed.groups,
+        packed.k_len,
+        params.out_channels,
+        params.groups,
+        k_len
+    );
+    conv2d_gemm(input, params, Filter::Packed(packed), pool)
+}
+
+/// The weight operand of the GEMM: natural layout or pre-packed panels.
+enum Filter<'a> {
+    Unpacked(&'a [f32]),
+    Packed(&'a PackedFilter),
+}
+
+fn conv2d_gemm(
+    input: &TensorData,
+    params: &Conv2dParams,
+    filter: Filter<'_>,
     pool: &ScratchPool,
 ) -> TensorData {
     let in_shape = input.shape;
@@ -77,10 +240,17 @@ pub fn conv2d_im2col(
                 &patches
             };
             let oc0 = g * out_c_per_group;
-            let a = &weights[oc0 * k_len..(oc0 + out_c_per_group) * k_len];
             let c_start = (n * params.out_channels + oc0) * m_cols;
             let c = &mut out.data[c_start..c_start + out_c_per_group * m_cols];
-            gemm_bit_exact(out_c_per_group, m_cols, k_len, a, b, c);
+            match filter {
+                Filter::Unpacked(weights) => {
+                    let a = &weights[oc0 * k_len..(oc0 + out_c_per_group) * k_len];
+                    gemm_bit_exact(out_c_per_group, m_cols, k_len, a, b, c);
+                }
+                Filter::Packed(packed) => {
+                    gemm_bit_exact_packed(out_c_per_group, m_cols, k_len, packed.group(g), b, c);
+                }
+            }
         }
     }
     if !pointwise {
@@ -218,6 +388,110 @@ fn tile_full(i0: usize, j0: usize, m: usize, k_len: usize, a: &[f32], b: &[f32],
     }
 }
 
+/// [`gemm_bit_exact`] reading `A` from tile-major packed panels
+/// ([`PackedFilter::pack`]): panel `p` holds rows `p·PACK_MR ..` as
+/// `panel[k · PACK_MR + row]`, so the k loop walks one contiguous stream.
+/// Every output element still accumulates over strictly ascending `k` —
+/// bit-identical to the unpacked kernel.
+///
+/// The loop nest is column-block-outer: for each `NR`-wide block of output
+/// pixels, *all* weight panels are streamed over the same `K × NR` slice of
+/// the patch matrix. The slice stays cache-hot across panels, so the big
+/// patch matrix of a large layer crosses the memory hierarchy once instead
+/// of once per panel — the unpacked kernel's dominant cost on
+/// GEMM-bound shapes — while the packed `A` is one sequential,
+/// hardware-prefetchable stream per block.
+pub fn gemm_bit_exact_packed(
+    m_rows: usize,
+    m: usize,
+    k_len: usize,
+    a_panels: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    let panel_stride = k_len * PACK_MR;
+    let mut j0 = 0;
+    while j0 < m {
+        let nr = PACK_NR.min(m - j0);
+        let mut i0 = 0;
+        let mut p = 0;
+        while i0 < m_rows {
+            let mr = PACK_MR.min(m_rows - i0);
+            let panel = &a_panels[p * panel_stride..(p + 1) * panel_stride];
+            if mr == PACK_MR && nr == PACK_NR {
+                packed_tile_full(panel, i0, j0, m, k_len, b, c);
+            } else {
+                packed_tile_edge(panel, i0, j0, mr, nr, m, k_len, b, c);
+            }
+            i0 += PACK_MR;
+            p += 1;
+        }
+        j0 += PACK_NR;
+    }
+}
+
+/// Full `PACK_MR × PACK_NR` register tile of the packed kernel; per k step it
+/// loads one contiguous `PACK_MR`-slab of `A` and one `PACK_NR`-row of `B`.
+#[inline]
+fn packed_tile_full(
+    panel: &[f32],
+    i0: usize,
+    j0: usize,
+    m: usize,
+    k_len: usize,
+    b: &[f32],
+    c: &mut [f32],
+) {
+    let mut acc = [[0.0f32; PACK_NR]; PACK_MR];
+    let b_off = &b[j0..];
+    for kk in 0..k_len {
+        let a_k = &panel[kk * PACK_MR..kk * PACK_MR + PACK_MR];
+        let brow = &b_off[kk * m..kk * m + PACK_NR];
+        for i in 0..PACK_MR {
+            let aik = a_k[i];
+            let lane = &mut acc[i];
+            for j in 0..PACK_NR {
+                lane[j] += aik * brow[j];
+            }
+        }
+    }
+    for (i, lane) in acc.iter().enumerate() {
+        c[(i0 + i) * m + j0..(i0 + i) * m + j0 + PACK_NR].copy_from_slice(lane);
+    }
+}
+
+/// Partial packed tile at the right/bottom edges (`mr <= PACK_MR`,
+/// `nr <= PACK_NR`); the zero-padded panel rows beyond `mr` are never read.
+#[allow(clippy::too_many_arguments)]
+fn packed_tile_edge(
+    panel: &[f32],
+    i0: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+    m: usize,
+    k_len: usize,
+    b: &[f32],
+    c: &mut [f32],
+) {
+    let mut acc = [[0.0f32; PACK_NR]; PACK_MR];
+    let b_off = &b[j0..];
+    for kk in 0..k_len {
+        let a_k = &panel[kk * PACK_MR..kk * PACK_MR + PACK_MR];
+        let brow = &b_off[kk * m..kk * m + nr];
+        for i in 0..mr {
+            let aik = a_k[i];
+            let lane = &mut acc[i];
+            for (j, bv) in brow.iter().enumerate() {
+                lane[j] += aik * bv;
+            }
+        }
+    }
+    for (i, lane) in acc.iter().enumerate().take(mr) {
+        c[(i0 + i) * m + j0..(i0 + i) * m + j0 + nr].copy_from_slice(&lane[..nr]);
+    }
+}
+
 /// Partial tile at the right/bottom edges (`mr <= MR`, `nr <= NR`).
 #[allow(clippy::too_many_arguments)]
 fn tile_edge(
@@ -267,6 +541,55 @@ mod tests {
                     acc += a[i * k_len + kk] * b[kk * m + j];
                 }
                 assert_eq!(c[i * m + j], acc, "tile result must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_gemm_is_bit_identical_to_unpacked() {
+        // Row counts around the PACK_MR boundary, column counts around NR,
+        // including a single-row (depthwise-like) matrix.
+        for &(m_rows, m, k_len) in &[
+            (7usize, 23usize, 11usize),
+            (6, 16, 4),
+            (13, 33, 7),
+            (1, 5, 3),
+            (12, 48, 9),
+        ] {
+            let a: Vec<f32> = (0..m_rows * k_len).map(|i| (i as f32).sin()).collect();
+            let b: Vec<f32> = (0..k_len * m).map(|i| (i as f32).cos()).collect();
+            let mut unpacked = vec![0.0f32; m_rows * m];
+            gemm_bit_exact(m_rows, m, k_len, &a, &b, &mut unpacked);
+            let packed = PackedFilter::pack(&a, m_rows, 1, k_len);
+            let mut from_packed = vec![0.0f32; m_rows * m];
+            gemm_bit_exact_packed(m_rows, m, k_len, packed.group(0), &b, &mut from_packed);
+            assert_eq!(
+                from_packed, unpacked,
+                "{m_rows}x{m} (k {k_len}) must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn packing_is_a_pure_permutation_per_group() {
+        // 2 groups × 5 rows with k = 3: every weight must appear at its
+        // panel-major position, edge rows zero-padded.
+        let (out_c, groups, k_len) = (10usize, 2usize, 3usize);
+        let weights: Vec<f32> = (0..out_c * k_len).map(|i| i as f32 + 1.0).collect();
+        let packed = PackedFilter::pack(&weights, out_c, groups, k_len);
+        assert!(packed.matches(out_c, groups, k_len));
+        let rows_per_group = out_c / groups;
+        for g in 0..groups {
+            let panels = packed.group(g);
+            for r in 0..rows_per_group {
+                let (p, lane) = (r / PACK_MR, r % PACK_MR);
+                for k in 0..k_len {
+                    let oc = g * rows_per_group + r;
+                    assert_eq!(
+                        panels[p * packed.panel_stride + k * PACK_MR + lane],
+                        weights[oc * k_len + k]
+                    );
+                }
             }
         }
     }

@@ -11,15 +11,21 @@
 //!   register-blocked GEMM engine ([`gemm`]) as the default path,
 //!   **bit-identical** to the oracle because it preserves the reference's
 //!   `(ic, ky, kx)` accumulation order per output element;
+//! * [`gemm::PackedFilter`] — conv filters pre-packed into the
+//!   microkernel's tile-major layout at weight-precompute time; the packed
+//!   kernel streams the weights contiguously with the patch-matrix block
+//!   cache-hot, still bit-identical (packing is a pure permutation);
 //! * [`arena`] — a scratch-buffer pool so steady-state execution performs
-//!   zero heap allocation in the op loop;
+//!   zero heap allocation, from the op loop out to the stacked batch
+//!   outputs at the serving boundary;
 //! * [`executor`] — runs a plain graph or an IOS [`ios_core::Schedule`]
 //!   (stage by stage, groups on worker threads), precomputing weights once
-//!   per call;
-//! * [`batch`] — network-level execution, weight precomputation, batch
-//!   stacking/splitting, and [`execute_network_batched`] which fans a
-//!   stacked batch out across worker threads, one deterministic sample per
-//!   task.
+//!   per call and serving operator-merge stages from the per-stage
+//!   merged-weight cache ([`BlockWeights::merged_stage`]);
+//! * [`batch`] — network-level execution, weight precomputation (packed
+//!   filters included), batch stacking/splitting, and
+//!   [`execute_network_batched`] which fans a stacked batch out across
+//!   worker threads, one deterministic sample per task.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,11 +41,12 @@ pub use arena::ScratchPool;
 pub use batch::{
     execute_network, execute_network_batched, execute_network_batched_capped,
     execute_network_scheduled, execute_network_with_weights, split_batch, stack_batch,
-    BlockWeights, NetworkWeights, OpWeights,
+    stack_batch_pooled, BlockWeights, MergedWeights, NetworkWeights, OpWeights,
 };
 pub use executor::{
     execute_graph, execute_graph_pooled, execute_graph_uncached, execute_graph_with,
     execute_schedule, execute_schedule_pooled, execute_schedule_with, max_abs_difference,
     verify_schedule,
 };
+pub use gemm::PackedFilter;
 pub use tensor_data::TensorData;

@@ -80,6 +80,37 @@ pub fn conv2d_pooled(
     crate::gemm::conv2d_im2col(input, params, weights, arena)
 }
 
+/// [`conv2d`] reading the filter from its pre-packed tile-major layout
+/// ([`crate::gemm::PackedFilter`]) — the serving fast path, bit-identical
+/// to [`conv2d`] and [`conv2d_naive`].
+///
+/// # Panics
+///
+/// Panics if the packed filter does not match the convolution's geometry.
+#[must_use]
+pub fn conv2d_packed(
+    input: &TensorData,
+    params: &Conv2dParams,
+    packed: &crate::gemm::PackedFilter,
+) -> TensorData {
+    conv2d_packed_pooled(input, params, packed, global_pool())
+}
+
+/// [`conv2d_packed`] with scratch and output storage drawn from `arena`.
+///
+/// # Panics
+///
+/// Panics if the packed filter does not match the convolution's geometry.
+#[must_use]
+pub fn conv2d_packed_pooled(
+    input: &TensorData,
+    params: &Conv2dParams,
+    packed: &crate::gemm::PackedFilter,
+    arena: &ScratchPool,
+) -> TensorData {
+    crate::gemm::conv2d_im2col_packed(input, params, packed, arena)
+}
+
 /// The naive 7-deep reference convolution: one scalar accumulator per
 /// output element, walked over `(ic, ky, kx)` with per-element bounds
 /// checks. Kept as the numerics oracle the fast path is verified against.
@@ -156,6 +187,40 @@ pub fn sep_conv2d_with(
     sep_conv2d_pooled(input, params, dw_weights, pw_weights, global_pool())
 }
 
+/// The depthwise convolution parameters a separable unit derives from its
+/// own: groups = channels, one output channel per input channel.
+fn sep_conv_dw_params(input_channels: usize, params: &Conv2dParams) -> Conv2dParams {
+    Conv2dParams {
+        out_channels: input_channels,
+        kernel: params.kernel,
+        stride: params.stride,
+        padding: params.padding,
+        groups: input_channels,
+        activation: Activation::None,
+    }
+}
+
+/// The pointwise 1×1 convolution parameters of a separable unit.
+fn sep_conv_pw_params(params: &Conv2dParams) -> Conv2dParams {
+    Conv2dParams {
+        out_channels: params.out_channels,
+        kernel: (1, 1),
+        stride: (1, 1),
+        padding: (0, 0),
+        groups: 1,
+        activation: Activation::None,
+    }
+}
+
+/// The pre-activation copy of a separable unit's input (ReLU), pooled.
+fn sep_conv_activate(input: &TensorData, arena: &ScratchPool) -> TensorData {
+    let mut activated = arena.take_tensor(input.shape);
+    for (o, v) in activated.data.iter_mut().zip(&input.data) {
+        *o = v.max(0.0);
+    }
+    activated
+}
+
 /// [`sep_conv2d_with`] with pooled scratch; the activation copy and the
 /// depthwise intermediate are recycled before returning.
 #[must_use]
@@ -166,32 +231,36 @@ pub fn sep_conv2d_pooled(
     pw_weights: &[f32],
     arena: &ScratchPool,
 ) -> TensorData {
-    // Pre-activation.
-    let mut activated = arena.take_tensor(input.shape);
-    for (o, v) in activated.data.iter_mut().zip(&input.data) {
-        *o = v.max(0.0);
-    }
-    // Depthwise pass: groups = channels, one output channel per input channel.
-    let dw_params = Conv2dParams {
-        out_channels: input.shape.channels,
-        kernel: params.kernel,
-        stride: params.stride,
-        padding: params.padding,
-        groups: input.shape.channels,
-        activation: Activation::None,
-    };
+    let activated = sep_conv_activate(input, arena);
+    let dw_params = sep_conv_dw_params(input.shape.channels, params);
     let depthwise = conv2d_pooled(&activated, &dw_params, dw_weights, arena);
     arena.recycle_tensor(activated);
-    // Pointwise 1×1.
-    let pw_params = Conv2dParams {
-        out_channels: params.out_channels,
-        kernel: (1, 1),
-        stride: (1, 1),
-        padding: (0, 0),
-        groups: 1,
-        activation: Activation::None,
-    };
+    let pw_params = sep_conv_pw_params(params);
     let out = conv2d_pooled(&depthwise, &pw_params, pw_weights, arena);
+    arena.recycle_tensor(depthwise);
+    out
+}
+
+/// [`sep_conv2d_pooled`] reading both filters from their pre-packed
+/// tile-major layouts — bit-identical to the unpacked path.
+///
+/// # Panics
+///
+/// Panics if either packed filter does not match its convolution geometry.
+#[must_use]
+pub fn sep_conv2d_packed_pooled(
+    input: &TensorData,
+    params: &Conv2dParams,
+    dw_packed: &crate::gemm::PackedFilter,
+    pw_packed: &crate::gemm::PackedFilter,
+    arena: &ScratchPool,
+) -> TensorData {
+    let activated = sep_conv_activate(input, arena);
+    let dw_params = sep_conv_dw_params(input.shape.channels, params);
+    let depthwise = conv2d_packed_pooled(&activated, &dw_params, dw_packed, arena);
+    arena.recycle_tensor(activated);
+    let pw_params = sep_conv_pw_params(params);
+    let out = conv2d_packed_pooled(&depthwise, &pw_params, pw_packed, arena);
     arena.recycle_tensor(depthwise);
     out
 }
@@ -470,14 +539,16 @@ pub fn execute_op_with_weights_pooled(
 ) -> TensorData {
     use crate::batch::OpWeights;
     match (&op.kind, weights) {
-        (OpKind::Conv2d(p), OpWeights::Conv(w)) => conv2d_pooled(inputs[0], p, w, arena),
+        (OpKind::Conv2d(p), OpWeights::Conv { packed, .. }) => {
+            conv2d_packed_pooled(inputs[0], p, packed, arena)
+        }
         (
             OpKind::SepConv2d(p),
             OpWeights::SepConv {
-                depthwise,
-                pointwise,
+                depthwise_packed,
+                pointwise_packed,
             },
-        ) => sep_conv2d_pooled(inputs[0], p, depthwise, pointwise, arena),
+        ) => sep_conv2d_packed_pooled(inputs[0], p, depthwise_packed, pointwise_packed, arena),
         (OpKind::MatMul(p), OpWeights::MatMul(w)) => matmul_pooled(inputs[0], p, w, arena),
         (kind, _) => panic!("mismatched precomputed weights for operator kind {kind:?}"),
     }

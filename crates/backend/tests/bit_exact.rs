@@ -5,10 +5,13 @@
 //! to the naive reference across randomized shapes, strides, padding,
 //! groups and batch sizes.
 
-use ios_backend::ops_cpu::{conv2d, conv2d_naive, conv_weights, matmul, matmul_weights, pool};
+use ios_backend::ops_cpu::{
+    conv2d, conv2d_naive, conv2d_packed, conv_weights, matmul, matmul_weights, pool,
+};
 use ios_backend::{
     execute_graph, execute_graph_pooled, execute_graph_uncached, execute_network,
-    execute_network_batched, split_batch, BlockWeights, NetworkWeights, ScratchPool, TensorData,
+    execute_network_batched, split_batch, BlockWeights, NetworkWeights, PackedFilter, ScratchPool,
+    TensorData,
 };
 use ios_ir::{
     Activation, Block, Conv2dParams, GraphBuilder, MatMulParams, Network, PoolKind, PoolParams,
@@ -150,7 +153,14 @@ proptest! {
         let weights = conv_weights(seed ^ 0xC0DE, out_c, channels_per_group, (kh, kw));
         let fast = conv2d(&input, &params, &weights);
         let reference = conv2d_naive(&input, &params, &weights);
-        prop_assert_eq!(fast, reference);
+        prop_assert_eq!(&fast, &reference);
+        // The tile-major packed layout must consume exactly the same weight
+        // values in the same per-element order: bit-identical to both the
+        // unpacked GEMM and the naive oracle.
+        let packed = PackedFilter::pack(&weights, out_c, groups, channels_per_group * kh * kw);
+        let packed_out = conv2d_packed(&input, &params, &packed);
+        prop_assert_eq!(&packed_out, &fast);
+        prop_assert_eq!(&packed_out, &reference);
     }
 
     #[test]
@@ -240,14 +250,16 @@ proptest! {
     }
 }
 
-/// The steady-state guarantee of the serving op loop: after one warm-up
-/// batch, repeat batches of the same shape profile perform zero fresh heap
-/// allocations inside the execution engine. A single sample worker makes
-/// the pool's take/recycle sequence fully deterministic (a multi-worker
-/// pool's *peak simultaneous* demand depends on thread interleaving); the
+/// The steady-state guarantee of the full serving boundary: after one
+/// warm-up batch, repeat batches of the same shape profile perform zero
+/// fresh heap allocations inside the execution engine — including the
+/// stacked *output* tensors, which now draw from the arena and return to
+/// it when the caller recycles them. A single sample worker makes the
+/// pool's take/recycle sequence fully deterministic (a multi-worker pool's
+/// *peak simultaneous* demand depends on thread interleaving); the
 /// parallel path's numerics are covered by the proptest above.
 #[test]
-fn batched_execution_op_loop_is_allocation_free_in_steady_state() {
+fn batched_execution_boundary_is_allocation_free_in_steady_state() {
     let net = tiny_network();
     let weights = NetworkWeights::precompute(&net);
     let samples: Vec<TensorData> = (0..4)
@@ -267,16 +279,25 @@ fn batched_execution_op_loop_is_allocation_free_in_steady_state() {
     };
 
     let arena = ScratchPool::new();
-    let first = run(&arena);
+    let warmup = run(&arena);
+    // Keep heap copies as the reference; the arena-drawn originals return
+    // to the pool like a serving runtime's response leases would.
+    let first: Vec<TensorData> = warmup.to_vec();
+    for t in warmup {
+        arena.recycle_tensor(t);
+    }
     let warmed = arena.fresh_allocations();
     assert!(warmed > 0, "the warm-up batch fills the pool");
     for round in 0..3 {
         let again = run(&arena);
         assert_eq!(again, first, "repeat batches are deterministic");
+        for t in again {
+            arena.recycle_tensor(t);
+        }
         assert_eq!(
             arena.fresh_allocations(),
             warmed,
-            "round {round}: steady-state op loop must not allocate"
+            "round {round}: the steady-state serving boundary must not allocate"
         );
         assert!(arena.reuses() > 0);
     }

@@ -1,0 +1,154 @@
+//! `pack_gate` — CI acceptance gate for the packed-weight GEMM path.
+//!
+//! Times the pre-packed tile-major convolution ([`conv2d_packed_pooled`])
+//! against the unpacked im2col + GEMM kernel of PR 2
+//! ([`conv2d_pooled`]) on the serving-hot layer shapes of
+//! [`ios_bench::pack_bench_shapes`], after first asserting the two paths
+//! are **bit-identical** on every shape (packing is a pure weight-layout
+//! permutation). Packing happens once per network at weight-precompute
+//! time, so only the per-call execution is timed. The acceptance bar is a
+//! geometric mean speedup ≥ 1.15×.
+//!
+//! A machine-readable report is always written to `BENCH_pack.json` (and
+//! additionally to `--json PATH` when given) so the packed path's
+//! performance trajectory is tracked across PRs.
+//!
+//! Run with: `cargo run --release -p ios-bench --bin pack_gate`
+//! (`--quick` lowers the iteration count; the shapes stay full-size so the
+//! gate keeps measuring the memory-bound serving regime).
+
+use ios_backend::ops_cpu::{conv2d_packed_pooled, conv2d_pooled, conv_weights};
+use ios_backend::{PackedFilter, ScratchPool, TensorData};
+use ios_bench::{fmt3, geomean, maybe_write_json, pack_bench_shapes, render_table, BenchOptions};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+struct PackRow {
+    shape: String,
+    unpacked_ms: f64,
+    packed_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    rows: Vec<PackRow>,
+    geomean_speedup: f64,
+    acceptance_bar: f64,
+    pass: bool,
+}
+
+/// Best (minimum) wall time of `iters` runs of `f`, in milliseconds.
+fn best_ms<O>(iters: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let iters = if opts.quick { 7 } else { 15 };
+    let arena = ScratchPool::new();
+    let cases = pack_bench_shapes();
+    println!(
+        "pack_gate: {} shapes, best of {iters} runs each (quick = {})",
+        cases.len(),
+        opts.quick
+    );
+
+    let mut rows = Vec::new();
+    for case in &cases {
+        let input = TensorData::random(case.input, 7);
+        let in_c_per_group = case.input.channels / case.params.groups;
+        let weights = conv_weights(
+            11,
+            case.params.out_channels,
+            in_c_per_group,
+            case.params.kernel,
+        );
+        let k_len = in_c_per_group * case.params.kernel.0 * case.params.kernel.1;
+        let packed = PackedFilter::pack(
+            &weights,
+            case.params.out_channels,
+            case.params.groups,
+            k_len,
+        );
+
+        // The gate is only meaningful if the packed path is exact.
+        let unpacked_out = conv2d_pooled(&input, &case.params, &weights, &arena);
+        let packed_out = conv2d_packed_pooled(&input, &case.params, &packed, &arena);
+        assert_eq!(
+            packed_out, unpacked_out,
+            "{}: packed output must be bit-identical to the unpacked kernel",
+            case.name
+        );
+        arena.recycle_tensor(unpacked_out);
+        arena.recycle_tensor(packed_out);
+
+        let unpacked_ms = best_ms(iters, || {
+            let out = conv2d_pooled(&input, &case.params, &weights, &arena);
+            arena.recycle_tensor(out);
+        });
+        let packed_ms = best_ms(iters, || {
+            let out = conv2d_packed_pooled(&input, &case.params, &packed, &arena);
+            arena.recycle_tensor(out);
+        });
+        rows.push(PackRow {
+            shape: case.name.to_string(),
+            unpacked_ms,
+            packed_ms,
+            speedup: unpacked_ms / packed_ms,
+        });
+    }
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.shape.clone(),
+                fmt3(r.unpacked_ms),
+                fmt3(r.packed_ms),
+                fmt3(r.speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Convolution kernels: unpacked im2col+GEMM vs pre-packed tile-major",
+            &["shape", "unpacked ms", "packed ms", "speedup"],
+            &table_rows,
+        )
+    );
+
+    let speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
+    let mean = geomean(&speedups);
+    let bar = 1.15;
+    let pass = mean >= bar;
+    println!("geomean speedup: {mean:.3}x (acceptance bar: >= {bar:.2}x)");
+    println!("RESULT: {}", if pass { "PASS" } else { "FAIL" });
+
+    let report = Report {
+        rows,
+        geomean_speedup: mean,
+        acceptance_bar: bar,
+        pass,
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_pack.json", json) {
+                eprintln!("failed to write BENCH_pack.json: {e}");
+            }
+        }
+        Err(e) => eprintln!("failed to serialize BENCH_pack.json: {e}"),
+    }
+    maybe_write_json(&opts, &report);
+    if !pass {
+        std::process::exit(1);
+    }
+}

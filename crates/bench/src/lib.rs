@@ -321,6 +321,64 @@ pub fn conv_bench_shapes(quick: bool) -> Vec<ConvCase> {
     ]
 }
 
+/// The convolution shapes the `pack_gate` CI binary runs: the serving-hot
+/// layers of real ImageNet backbones, where the patch matrix outgrows the
+/// L2 cache and the packed kernel's block-outer streaming pays — VGG/ResNet
+/// early 3×3 stages at 112²–28² spatial extent — plus two compact
+/// Inception shapes (where both paths are compute-bound) so small-layer
+/// regressions stay visible. Unlike [`conv_bench_shapes`], the set is not
+/// scaled down in quick mode: shrinking the channels would pull the patch
+/// matrices back under the L2 cache and change the regime the gate
+/// measures; `pack_gate --quick` reduces the iteration count instead.
+#[must_use]
+pub fn pack_bench_shapes() -> Vec<ConvCase> {
+    use ios_ir::{Conv2dParams, TensorShape};
+    vec![
+        ConvCase {
+            // VGG conv2-style early layer: huge spatial extent.
+            name: "vgg_3x3_112",
+            input: TensorShape::new(1, 64, 112, 112),
+            params: Conv2dParams::relu(64, (3, 3), (1, 1), (1, 1)),
+        },
+        ConvCase {
+            // ResNet conv2_x body: 56×56, 64 channels.
+            name: "resnet_3x3_56",
+            input: TensorShape::new(1, 64, 56, 56),
+            params: Conv2dParams::relu(64, (3, 3), (1, 1), (1, 1)),
+        },
+        ConvCase {
+            // ResNet conv3_x body: 28×28, 128 channels.
+            name: "resnet_3x3_28",
+            input: TensorShape::new(1, 128, 28, 28),
+            params: Conv2dParams::relu(128, (3, 3), (1, 1), (1, 1)),
+        },
+        ConvCase {
+            // ResNet conv3 downsample entry: strided 3×3.
+            name: "resnet_3x3_s2",
+            input: TensorShape::new(1, 128, 56, 56),
+            params: Conv2dParams::relu(128, (3, 3), (2, 2), (1, 1)),
+        },
+        ConvCase {
+            // ResNet bottleneck expansion: wide pointwise, pure GEMM.
+            name: "pointwise_56",
+            input: TensorShape::new(1, 64, 56, 56),
+            params: Conv2dParams::relu(256, (1, 1), (1, 1), (0, 0)),
+        },
+        ConvCase {
+            // Inception mixed-block 3×3 branch: compact, compute-bound.
+            name: "inception_3x3",
+            input: TensorShape::new(1, 96, 15, 15),
+            params: Conv2dParams::relu(96, (3, 3), (1, 1), (1, 1)),
+        },
+        ConvCase {
+            // Inception 1×1 bottleneck: compact pointwise.
+            name: "inception_1x1",
+            input: TensorShape::new(1, 128, 15, 15),
+            params: Conv2dParams::relu(128, (1, 1), (1, 1), (0, 0)),
+        },
+    ]
+}
+
 /// Writes any serializable value as pretty JSON if a path was requested.
 pub fn maybe_write_json<T: Serialize>(opts: &BenchOptions, value: &T) {
     if let Some(path) = &opts.json {

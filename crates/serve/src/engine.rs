@@ -7,9 +7,10 @@ use crate::config::ServeConfig;
 use crate::exec::{BatchContext, BatchExecutor, CpuReferenceExecutor, SimulatedDeviceExecutor};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::request::{
-    InferenceResponse, Pending, RequestId, ResponseHandle, ScheduleSource, ServeError,
+    InferenceResponse, Pending, RequestId, ResponseHandle, ResponseLease, ScheduleSource,
+    ServeError,
 };
-use ios_backend::{split_batch, stack_batch, NetworkWeights, TensorData};
+use ios_backend::{stack_batch_pooled, NetworkWeights, ScratchPool, TensorData};
 use ios_core::{optimize_network, CachingCostModel, NetworkSchedule, SimCostModel};
 use ios_ir::{Network, TensorShape};
 use ios_sim::Simulator;
@@ -36,6 +37,11 @@ struct Shared {
     /// Weights are batch-size independent, so one table serves every batch.
     weights: Arc<NetworkWeights>,
     executor: Box<dyn BatchExecutor>,
+    /// Pool backing the serving boundary: stacked batch inputs and leased
+    /// response tensors. Buffers return here when a [`ResponseLease`]
+    /// drops, so steady-state serving performs no fresh tensor allocation
+    /// at the boundary.
+    io_pool: Arc<ScratchPool>,
     metrics: ServeMetrics,
     instances: Mutex<HashMap<usize, Arc<Network>>>,
     background: Mutex<Vec<JoinHandle<()>>>,
@@ -134,32 +140,49 @@ impl Shared {
         let dispatched_at = Instant::now();
 
         let input_refs: Vec<&TensorData> = batch.iter().map(|p| &p.input).collect();
-        let stacked = stack_batch(&input_refs);
+        let stacked = stack_batch_pooled(&input_refs, &self.io_pool);
         let outcome = self.executor.execute(&BatchContext {
             network: &network,
             schedule: &schedule,
             weights: &self.weights,
-            inputs: &[stacked],
+            inputs: std::slice::from_ref(&stacked),
         });
+        self.io_pool.recycle_tensor(stacked);
         self.metrics
             .record_batch(batch_size, outcome.device_time_us);
 
-        // Split the stacked outputs (one entry per network output) back
-        // into per-sample responses.
-        let per_output: Vec<Vec<TensorData>> = outcome
-            .outputs
-            .map(|outputs| outputs.iter().map(split_batch).collect())
-            .unwrap_or_default();
+        // Split the stacked outputs (one entry per network output) into
+        // per-sample response leases drawn from the io pool; each lease's
+        // buffer returns to the pool when the client drops it. The stacked
+        // output tensors themselves go back to the backend's pool.
+        let mut responses: Vec<Vec<ResponseLease>> = (0..batch_size)
+            .map(|_| Vec::with_capacity(outcome.outputs.as_ref().map_or(0, Vec::len)))
+            .collect();
+        if let Some(outputs) = outcome.outputs {
+            for stacked_out in &outputs {
+                let per_item = stacked_out.shape.elements_per_item();
+                let item_shape = ios_ir::TensorShape::new(
+                    1,
+                    stacked_out.shape.channels,
+                    stacked_out.shape.height,
+                    stacked_out.shape.width,
+                );
+                for (i, sample_outputs) in responses.iter_mut().enumerate() {
+                    let mut leased = self.io_pool.take_tensor(item_shape);
+                    leased
+                        .data
+                        .copy_from_slice(&stacked_out.data[i * per_item..(i + 1) * per_item]);
+                    sample_outputs.push(ResponseLease::pooled(leased, Arc::clone(&self.io_pool)));
+                }
+            }
+            self.executor.recycle_outputs(outputs);
+        }
         let device_share_us = outcome.device_time_us / batch_size as f64;
 
-        for (i, pending) in batch.into_iter().enumerate() {
+        for (pending, outputs) in batch.into_iter().zip(responses) {
             let now = Instant::now();
             let total_us = (now - pending.enqueued_at).as_secs_f64() * 1e6;
             let queue_us = (dispatched_at - pending.enqueued_at).as_secs_f64() * 1e6;
-            let outputs: Vec<TensorData> = per_output
-                .iter()
-                .map(|samples| samples[i].clone())
-                .collect();
             self.metrics.record_latency(total_us);
             // A dropped ResponseHandle is fine; the send just fails.
             let _ = pending.respond_to.send(InferenceResponse {
@@ -268,6 +291,7 @@ impl ServeEngine {
             cost,
             weights,
             executor,
+            io_pool: Arc::new(ScratchPool::new()),
             metrics: ServeMetrics::new(),
             instances: Mutex::new(HashMap::new()),
             background: Mutex::new(Vec::new()),
@@ -342,6 +366,25 @@ impl ServeEngine {
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot(self.shared.cache.stats())
+    }
+
+    /// Counters of the engine's serving-boundary pool (stacked inputs and
+    /// leased response buffers): `(fresh heap allocations, pool reuses)`.
+    /// In steady state — every request shape seen before, leases returned
+    /// — the fresh count stays flat.
+    #[must_use]
+    pub fn io_pool_stats(&self) -> (u64, u64) {
+        (
+            self.shared.io_pool.fresh_allocations(),
+            self.shared.io_pool.reuses(),
+        )
+    }
+
+    /// Counters of the execution backend's scratch pool, if the backend
+    /// has one: `(fresh heap allocations, pool reuses)`.
+    #[must_use]
+    pub fn executor_pool_stats(&self) -> Option<(u64, u64)> {
+        self.shared.executor.pool_stats()
     }
 
     /// Requests currently waiting in the batching queue.

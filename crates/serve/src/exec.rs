@@ -54,6 +54,20 @@ pub trait BatchExecutor: Send + Sync + 'static {
 
     /// Executes one batch.
     fn execute(&self, ctx: &BatchContext<'_>) -> BatchOutcome;
+
+    /// Hands the stacked output tensors of a finished batch back to the
+    /// backend once the engine has copied them into response leases.
+    /// Backends with a scratch pool recycle the buffers so the next batch
+    /// allocates nothing; the default drops them.
+    fn recycle_outputs(&self, outputs: Vec<TensorData>) {
+        drop(outputs);
+    }
+
+    /// Scratch-pool counters `(fresh heap allocations, pool reuses)` for
+    /// backends that draw batch storage from a pool; `None` otherwise.
+    fn pool_stats(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// Executes batches numerically on the CPU execution engine.
@@ -170,6 +184,16 @@ impl BatchExecutor for CpuReferenceExecutor {
             outputs: Some(outputs),
             device_time_us: start.elapsed().as_secs_f64() * 1e6,
         }
+    }
+
+    fn recycle_outputs(&self, outputs: Vec<TensorData>) {
+        for tensor in outputs {
+            self.pool.recycle_tensor(tensor);
+        }
+    }
+
+    fn pool_stats(&self) -> Option<(u64, u64)> {
+        Some(self.pool_stats())
     }
 }
 

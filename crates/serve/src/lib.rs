@@ -67,4 +67,6 @@ pub use exec::{
     BatchContext, BatchExecutor, BatchOutcome, CpuReferenceExecutor, SimulatedDeviceExecutor,
 };
 pub use metrics::MetricsSnapshot;
-pub use request::{InferenceResponse, RequestId, ResponseHandle, ScheduleSource, ServeError};
+pub use request::{
+    InferenceResponse, RequestId, ResponseHandle, ResponseLease, ScheduleSource, ServeError,
+};

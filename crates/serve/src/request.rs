@@ -1,7 +1,9 @@
-//! Requests, responses and the client-side completion handle.
+//! Requests, responses, the lease-based response buffer and the
+//! client-side completion handle.
 
-use ios_backend::TensorData;
+use ios_backend::{ScratchPool, TensorData};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Identifier of one inference request within an engine.
@@ -31,15 +33,99 @@ pub enum ScheduleSource {
     FreshlyOptimized,
 }
 
+/// A response tensor leased from the serving engine's scratch pool.
+///
+/// The engine fills each response from pooled storage instead of a fresh
+/// heap tensor — the last steady-state allocation on the serving path.
+/// Dropping the lease returns the buffer to the pool for the next
+/// request; [`ResponseLease::into_tensor`] takes permanent ownership
+/// instead (the buffer then leaves the pool for good). The lease derefs to
+/// [`TensorData`], so `response.outputs[0].shape` etc. read naturally.
+#[derive(Debug)]
+pub struct ResponseLease {
+    tensor: Option<TensorData>,
+    pool: Option<Arc<ScratchPool>>,
+}
+
+impl ResponseLease {
+    /// A lease that returns its buffer to `pool` when dropped.
+    pub(crate) fn pooled(tensor: TensorData, pool: Arc<ScratchPool>) -> Self {
+        ResponseLease {
+            tensor: Some(tensor),
+            pool: Some(pool),
+        }
+    }
+
+    /// Wraps an ordinary heap tensor (nothing is returned anywhere on
+    /// drop) — for detached copies and custom backends.
+    #[must_use]
+    pub fn from_tensor(tensor: TensorData) -> Self {
+        ResponseLease {
+            tensor: Some(tensor),
+            pool: None,
+        }
+    }
+
+    /// The leased tensor.
+    #[must_use]
+    pub fn tensor(&self) -> &TensorData {
+        self.tensor.as_ref().expect("lease holds a tensor")
+    }
+
+    /// Takes permanent ownership of the tensor; its buffer will not return
+    /// to the engine's pool.
+    #[must_use]
+    pub fn into_tensor(mut self) -> TensorData {
+        self.tensor.take().expect("lease holds a tensor")
+    }
+}
+
+impl std::ops::Deref for ResponseLease {
+    type Target = TensorData;
+
+    fn deref(&self) -> &TensorData {
+        self.tensor()
+    }
+}
+
+impl Drop for ResponseLease {
+    fn drop(&mut self) {
+        if let (Some(tensor), Some(pool)) = (self.tensor.take(), self.pool.as_ref()) {
+            pool.recycle_tensor(tensor);
+        }
+    }
+}
+
+impl Clone for ResponseLease {
+    /// Cloning detaches: the copy is a plain heap tensor that does not
+    /// return to the pool (the original lease is unaffected).
+    fn clone(&self) -> Self {
+        ResponseLease::from_tensor(self.tensor().clone())
+    }
+}
+
+impl PartialEq for ResponseLease {
+    fn eq(&self, other: &Self) -> bool {
+        self.tensor() == other.tensor()
+    }
+}
+
+impl PartialEq<TensorData> for ResponseLease {
+    fn eq(&self, other: &TensorData) -> bool {
+        self.tensor() == other
+    }
+}
+
 /// The completed result of one inference request.
 #[derive(Debug, Clone)]
 pub struct InferenceResponse {
     /// The request this response answers.
     pub id: RequestId,
-    /// Per-output tensors of this sample (batch dimension 1). Empty when
-    /// the engine runs a backend that does not compute numerics (for
-    /// example the simulated-device backend used for throughput studies).
-    pub outputs: Vec<TensorData>,
+    /// Per-output tensors of this sample (batch dimension 1), leased from
+    /// the engine's response pool (returned on drop). Empty when the
+    /// engine runs a backend that does not compute numerics (for example
+    /// the simulated-device backend used for throughput studies).
+    pub outputs: Vec<ResponseLease>,
     /// Size of the coalesced batch this request was executed in.
     pub batch_size: usize,
     /// How the batch's schedule was obtained.

@@ -1,0 +1,196 @@
+//! End-to-end serving invariants: responses bit-identical to solo
+//! `execute_graph`-style runs, schedule-cache counters advancing, and a
+//! fully allocation-free steady-state serving boundary — request in,
+//! response lease dropped, every pooled buffer back home.
+
+use ios_backend::{execute_network, TensorData};
+use ios_serve::{CpuReferenceExecutor, ResponseHandle, ServeConfig, ServeEngine};
+use std::time::Duration;
+
+/// A two-block network with mergeable branches so the served schedules can
+/// exercise both concurrent and operator-merge stages.
+fn serve_network() -> ios_ir::Network {
+    use ios_ir::{Block, Conv2dParams, GraphBuilder, Network, PoolParams, TensorShape};
+    let input = TensorShape::new(1, 8, 10, 10);
+    let mut b = GraphBuilder::new("boundary_b0", input);
+    let x = b.input(0);
+    let a = b.conv2d("a", x, Conv2dParams::relu(8, (3, 3), (1, 1), (1, 1)));
+    let c = b.conv2d("c", x, Conv2dParams::relu(8, (1, 1), (1, 1), (0, 0)));
+    let p = b.pool("p", x, PoolParams::max((2, 2), (1, 1), (0, 0)));
+    let cat = b.concat("cat", &[a, c]);
+    let block0 = Block::new(b.build(vec![cat, p]));
+
+    let shapes = block0.graph.output_shapes();
+    let mut b = GraphBuilder::with_inputs("boundary_b1", shapes);
+    let x0 = b.input(0);
+    let x1 = b.input(1);
+    let d = b.conv2d("d", x0, Conv2dParams::relu(8, (3, 3), (1, 1), (1, 1)));
+    let e = b.conv2d("e", x1, Conv2dParams::relu(4, (1, 1), (1, 1), (0, 0)));
+    let block1 = Block::new(b.build(vec![d, e]));
+    Network::new("boundary_net", input, vec![block0, block1])
+}
+
+/// Dynamic batching must not perturb numerics: every response of a
+/// coalesced batch is bit-identical to running its sample alone through
+/// the sequential reference executor.
+#[test]
+fn batched_responses_are_bit_identical_to_solo_runs() {
+    let net = serve_network();
+    let engine = ServeEngine::start(
+        net.clone(),
+        ServeConfig::default()
+            .with_max_batch(4)
+            .with_workers(1)
+            .with_max_wait(Duration::from_millis(30)),
+    );
+    let samples: Vec<TensorData> = (0..8)
+        .map(|i| TensorData::random(net.input_shape, 400 + i))
+        .collect();
+    let handles: Vec<_> = samples
+        .iter()
+        .map(|s| engine.submit(s.clone()).unwrap())
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(ResponseHandle::wait).collect();
+
+    for (sample, response) in samples.iter().zip(&responses) {
+        let reference = execute_network(&net, std::slice::from_ref(sample));
+        assert_eq!(response.outputs.len(), reference.len());
+        for (leased, expected) in response.outputs.iter().zip(&reference) {
+            assert_eq!(
+                leased, expected,
+                "served output must be bit-identical to the solo reference run"
+            );
+        }
+    }
+    assert!(
+        responses.iter().any(|r| r.batch_size > 1),
+        "load this deep must coalesce"
+    );
+    engine.shutdown();
+}
+
+/// Repeat traffic at a pre-warmed batch size must be served from the
+/// schedule cache — the hit counter advances, nothing is re-optimized.
+#[test]
+fn schedule_cache_hits_advance_under_repeat_traffic() {
+    let net = serve_network();
+    let engine = ServeEngine::start(
+        net.clone(),
+        ServeConfig::default()
+            .with_max_batch(2)
+            .with_workers(1)
+            .with_prewarm_batches(vec![1])
+            .with_background_reoptimize(false)
+            .with_max_wait(Duration::from_millis(1)),
+    );
+    for i in 0..4 {
+        let _ = engine
+            .infer(TensorData::random(net.input_shape, 900 + i))
+            .unwrap();
+    }
+    let stats = engine.metrics().cache;
+    assert!(
+        stats.hits >= 4,
+        "every lone request hits the pre-warmed batch-1 schedule (hits = {})",
+        stats.hits
+    );
+    assert_eq!(stats.misses, 0, "pre-warmed traffic never misses");
+    engine.shutdown();
+}
+
+/// The full serving boundary is allocation-free in steady state: after a
+/// warm-up request, neither the engine's io pool (stacked inputs + leased
+/// responses) nor the backend's scratch pool (op loop + stacked outputs)
+/// allocates fresh buffers, as long as clients drop their leases. A single
+/// dispatch worker and a single sample worker make the pools' take/recycle
+/// sequences deterministic.
+#[test]
+fn steady_state_serving_boundary_is_allocation_free() {
+    let net = serve_network();
+    let engine = ServeEngine::start_with_executor(
+        net.clone(),
+        ServeConfig::default()
+            .with_max_batch(1)
+            .with_workers(1)
+            .with_prewarm_batches(vec![1])
+            .with_background_reoptimize(false)
+            .with_max_wait(Duration::from_millis(1)),
+        Box::new(CpuReferenceExecutor::with_max_workers(1)),
+    );
+
+    // Warm-up: fills both pools and the merged-weight cache.
+    for i in 0..3 {
+        let response = engine
+            .infer(TensorData::random(net.input_shape, 70 + i))
+            .unwrap();
+        assert_eq!(response.outputs.len(), 2);
+        // Leases drop here, returning their buffers to the io pool.
+    }
+    let (io_fresh, _) = engine.io_pool_stats();
+    let (exec_fresh, _) = engine
+        .executor_pool_stats()
+        .expect("the CPU backend reports pool stats");
+    assert!(io_fresh > 0, "warm-up fills the io pool");
+    assert!(exec_fresh > 0, "warm-up fills the executor pool");
+
+    let reference = engine
+        .infer(TensorData::random(net.input_shape, 7))
+        .unwrap();
+    let expected: Vec<TensorData> = reference
+        .outputs
+        .iter()
+        .map(|lease| lease.tensor().clone())
+        .collect();
+    drop(reference);
+
+    for round in 0..5 {
+        let response = engine
+            .infer(TensorData::random(net.input_shape, 7))
+            .unwrap();
+        for (leased, want) in response.outputs.iter().zip(&expected) {
+            assert_eq!(leased, want, "round {round}: steady state is deterministic");
+        }
+        drop(response);
+        let (io_now, io_reuses) = engine.io_pool_stats();
+        let (exec_now, exec_reuses) = engine.executor_pool_stats().unwrap();
+        assert_eq!(
+            io_now, io_fresh,
+            "round {round}: the serving boundary must not allocate fresh io buffers"
+        );
+        assert_eq!(
+            exec_now, exec_fresh,
+            "round {round}: the backend must not allocate fresh scratch buffers"
+        );
+        assert!(io_reuses > 0);
+        assert!(exec_reuses > 0);
+    }
+    engine.shutdown();
+}
+
+/// A detached lease keeps its tensor alive independently of the engine,
+/// and cloning a response detaches the copies.
+#[test]
+fn leases_can_be_detached_and_cloned() {
+    let net = serve_network();
+    let engine = ServeEngine::start(
+        net.clone(),
+        ServeConfig::default()
+            .with_max_batch(1)
+            .with_workers(1)
+            .with_max_wait(Duration::from_millis(1)),
+    );
+    let response = engine
+        .infer(TensorData::random(net.input_shape, 123))
+        .unwrap();
+    let cloned = response.clone();
+    let mut tensors: Vec<TensorData> = Vec::new();
+    for lease in response.outputs {
+        tensors.push(lease.into_tensor());
+    }
+    engine.shutdown();
+    // Both the detached tensors and the cloned response outlive the engine.
+    for (owned, leased) in tensors.iter().zip(&cloned.outputs) {
+        assert_eq!(leased, owned);
+        assert!(owned.shape.num_elements() > 0);
+    }
+}
