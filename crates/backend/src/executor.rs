@@ -15,7 +15,7 @@
 //! draw all scratch and output storage from a caller-owned
 //! [`ScratchPool`]; the others use the process-global pool.
 
-use crate::arena::{global_pool, ScratchPool};
+use crate::arena::{global_pool, Arena, ScratchPool, ScratchScope};
 use crate::batch::BlockWeights;
 use crate::ops_cpu::{
     conv2d_packed_pooled, conv2d_pooled, conv_weights, execute_op_pooled,
@@ -57,7 +57,7 @@ fn run_op(
     op: &Op,
     op_inputs: &[&TensorData],
     weights: Option<&BlockWeights>,
-    arena: &ScratchPool,
+    arena: &impl Arena,
 ) -> TensorData {
     match weights.and_then(|w| w.get(op.id)) {
         Some(w) => execute_op_with_weights_pooled(op, op_inputs, w, arena),
@@ -228,129 +228,165 @@ fn execute_schedule_impl(
         .validate(graph)
         .expect("schedule must be valid for the graph");
     let mut outputs: Vec<Option<TensorData>> = vec![None; graph.len()];
-
     for stage in &schedule.stages {
-        match stage.strategy {
-            ParallelizationStrategy::ConcurrentExecution => {
-                // Each group runs independently (on its own thread when
-                // `parallel_groups`); groups only read outputs of earlier
-                // stages or earlier ops of their own group, so a snapshot of
-                // `outputs` is sufficient input state and the serial order
-                // of groups cannot change any result.
-                let snapshot = &outputs;
-                let run_group = |group: &Vec<OpId>| {
-                    let mut local: Vec<(OpId, TensorData)> = Vec::new();
-                    for &op_id in group {
-                        let op = graph.op(op_id);
-                        let op_inputs: Vec<&TensorData> = op
-                            .inputs
-                            .iter()
-                            .map(|v| match v {
-                                Value::Input(i) => &inputs[*i],
-                                Value::Op(id) => {
-                                    if let Some(t) = snapshot[id.index()].as_ref() {
-                                        t
-                                    } else {
-                                        local
-                                            .iter()
-                                            .find(|(lid, _)| lid == id)
-                                            .map(|(_, t)| t)
-                                            .expect("intra-group dependency")
-                                    }
-                                }
-                            })
-                            .collect();
-                        let out = run_op(graph, op, &op_inputs, weights, arena);
-                        local.push((op_id, out));
-                    }
-                    local
-                };
-                let group_results: Vec<Vec<(OpId, TensorData)>> =
-                    if parallel_groups && stage.groups.len() > 1 {
-                        std::thread::scope(|scope| {
-                            let handles: Vec<_> = stage
-                                .groups
-                                .iter()
-                                .map(|group| scope.spawn(|| run_group(group)))
-                                .collect();
-                            handles
-                                .into_iter()
-                                .map(|h| h.join().expect("group thread"))
-                                .collect()
-                        })
-                    } else {
-                        stage.groups.iter().map(run_group).collect()
-                    };
-                for group in group_results {
-                    for (op_id, tensor) in group {
-                        outputs[op_id.index()] = Some(tensor);
-                    }
-                }
-            }
-            ParallelizationStrategy::OperatorMerge => {
-                let merged = try_merge(graph, stage.ops)
-                    .expect("merged stage must satisfy the merge eligibility rule");
-                let merged_out = match weights {
-                    // The merged tensor is built once per distinct stage and
-                    // cached (pre-packed) inside the BlockWeights; repeat
-                    // batches execute it directly.
-                    Some(w) => {
-                        let stage_weights = w.merged_stage(graph, &merged);
-                        let input = resolve(merged.input, inputs, &outputs);
-                        conv2d_packed_pooled(input, &merged.params, &stage_weights.packed, arena)
-                    }
-                    // The regenerating path stacks the per-part weights on
-                    // the fly (same stacking as the cached path, via
-                    // `stack_merged_filter`).
-                    None => {
-                        let in_c = merged.input_shape.channels;
-                        let (mkh, mkw) = merged.params.kernel;
-                        let mut merged_weights =
-                            arena.take_zeroed(merged.params.out_channels * in_c * mkh * mkw);
-                        crate::batch::stack_merged_filter(
-                            graph,
-                            &merged,
-                            &mut merged_weights,
-                            |part, p| {
-                                std::borrow::Cow::Owned(conv_weights(
-                                    weight_seed(graph, part),
-                                    p.out_channels,
-                                    in_c,
-                                    p.kernel,
-                                ))
-                            },
-                        );
-                        let input = resolve(merged.input, inputs, &outputs);
-                        let out = conv2d_pooled(input, &merged.params, &merged_weights, arena);
-                        arena.recycle(merged_weights);
-                        out
-                    }
-                };
-                // Split the merged output back into the per-part outputs:
-                // each part's channels are one contiguous block per sample.
-                let plane = merged_out.shape.height * merged_out.shape.width;
-                let merged_item = merged.params.out_channels * plane;
-                let mut oc_offset = 0usize;
-                for (&part, &section) in merged.parts.iter().zip(&merged.split_sections) {
-                    let op = graph.op(part);
-                    let mut part_out = arena.take_tensor(op.output_shape);
-                    let section_len = section * plane;
-                    for n in 0..part_out.shape.batch {
-                        let src = n * merged_item + oc_offset * plane;
-                        part_out.data[n * section_len..(n + 1) * section_len]
-                            .copy_from_slice(&merged_out.data[src..src + section_len]);
-                    }
-                    outputs[part.index()] = Some(part_out);
-                    oc_offset += section;
-                }
-                arena.recycle_tensor(merged_out);
-            }
-        }
+        execute_stage(
+            graph,
+            stage,
+            inputs,
+            weights,
+            &mut outputs,
+            arena,
+            parallel_groups,
+        );
     }
     outputs
         .into_iter()
         .map(|o| o.expect("all ops executed"))
         .collect()
+}
+
+/// Executes one schedule stage against a partial per-operator output state:
+/// stage operators read graph `inputs` and already-filled `outputs` slots
+/// and write their own slots. This is the single definition both the
+/// threaded and the serial schedule paths run (the group execution and
+/// output stitching used to risk drifting apart), and the unit the
+/// stage-profiling harness ([`crate::profile::CpuStageProfiler`]) times —
+/// so the scheduler optimizes against exactly the code that serves.
+///
+/// Concurrent-execution groups run on scoped worker threads when
+/// `parallel_groups` (serially otherwise — bit-identical, since groups are
+/// mutually independent); every group routes its scratch through a
+/// [`ScratchScope`], an uncontended local free list that drains back into
+/// `arena` when the group finishes, so both paths recycle intermediates
+/// identically without taking the shared pool mutex per buffer.
+pub(crate) fn execute_stage(
+    graph: &Graph,
+    stage: &ios_core::Stage,
+    inputs: &[TensorData],
+    weights: Option<&BlockWeights>,
+    outputs: &mut [Option<TensorData>],
+    arena: &ScratchPool,
+    parallel_groups: bool,
+) {
+    match stage.strategy {
+        ParallelizationStrategy::ConcurrentExecution => {
+            // Each group runs independently (on its own thread when
+            // `parallel_groups`); groups only read outputs of earlier
+            // stages or earlier ops of their own group, so a snapshot of
+            // `outputs` is sufficient input state and the serial order
+            // of groups cannot change any result.
+            let snapshot: &[Option<TensorData>] = outputs;
+            let run_group = |group: &Vec<OpId>| {
+                let scope = ScratchScope::new(arena);
+                let mut local: Vec<(OpId, TensorData)> = Vec::new();
+                for &op_id in group {
+                    let op = graph.op(op_id);
+                    let op_inputs: Vec<&TensorData> = op
+                        .inputs
+                        .iter()
+                        .map(|v| match v {
+                            Value::Input(i) => &inputs[*i],
+                            Value::Op(id) => {
+                                if let Some(t) = snapshot[id.index()].as_ref() {
+                                    t
+                                } else {
+                                    local
+                                        .iter()
+                                        .find(|(lid, _)| lid == id)
+                                        .map(|(_, t)| t)
+                                        .expect("intra-group dependency")
+                                }
+                            }
+                        })
+                        .collect();
+                    let out = run_op(graph, op, &op_inputs, weights, &scope);
+                    local.push((op_id, out));
+                }
+                // `scope` drops here: its retained scratch drains back into
+                // the shared arena before the group's results are stitched.
+                local
+            };
+            let group_results: Vec<Vec<(OpId, TensorData)>> =
+                if parallel_groups && stage.groups.len() > 1 {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = stage
+                            .groups
+                            .iter()
+                            .map(|group| scope.spawn(|| run_group(group)))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("group thread"))
+                            .collect()
+                    })
+                } else {
+                    stage.groups.iter().map(run_group).collect()
+                };
+            for group in group_results {
+                for (op_id, tensor) in group {
+                    outputs[op_id.index()] = Some(tensor);
+                }
+            }
+        }
+        ParallelizationStrategy::OperatorMerge => {
+            let merged = try_merge(graph, stage.ops)
+                .expect("merged stage must satisfy the merge eligibility rule");
+            let merged_out = match weights {
+                // The merged tensor is built once per distinct stage and
+                // cached (pre-packed) inside the BlockWeights; repeat
+                // batches execute it directly.
+                Some(w) => {
+                    let stage_weights = w.merged_stage(graph, &merged);
+                    let input = resolve(merged.input, inputs, outputs);
+                    conv2d_packed_pooled(input, &merged.params, &stage_weights.packed, arena)
+                }
+                // The regenerating path stacks the per-part weights on
+                // the fly (same stacking as the cached path, via
+                // `stack_merged_filter`).
+                None => {
+                    let in_c = merged.input_shape.channels;
+                    let (mkh, mkw) = merged.params.kernel;
+                    let mut merged_weights =
+                        arena.take_zeroed(merged.params.out_channels * in_c * mkh * mkw);
+                    crate::batch::stack_merged_filter(
+                        graph,
+                        &merged,
+                        &mut merged_weights,
+                        |part, p| {
+                            std::borrow::Cow::Owned(conv_weights(
+                                weight_seed(graph, part),
+                                p.out_channels,
+                                in_c,
+                                p.kernel,
+                            ))
+                        },
+                    );
+                    let input = resolve(merged.input, inputs, outputs);
+                    let out = conv2d_pooled(input, &merged.params, &merged_weights, arena);
+                    arena.recycle(merged_weights);
+                    out
+                }
+            };
+            // Split the merged output back into the per-part outputs:
+            // each part's channels are one contiguous block per sample.
+            let plane = merged_out.shape.height * merged_out.shape.width;
+            let merged_item = merged.params.out_channels * plane;
+            let mut oc_offset = 0usize;
+            for (&part, &section) in merged.parts.iter().zip(&merged.split_sections) {
+                let op = graph.op(part);
+                let mut part_out = arena.take_tensor(op.output_shape);
+                let section_len = section * plane;
+                for n in 0..part_out.shape.batch {
+                    let src = n * merged_item + oc_offset * plane;
+                    part_out.data[n * section_len..(n + 1) * section_len]
+                        .copy_from_slice(&merged_out.data[src..src + section_len]);
+                }
+                outputs[part.index()] = Some(part_out);
+                oc_offset += section;
+            }
+            arena.recycle_tensor(merged_out);
+        }
+    }
 }
 
 /// Largest absolute element-wise difference between two executions.

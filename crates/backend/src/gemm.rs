@@ -29,13 +29,17 @@
 //! above ([`conv2d_im2col`]) and the pre-packed tile-major panels of
 //! [`PackedFilter`] ([`conv2d_im2col_packed`]), which the serving runtime
 //! packs once at weight-precompute time. The packed kernel walks the
-//! output column blocks in the outer loop so each `K × NR` slice of the
-//! patch matrix stays cache-hot while the packed weights stream through
-//! contiguously — and because packing is a pure permutation and every
-//! accumulator still sums over strictly ascending `k`, both paths are
-//! bit-identical to each other and to the naive reference.
+//! output column blocks in the outer loop and **fuses im2col into the
+//! block walk**: instead of materializing the full `K × M` patch matrix
+//! per call, it builds each `K × NR` column block in cache right before
+//! all packed panels stream over it ([`im2col_block`]), so the patch data
+//! of a large layer never round-trips through memory at all. Because the
+//! block holds exactly the values the full matrix would, packing is a pure
+//! permutation, and every accumulator still sums over strictly ascending
+//! `k`, both paths are bit-identical to each other and to the naive
+//! reference.
 
-use crate::arena::ScratchPool;
+use crate::arena::Arena;
 use crate::tensor_data::TensorData;
 use ios_ir::{Conv2dParams, TensorShape};
 
@@ -162,7 +166,7 @@ pub fn conv2d_im2col(
     input: &TensorData,
     params: &Conv2dParams,
     weights: &[f32],
-    pool: &ScratchPool,
+    pool: &impl Arena,
 ) -> TensorData {
     conv2d_gemm(input, params, Filter::Unpacked(weights), pool)
 }
@@ -179,7 +183,7 @@ pub fn conv2d_im2col_packed(
     input: &TensorData,
     params: &Conv2dParams,
     packed: &PackedFilter,
-    pool: &ScratchPool,
+    pool: &impl Arena,
 ) -> TensorData {
     let k_len = (input.shape.channels / params.groups) * params.kernel.0 * params.kernel.1;
     assert!(
@@ -206,7 +210,7 @@ fn conv2d_gemm(
     input: &TensorData,
     params: &Conv2dParams,
     filter: Filter<'_>,
-    pool: &ScratchPool,
+    pool: &impl Arena,
 ) -> TensorData {
     let in_shape = input.shape;
     let (oh, ow) = in_shape.conv_output_hw(params.kernel, params.stride, params.padding);
@@ -221,34 +225,68 @@ fn conv2d_gemm(
     let m_cols = oh * ow;
     let in_plane = in_shape.height * in_shape.width;
 
-    // A pointwise convolution's patch matrix is the input itself.
+    // A pointwise convolution's patch matrix is the input itself. The
+    // unpacked kernel materializes the full `K × M` patch matrix per group;
+    // the packed kernel is column-block-outer, so it builds each `K × NR`
+    // column block on demand instead (fused im2col) and never holds more
+    // than one cache-resident block of B.
     let pointwise = kh == 1 && kw == 1 && params.stride == (1, 1) && params.padding == (0, 0);
     let mut patches = if pointwise {
         Vec::new()
     } else {
-        pool.take(k_len * m_cols)
+        match filter {
+            Filter::Unpacked(_) => pool.take(k_len * m_cols),
+            Filter::Packed(_) => pool.take(k_len * PACK_NR),
+        }
     };
 
     for n in 0..in_shape.batch {
         for g in 0..groups {
             let c0 = g * in_c_per_group;
-            let b: &[f32] = if pointwise {
-                let start = (n * in_shape.channels + c0) * in_plane;
-                &input.data[start..start + k_len * m_cols]
-            } else {
-                im2col_group(input, n, c0, in_c_per_group, params, oh, ow, &mut patches);
-                &patches
-            };
             let oc0 = g * out_c_per_group;
             let c_start = (n * params.out_channels + oc0) * m_cols;
             let c = &mut out.data[c_start..c_start + out_c_per_group * m_cols];
             match filter {
                 Filter::Unpacked(weights) => {
+                    let b: &[f32] = if pointwise {
+                        let start = (n * in_shape.channels + c0) * in_plane;
+                        &input.data[start..start + k_len * m_cols]
+                    } else {
+                        im2col_group(input, n, c0, in_c_per_group, params, oh, ow, &mut patches);
+                        &patches
+                    };
                     let a = &weights[oc0 * k_len..(oc0 + out_c_per_group) * k_len];
                     gemm_bit_exact(out_c_per_group, m_cols, k_len, a, b, c);
                 }
-                Filter::Packed(packed) => {
+                Filter::Packed(packed) if pointwise => {
+                    let start = (n * in_shape.channels + c0) * in_plane;
+                    let b = &input.data[start..start + k_len * m_cols];
                     gemm_bit_exact_packed(out_c_per_group, m_cols, k_len, packed.group(g), b, c);
+                }
+                Filter::Packed(packed) => {
+                    // Fused per-block im2col: build the `K × nr` patch
+                    // column block in cache, then stream every packed panel
+                    // over it while it is hot. Same patch values, same
+                    // ascending-k accumulation per output element — bit-
+                    // identical to the full-matrix path.
+                    let mut j0 = 0;
+                    while j0 < m_cols {
+                        let nr = PACK_NR.min(m_cols - j0);
+                        let block = &mut patches[..k_len * nr];
+                        im2col_block(input, n, c0, in_c_per_group, params, ow, j0, nr, block);
+                        packed_panels_over_block(
+                            packed.group(g),
+                            out_c_per_group,
+                            m_cols,
+                            k_len,
+                            block,
+                            nr,
+                            j0,
+                            nr,
+                            c,
+                        );
+                        j0 += PACK_NR;
+                    }
                 }
             }
         }
@@ -317,6 +355,80 @@ fn im2col_group(
                         }
                     }
                     seg[x_hi..].fill(0.0);
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+/// Fills `patches` (a `K × nr` block, `K = in_c_per_group·kh·kw`, row
+/// stride `nr`) with the im2col expansion of output columns
+/// `[j0, j0 + nr)` of sample `n`, channels `[c0, c0 + in_c_per_group)` —
+/// the fused-im2col building block of the packed kernel. Produces exactly
+/// the values the full-matrix [`im2col_group`] would put in those columns
+/// (padding positions become exact `0.0`); every element of `patches` is
+/// written.
+#[allow(clippy::too_many_arguments)]
+fn im2col_block(
+    input: &TensorData,
+    n: usize,
+    c0: usize,
+    in_c_per_group: usize,
+    params: &Conv2dParams,
+    ow: usize,
+    j0: usize,
+    nr: usize,
+    patches: &mut [f32],
+) {
+    let shape = input.shape;
+    let (h, w) = (shape.height, shape.width);
+    let (kh, kw) = params.kernel;
+    let (sh, sw) = params.stride;
+    let (ph, pw) = params.padding;
+
+    let mut k = 0usize;
+    for ic in 0..in_c_per_group {
+        let plane_start = (n * shape.channels + c0 + ic) * h * w;
+        let plane = &input.data[plane_start..plane_start + h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = &mut patches[k * nr..(k + 1) * nr];
+                // Valid output-x range: 0 <= x·sw + kx − pw < w.
+                let (x_lo, x_hi) = valid_range(ow, sw, kx, pw, w);
+                // The block's columns may span several output rows y; walk
+                // them segment by segment (each segment one y).
+                let (mut j, mut at) = (j0, 0usize);
+                while at < nr {
+                    let (y, x0) = (j / ow, j % ow);
+                    let seg_len = (ow - x0).min(nr - at);
+                    let seg = &mut row[at..at + seg_len];
+                    let iy = (y * sh + ky) as isize - ph as isize;
+                    if iy < 0 || iy >= h as isize {
+                        seg.fill(0.0);
+                    } else {
+                        let in_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                        // Clamp the globally valid x range to this segment.
+                        let lo = x_lo.clamp(x0, x0 + seg_len);
+                        let hi = x_hi.clamp(lo, x0 + seg_len);
+                        let (a, b) = (lo - x0, hi - x0);
+                        seg[..a].fill(0.0);
+                        if b > a {
+                            let src = ((lo * sw + kx) as isize - pw as isize) as usize;
+                            if sw == 1 {
+                                seg[a..b].copy_from_slice(&in_row[src..src + (b - a)]);
+                            } else {
+                                let mut ix = src;
+                                for s in &mut seg[a..b] {
+                                    *s = in_row[ix];
+                                    ix += sw;
+                                }
+                            }
+                        }
+                        seg[b..].fill(0.0);
+                    }
+                    j += seg_len;
+                    at += seg_len;
                 }
                 k += 1;
             }
@@ -409,44 +521,70 @@ pub fn gemm_bit_exact_packed(
     b: &[f32],
     c: &mut [f32],
 ) {
-    let panel_stride = k_len * PACK_MR;
     let mut j0 = 0;
     while j0 < m {
         let nr = PACK_NR.min(m - j0);
-        let mut i0 = 0;
-        let mut p = 0;
-        while i0 < m_rows {
-            let mr = PACK_MR.min(m_rows - i0);
-            let panel = &a_panels[p * panel_stride..(p + 1) * panel_stride];
-            if mr == PACK_MR && nr == PACK_NR {
-                packed_tile_full(panel, i0, j0, m, k_len, b, c);
-            } else {
-                packed_tile_edge(panel, i0, j0, mr, nr, m, k_len, b, c);
-            }
-            i0 += PACK_MR;
-            p += 1;
-        }
+        packed_panels_over_block(a_panels, m_rows, m, k_len, &b[j0..], m, j0, nr, c);
         j0 += PACK_NR;
     }
 }
 
+/// Streams every packed panel over one `nr`-wide column block of `B`.
+///
+/// `b_block` holds B columns `[j0, j0 + nr)` with row stride `b_stride`: a
+/// view into the full `K × M` patch matrix (`b_stride = m`) for the
+/// pointwise / full-matrix paths, or a fused cache-resident `K × nr` block
+/// (`b_stride = nr`) built by [`im2col_block`]. `c` is the full
+/// `m_rows × m` output; columns `[j0, j0 + nr)` are written. Every output
+/// element accumulates over strictly ascending `k` with the same values
+/// regardless of the B layout — the two layouts are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn packed_panels_over_block(
+    a_panels: &[f32],
+    m_rows: usize,
+    m: usize,
+    k_len: usize,
+    b_block: &[f32],
+    b_stride: usize,
+    j0: usize,
+    nr: usize,
+    c: &mut [f32],
+) {
+    let panel_stride = k_len * PACK_MR;
+    let mut i0 = 0;
+    let mut p = 0;
+    while i0 < m_rows {
+        let mr = PACK_MR.min(m_rows - i0);
+        let panel = &a_panels[p * panel_stride..(p + 1) * panel_stride];
+        if mr == PACK_MR && nr == PACK_NR {
+            packed_tile_full(panel, i0, j0, m, b_stride, k_len, b_block, c);
+        } else {
+            packed_tile_edge(panel, i0, j0, mr, nr, m, b_stride, k_len, b_block, c);
+        }
+        i0 += PACK_MR;
+        p += 1;
+    }
+}
+
 /// Full `PACK_MR × PACK_NR` register tile of the packed kernel; per k step it
-/// loads one contiguous `PACK_MR`-slab of `A` and one `PACK_NR`-row of `B`.
+/// loads one contiguous `PACK_MR`-slab of `A` and one `PACK_NR`-row of `B`
+/// (read with row stride `b_stride`, written to `C` with row stride `m`).
+#[allow(clippy::too_many_arguments)]
 #[inline]
 fn packed_tile_full(
     panel: &[f32],
     i0: usize,
     j0: usize,
     m: usize,
+    b_stride: usize,
     k_len: usize,
     b: &[f32],
     c: &mut [f32],
 ) {
     let mut acc = [[0.0f32; PACK_NR]; PACK_MR];
-    let b_off = &b[j0..];
     for kk in 0..k_len {
         let a_k = &panel[kk * PACK_MR..kk * PACK_MR + PACK_MR];
-        let brow = &b_off[kk * m..kk * m + PACK_NR];
+        let brow = &b[kk * b_stride..kk * b_stride + PACK_NR];
         for i in 0..PACK_MR {
             let aik = a_k[i];
             let lane = &mut acc[i];
@@ -470,15 +608,15 @@ fn packed_tile_edge(
     mr: usize,
     nr: usize,
     m: usize,
+    b_stride: usize,
     k_len: usize,
     b: &[f32],
     c: &mut [f32],
 ) {
     let mut acc = [[0.0f32; PACK_NR]; PACK_MR];
-    let b_off = &b[j0..];
     for kk in 0..k_len {
         let a_k = &panel[kk * PACK_MR..kk * PACK_MR + PACK_MR];
-        let brow = &b_off[kk * m..kk * m + nr];
+        let brow = &b[kk * b_stride..kk * b_stride + nr];
         for i in 0..mr {
             let aik = a_k[i];
             let lane = &mut acc[i];
@@ -525,6 +663,7 @@ fn tile_edge(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::ScratchPool;
 
     #[test]
     fn gemm_matches_scalar_reference() {
@@ -591,6 +730,58 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn fused_block_im2col_conv_matches_full_matrix_unpacked_conv() {
+        // The packed path builds K × NR patch blocks on demand; the
+        // unpacked path materializes the full patch matrix. Both must be
+        // bit-identical across strides, padding, groups and ragged widths
+        // (ow not a multiple of NR, blocks spanning several output rows).
+        use ios_ir::Activation;
+        let pool = ScratchPool::new();
+        let cases: Vec<(TensorShape, Conv2dParams)> = vec![
+            (
+                TensorShape::new(2, 5, 9, 7),
+                Conv2dParams::relu(6, (3, 3), (1, 1), (1, 1)),
+            ),
+            (
+                TensorShape::new(1, 4, 11, 5),
+                Conv2dParams::plain(7, (5, 3), (2, 2), (2, 1)),
+            ),
+            (
+                TensorShape::new(1, 6, 10, 10),
+                Conv2dParams {
+                    out_channels: 6,
+                    kernel: (3, 3),
+                    stride: (2, 2),
+                    padding: (1, 1),
+                    groups: 6,
+                    activation: Activation::None,
+                },
+            ),
+            // Padding wider than the kernel reach: whole rows of zeros.
+            (
+                TensorShape::new(1, 3, 4, 4),
+                Conv2dParams::plain(5, (3, 3), (3, 3), (3, 3)),
+            ),
+        ];
+        for (i, (shape, params)) in cases.iter().enumerate() {
+            let input = TensorData::random(*shape, 400 + i as u64);
+            let k_len = (shape.channels / params.groups) * params.kernel.0 * params.kernel.1;
+            let weights: Vec<f32> = (0..params.out_channels * k_len)
+                .map(|v| (v as f32).sin())
+                .collect();
+            let packed = PackedFilter::pack(&weights, params.out_channels, params.groups, k_len);
+            let unpacked_out = conv2d_im2col(&input, params, &weights, &pool);
+            let packed_out = conv2d_im2col_packed(&input, params, &packed, &pool);
+            assert_eq!(
+                packed_out, unpacked_out,
+                "case {i}: fused-block packed conv must be bit-identical"
+            );
+            pool.recycle_tensor(unpacked_out);
+            pool.recycle_tensor(packed_out);
         }
     }
 

@@ -25,7 +25,11 @@
 //! * [`batch`] — network-level execution, weight precomputation (packed
 //!   filters included), batch stacking/splitting, and
 //!   [`execute_network_batched`] which fans a stacked batch out across
-//!   worker threads, one deterministic sample per task.
+//!   worker threads, one deterministic sample per task;
+//! * [`profile`] — the backend as an on-device stage profiler:
+//!   [`CpuStageProfiler`] executes candidate schedule stages through the
+//!   production `execute_stage` path so `ios_core::ProfiledCostModel` can
+//!   optimize against latencies measured on this very substrate.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,9 +39,10 @@ pub mod batch;
 pub mod executor;
 pub mod gemm;
 pub mod ops_cpu;
+pub mod profile;
 pub mod tensor_data;
 
-pub use arena::ScratchPool;
+pub use arena::{Arena, ScratchPool, ScratchScope};
 pub use batch::{
     execute_network, execute_network_batched, execute_network_batched_capped,
     execute_network_scheduled, execute_network_with_weights, split_batch, stack_batch,
@@ -45,8 +50,9 @@ pub use batch::{
 };
 pub use executor::{
     execute_graph, execute_graph_pooled, execute_graph_uncached, execute_graph_with,
-    execute_schedule, execute_schedule_pooled, execute_schedule_with, max_abs_difference,
-    verify_schedule,
+    execute_schedule, execute_schedule_pooled, execute_schedule_pooled_serial,
+    execute_schedule_with, max_abs_difference, verify_schedule,
 };
 pub use gemm::PackedFilter;
+pub use profile::{CpuStageProfiler, GroupMode};
 pub use tensor_data::TensorData;

@@ -14,7 +14,7 @@
 //! a [`ScratchPool`] so steady-state serving allocates nothing in the op
 //! loop; the plain variants use the process-global pool.
 
-use crate::arena::{global_pool, ScratchPool};
+use crate::arena::{global_pool, Arena};
 use crate::tensor_data::TensorData;
 use ios_ir::{
     Activation, Conv2dParams, MatMulParams, Op, OpKind, PoolKind, PoolParams, TensorShape,
@@ -75,7 +75,7 @@ pub fn conv2d_pooled(
     input: &TensorData,
     params: &Conv2dParams,
     weights: &[f32],
-    arena: &ScratchPool,
+    arena: &impl Arena,
 ) -> TensorData {
     crate::gemm::conv2d_im2col(input, params, weights, arena)
 }
@@ -106,7 +106,7 @@ pub fn conv2d_packed_pooled(
     input: &TensorData,
     params: &Conv2dParams,
     packed: &crate::gemm::PackedFilter,
-    arena: &ScratchPool,
+    arena: &impl Arena,
 ) -> TensorData {
     crate::gemm::conv2d_im2col_packed(input, params, packed, arena)
 }
@@ -213,7 +213,7 @@ fn sep_conv_pw_params(params: &Conv2dParams) -> Conv2dParams {
 }
 
 /// The pre-activation copy of a separable unit's input (ReLU), pooled.
-fn sep_conv_activate(input: &TensorData, arena: &ScratchPool) -> TensorData {
+fn sep_conv_activate(input: &TensorData, arena: &impl Arena) -> TensorData {
     let mut activated = arena.take_tensor(input.shape);
     for (o, v) in activated.data.iter_mut().zip(&input.data) {
         *o = v.max(0.0);
@@ -229,7 +229,7 @@ pub fn sep_conv2d_pooled(
     params: &Conv2dParams,
     dw_weights: &[f32],
     pw_weights: &[f32],
-    arena: &ScratchPool,
+    arena: &impl Arena,
 ) -> TensorData {
     let activated = sep_conv_activate(input, arena);
     let dw_params = sep_conv_dw_params(input.shape.channels, params);
@@ -253,7 +253,7 @@ pub fn sep_conv2d_packed_pooled(
     params: &Conv2dParams,
     dw_packed: &crate::gemm::PackedFilter,
     pw_packed: &crate::gemm::PackedFilter,
-    arena: &ScratchPool,
+    arena: &impl Arena,
 ) -> TensorData {
     let activated = sep_conv_activate(input, arena);
     let dw_params = sep_conv_dw_params(input.shape.channels, params);
@@ -276,7 +276,7 @@ pub fn pool(input: &TensorData, params: &PoolParams) -> TensorData {
 /// interior of the plane pays no per-element bounds checks; visit order
 /// (and the average's divisor) match the reference loop exactly.
 #[must_use]
-pub fn pool_pooled(input: &TensorData, params: &PoolParams, arena: &ScratchPool) -> TensorData {
+pub fn pool_pooled(input: &TensorData, params: &PoolParams, arena: &impl Arena) -> TensorData {
     let in_shape = input.shape;
     let (h, w) = (in_shape.height, in_shape.width);
     let plane = h * w;
@@ -361,7 +361,7 @@ pub fn matmul_pooled(
     input: &TensorData,
     params: &MatMulParams,
     weights: &[f32],
-    arena: &ScratchPool,
+    arena: &impl Arena,
 ) -> TensorData {
     let in_features = input.shape.elements_per_item();
     let out_features = params.out_features;
@@ -408,7 +408,7 @@ pub fn concat(inputs: &[&TensorData]) -> TensorData {
 /// contiguous `channels × h × w` block per sample, copied with a single
 /// memcpy instead of per-element indexing.
 #[must_use]
-pub fn concat_pooled(inputs: &[&TensorData], arena: &ScratchPool) -> TensorData {
+pub fn concat_pooled(inputs: &[&TensorData], arena: &impl Arena) -> TensorData {
     let first = inputs[0].shape;
     let channels: usize = inputs.iter().map(|t| t.shape.channels).sum();
     let out_shape = TensorShape::new(first.batch, channels, first.height, first.width);
@@ -435,7 +435,7 @@ pub fn add(inputs: &[&TensorData]) -> TensorData {
 
 /// [`add`] with pooled output storage.
 #[must_use]
-pub fn add_pooled(inputs: &[&TensorData], arena: &ScratchPool) -> TensorData {
+pub fn add_pooled(inputs: &[&TensorData], arena: &impl Arena) -> TensorData {
     let mut out = arena.take_tensor(inputs[0].shape);
     out.data.copy_from_slice(&inputs[0].data);
     for t in &inputs[1..] {
@@ -454,7 +454,7 @@ pub fn relu(input: &TensorData) -> TensorData {
 
 /// [`relu`] with pooled output storage.
 #[must_use]
-pub fn relu_pooled(input: &TensorData, arena: &ScratchPool) -> TensorData {
+pub fn relu_pooled(input: &TensorData, arena: &impl Arena) -> TensorData {
     let mut out = arena.take_tensor(input.shape);
     for (o, v) in out.data.iter_mut().zip(&input.data) {
         *o = v.max(0.0);
@@ -475,7 +475,7 @@ pub fn execute_op_pooled(
     op: &Op,
     inputs: &[&TensorData],
     weight_seed: u64,
-    arena: &ScratchPool,
+    arena: &impl Arena,
 ) -> TensorData {
     match &op.kind {
         OpKind::Conv2d(p) => {
@@ -535,7 +535,7 @@ pub fn execute_op_with_weights_pooled(
     op: &Op,
     inputs: &[&TensorData],
     weights: &crate::batch::OpWeights,
-    arena: &ScratchPool,
+    arena: &impl Arena,
 ) -> TensorData {
     use crate::batch::OpWeights;
     match (&op.kind, weights) {

@@ -5,6 +5,16 @@
 //! program can run against the `ios-sim` simulator ([`SimCostModel`]), a
 //! cached wrapper ([`CachingCostModel`]), or any synthetic model used in
 //! tests.
+//!
+//! Real devices enter through the [`StageProfiler`] capability: anything
+//! that can *execute* a candidate stage once (an execution backend, a
+//! remote device worker) becomes a full profiling cost model by wrapping it
+//! in [`ProfiledCostModel`], which adds the measurement policy — warmup
+//! runs, median-of-N timed repeats, and a stage-fingerprint cache so the
+//! dynamic program never profiles the same stage twice. This closes the
+//! paper's optimize → profile → execute loop: the scheduler optimizes
+//! against latencies measured on the very backend that will run the
+//! schedule.
 
 use crate::merge::MergedConv;
 use ios_ir::{Graph, OpId};
@@ -12,6 +22,7 @@ use ios_sim::{KernelSpec, Simulator};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// A source of stage latencies for the scheduler.
 pub trait CostModel {
@@ -123,6 +134,223 @@ impl CostModel for SimCostModel {
     }
 }
 
+/// The capability of executing a candidate stage once on a real execution
+/// substrate — the device half of the paper's on-device profiler.
+///
+/// Implementations run the stage exactly as the production executor would
+/// (concurrent groups on real threads, merged stages through the merged
+/// weight tensor plus split) but do not time anything themselves:
+/// [`ProfiledCostModel`] owns the measurement policy (warmup, repeats,
+/// median, caching) so every profiler gets the same treatment. The CPU
+/// execution backend provides `CpuStageProfiler` in `ios-backend`.
+pub trait StageProfiler {
+    /// Executes `groups` once with the concurrent-execution strategy
+    /// (groups concurrently, operators of a group sequentially in order).
+    fn run_concurrent(&self, graph: &Graph, groups: &[Vec<OpId>]);
+
+    /// Executes a merged convolution stage (merged kernel + split) once.
+    fn run_merge(&self, graph: &Graph, merged: &MergedConv);
+
+    /// Short label of the profiled substrate, for reports.
+    fn device_name(&self) -> &'static str {
+        "unknown-device"
+    }
+}
+
+// Like cost models, profilers take `&self` everywhere: references and
+// shared pointers to a profiler are profilers too, so one warmed-up
+// substrate can back several cost models (e.g. a serving engine and a
+// background re-optimizer).
+impl<P: StageProfiler + ?Sized> StageProfiler for &P {
+    fn run_concurrent(&self, graph: &Graph, groups: &[Vec<OpId>]) {
+        (**self).run_concurrent(graph, groups);
+    }
+
+    fn run_merge(&self, graph: &Graph, merged: &MergedConv) {
+        (**self).run_merge(graph, merged);
+    }
+
+    fn device_name(&self) -> &'static str {
+        (**self).device_name()
+    }
+}
+
+impl<P: StageProfiler + ?Sized> StageProfiler for std::sync::Arc<P> {
+    fn run_concurrent(&self, graph: &Graph, groups: &[Vec<OpId>]) {
+        (**self).run_concurrent(graph, groups);
+    }
+
+    fn run_merge(&self, graph: &Graph, merged: &MergedConv) {
+        (**self).run_merge(graph, merged);
+    }
+
+    fn device_name(&self) -> &'static str {
+        (**self).device_name()
+    }
+}
+
+/// A cost model that *measures* stage latency on a [`StageProfiler`]
+/// instead of simulating it — the paper's §4 profiling loop.
+///
+/// Every distinct stage is profiled once: `warmup` untimed runs (filling
+/// weight caches, scratch pools and the branch predictor), then `repeats`
+/// timed runs whose **median** is the reported latency (the median is
+/// robust against one preempted run, which on shared CI hosts is the
+/// dominant noise source). Results are cached by the same key the
+/// [`CachingCostModel`] uses (graph fingerprint plus stage), so a dynamic
+/// program that revisits a stage from many states pays for it once.
+///
+/// Measurements are **serialized**: concurrent callers (a synchronous
+/// optimizer racing a background re-optimizer) take a measurement lock,
+/// re-check the cache, and only then profile — otherwise two threads would
+/// time the same device simultaneously and each would cache the other's
+/// interference (a stage latency inflated by lock waits, forever).
+pub struct ProfiledCostModel<P> {
+    profiler: P,
+    warmup: u32,
+    repeats: u32,
+    concurrent_cache: Mutex<HashMap<ConcurrentStageKey, f64>>,
+    merge_cache: Mutex<HashMap<MergeStageKey, f64>>,
+    /// Held across one full warmup-plus-repeats measurement so timed runs
+    /// never overlap (and never time another thread's lock wait).
+    measure_lock: Mutex<()>,
+    /// Distinct stages profiled (cache misses).
+    profiled: AtomicU64,
+    /// Total stage executions requested from the profiler (warmup included).
+    stage_runs: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for ProfiledCostModel<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfiledCostModel")
+            .field("profiler", &self.profiler)
+            .field("warmup", &self.warmup)
+            .field("repeats", &self.repeats)
+            .field("profiled", &self.profiled.load(Ordering::Relaxed))
+            .field("stage_runs", &self.stage_runs.load(Ordering::Relaxed))
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<P: StageProfiler> ProfiledCostModel<P> {
+    /// Wraps a profiler with the default policy: 1 warmup run and the
+    /// median of 5 timed repeats per distinct stage.
+    #[must_use]
+    pub fn new(profiler: P) -> Self {
+        Self::with_policy(profiler, 1, 5)
+    }
+
+    /// Wraps a profiler with an explicit measurement policy. `repeats` is
+    /// clamped to at least 1; serving runtimes that re-optimize in the
+    /// background typically drop to `(1, 3)` to bound optimization cost.
+    #[must_use]
+    pub fn with_policy(profiler: P, warmup: u32, repeats: u32) -> Self {
+        ProfiledCostModel {
+            profiler,
+            warmup,
+            repeats: repeats.max(1),
+            concurrent_cache: Mutex::new(HashMap::new()),
+            merge_cache: Mutex::new(HashMap::new()),
+            measure_lock: Mutex::new(()),
+            profiled: AtomicU64::new(0),
+            stage_runs: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped profiler.
+    #[must_use]
+    pub fn profiler(&self) -> &P {
+        &self.profiler
+    }
+
+    /// Number of distinct stages profiled so far.
+    #[must_use]
+    pub fn profiled_stages(&self) -> u64 {
+        self.profiled.load(Ordering::Relaxed)
+    }
+
+    /// Total stage executions performed (warmup + timed, all stages).
+    #[must_use]
+    pub fn stage_runs(&self) -> u64 {
+        self.stage_runs.load(Ordering::Relaxed)
+    }
+
+    /// Number of latency requests served from the stage cache.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Runs the measurement policy over one stage-execution closure:
+    /// `warmup` untimed runs, then the median of `repeats` timed runs, µs.
+    fn measure(&self, mut run: impl FnMut()) -> f64 {
+        for _ in 0..self.warmup {
+            run();
+        }
+        let mut samples: Vec<f64> = (0..self.repeats)
+            .map(|_| {
+                let start = Instant::now();
+                run();
+                start.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+        self.stage_runs
+            .fetch_add(u64::from(self.warmup + self.repeats), Ordering::Relaxed);
+        self.profiled.fetch_add(1, Ordering::Relaxed);
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let mid = samples.len() / 2;
+        if samples.len() % 2 == 1 {
+            samples[mid]
+        } else {
+            0.5 * (samples[mid - 1] + samples[mid])
+        }
+    }
+}
+
+impl<P: StageProfiler> CostModel for ProfiledCostModel<P> {
+    fn concurrent_latency(&self, graph: &Graph, groups: &[Vec<OpId>]) -> f64 {
+        let key = (graph_fingerprint(graph), groups.to_vec());
+        if let Some(cached) = self.concurrent_cache.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *cached;
+        }
+        // One measurement at a time; re-check under the lock so a racing
+        // caller that just profiled this stage is served its result
+        // instead of profiling it again.
+        let _one_at_a_time = self.measure_lock.lock();
+        if let Some(cached) = self.concurrent_cache.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *cached;
+        }
+        let value = self.measure(|| self.profiler.run_concurrent(graph, groups));
+        self.concurrent_cache.lock().insert(key, value);
+        value
+    }
+
+    fn merge_latency(&self, graph: &Graph, merged: &MergedConv) -> f64 {
+        let key = (graph_fingerprint(graph), merged.parts.clone());
+        if let Some(cached) = self.merge_cache.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *cached;
+        }
+        let _one_at_a_time = self.measure_lock.lock();
+        if let Some(cached) = self.merge_cache.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *cached;
+        }
+        let value = self.measure(|| self.profiler.run_merge(graph, merged));
+        self.merge_cache.lock().insert(key, value);
+        value
+    }
+
+    fn measurement_count(&self) -> u64 {
+        self.profiled.load(Ordering::Relaxed)
+    }
+}
+
 /// A memoizing wrapper around another cost model.
 ///
 /// The dynamic program may evaluate the same stage as the ending of many
@@ -157,7 +385,10 @@ type MergeStageKey = (u64, Vec<OpId>);
 /// key may otherwise collide across: different blocks (names differ),
 /// different batch sizes of one block (shapes differ), and same-shaped
 /// graphs whose operators differ only in hyper-parameters (kinds differ).
-fn graph_fingerprint(graph: &Graph) -> u64 {
+/// Shared by [`CachingCostModel`], [`ProfiledCostModel`] and the backend
+/// profiling harness (which keys its per-graph weights/inputs by it).
+#[must_use]
+pub fn graph_fingerprint(graph: &Graph) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     graph.name().hash(&mut hasher);
@@ -418,6 +649,143 @@ mod tests {
         }
         assert_eq!(takes_cost_model(&*cost), 1);
         assert_eq!(takes_cost_model(std::sync::Arc::clone(&cost)), 1);
+    }
+
+    /// A profiler that counts its runs and idles a deterministic amount so
+    /// the measured medians are stable enough to assert against.
+    #[derive(Debug, Default)]
+    struct CountingProfiler {
+        concurrent_runs: AtomicU64,
+        merge_runs: AtomicU64,
+    }
+
+    impl StageProfiler for CountingProfiler {
+        fn run_concurrent(&self, _graph: &Graph, groups: &[Vec<OpId>]) {
+            self.concurrent_runs.fetch_add(1, Ordering::Relaxed);
+            // Busy-work proportional to the widest group so latencies are
+            // positive and monotone in stage size.
+            let ops: usize = groups.iter().map(Vec::len).max().unwrap_or(0);
+            std::hint::black_box((0..ops * 500).map(|i| i as f64).sum::<f64>());
+        }
+
+        fn run_merge(&self, _graph: &Graph, merged: &MergedConv) {
+            self.merge_runs.fetch_add(1, Ordering::Relaxed);
+            std::hint::black_box((0..merged.parts.len() * 500).map(|i| i as f64).sum::<f64>());
+        }
+
+        fn device_name(&self) -> &'static str {
+            "counting"
+        }
+    }
+
+    #[test]
+    fn profiled_model_runs_warmup_plus_repeats_once_per_stage() {
+        let g = two_branch_graph();
+        let cost = ProfiledCostModel::with_policy(CountingProfiler::default(), 2, 3);
+        let groups = vec![vec![OpId(0)], vec![OpId(1)]];
+        let first = cost.concurrent_latency(&g, &groups);
+        assert!(first > 0.0, "profiled latency must be positive");
+        assert_eq!(
+            cost.profiler().concurrent_runs.load(Ordering::Relaxed),
+            5,
+            "2 warmup + 3 timed runs"
+        );
+        assert_eq!(cost.profiled_stages(), 1);
+        assert_eq!(cost.stage_runs(), 5);
+        assert_eq!(cost.measurement_count(), 1);
+
+        // A repeat request is served from the stage cache: no further runs.
+        let again = cost.concurrent_latency(&g, &groups);
+        assert_eq!(again, first);
+        assert_eq!(cost.profiler().concurrent_runs.load(Ordering::Relaxed), 5);
+        assert_eq!(cost.cache_hits(), 1);
+
+        // Merge stages profile through the merge path.
+        let merged = crate::merge::try_merge(&g, [OpId(0), OpId(1)].into_iter().collect()).unwrap();
+        let m = cost.merge_latency(&g, &merged);
+        assert!(m > 0.0);
+        assert_eq!(cost.profiler().merge_runs.load(Ordering::Relaxed), 5);
+        assert_eq!(cost.profiled_stages(), 2);
+    }
+
+    #[test]
+    fn racing_callers_profile_a_stage_once() {
+        // Several threads request the same uncached stage at once: the
+        // measurement lock serializes them, the re-check under the lock
+        // turns the losers into cache hits, and the profiler runs only one
+        // warmup+repeats sequence — no double-profiled, interference-timed
+        // entry can land in the cache.
+        let g = two_branch_graph();
+        let cost = std::sync::Arc::new(ProfiledCostModel::with_policy(
+            CountingProfiler::default(),
+            1,
+            3,
+        ));
+        let groups = vec![vec![OpId(0)], vec![OpId(1)]];
+        let results: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cost = std::sync::Arc::clone(&cost);
+                    let g = &g;
+                    let groups = &groups;
+                    scope.spawn(move || cost.concurrent_latency(g, groups))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("measurement thread"))
+                .collect()
+        });
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(
+            cost.profiler().concurrent_runs.load(Ordering::Relaxed),
+            4,
+            "exactly one warmup + 3 repeats despite 4 racing callers"
+        );
+        assert_eq!(cost.profiled_stages(), 1);
+        assert_eq!(cost.cache_hits(), 3);
+    }
+
+    #[test]
+    fn profiled_model_distinguishes_graphs_like_the_caching_model() {
+        // The same stage key on two batch-resized instances of one block
+        // must be profiled separately (the fingerprint includes shapes).
+        let g1 = two_branch_graph_at(1);
+        let g8 = two_branch_graph_at(8);
+        let cost = ProfiledCostModel::with_policy(CountingProfiler::default(), 0, 1);
+        let groups = vec![vec![OpId(0)], vec![OpId(1)]];
+        let _ = cost.concurrent_latency(&g1, &groups);
+        let _ = cost.concurrent_latency(&g8, &groups);
+        assert_eq!(
+            cost.profiled_stages(),
+            2,
+            "batch-1 and batch-8 instances must be distinct profile entries"
+        );
+        assert_eq!(cost.cache_hits(), 0);
+    }
+
+    #[test]
+    fn profiled_model_drives_the_scheduler_end_to_end() {
+        // The whole DP runs against a profiler-backed model; the schedule
+        // must be valid and the profiler must have been exercised.
+        let g = two_branch_graph();
+        let cost = ProfiledCostModel::with_policy(CountingProfiler::default(), 1, 3);
+        let result =
+            crate::dp::schedule_graph(&g, &cost, &crate::variants::SchedulerConfig::default());
+        assert!(result.schedule.validate(&g).is_ok());
+        assert!(result.latency_us > 0.0);
+        assert!(cost.profiled_stages() > 0);
+        assert!(cost.stage_runs() >= cost.profiled_stages() * 4);
+
+        // Profilers are shareable through the blanket impls.
+        fn takes_profiler<P: StageProfiler>(p: P) -> &'static str {
+            p.device_name()
+        }
+        assert_eq!(takes_profiler(cost.profiler()), "counting");
+        assert_eq!(
+            takes_profiler(std::sync::Arc::new(CountingProfiler::default())),
+            "counting"
+        );
     }
 
     #[test]

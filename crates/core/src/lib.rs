@@ -18,6 +18,10 @@
 //! * [`SimCostModel`] — the cost model backed by the `ios-sim` GPU
 //!   simulator, playing the role of the paper's on-device profiler
 //!   ([`cost_model`]).
+//! * [`StageProfiler`] / [`ProfiledCostModel`] — the real profiling loop:
+//!   any substrate that can execute a candidate stage becomes a measuring
+//!   cost model (warmup + median-of-N repeats, cached per stage); the CPU
+//!   backend's `CpuStageProfiler` plugs in here ([`cost_model`]).
 //! * [`specialize`] — the batch-size / device specialization study of
 //!   Table 3.
 //! * [`stats`] — schedule-space statistics (Table 1).
@@ -50,7 +54,9 @@ pub mod stats;
 pub mod variants;
 
 pub use baselines::{greedy_schedule, sequential_schedule};
-pub use cost_model::{CachingCostModel, CostModel, SimCostModel};
+pub use cost_model::{
+    graph_fingerprint, CachingCostModel, CostModel, ProfiledCostModel, SimCostModel, StageProfiler,
+};
 pub use dp::{schedule_graph, ScheduleResult, Scheduler};
 pub use ios_ir::PruningLimits;
 pub use merge::{try_merge, MergedConv};

@@ -6,7 +6,10 @@
 //! policy: schedules are keyed by `(network name, batch size, device)`,
 //! optimized lazily on first miss, and an exact-batch miss can be served by
 //! the *nearest* cached batch size (schedule stage structure is valid at any
-//! batch) while a background worker optimizes the exact one.
+//! batch) while a background worker optimizes the exact one. Background
+//! re-optimization runs against whatever cost model the engine was
+//! configured with — with `CostModelKind::CpuProfiled` the schedule that
+//! lands in the cache was *measured* on the serving backend, not simulated.
 
 use ios_core::NetworkSchedule;
 use ios_sim::DeviceKind;

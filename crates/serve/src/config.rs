@@ -4,11 +4,29 @@ use ios_core::SchedulerConfig;
 use ios_sim::DeviceKind;
 use std::time::Duration;
 
+/// Which cost model the engine optimizes (and background re-optimizes)
+/// schedules against — the serving face of the paper's §4 profiling loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostModelKind {
+    /// The analytical GPU simulator for `device`: fast to evaluate, but
+    /// blind to how the *actual* execution substrate behaves.
+    #[default]
+    Simulated,
+    /// Stage latencies **measured on the CPU execution backend** (warmup +
+    /// median-of-N repeats per distinct stage, cached): the schedule that
+    /// wins the DP is the schedule that is fastest on the backend that
+    /// will execute it. The right choice when the engine serves real
+    /// numerics through the CPU executor.
+    CpuProfiled,
+}
+
 /// Configuration of a [`crate::ServeEngine`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// The (simulated) device schedules are specialized for.
     pub device: DeviceKind,
+    /// The cost model schedules are optimized against.
+    pub cost_model: CostModelKind,
     /// Largest batch the dynamic batcher coalesces. Requests are dispatched
     /// as soon as `max_batch` are queued.
     pub max_batch: usize,
@@ -36,6 +54,7 @@ impl Default for ServeConfig {
             .min(4);
         ServeConfig {
             device: DeviceKind::TeslaV100,
+            cost_model: CostModelKind::default(),
             max_batch: 8,
             max_wait: Duration::from_millis(2),
             workers,
@@ -60,6 +79,15 @@ impl ServeConfig {
     #[must_use]
     pub fn with_device(mut self, device: DeviceKind) -> Self {
         self.device = device;
+        self
+    }
+
+    /// Sets the cost model schedules are optimized against
+    /// ([`CostModelKind::CpuProfiled`] closes the optimize→profile→execute
+    /// loop for engines executing on the CPU backend).
+    #[must_use]
+    pub fn with_cost_model(mut self, cost_model: CostModelKind) -> Self {
+        self.cost_model = cost_model;
         self
     }
 
@@ -119,12 +147,19 @@ mod tests {
             .with_device(DeviceKind::TeslaK80)
             .with_workers(2)
             .with_max_wait(Duration::from_millis(5))
-            .with_background_reoptimize(false);
+            .with_background_reoptimize(false)
+            .with_cost_model(CostModelKind::CpuProfiled);
         assert_eq!(config.max_batch, 32);
         assert_eq!(config.effective_prewarm_batches(), vec![1, 32]);
         assert_eq!(config.device, DeviceKind::TeslaK80);
         assert_eq!(config.workers, 2);
         assert!(!config.background_reoptimize);
+        assert_eq!(config.cost_model, CostModelKind::CpuProfiled);
+        assert_eq!(
+            ServeConfig::default().cost_model,
+            CostModelKind::Simulated,
+            "the simulator remains the default model"
+        );
     }
 
     #[test]

@@ -3,15 +3,19 @@
 
 use crate::batcher::BatchQueue;
 use crate::cache::{ScheduleCache, ScheduleKey};
-use crate::config::ServeConfig;
+use crate::config::{CostModelKind, ServeConfig};
 use crate::exec::{BatchContext, BatchExecutor, CpuReferenceExecutor, SimulatedDeviceExecutor};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::request::{
     InferenceResponse, Pending, RequestId, ResponseHandle, ResponseLease, ScheduleSource,
     ServeError,
 };
-use ios_backend::{stack_batch_pooled, NetworkWeights, ScratchPool, TensorData};
-use ios_core::{optimize_network, CachingCostModel, NetworkSchedule, SimCostModel};
+use ios_backend::{
+    stack_batch_pooled, CpuStageProfiler, GroupMode, NetworkWeights, ScratchPool, TensorData,
+};
+use ios_core::{
+    optimize_network, CachingCostModel, CostModel, NetworkSchedule, ProfiledCostModel, SimCostModel,
+};
 use ios_ir::{Network, TensorShape};
 use ios_sim::Simulator;
 use std::collections::HashMap;
@@ -31,9 +35,11 @@ struct Shared {
     config: ServeConfig,
     queue: BatchQueue,
     cache: ScheduleCache,
-    /// One thread-safe cost model backs schedule optimization, background
-    /// re-optimization and (for the simulated backend) batch accounting.
-    cost: Arc<CachingCostModel<SimCostModel>>,
+    /// One thread-safe cost model backs schedule optimization and
+    /// background re-optimization (and, for the simulated backend, batch
+    /// accounting). Selected by [`ServeConfig::cost_model`]: the analytical
+    /// simulator, or stage latencies profiled on the CPU backend.
+    cost: Arc<dyn CostModel + Send + Sync>,
     /// Weights are batch-size independent, so one table serves every batch.
     weights: Arc<NetworkWeights>,
     executor: Box<dyn BatchExecutor>,
@@ -241,7 +247,9 @@ impl ServeEngine {
 
     /// Starts an engine that accounts batches on the analytical GPU
     /// simulator instead of computing numerics — the configuration for
-    /// serving-throughput studies.
+    /// serving-throughput studies. The batch accounting shares the
+    /// scheduling cost model, so [`ServeConfig::cost_model`] is ignored
+    /// here: simulated execution is only meaningful against the simulator.
     #[must_use]
     pub fn start_simulated(network: Network, config: ServeConfig) -> Self {
         let cost = Arc::new(CachingCostModel::new(SimCostModel::new(Simulator::new(
@@ -251,23 +259,45 @@ impl ServeEngine {
         Self::build(network, config, cost, Box::new(executor))
     }
 
-    /// Starts an engine with a custom execution backend.
+    /// Starts an engine with a custom execution backend, optimizing
+    /// schedules against the cost model selected by
+    /// [`ServeConfig::cost_model`].
     #[must_use]
     pub fn start_with_executor(
         network: Network,
         config: ServeConfig,
         executor: Box<dyn BatchExecutor>,
     ) -> Self {
-        let cost = Arc::new(CachingCostModel::new(SimCostModel::new(Simulator::new(
-            config.device,
-        ))));
+        let cost = Self::cost_model_for(&config);
         Self::build(network, config, cost, executor)
+    }
+
+    /// The scheduling cost model [`ServeConfig::cost_model`] selects.
+    fn cost_model_for(config: &ServeConfig) -> Arc<dyn CostModel + Send + Sync> {
+        match config.cost_model {
+            CostModelKind::Simulated => Arc::new(CachingCostModel::new(SimCostModel::new(
+                Simulator::new(config.device),
+            ))),
+            // Profiled serving policy: 1 warmup + median of 3 — background
+            // re-optimization shares the engine's cores with serving, so
+            // optimization cost is bounded tighter than offline profiling;
+            // the ProfiledCostModel caches per stage on its own.
+            // `MatchServing` profiles each batch size the way the batched
+            // executor will run it: batch-1 stages with threaded groups, and
+            // batch>1 stages serially (inside per-sample batch workers the
+            // cores are already busy and stage groups run serially).
+            CostModelKind::CpuProfiled => Arc::new(ProfiledCostModel::with_policy(
+                CpuStageProfiler::with_group_mode(GroupMode::MatchServing),
+                1,
+                3,
+            )),
+        }
     }
 
     fn build(
         network: Network,
         config: ServeConfig,
-        cost: Arc<CachingCostModel<SimCostModel>>,
+        cost: Arc<dyn CostModel + Send + Sync>,
         executor: Box<dyn BatchExecutor>,
     ) -> Self {
         assert!(!network.blocks.is_empty(), "cannot serve an empty network");

@@ -18,6 +18,11 @@
 //!   real numerics (bit-identical per sample to
 //!   [`ios_backend::execute_graph`]); the simulated-device backend charges
 //!   batches the analytical GPU latency for throughput studies.
+//! * **Profile-guided optimization** ([`config::CostModelKind`]) — the
+//!   engine's scheduler (and its background re-optimizer) can measure
+//!   candidate stages on the CPU execution backend itself
+//!   (`CostModelKind::CpuProfiled`) instead of simulating them, closing
+//!   the paper's optimize → profile → execute loop at serving time.
 //! * **Metrics** ([`metrics`]) — p50/p95/p99 latency, wall and device
 //!   throughput, queue depth, batch shape and cache hit rates.
 //!
@@ -61,7 +66,7 @@ pub mod metrics;
 pub mod request;
 
 pub use cache::{CacheStats, ScheduleCache, ScheduleKey};
-pub use config::ServeConfig;
+pub use config::{CostModelKind, ServeConfig};
 pub use engine::ServeEngine;
 pub use exec::{
     BatchContext, BatchExecutor, BatchOutcome, CpuReferenceExecutor, SimulatedDeviceExecutor,

@@ -4,8 +4,10 @@
 //! response lease dropped, every pooled buffer back home.
 
 use ios_backend::{execute_network, TensorData};
-use ios_serve::{CpuReferenceExecutor, ResponseHandle, ServeConfig, ServeEngine};
-use std::time::Duration;
+use ios_serve::{
+    CostModelKind, CpuReferenceExecutor, ResponseHandle, ResponseLease, ServeConfig, ServeEngine,
+};
+use std::time::{Duration, Instant};
 
 /// A two-block network with mergeable branches so the served schedules can
 /// exercise both concurrent and operator-merge stages.
@@ -167,6 +169,60 @@ fn steady_state_serving_boundary_is_allocation_free() {
     engine.shutdown();
 }
 
+/// Profile-guided serving: an engine whose scheduler *measures* candidate
+/// stages on the CPU backend (instead of simulating a GPU) serves
+/// responses bit-identical to the sequential reference, and its background
+/// re-optimizer inserts a profiled schedule for an uncached batch size
+/// (observed through the cache's background-insert counter).
+#[test]
+fn cpu_profiled_engine_serves_bit_identically_and_reoptimizes_in_background() {
+    let net = serve_network();
+    let engine = ServeEngine::start(
+        net.clone(),
+        ServeConfig::default()
+            .with_cost_model(CostModelKind::CpuProfiled)
+            .with_max_batch(4)
+            .with_workers(1)
+            .with_prewarm_batches(vec![4])
+            .with_background_reoptimize(true)
+            .with_max_wait(Duration::from_millis(1)),
+    );
+
+    // A lone request: batch 1 has no exact schedule, so it is served by
+    // the pre-warmed (profiled) batch-4 schedule and kicks off background
+    // re-optimization — which profiles on the CPU backend too.
+    let sample = TensorData::random(net.input_shape, 2024);
+    let response = engine.infer(sample.clone()).unwrap();
+    let reference = execute_network(&net, std::slice::from_ref(&sample));
+    assert_eq!(response.outputs.len(), reference.len());
+    for (leased, expected) in response.outputs.iter().zip(&reference) {
+        assert_eq!(
+            leased, expected,
+            "profiled-schedule output must be bit-identical to the reference"
+        );
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while engine.metrics().cache.background_inserts == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "background re-optimization against the profiled model never completed"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        engine.metrics().cache.background_inserts >= 1,
+        "the re-optimizer must insert a profiled schedule"
+    );
+
+    // Serving with the freshly profiled exact schedule is still exact.
+    let again = engine.infer(sample.clone()).unwrap();
+    for (leased, expected) in again.outputs.iter().zip(&reference) {
+        assert_eq!(leased, expected);
+    }
+    engine.shutdown();
+}
+
 /// A detached lease keeps its tensor alive independently of the engine,
 /// and cloning a response detaches the copies.
 #[test]
@@ -193,4 +249,121 @@ fn leases_can_be_detached_and_cloned() {
         assert_eq!(leased, owned);
         assert!(owned.shape.num_elements() > 0);
     }
+}
+
+/// Clone-detach semantics are drop-order independent: dropping the pooled
+/// original before or after its detached clone leaves the clone intact,
+/// and a still-pooled lease survives the engine itself (its buffer returns
+/// to the pool the lease holds alive, whenever the client lets go).
+#[test]
+fn lease_clones_survive_any_drop_order_and_leases_outlive_the_engine() {
+    let net = serve_network();
+    let engine = ServeEngine::start(
+        net.clone(),
+        ServeConfig::default()
+            .with_max_batch(1)
+            .with_workers(1)
+            .with_max_wait(Duration::from_millis(1)),
+    );
+    let sample = TensorData::random(net.input_shape, 321);
+    let reference = execute_network(&net, std::slice::from_ref(&sample));
+
+    // Original dropped first: the buffer returns to the pool while the
+    // detached clone keeps its own copy.
+    let mut response = engine.infer(sample.clone()).unwrap();
+    let original: ResponseLease = response.outputs.remove(0);
+    let clone = original.clone();
+    drop(original);
+    assert_eq!(clone, reference[0]);
+
+    // Clone dropped first: the pooled original stays readable.
+    let mut response = engine.infer(sample.clone()).unwrap();
+    let original: ResponseLease = response.outputs.remove(0);
+    let clone = original.clone();
+    drop(clone);
+    assert_eq!(original, reference[0]);
+
+    // A pooled (non-detached) lease outlives the engine: the lease's Arc
+    // keeps the io pool alive, and dropping it afterwards is safe.
+    let mut survivor = engine.infer(sample).unwrap();
+    let held: ResponseLease = survivor.outputs.remove(0);
+    drop(survivor);
+    engine.shutdown();
+    assert_eq!(held, reference[0]);
+    drop(held);
+}
+
+/// Mixed clone/drop traffic keeps the serving-boundary pool counters flat:
+/// detached clones are plain heap tensors (they never draw from or return
+/// to the io pool), so a steady-state loop that clones some responses and
+/// drops originals and clones in varying order must not allocate fresh io
+/// buffers once warmed.
+#[test]
+fn pool_counters_stay_flat_across_mixed_clone_drop_sequences() {
+    let net = serve_network();
+    let engine = ServeEngine::start_with_executor(
+        net.clone(),
+        ServeConfig::default()
+            .with_max_batch(1)
+            .with_workers(1)
+            .with_prewarm_batches(vec![1])
+            .with_background_reoptimize(false)
+            .with_max_wait(Duration::from_millis(1)),
+        Box::new(CpuReferenceExecutor::with_max_workers(1)),
+    );
+    // Warm the pools (and detach one clone so the clone path itself is
+    // warm before counters are snapshotted).
+    for i in 0..3 {
+        let response = engine
+            .infer(TensorData::random(net.input_shape, 60 + i))
+            .unwrap();
+        let _warm_clone = response.outputs[0].clone();
+    }
+    let (io_fresh, _) = engine.io_pool_stats();
+
+    let mut detached: Vec<ResponseLease> = Vec::new();
+    for round in 0..6 {
+        let mut response = engine
+            .infer(TensorData::random(net.input_shape, 60))
+            .unwrap();
+        match round % 3 {
+            // Keep a detached clone, drop the pooled original immediately.
+            0 => {
+                let clone = response.outputs[0].clone();
+                drop(response);
+                detached.push(clone);
+            }
+            // Drop the clone first, then the original.
+            1 => {
+                let clone = response.outputs[1].clone();
+                drop(clone);
+                drop(response);
+            }
+            // Detach by ownership: the tensor leaves the pool for good —
+            // but `into_tensor` must not *allocate* io buffers either.
+            _ => {
+                let owned = response.outputs.remove(0).into_tensor();
+                assert!(owned.shape.num_elements() > 0);
+                drop(response);
+                // The permanently detached buffer is replaced by the next
+                // round's take; that take may allocate fresh exactly once.
+            }
+        }
+        let (io_now, _) = engine.io_pool_stats();
+        // Rounds 0/1 recycle every pooled buffer; round 2 removes one
+        // buffer from the pool permanently, so the *following* round may
+        // allocate one replacement. Bound the drift accordingly: by round
+        // r, at most ceil(r/3) permanent detachments have happened.
+        let detachments = (round / 3 + 1) as u64;
+        assert!(
+            io_now <= io_fresh + detachments,
+            "round {round}: io fresh allocations {io_now} exceed warmed {io_fresh} \
+             plus {detachments} permanent detachment(s)"
+        );
+    }
+    // The detached clones are still readable after all that churn.
+    for lease in &detached {
+        assert!(lease.shape.num_elements() > 0);
+    }
+    engine.shutdown();
 }
