@@ -426,6 +426,37 @@ mod tests {
     }
 
     #[test]
+    fn scope_drains_to_parent_on_panic() {
+        // The drain is Drop-based, so it runs during unwinding too: a
+        // panicking stage worker cannot strand the buffers its scope
+        // retained. (Buffers the worker itself still holds at panic time
+        // are the executor's responsibility — see its GroupOutputs guard.)
+        let pool = ScratchPool::new();
+        pool.recycle(pool.take(256));
+        let fresh = pool.fresh_allocations();
+        for round in 0..3 {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let scope = ScratchScope::new(&pool);
+                let a = Arena::take(&scope, 200);
+                Arena::recycle(&scope, a);
+                assert_eq!(pool.pooled(), 0, "the buffer is held locally");
+                panic!("injected worker fault");
+            }));
+            assert!(result.is_err());
+            assert_eq!(
+                pool.pooled(),
+                1,
+                "round {round}: the scope must drain its buffer on unwind"
+            );
+            assert_eq!(
+                pool.fresh_allocations(),
+                fresh,
+                "round {round}: repeat panics must not grow the pool"
+            );
+        }
+    }
+
+    #[test]
     fn tensor_round_trip() {
         let pool = ScratchPool::new();
         let shape = TensorShape::new(1, 2, 3, 4);

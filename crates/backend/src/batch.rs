@@ -434,7 +434,7 @@ fn copy_pooled(tensor: &TensorData, arena: &ScratchPool) -> TensorData {
 }
 
 /// A pooled copy of sample `n` of a stacked tensor (batch dimension 1).
-fn sample_pooled(batched: &TensorData, n: usize, arena: &ScratchPool) -> TensorData {
+pub(crate) fn sample_pooled(batched: &TensorData, n: usize, arena: &ScratchPool) -> TensorData {
     let per_item = batched.shape.elements_per_item();
     let item_shape = TensorShape::new(
         1,
@@ -461,8 +461,37 @@ fn execute_network_sample_pooled(
     arena: &ScratchPool,
     serial_stages: bool,
 ) -> Vec<TensorData> {
+    execute_network_blocks_pooled(
+        network,
+        schedule,
+        weights,
+        0..network.blocks.len(),
+        inputs,
+        arena,
+        serial_stages,
+    )
+}
+
+/// Executes one sample through a contiguous **block range** of the network
+/// with pooled storage — the unit a pipeline segment worker runs. `inputs`
+/// are the external inputs of the range's first block (the network inputs
+/// for block 0, the previous block's outputs otherwise); the return value
+/// is the last block's outputs, ready to feed the next range. Running the
+/// ranges of any contiguous partition in order is bit-identical to one
+/// whole-network pass, because the hand-off tensors are exactly the block
+/// outputs the whole-network loop threads through.
+pub(crate) fn execute_network_blocks_pooled(
+    network: &Network,
+    schedule: Option<&NetworkSchedule>,
+    weights: &NetworkWeights,
+    blocks: std::ops::Range<usize>,
+    inputs: Vec<TensorData>,
+    arena: &ScratchPool,
+    serial_stages: bool,
+) -> Vec<TensorData> {
     let mut current = inputs;
-    for (index, block) in network.blocks.iter().enumerate() {
+    for index in blocks {
+        let block = &network.blocks[index];
         let op_outputs = match schedule {
             // When several sample workers already cover the cores, nested
             // per-group threads would only oversubscribe them: run the

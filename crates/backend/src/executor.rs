@@ -245,6 +245,27 @@ fn execute_schedule_impl(
         .collect()
 }
 
+/// The completed operator outputs of one stage group, drop-drained: if the
+/// stage unwinds — this group's worker panicked mid-op, or a *sibling*
+/// group's did and the collected results are dropped at the join — every
+/// tensor still held here is recycled back into the pool instead of
+/// leaking to the heap. Together with [`ScratchScope`]'s own drop-drain
+/// this keeps the pool's steady-state accounting exact across panics: a
+/// serving runtime that catches a batch panic keeps executing with its
+/// pool intact.
+struct GroupOutputs<'a> {
+    arena: &'a ScratchPool,
+    ops: Vec<(OpId, TensorData)>,
+}
+
+impl Drop for GroupOutputs<'_> {
+    fn drop(&mut self) {
+        for (_, tensor) in self.ops.drain(..) {
+            self.arena.recycle_tensor(tensor);
+        }
+    }
+}
+
 /// Executes one schedule stage against a partial per-operator output state:
 /// stage operators read graph `inputs` and already-filled `outputs` slots
 /// and write their own slots. This is the single definition both the
@@ -258,7 +279,10 @@ fn execute_schedule_impl(
 /// mutually independent); every group routes its scratch through a
 /// [`ScratchScope`], an uncontended local free list that drains back into
 /// `arena` when the group finishes, so both paths recycle intermediates
-/// identically without taking the shared pool mutex per buffer.
+/// identically without taking the shared pool mutex per buffer. Both the
+/// scope and the group's completed outputs drain back on **panic** too
+/// ([`GroupOutputs`]), so a panicking stage worker cannot leak pooled
+/// buffers.
 pub(crate) fn execute_stage(
     graph: &Graph,
     stage: &ios_core::Stage,
@@ -278,7 +302,10 @@ pub(crate) fn execute_stage(
             let snapshot: &[Option<TensorData>] = outputs;
             let run_group = |group: &Vec<OpId>| {
                 let scope = ScratchScope::new(arena);
-                let mut local: Vec<(OpId, TensorData)> = Vec::new();
+                let mut local = GroupOutputs {
+                    arena,
+                    ops: Vec::new(),
+                };
                 for &op_id in group {
                     let op = graph.op(op_id);
                     let op_inputs: Vec<&TensorData> = op
@@ -291,6 +318,7 @@ pub(crate) fn execute_stage(
                                     t
                                 } else {
                                     local
+                                        .ops
                                         .iter()
                                         .find(|(lid, _)| lid == id)
                                         .map(|(_, t)| t)
@@ -300,30 +328,30 @@ pub(crate) fn execute_stage(
                         })
                         .collect();
                     let out = run_op(graph, op, &op_inputs, weights, &scope);
-                    local.push((op_id, out));
+                    local.ops.push((op_id, out));
                 }
                 // `scope` drops here: its retained scratch drains back into
                 // the shared arena before the group's results are stitched.
                 local
             };
-            let group_results: Vec<Vec<(OpId, TensorData)>> =
-                if parallel_groups && stage.groups.len() > 1 {
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = stage
-                            .groups
-                            .iter()
-                            .map(|group| scope.spawn(|| run_group(group)))
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("group thread"))
-                            .collect()
-                    })
-                } else {
-                    stage.groups.iter().map(run_group).collect()
-                };
-            for group in group_results {
-                for (op_id, tensor) in group {
+            let group_results: Vec<GroupOutputs<'_>> = if parallel_groups && stage.groups.len() > 1
+            {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = stage
+                        .groups
+                        .iter()
+                        .map(|group| scope.spawn(|| run_group(group)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("group thread"))
+                        .collect()
+                })
+            } else {
+                stage.groups.iter().map(run_group).collect()
+            };
+            for mut group in group_results {
+                for (op_id, tensor) in group.ops.drain(..) {
                     outputs[op_id.index()] = Some(tensor);
                 }
             }
@@ -591,5 +619,65 @@ mod tests {
     fn input_count_mismatch_panics() {
         let g = branchy();
         let _ = execute_graph(&g, &[]);
+    }
+
+    #[test]
+    fn panicking_stage_worker_drains_everything_back_to_the_pool() {
+        // A malformed stage puts `d` (OpId 2) and its dependency `a`
+        // (OpId 0) in *different* groups of one stage: group [0] completes
+        // its convolution (taking pool buffers), then group [2] panics
+        // resolving its input. Both the completed group's outputs
+        // (GroupOutputs guard) and every scope's scratch must drain back,
+        // so repeat panicking runs allocate nothing fresh — the pool a
+        // serving engine keeps across a caught batch panic stays exact.
+        let g = branchy();
+        let weights = BlockWeights::precompute(&g);
+        let arena = ScratchPool::new();
+        let inputs = vec![TensorData::random(TensorShape::new(1, 8, 10, 10), 9)];
+        let bad = ios_core::Stage {
+            ops: [OpId(0), OpId(2)].into_iter().collect(),
+            strategy: ParallelizationStrategy::ConcurrentExecution,
+            groups: vec![vec![OpId(0)], vec![OpId(2)]],
+            measured_latency_us: 0.0,
+        };
+        let run = |parallel: bool| {
+            let mut outputs: Vec<Option<TensorData>> = vec![None; g.len()];
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute_stage(
+                    &g,
+                    &bad,
+                    &inputs,
+                    Some(&weights),
+                    &mut outputs,
+                    &arena,
+                    parallel,
+                );
+            }));
+            assert!(result.is_err(), "the dependency-violating stage must panic");
+            assert!(
+                outputs.iter().all(Option::is_none),
+                "no partial results may be stitched"
+            );
+        };
+        run(false);
+        let fresh = arena.fresh_allocations();
+        assert!(fresh > 0, "the first run allocates its working set");
+        for _ in 0..3 {
+            run(false);
+        }
+        assert_eq!(
+            arena.fresh_allocations(),
+            fresh,
+            "repeat panicking serial runs must reuse the pool, not leak it"
+        );
+        // The threaded path drains identically (same buffer demand).
+        for _ in 0..3 {
+            run(true);
+        }
+        assert_eq!(
+            arena.fresh_allocations(),
+            fresh,
+            "repeat panicking threaded runs must reuse the pool, not leak it"
+        );
     }
 }

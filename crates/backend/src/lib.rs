@@ -29,7 +29,14 @@
 //! * [`profile`] — the backend as an on-device stage profiler:
 //!   [`CpuStageProfiler`] executes candidate schedule stages through the
 //!   production `execute_stage` path so `ios_core::ProfiledCostModel` can
-//!   optimize against latencies measured on this very substrate.
+//!   optimize against latencies measured on this very substrate — under a
+//!   configurable background load ([`BackgroundLoad`]) so serving-time
+//!   schedules are optimized for a busy machine, not an idle one;
+//! * [`pipeline`] — cross-block pipelined execution:
+//!   [`PipelinedNetworkExecutor`] streams batch instances through
+//!   long-lived per-segment stage workers so block `k` of sample `i + 1`
+//!   overlaps block `k + 1` of sample `i` (and batch `n + 1` overlaps the
+//!   drain of batch `n`), bit-identical per sample to the flat paths.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,6 +46,7 @@ pub mod batch;
 pub mod executor;
 pub mod gemm;
 pub mod ops_cpu;
+pub mod pipeline;
 pub mod profile;
 pub mod tensor_data;
 
@@ -54,5 +62,6 @@ pub use executor::{
     execute_schedule_with, max_abs_difference, verify_schedule,
 };
 pub use gemm::PackedFilter;
-pub use profile::{CpuStageProfiler, GroupMode};
+pub use pipeline::{execute_network_pipelined, PipelinedNetworkExecutor};
+pub use profile::{BackgroundLoad, CpuStageProfiler, GroupMode};
 pub use tensor_data::TensorData;

@@ -48,6 +48,7 @@ pub mod cost_model;
 pub mod dp;
 pub mod merge;
 pub mod optimizer;
+pub mod pipeline;
 pub mod schedule;
 pub mod specialize;
 pub mod stats;
@@ -61,9 +62,10 @@ pub use dp::{schedule_graph, ScheduleResult, Scheduler};
 pub use ios_ir::PruningLimits;
 pub use merge::{try_merge, MergedConv};
 pub use optimizer::{
-    evaluate_network, greedy_network_schedule, optimize_network, sequential_network_schedule,
-    NetworkSchedule, OptimizeReport,
+    evaluate_network, greedy_network_schedule, network_block_costs, optimize_network,
+    sequential_network_schedule, NetworkSchedule, OptimizeReport,
 };
+pub use pipeline::{plan_pipeline, PipelinePlan};
 pub use schedule::{ParallelizationStrategy, Schedule, Stage};
 pub use specialize::{
     cross_evaluate, specialization_violations, ExecutionContext, SpecializationCell,

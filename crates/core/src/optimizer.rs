@@ -192,32 +192,55 @@ pub fn evaluate_network<C: CostModel>(
     schedule: &NetworkSchedule,
     cost_model: &C,
 ) -> f64 {
+    network_block_costs(network, schedule, cost_model)
+        .iter()
+        .sum()
+}
+
+/// Re-measures an existing schedule block by block: element `i` is the
+/// latency of block `i`'s stages under `cost_model`. This is the
+/// measurement [`crate::pipeline::plan_pipeline`] partitions into pipeline
+/// segments, and [`evaluate_network`] is its sum.
+///
+/// # Panics
+///
+/// Panics if the schedule and network block counts differ.
+#[must_use]
+pub fn network_block_costs<C: CostModel>(
+    network: &Network,
+    schedule: &NetworkSchedule,
+    cost_model: &C,
+) -> Vec<f64> {
     assert_eq!(
         network.blocks.len(),
         schedule.block_schedules.len(),
         "schedule and network block counts differ"
     );
-    let mut total = 0.0;
-    for (block, block_schedule) in network.blocks.iter().zip(&schedule.block_schedules) {
-        for stage in &block_schedule.stages {
-            let latency = match stage.strategy {
-                ParallelizationStrategy::ConcurrentExecution => {
-                    cost_model.concurrent_latency(&block.graph, &stage.groups)
-                }
-                ParallelizationStrategy::OperatorMerge => {
-                    match try_merge(&block.graph, stage.ops) {
-                        Some(merged) => cost_model.merge_latency(&block.graph, &merged),
-                        // Fall back to concurrent execution if the stage is
-                        // no longer mergeable (cannot happen for pure batch
-                        // re-shaping, but keeps evaluation total).
-                        None => cost_model.concurrent_latency(&block.graph, &stage.groups),
+    network
+        .blocks
+        .iter()
+        .zip(&schedule.block_schedules)
+        .map(|(block, block_schedule)| {
+            block_schedule
+                .stages
+                .iter()
+                .map(|stage| match stage.strategy {
+                    ParallelizationStrategy::ConcurrentExecution => {
+                        cost_model.concurrent_latency(&block.graph, &stage.groups)
                     }
-                }
-            };
-            total += latency;
-        }
-    }
-    total
+                    ParallelizationStrategy::OperatorMerge => {
+                        match try_merge(&block.graph, stage.ops) {
+                            Some(merged) => cost_model.merge_latency(&block.graph, &merged),
+                            // Fall back to concurrent execution if the stage
+                            // is no longer mergeable (cannot happen for pure
+                            // batch re-shaping, but keeps evaluation total).
+                            None => cost_model.concurrent_latency(&block.graph, &stage.groups),
+                        }
+                    }
+                })
+                .sum()
+        })
+        .collect()
 }
 
 #[cfg(test)]

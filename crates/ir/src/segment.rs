@@ -1,0 +1,223 @@
+//! Segment boundaries over a network's block list.
+//!
+//! A network executes its blocks strictly in order, so any partition of the
+//! block sequence into *contiguous* runs — segments — preserves the data
+//! flow: segment `k + 1` consumes exactly the tensors segment `k` produces.
+//! This is the structural foundation of cross-block pipelined execution: a
+//! pipeline assigns each segment to one stage worker and streams batch
+//! instances through them, so block `k` of sample `i + 1` overlaps block
+//! `k + 1` of sample `i`.
+//!
+//! [`SegmentPlan`] is the IR-level object: just the boundaries, validated
+//! to cover the block list contiguously. *Choosing* the boundaries (from
+//! per-block cost measurements) is the scheduler's job (`ios-core`);
+//! *executing* them is the backend's.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A partition of a network's `num_blocks` blocks into contiguous
+/// segments, stored as the start index of every segment (the first entry
+/// is always 0).
+///
+/// The degenerate plans are both valid: a single segment reproduces flat
+/// (non-pipelined) execution, and one segment per block is the
+/// finest-grained pipeline the block structure admits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SegmentPlan {
+    /// Start block index of each segment, strictly increasing, first 0.
+    starts: Vec<usize>,
+    /// Total number of blocks covered.
+    num_blocks: usize,
+}
+
+impl SegmentPlan {
+    /// Builds a plan from the start index of every segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violation if `starts` is empty, does
+    /// not begin at block 0, is not strictly increasing, or reaches past
+    /// `num_blocks`, or if `num_blocks` is 0.
+    pub fn from_starts(num_blocks: usize, starts: Vec<usize>) -> Result<Self, String> {
+        if num_blocks == 0 {
+            return Err("a segment plan needs at least one block".to_string());
+        }
+        if starts.first() != Some(&0) {
+            return Err(format!(
+                "the first segment must start at block 0, got {:?}",
+                starts.first()
+            ));
+        }
+        for pair in starts.windows(2) {
+            if pair[1] <= pair[0] {
+                return Err(format!(
+                    "segment starts must be strictly increasing, got {} then {}",
+                    pair[0], pair[1]
+                ));
+            }
+        }
+        if let Some(&last) = starts.last() {
+            if last >= num_blocks {
+                return Err(format!(
+                    "segment start {last} is out of range for {num_blocks} blocks"
+                ));
+            }
+        }
+        Ok(SegmentPlan { starts, num_blocks })
+    }
+
+    /// The single-segment plan: all blocks in one run (flat execution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks` is 0.
+    #[must_use]
+    pub fn single(num_blocks: usize) -> Self {
+        Self::from_starts(num_blocks, vec![0]).expect("single-segment plan is always valid")
+    }
+
+    /// The finest plan: one segment per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks` is 0.
+    #[must_use]
+    pub fn per_block(num_blocks: usize) -> Self {
+        Self::from_starts(num_blocks, (0..num_blocks).collect())
+            .expect("per-block plan is always valid")
+    }
+
+    /// An even split into `num_segments` segments (the last segments are
+    /// one block shorter when the division is not exact). `num_segments`
+    /// is clamped to `[1, num_blocks]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks` is 0.
+    #[must_use]
+    pub fn even(num_blocks: usize, num_segments: usize) -> Self {
+        let segments = num_segments.clamp(1, num_blocks);
+        let base = num_blocks / segments;
+        let extra = num_blocks % segments;
+        let mut starts = Vec::with_capacity(segments);
+        let mut at = 0;
+        for s in 0..segments {
+            starts.push(at);
+            at += base + usize::from(s < extra);
+        }
+        Self::from_starts(num_blocks, starts).expect("even split is always valid")
+    }
+
+    /// Number of segments.
+    #[must_use]
+    pub fn num_segments(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Number of blocks covered by the plan.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// The block range of segment `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn segment(&self, index: usize) -> Range<usize> {
+        let start = self.starts[index];
+        let end = self
+            .starts
+            .get(index + 1)
+            .copied()
+            .unwrap_or(self.num_blocks);
+        start..end
+    }
+
+    /// Iterates over the block range of every segment, in order.
+    pub fn segments(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.num_segments()).map(|i| self.segment(i))
+    }
+
+    /// The segment containing block `block`, if in range.
+    #[must_use]
+    pub fn segment_of(&self, block: usize) -> Option<usize> {
+        if block >= self.num_blocks {
+            return None;
+        }
+        Some(self.starts.partition_point(|&s| s <= block) - 1)
+    }
+
+    /// True when the plan is the single-segment (flat execution) plan.
+    #[must_use]
+    pub fn is_flat(&self) -> bool {
+        self.num_segments() == 1
+    }
+}
+
+impl std::fmt::Display for SegmentPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ranges: Vec<String> = self
+            .segments()
+            .map(|r| format!("{}..{}", r.start, r.end))
+            .collect();
+        write!(f, "[{}]", ranges.join(" | "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_plans_cover_everything() {
+        let flat = SegmentPlan::single(5);
+        assert!(flat.is_flat());
+        assert_eq!(flat.segments().collect::<Vec<_>>(), vec![0..5]);
+
+        let fine = SegmentPlan::per_block(3);
+        assert_eq!(fine.num_segments(), 3);
+        assert_eq!(fine.segments().collect::<Vec<_>>(), vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn even_split_distributes_remainders_first() {
+        let plan = SegmentPlan::even(7, 3);
+        assert_eq!(plan.segments().collect::<Vec<_>>(), vec![0..3, 3..5, 5..7]);
+        // Clamped: more segments than blocks degenerates to per-block.
+        assert_eq!(SegmentPlan::even(2, 8), SegmentPlan::per_block(2));
+        assert_eq!(SegmentPlan::even(4, 0), SegmentPlan::single(4));
+    }
+
+    #[test]
+    fn segment_of_maps_blocks_to_their_segment() {
+        let plan = SegmentPlan::from_starts(6, vec![0, 2, 5]).unwrap();
+        assert_eq!(plan.segment_of(0), Some(0));
+        assert_eq!(plan.segment_of(1), Some(0));
+        assert_eq!(plan.segment_of(2), Some(1));
+        assert_eq!(plan.segment_of(4), Some(1));
+        assert_eq!(plan.segment_of(5), Some(2));
+        assert_eq!(plan.segment_of(6), None);
+    }
+
+    #[test]
+    fn invalid_boundaries_are_rejected() {
+        assert!(SegmentPlan::from_starts(0, vec![0]).is_err());
+        assert!(SegmentPlan::from_starts(4, vec![]).is_err());
+        assert!(SegmentPlan::from_starts(4, vec![1]).is_err());
+        assert!(SegmentPlan::from_starts(4, vec![0, 2, 2]).is_err());
+        assert!(SegmentPlan::from_starts(4, vec![0, 4]).is_err());
+    }
+
+    #[test]
+    fn display_and_serde_round_trip() {
+        let plan = SegmentPlan::from_starts(6, vec![0, 2, 5]).unwrap();
+        assert_eq!(plan.to_string(), "[0..2 | 2..5 | 5..6]");
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: SegmentPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

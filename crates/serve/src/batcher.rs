@@ -154,6 +154,86 @@ mod tests {
     }
 
     #[test]
+    fn lone_request_flushes_on_its_deadline_while_a_worker_waits() {
+        // The deadline flush with a *blocked* worker: the worker is already
+        // waiting inside `next_batch` when the single request arrives, and
+        // must wake on the push, sleep out the request's own deadline, and
+        // dispatch a batch of exactly one.
+        let queue = std::sync::Arc::new(BatchQueue::new());
+        let worker = {
+            let queue = std::sync::Arc::clone(&queue);
+            std::thread::spawn(move || queue.next_batch(8, Duration::from_millis(25)))
+        };
+        std::thread::sleep(Duration::from_millis(15));
+        let start = Instant::now();
+        let (p, _rx) = pending(0);
+        assert!(queue.push(p));
+        let batch = worker.join().expect("worker").expect("open queue");
+        assert_eq!(batch.len(), 1);
+        let waited = start.elapsed();
+        assert!(
+            waited >= Duration::from_millis(20),
+            "the deadline is measured from the request's enqueue ({waited:?})"
+        );
+        assert_eq!(queue.depth(), 0);
+    }
+
+    #[test]
+    fn exact_max_batch_boundary_dispatches_immediately_and_exactly() {
+        let queue = BatchQueue::new();
+        let mut receivers = Vec::new();
+        for i in 0..4 {
+            let (p, rx) = pending(i);
+            assert!(queue.push(p));
+            receivers.push(rx);
+        }
+        // Exactly max_batch queued: dispatch now (the 60 s deadline must
+        // not be involved), exactly max_batch handed out, nothing left.
+        let start = Instant::now();
+        let batch = queue
+            .next_batch(4, Duration::from_secs(60))
+            .expect("open queue");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "a full batch must not wait for the deadline"
+        );
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.last().unwrap().id, RequestId(3));
+        assert_eq!(queue.depth(), 0, "exactly the boundary: queue drained");
+        // One more request: it alone must not ride along retroactively.
+        let (p, _rx) = pending(4);
+        queue.push(p);
+        assert_eq!(queue.depth(), 1);
+    }
+
+    #[test]
+    fn close_flushes_queued_requests_without_waiting_for_deadlines() {
+        // Shutdown with requests still queued: the close must hand them
+        // out immediately (no 60 s deadline hang) as one final batch.
+        let queue = std::sync::Arc::new(BatchQueue::new());
+        let worker = {
+            let queue = std::sync::Arc::clone(&queue);
+            std::thread::spawn(move || queue.next_batch(8, Duration::from_secs(60)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        let mut receivers = Vec::new();
+        for i in 0..3 {
+            let (p, rx) = pending(i);
+            assert!(queue.push(p));
+            receivers.push(rx);
+        }
+        let start = Instant::now();
+        queue.close();
+        let batch = worker.join().expect("worker").expect("drains before None");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "close must flush immediately, not wait out the deadline"
+        );
+        assert_eq!(batch.len(), 3);
+        assert!(queue.next_batch(8, Duration::from_secs(60)).is_none());
+    }
+
+    #[test]
     fn close_drains_then_stops() {
         let queue = BatchQueue::new();
         let (p, _rx) = pending(0);

@@ -20,6 +20,26 @@ pub enum CostModelKind {
     CpuProfiled,
 }
 
+/// Whether (and how) the engine executes batches through the cross-block
+/// pipeline instead of flat batched execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineMode {
+    /// Flat batched execution only.
+    #[default]
+    Off,
+    /// Measure per-block costs with the engine's cost model, plan segment
+    /// boundaries (`ios_core::plan_pipeline`), and route each batch to the
+    /// pipeline **only when the plan predicts it out-serves flat batched
+    /// execution at that batch size** — flat otherwise. On hosts where
+    /// pipelining cannot win (one core, or one dominant block) the plan
+    /// comes back flat and every batch takes the flat path.
+    Auto,
+    /// Route every batch through a pipeline with the given number of
+    /// segments (clamped to the block count), regardless of the
+    /// prediction. For diagnostics and tests; `Auto` is the serving mode.
+    Forced(usize),
+}
+
 /// Configuration of a [`crate::ServeEngine`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -45,6 +65,11 @@ pub struct ServeConfig {
     /// Whether a cache miss on an exact batch size triggers background
     /// re-optimization for that batch size (Table 3 as a runtime policy).
     pub background_reoptimize: bool,
+    /// Cross-block pipelined execution mode (see [`PipelineMode`]).
+    pub pipeline: PipelineMode,
+    /// Cap on pipeline segment count; `None` lets the planner choose (up
+    /// to twice the host's cores).
+    pub pipeline_max_segments: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +86,8 @@ impl Default for ServeConfig {
             scheduler: SchedulerConfig::paper_default(),
             prewarm_batches: None,
             background_reoptimize: true,
+            pipeline: PipelineMode::default(),
+            pipeline_max_segments: None,
         }
     }
 }
@@ -134,6 +161,23 @@ impl ServeConfig {
         self.background_reoptimize = enabled;
         self
     }
+
+    /// Sets the cross-block pipelined execution mode.
+    /// [`PipelineMode::Auto`] lets the engine pick pipelined vs flat
+    /// batched execution per batch size from the planner's prediction.
+    #[must_use]
+    pub fn with_pipeline(mut self, mode: PipelineMode) -> Self {
+        self.pipeline = mode;
+        self
+    }
+
+    /// Caps the number of pipeline segments the planner may choose.
+    #[must_use]
+    pub fn with_pipeline_max_segments(mut self, max_segments: usize) -> Self {
+        assert!(max_segments >= 1, "at least one segment is required");
+        self.pipeline_max_segments = Some(max_segments);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -148,8 +192,17 @@ mod tests {
             .with_workers(2)
             .with_max_wait(Duration::from_millis(5))
             .with_background_reoptimize(false)
-            .with_cost_model(CostModelKind::CpuProfiled);
+            .with_cost_model(CostModelKind::CpuProfiled)
+            .with_pipeline(PipelineMode::Auto)
+            .with_pipeline_max_segments(4);
         assert_eq!(config.max_batch, 32);
+        assert_eq!(config.pipeline, PipelineMode::Auto);
+        assert_eq!(config.pipeline_max_segments, Some(4));
+        assert_eq!(
+            ServeConfig::default().pipeline,
+            PipelineMode::Off,
+            "pipelining stays opt-in"
+        );
         assert_eq!(config.effective_prewarm_batches(), vec![1, 32]);
         assert_eq!(config.device, DeviceKind::TeslaK80);
         assert_eq!(config.workers, 2);

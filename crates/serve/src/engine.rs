@@ -3,7 +3,7 @@
 
 use crate::batcher::BatchQueue;
 use crate::cache::{ScheduleCache, ScheduleKey};
-use crate::config::{CostModelKind, ServeConfig};
+use crate::config::{CostModelKind, PipelineMode, ServeConfig};
 use crate::exec::{BatchContext, BatchExecutor, CpuReferenceExecutor, SimulatedDeviceExecutor};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::request::{
@@ -14,15 +14,25 @@ use ios_backend::{
     stack_batch_pooled, CpuStageProfiler, GroupMode, NetworkWeights, ScratchPool, TensorData,
 };
 use ios_core::{
-    optimize_network, CachingCostModel, CostModel, NetworkSchedule, ProfiledCostModel, SimCostModel,
+    network_block_costs, optimize_network, plan_pipeline, CachingCostModel, CostModel,
+    NetworkSchedule, PipelinePlan, ProfiledCostModel, SimCostModel,
 };
-use ios_ir::{Network, TensorShape};
+use ios_ir::{Network, SegmentPlan, TensorShape};
 use ios_sim::Simulator;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// The host's available parallelism (1 when unknown) — the single probe
+/// the worker split, the pipeline planner's stage budget and the custom
+/// backend default all derive from.
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
 
 /// State shared between the engine handle, its workers and background
 /// re-optimization threads.
@@ -49,6 +59,15 @@ struct Shared {
     /// at the boundary.
     io_pool: Arc<ScratchPool>,
     metrics: ServeMetrics,
+    /// The cross-block pipeline plan, when [`ServeConfig::pipeline`] is on
+    /// and the backend accepted it; [`Shared::run_batch`] consults it per
+    /// batch size to pick pipelined vs flat batched execution.
+    pipeline: Mutex<Option<Arc<PipelinePlan>>>,
+    /// Per-batch sample-worker cap of the *flat* execution path — what the
+    /// pipeline's prediction must beat. [`ServeEngine::start`] splits the
+    /// host's cores across its dispatch workers, so this is usually below
+    /// the core count; custom backends default to the full host.
+    flat_workers: usize,
     instances: Mutex<HashMap<usize, Arc<Network>>>,
     background: Mutex<Vec<JoinHandle<()>>>,
     /// Serializes cold-start synchronous schedule optimizations.
@@ -114,6 +133,59 @@ impl Shared {
         (schedule, ScheduleSource::FreshlyOptimized)
     }
 
+    /// Plans the cross-block pipeline at startup when
+    /// [`ServeConfig::pipeline`] asks for one: measure per-block costs of
+    /// the batch-1 schedule with the engine's cost model (for
+    /// [`CostModelKind::CpuProfiled`] with pipelining on, those stage
+    /// latencies were measured *under concurrent load*), choose segment
+    /// boundaries, and offer the plan to the execution backend. The plan
+    /// only sticks if the backend can actually execute it.
+    fn plan_pipeline_if_configured(self: &Arc<Self>) {
+        if self.config.pipeline == PipelineMode::Off || !self.executor.can_pipeline() {
+            // Planning measures every block (expensively, for a profiled
+            // cost model): don't pay for a plan a flat-only backend would
+            // discard anyway.
+            return;
+        }
+        // The per-sample (batch-1) schedule drives the plan: the pipeline
+        // executes one sample per job regardless of serving batch size.
+        let key = self.key(1);
+        let schedule1 = self.cache.peek(&key).unwrap_or_else(|| {
+            let schedule = self.optimize(1);
+            self.cache.insert(key, Arc::clone(&schedule));
+            schedule
+        });
+        let stage_workers = host_cores();
+        let plan = match self.config.pipeline {
+            PipelineMode::Forced(segments) => PipelinePlan::for_segments(
+                network_block_costs(&self.base, &schedule1, &self.cost),
+                SegmentPlan::even(self.base.blocks.len(), segments.max(1)),
+                stage_workers,
+            ),
+            _ => plan_pipeline(
+                &self.base,
+                &schedule1,
+                &self.cost,
+                stage_workers,
+                self.config.pipeline_max_segments,
+            ),
+        };
+        // Under `Auto` the pipeline only earns its stage workers if some
+        // admissible batch size is actually predicted to route to it — a
+        // flat plan, or a multi-segment plan that never beats the capped
+        // flat path for any batch up to `max_batch`, stays flat.
+        let worth_running = matches!(self.config.pipeline, PipelineMode::Forced(_))
+            || (2..=self.config.max_batch)
+                .any(|batch| plan.prefers_pipeline_vs(batch, self.flat_workers));
+        if worth_running
+            && self
+                .executor
+                .prepare_pipeline(self.instance(1), Arc::clone(&self.weights), &plan)
+        {
+            *self.pipeline.lock().expect("pipeline plan lock") = Some(Arc::new(plan));
+        }
+    }
+
     /// One worker: take batches until the queue closes and drains.
     fn worker_loop(self: &Arc<Self>) {
         while let Some(batch) = self
@@ -139,23 +211,64 @@ impl Shared {
         }
     }
 
+    /// The pipeline plan this batch should execute under, per the
+    /// configured [`PipelineMode`] and the plan's own per-batch-size
+    /// prediction — `None` means flat batched execution. (Under
+    /// [`PipelineMode::Off`] no plan is ever stored, so the lock read
+    /// already short-circuits.)
+    fn pipeline_for(&self, batch: usize) -> Option<Arc<PipelinePlan>> {
+        let plan = self.pipeline.lock().expect("pipeline plan lock").clone()?;
+        if let PipelineMode::Auto = self.config.pipeline {
+            // Compare against the flat path as this engine actually runs
+            // it: capped at `flat_workers` sample workers per batch.
+            return plan
+                .prefers_pipeline_vs(batch, self.flat_workers)
+                .then_some(plan);
+        }
+        Some(plan)
+    }
+
     fn run_batch(self: &Arc<Self>, batch: Vec<Pending>) {
         let batch_size = batch.len();
         let (schedule, source) = self.resolve_schedule(batch_size);
         let network = self.instance(batch_size);
+        let mut pipeline = self.pipeline_for(batch_size);
         let dispatched_at = Instant::now();
 
         let input_refs: Vec<&TensorData> = batch.iter().map(|p| &p.input).collect();
         let stacked = stack_batch_pooled(&input_refs, &self.io_pool);
-        let outcome = self.executor.execute(&BatchContext {
-            network: &network,
-            schedule: &schedule,
-            weights: &self.weights,
-            inputs: std::slice::from_ref(&stacked),
-        });
+        let run = |pipeline: Option<&PipelinePlan>| {
+            self.executor.execute(&BatchContext {
+                network: &network,
+                schedule: &schedule,
+                weights: &self.weights,
+                inputs: std::slice::from_ref(&stacked),
+                pipeline,
+            })
+        };
+        let outcome = if let Some(plan) = pipeline.clone() {
+            // A dead pipeline (one stage worker panicked and broke the
+            // channel chain) must not take the engine down with it: drop
+            // the plan so every later batch goes flat, and salvage *this*
+            // batch by retrying it on the flat path right away.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(Some(&plan)))) {
+                Ok(outcome) => outcome,
+                Err(_) => {
+                    eprintln!(
+                        "ios-serve: pipelined execution failed; disabling the pipeline \
+                         and retrying this batch flat"
+                    );
+                    *self.pipeline.lock().expect("pipeline plan lock") = None;
+                    pipeline = None;
+                    run(None)
+                }
+            }
+        } else {
+            run(None)
+        };
         self.io_pool.recycle_tensor(stacked);
         self.metrics
-            .record_batch(batch_size, outcome.device_time_us);
+            .record_batch(batch_size, outcome.device_time_us, pipeline.is_some());
 
         // Split the stacked outputs (one entry per network output) into
         // per-sample response leases drawn from the io pool; each lease's
@@ -196,6 +309,7 @@ impl Shared {
                 outputs,
                 batch_size,
                 schedule_source: source,
+                pipelined: pipeline.is_some(),
                 queue_us,
                 total_us,
                 device_us: device_share_us,
@@ -234,14 +348,14 @@ impl ServeEngine {
     /// workers so concurrent batches do not oversubscribe the machine.
     #[must_use]
     pub fn start(network: Network, config: ServeConfig) -> Self {
-        let cores = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        let per_batch = cores.div_ceil(config.workers.max(1));
-        Self::start_with_executor(
+        let per_batch = host_cores().div_ceil(config.workers.max(1));
+        let cost = Self::cost_model_for(&config);
+        Self::build(
             network,
             config,
+            cost,
             Box::new(CpuReferenceExecutor::with_max_workers(per_batch)),
+            per_batch,
         )
     }
 
@@ -256,12 +370,14 @@ impl ServeEngine {
             config.device,
         ))));
         let executor = SimulatedDeviceExecutor::new(Arc::clone(&cost));
-        Self::build(network, config, cost, Box::new(executor))
+        Self::build(network, config, cost, Box::new(executor), host_cores())
     }
 
     /// Starts an engine with a custom execution backend, optimizing
     /// schedules against the cost model selected by
-    /// [`ServeConfig::cost_model`].
+    /// [`ServeConfig::cost_model`]. The backend's flat per-batch fan-out is
+    /// unknown here, so the pipeline-vs-flat prediction assumes it spans
+    /// the whole host.
     #[must_use]
     pub fn start_with_executor(
         network: Network,
@@ -269,7 +385,7 @@ impl ServeEngine {
         executor: Box<dyn BatchExecutor>,
     ) -> Self {
         let cost = Self::cost_model_for(&config);
-        Self::build(network, config, cost, executor)
+        Self::build(network, config, cost, executor, host_cores())
     }
 
     /// The scheduling cost model [`ServeConfig::cost_model`] selects.
@@ -286,11 +402,26 @@ impl ServeEngine {
             // executor will run it: batch-1 stages with threaded groups, and
             // batch>1 stages serially (inside per-sample batch workers the
             // cores are already busy and stage groups run serially).
-            CostModelKind::CpuProfiled => Arc::new(ProfiledCostModel::with_policy(
-                CpuStageProfiler::with_group_mode(GroupMode::MatchServing),
-                1,
-                3,
-            )),
+            //
+            // A pipelining engine additionally profiles **under concurrent
+            // load** — one background load worker per sibling dispatch
+            // worker — because its stages never run on an idle machine:
+            // pipeline neighbours and concurrent batches contend for cores
+            // and cache, and measurements that ignore that contention
+            // mis-rank candidate stages and segment boundaries.
+            CostModelKind::CpuProfiled => {
+                let load = if config.pipeline == PipelineMode::Off {
+                    0
+                } else {
+                    config.workers.saturating_sub(1)
+                };
+                Arc::new(ProfiledCostModel::with_policy(
+                    CpuStageProfiler::with_group_mode(GroupMode::MatchServing)
+                        .with_background_load(load),
+                    1,
+                    3,
+                ))
+            }
         }
     }
 
@@ -299,6 +430,7 @@ impl ServeEngine {
         config: ServeConfig,
         cost: Arc<dyn CostModel + Send + Sync>,
         executor: Box<dyn BatchExecutor>,
+        flat_workers: usize,
     ) -> Self {
         assert!(!network.blocks.is_empty(), "cannot serve an empty network");
         assert_eq!(
@@ -323,6 +455,8 @@ impl ServeEngine {
             executor,
             io_pool: Arc::new(ScratchPool::new()),
             metrics: ServeMetrics::new(),
+            pipeline: Mutex::new(None),
+            flat_workers: flat_workers.max(1),
             instances: Mutex::new(HashMap::new()),
             background: Mutex::new(Vec::new()),
             sync_optimize: Mutex::new(()),
@@ -337,6 +471,8 @@ impl ServeEngine {
             let schedule = shared.optimize(batch);
             shared.cache.insert(shared.key(batch), schedule);
         }
+
+        shared.plan_pipeline_if_configured();
 
         let workers = (0..shared.config.workers.max(1))
             .map(|i| {
@@ -396,6 +532,18 @@ impl ServeEngine {
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot(self.shared.cache.stats())
+    }
+
+    /// The cross-block pipeline plan the engine is serving with, if the
+    /// configured [`PipelineMode`] produced one and the backend accepted
+    /// it. `None` means every batch runs flat batched execution.
+    #[must_use]
+    pub fn pipeline_plan(&self) -> Option<Arc<PipelinePlan>> {
+        self.shared
+            .pipeline
+            .lock()
+            .expect("pipeline plan lock")
+            .clone()
     }
 
     /// Counters of the engine's serving-boundary pool (stacked inputs and
@@ -681,6 +829,121 @@ mod tests {
         // …and answer the next request normally.
         let response = engine.infer(TensorData::zeros(net.input_shape)).unwrap();
         assert_eq!(response.batch_size, 1);
+        engine.shutdown();
+    }
+
+    /// A three-block chain so a forced two-segment pipeline has a real
+    /// boundary to cut.
+    fn three_block_network() -> Network {
+        use ios_ir::{Block, Conv2dParams, GraphBuilder};
+        let input = TensorShape::new(1, 4, 6, 6);
+        let mut b = GraphBuilder::new("engine_pipe_b0", input);
+        let x = b.input(0);
+        let a = b.conv2d("a", x, Conv2dParams::relu(6, (3, 3), (1, 1), (1, 1)));
+        let c = b.conv2d("c", x, Conv2dParams::relu(6, (1, 1), (1, 1), (0, 0)));
+        let cat = b.concat("cat", &[a, c]);
+        let block0 = Block::new(b.build(vec![cat]));
+        let mut b = GraphBuilder::with_inputs("engine_pipe_b1", block0.graph.output_shapes());
+        let x = b.input(0);
+        let d = b.conv2d("d", x, Conv2dParams::relu(8, (3, 3), (1, 1), (1, 1)));
+        let block1 = Block::new(b.build(vec![d]));
+        let mut b = GraphBuilder::with_inputs("engine_pipe_b2", block1.graph.output_shapes());
+        let x = b.input(0);
+        let e = b.conv2d("e", x, Conv2dParams::relu(4, (1, 1), (1, 1), (0, 0)));
+        let block2 = Block::new(b.build(vec![e]));
+        Network::new("engine_pipe", input, vec![block0, block1, block2])
+    }
+
+    #[test]
+    fn forced_pipeline_serves_bit_identical_responses() {
+        let net = three_block_network();
+        let config = quick_config()
+            .with_pipeline(crate::PipelineMode::Forced(2))
+            .with_max_wait(Duration::from_millis(30));
+        let engine = ServeEngine::start(net.clone(), config);
+        let plan = engine.pipeline_plan().expect("forced mode must plan");
+        assert_eq!(plan.segments.num_segments(), 2);
+
+        let inputs: Vec<TensorData> = (0..4)
+            .map(|i| TensorData::random(net.input_shape, 60 + i))
+            .collect();
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|t| engine.submit(t.clone()).unwrap())
+            .collect();
+        let responses: Vec<_> = handles.into_iter().map(ResponseHandle::wait).collect();
+        for (input, response) in inputs.iter().zip(&responses) {
+            assert!(response.pipelined, "forced mode routes every batch");
+            let solo = ios_backend::execute_network(&net, std::slice::from_ref(input));
+            assert_eq!(response.outputs.len(), solo.len());
+            for (lease, reference) in response.outputs.iter().zip(&solo) {
+                assert_eq!(
+                    lease, reference,
+                    "pipelined serving must be bit-identical to solo execution"
+                );
+            }
+        }
+        let metrics = engine.metrics();
+        assert!(metrics.pipelined_batches >= 1);
+        assert_eq!(metrics.pipelined_batches, metrics.batches);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn a_dead_pipeline_falls_back_to_flat_execution() {
+        use crate::exec::{BatchContext, BatchExecutor, BatchOutcome};
+        use ios_core::PipelinePlan;
+
+        /// Accepts the pipeline offer but dies on every pipelined batch —
+        /// the shape of a stage-worker panic surfacing through
+        /// `execute_batch`; flat execution works fine.
+        struct DeadPipeline;
+        impl BatchExecutor for DeadPipeline {
+            fn name(&self) -> &'static str {
+                "dead-pipeline"
+            }
+            fn execute(&self, ctx: &BatchContext<'_>) -> BatchOutcome {
+                assert!(
+                    ctx.pipeline.is_none(),
+                    "simulated stage-worker death on the pipelined path"
+                );
+                BatchOutcome {
+                    outputs: None,
+                    device_time_us: 1.0,
+                }
+            }
+            fn can_pipeline(&self) -> bool {
+                true
+            }
+            fn prepare_pipeline(
+                &self,
+                _network: Arc<Network>,
+                _weights: Arc<NetworkWeights>,
+                _plan: &PipelinePlan,
+            ) -> bool {
+                true
+            }
+        }
+
+        let net = three_block_network();
+        let config = quick_config().with_pipeline(crate::PipelineMode::Forced(2));
+        let engine = ServeEngine::start_with_executor(net.clone(), config, Box::new(DeadPipeline));
+        assert!(engine.pipeline_plan().is_some());
+        // The first batch hits the dead pipeline, falls back to flat
+        // mid-batch (the request is salvaged, served un-pipelined) and
+        // disables the pipeline for good.
+        let response = engine.infer(TensorData::zeros(net.input_shape)).unwrap();
+        assert!(!response.pipelined, "the salvaged batch was served flat");
+        assert!(
+            engine.pipeline_plan().is_none(),
+            "a dead pipeline must be disabled"
+        );
+        // Later batches go straight to the flat path.
+        let response = engine.infer(TensorData::zeros(net.input_shape)).unwrap();
+        assert!(!response.pipelined);
+        let metrics = engine.metrics();
+        assert_eq!(metrics.pipelined_batches, 0);
+        assert_eq!(metrics.completed, 2);
         engine.shutdown();
     }
 

@@ -22,7 +22,16 @@
 //!   engine's scheduler (and its background re-optimizer) can measure
 //!   candidate stages on the CPU execution backend itself
 //!   (`CostModelKind::CpuProfiled`) instead of simulating them, closing
-//!   the paper's optimize → profile → execute loop at serving time.
+//!   the paper's optimize → profile → execute loop at serving time; a
+//!   pipelining engine profiles **under concurrent load**, not on an idle
+//!   machine.
+//! * **Cross-block pipelined execution** ([`config::PipelineMode`]) — the
+//!   engine measures per-block costs, plans segment boundaries
+//!   (`ios_core::plan_pipeline`) and routes each batch to the backend's
+//!   cross-block pipeline whenever the plan predicts it out-serves flat
+//!   batched execution at that batch size, so block `k` of sample `i + 1`
+//!   overlaps block `k + 1` of sample `i` — bit-identical per sample
+//!   either way.
 //! * **Metrics** ([`metrics`]) — p50/p95/p99 latency, wall and device
 //!   throughput, queue depth, batch shape and cache hit rates.
 //!
@@ -66,7 +75,7 @@ pub mod metrics;
 pub mod request;
 
 pub use cache::{CacheStats, ScheduleCache, ScheduleKey};
-pub use config::{CostModelKind, ServeConfig};
+pub use config::{CostModelKind, PipelineMode, ServeConfig};
 pub use engine::ServeEngine;
 pub use exec::{
     BatchContext, BatchExecutor, BatchOutcome, CpuReferenceExecutor, SimulatedDeviceExecutor,

@@ -14,6 +14,7 @@ pub(crate) struct ServeMetrics {
     started_at: Instant,
     completed: AtomicU64,
     batches: AtomicU64,
+    pipelined_batches: AtomicU64,
     /// Total device time across batches, in nanoseconds (µs lose precision).
     device_time_ns: AtomicU64,
     queue_depth: AtomicUsize,
@@ -28,15 +29,20 @@ impl ServeMetrics {
             started_at: Instant::now(),
             completed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            pipelined_batches: AtomicU64::new(0),
             device_time_ns: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             latencies_us: Mutex::new(Vec::new()),
         }
     }
 
-    /// Records one dispatched batch.
-    pub fn record_batch(&self, batch_size: usize, device_time_us: f64) {
+    /// Records one dispatched batch and how it was executed (`pipelined`
+    /// = through the cross-block pipeline, else flat batched).
+    pub fn record_batch(&self, batch_size: usize, device_time_us: f64, pipelined: bool) {
         self.batches.fetch_add(1, Ordering::Relaxed);
+        if pipelined {
+            self.pipelined_batches.fetch_add(1, Ordering::Relaxed);
+        }
         self.completed
             .fetch_add(batch_size as u64, Ordering::Relaxed);
         let ns = (device_time_us * 1e3).max(0.0);
@@ -66,6 +72,7 @@ impl ServeMetrics {
         MetricsSnapshot {
             completed,
             batches,
+            pipelined_batches: self.pipelined_batches.load(Ordering::Relaxed),
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
@@ -99,6 +106,9 @@ pub struct MetricsSnapshot {
     pub completed: u64,
     /// Batches dispatched so far.
     pub batches: u64,
+    /// Batches that executed through the cross-block pipeline (the rest
+    /// ran flat batched execution).
+    pub pipelined_batches: u64,
     /// Mean coalesced batch size (`completed / batches`).
     pub mean_batch_size: f64,
     /// Median request latency (submission → response), µs wall clock.
@@ -151,8 +161,8 @@ mod tests {
     #[test]
     fn snapshot_aggregates_counters() {
         let metrics = ServeMetrics::new();
-        metrics.record_batch(4, 200.0);
-        metrics.record_batch(2, 100.0);
+        metrics.record_batch(4, 200.0, true);
+        metrics.record_batch(2, 100.0, false);
         for latency in [10.0, 20.0, 30.0, 40.0, 50.0, 60.0] {
             metrics.record_latency(latency);
         }
@@ -160,6 +170,7 @@ mod tests {
         let snap = metrics.snapshot(CacheStats::default());
         assert_eq!(snap.completed, 6);
         assert_eq!(snap.batches, 2);
+        assert_eq!(snap.pipelined_batches, 1);
         assert!((snap.mean_batch_size - 3.0).abs() < 1e-12);
         assert_eq!(snap.p50_latency_us, 30.0);
         assert_eq!(snap.max_latency_us, 60.0);
@@ -171,7 +182,7 @@ mod tests {
     #[test]
     fn snapshot_serializes() {
         let metrics = ServeMetrics::new();
-        metrics.record_batch(1, 50.0);
+        metrics.record_batch(1, 50.0, false);
         metrics.record_latency(80.0);
         let snap = metrics.snapshot(CacheStats::default());
         let json = serde_json::to_string(&snap).unwrap();

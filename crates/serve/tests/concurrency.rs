@@ -1,0 +1,352 @@
+//! Concurrency tests for the serving engine, pinning the invariants that
+//! only show up under racing clients, mid-flight schedule swaps and
+//! shutdown with work still queued:
+//!
+//! * responses stay **bit-identical** to solo reference executions while
+//!   the background re-optimizer swaps specialized schedules under the
+//!   running engine — on the flat batched path and through the cross-block
+//!   pipeline (whose in-flight samples carry their schedule);
+//! * schedule-cache and pool counters stay consistent under racing
+//!   submit/drop (a repeated stress loop — every batch's resolve is
+//!   exactly one exact-cache lookup, so `hits + misses == batches` must
+//!   hold whatever the interleaving);
+//! * the dynamic batcher's edge cases at engine level: exact max-batch
+//!   boundary dispatch, and shutdown with requests still queued — no
+//!   hang, every request answered, response leases returned to the pool.
+
+use ios_backend::{execute_network, TensorData};
+use ios_serve::{PipelineMode, ResponseHandle, ServeConfig, ServeEngine};
+use std::time::{Duration, Instant};
+
+mod common {
+    use ios_ir::{Block, Conv2dParams, GraphBuilder, Network, TensorShape};
+
+    /// A three-block chain with a branchy head — big enough to pipeline
+    /// and to get distinct specialized schedules per batch size, small
+    /// enough for a stress loop in CI.
+    pub fn three_block_network() -> Network {
+        let input = TensorShape::new(1, 4, 6, 6);
+        let mut b = GraphBuilder::new("conc_b0", input);
+        let x = b.input(0);
+        let a = b.conv2d("a", x, Conv2dParams::relu(6, (3, 3), (1, 1), (1, 1)));
+        let c = b.conv2d("c", x, Conv2dParams::relu(6, (1, 1), (1, 1), (0, 0)));
+        let cat = b.concat("cat", &[a, c]);
+        let block0 = Block::new(b.build(vec![cat]));
+        let mut b = GraphBuilder::with_inputs("conc_b1", block0.graph.output_shapes());
+        let x = b.input(0);
+        let d = b.conv2d("d", x, Conv2dParams::relu(8, (3, 3), (1, 1), (1, 1)));
+        let e = b.conv2d("e", x, Conv2dParams::relu(4, (1, 1), (1, 1), (0, 0)));
+        let cat = b.concat("cat1", &[d, e]);
+        let block1 = Block::new(b.build(vec![cat]));
+        let mut b = GraphBuilder::with_inputs("conc_b2", block1.graph.output_shapes());
+        let x = b.input(0);
+        let f = b.conv2d("f", x, Conv2dParams::relu(4, (1, 1), (1, 1), (0, 0)));
+        let block2 = Block::new(b.build(vec![f]));
+        Network::new("conc_net", input, vec![block0, block1, block2])
+    }
+}
+
+/// The solo reference outputs for a seeded input — what every concurrent
+/// response must match bit for bit.
+fn reference_outputs(net: &ios_ir::Network, seed: u64) -> Vec<TensorData> {
+    let input = TensorData::random(net.input_shape, seed);
+    execute_network(net, std::slice::from_ref(&input))
+}
+
+/// Stress the engine from `clients` threads × `rounds` seeded requests
+/// each, asserting every response against its solo reference. Returns the
+/// total number of requests issued.
+fn stress_bit_identity(
+    engine: &ServeEngine,
+    net: &ios_ir::Network,
+    clients: u64,
+    rounds: u64,
+) -> u64 {
+    let references: Vec<Vec<TensorData>> = (0..8).map(|s| reference_outputs(net, s)).collect();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let references = &references;
+            scope.spawn(move || {
+                for round in 0..rounds {
+                    let seed = (client * 31 + round) % 8;
+                    let input = TensorData::random(net.input_shape, seed);
+                    let response = engine.submit(input).unwrap().wait();
+                    let expected = &references[seed as usize];
+                    assert_eq!(response.outputs.len(), expected.len());
+                    for (lease, reference) in response.outputs.iter().zip(expected) {
+                        assert_eq!(
+                            lease, reference,
+                            "client {client} round {round}: response diverged from solo \
+                             execution (batch {}, source {:?}, pipelined {})",
+                            response.batch_size, response.schedule_source, response.pipelined
+                        );
+                    }
+                }
+            });
+        }
+    });
+    clients * rounds
+}
+
+/// Waits (bounded) until the background re-optimizer has inserted at least
+/// one schedule — proof that schedules were swapped under the engine.
+/// Bursts of three concurrent requests coalesce into batch sizes that have
+/// no exact cached schedule (only batch 1 and the full batch are
+/// pre-warmed), so each burst can trigger a background re-optimization.
+fn await_background_insert(engine: &ServeEngine, net: &ios_ir::Network) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while engine.metrics().cache.background_inserts == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "background re-optimization never landed"
+        );
+        let handles: Vec<_> = (0..3)
+            .map(|s| {
+                engine
+                    .submit(TensorData::random(net.input_shape, s))
+                    .unwrap()
+            })
+            .collect();
+        for handle in handles {
+            let _ = handle.wait();
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn responses_stay_bit_identical_while_schedules_swap_mid_flight() {
+    let net = common::three_block_network();
+    // Pre-warm only the full batch: every smaller coalesced batch is
+    // served by the nearest schedule while the background re-optimizer
+    // races to insert the exact one — schedules swap under live traffic.
+    let config = ServeConfig::default()
+        .with_max_batch(4)
+        .with_workers(2)
+        .with_max_wait(Duration::from_millis(1))
+        .with_prewarm_batches(vec![4])
+        .with_background_reoptimize(true)
+        .with_pipeline(PipelineMode::Auto);
+    let engine = ServeEngine::start(net.clone(), config);
+    stress_bit_identity(&engine, &net, 4, 24);
+    await_background_insert(&engine, &net);
+    // Keep serving after the swaps landed: still bit-identical.
+    stress_bit_identity(&engine, &net, 2, 8);
+    let metrics = engine.metrics();
+    assert!(metrics.cache.background_inserts >= 1);
+    assert_eq!(metrics.queue_depth, 0);
+    engine.shutdown();
+}
+
+#[test]
+fn pipelined_responses_stay_bit_identical_while_schedules_swap_mid_flight() {
+    // Same race, but every batch is forced through the cross-block
+    // pipeline: in-flight samples carry the schedule they entered with,
+    // so a mid-flight swap must never mix schedules within a sample.
+    let net = common::three_block_network();
+    let config = ServeConfig::default()
+        .with_max_batch(4)
+        .with_workers(2)
+        .with_max_wait(Duration::from_millis(1))
+        .with_prewarm_batches(vec![4])
+        .with_background_reoptimize(true)
+        .with_pipeline(PipelineMode::Forced(2));
+    let engine = ServeEngine::start(net.clone(), config);
+    assert!(engine.pipeline_plan().is_some(), "forced mode must plan");
+    stress_bit_identity(&engine, &net, 4, 24);
+    await_background_insert(&engine, &net);
+    stress_bit_identity(&engine, &net, 2, 8);
+    let metrics = engine.metrics();
+    assert!(metrics.cache.background_inserts >= 1);
+    assert!(
+        metrics.pipelined_batches == metrics.batches,
+        "forced mode routes every batch through the pipeline \
+         ({}/{} pipelined)",
+        metrics.pipelined_batches,
+        metrics.batches
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn cache_and_pool_counters_stay_consistent_under_racing_submit_and_drop() {
+    let net = common::three_block_network();
+    let config = ServeConfig::default()
+        .with_max_batch(4)
+        .with_workers(2)
+        .with_max_wait(Duration::from_millis(1))
+        .with_background_reoptimize(true)
+        .with_pipeline(PipelineMode::Auto);
+    let engine = ServeEngine::start(net.clone(), config);
+
+    // Racing clients; every third handle is dropped without waiting (the
+    // engine still executes the request — the response send just fails and
+    // its leases return to the pool on the spot).
+    let total = 6 * 20u64;
+    std::thread::scope(|scope| {
+        for client in 0..6u64 {
+            let engine = &engine;
+            let net = &net;
+            scope.spawn(move || {
+                for round in 0..20u64 {
+                    let input = TensorData::random(net.input_shape, client ^ round);
+                    let handle = engine.submit(input).unwrap();
+                    if (client + round) % 3 == 0 {
+                        drop(handle);
+                    } else {
+                        let response = handle.wait();
+                        assert!(!response.outputs.is_empty());
+                        drop(response);
+                    }
+                }
+            });
+        }
+    });
+
+    // Drain fully (workers may still be finishing the last batches), then
+    // check the counters add up regardless of the interleaving.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while engine.metrics().completed < total {
+        assert!(
+            Instant::now() < deadline,
+            "engine never drained: {} / {total} completed",
+            engine.metrics().completed
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let metrics = engine.metrics();
+    assert_eq!(
+        metrics.completed, total,
+        "every submitted request executes, dropped handle or not"
+    );
+    assert_eq!(
+        metrics.cache.hits + metrics.cache.misses,
+        metrics.batches,
+        "each batch resolves its schedule with exactly one exact-cache lookup"
+    );
+    assert!(metrics.cache.nearest_served <= metrics.cache.misses);
+    assert!(
+        metrics.cache.entries >= 2,
+        "pre-warmed entries remain cached"
+    );
+    assert_eq!(metrics.queue_depth, 0);
+
+    // The pool is steady after the chaos: identical repeat waves allocate
+    // nothing fresh at the serving boundary or in the executor.
+    let warm = |seed: u64| {
+        let response = engine
+            .submit(TensorData::random(net.input_shape, seed))
+            .unwrap()
+            .wait();
+        drop(response);
+    };
+    warm(1);
+    let (io_fresh, _) = engine.io_pool_stats();
+    let (exec_fresh, _) = engine.executor_pool_stats().expect("cpu backend pools");
+    for seed in 0..10 {
+        warm(seed);
+    }
+    let (io_now, _) = engine.io_pool_stats();
+    let (exec_now, _) = engine.executor_pool_stats().expect("cpu backend pools");
+    assert_eq!(io_now, io_fresh, "serving-boundary pool must stay steady");
+    assert_eq!(exec_now, exec_fresh, "executor pool must stay steady");
+    engine.shutdown();
+}
+
+#[test]
+fn shutdown_with_requests_still_queued_answers_them_and_returns_leases() {
+    let net = common::three_block_network();
+    // One worker, deadlines far away: requests sit in the queue until
+    // shutdown flushes them.
+    let config = ServeConfig::default()
+        .with_max_batch(5)
+        .with_workers(1)
+        .with_max_wait(Duration::from_secs(60))
+        .with_prewarm_batches(vec![3, 5])
+        .with_background_reoptimize(false);
+    let engine = ServeEngine::start(net.clone(), config);
+    let references: Vec<Vec<TensorData>> = (0..5).map(|s| reference_outputs(&net, s)).collect();
+
+    // Wave 1: exactly max_batch queued → dispatches immediately as one
+    // full batch (the engine-level exact-boundary case).
+    let handles: Vec<_> = (0..5)
+        .map(|s| {
+            engine
+                .submit(TensorData::random(net.input_shape, s))
+                .unwrap()
+        })
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(ResponseHandle::wait).collect();
+    for (seed, response) in responses.iter().enumerate() {
+        assert_eq!(response.batch_size, 5, "exact boundary dispatches full");
+        for (lease, reference) in response.outputs.iter().zip(&references[seed]) {
+            assert_eq!(lease, reference);
+        }
+    }
+    drop(responses);
+
+    // Wave 2: three requests below the boundary, deadline an hour away —
+    // they are still queued when shutdown begins. Shutdown must flush
+    // them (no hang) and answer every handle; the leases those responses
+    // hold outlive the engine and return to its pool on drop (the
+    // counter-level proof is `shutdown_wave2_reuses_leases`).
+    let handles: Vec<_> = (0..3)
+        .map(|s| {
+            engine
+                .submit(TensorData::random(net.input_shape, s))
+                .unwrap()
+        })
+        .collect();
+    let shutdown_started = Instant::now();
+    engine.shutdown();
+    assert!(
+        shutdown_started.elapsed() < Duration::from_secs(30),
+        "shutdown must flush the queue, not wait out the 60 s deadline"
+    );
+    for (seed, handle) in handles.into_iter().enumerate() {
+        let response = handle.wait();
+        assert_eq!(response.batch_size, 3, "the queued trio ships as one batch");
+        for (lease, reference) in response.outputs.iter().zip(&references[seed]) {
+            assert_eq!(lease, reference);
+        }
+    }
+}
+
+#[test]
+fn shutdown_wave2_reuses_leases() {
+    // The counter variant of the lease-return check: wave 1 fills the io
+    // pool, its responses drop (leases return), wave 2 of the same shape
+    // must then be allocation-free at the serving boundary — measured
+    // *before* shutdown so the engine is still alive to report counters.
+    let net = common::three_block_network();
+    let config = ServeConfig::default()
+        .with_max_batch(5)
+        .with_workers(1)
+        .with_max_wait(Duration::from_millis(5))
+        .with_prewarm_batches(vec![5])
+        .with_background_reoptimize(false);
+    let engine = ServeEngine::start(net.clone(), config);
+    let wave = |count: usize| {
+        let handles: Vec<_> = (0..count)
+            .map(|s| {
+                engine
+                    .submit(TensorData::random(net.input_shape, s as u64))
+                    .unwrap()
+            })
+            .collect();
+        for handle in handles {
+            drop(handle.wait());
+        }
+    };
+    wave(5);
+    let (io_fresh, _) = engine.io_pool_stats();
+    wave(5);
+    wave(5);
+    let (io_now, io_reuses) = engine.io_pool_stats();
+    assert_eq!(
+        io_now, io_fresh,
+        "repeat waves must reuse returned lease buffers"
+    );
+    assert!(io_reuses > 0);
+    engine.shutdown();
+}

@@ -50,16 +50,16 @@ pub use ios_sim as sim;
 pub mod prelude {
     pub use ios_core::{
         evaluate_network, greedy_network_schedule, greedy_schedule, optimize_network,
-        schedule_graph, sequential_network_schedule, sequential_schedule, CostModel, IosVariant,
-        NetworkSchedule, ParallelizationStrategy, PruningLimits, Schedule, SchedulerConfig,
-        SimCostModel, Stage,
+        plan_pipeline, schedule_graph, sequential_network_schedule, sequential_schedule, CostModel,
+        IosVariant, NetworkSchedule, ParallelizationStrategy, PipelinePlan, PruningLimits,
+        Schedule, SchedulerConfig, SimCostModel, Stage,
     };
     pub use ios_ir::{
         Activation, Conv2dParams, Graph, GraphBuilder, Network, Op, OpId, OpKind, OpSet,
-        TensorShape,
+        SegmentPlan, TensorShape,
     };
     pub use ios_serve::{
-        InferenceResponse, MetricsSnapshot, ScheduleSource, ServeConfig, ServeEngine,
+        InferenceResponse, MetricsSnapshot, PipelineMode, ScheduleSource, ServeConfig, ServeEngine,
     };
     pub use ios_sim::{DeviceKind, KernelLibrary, Simulator};
 }
