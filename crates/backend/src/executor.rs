@@ -292,6 +292,15 @@ pub(crate) fn execute_stage(
     arena: &ScratchPool,
     parallel_groups: bool,
 ) {
+    let mut stage_span = ios_telemetry::tracer().span(
+        match stage.strategy {
+            ParallelizationStrategy::ConcurrentExecution => "stage.concurrent",
+            ParallelizationStrategy::OperatorMerge => "stage.merge",
+        },
+        "exec",
+    );
+    stage_span.set_id(stage.groups.len() as u64);
+    stage_span.set_arg(u64::from(parallel_groups));
     match stage.strategy {
         ParallelizationStrategy::ConcurrentExecution => {
             // Each group runs independently (on its own thread when

@@ -121,7 +121,15 @@ impl PipelinedNetworkExecutor {
             let handle = std::thread::Builder::new()
                 .name(format!("ios-pipe-seg{index}"))
                 .spawn(move || {
-                    stage_worker(&network, &weights, range, &pool, &rx, forward.as_ref());
+                    stage_worker(
+                        &network,
+                        &weights,
+                        index,
+                        range,
+                        &pool,
+                        &rx,
+                        forward.as_ref(),
+                    );
                 })
                 .expect("spawn pipeline stage worker");
             workers.push(handle);
@@ -260,15 +268,34 @@ impl std::fmt::Debug for PipelinedNetworkExecutor {
 
 /// One pipeline stage: run every incoming sample through the segment's
 /// block range, then forward it (or report it done).
+///
+/// When the tracer is enabled, each worker emits its occupancy onto the
+/// `pipeline` lane: `pipeline.idle` (waiting on the intake channel),
+/// `pipeline.busy` (executing a sample's blocks) and `pipeline.forward`
+/// (handing off downstream) — all tagged with the segment index, so a
+/// trace shows per-segment utilization and where the pipeline bubbles are.
 fn stage_worker(
     network: &Network,
     weights: &NetworkWeights,
+    segment: usize,
     range: std::ops::Range<usize>,
     pool: &ScratchPool,
     jobs: &mpsc::Receiver<Job>,
     forward: Option<&mpsc::Sender<Job>>,
 ) {
-    while let Ok(mut job) = jobs.recv() {
+    let tracer = ios_telemetry::tracer();
+    loop {
+        let received = {
+            let mut idle = tracer.span("pipeline.idle", "pipeline");
+            idle.set_id(segment as u64);
+            jobs.recv()
+        };
+        let Ok(mut job) = received else {
+            return;
+        };
+        let mut busy = tracer.span("pipeline.busy", "pipeline");
+        busy.set_id(segment as u64);
+        busy.set_arg(job.index as u64);
         // Stage groups run serially inside a segment worker: with several
         // segments (and several samples) in flight the cores are already
         // covered, and the result is bit-identical either way.
@@ -303,6 +330,9 @@ fn stage_worker(
                 return;
             }
         }
+        drop(busy);
+        let mut handoff = tracer.span("pipeline.forward", "pipeline");
+        handoff.set_id(segment as u64);
         match forward {
             Some(next) => {
                 // A dead downstream stage: the pipeline is broken, but the

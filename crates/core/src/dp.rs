@@ -104,7 +104,11 @@ impl<'a, C: CostModel> Scheduler<'a, C> {
         let start = Instant::now();
         let measurements_before = self.cost_model.measurement_count();
         let all = self.graph.all_ops();
-        let total_latency = self.solve(all);
+        let total_latency = {
+            let mut span = ios_telemetry::tracer().span("dp.solve", "optimize");
+            span.set_arg(all.len() as u64);
+            self.solve(all)
+        };
 
         // Reconstruct the schedule from the recorded choices (L6-11).
         let mut stages_rev: Vec<Stage> = Vec::new();
@@ -162,6 +166,10 @@ impl<'a, C: CostModel> Scheduler<'a, C> {
                     cached.clone()
                 }
                 None => {
+                    // Memo misses are where the cost model actually runs, so
+                    // they dominate search time — a trace shows each one.
+                    let mut span = ios_telemetry::tracer().span("dp.stage_gen", "optimize");
+                    span.set_arg(ending.len() as u64);
                     let generated = self.generate_stage(ending).map(Rc::new);
                     self.stage_memo.insert(ending, generated.clone());
                     generated

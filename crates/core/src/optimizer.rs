@@ -110,7 +110,14 @@ pub fn optimize_network<C: CostModel>(
     let mut search_seconds = 0.0;
     let mut total_latency = 0.0;
 
-    for block in &network.blocks {
+    let tracer = ios_telemetry::tracer();
+    let mut network_span = tracer.span("optimize.network", "optimize");
+    network_span.set_arg(network.blocks.len() as u64);
+
+    for (block_index, block) in network.blocks.iter().enumerate() {
+        let mut block_span = tracer.span("optimize.block", "optimize");
+        block_span.set_id(block_index as u64);
+        block_span.set_arg(block.graph.len() as u64);
         let result = schedule_graph(&block.graph, cost_model, config);
         transitions += result.transitions;
         states += result.states;

@@ -65,6 +65,21 @@ impl BatchQueue {
         max_batch: usize,
         max_wait: std::time::Duration,
     ) -> Option<Vec<Pending>> {
+        // The span covers the whole wait: on a trace timeline it is the
+        // gap between a worker going idle and its next batch forming.
+        let mut span = ios_telemetry::tracer().span("batcher.next_batch", "serve");
+        let batch = self.wait_for_batch(max_batch, max_wait);
+        if let Some(batch) = &batch {
+            span.set_arg(batch.len() as u64);
+        }
+        batch
+    }
+
+    fn wait_for_batch(
+        &self,
+        max_batch: usize,
+        max_wait: std::time::Duration,
+    ) -> Option<Vec<Pending>> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
             if state.queue.len() >= max_batch {

@@ -73,6 +73,10 @@ struct Shared {
     /// Serializes cold-start synchronous schedule optimizations.
     sync_optimize: Mutex<()>,
     next_id: AtomicU64,
+    /// Batch correlation ids for the tracer: every span and instant a
+    /// batch's lifecycle emits carries the same id, so the timeline can be
+    /// grouped per batch across worker, pipeline and request lanes.
+    next_batch_id: AtomicU64,
 }
 
 impl Shared {
@@ -229,11 +233,21 @@ impl Shared {
     }
 
     fn run_batch(self: &Arc<Self>, batch: Vec<Pending>) {
+        let tracer = ios_telemetry::tracer();
+        let batch_id = self.next_batch_id.fetch_add(1, Ordering::Relaxed);
         let batch_size = batch.len();
+        let mut batch_span = tracer.span("batch", "serve");
+        batch_span.set_id(batch_id);
+        batch_span.set_arg(batch_size as u64);
         let (schedule, source) = self.resolve_schedule(batch_size);
         let network = self.instance(batch_size);
         let mut pipeline = self.pipeline_for(batch_size);
         let dispatched_at = Instant::now();
+        if let Some(oldest) = batch.iter().map(|p| p.enqueued_at).min() {
+            // Batch assembly: the oldest member's enqueue to this dispatch.
+            let assembly_us = (dispatched_at - oldest).as_secs_f64() * 1e6;
+            self.metrics.record_assembly(assembly_us);
+        }
 
         let input_refs: Vec<&TensorData> = batch.iter().map(|p| &p.input).collect();
         let stacked = stack_batch_pooled(&input_refs, &self.io_pool);
@@ -246,6 +260,9 @@ impl Shared {
                 pipeline,
             })
         };
+        let mut exec_span = tracer.span("batch.execute", "serve");
+        exec_span.set_id(batch_id);
+        exec_span.set_arg(u64::from(pipeline.is_some()));
         let outcome = if let Some(plan) = pipeline.clone() {
             // A dead pipeline (one stage worker panicked and broke the
             // channel chain) must not take the engine down with it: drop
@@ -266,6 +283,7 @@ impl Shared {
         } else {
             run(None)
         };
+        drop(exec_span);
         self.io_pool.recycle_tensor(stacked);
         self.metrics
             .record_batch(batch_size, outcome.device_time_us, pipeline.is_some());
@@ -303,6 +321,24 @@ impl Shared {
             let total_us = (now - pending.enqueued_at).as_secs_f64() * 1e6;
             let queue_us = (dispatched_at - pending.enqueued_at).as_secs_f64() * 1e6;
             self.metrics.record_latency(total_us);
+            self.metrics.record_queue_wait(queue_us);
+            if tracer.is_enabled() {
+                // Back-date the queue-wait span to the request's enqueue:
+                // its record lands on this worker's lane, tagged with the
+                // batch that eventually served it.
+                let total_ns = (total_us * 1e3).max(0.0) as u64;
+                let start_ns = tracer.now_ns().saturating_sub(total_ns);
+                let wait_ns = (queue_us * 1e3).max(0.0) as u64;
+                tracer.record_span_at(
+                    "request.queue_wait",
+                    "request",
+                    start_ns,
+                    wait_ns,
+                    pending.id.0,
+                    batch_id,
+                );
+                tracer.instant("request.respond", "request", pending.id.0);
+            }
             // A dropped ResponseHandle is fine; the send just fails.
             let _ = pending.respond_to.send(InferenceResponse {
                 id: pending.id,
@@ -461,6 +497,7 @@ impl ServeEngine {
             background: Mutex::new(Vec::new()),
             sync_optimize: Mutex::new(()),
             next_id: AtomicU64::new(0),
+            next_batch_id: AtomicU64::new(0),
             base,
             config,
         });
@@ -513,6 +550,7 @@ impl ServeEngine {
         if !self.shared.queue.push(pending) {
             return Err(ServeError::ShuttingDown);
         }
+        ios_telemetry::tracer().instant("request.enqueue", "request", id.0);
         self.shared
             .metrics
             .set_queue_depth(self.shared.queue.depth());
@@ -532,6 +570,107 @@ impl ServeEngine {
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot(self.shared.cache.stats())
+    }
+
+    /// The retained records of the process-global tracer, rendered as a
+    /// Chrome trace-event JSON array — load it in `chrome://tracing` or
+    /// Perfetto. Empty (an empty array) unless
+    /// [`ios_telemetry::tracer()`]`.set_enabled(true)` was called around
+    /// the window of interest.
+    #[must_use]
+    pub fn trace_dump(&self) -> String {
+        ios_telemetry::chrome_trace_json(&ios_telemetry::tracer().records())
+    }
+
+    /// The serving metrics in Prometheus text exposition format: request
+    /// counters, queue-depth gauge, schedule-cache counters, and the
+    /// latency / queue-wait / batch-assembly / device-time histograms
+    /// (exposed in microseconds).
+    #[must_use]
+    pub fn prometheus_text(&self) -> String {
+        use ios_telemetry::prometheus as prom;
+        let m = &self.shared.metrics;
+        let cache = self.shared.cache.stats();
+        let mut out = String::new();
+        prom::counter(
+            &mut out,
+            "ios_requests_completed_total",
+            "Requests answered since the engine started.",
+            m.completed(),
+        );
+        prom::counter(
+            &mut out,
+            "ios_batches_total",
+            "Batches dispatched since the engine started.",
+            m.batches(),
+        );
+        prom::counter(
+            &mut out,
+            "ios_pipelined_batches_total",
+            "Batches executed through the cross-block pipeline.",
+            m.pipelined_batches(),
+        );
+        prom::gauge(
+            &mut out,
+            "ios_queue_depth",
+            "Requests waiting in the batching queue.",
+            m.queue_depth() as f64,
+        );
+        prom::counter(
+            &mut out,
+            "ios_schedule_cache_hits_total",
+            "Exact specialized-schedule cache hits.",
+            cache.hits,
+        );
+        prom::counter(
+            &mut out,
+            "ios_schedule_cache_misses_total",
+            "Schedule-cache lookups with no exact entry.",
+            cache.misses,
+        );
+        prom::counter(
+            &mut out,
+            "ios_schedule_cache_nearest_total",
+            "Batches served by the nearest cached batch size.",
+            cache.nearest_served,
+        );
+        prom::counter(
+            &mut out,
+            "ios_schedule_cache_background_inserts_total",
+            "Exact schedules inserted by background re-optimization.",
+            cache.background_inserts,
+        );
+        prom::gauge(
+            &mut out,
+            "ios_schedule_cache_entries",
+            "Schedules currently cached.",
+            cache.entries as f64,
+        );
+        prom::histogram_us(
+            &mut out,
+            "ios_request_latency_us",
+            "Request latency, submission to response, microseconds.",
+            &m.latency_histogram().snapshot(),
+        );
+        prom::histogram_us(
+            &mut out,
+            "ios_request_queue_wait_us",
+            "Time requests spent queued before dispatch, microseconds.",
+            &m.queue_wait_histogram().snapshot(),
+        );
+        prom::histogram_us(
+            &mut out,
+            "ios_batch_assembly_us",
+            "Batch assembly time, oldest enqueue to dispatch, microseconds.",
+            &m.batch_assembly_histogram().snapshot(),
+        );
+        prom::histogram_us(
+            &mut out,
+            "ios_batch_device_time_us",
+            "Per-batch (simulated) device time, microseconds.",
+            &m.device_time_histogram().snapshot(),
+        );
+        out
     }
 
     /// The cross-block pipeline plan the engine is serving with, if the

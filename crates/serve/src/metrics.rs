@@ -1,10 +1,18 @@
 //! Serving metrics: latency percentiles, throughput, queue depth, batch
 //! shape and schedule-cache behaviour.
+//!
+//! Durations are kept in [`Histogram`]s (log-bucketed, fixed 15 KiB of
+//! atomics each), so memory stays bounded no matter how long the engine
+//! serves, recording never takes a lock, and a snapshot computes all of
+//! p50/p95/p99 in one pass over the buckets instead of cloning and
+//! sorting every latency ever seen. Counts and sums are exact; percentile
+//! values carry at most [`Histogram::MAX_RELATIVE_ERROR`] (≈ 1.6 %)
+//! relative error.
 
 use crate::cache::CacheStats;
+use ios_telemetry::Histogram;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// Live counters updated by the engine; snapshot with
@@ -15,12 +23,15 @@ pub(crate) struct ServeMetrics {
     completed: AtomicU64,
     batches: AtomicU64,
     pipelined_batches: AtomicU64,
-    /// Total device time across batches, in nanoseconds (µs lose precision).
-    device_time_ns: AtomicU64,
     queue_depth: AtomicUsize,
-    /// Completed-request total latencies in µs. Unbounded, which is fine
-    /// for benches and tests; a long-lived deployment would reservoir-sample.
-    latencies_us: Mutex<Vec<f64>>,
+    /// Completed-request total latencies (submission → response), ns.
+    latency: Histogram,
+    /// Time each request spent queued before its batch dispatched, ns.
+    queue_wait: Histogram,
+    /// Time spent assembling each batch (oldest enqueue → dispatch), ns.
+    batch_assembly: Histogram,
+    /// Per-batch (simulated) device time, ns.
+    device_time: Histogram,
 }
 
 impl ServeMetrics {
@@ -30,31 +41,47 @@ impl ServeMetrics {
             completed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             pipelined_batches: AtomicU64::new(0),
-            device_time_ns: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
-            latencies_us: Mutex::new(Vec::new()),
+            latency: Histogram::new(),
+            queue_wait: Histogram::new(),
+            batch_assembly: Histogram::new(),
+            device_time: Histogram::new(),
         }
     }
 
     /// Records one dispatched batch and how it was executed (`pipelined`
     /// = through the cross-block pipeline, else flat batched).
+    /// `device_time_us` must be non-negative (debug-asserted); it is
+    /// rounded — not truncated — to the nearest nanosecond, so sub-µs
+    /// stage times are not silently dropped from the device totals.
     pub fn record_batch(&self, batch_size: usize, device_time_us: f64, pipelined: bool) {
+        debug_assert!(
+            device_time_us >= 0.0,
+            "negative device time: {device_time_us} µs"
+        );
         self.batches.fetch_add(1, Ordering::Relaxed);
         if pipelined {
             self.pipelined_batches.fetch_add(1, Ordering::Relaxed);
         }
         self.completed
             .fetch_add(batch_size as u64, Ordering::Relaxed);
-        let ns = (device_time_us * 1e3).max(0.0);
-        self.device_time_ns.fetch_add(ns as u64, Ordering::Relaxed);
+        self.device_time.record_us(device_time_us);
     }
 
     /// Records one completed request's total latency.
     pub fn record_latency(&self, total_us: f64) {
-        self.latencies_us
-            .lock()
-            .expect("metrics lock")
-            .push(total_us);
+        self.latency.record_us(total_us);
+    }
+
+    /// Records how long one request waited in the queue before dispatch.
+    pub fn record_queue_wait(&self, wait_us: f64) {
+        self.queue_wait.record_us(wait_us);
+    }
+
+    /// Records how long one batch took to assemble (its oldest request's
+    /// enqueue to the batch's dispatch).
+    pub fn record_assembly(&self, assembly_us: f64) {
+        self.batch_assembly.record_us(assembly_us);
     }
 
     /// Publishes the current queue depth gauge.
@@ -62,26 +89,72 @@ impl ServeMetrics {
         self.queue_depth.store(depth, Ordering::Relaxed);
     }
 
-    /// Snapshots every counter.
+    /// The latency histogram (ns), for exporters.
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// The queue-wait histogram (ns), for exporters.
+    pub fn queue_wait_histogram(&self) -> &Histogram {
+        &self.queue_wait
+    }
+
+    /// The batch-assembly histogram (ns), for exporters.
+    pub fn batch_assembly_histogram(&self) -> &Histogram {
+        &self.batch_assembly
+    }
+
+    /// The per-batch device-time histogram (ns), for exporters.
+    pub fn device_time_histogram(&self) -> &Histogram {
+        &self.device_time
+    }
+
+    /// Requests answered so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Batches dispatched so far.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Batches that ran through the cross-block pipeline.
+    pub fn pipelined_batches(&self) -> u64 {
+        self.pipelined_batches.load(Ordering::Relaxed)
+    }
+
+    /// The queue-depth gauge as last published.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots every counter. Percentiles come from the latency
+    /// histogram in a single pass; count, sum and max are exact.
     pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
-        let latencies = self.latencies_us.lock().expect("metrics lock").clone();
-        let completed = self.completed.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
-        let device_time_us = self.device_time_ns.load(Ordering::Relaxed) as f64 / 1e3;
+        let completed = self.completed();
+        let batches = self.batches();
+        let device_time_us = self.device_time.sum() as f64 / 1e3;
         let elapsed = self.started_at.elapsed().as_secs_f64();
+        let [p50, p95, p99] = match self.latency.percentiles(&[50.0, 95.0, 99.0]) {
+            Some(ps) => [ps[0], ps[1], ps[2]].map(|ns| ns as f64 / 1e3),
+            None => [0.0; 3],
+        };
         MetricsSnapshot {
             completed,
             batches,
-            pipelined_batches: self.pipelined_batches.load(Ordering::Relaxed),
+            pipelined_batches: self.pipelined_batches(),
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
                 completed as f64 / batches as f64
             },
-            p50_latency_us: percentile(&latencies, 50.0),
-            p95_latency_us: percentile(&latencies, 95.0),
-            p99_latency_us: percentile(&latencies, 99.0),
-            max_latency_us: latencies.iter().copied().fold(0.0, f64::max),
+            p50_latency_us: p50,
+            p95_latency_us: p95,
+            p99_latency_us: p99,
+            max_latency_us: self.latency.max().unwrap_or(0) as f64 / 1e3,
+            mean_queue_wait_us: self.queue_wait.mean() / 1e3,
+            mean_assembly_us: self.batch_assembly.mean() / 1e3,
             wall_throughput_rps: if elapsed > 0.0 {
                 completed as f64 / elapsed
             } else {
@@ -93,7 +166,7 @@ impl ServeMetrics {
             } else {
                 0.0
             },
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth(),
             cache,
         }
     }
@@ -112,13 +185,18 @@ pub struct MetricsSnapshot {
     /// Mean coalesced batch size (`completed / batches`).
     pub mean_batch_size: f64,
     /// Median request latency (submission → response), µs wall clock.
+    /// Histogram-derived: within 1.6 % of the exact nearest-rank value.
     pub p50_latency_us: f64,
-    /// 95th percentile request latency, µs wall clock.
+    /// 95th percentile request latency, µs wall clock (same error bound).
     pub p95_latency_us: f64,
-    /// 99th percentile request latency, µs wall clock.
+    /// 99th percentile request latency, µs wall clock (same error bound).
     pub p99_latency_us: f64,
-    /// Worst request latency, µs wall clock.
+    /// Worst request latency, µs wall clock (exact).
     pub max_latency_us: f64,
+    /// Mean time a request spent queued before its batch dispatched, µs.
+    pub mean_queue_wait_us: f64,
+    /// Mean batch-assembly time (oldest enqueue → dispatch), µs.
+    pub mean_assembly_us: f64,
     /// Requests per second of wall clock since the engine started.
     pub wall_throughput_rps: f64,
     /// Total (simulated) device time consumed by all batches, µs.
@@ -132,30 +210,41 @@ pub struct MetricsSnapshot {
     pub cache: CacheStats,
 }
 
-/// Nearest-rank percentile of `values` (`p` in 0..=100); 0 when empty.
-fn percentile(values: &[f64], p: f64) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Relative tolerance for histogram-derived percentiles.
+    const TOL: f64 = Histogram::MAX_RELATIVE_ERROR;
+
+    fn close(actual: f64, expected: f64) -> bool {
+        (actual - expected).abs() <= expected * TOL
+    }
+
     #[test]
-    fn percentiles_use_nearest_rank() {
-        let values: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&values, 50.0), 50.0);
-        assert_eq!(percentile(&values, 95.0), 95.0);
-        assert_eq!(percentile(&values, 99.0), 99.0);
-        assert_eq!(percentile(&values, 100.0), 100.0);
-        assert_eq!(percentile(&[], 50.0), 0.0);
-        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    fn percentiles_track_nearest_rank_within_the_error_bound() {
+        let metrics = ServeMetrics::new();
+        for us in 1..=100 {
+            metrics.record_latency(f64::from(us));
+        }
+        let snap = metrics.snapshot(CacheStats::default());
+        assert!(
+            close(snap.p50_latency_us, 50.0),
+            "p50 {}",
+            snap.p50_latency_us
+        );
+        assert!(
+            close(snap.p95_latency_us, 95.0),
+            "p95 {}",
+            snap.p95_latency_us
+        );
+        assert!(
+            close(snap.p99_latency_us, 99.0),
+            "p99 {}",
+            snap.p99_latency_us
+        );
+        // Max is exact, not bucketed.
+        assert_eq!(snap.max_latency_us, 100.0);
     }
 
     #[test]
@@ -166,17 +255,60 @@ mod tests {
         for latency in [10.0, 20.0, 30.0, 40.0, 50.0, 60.0] {
             metrics.record_latency(latency);
         }
+        metrics.record_queue_wait(8.0);
+        metrics.record_queue_wait(12.0);
+        metrics.record_assembly(40.0);
         metrics.set_queue_depth(3);
         let snap = metrics.snapshot(CacheStats::default());
         assert_eq!(snap.completed, 6);
         assert_eq!(snap.batches, 2);
         assert_eq!(snap.pipelined_batches, 1);
         assert!((snap.mean_batch_size - 3.0).abs() < 1e-12);
-        assert_eq!(snap.p50_latency_us, 30.0);
+        assert!(
+            close(snap.p50_latency_us, 30.0),
+            "p50 {}",
+            snap.p50_latency_us
+        );
         assert_eq!(snap.max_latency_us, 60.0);
+        // Histogram sums are exact, so the means are too.
+        assert!((snap.mean_queue_wait_us - 10.0).abs() < 1e-9);
+        assert!((snap.mean_assembly_us - 40.0).abs() < 1e-9);
         assert_eq!(snap.queue_depth, 3);
         // 6 requests in 300 µs of device time = 20k requests per device-second.
         assert!((snap.device_throughput_rps - 20_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn memory_is_bounded_under_sustained_recording() {
+        // The old implementation pushed every latency into a Vec; this
+        // pins the histogram replacement: a million records later, a
+        // snapshot is still cheap and counts stay exact.
+        let metrics = ServeMetrics::new();
+        for i in 0..1_000_000u64 {
+            metrics.record_latency((i % 10_000) as f64);
+        }
+        let snap = metrics.snapshot(CacheStats::default());
+        assert_eq!(metrics.latency_histogram().count(), 1_000_000);
+        assert!(
+            close(snap.p50_latency_us, 4_999.0),
+            "p50 {}",
+            snap.p50_latency_us
+        );
+    }
+
+    #[test]
+    fn device_time_rounds_instead_of_truncating() {
+        let metrics = ServeMetrics::new();
+        // 0.0006 µs = 0.6 ns each: truncation would record 0 forever.
+        for _ in 0..1000 {
+            metrics.record_batch(1, 0.0006, false);
+        }
+        let snap = metrics.snapshot(CacheStats::default());
+        assert!(
+            (snap.device_time_us - 1.0).abs() < 1e-9,
+            "1000 × 0.6 ns must round to 1 ns each, got {} µs",
+            snap.device_time_us
+        );
     }
 
     #[test]

@@ -12,10 +12,14 @@
 //!   hold whatever the interleaving);
 //! * the dynamic batcher's edge cases at engine level: exact max-batch
 //!   boundary dispatch, and shutdown with requests still queued — no
-//!   hang, every request answered, response leases returned to the pool.
+//!   hang, every request answered, response leases returned to the pool;
+//! * the span tracer's records stay **well-nested per thread** while
+//!   batches stream through the forced cross-block pipeline — the
+//!   structural invariant a Chrome trace of a live engine depends on.
 
 use ios_backend::{execute_network, TensorData};
 use ios_serve::{PipelineMode, ResponseHandle, ServeConfig, ServeEngine};
+use ios_telemetry::TraceKind;
 use std::time::{Duration, Instant};
 
 mod common {
@@ -308,6 +312,140 @@ fn shutdown_with_requests_still_queued_answers_them_and_returns_leases() {
         assert_eq!(response.batch_size, 3, "the queued trio ships as one batch");
         for (lease, reference) in response.outputs.iter().zip(&references[seed]) {
             assert_eq!(lease, reference);
+        }
+    }
+}
+
+#[test]
+fn pipeline_spans_stay_well_nested_within_every_thread() {
+    // Serve through the forced pipeline with the process-global tracer
+    // on, then check the structural invariants of the captured trace.
+    //
+    // The tracer is process-global and other tests in this binary may be
+    // serving concurrently; that is the point, not a problem — the
+    // invariants below are universal (they hold for every engine's
+    // threads), and extra traffic only makes them harder to satisfy by
+    // accident.
+    let net = common::three_block_network();
+    let config = ServeConfig::default()
+        .with_max_batch(4)
+        .with_workers(1)
+        .with_max_wait(Duration::from_millis(1))
+        .with_pipeline(PipelineMode::Forced(2));
+    let engine = ServeEngine::start(net.clone(), config);
+    let tracer = ios_telemetry::tracer();
+    let dropped_before = tracer.dropped();
+    tracer.set_enabled(true);
+    // A marker from this thread reveals our tracer tid, which in turn
+    // identifies *our* submissions among any concurrent test's records.
+    tracer.instant("test.marker", "test", 0);
+    let handles: Vec<_> = (0..16)
+        .map(|s| {
+            engine
+                .submit(TensorData::random(net.input_shape, s))
+                .unwrap()
+        })
+        .collect();
+    for handle in handles {
+        assert!(handle.wait().pipelined, "forced mode pipelines every batch");
+    }
+    // Shut down before snapshotting: span guards record on drop, so the
+    // last batch's spans only land once the workers have quiesced.
+    engine.shutdown();
+    tracer.set_enabled(false);
+    let records = tracer.records();
+    let dropped = tracer.dropped() - dropped_before;
+    tracer.clear();
+
+    // Every lane of the instrumentation shows up: serving, pipeline
+    // segments, executor stages and the request lifecycle.
+    for name in [
+        "batch",
+        "batch.execute",
+        "batcher.next_batch",
+        "pipeline.busy",
+        "pipeline.forward",
+        "request.enqueue",
+        "request.queue_wait",
+        "request.respond",
+    ] {
+        assert!(
+            records.iter().any(|r| r.name == name),
+            "expected at least one `{name}` record in the trace"
+        );
+    }
+    assert!(
+        records
+            .iter()
+            .any(|r| r.name == "stage.concurrent" || r.name == "stage.merge"),
+        "executor stages must be traced"
+    );
+
+    // Batch-id correlation: every one of *our* requests' queue-wait spans
+    // names the batch that dispatched it, and that batch's span is in the
+    // trace. Scoped to our own submissions (found via the marker's tid)
+    // because a concurrently-running test's engine may be mid-batch when
+    // we snapshot; and only checkable when the ring dropped nothing.
+    if dropped == 0 {
+        let our_tid = records
+            .iter()
+            .find(|r| r.name == "test.marker")
+            .expect("marker record survives (nothing dropped)")
+            .tid;
+        let our_requests: std::collections::HashSet<u64> = records
+            .iter()
+            .filter(|r| r.name == "request.enqueue" && r.tid == our_tid)
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(our_requests.len(), 16, "one enqueue instant per request");
+        let batch_ids: std::collections::HashSet<u64> = records
+            .iter()
+            .filter(|r| r.name == "batch")
+            .map(|r| r.id)
+            .collect();
+        for r in records
+            .iter()
+            .filter(|r| r.name == "request.queue_wait" && our_requests.contains(&r.id))
+        {
+            assert!(
+                batch_ids.contains(&r.arg),
+                "queue-wait span names unknown batch {}",
+                r.arg
+            );
+        }
+    }
+
+    // The structural invariant: within one thread, timed spans form a
+    // laminar family — any two are disjoint or nested, never partially
+    // overlapping. Request-lane spans are excluded by design: queue waits
+    // are back-dated onto the worker thread that dispatched the batch, so
+    // they legitimately straddle its batch spans.
+    let mut by_tid: std::collections::HashMap<u64, Vec<(u64, u64)>> =
+        std::collections::HashMap::new();
+    for r in &records {
+        if r.kind == TraceKind::Span && r.cat != "request" {
+            by_tid
+                .entry(r.tid)
+                .or_default()
+                .push((r.start_ns, r.start_ns + r.dur_ns));
+        }
+    }
+    for (tid, mut spans) in by_tid {
+        // Parents first: by start ascending, longest first on ties.
+        spans.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut open: Vec<u64> = Vec::new(); // stack of enclosing span ends
+        for (start, end) in spans {
+            while open.last().is_some_and(|&top| top <= start) {
+                open.pop();
+            }
+            if let Some(&top) = open.last() {
+                assert!(
+                    end <= top,
+                    "thread {tid}: span [{start}, {end}) partially overlaps \
+                     an enclosing span ending at {top}"
+                );
+            }
+            open.push(end);
         }
     }
 }

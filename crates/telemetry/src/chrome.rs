@@ -1,0 +1,103 @@
+//! Chrome trace-event export.
+//!
+//! [`chrome_trace_json`] renders [`TraceRecord`]s in the Chrome trace-event
+//! JSON array format: load the output in `chrome://tracing` (or Perfetto)
+//! and every span appears as a block on its thread's timeline lane, named
+//! `name` and grouped under category `cat`. Times are microseconds, as the
+//! format requires; the `args` object carries each record's correlation
+//! ids so batches can be followed across lanes.
+
+use crate::trace::{TraceKind, TraceRecord};
+use serde::Serialize;
+
+/// One trace-event object, shaped exactly as `chrome://tracing` expects.
+#[derive(Debug, Serialize)]
+struct ChromeEvent {
+    name: String,
+    cat: String,
+    /// Phase: `"X"` = complete (timed) event, `"i"` = instant event.
+    ph: String,
+    /// Start timestamp, microseconds.
+    ts: f64,
+    /// Duration, microseconds (0 for instants).
+    dur: f64,
+    pid: u64,
+    tid: u64,
+    args: ChromeArgs,
+}
+
+#[derive(Debug, Serialize)]
+struct ChromeArgs {
+    id: u64,
+    arg: u64,
+    seq: u64,
+}
+
+/// Renders `records` as a Chrome trace-event JSON array.
+#[must_use]
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    let events: Vec<ChromeEvent> = records
+        .iter()
+        .map(|r| ChromeEvent {
+            name: r.name.to_string(),
+            cat: r.cat.to_string(),
+            ph: match r.kind {
+                TraceKind::Span => "X",
+                TraceKind::Instant => "i",
+            }
+            .to_string(),
+            ts: r.start_ns as f64 / 1e3,
+            dur: r.dur_ns as f64 / 1e3,
+            pid: 1,
+            tid: r.tid,
+            args: ChromeArgs {
+                id: r.id,
+                arg: r.arg,
+                seq: r.seq,
+            },
+        })
+        .collect();
+    serde_json::to_string(&events).expect("trace events serialize infallibly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    #[test]
+    fn export_is_a_valid_trace_event_array() {
+        let t = Tracer::with_capacity(64);
+        t.set_enabled(true);
+        {
+            let mut span = t.span("stage.concurrent", "exec");
+            span.set_id(3);
+        }
+        t.instant("request.enqueue", "serve", 11);
+        let json = chrome_trace_json(&t.records());
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = value.as_array().expect("top level is an array");
+        assert_eq!(events.len(), 2);
+        for event in events {
+            let event = event.as_object().expect("events are objects");
+            for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
+                assert!(event.get(key).is_some(), "event missing key {key}");
+            }
+            let ph = event.get("ph").unwrap().as_str().unwrap();
+            assert!(ph == "X" || ph == "i");
+        }
+        let names: Vec<&str> = events
+            .iter()
+            .map(|e| {
+                e.as_object()
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert!(names.contains(&"stage.concurrent"));
+        assert!(names.contains(&"request.enqueue"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Prometheus text-format exposition.
+//!
+//! Small append-style helpers building a [text-format] exposition into a
+//! `String`: each metric gets its `# HELP` / `# TYPE` header, histograms
+//! expose the cumulative `_bucket{le="…"}` series plus `_sum` and
+//! `_count`. Durations recorded in nanoseconds are exposed in
+//! microseconds (the unit the serving metrics quote everywhere else), so
+//! `le` boundaries and sums read naturally next to the latency
+//! percentiles.
+//!
+//! [text-format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::histogram::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// Appends a monotone counter.
+pub fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends a gauge.
+pub fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends a histogram whose recorded values are nanoseconds, exposed in
+/// microseconds. `name` should end in `_us` by convention.
+pub fn histogram_us(out: &mut String, name: &str, help: &str, snap: &HistogramSnapshot) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (upper_ns, cumulative) in snap.cumulative() {
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            upper_ns as f64 / 1e3
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+    let _ = writeln!(out, "{name}_sum {}", snap.sum as f64 / 1e3);
+    let _ = writeln!(out, "{name}_count {}", snap.count);
+}
+
+/// Checks that `text` is well-formed Prometheus text format: every
+/// non-comment line is `name[{labels}] value`, every series is preceded by
+/// a `# TYPE` for its base name, histogram bucket counts are cumulative,
+/// and `_count` matches the `+Inf` bucket. Returns the number of samples.
+///
+/// This is the validator the acceptance gate and tests run over
+/// `ServeEngine::prometheus_text()` output.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let mut typed: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut samples = 0usize;
+    let mut last_bucket: Option<(String, f64, u64)> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: TYPE without a metric name"))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: TYPE without a kind"))?;
+            typed.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: no value on sample line {line:?}"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {lineno}: unparseable value {value:?}"))?;
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {lineno}: unterminated label set"))?;
+                (name, Some(labels))
+            }
+            None => (series, None),
+        };
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|base| typed.get(*base).map(String::as_str) == Some("histogram"))
+            .unwrap_or(name);
+        if !typed.contains_key(base) {
+            return Err(format!("line {lineno}: series {name} has no # TYPE"));
+        }
+        if name.ends_with("_bucket") {
+            let labels =
+                labels.ok_or_else(|| format!("line {lineno}: bucket without an le label"))?;
+            let le = labels
+                .strip_prefix("le=\"")
+                .and_then(|l| l.strip_suffix('"'))
+                .ok_or_else(|| format!("line {lineno}: malformed le label {labels:?}"))?;
+            let le: f64 = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse()
+                    .map_err(|_| format!("line {lineno}: unparseable le {le:?}"))?
+            };
+            if let Some((prev_name, prev_le, prev_count)) = &last_bucket {
+                if prev_name == base {
+                    if *prev_le >= le {
+                        return Err(format!("line {lineno}: le boundaries must ascend"));
+                    }
+                    if *prev_count > value as u64 {
+                        return Err(format!("line {lineno}: bucket counts must be cumulative"));
+                    }
+                }
+            }
+            last_bucket = Some((base.to_string(), le, value as u64));
+        } else if name.ends_with("_count")
+            && typed.get(base).map(String::as_str) == Some("histogram")
+        {
+            if let Some((prev_name, le, count)) = &last_bucket {
+                if prev_name == base && le.is_infinite() && *count != value as u64 {
+                    return Err(format!(
+                        "line {lineno}: {name} ({value}) disagrees with the +Inf bucket ({count})"
+                    ));
+                }
+            }
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    #[test]
+    fn exposition_validates_and_reads_back() {
+        let h = Histogram::new();
+        for v in [1_000u64, 2_000, 2_000, 50_000, 1_000_000] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        counter(&mut out, "ios_requests_total", "Requests answered.", 5);
+        gauge(&mut out, "ios_queue_depth", "Queued requests.", 2.0);
+        histogram_us(
+            &mut out,
+            "ios_request_latency_us",
+            "Request latency in microseconds.",
+            &h.snapshot(),
+        );
+        let samples = validate(&out).expect("well-formed exposition");
+        assert!(samples >= 2 + 4 + 2, "got {samples} samples:\n{out}");
+        assert!(out.contains("ios_request_latency_us_bucket{le=\"+Inf\"} 5"));
+        assert!(out.contains("ios_request_latency_us_count 5"));
+        // Sum is exact: 1055 µs of recorded nanoseconds.
+        assert!(out.contains("ios_request_latency_us_sum 1055"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_text() {
+        assert!(validate("ios_untyped 3").is_err());
+        assert!(validate("# TYPE h histogram\nh_bucket{le=\"two\"} 1").is_err());
+        let non_cumulative = "# TYPE h histogram\n\
+             h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n";
+        assert!(validate(non_cumulative).is_err());
+        let count_mismatch = "# TYPE h histogram\n\
+             h_bucket{le=\"+Inf\"} 5\nh_count 4\n";
+        assert!(validate(count_mismatch).is_err());
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`serve`] — the online batched inference-serving runtime: dynamic
 //!   batching, batch/device-specialized schedule cache (Table 3 as a
 //!   runtime policy), worker pool and serving metrics.
+//! * [`telemetry`] — bounded-memory histograms and the span tracer the
+//!   whole stack records into, with Chrome-trace and Prometheus exporters.
 //!
 //! # Quickstart
 //!
@@ -45,6 +47,7 @@ pub use ios_ir as ir;
 pub use ios_models as models;
 pub use ios_serve as serve;
 pub use ios_sim as sim;
+pub use ios_telemetry as telemetry;
 
 /// The most commonly used items, importable with `use ios::prelude::*`.
 pub mod prelude {
