@@ -19,9 +19,9 @@
 use crate::arena::ScratchPool;
 use crate::executor::{
     execute_graph_pooled, execute_graph_with, execute_schedule_pooled,
-    execute_schedule_pooled_serial, execute_schedule_with, weight_seed,
+    execute_schedule_pooled_serial, execute_schedule_with, relu_fold_plan, weight_seed, FoldedRelu,
 };
-use crate::gemm::PackedFilter;
+use crate::gemm::{PackedFilter, QuantizedFilter};
 use crate::ops_cpu::{conv_weights, matmul_weights, sep_conv_seeds};
 use crate::tensor_data::TensorData;
 use ios_core::{MergedConv, NetworkSchedule};
@@ -30,29 +30,54 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// The numeric representation weights are precomputed into — selects the
+/// kernel path every weighted operator of the block executes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum WeightPrecision {
+    /// f32 tile-major packed panels; bit-identical to the naive oracle.
+    #[default]
+    F32,
+    /// Int8 pair-interleaved panels with per-output-channel scales; the
+    /// integer path carries its own byte-identity determinism contract
+    /// and a calibration-error bound against the f32 oracle. Matmul
+    /// classifier heads and depthwise stages stay f32 (their reductions
+    /// are too shallow for quantization to pay).
+    Int8,
+}
+
 /// Precomputed weights of one operator. Convolution filters are
 /// pre-packed into the GEMM microkernel's tile-major layout
-/// ([`PackedFilter`]) so the serving hot path streams `A` contiguously;
-/// only dense convolutions additionally keep the natural layout, which the
-/// merge stage stacks into merged kernels (separable convolutions are
-/// never merged, so storing their natural filters would only double the
-/// weight memory).
+/// ([`PackedFilter`]) — or, under [`WeightPrecision::Int8`], quantized
+/// into pair-interleaved int8 panels ([`QuantizedFilter`]) at a quarter
+/// of the footprint — so the serving hot path streams `A` contiguously.
+/// Exactly one of the two kernel forms is held per conv. Dense
+/// convolutions additionally keep the natural layout, which the merge
+/// stage stacks into merged kernels (separable convolutions are never
+/// merged, so storing their natural filters would only double the weight
+/// memory).
 #[derive(Debug, Clone)]
 pub enum OpWeights {
     /// Dense / grouped convolution filter.
     Conv {
         /// Natural layout `[out_c][in_c/g][kh][kw]`.
         filter: Vec<f32>,
-        /// The same filter in tile-major packed layout.
-        packed: PackedFilter,
+        /// The filter in tile-major packed layout (f32 precision).
+        packed: Option<PackedFilter>,
+        /// The filter quantized to int8 panels (int8 precision).
+        quantized: Option<QuantizedFilter>,
     },
-    /// Separable convolution: depthwise then pointwise filters, packed.
+    /// Separable convolution: depthwise then pointwise filters. The
+    /// depthwise stage always stays f32-packed (its reduction is only
+    /// `kh·kw` deep); the pointwise stage — where the compute lives —
+    /// carries either the packed f32 or the quantized int8 form.
     SepConv {
         /// Depthwise k×k filter (one output channel per input channel) in
         /// tile-major packed layout.
         depthwise_packed: PackedFilter,
-        /// Pointwise 1×1 filter in tile-major packed layout.
-        pointwise_packed: PackedFilter,
+        /// Pointwise 1×1 filter in tile-major packed layout (f32).
+        pointwise_packed: Option<PackedFilter>,
+        /// Pointwise 1×1 filter quantized to int8 panels.
+        pointwise_quant: Option<QuantizedFilter>,
     },
     /// Fully connected weight matrix, layout `[out][in]`.
     MatMul(Vec<f32>),
@@ -76,6 +101,10 @@ pub struct MergedWeights {
 #[derive(Debug, Default)]
 pub struct BlockWeights {
     by_op: Vec<Option<OpWeights>>,
+    /// The block's ReLU-fold peephole plan ([`relu_fold_plan`]), computed
+    /// once at build time; empty when no weights were precomputed.
+    fold_plan: Vec<FoldedRelu>,
+    precision: WeightPrecision,
     merged: Mutex<HashMap<OpSet, Arc<MergedWeights>>>,
     merged_builds: AtomicU64,
     merged_hits: AtomicU64,
@@ -85,6 +114,8 @@ impl Clone for BlockWeights {
     fn clone(&self) -> Self {
         BlockWeights {
             by_op: self.by_op.clone(),
+            fold_plan: self.fold_plan.clone(),
+            precision: self.precision,
             merged: Mutex::new(self.merged.lock().expect("merged-weight lock").clone()),
             merged_builds: AtomicU64::new(self.merged_builds.load(Ordering::Relaxed)),
             merged_hits: AtomicU64::new(self.merged_hits.load(Ordering::Relaxed)),
@@ -93,10 +124,20 @@ impl Clone for BlockWeights {
 }
 
 impl BlockWeights {
-    /// Generates the weights of every weighted operator of `graph`, using
-    /// the same seeds as the on-the-fly path so results stay bit-identical.
+    /// Generates the weights of every weighted operator of `graph` at f32
+    /// precision, using the same seeds as the on-the-fly path so results
+    /// stay bit-identical.
     #[must_use]
     pub fn precompute(graph: &Graph) -> Self {
+        Self::precompute_as(graph, WeightPrecision::F32)
+    }
+
+    /// [`BlockWeights::precompute`] at an explicit precision: f32 builds
+    /// packed panels, int8 quantizes dense-conv and sepconv-pointwise
+    /// filters into [`QuantizedFilter`] panels (per-output-channel scale
+    /// calibration happens here, at weight-precompute time).
+    #[must_use]
+    pub fn precompute_as(graph: &Graph, precision: WeightPrecision) -> Self {
         let by_op = graph
             .ops()
             .iter()
@@ -111,14 +152,28 @@ impl BlockWeights {
                 match &op.kind {
                     OpKind::Conv2d(p) => {
                         let in_c = input_shape(op.inputs[0]).channels / p.groups;
+                        let k_len = in_c * p.kernel.0 * p.kernel.1;
                         let filter = conv_weights(seed, p.out_channels, in_c, p.kernel);
-                        let packed = PackedFilter::pack(
-                            &filter,
-                            p.out_channels,
-                            p.groups,
-                            in_c * p.kernel.0 * p.kernel.1,
-                        );
-                        Some(OpWeights::Conv { filter, packed })
+                        let (packed, quantized) = match precision {
+                            WeightPrecision::F32 => (
+                                Some(PackedFilter::pack(&filter, p.out_channels, p.groups, k_len)),
+                                None,
+                            ),
+                            WeightPrecision::Int8 => (
+                                None,
+                                Some(QuantizedFilter::quantize(
+                                    &filter,
+                                    p.out_channels,
+                                    p.groups,
+                                    k_len,
+                                )),
+                            ),
+                        };
+                        Some(OpWeights::Conv {
+                            filter,
+                            packed,
+                            quantized,
+                        })
                     }
                     OpKind::SepConv2d(p) => {
                         let in_c = input_shape(op.inputs[0]).channels;
@@ -127,11 +182,25 @@ impl BlockWeights {
                         let depthwise_packed =
                             PackedFilter::pack(&depthwise, in_c, in_c, p.kernel.0 * p.kernel.1);
                         let pointwise = conv_weights(pw_seed, p.out_channels, in_c, (1, 1));
-                        let pointwise_packed =
-                            PackedFilter::pack(&pointwise, p.out_channels, 1, in_c);
+                        let (pointwise_packed, pointwise_quant) = match precision {
+                            WeightPrecision::F32 => (
+                                Some(PackedFilter::pack(&pointwise, p.out_channels, 1, in_c)),
+                                None,
+                            ),
+                            WeightPrecision::Int8 => (
+                                None,
+                                Some(QuantizedFilter::quantize(
+                                    &pointwise,
+                                    p.out_channels,
+                                    1,
+                                    in_c,
+                                )),
+                            ),
+                        };
                         Some(OpWeights::SepConv {
                             depthwise_packed,
                             pointwise_packed,
+                            pointwise_quant,
                         })
                     }
                     OpKind::MatMul(p) => {
@@ -152,6 +221,8 @@ impl BlockWeights {
             .collect();
         BlockWeights {
             by_op,
+            fold_plan: relu_fold_plan(graph),
+            precision,
             ..BlockWeights::default()
         }
     }
@@ -160,6 +231,24 @@ impl BlockWeights {
     #[must_use]
     pub fn get(&self, op: OpId) -> Option<&OpWeights> {
         self.by_op.get(op.index()).and_then(Option::as_ref)
+    }
+
+    /// The precision these weights were precomputed at.
+    #[must_use]
+    pub fn precision(&self) -> WeightPrecision {
+        self.precision
+    }
+
+    /// The build-time ReLU-fold plan, if this block was precomputed with
+    /// one (`None` for a default-constructed instance — callers then
+    /// compute the plan from the graph, which yields the identical plan).
+    #[must_use]
+    pub fn fold_plan(&self) -> Option<&[FoldedRelu]> {
+        if self.fold_plan.is_empty() {
+            None
+        } else {
+            Some(&self.fold_plan)
+        }
     }
 
     /// The convolution filter of `op` (natural layout), if it is a
@@ -273,18 +362,96 @@ pub struct NetworkWeights {
     blocks: Vec<BlockWeights>,
 }
 
+/// The weight-cache memory held by a [`NetworkWeights`], split by
+/// representation — the numbers behind the serving engine's
+/// `ios_weight_cache_*_bytes` gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WeightFootprint {
+    /// Bytes of f32 weight arrays (natural filters kept for merge
+    /// stacking, packed panels, matmul matrices).
+    pub f32_bytes: usize,
+    /// Bytes of int8 quantized panels plus their per-channel scales.
+    pub int8_bytes: usize,
+}
+
+impl WeightFootprint {
+    /// Total bytes across both representations.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.f32_bytes + self.int8_bytes
+    }
+}
+
 impl NetworkWeights {
-    /// Generates the weights of every block of `network`.
+    /// Generates the weights of every block of `network` at f32 precision.
     #[must_use]
     pub fn precompute(network: &Network) -> Self {
+        Self::precompute_as(network, WeightPrecision::F32)
+    }
+
+    /// [`NetworkWeights::precompute`] at an explicit precision.
+    #[must_use]
+    pub fn precompute_as(network: &Network, precision: WeightPrecision) -> Self {
         NetworkWeights {
             network_name: network.name.clone(),
             blocks: network
                 .blocks
                 .iter()
-                .map(|b| BlockWeights::precompute(&b.graph))
+                .map(|b| BlockWeights::precompute_as(&b.graph, precision))
                 .collect(),
         }
+    }
+
+    /// The precision the blocks were precomputed at.
+    #[must_use]
+    pub fn precision(&self) -> WeightPrecision {
+        self.blocks
+            .first()
+            .map(BlockWeights::precision)
+            .unwrap_or_default()
+    }
+
+    /// The weight-cache bytes held, split by representation. Counts every
+    /// weight array resident in memory: natural filters (kept for merge
+    /// stacking), packed f32 panels or quantized int8 panels (+scales),
+    /// and matmul matrices — so the int8 footprint reduction is directly
+    /// observable.
+    #[must_use]
+    pub fn footprint(&self) -> WeightFootprint {
+        let f32_size = std::mem::size_of::<f32>();
+        let mut fp = WeightFootprint::default();
+        for w in self.blocks.iter().flat_map(|b| b.by_op.iter().flatten()) {
+            match w {
+                OpWeights::Conv {
+                    filter,
+                    packed,
+                    quantized,
+                } => {
+                    fp.f32_bytes += filter.len() * f32_size;
+                    if let Some(p) = packed {
+                        fp.f32_bytes += p.num_elements() * f32_size;
+                    }
+                    if let Some(q) = quantized {
+                        fp.int8_bytes += q.footprint_bytes();
+                    }
+                }
+                OpWeights::SepConv {
+                    depthwise_packed,
+                    pointwise_packed,
+                    pointwise_quant,
+                } => {
+                    fp.f32_bytes += depthwise_packed.num_elements() * f32_size;
+                    if let Some(p) = pointwise_packed {
+                        fp.f32_bytes += p.num_elements() * f32_size;
+                    }
+                    if let Some(q) = pointwise_quant {
+                        fp.int8_bytes += q.footprint_bytes();
+                    }
+                }
+                OpWeights::MatMul(m) => fp.f32_bytes += m.len() * f32_size,
+            }
+        }
+        fp
     }
 
     /// Name of the network the weights were generated for.
@@ -317,7 +484,16 @@ impl NetworkWeights {
                 OpWeights::SepConv {
                     depthwise_packed,
                     pointwise_packed,
-                } => depthwise_packed.num_weights() + pointwise_packed.num_weights(),
+                    pointwise_quant,
+                } => {
+                    depthwise_packed.num_weights()
+                        + pointwise_packed
+                            .as_ref()
+                            .map_or(0, PackedFilter::num_weights)
+                        + pointwise_quant
+                            .as_ref()
+                            .map_or(0, QuantizedFilter::num_weights)
+                }
             })
             .sum()
     }

@@ -23,7 +23,80 @@ use crate::ops_cpu::{
 };
 use crate::tensor_data::TensorData;
 use ios_core::{try_merge, ParallelizationStrategy, Schedule};
-use ios_ir::{Graph, Op, OpId, Value};
+use ios_ir::{Activation, Conv2dParams, Graph, Op, OpId, OpKind, Value};
+use std::borrow::Cow;
+
+/// How the executor treats one operator under the standalone-ReLU peephole
+/// ([`relu_fold_plan`]): a standalone [`OpKind::Relu`] whose input is a
+/// convolution with no other consumer is folded into that convolution's
+/// epilogue — the activation applies while the output tile is register-hot
+/// — and the ReLU op itself degenerates to a copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FoldedRelu {
+    /// Execute the operator as written.
+    None,
+    /// A convolution that absorbs the standalone ReLU consuming it:
+    /// executed with [`Activation::Relu`] fused into its epilogue.
+    FuseRelu,
+    /// The standalone ReLU whose work moved into the named convolution:
+    /// its input already carries the activation, so it copies.
+    CopyOf(OpId),
+}
+
+/// Plans the standalone-ReLU peephole for `graph`: one entry per operator.
+/// An [`OpKind::Relu`] folds into the convolution producing its input when
+/// that convolution has no other consumer and is not itself a graph output
+/// (folding changes the producer's stored tensor, which must stay
+/// observable otherwise). The fold is bit-identical: the fused epilogue
+/// applies the same `max(0,·)` the standalone pass would, and re-applying
+/// ReLU to an already-rectified tensor is the identity.
+#[must_use]
+pub fn relu_fold_plan(graph: &Graph) -> Vec<FoldedRelu> {
+    let mut plan = vec![FoldedRelu::None; graph.len()];
+    let mut consumers = vec![0usize; graph.len()];
+    for op in graph.ops() {
+        for v in &op.inputs {
+            if let Value::Op(id) = v {
+                consumers[id.index()] += 1;
+            }
+        }
+    }
+    let mut is_output = vec![false; graph.len()];
+    for v in graph.outputs() {
+        if let Value::Op(id) = v {
+            is_output[id.index()] = true;
+        }
+    }
+    for op in graph.ops() {
+        if op.kind != OpKind::Relu {
+            continue;
+        }
+        let src = match op.inputs.as_slice() {
+            [Value::Op(src)] => *src,
+            _ => continue,
+        };
+        if consumers[src.index()] != 1 || is_output[src.index()] {
+            continue;
+        }
+        if !matches!(graph.op(src).kind, OpKind::Conv2d(_)) {
+            continue;
+        }
+        plan[src.index()] = FoldedRelu::FuseRelu;
+        plan[op.id.index()] = FoldedRelu::CopyOf(src);
+    }
+    plan
+}
+
+/// The fold plan to execute under: the one cached in the precomputed
+/// weights when available, recomputed from the graph otherwise. Both paths
+/// produce the identical plan ([`relu_fold_plan`] is deterministic), so
+/// cached and uncached execution stay bit-identical.
+fn fold_plan_for<'a>(graph: &Graph, weights: Option<&'a BlockWeights>) -> Cow<'a, [FoldedRelu]> {
+    match weights.and_then(BlockWeights::fold_plan) {
+        Some(plan) => Cow::Borrowed(plan),
+        None => Cow::Owned(relu_fold_plan(graph)),
+    }
+}
 
 /// Per-operator weight seed: stable across execution strategies.
 pub(crate) fn weight_seed(graph: &Graph, op: OpId) -> u64 {
@@ -57,8 +130,35 @@ fn run_op(
     op: &Op,
     op_inputs: &[&TensorData],
     weights: Option<&BlockWeights>,
+    fold: FoldedRelu,
     arena: &impl Arena,
 ) -> TensorData {
+    let fused;
+    let op = match fold {
+        FoldedRelu::CopyOf(_) => {
+            // The producing convolution already applied this ReLU in its
+            // epilogue; the input is rectified, so the op is a copy.
+            let mut out = arena.take_tensor(op.output_shape);
+            out.data.copy_from_slice(&op_inputs[0].data);
+            return out;
+        }
+        FoldedRelu::FuseRelu => {
+            let OpKind::Conv2d(params) = &op.kind else {
+                unreachable!("FuseRelu is only planned for convolutions")
+            };
+            // Weights depend only on channel/kernel geometry, so the
+            // precomputed entry for the original op still applies.
+            fused = Op {
+                kind: OpKind::Conv2d(Conv2dParams {
+                    activation: Activation::Relu,
+                    ..*params
+                }),
+                ..op.clone()
+            };
+            &fused
+        }
+        FoldedRelu::None => op,
+    };
     match weights.and_then(|w| w.get(op.id)) {
         Some(w) => execute_op_with_weights_pooled(op, op_inputs, w, arena),
         None => execute_op_pooled(op, op_inputs, weight_seed(graph, op.id), arena),
@@ -120,6 +220,7 @@ pub fn execute_graph_pooled(
     arena: &ScratchPool,
 ) -> Vec<TensorData> {
     check_inputs(graph, inputs);
+    let plan = fold_plan_for(graph, weights);
     let mut outputs: Vec<Option<TensorData>> = vec![None; graph.len()];
     for id in graph.topological_order() {
         let op = graph.op(id);
@@ -128,7 +229,7 @@ pub fn execute_graph_pooled(
             .iter()
             .map(|v| resolve(*v, inputs, &outputs))
             .collect();
-        let out = run_op(graph, op, &op_inputs, weights, arena);
+        let out = run_op(graph, op, &op_inputs, weights, plan[id.index()], arena);
         assert_eq!(
             out.shape, op.output_shape,
             "shape inference mismatch for {}",
@@ -301,6 +402,8 @@ pub(crate) fn execute_stage(
     );
     stage_span.set_id(stage.groups.len() as u64);
     stage_span.set_arg(u64::from(parallel_groups));
+    let plan = fold_plan_for(graph, weights);
+    let plan: &[FoldedRelu] = &plan;
     match stage.strategy {
         ParallelizationStrategy::ConcurrentExecution => {
             // Each group runs independently (on its own thread when
@@ -336,7 +439,7 @@ pub(crate) fn execute_stage(
                             }
                         })
                         .collect();
-                    let out = run_op(graph, op, &op_inputs, weights, &scope);
+                    let out = run_op(graph, op, &op_inputs, weights, plan[op_id.index()], &scope);
                     local.ops.push((op_id, out));
                 }
                 // `scope` drops here: its retained scratch drains back into
@@ -417,6 +520,15 @@ pub(crate) fn execute_stage(
                     let src = n * merged_item + oc_offset * plane;
                     part_out.data[n * section_len..(n + 1) * section_len]
                         .copy_from_slice(&merged_out.data[src..src + section_len]);
+                }
+                // A part that absorbed a standalone ReLU still owes that
+                // activation when the merged kernel did not apply one.
+                if plan[part.index()] == FoldedRelu::FuseRelu
+                    && merged.params.activation != Activation::Relu
+                {
+                    for v in &mut part_out.data {
+                        *v = v.max(0.0);
+                    }
                 }
                 outputs[part.index()] = Some(part_out);
                 oc_offset += section;
@@ -621,6 +733,102 @@ mod tests {
             after_warmup,
             "a warmed-up pool must serve the whole op loop without fresh allocations"
         );
+    }
+
+    #[test]
+    fn standalone_relu_after_conv_folds_bit_identically() {
+        // conv (no activation) → standalone relu → conv: the relu must fold
+        // into the first conv's epilogue and degrade to a copy.
+        let shape = TensorShape::new(1, 4, 8, 8);
+        let mut b = GraphBuilder::new("fold", shape);
+        let x = b.input(0);
+        let c = b.conv2d("c", x, Conv2dParams::plain(6, (3, 3), (1, 1), (1, 1)));
+        let r = b.relu("r", c);
+        let d = b.conv2d("d", r, Conv2dParams::relu(4, (1, 1), (1, 1), (0, 0)));
+        let g = b.build(vec![d]);
+        let plan = relu_fold_plan(&g);
+        assert_eq!(plan[0], FoldedRelu::FuseRelu);
+        assert_eq!(plan[1], FoldedRelu::CopyOf(OpId(0)));
+        assert_eq!(plan[2], FoldedRelu::None);
+
+        // Reference: the unfused convolution followed by a separate
+        // whole-tensor max(0,·) pass.
+        let inputs = vec![TensorData::random(shape, 77)];
+        let ios_ir::OpKind::Conv2d(p) = &g.op(OpId(0)).kind else {
+            unreachable!()
+        };
+        let filter = conv_weights(weight_seed(&g, OpId(0)), p.out_channels, 4, p.kernel);
+        let mut rectified = conv2d_pooled(&inputs[0], p, &filter, global_pool());
+        for v in &mut rectified.data {
+            *v = v.max(0.0);
+        }
+
+        let folded = execute_graph(&g, &inputs);
+        assert_eq!(
+            folded[0], rectified,
+            "fused conv output must carry the ReLU"
+        );
+        assert_eq!(folded[1], rectified, "the folded ReLU op is a copy");
+        let uncached = execute_graph_uncached(&g, &inputs);
+        assert_eq!(folded, uncached, "cached and uncached paths fold alike");
+    }
+
+    #[test]
+    fn relu_fold_skips_convs_with_other_consumers_or_output_exposure() {
+        let shape = TensorShape::new(1, 4, 6, 6);
+        // The conv output is itself a graph output: folding would change it.
+        let mut b = GraphBuilder::new("nofold_output", shape);
+        let x = b.input(0);
+        let c = b.conv2d("c", x, Conv2dParams::plain(4, (3, 3), (1, 1), (1, 1)));
+        let r = b.relu("r", c);
+        let g = b.build(vec![r, c]);
+        assert!(relu_fold_plan(&g).iter().all(|f| *f == FoldedRelu::None));
+
+        // The conv has a second consumer that needs the pre-ReLU tensor.
+        let mut b = GraphBuilder::new("nofold_twouse", shape);
+        let x = b.input(0);
+        let c = b.conv2d("c", x, Conv2dParams::plain(4, (3, 3), (1, 1), (1, 1)));
+        let r = b.relu("r", c);
+        let a = b.add_op("a", &[r, c]);
+        let g = b.build(vec![a]);
+        assert!(relu_fold_plan(&g).iter().all(|f| *f == FoldedRelu::None));
+    }
+
+    #[test]
+    fn folded_relu_survives_a_merged_stage() {
+        // Two plain convs share the input and merge; one of them absorbed a
+        // standalone ReLU, which the split must re-apply since the merged
+        // kernel ran without an activation.
+        let shape = TensorShape::new(1, 4, 8, 8);
+        let mut b = GraphBuilder::new("fold_merge", shape);
+        let x = b.input(0);
+        let c0 = b.conv2d("c0", x, Conv2dParams::plain(6, (3, 3), (1, 1), (1, 1)));
+        let c1 = b.conv2d("c1", x, Conv2dParams::plain(4, (1, 1), (1, 1), (0, 0)));
+        let r = b.relu("r", c0);
+        let g = b.build(vec![r, c1]);
+        assert_eq!(relu_fold_plan(&g)[0], FoldedRelu::FuseRelu);
+
+        let merged_ops: ios_ir::OpSet = [OpId(0), OpId(1)].into_iter().collect();
+        assert!(try_merge(&g, merged_ops).is_some());
+        let schedule = Schedule::new(
+            g.name(),
+            vec![
+                ios_core::Stage {
+                    ops: merged_ops,
+                    strategy: ParallelizationStrategy::OperatorMerge,
+                    groups: vec![vec![OpId(0), OpId(1)]],
+                    measured_latency_us: 1.0,
+                },
+                ios_core::Stage {
+                    ops: [OpId(2)].into_iter().collect(),
+                    strategy: ParallelizationStrategy::ConcurrentExecution,
+                    groups: vec![vec![OpId(2)]],
+                    measured_latency_us: 1.0,
+                },
+            ],
+        );
+        let diff = verify_schedule(&g, &schedule, 13);
+        assert!(diff < 1e-3, "difference = {diff}");
     }
 
     #[test]

@@ -38,6 +38,27 @@
 //! permutation, and every accumulator still sums over strictly ascending
 //! `k`, both paths are bit-identical to each other and to the naive
 //! reference.
+//!
+//! **Epilogues are fused into the tile writeback.** An [`Epilogue`]
+//! descriptor (bias / residual-add / ReLU, composable) is threaded through
+//! every kernel down to the `MR × NR` tile store, so activations and adds
+//! apply while the output tile is register-hot instead of as separate
+//! whole-tensor passes afterwards. The fused epilogue computes the exact
+//! per-element expression of the separate passes — `(acc + bias) +
+//! residual`, then `max(0, ·)` — so the f32 path stays bit-identical to
+//! the pass-after reference (`max(0, ·)` per element commutes with the
+//! store order).
+//!
+//! **Int8 quantized path.** [`QuantizedFilter`] holds per-output-channel
+//! symmetric-scale int8 weights in a pair-interleaved panel layout (4× the
+//! lanes of f32 in the same tile footprint); inputs are quantized
+//! per-sample during the fused im2col block build, the microkernel
+//! accumulates in `i32` via `pmaddwd`-shaped multiply-adds
+//! (runtime-dispatched AVX2 / SSE2 / scalar — all computing the same
+//! integer sums), and requantization happens in the epilogue. Integer
+//! accumulation is order-exact, so the quantized path is **byte-identical**
+//! across thread counts, pipeline segmentations, ISA paths and the naive
+//! int8 oracle ([`crate::ops_cpu::conv2d_naive_quant`]).
 
 use crate::arena::Arena;
 use crate::tensor_data::TensorData;
@@ -157,6 +178,120 @@ impl PackedFilter {
     }
 }
 
+/// A fused GEMM epilogue: what happens to each finished accumulator
+/// element between the register tile and the store into `C`.
+///
+/// The operations apply in a fixed order — `(acc + bias) + residual`,
+/// then `max(0, ·)` if `relu` — exactly the order the former separate
+/// whole-tensor passes used, so fusing them into the tile writeback is
+/// bit-identical to running them afterwards. An absent term is *skipped
+/// entirely*, never added as `0.0` (`-0.0 + 0.0 == +0.0` would flip the
+/// sign bit of negative zeros and break bitwise identity).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Epilogue<'a> {
+    /// Per-output-row constant: `bias[i]` is added to every element of
+    /// output row `i`.
+    pub bias: Option<&'a [f32]>,
+    /// Elementwise addend with the same `m_rows × m` layout as `C`.
+    pub residual: Option<&'a [f32]>,
+    /// Apply `max(0, ·)` after the adds.
+    pub relu: bool,
+}
+
+impl Epilogue<'_> {
+    /// The identity epilogue: store the accumulator unchanged.
+    pub const NONE: Epilogue<'static> = Epilogue {
+        bias: None,
+        residual: None,
+        relu: false,
+    };
+}
+
+/// Writes one finished accumulator lane (`lane.len()` elements of output
+/// row `row`, columns `[j0, j0 + lane.len())`, row stride `m`) through the
+/// epilogue into `c`. This is the single store every f32 kernel — and the
+/// requantized int8 kernel — goes through, so all paths apply the
+/// identical per-element expression.
+#[inline]
+fn store_lane(ep: &Epilogue<'_>, row: usize, j0: usize, m: usize, lane: &[f32], c: &mut [f32]) {
+    let start = row * m + j0;
+    let dst = &mut c[start..start + lane.len()];
+    match (ep.bias, ep.residual) {
+        (None, None) => {
+            if ep.relu {
+                for (d, &v) in dst.iter_mut().zip(lane) {
+                    *d = v.max(0.0);
+                }
+            } else {
+                dst.copy_from_slice(lane);
+            }
+        }
+        (Some(bias), None) => {
+            let bv = bias[row];
+            if ep.relu {
+                for (d, &v) in dst.iter_mut().zip(lane) {
+                    *d = (v + bv).max(0.0);
+                }
+            } else {
+                for (d, &v) in dst.iter_mut().zip(lane) {
+                    *d = v + bv;
+                }
+            }
+        }
+        (None, Some(res)) => {
+            let r = &res[start..start + lane.len()];
+            if ep.relu {
+                for ((d, &v), &rv) in dst.iter_mut().zip(lane).zip(r) {
+                    *d = (v + rv).max(0.0);
+                }
+            } else {
+                for ((d, &v), &rv) in dst.iter_mut().zip(lane).zip(r) {
+                    *d = v + rv;
+                }
+            }
+        }
+        (Some(bias), Some(res)) => {
+            let bv = bias[row];
+            let r = &res[start..start + lane.len()];
+            if ep.relu {
+                for ((d, &v), &rv) in dst.iter_mut().zip(lane).zip(r) {
+                    *d = (v + bv + rv).max(0.0);
+                }
+            } else {
+                for ((d, &v), &rv) in dst.iter_mut().zip(lane).zip(r) {
+                    *d = v + bv + rv;
+                }
+            }
+        }
+    }
+}
+
+/// The convolution-level view of a fused epilogue, plus an optional ReLU
+/// applied to the *input* while the patch matrix is loaded (fusing the
+/// separable-conv pre-activation copy into im2col).
+///
+/// `relu` composes with `params.activation`: the output ReLU runs if
+/// either asks for it (idempotent, so composing is exact).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConvEpilogue<'a> {
+    /// Apply `max(0, ·)` to input values as the patch matrix is built.
+    pub input_relu: bool,
+    /// Per-output-channel bias (`params.out_channels` values).
+    pub bias: Option<&'a [f32]>,
+    /// Elementwise addend with the output tensor's exact shape.
+    pub residual: Option<&'a TensorData>,
+    /// Apply `max(0, ·)` to the output after the adds.
+    pub relu: bool,
+}
+
+impl ConvEpilogue<'_> {
+    /// Whether this epilogue is the identity (no fused work).
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        !self.input_relu && self.bias.is_none() && self.residual.is_none() && !self.relu
+    }
+}
+
 /// im2col + blocked-GEMM convolution. Bit-identical to
 /// [`crate::ops_cpu::conv2d_naive`]; scratch comes from `pool` and is
 /// recycled before returning, the output tensor is taken from `pool` and
@@ -168,7 +303,32 @@ pub fn conv2d_im2col(
     weights: &[f32],
     pool: &impl Arena,
 ) -> TensorData {
-    conv2d_gemm(input, params, Filter::Unpacked(weights), pool)
+    conv2d_gemm(
+        input,
+        params,
+        Filter::Unpacked(weights),
+        &ConvEpilogue::default(),
+        pool,
+    )
+}
+
+/// [`conv2d_im2col`] with a fused epilogue: input-ReLU during im2col,
+/// bias / residual-add / ReLU in the tile writeback. Bit-identical to
+/// running the same operations as separate passes after the convolution.
+///
+/// # Panics
+///
+/// Panics if a provided residual's shape differs from the output shape or
+/// a provided bias is shorter than `params.out_channels`.
+#[must_use]
+pub fn conv2d_im2col_fused(
+    input: &TensorData,
+    params: &Conv2dParams,
+    weights: &[f32],
+    ep: &ConvEpilogue<'_>,
+    pool: &impl Arena,
+) -> TensorData {
+    conv2d_gemm(input, params, Filter::Unpacked(weights), ep, pool)
 }
 
 /// [`conv2d_im2col`] reading the filter from its pre-packed tile-major
@@ -185,6 +345,25 @@ pub fn conv2d_im2col_packed(
     packed: &PackedFilter,
     pool: &impl Arena,
 ) -> TensorData {
+    conv2d_im2col_packed_fused(input, params, packed, &ConvEpilogue::default(), pool)
+}
+
+/// [`conv2d_im2col_packed`] with a fused epilogue — the serving fast
+/// path. Bit-identical to the unpacked fused kernel (and to the separate
+/// passes it replaces).
+///
+/// # Panics
+///
+/// Panics if `packed` was not packed for this convolution's geometry, or
+/// a provided residual/bias does not match the output geometry.
+#[must_use]
+pub fn conv2d_im2col_packed_fused(
+    input: &TensorData,
+    params: &Conv2dParams,
+    packed: &PackedFilter,
+    ep: &ConvEpilogue<'_>,
+    pool: &impl Arena,
+) -> TensorData {
     let k_len = (input.shape.channels / params.groups) * params.kernel.0 * params.kernel.1;
     assert!(
         packed.matches(params.out_channels, params.groups, k_len),
@@ -197,7 +376,7 @@ pub fn conv2d_im2col_packed(
         params.groups,
         k_len
     );
-    conv2d_gemm(input, params, Filter::Packed(packed), pool)
+    conv2d_gemm(input, params, Filter::Packed(packed), ep, pool)
 }
 
 /// The weight operand of the GEMM: natural layout or pre-packed panels.
@@ -210,12 +389,25 @@ fn conv2d_gemm(
     input: &TensorData,
     params: &Conv2dParams,
     filter: Filter<'_>,
+    ep: &ConvEpilogue<'_>,
     pool: &impl Arena,
 ) -> TensorData {
     let in_shape = input.shape;
     let (oh, ow) = in_shape.conv_output_hw(params.kernel, params.stride, params.padding);
     let out_shape = TensorShape::new(in_shape.batch, params.out_channels, oh, ow);
     let mut out = pool.take_tensor(out_shape);
+    if let Some(res) = ep.residual {
+        assert_eq!(
+            res.shape, out_shape,
+            "fused residual shape must match the convolution output"
+        );
+    }
+    if let Some(bias) = ep.bias {
+        assert!(
+            bias.len() >= params.out_channels,
+            "fused bias must cover every output channel"
+        );
+    }
 
     let groups = params.groups;
     let in_c_per_group = in_shape.channels / groups;
@@ -224,13 +416,17 @@ fn conv2d_gemm(
     let k_len = in_c_per_group * kh * kw;
     let m_cols = oh * ow;
     let in_plane = in_shape.height * in_shape.width;
+    let relu = params.activation == ios_ir::Activation::Relu || ep.relu;
 
-    // A pointwise convolution's patch matrix is the input itself. The
-    // unpacked kernel materializes the full `K × M` patch matrix per group;
-    // the packed kernel is column-block-outer, so it builds each `K × NR`
+    // A pointwise convolution's patch matrix is the input itself — unless
+    // a fused input-ReLU must transform the values, which forces the
+    // patch-build path (it applies the ReLU while loading). The unpacked
+    // kernel materializes the full `K × M` patch matrix per group; the
+    // packed kernel is column-block-outer, so it builds each `K × NR`
     // column block on demand instead (fused im2col) and never holds more
     // than one cache-resident block of B.
-    let pointwise = kh == 1 && kw == 1 && params.stride == (1, 1) && params.padding == (0, 0);
+    let pointwise =
+        kh == 1 && kw == 1 && params.stride == (1, 1) && params.padding == (0, 0) && !ep.input_relu;
     let mut patches = if pointwise {
         Vec::new()
     } else {
@@ -245,6 +441,13 @@ fn conv2d_gemm(
             let c0 = g * in_c_per_group;
             let oc0 = g * out_c_per_group;
             let c_start = (n * params.out_channels + oc0) * m_cols;
+            let gep = Epilogue {
+                bias: ep.bias.map(|b| &b[oc0..oc0 + out_c_per_group]),
+                residual: ep
+                    .residual
+                    .map(|r| &r.data[c_start..c_start + out_c_per_group * m_cols]),
+                relu,
+            };
             let c = &mut out.data[c_start..c_start + out_c_per_group * m_cols];
             match filter {
                 Filter::Unpacked(weights) => {
@@ -252,16 +455,34 @@ fn conv2d_gemm(
                         let start = (n * in_shape.channels + c0) * in_plane;
                         &input.data[start..start + k_len * m_cols]
                     } else {
-                        im2col_group(input, n, c0, in_c_per_group, params, oh, ow, &mut patches);
+                        im2col_group(
+                            input,
+                            n,
+                            c0,
+                            in_c_per_group,
+                            params,
+                            oh,
+                            ow,
+                            &mut patches,
+                            ep.input_relu,
+                        );
                         &patches
                     };
                     let a = &weights[oc0 * k_len..(oc0 + out_c_per_group) * k_len];
-                    gemm_bit_exact(out_c_per_group, m_cols, k_len, a, b, c);
+                    gemm_bit_exact(out_c_per_group, m_cols, k_len, a, b, &gep, c);
                 }
                 Filter::Packed(packed) if pointwise => {
                     let start = (n * in_shape.channels + c0) * in_plane;
                     let b = &input.data[start..start + k_len * m_cols];
-                    gemm_bit_exact_packed(out_c_per_group, m_cols, k_len, packed.group(g), b, c);
+                    gemm_bit_exact_packed(
+                        out_c_per_group,
+                        m_cols,
+                        k_len,
+                        packed.group(g),
+                        b,
+                        &gep,
+                        c,
+                    );
                 }
                 Filter::Packed(packed) => {
                     // Fused per-block im2col: build the `K × nr` patch
@@ -273,7 +494,18 @@ fn conv2d_gemm(
                     while j0 < m_cols {
                         let nr = PACK_NR.min(m_cols - j0);
                         let block = &mut patches[..k_len * nr];
-                        im2col_block(input, n, c0, in_c_per_group, params, ow, j0, nr, block);
+                        im2col_block(
+                            input,
+                            n,
+                            c0,
+                            in_c_per_group,
+                            params,
+                            ow,
+                            j0,
+                            nr,
+                            block,
+                            ep.input_relu,
+                        );
                         packed_panels_over_block(
                             packed.group(g),
                             out_c_per_group,
@@ -283,6 +515,7 @@ fn conv2d_gemm(
                             nr,
                             j0,
                             nr,
+                            &gep,
                             c,
                         );
                         j0 += PACK_NR;
@@ -294,18 +527,45 @@ fn conv2d_gemm(
     if !pointwise {
         pool.recycle(patches);
     }
-    if params.activation == ios_ir::Activation::Relu {
-        for v in &mut out.data {
-            *v = v.max(0.0);
+    out
+}
+
+/// Copies `seg.len()` input values starting at `in_row[src]` with stride
+/// `sw` into `seg`, optionally applying `max(0, ·)` per value — the one
+/// place im2col touches input data, so a fused input-ReLU transforms
+/// exactly the values a separate activation pass would have.
+#[inline]
+fn fill_seg(seg: &mut [f32], in_row: &[f32], src: usize, sw: usize, input_relu: bool) {
+    match (input_relu, sw) {
+        (false, 1) => seg.copy_from_slice(&in_row[src..src + seg.len()]),
+        (false, _) => {
+            let mut ix = src;
+            for s in seg {
+                *s = in_row[ix];
+                ix += sw;
+            }
+        }
+        (true, 1) => {
+            let row = &in_row[src..src + seg.len()];
+            for (s, &v) in seg.iter_mut().zip(row) {
+                *s = v.max(0.0);
+            }
+        }
+        (true, _) => {
+            let mut ix = src;
+            for s in seg {
+                *s = in_row[ix].max(0.0);
+                ix += sw;
+            }
         }
     }
-    out
 }
 
 /// Fills `patches` (a `K × M` matrix, `K = in_c_per_group·kh·kw`,
 /// `M = oh·ow`) with the im2col expansion of sample `n`, channels
 /// `[c0, c0 + in_c_per_group)`. Out-of-bounds (padding) positions become
-/// exact `0.0`; every element of `patches` is written.
+/// exact `0.0`; every element of `patches` is written. `input_relu`
+/// applies `max(0, ·)` to every loaded value.
 #[allow(clippy::too_many_arguments)]
 fn im2col_group(
     input: &TensorData,
@@ -316,6 +576,7 @@ fn im2col_group(
     oh: usize,
     ow: usize,
     patches: &mut [f32],
+    input_relu: bool,
 ) {
     let shape = input.shape;
     let (h, w) = (shape.height, shape.width);
@@ -344,15 +605,7 @@ fn im2col_group(
                     seg[..x_lo].fill(0.0);
                     if x_hi > x_lo {
                         let src = ((x_lo * sw + kx) as isize - pw as isize) as usize;
-                        if sw == 1 {
-                            seg[x_lo..x_hi].copy_from_slice(&in_row[src..src + (x_hi - x_lo)]);
-                        } else {
-                            let mut ix = src;
-                            for s in &mut seg[x_lo..x_hi] {
-                                *s = in_row[ix];
-                                ix += sw;
-                            }
-                        }
+                        fill_seg(&mut seg[x_lo..x_hi], in_row, src, sw, input_relu);
                     }
                     seg[x_hi..].fill(0.0);
                 }
@@ -368,7 +621,7 @@ fn im2col_group(
 /// the fused-im2col building block of the packed kernel. Produces exactly
 /// the values the full-matrix [`im2col_group`] would put in those columns
 /// (padding positions become exact `0.0`); every element of `patches` is
-/// written.
+/// written. `input_relu` applies `max(0, ·)` to every loaded value.
 #[allow(clippy::too_many_arguments)]
 fn im2col_block(
     input: &TensorData,
@@ -380,6 +633,7 @@ fn im2col_block(
     j0: usize,
     nr: usize,
     patches: &mut [f32],
+    input_relu: bool,
 ) {
     let shape = input.shape;
     let (h, w) = (shape.height, shape.width);
@@ -415,15 +669,7 @@ fn im2col_block(
                         seg[..a].fill(0.0);
                         if b > a {
                             let src = ((lo * sw + kx) as isize - pw as isize) as usize;
-                            if sw == 1 {
-                                seg[a..b].copy_from_slice(&in_row[src..src + (b - a)]);
-                            } else {
-                                let mut ix = src;
-                                for s in &mut seg[a..b] {
-                                    *s = in_row[ix];
-                                    ix += sw;
-                                }
-                            }
+                            fill_seg(&mut seg[a..b], in_row, src, sw, input_relu);
                         }
                         seg[b..].fill(0.0);
                     }
@@ -453,11 +699,20 @@ fn valid_range(out: usize, stride: usize, k: usize, pad: usize, limit: usize) ->
     (lo, hi.max(lo))
 }
 
-/// `C[i·m + j] = Σ_k A[i·k_len + k] · B[k·m + j]`, with `k` strictly
-/// ascending for every `(i, j)` — the bit-exactness invariant. Register
-/// blocking covers `MR × NR` output tiles; each accumulator's operation
-/// sequence is identical to a scalar loop.
-pub fn gemm_bit_exact(m_rows: usize, m: usize, k_len: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+/// `C[i·m + j] = Σ_k A[i·k_len + k] · B[k·m + j]` pushed through the
+/// fused epilogue `ep`, with `k` strictly ascending for every `(i, j)` —
+/// the bit-exactness invariant. Register blocking covers `MR × NR` output
+/// tiles; each accumulator's operation sequence is identical to a scalar
+/// loop, and the epilogue applies per element in the tile writeback.
+pub fn gemm_bit_exact(
+    m_rows: usize,
+    m: usize,
+    k_len: usize,
+    a: &[f32],
+    b: &[f32],
+    ep: &Epilogue<'_>,
+    c: &mut [f32],
+) {
     let mut i0 = 0;
     while i0 < m_rows {
         let mr = MR.min(m_rows - i0);
@@ -465,9 +720,9 @@ pub fn gemm_bit_exact(m_rows: usize, m: usize, k_len: usize, a: &[f32], b: &[f32
         while j0 < m {
             let nr = NR.min(m - j0);
             if mr == MR && nr == NR {
-                tile_full(i0, j0, m, k_len, a, b, c);
+                tile_full(i0, j0, m, k_len, a, b, ep, c);
             } else {
-                tile_edge(i0, j0, mr, nr, m, k_len, a, b, c);
+                tile_edge(i0, j0, mr, nr, m, k_len, a, b, ep, c);
             }
             j0 += NR;
         }
@@ -477,8 +732,18 @@ pub fn gemm_bit_exact(m_rows: usize, m: usize, k_len: usize, a: &[f32], b: &[f32
 
 /// Full `MR × NR` register tile; the fixed trip counts let the compiler
 /// keep the accumulators in vector registers.
+#[allow(clippy::too_many_arguments)]
 #[inline]
-fn tile_full(i0: usize, j0: usize, m: usize, k_len: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+fn tile_full(
+    i0: usize,
+    j0: usize,
+    m: usize,
+    k_len: usize,
+    a: &[f32],
+    b: &[f32],
+    ep: &Epilogue<'_>,
+    c: &mut [f32],
+) {
     let mut acc = [[0.0f32; NR]; MR];
     let mut a_rows = [&a[0..0]; MR];
     for (i, row) in a_rows.iter_mut().enumerate() {
@@ -495,8 +760,8 @@ fn tile_full(i0: usize, j0: usize, m: usize, k_len: usize, a: &[f32], b: &[f32],
             }
         }
     }
-    for i in 0..MR {
-        c[(i0 + i) * m + j0..(i0 + i) * m + j0 + NR].copy_from_slice(&acc[i]);
+    for (i, lane) in acc.iter().enumerate() {
+        store_lane(ep, i0 + i, j0, m, lane, c);
     }
 }
 
@@ -519,12 +784,13 @@ pub fn gemm_bit_exact_packed(
     k_len: usize,
     a_panels: &[f32],
     b: &[f32],
+    ep: &Epilogue<'_>,
     c: &mut [f32],
 ) {
     let mut j0 = 0;
     while j0 < m {
         let nr = PACK_NR.min(m - j0);
-        packed_panels_over_block(a_panels, m_rows, m, k_len, &b[j0..], m, j0, nr, c);
+        packed_panels_over_block(a_panels, m_rows, m, k_len, &b[j0..], m, j0, nr, ep, c);
         j0 += PACK_NR;
     }
 }
@@ -548,6 +814,7 @@ fn packed_panels_over_block(
     b_stride: usize,
     j0: usize,
     nr: usize,
+    ep: &Epilogue<'_>,
     c: &mut [f32],
 ) {
     let panel_stride = k_len * PACK_MR;
@@ -557,9 +824,9 @@ fn packed_panels_over_block(
         let mr = PACK_MR.min(m_rows - i0);
         let panel = &a_panels[p * panel_stride..(p + 1) * panel_stride];
         if mr == PACK_MR && nr == PACK_NR {
-            packed_tile_full(panel, i0, j0, m, b_stride, k_len, b_block, c);
+            packed_tile_full(panel, i0, j0, m, b_stride, k_len, b_block, ep, c);
         } else {
-            packed_tile_edge(panel, i0, j0, mr, nr, m, b_stride, k_len, b_block, c);
+            packed_tile_edge(panel, i0, j0, mr, nr, m, b_stride, k_len, b_block, ep, c);
         }
         i0 += PACK_MR;
         p += 1;
@@ -579,6 +846,7 @@ fn packed_tile_full(
     b_stride: usize,
     k_len: usize,
     b: &[f32],
+    ep: &Epilogue<'_>,
     c: &mut [f32],
 ) {
     let mut acc = [[0.0f32; PACK_NR]; PACK_MR];
@@ -594,7 +862,7 @@ fn packed_tile_full(
         }
     }
     for (i, lane) in acc.iter().enumerate() {
-        c[(i0 + i) * m + j0..(i0 + i) * m + j0 + PACK_NR].copy_from_slice(lane);
+        store_lane(ep, i0 + i, j0, m, lane, c);
     }
 }
 
@@ -611,6 +879,7 @@ fn packed_tile_edge(
     b_stride: usize,
     k_len: usize,
     b: &[f32],
+    ep: &Epilogue<'_>,
     c: &mut [f32],
 ) {
     let mut acc = [[0.0f32; PACK_NR]; PACK_MR];
@@ -626,7 +895,7 @@ fn packed_tile_edge(
         }
     }
     for (i, lane) in acc.iter().enumerate().take(mr) {
-        c[(i0 + i) * m + j0..(i0 + i) * m + j0 + nr].copy_from_slice(&lane[..nr]);
+        store_lane(ep, i0 + i, j0, m, &lane[..nr], c);
     }
 }
 
@@ -641,6 +910,7 @@ fn tile_edge(
     k_len: usize,
     a: &[f32],
     b: &[f32],
+    ep: &Epilogue<'_>,
     c: &mut [f32],
 ) {
     let mut acc = [[0.0f32; NR]; MR];
@@ -656,7 +926,558 @@ fn tile_edge(
         }
     }
     for (i, lane) in acc.iter().enumerate().take(mr) {
-        c[(i0 + i) * m + j0..(i0 + i) * m + j0 + nr].copy_from_slice(&lane[..nr]);
+        store_lane(ep, i0 + i, j0, m, &lane[..nr], c);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Int8 quantized path
+// ---------------------------------------------------------------------------
+
+/// A convolution filter quantized to int8 with per-output-channel
+/// symmetric scales, packed into the pair-interleaved panel layout of the
+/// integer microkernel.
+///
+/// Like [`PackedFilter`], each group's weight rows are split into panels
+/// of `PACK_MR` output channels — but the k dimension is walked in
+/// *pairs* (zero-padded to even length) and each panel stores
+/// `data[pair][row][2]`: the two consecutive-k weights of one row sit
+/// adjacent, so a `pmaddwd`-shaped multiply-add consumes one pair per
+/// 16-bit lane and the tile holds 4× the lanes of the f32 layout in the
+/// same footprint. Quantization is symmetric per output channel:
+/// `scale[oc] = maxabs(row) / 127` (`1.0` for an all-zero row), weights
+/// stored as `round(w / scale)` clamped to `[-127, 127]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedFilter {
+    data: Vec<i8>,
+    scales: Vec<f32>,
+    out_channels: usize,
+    groups: usize,
+    k_len: usize,
+    /// k pairs per panel: `ceil(k_len / 2)`.
+    pairs: usize,
+    /// i8 elements per panel: `pairs · PACK_MR · 2`.
+    panel_stride: usize,
+    /// i8 elements per group.
+    group_stride: usize,
+}
+
+impl QuantizedFilter {
+    /// Quantizes and packs a filter in the natural `[out_c][in_c/g][kh][kw]`
+    /// layout (`k_len` contiguous values per output channel, groups
+    /// concatenated along the output-channel axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != out_channels * k_len` or `out_channels`
+    /// is not divisible by `groups`.
+    #[must_use]
+    pub fn quantize(weights: &[f32], out_channels: usize, groups: usize, k_len: usize) -> Self {
+        assert_eq!(
+            weights.len(),
+            out_channels * k_len,
+            "filter length must be out_channels * k_len"
+        );
+        assert_eq!(
+            out_channels % groups,
+            0,
+            "output channels must divide evenly into groups"
+        );
+        let rows_per_group = out_channels / groups;
+        let panels_per_group = rows_per_group.div_ceil(PACK_MR);
+        let pairs = k_len.div_ceil(2);
+        let panel_stride = pairs * PACK_MR * 2;
+        let group_stride = panels_per_group * panel_stride;
+        let mut scales = vec![0.0f32; out_channels];
+        for (oc, s) in scales.iter_mut().enumerate() {
+            let row = &weights[oc * k_len..(oc + 1) * k_len];
+            let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            *s = quantization_scale(max_abs);
+        }
+        let mut data = vec![0i8; groups * group_stride];
+        for g in 0..groups {
+            for p in 0..panels_per_group {
+                let rows = PACK_MR.min(rows_per_group - p * PACK_MR);
+                let panel = &mut data[g * group_stride + p * panel_stride..][..panel_stride];
+                for r in 0..rows {
+                    let oc = g * rows_per_group + p * PACK_MR + r;
+                    let row = &weights[oc * k_len..(oc + 1) * k_len];
+                    let scale = scales[oc];
+                    for (k, &w) in row.iter().enumerate() {
+                        let q = quantize_value(w, scale) as i8;
+                        panel[(k / 2) * PACK_MR * 2 + r * 2 + (k & 1)] = q;
+                    }
+                }
+            }
+        }
+        QuantizedFilter {
+            data,
+            scales,
+            out_channels,
+            groups,
+            k_len,
+            pairs,
+            panel_stride,
+            group_stride,
+        }
+    }
+
+    /// Whether this filter was quantized for the given geometry.
+    #[must_use]
+    pub fn matches(&self, out_channels: usize, groups: usize, k_len: usize) -> bool {
+        self.out_channels == out_channels && self.groups == groups && self.k_len == k_len
+    }
+
+    /// The per-output-channel symmetric weight scales.
+    #[must_use]
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The quantized integer weight at `(oc, k)` — the accessor the naive
+    /// int8 oracle reads, so kernel and oracle consume the exact same
+    /// integers.
+    #[must_use]
+    pub fn weight(&self, oc: usize, k: usize) -> i8 {
+        let rows_per_group = self.out_channels / self.groups;
+        let (g, r) = (oc / rows_per_group, oc % rows_per_group);
+        let (p, lane) = (r / PACK_MR, r % PACK_MR);
+        self.data[g * self.group_stride
+            + p * self.panel_stride
+            + (k / 2) * PACK_MR * 2
+            + lane * 2
+            + (k & 1)]
+    }
+
+    /// The packed pair-interleaved panels of group `g`.
+    fn group(&self, g: usize) -> &[i8] {
+        &self.data[g * self.group_stride..(g + 1) * self.group_stride]
+    }
+
+    /// Bytes held by the quantized weights + scales — the weight-cache
+    /// footprint this filter contributes.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Number of logical weight parameters (`out_channels · k_len`).
+    #[must_use]
+    pub fn num_weights(&self) -> usize {
+        self.out_channels * self.k_len
+    }
+}
+
+/// The symmetric quantization scale for values with the given maximum
+/// absolute value: `maxabs / 127`, or `1.0` when everything is zero (any
+/// scale represents zeros exactly). Shared by the kernel, the weight
+/// packer and the naive oracle so the three can never drift.
+#[must_use]
+pub fn quantization_scale(max_abs: f32) -> f32 {
+    if max_abs > 0.0 {
+        max_abs / 127.0
+    } else {
+        1.0
+    }
+}
+
+/// Quantizes one value: `v / scale` rounded to the nearest integer (ties
+/// away from zero) and clamped to `[-127, 127]`. Implemented branch-free
+/// as a reciprocal multiply plus a signed-offset truncation — no `roundf`
+/// libm call, so the block quantizer autovectorizes — and shared verbatim
+/// by the kernel and the naive oracle, which keeps them byte-identical.
+#[must_use]
+pub fn quantize_value(v: f32, scale: f32) -> i16 {
+    let t = v * (1.0 / scale);
+    let r = (t + 0.5f32.copysign(t)) as i32;
+    r.clamp(-127, 127) as i16
+}
+
+/// Dequantizes an i32 accumulator: `acc · (input_scale · weight_scale)`.
+/// The scale product is formed first, then applied in one multiply —
+/// kernel and oracle share this exact expression, so requantized outputs
+/// are byte-identical.
+#[must_use]
+pub fn requantize(acc: i32, input_scale: f32, weight_scale: f32) -> f32 {
+    acc as f32 * (input_scale * weight_scale)
+}
+
+/// The symmetric scale of one input sample (`max |v|` over the sample,
+/// after the optional fused input-ReLU), as both the quantized conv and
+/// the naive oracle compute it. Per *sample*, never per batch: a stacked
+/// batch must produce byte-identical outputs to its samples run alone.
+#[must_use]
+pub fn sample_scale(sample: &[f32], input_relu: bool) -> f32 {
+    let max_abs = sample.iter().fold(0.0f32, |m, &v| {
+        let v = if input_relu { v.max(0.0) } else { v };
+        m.max(v.abs())
+    });
+    quantization_scale(max_abs)
+}
+
+/// Int8 quantized convolution: per-sample dynamic input scales, `i32`
+/// accumulation through `pmaddwd`-shaped kernels, requantize in the tile
+/// writeback. Byte-identical to [`crate::ops_cpu::conv2d_naive_quant`]
+/// on every ISA path.
+///
+/// # Panics
+///
+/// Panics if `quant` was not quantized for this convolution's geometry.
+#[must_use]
+pub fn conv2d_im2col_quant(
+    input: &TensorData,
+    params: &Conv2dParams,
+    quant: &QuantizedFilter,
+    pool: &impl Arena,
+) -> TensorData {
+    conv2d_im2col_quant_fused(input, params, quant, &ConvEpilogue::default(), pool)
+}
+
+/// [`conv2d_im2col_quant`] with a fused epilogue (input-ReLU, bias,
+/// residual, output-ReLU). The epilogue's float operations happen *after*
+/// requantization, in the same [`store_lane`] the f32 kernels use.
+///
+/// # Panics
+///
+/// Panics if `quant` was not quantized for this convolution's geometry,
+/// or a provided residual/bias does not match the output geometry.
+#[must_use]
+pub fn conv2d_im2col_quant_fused(
+    input: &TensorData,
+    params: &Conv2dParams,
+    quant: &QuantizedFilter,
+    ep: &ConvEpilogue<'_>,
+    pool: &impl Arena,
+) -> TensorData {
+    let in_shape = input.shape;
+    let k_len = (in_shape.channels / params.groups) * params.kernel.0 * params.kernel.1;
+    assert!(
+        quant.matches(params.out_channels, params.groups, k_len),
+        "quantized filter geometry (out_c {}, groups {}, k {}) does not match the convolution \
+         (out_c {}, groups {}, k {})",
+        quant.out_channels,
+        quant.groups,
+        quant.k_len,
+        params.out_channels,
+        params.groups,
+        k_len
+    );
+    let (oh, ow) = in_shape.conv_output_hw(params.kernel, params.stride, params.padding);
+    let out_shape = TensorShape::new(in_shape.batch, params.out_channels, oh, ow);
+    let mut out = pool.take_tensor(out_shape);
+    if let Some(res) = ep.residual {
+        assert_eq!(
+            res.shape, out_shape,
+            "fused residual shape must match the convolution output"
+        );
+    }
+    if let Some(bias) = ep.bias {
+        assert!(
+            bias.len() >= params.out_channels,
+            "fused bias must cover every output channel"
+        );
+    }
+
+    let groups = params.groups;
+    let in_c_per_group = in_shape.channels / groups;
+    let out_c_per_group = params.out_channels / groups;
+    let m_cols = oh * ow;
+    let relu = params.activation == ios_ir::Activation::Relu || ep.relu;
+    let pairs = quant.pairs;
+    // f32 staging block (the same fused im2col the f32 path uses) and an
+    // i16 pair-interleaved quantized block carved out of a pooled f32
+    // buffer — the arena is f32-only, see [`as_i16_mut`].
+    let mut fblock = pool.take(k_len * PACK_NR);
+    let mut qbuf = pool.take(pairs * PACK_NR);
+    let use_avx2 = avx2_available();
+    let per_item = in_shape.elements_per_item();
+
+    for n in 0..in_shape.batch {
+        let s_in = sample_scale(&input.data[n * per_item..(n + 1) * per_item], ep.input_relu);
+        for g in 0..groups {
+            let c0 = g * in_c_per_group;
+            let oc0 = g * out_c_per_group;
+            let c_start = (n * params.out_channels + oc0) * m_cols;
+            let scales_g = &quant.scales[oc0..oc0 + out_c_per_group];
+            let gep = Epilogue {
+                bias: ep.bias.map(|b| &b[oc0..oc0 + out_c_per_group]),
+                residual: ep
+                    .residual
+                    .map(|r| &r.data[c_start..c_start + out_c_per_group * m_cols]),
+                relu,
+            };
+            let c = &mut out.data[c_start..c_start + out_c_per_group * m_cols];
+            let mut j0 = 0;
+            while j0 < m_cols {
+                let nr = PACK_NR.min(m_cols - j0);
+                im2col_block(
+                    input,
+                    n,
+                    c0,
+                    in_c_per_group,
+                    params,
+                    ow,
+                    j0,
+                    nr,
+                    &mut fblock[..k_len * nr],
+                    ep.input_relu,
+                );
+                let qblock = as_i16_mut(&mut qbuf);
+                quantize_block(&fblock[..k_len * nr], k_len, nr, s_in, qblock);
+                quant_panels_over_block(
+                    quant.group(g),
+                    out_c_per_group,
+                    pairs,
+                    qblock,
+                    m_cols,
+                    j0,
+                    nr,
+                    s_in,
+                    scales_g,
+                    &gep,
+                    use_avx2,
+                    c,
+                );
+                j0 += PACK_NR;
+            }
+        }
+    }
+    pool.recycle(qbuf);
+    pool.recycle(fblock);
+    out
+}
+
+/// Reinterprets a pooled f32 scratch buffer as i16 storage (the arena is
+/// f32-only). Sound: `f32`'s alignment (4) exceeds `i16`'s (2), the byte
+/// length maps 1 f32 → 2 i16 exactly, and `i16` has no invalid bit
+/// patterns. The buffer's f32 contents afterwards are arbitrary, which
+/// the pool tolerates — recycled buffers are fully rewritten before use.
+fn as_i16_mut(buf: &mut [f32]) -> &mut [i16] {
+    // SAFETY: see above — same allocation, compatible alignment and size,
+    // target type has no invalid representations.
+    unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<i16>(), buf.len() * 2) }
+}
+
+/// Quantizes a `K × nr` f32 im2col block (row stride `nr`) into the
+/// pair-interleaved i16 layout the integer microkernel reads:
+/// `q[(k/2) · PACK_NR·2 + j·2 + (k&1)]`. Columns `≥ nr` and the odd-k pad
+/// slot stay zero — they contribute exact `0` to every i32 sum.
+fn quantize_block(fblock: &[f32], k_len: usize, nr: usize, scale: f32, q: &mut [i16]) {
+    if nr < PACK_NR {
+        // Edge block: columns `nr..PACK_NR` are never written below but are
+        // still read by the fixed-width tile — they must contribute 0.
+        q.fill(0);
+    } else if k_len & 1 == 1 {
+        // Full-width block: every slot is written except the odd-k pad lane
+        // of the final pair.
+        let last = (k_len / 2) * (PACK_NR * 2);
+        q[last..last + PACK_NR * 2].fill(0);
+    }
+    let mut tmp = [0i16; PACK_NR];
+    for k in 0..k_len {
+        let row = &fblock[k * nr..(k + 1) * nr];
+        // Quantize into a contiguous stack row first (this loop
+        // autovectorizes); the pair-interleaved scatter below is pure i16
+        // moves.
+        for (t, &v) in tmp[..nr].iter_mut().zip(row) {
+            *t = quantize_value(v, scale);
+        }
+        let base = (k / 2) * (PACK_NR * 2) + (k & 1);
+        for j in 0..nr {
+            q[base + j * 2] = tmp[j];
+        }
+    }
+}
+
+/// Streams every quantized panel over one pair-interleaved column block,
+/// requantizing each finished tile row and storing it through the shared
+/// f32 epilogue. Overflow-safe: each pair contributes `≤ 2 · 127²` per
+/// lane, so `i32` holds any `k_len < 2¹⁷` exactly.
+#[allow(clippy::too_many_arguments)]
+fn quant_panels_over_block(
+    a_panels: &[i8],
+    m_rows: usize,
+    pairs: usize,
+    b_block: &[i16],
+    m: usize,
+    j0: usize,
+    nr: usize,
+    in_scale: f32,
+    scales: &[f32],
+    ep: &Epilogue<'_>,
+    use_avx2: bool,
+    c: &mut [f32],
+) {
+    let panel_stride = pairs * PACK_MR * 2;
+    let mut i0 = 0;
+    let mut p = 0;
+    let mut lane = [0.0f32; PACK_NR];
+    while i0 < m_rows {
+        let mr = PACK_MR.min(m_rows - i0);
+        let panel = &a_panels[p * panel_stride..(p + 1) * panel_stride];
+        let mut acc = [0i32; PACK_MR * PACK_NR];
+        quant_tile(panel, pairs, b_block, &mut acc, use_avx2);
+        for i in 0..mr {
+            let row = i0 + i;
+            let acc_row = &acc[i * PACK_NR..i * PACK_NR + nr];
+            for (l, &a) in lane[..nr].iter_mut().zip(acc_row) {
+                *l = requantize(a, in_scale, scales[row]);
+            }
+            store_lane(ep, row, j0, m, &lane[..nr], c);
+        }
+        i0 += PACK_MR;
+        p += 1;
+    }
+}
+
+/// Whether the AVX2 integer tile kernel may run; checked once per conv
+/// call, then passed down so the hot loop never re-detects.
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// One `PACK_MR × PACK_NR` integer tile: dispatches to the widest
+/// available ISA variant. All variants compute the *same* i32 sums —
+/// integer addition is associative — so the result is byte-identical
+/// regardless of which one runs.
+#[inline]
+fn quant_tile(
+    panel: &[i8],
+    pairs: usize,
+    b: &[i16],
+    acc: &mut [i32; PACK_MR * PACK_NR],
+    use_avx2: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: SSE2 is part of the x86_64 baseline; the AVX2 variant
+        // only runs after the caller's runtime feature check passed.
+        if use_avx2 {
+            unsafe { quant_tile_avx2(panel, pairs, b, acc) }
+        } else {
+            unsafe { quant_tile_sse2(panel, pairs, b, acc) }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = use_avx2;
+        quant_tile_scalar(panel, pairs, b, acc);
+    }
+}
+
+/// Scalar reference tile — the integer sums every SIMD variant must match
+/// exactly. For each output `(row, j)` the accumulator gains
+/// `a[pair][row][0]·b[pair][j][0] + a[pair][row][1]·b[pair][j][1]` over
+/// ascending pairs, all in i32.
+#[cfg_attr(all(target_arch = "x86_64", not(test)), allow(dead_code))]
+fn quant_tile_scalar(panel: &[i8], pairs: usize, b: &[i16], acc: &mut [i32; PACK_MR * PACK_NR]) {
+    for pr in 0..pairs {
+        let a_pair = &panel[pr * PACK_MR * 2..(pr + 1) * PACK_MR * 2];
+        let b_pair = &b[pr * PACK_NR * 2..(pr + 1) * PACK_NR * 2];
+        for i in 0..PACK_MR {
+            let a0 = i32::from(a_pair[i * 2]);
+            let a1 = i32::from(a_pair[i * 2 + 1]);
+            let lane = &mut acc[i * PACK_NR..(i + 1) * PACK_NR];
+            for (j, l) in lane.iter_mut().enumerate() {
+                *l += a0 * i32::from(b_pair[j * 2]) + a1 * i32::from(b_pair[j * 2 + 1]);
+            }
+        }
+    }
+}
+
+/// SSE2 `pmaddwd` tile. SSE2 is unconditionally available on x86_64, so
+/// this is the portable floor of the integer path.
+///
+/// # Safety
+///
+/// `panel` must hold `pairs · PACK_MR · 2` i8 and `b` must hold
+/// `pairs · PACK_NR · 2` i16 (unaligned loads stay in bounds).
+#[cfg(target_arch = "x86_64")]
+unsafe fn quant_tile_sse2(
+    panel: &[i8],
+    pairs: usize,
+    b: &[i16],
+    acc: &mut [i32; PACK_MR * PACK_NR],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(panel.len() >= pairs * PACK_MR * 2 && b.len() >= pairs * PACK_NR * 2);
+    // 4 × 16 i32 accumulators would need 16 xmm registers and spill, so
+    // the 16 columns are walked in two halves of 8.
+    // SAFETY: all pointer arithmetic stays inside the slices per the
+    // contract above; loads/stores are explicitly unaligned.
+    unsafe {
+        for half in 0..2 {
+            let mut accv = [[_mm_setzero_si128(); 2]; PACK_MR];
+            for pr in 0..pairs {
+                let bp = b.as_ptr().add(pr * PACK_NR * 2 + half * 16);
+                let b0 = _mm_loadu_si128(bp.cast());
+                let b1 = _mm_loadu_si128(bp.add(8).cast());
+                let ap = panel.as_ptr().add(pr * PACK_MR * 2);
+                for (i, accr) in accv.iter_mut().enumerate() {
+                    let a0 = *ap.add(i * 2) as i16 as u16 as u32;
+                    let a1 = *ap.add(i * 2 + 1) as i16 as u16 as u32;
+                    // Broadcast the (a0, a1) pair into every 32-bit lane;
+                    // pmaddwd then yields a0·b[j][0] + a1·b[j][1] per lane.
+                    let aa = _mm_set1_epi32(((a1 << 16) | a0) as i32);
+                    accr[0] = _mm_add_epi32(accr[0], _mm_madd_epi16(aa, b0));
+                    accr[1] = _mm_add_epi32(accr[1], _mm_madd_epi16(aa, b1));
+                }
+            }
+            for (i, accr) in accv.iter().enumerate() {
+                let out = acc.as_mut_ptr().add(i * PACK_NR + half * 8);
+                _mm_storeu_si128(out.cast(), accr[0]);
+                _mm_storeu_si128(out.add(4).cast(), accr[1]);
+            }
+        }
+    }
+}
+
+/// AVX2 `vpmaddwd` tile: the full 4 × 16 i32 tile lives in 8 ymm
+/// accumulators. Same integer sums as the SSE2 and scalar variants.
+///
+/// # Safety
+///
+/// AVX2 must be available (runtime-checked by the caller) and the slice
+/// bounds of [`quant_tile_sse2`] hold.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quant_tile_avx2(
+    panel: &[i8],
+    pairs: usize,
+    b: &[i16],
+    acc: &mut [i32; PACK_MR * PACK_NR],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(panel.len() >= pairs * PACK_MR * 2 && b.len() >= pairs * PACK_NR * 2);
+    // SAFETY: pointer arithmetic stays inside the slices per the contract
+    // above; loads/stores are explicitly unaligned.
+    unsafe {
+        let mut accv = [[_mm256_setzero_si256(); 2]; PACK_MR];
+        for pr in 0..pairs {
+            let bp = b.as_ptr().add(pr * PACK_NR * 2);
+            let b0 = _mm256_loadu_si256(bp.cast());
+            let b1 = _mm256_loadu_si256(bp.add(16).cast());
+            let ap = panel.as_ptr().add(pr * PACK_MR * 2);
+            for (i, accr) in accv.iter_mut().enumerate() {
+                let a0 = *ap.add(i * 2) as i16 as u16 as u32;
+                let a1 = *ap.add(i * 2 + 1) as i16 as u16 as u32;
+                let aa = _mm256_set1_epi32(((a1 << 16) | a0) as i32);
+                accr[0] = _mm256_add_epi32(accr[0], _mm256_madd_epi16(aa, b0));
+                accr[1] = _mm256_add_epi32(accr[1], _mm256_madd_epi16(aa, b1));
+            }
+        }
+        for (i, accr) in accv.iter().enumerate() {
+            let out = acc.as_mut_ptr().add(i * PACK_NR);
+            _mm256_storeu_si256(out.cast(), accr[0]);
+            _mm256_storeu_si256(out.add(8).cast(), accr[1]);
+        }
     }
 }
 
@@ -672,7 +1493,7 @@ mod tests {
         let a: Vec<f32> = (0..m_rows * k_len).map(|i| (i as f32).sin()).collect();
         let b: Vec<f32> = (0..k_len * m).map(|i| (i as f32).cos()).collect();
         let mut c = vec![0.0f32; m_rows * m];
-        gemm_bit_exact(m_rows, m, k_len, &a, &b, &mut c);
+        gemm_bit_exact(m_rows, m, k_len, &a, &b, &Epilogue::NONE, &mut c);
         for i in 0..m_rows {
             for j in 0..m {
                 let mut acc = 0.0f32;
@@ -698,10 +1519,18 @@ mod tests {
             let a: Vec<f32> = (0..m_rows * k_len).map(|i| (i as f32).sin()).collect();
             let b: Vec<f32> = (0..k_len * m).map(|i| (i as f32).cos()).collect();
             let mut unpacked = vec![0.0f32; m_rows * m];
-            gemm_bit_exact(m_rows, m, k_len, &a, &b, &mut unpacked);
+            gemm_bit_exact(m_rows, m, k_len, &a, &b, &Epilogue::NONE, &mut unpacked);
             let packed = PackedFilter::pack(&a, m_rows, 1, k_len);
             let mut from_packed = vec![0.0f32; m_rows * m];
-            gemm_bit_exact_packed(m_rows, m, k_len, packed.group(0), &b, &mut from_packed);
+            gemm_bit_exact_packed(
+                m_rows,
+                m,
+                k_len,
+                packed.group(0),
+                &b,
+                &Epilogue::NONE,
+                &mut from_packed,
+            );
             assert_eq!(
                 from_packed, unpacked,
                 "{m_rows}x{m} (k {k_len}) must be bit-identical"
@@ -782,6 +1611,143 @@ mod tests {
             );
             pool.recycle_tensor(unpacked_out);
             pool.recycle_tensor(packed_out);
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_matches_separate_passes_bitwise() {
+        // bias + residual + relu fused into the tile writeback must equal
+        // the plain conv followed by the three separate passes, bit for
+        // bit, on both the packed and unpacked kernels.
+        let pool = ScratchPool::new();
+        let shape = TensorShape::new(2, 3, 9, 7);
+        let params = Conv2dParams::plain(6, (3, 3), (1, 1), (1, 1));
+        let input = TensorData::random(shape, 42);
+        let k_len = shape.channels * 9;
+        let weights: Vec<f32> = (0..params.out_channels * k_len)
+            .map(|v| (v as f32).sin())
+            .collect();
+        let packed = PackedFilter::pack(&weights, params.out_channels, 1, k_len);
+        let bias: Vec<f32> = (0..params.out_channels).map(|v| (v as f32).cos()).collect();
+        let plain = conv2d_im2col(&input, &params, &weights, &pool);
+        let residual = TensorData::random(plain.shape, 77);
+
+        // Separate-pass reference, in the documented epilogue order.
+        let mut reference = plain.clone();
+        let m_cols = reference.shape.height * reference.shape.width;
+        for n in 0..reference.shape.batch {
+            for (oc, &bv) in bias.iter().enumerate() {
+                let start = (n * params.out_channels + oc) * m_cols;
+                for v in &mut reference.data[start..start + m_cols] {
+                    *v += bv;
+                }
+            }
+        }
+        for (v, &r) in reference.data.iter_mut().zip(&residual.data) {
+            *v += r;
+        }
+        for v in &mut reference.data {
+            *v = v.max(0.0);
+        }
+
+        let ep = ConvEpilogue {
+            input_relu: false,
+            bias: Some(&bias),
+            residual: Some(&residual),
+            relu: true,
+        };
+        let fused = conv2d_im2col_fused(&input, &params, &weights, &ep, &pool);
+        let fused_packed = conv2d_im2col_packed_fused(&input, &params, &packed, &ep, &pool);
+        assert_eq!(
+            fused, reference,
+            "unpacked fused epilogue must be bit-identical"
+        );
+        assert_eq!(
+            fused_packed, reference,
+            "packed fused epilogue must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn input_relu_fusion_matches_activated_copy() {
+        // Loading through the fused input-ReLU must equal convolving a
+        // pre-activated copy of the input — including on a pointwise conv,
+        // which normally skips im2col entirely.
+        let pool = ScratchPool::new();
+        for params in [
+            Conv2dParams::relu(5, (3, 3), (1, 1), (1, 1)),
+            Conv2dParams::plain(5, (1, 1), (1, 1), (0, 0)),
+        ] {
+            let shape = TensorShape::new(2, 4, 6, 5);
+            let input = TensorData::random(shape, 7);
+            let mut activated = input.clone();
+            for v in &mut activated.data {
+                *v = v.max(0.0);
+            }
+            let k_len = shape.channels * params.kernel.0 * params.kernel.1;
+            let weights: Vec<f32> = (0..params.out_channels * k_len)
+                .map(|v| (v as f32).sin())
+                .collect();
+            let packed = PackedFilter::pack(&weights, params.out_channels, 1, k_len);
+            let ep = ConvEpilogue {
+                input_relu: true,
+                ..ConvEpilogue::default()
+            };
+            let reference = conv2d_im2col(&activated, &params, &weights, &pool);
+            let fused = conv2d_im2col_fused(&input, &params, &weights, &ep, &pool);
+            let fused_packed = conv2d_im2col_packed_fused(&input, &params, &packed, &ep, &pool);
+            assert_eq!(fused, reference);
+            assert_eq!(fused_packed, reference);
+        }
+    }
+
+    #[test]
+    fn quantized_filter_weight_accessor_reads_back_every_weight() {
+        // weight(oc, k) must see exactly round(w/scale) for every position
+        // across groups and ragged panel edges.
+        let (out_c, groups, k_len) = (10usize, 2usize, 5usize);
+        let weights: Vec<f32> = (0..out_c * k_len)
+            .map(|i| ((i as f32) * 0.37).sin() * 3.0)
+            .collect();
+        let quant = QuantizedFilter::quantize(&weights, out_c, groups, k_len);
+        assert!(quant.matches(out_c, groups, k_len));
+        assert_eq!(quant.num_weights(), out_c * k_len);
+        for oc in 0..out_c {
+            let scale = quant.scales()[oc];
+            for k in 0..k_len {
+                let expect = quantize_value(weights[oc * k_len + k], scale) as i8;
+                assert_eq!(quant.weight(oc, k), expect, "oc {oc} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn quant_tile_isa_variants_agree_with_scalar() {
+        // The SSE2 and (when available) AVX2 tiles must produce the exact
+        // i32 sums of the scalar reference — the byte-identity contract's
+        // foundation.
+        for pairs in [1usize, 3, 7, 288] {
+            let panel: Vec<i8> = (0..pairs * PACK_MR * 2)
+                .map(|i| ((i * 37 + 11) % 255) as i8)
+                .collect();
+            let b: Vec<i16> = (0..pairs * PACK_NR * 2)
+                .map(|i| (((i * 73 + 5) % 255) as i16) - 127)
+                .collect();
+            let mut want = [0i32; PACK_MR * PACK_NR];
+            quant_tile_scalar(&panel, pairs, &b, &mut want);
+            #[cfg(target_arch = "x86_64")]
+            {
+                let mut got = [0i32; PACK_MR * PACK_NR];
+                // SAFETY: slices sized to the kernel contract above.
+                unsafe { quant_tile_sse2(&panel, pairs, &b, &mut got) };
+                assert_eq!(got, want, "sse2 must match scalar at {pairs} pairs");
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    let mut got = [0i32; PACK_MR * PACK_NR];
+                    // SAFETY: AVX2 just detected; slice contract as above.
+                    unsafe { quant_tile_avx2(&panel, pairs, &b, &mut got) };
+                    assert_eq!(got, want, "avx2 must match scalar at {pairs} pairs");
+                }
+            }
         }
     }
 

@@ -54,14 +54,18 @@ pub use arena::{Arena, ScratchPool, ScratchScope};
 pub use batch::{
     execute_network, execute_network_batched, execute_network_batched_capped,
     execute_network_scheduled, execute_network_with_weights, split_batch, stack_batch,
-    stack_batch_pooled, BlockWeights, MergedWeights, NetworkWeights, OpWeights,
+    stack_batch_pooled, BlockWeights, MergedWeights, NetworkWeights, OpWeights, WeightFootprint,
+    WeightPrecision,
 };
 pub use executor::{
     execute_graph, execute_graph_pooled, execute_graph_uncached, execute_graph_with,
     execute_schedule, execute_schedule_pooled, execute_schedule_pooled_serial,
-    execute_schedule_with, max_abs_difference, verify_schedule,
+    execute_schedule_with, max_abs_difference, relu_fold_plan, verify_schedule, FoldedRelu,
 };
-pub use gemm::PackedFilter;
+pub use gemm::{
+    quantization_scale, quantize_value, requantize, sample_scale, ConvEpilogue, Epilogue,
+    PackedFilter, QuantizedFilter,
+};
 pub use pipeline::{execute_network_pipelined, PipelinedNetworkExecutor};
 pub use profile::{BackgroundLoad, CpuStageProfiler, GroupMode};
 pub use tensor_data::TensorData;

@@ -15,6 +15,7 @@
 //! loop; the plain variants use the process-global pool.
 
 use crate::arena::{global_pool, Arena};
+use crate::gemm::{quantize_value, requantize, sample_scale, ConvEpilogue, QuantizedFilter};
 use crate::tensor_data::TensorData;
 use ios_ir::{
     Activation, Conv2dParams, MatMulParams, Op, OpKind, PoolKind, PoolParams, TensorShape,
@@ -109,6 +110,111 @@ pub fn conv2d_packed_pooled(
     arena: &impl Arena,
 ) -> TensorData {
     crate::gemm::conv2d_im2col_packed(input, params, packed, arena)
+}
+
+/// Int8 quantized convolution reading [`QuantizedFilter`] weights —
+/// per-sample input scales, i32 accumulation, requantize in the tile
+/// writeback. Byte-identical to [`conv2d_naive_quant`].
+///
+/// # Panics
+///
+/// Panics if the quantized filter does not match the convolution's
+/// geometry.
+#[must_use]
+pub fn conv2d_quant_pooled(
+    input: &TensorData,
+    params: &Conv2dParams,
+    quant: &QuantizedFilter,
+    arena: &impl Arena,
+) -> TensorData {
+    crate::gemm::conv2d_im2col_quant(input, params, quant, arena)
+}
+
+/// The naive int8 reference: quantizes the sample and reads the filter's
+/// integers exactly as the fast path does ([`sample_scale`],
+/// [`QuantizedFilter::weight`]), accumulates in `i32` over the reference
+/// `(ic, ky, kx)` order, requantizes and applies the epilogue per
+/// element. Integer sums are order-independent, so every fast path —
+/// scalar, SSE2, AVX2, blocked, pipelined — must be **byte-identical** to
+/// this oracle.
+///
+/// # Panics
+///
+/// Panics if the quantized filter does not match the convolution's
+/// geometry.
+#[must_use]
+pub fn conv2d_naive_quant(
+    input: &TensorData,
+    params: &Conv2dParams,
+    quant: &QuantizedFilter,
+    ep: &ConvEpilogue<'_>,
+) -> TensorData {
+    let in_shape = input.shape;
+    let in_c_per_group = in_shape.channels / params.groups;
+    let k_len = in_c_per_group * params.kernel.0 * params.kernel.1;
+    assert!(
+        quant.matches(params.out_channels, params.groups, k_len),
+        "quantized filter geometry does not match the convolution"
+    );
+    let (oh, ow) = in_shape.conv_output_hw(params.kernel, params.stride, params.padding);
+    let out_shape = TensorShape::new(in_shape.batch, params.out_channels, oh, ow);
+    let mut out = TensorData::zeros(out_shape);
+    let out_c_per_group = params.out_channels / params.groups;
+    let (kh, kw) = params.kernel;
+    let relu = params.activation == Activation::Relu || ep.relu;
+    let per_item = in_shape.elements_per_item();
+    for n in 0..in_shape.batch {
+        let s_in = sample_scale(&input.data[n * per_item..(n + 1) * per_item], ep.input_relu);
+        for oc in 0..params.out_channels {
+            let group = oc / out_c_per_group;
+            let w_scale = quant.scales()[oc];
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut acc = 0i32;
+                    let mut k = 0usize;
+                    for ic in 0..in_c_per_group {
+                        let in_channel = group * in_c_per_group + ic;
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let iy =
+                                    (y * params.stride.0 + ky) as isize - params.padding.0 as isize;
+                                let ix =
+                                    (x * params.stride.1 + kx) as isize - params.padding.1 as isize;
+                                let in_bounds = iy >= 0
+                                    && ix >= 0
+                                    && iy < in_shape.height as isize
+                                    && ix < in_shape.width as isize;
+                                if in_bounds {
+                                    let mut v = input.at(n, in_channel, iy as usize, ix as usize);
+                                    if ep.input_relu {
+                                        v = v.max(0.0);
+                                    }
+                                    let q = i32::from(quantize_value(v, s_in));
+                                    acc += i32::from(quant.weight(oc, k)) * q;
+                                }
+                                k += 1;
+                            }
+                        }
+                    }
+                    // The exact epilogue expression of the fused store:
+                    // (v + bias) + residual, then max(0, ·); absent terms
+                    // are skipped, never added as 0.0.
+                    let mut v = requantize(acc, s_in, w_scale);
+                    if let Some(bias) = ep.bias {
+                        v += bias[oc];
+                    }
+                    if let Some(res) = ep.residual {
+                        v += res.at(n, oc, y, x);
+                    }
+                    if relu {
+                        v = v.max(0.0);
+                    }
+                    out.set(n, oc, y, x, v);
+                }
+            }
+        }
+    }
+    out
 }
 
 /// The naive 7-deep reference convolution: one scalar accumulator per
@@ -212,17 +318,21 @@ fn sep_conv_pw_params(params: &Conv2dParams) -> Conv2dParams {
     }
 }
 
-/// The pre-activation copy of a separable unit's input (ReLU), pooled.
-fn sep_conv_activate(input: &TensorData, arena: &impl Arena) -> TensorData {
-    let mut activated = arena.take_tensor(input.shape);
-    for (o, v) in activated.data.iter_mut().zip(&input.data) {
-        *o = v.max(0.0);
+/// The epilogue the depthwise stage of a separable unit runs with: the
+/// unit's input ReLU is fused into the im2col load instead of
+/// materializing an activated copy of the input first. Values entering
+/// the GEMM are identical, so the fused form is bit-identical to the
+/// former separate activation pass.
+fn sep_conv_dw_epilogue() -> ConvEpilogue<'static> {
+    ConvEpilogue {
+        input_relu: true,
+        ..ConvEpilogue::default()
     }
-    activated
 }
 
-/// [`sep_conv2d_with`] with pooled scratch; the activation copy and the
-/// depthwise intermediate are recycled before returning.
+/// [`sep_conv2d_with`] with pooled scratch; the input ReLU is fused into
+/// the depthwise im2col and the depthwise intermediate is recycled before
+/// returning.
 #[must_use]
 pub fn sep_conv2d_pooled(
     input: &TensorData,
@@ -231,10 +341,14 @@ pub fn sep_conv2d_pooled(
     pw_weights: &[f32],
     arena: &impl Arena,
 ) -> TensorData {
-    let activated = sep_conv_activate(input, arena);
     let dw_params = sep_conv_dw_params(input.shape.channels, params);
-    let depthwise = conv2d_pooled(&activated, &dw_params, dw_weights, arena);
-    arena.recycle_tensor(activated);
+    let depthwise = crate::gemm::conv2d_im2col_fused(
+        input,
+        &dw_params,
+        dw_weights,
+        &sep_conv_dw_epilogue(),
+        arena,
+    );
     let pw_params = sep_conv_pw_params(params);
     let out = conv2d_pooled(&depthwise, &pw_params, pw_weights, arena);
     arena.recycle_tensor(depthwise);
@@ -255,12 +369,46 @@ pub fn sep_conv2d_packed_pooled(
     pw_packed: &crate::gemm::PackedFilter,
     arena: &impl Arena,
 ) -> TensorData {
-    let activated = sep_conv_activate(input, arena);
     let dw_params = sep_conv_dw_params(input.shape.channels, params);
-    let depthwise = conv2d_packed_pooled(&activated, &dw_params, dw_packed, arena);
-    arena.recycle_tensor(activated);
+    let depthwise = crate::gemm::conv2d_im2col_packed_fused(
+        input,
+        &dw_params,
+        dw_packed,
+        &sep_conv_dw_epilogue(),
+        arena,
+    );
     let pw_params = sep_conv_pw_params(params);
     let out = conv2d_packed_pooled(&depthwise, &pw_params, pw_packed, arena);
+    arena.recycle_tensor(depthwise);
+    out
+}
+
+/// [`sep_conv2d_packed_pooled`] with the pointwise stage quantized to
+/// int8: the depthwise stage stays f32 (its reduction is only `kh·kw`
+/// values deep — quantization overhead would dominate), the pointwise
+/// 1×1 — where the unit's compute lives — runs the integer kernel.
+///
+/// # Panics
+///
+/// Panics if either filter does not match its convolution geometry.
+#[must_use]
+pub fn sep_conv2d_quant_pooled(
+    input: &TensorData,
+    params: &Conv2dParams,
+    dw_packed: &crate::gemm::PackedFilter,
+    pw_quant: &QuantizedFilter,
+    arena: &impl Arena,
+) -> TensorData {
+    let dw_params = sep_conv_dw_params(input.shape.channels, params);
+    let depthwise = crate::gemm::conv2d_im2col_packed_fused(
+        input,
+        &dw_params,
+        dw_packed,
+        &sep_conv_dw_epilogue(),
+        arena,
+    );
+    let pw_params = sep_conv_pw_params(params);
+    let out = conv2d_quant_pooled(&depthwise, &pw_params, pw_quant, arena);
     arena.recycle_tensor(depthwise);
     out
 }
@@ -539,16 +687,30 @@ pub fn execute_op_with_weights_pooled(
 ) -> TensorData {
     use crate::batch::OpWeights;
     match (&op.kind, weights) {
-        (OpKind::Conv2d(p), OpWeights::Conv { packed, .. }) => {
-            conv2d_packed_pooled(inputs[0], p, packed, arena)
-        }
+        (
+            OpKind::Conv2d(p),
+            OpWeights::Conv {
+                packed, quantized, ..
+            },
+        ) => match (quantized, packed) {
+            (Some(quant), _) => conv2d_quant_pooled(inputs[0], p, quant, arena),
+            (None, Some(packed)) => conv2d_packed_pooled(inputs[0], p, packed, arena),
+            (None, None) => unreachable!("precomputed conv weights carry packed or quantized"),
+        },
         (
             OpKind::SepConv2d(p),
             OpWeights::SepConv {
                 depthwise_packed,
                 pointwise_packed,
+                pointwise_quant,
             },
-        ) => sep_conv2d_packed_pooled(inputs[0], p, depthwise_packed, pointwise_packed, arena),
+        ) => match (pointwise_quant, pointwise_packed) {
+            (Some(quant), _) => {
+                sep_conv2d_quant_pooled(inputs[0], p, depthwise_packed, quant, arena)
+            }
+            (None, Some(pw)) => sep_conv2d_packed_pooled(inputs[0], p, depthwise_packed, pw, arena),
+            (None, None) => unreachable!("precomputed sepconv weights carry a pointwise stage"),
+        },
         (OpKind::MatMul(p), OpWeights::MatMul(w)) => matmul_pooled(inputs[0], p, w, arena),
         (kind, _) => panic!("mismatched precomputed weights for operator kind {kind:?}"),
     }

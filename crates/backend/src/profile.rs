@@ -23,7 +23,7 @@
 //! per-stage overhead the real executor pays anyway).
 
 use crate::arena::ScratchPool;
-use crate::batch::BlockWeights;
+use crate::batch::{BlockWeights, WeightPrecision};
 use crate::executor::execute_stage;
 use crate::tensor_data::TensorData;
 use ios_core::{graph_fingerprint, MergedConv, ParallelizationStrategy, Stage, StageProfiler};
@@ -274,6 +274,9 @@ pub struct CpuStageProfiler {
     /// Concurrent load the profiler activates around every stage run, so
     /// measurements see a busy machine instead of an idle one.
     load: Option<BackgroundLoad>,
+    /// Weight precision the profiled kernels run at — must match the
+    /// serving engine's so the optimizer sees the costs that will serve.
+    precision: WeightPrecision,
 }
 
 impl Default for CpuStageProfiler {
@@ -311,7 +314,16 @@ impl CpuStageProfiler {
             weights: Mutex::new(HashMap::new()),
             group_mode,
             load: None,
+            precision: WeightPrecision::F32,
         }
+    }
+
+    /// Profiles with weights precomputed at `precision`, so int8 serving
+    /// optimizes against measured int8 stage costs.
+    #[must_use]
+    pub fn with_precision(mut self, precision: WeightPrecision) -> Self {
+        self.precision = precision;
+        self
     }
 
     /// Profiles every stage under `threads` background load workers —
@@ -351,7 +363,7 @@ impl CpuStageProfiler {
         Arc::clone(
             weights
                 .entry(key)
-                .or_insert_with(|| Arc::new(BlockWeights::precompute(graph))),
+                .or_insert_with(|| Arc::new(BlockWeights::precompute_as(graph, self.precision))),
         )
     }
 

@@ -5,17 +5,22 @@
 //! to the naive reference across randomized shapes, strides, padding,
 //! groups and batch sizes.
 
+use ios_backend::gemm::{
+    conv2d_im2col_fused, conv2d_im2col_packed_fused, conv2d_im2col_quant_fused,
+};
 use ios_backend::ops_cpu::{
-    conv2d, conv2d_naive, conv2d_packed, conv_weights, matmul, matmul_weights, pool,
+    conv2d, conv2d_naive, conv2d_naive_quant, conv2d_packed, conv_weights, matmul, matmul_weights,
+    pool,
 };
 use ios_backend::{
     execute_graph, execute_graph_pooled, execute_graph_uncached, execute_network,
-    execute_network_batched, split_batch, BlockWeights, NetworkWeights, PackedFilter, ScratchPool,
-    TensorData,
+    execute_network_batched, execute_network_batched_capped, execute_network_pipelined,
+    sample_scale, split_batch, BlockWeights, ConvEpilogue, NetworkWeights, PackedFilter,
+    QuantizedFilter, ScratchPool, TensorData, WeightPrecision,
 };
 use ios_ir::{
     Activation, Block, Conv2dParams, GraphBuilder, MatMulParams, Network, PoolKind, PoolParams,
-    TensorShape,
+    SegmentPlan, TensorShape,
 };
 use proptest::prelude::*;
 
@@ -211,7 +216,200 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fused_conv_epilogue_is_bit_identical_to_separate_passes(
+        seed in any::<u64>(),
+        batch in 1usize..3,
+        group_case in 0usize..3,
+        channels_per_group in 1usize..4,
+        out_per_group in 1usize..4,
+        height in 1usize..9,
+        width in 1usize..9,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        sh in 1usize..3,
+        sw in 1usize..3,
+        ph in 0usize..3,
+        pw in 0usize..3,
+        conv_relu in any::<bool>(),
+        input_relu in any::<bool>(),
+        use_bias in any::<bool>(),
+        use_residual in any::<bool>(),
+        ep_relu in any::<bool>(),
+    ) {
+        let groups = [1usize, 2, 3][group_case];
+        let in_c = channels_per_group * groups;
+        let out_c = out_per_group * groups;
+        let h = height.max(kh.saturating_sub(2 * ph));
+        let w = width.max(kw.saturating_sub(2 * pw));
+        let shape = TensorShape::new(batch, in_c, h, w);
+        let params = Conv2dParams {
+            out_channels: out_c,
+            kernel: (kh, kw),
+            stride: (sh, sw),
+            padding: (ph, pw),
+            groups,
+            activation: if conv_relu { Activation::Relu } else { Activation::None },
+        };
+        let input = TensorData::random(shape, seed);
+        let weights = conv_weights(seed ^ 0xC0DE, out_c, channels_per_group, (kh, kw));
+
+        // Separate-pass reference: an input-ReLU copy, the convolution with
+        // the activation deferred, then bias / residual / ReLU as
+        // whole-tensor passes in the epilogue's order.
+        let mut pre = input.clone();
+        if input_relu {
+            for v in &mut pre.data {
+                *v = v.max(0.0);
+            }
+        }
+        let plain = Conv2dParams { activation: Activation::None, ..params };
+        let mut reference = conv2d(&pre, &plain, &weights);
+        let out_shape = reference.shape;
+        let plane = out_shape.height * out_shape.width;
+        let bias = conv_weights(seed ^ 0xB1A5, out_c, 1, (1, 1));
+        let residual = TensorData::random(out_shape, seed ^ 0x9E5);
+        if use_bias {
+            for n in 0..out_shape.batch {
+                for (oc, &bv) in bias.iter().enumerate() {
+                    let start = (n * out_c + oc) * plane;
+                    for v in &mut reference.data[start..start + plane] {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+        if use_residual {
+            for (v, r) in reference.data.iter_mut().zip(&residual.data) {
+                *v += r;
+            }
+        }
+        if conv_relu || ep_relu {
+            for v in &mut reference.data {
+                *v = v.max(0.0);
+            }
+        }
+
+        let ep = ConvEpilogue {
+            input_relu,
+            bias: use_bias.then_some(bias.as_slice()),
+            residual: use_residual.then_some(&residual),
+            relu: ep_relu,
+        };
+        let arena = ScratchPool::new();
+        let fused = conv2d_im2col_fused(&input, &params, &weights, &ep, &arena);
+        prop_assert_eq!(&fused, &reference);
+        let packed = PackedFilter::pack(&weights, out_c, groups, channels_per_group * kh * kw);
+        let packed_fused = conv2d_im2col_packed_fused(&input, &params, &packed, &ep, &arena);
+        prop_assert_eq!(&packed_fused, &reference);
+    }
+
+    #[test]
+    fn quantized_conv_matches_its_oracle_and_stays_calibrated(
+        seed in any::<u64>(),
+        batch in 1usize..3,
+        group_case in 0usize..3,
+        channels_per_group in 1usize..4,
+        out_per_group in 1usize..4,
+        height in 2usize..9,
+        width in 2usize..9,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        sh in 1usize..3,
+        sw in 1usize..3,
+        ph in 0usize..3,
+        pw in 0usize..3,
+        conv_relu in any::<bool>(),
+        input_relu in any::<bool>(),
+        use_bias in any::<bool>(),
+        use_residual in any::<bool>(),
+    ) {
+        let groups = [1usize, 2, 3][group_case];
+        let in_c = channels_per_group * groups;
+        let out_c = out_per_group * groups;
+        let h = height.max(kh.saturating_sub(2 * ph));
+        let w = width.max(kw.saturating_sub(2 * pw));
+        let shape = TensorShape::new(batch, in_c, h, w);
+        let params = Conv2dParams {
+            out_channels: out_c,
+            kernel: (kh, kw),
+            stride: (sh, sw),
+            padding: (ph, pw),
+            groups,
+            activation: if conv_relu { Activation::Relu } else { Activation::None },
+        };
+        let input = TensorData::random(shape, seed);
+        let weights = conv_weights(seed ^ 0xC0DE, out_c, channels_per_group, (kh, kw));
+        let k_len = channels_per_group * kh * kw;
+        let quant = QuantizedFilter::quantize(&weights, out_c, groups, k_len);
+
+        let arena = ScratchPool::new();
+        let probe = conv2d_im2col_fused(&input, &params, &weights, &ConvEpilogue::default(), &arena);
+        let bias = conv_weights(seed ^ 0xB1A5, out_c, 1, (1, 1));
+        let residual = TensorData::random(probe.shape, seed ^ 0x9E5);
+        let ep = ConvEpilogue {
+            input_relu,
+            bias: use_bias.then_some(bias.as_slice()),
+            residual: use_residual.then_some(&residual),
+            relu: false,
+        };
+
+        // Byte-identity: every int8 fast path must equal the naive integer
+        // oracle exactly — integer accumulation is order-exact.
+        let fast = conv2d_im2col_quant_fused(&input, &params, &quant, &ep, &arena);
+        let oracle = conv2d_naive_quant(&input, &params, &quant, &ep);
+        prop_assert_eq!(&fast, &oracle);
+
+        // Calibration: against the fused f32 kernel, each element stays
+        // within the documented k_len · s_in · s_w[oc] · 128 bound (one
+        // half-step rounding per quantized operand, no clamping by
+        // construction of the scales).
+        let f32_out = conv2d_im2col_fused(&input, &params, &weights, &ep, &arena);
+        let per_item = input.shape.elements_per_item();
+        let plane = f32_out.shape.height * f32_out.shape.width;
+        for n in 0..f32_out.shape.batch {
+            let s_in = sample_scale(&input.data[n * per_item..(n + 1) * per_item], input_relu);
+            for oc in 0..out_c {
+                let bound = k_len as f32 * s_in * quant.scales()[oc] * 128.0 + 1e-5;
+                let start = (n * out_c + oc) * plane;
+                for i in 0..plane {
+                    let d = (fast.data[start + i] - f32_out.data[start + i]).abs();
+                    prop_assert!(d <= bound, "calibration error {} exceeds bound {}", d, bound);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn int8_network_execution_is_byte_identical_across_strategies(
+        seed in any::<u64>(),
+        batch in 1usize..5,
+    ) {
+        let net = tiny_network();
+        let weights = NetworkWeights::precompute_as(&net, WeightPrecision::Int8);
+        let samples: Vec<TensorData> = (0..batch)
+            .map(|i| TensorData::random(net.input_shape, seed.wrapping_add(i as u64)))
+            .collect();
+        let refs: Vec<&TensorData> = samples.iter().collect();
+        let stacked = ios_backend::stack_batch(&refs);
+        let arena = ScratchPool::new();
+        let serial = execute_network_batched_capped(
+            &net, None, &weights, std::slice::from_ref(&stacked), &arena, 1);
+        let threaded = execute_network_batched_capped(
+            &net, None, &weights, std::slice::from_ref(&stacked), &arena, 4);
+        prop_assert_eq!(&serial, &threaded, "worker count must not change int8 bytes");
+        for plan in [SegmentPlan::single(2), SegmentPlan::per_block(2)] {
+            let piped = execute_network_pipelined(
+                &net, None, &weights, std::slice::from_ref(&stacked), &plan);
+            prop_assert_eq!(&serial, &piped, "segmentation must not change int8 bytes");
+        }
+    }
 
     #[test]
     fn arena_backed_executor_is_bit_identical(seed in any::<u64>()) {

@@ -1,0 +1,322 @@
+//! `quant_gate` — CI acceptance gate for epilogue fusion and the int8
+//! quantized execution path.
+//!
+//! On the serving-hot layer shapes of [`ios_bench::quant_bench_shapes`] —
+//! the backbone layers that actually carry epilogues — each run with a
+//! full bias + residual + ReLU epilogue:
+//!
+//! 1. **Fused f32 ≥ 1.05×** (geomean) over the PR-4 baseline — the packed
+//!    kernel followed by bias, residual-add and ReLU executed the way the
+//!    pre-fusion engine served them: as separate elementwise ops, each
+//!    writing a fresh arena tensor — after asserting the fused path is
+//!    **bit-identical** to those separate passes.
+//! 2. **Int8 ≥ 1.8×** (geomean) over the fused f32 kernel, with the
+//!    quantized output **byte-identical** to the naive integer oracle on
+//!    the smallest shape, and the calibration error against the f32 kernel
+//!    within the documented `k_len · s_in · s_w[oc] · 128` bound on every
+//!    shape.
+//!
+//! Speedups are medians of per-round paired ratios (the variants run
+//! adjacently within each round, so a noisy stretch on a shared host
+//! cancels out of the ratio); the reported per-variant times are
+//! best-of-N. A machine-readable report is always written to
+//! `BENCH_quant.json` (and additionally to `--json PATH` when given).
+//!
+//! Run with: `cargo run --release -p ios-bench --bin quant_gate`
+//! (`--quick` lowers the iteration count; the shapes stay full-size).
+
+use ios_backend::gemm::{conv2d_im2col_packed_fused, conv2d_im2col_quant_fused};
+use ios_backend::ops_cpu::{conv2d_naive_quant, conv2d_packed_pooled, conv_weights};
+use ios_backend::{
+    sample_scale, ConvEpilogue, PackedFilter, QuantizedFilter, ScratchPool, TensorData,
+};
+use ios_bench::{fmt3, geomean, maybe_write_json, quant_bench_shapes, render_table, BenchOptions};
+use ios_ir::{Activation, Conv2dParams};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+struct QuantRow {
+    shape: String,
+    baseline_ms: f64,
+    fused_ms: f64,
+    int8_ms: f64,
+    fused_speedup: f64,
+    int8_speedup: f64,
+    max_calibration_error: f64,
+    calibration_bound: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    rows: Vec<QuantRow>,
+    fused_geomean_speedup: f64,
+    int8_geomean_speedup: f64,
+    fused_acceptance_bar: f64,
+    int8_acceptance_bar: f64,
+    pass: bool,
+}
+
+/// One timed call of `f`, in milliseconds.
+fn time_ms<O>(f: impl FnOnce() -> O) -> f64 {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Median of a sample set (mean of the middle pair for even sizes).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let iters = if opts.quick { 9 } else { 15 };
+    let arena = ScratchPool::new();
+    let cases = quant_bench_shapes();
+    println!(
+        "quant_gate: {} shapes, best of {iters} runs each (quick = {})",
+        cases.len(),
+        opts.quick
+    );
+
+    // The byte-identity oracle run is O(naive); do it once, on the
+    // cheapest shape.
+    let oracle_shape = cases
+        .iter()
+        .min_by_key(|c| c.input.num_elements())
+        .map(|c| c.name)
+        .unwrap_or_default();
+
+    let mut rows = Vec::new();
+    let mut calibration_ok = true;
+    for case in &cases {
+        let input = TensorData::random(case.input, 7);
+        let in_c_per_group = case.input.channels / case.params.groups;
+        let weights = conv_weights(
+            11,
+            case.params.out_channels,
+            in_c_per_group,
+            case.params.kernel,
+        );
+        let k_len = in_c_per_group * case.params.kernel.0 * case.params.kernel.1;
+        let packed = PackedFilter::pack(
+            &weights,
+            case.params.out_channels,
+            case.params.groups,
+            k_len,
+        );
+        let quant = QuantizedFilter::quantize(
+            &weights,
+            case.params.out_channels,
+            case.params.groups,
+            k_len,
+        );
+
+        // Epilogue operands: per-output-channel bias and a full residual
+        // tensor, applied with ReLU — the serving-hot epilogue shape.
+        let plain = Conv2dParams {
+            activation: Activation::None,
+            ..case.params
+        };
+        let out_channels = case.params.out_channels;
+        let bias = conv_weights(13, out_channels, 1, (1, 1));
+        let out_shape = {
+            let probe = conv2d_packed_pooled(&input, &plain, &packed, &arena);
+            let shape = probe.shape;
+            arena.recycle_tensor(probe);
+            shape
+        };
+        let residual = TensorData::random(out_shape, 17);
+        let plane = out_shape.height * out_shape.width;
+        let ep = ConvEpilogue {
+            input_relu: false,
+            bias: Some(&bias),
+            residual: Some(&residual),
+            relu: true,
+        };
+
+        // PR-4 baseline: the packed kernel, then bias, residual-add and
+        // ReLU the way the pre-fusion engine actually served them — as
+        // separate elementwise graph ops, each reading its input and
+        // writing a fresh arena tensor (the same arithmetic order the
+        // fused store uses, so the bit-identity assert below holds).
+        let run_baseline = || {
+            let conv = conv2d_packed_pooled(&input, &plain, &packed, &arena);
+            let mut biased = arena.take_tensor(conv.shape);
+            for n in 0..conv.shape.batch {
+                for (oc, &bv) in bias.iter().enumerate() {
+                    let start = (n * out_channels + oc) * plane;
+                    let src = &conv.data[start..start + plane];
+                    for (d, &v) in biased.data[start..start + plane].iter_mut().zip(src) {
+                        *d = v + bv;
+                    }
+                }
+            }
+            arena.recycle_tensor(conv);
+            let mut added = arena.take_tensor(biased.shape);
+            for ((d, &v), &r) in added.data.iter_mut().zip(&biased.data).zip(&residual.data) {
+                *d = v + r;
+            }
+            arena.recycle_tensor(biased);
+            let mut out = arena.take_tensor(added.shape);
+            for (d, &v) in out.data.iter_mut().zip(&added.data) {
+                *d = v.max(0.0);
+            }
+            arena.recycle_tensor(added);
+            out
+        };
+        let run_fused = || conv2d_im2col_packed_fused(&input, &plain, &packed, &ep, &arena);
+        let run_int8 = || conv2d_im2col_quant_fused(&input, &plain, &quant, &ep, &arena);
+
+        // The gate is only meaningful if fusion is exact.
+        let baseline_out = run_baseline();
+        let fused_out = run_fused();
+        assert_eq!(
+            fused_out, baseline_out,
+            "{}: fused epilogue must be bit-identical to the separate passes",
+            case.name
+        );
+        arena.recycle_tensor(baseline_out);
+
+        // Int8 accuracy: calibration bound on every shape, byte-identity
+        // to the naive integer oracle on the cheapest one.
+        let int8_out = run_int8();
+        if case.name == oracle_shape {
+            let oracle = conv2d_naive_quant(&input, &plain, &quant, &ep);
+            assert_eq!(
+                int8_out, oracle,
+                "{}: int8 fast path must be byte-identical to the naive oracle",
+                case.name
+            );
+        }
+        let s_in = sample_scale(&input.data, false);
+        let mut max_err = 0.0f64;
+        let mut bound = 0.0f64;
+        for oc in 0..out_channels {
+            let oc_bound = f64::from(k_len as f32 * s_in * quant.scales()[oc] * 128.0);
+            bound = bound.max(oc_bound);
+            for n in 0..out_shape.batch {
+                let start = (n * out_channels + oc) * plane;
+                for i in 0..plane {
+                    let d = f64::from((int8_out.data[start + i] - fused_out.data[start + i]).abs());
+                    max_err = max_err.max(d);
+                    if d > oc_bound {
+                        calibration_ok = false;
+                    }
+                }
+            }
+        }
+        arena.recycle_tensor(fused_out);
+        arena.recycle_tensor(int8_out);
+
+        // The three variants are interleaved within every round, and each
+        // speedup is the *median of the per-round paired ratios*: a noisy
+        // stretch on the (shared) host covers a whole adjacent
+        // baseline/fused/int8 triple, so the round's ratio stays clean
+        // even when its absolute times do not, and the median discards the
+        // rounds a burst split in half. The reported times are best-of-N.
+        let mut baseline_ms = f64::INFINITY;
+        let mut fused_ms = f64::INFINITY;
+        let mut int8_ms = f64::INFINITY;
+        let mut fused_ratios = Vec::with_capacity(iters);
+        let mut int8_ratios = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let b = time_ms(|| arena.recycle_tensor(run_baseline()));
+            let f = time_ms(|| arena.recycle_tensor(run_fused()));
+            let q = time_ms(|| arena.recycle_tensor(run_int8()));
+            baseline_ms = baseline_ms.min(b);
+            fused_ms = fused_ms.min(f);
+            int8_ms = int8_ms.min(q);
+            fused_ratios.push(b / f);
+            int8_ratios.push(f / q);
+        }
+        let fused_speedup = median(&mut fused_ratios);
+        let int8_speedup = median(&mut int8_ratios);
+        rows.push(QuantRow {
+            shape: case.name.to_string(),
+            baseline_ms,
+            fused_ms,
+            int8_ms,
+            fused_speedup,
+            int8_speedup,
+            max_calibration_error: max_err,
+            calibration_bound: bound,
+        });
+    }
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.shape.clone(),
+                fmt3(r.baseline_ms),
+                fmt3(r.fused_ms),
+                fmt3(r.int8_ms),
+                fmt3(r.fused_speedup),
+                fmt3(r.int8_speedup),
+                format!("{:.2e}", r.max_calibration_error),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Epilogue fusion + int8: separate passes vs fused f32 vs quantized",
+            &[
+                "shape",
+                "separate ms",
+                "fused ms",
+                "int8 ms",
+                "fuse x",
+                "int8 x",
+                "max |err|",
+            ],
+            &table_rows,
+        )
+    );
+
+    let fused_mean = geomean(&rows.iter().map(|r| r.fused_speedup).collect::<Vec<_>>());
+    let int8_mean = geomean(&rows.iter().map(|r| r.int8_speedup).collect::<Vec<_>>());
+    let fused_bar = 1.05;
+    let int8_bar = 1.8;
+    let pass = fused_mean >= fused_bar && int8_mean >= int8_bar && calibration_ok;
+    println!("fused-f32 geomean speedup: {fused_mean:.3}x (bar: >= {fused_bar:.2}x)");
+    println!("int8 geomean speedup over fused-f32: {int8_mean:.3}x (bar: >= {int8_bar:.2}x)");
+    println!(
+        "calibration: {}",
+        if calibration_ok {
+            "within bound on every shape"
+        } else {
+            "BOUND EXCEEDED"
+        }
+    );
+    println!("RESULT: {}", if pass { "PASS" } else { "FAIL" });
+
+    let report = Report {
+        rows,
+        fused_geomean_speedup: fused_mean,
+        int8_geomean_speedup: int8_mean,
+        fused_acceptance_bar: fused_bar,
+        int8_acceptance_bar: int8_bar,
+        pass,
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_quant.json", json) {
+                eprintln!("failed to write BENCH_quant.json: {e}");
+            }
+        }
+        Err(e) => eprintln!("failed to serialize BENCH_quant.json: {e}"),
+    }
+    maybe_write_json(&opts, &report);
+    if !pass {
+        std::process::exit(1);
+    }
+}

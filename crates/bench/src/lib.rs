@@ -379,6 +379,66 @@ pub fn pack_bench_shapes() -> Vec<ConvCase> {
     ]
 }
 
+/// The convolution shapes the `quant_gate` CI binary runs: the layers of
+/// serving CNN backbones that actually *carry* a bias + residual-add +
+/// ReLU epilogue — ResNet basic-block ending 3×3s and bottleneck
+/// expansion 1×1s (the convs the residual joins), MobileNetV2-style
+/// shallow-`k` expansion pointwises, and Inception branch convs feeding a
+/// concat. Epilogue fusion pays where the epilogue's whole-tensor passes
+/// are a real fraction of the conv (shallow `k`, large output planes);
+/// deep-`k` interior 3×3s keep their epilogue-free fast path and stay
+/// covered by [`pack_bench_shapes`] / `pack_gate`. Like the pack set, the
+/// shapes are never scaled down in quick mode — that would change the
+/// compute-vs-traffic regime the gate measures.
+#[must_use]
+pub fn quant_bench_shapes() -> Vec<ConvCase> {
+    use ios_ir::{Conv2dParams, TensorShape};
+    vec![
+        ConvCase {
+            // ResNet basic-block conv2: the 3×3 the residual joins.
+            name: "resnet_3x3_56",
+            input: TensorShape::new(1, 64, 56, 56),
+            params: Conv2dParams::relu(64, (3, 3), (1, 1), (1, 1)),
+        },
+        ConvCase {
+            // ResNet bottleneck expansion at 56²: 64 → 256 pointwise.
+            name: "bottleneck_1x1_56",
+            input: TensorShape::new(1, 64, 56, 56),
+            params: Conv2dParams::relu(256, (1, 1), (1, 1), (0, 0)),
+        },
+        ConvCase {
+            // ResNet conv3 bottleneck expansion at 28²: 128 → 512.
+            name: "bottleneck_1x1_28",
+            input: TensorShape::new(1, 128, 28, 28),
+            params: Conv2dParams::relu(512, (1, 1), (1, 1), (0, 0)),
+        },
+        ConvCase {
+            // MobileNetV2-style expansion at 112²: shallow k, huge plane.
+            name: "mb_expand_1x1_112",
+            input: TensorShape::new(1, 32, 112, 112),
+            params: Conv2dParams::relu(192, (1, 1), (1, 1), (0, 0)),
+        },
+        ConvCase {
+            // MobileNetV2-style expansion at 56².
+            name: "mb_expand_1x1_56",
+            input: TensorShape::new(1, 24, 56, 56),
+            params: Conv2dParams::relu(144, (1, 1), (1, 1), (0, 0)),
+        },
+        ConvCase {
+            // Inception mixed-block 3×3 branch feeding the concat.
+            name: "inception_3x3",
+            input: TensorShape::new(1, 96, 15, 15),
+            params: Conv2dParams::relu(96, (3, 3), (1, 1), (1, 1)),
+        },
+        ConvCase {
+            // Inception 1×1 bottleneck branch.
+            name: "inception_1x1",
+            input: TensorShape::new(1, 128, 15, 15),
+            params: Conv2dParams::relu(128, (1, 1), (1, 1), (0, 0)),
+        },
+    ]
+}
+
 /// Writes any serializable value as pretty JSON if a path was requested.
 pub fn maybe_write_json<T: Serialize>(opts: &BenchOptions, value: &T) {
     if let Some(path) = &opts.json {

@@ -1,5 +1,6 @@
 //! Serving runtime configuration.
 
+use ios_backend::WeightPrecision;
 use ios_core::SchedulerConfig;
 use ios_sim::DeviceKind;
 use std::time::Duration;
@@ -70,6 +71,12 @@ pub struct ServeConfig {
     /// Cap on pipeline segment count; `None` lets the planner choose (up
     /// to twice the host's cores).
     pub pipeline_max_segments: Option<usize>,
+    /// Weight precision the engine precomputes, profiles, and executes at.
+    /// [`WeightPrecision::Int8`] runs convolution/pointwise stages through
+    /// the quantized integer kernels (deterministic: byte-identical across
+    /// thread counts and pipeline segmentations) at a fraction of the
+    /// weight-cache footprint; matmul and depthwise stages stay f32.
+    pub precision: WeightPrecision,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +95,7 @@ impl Default for ServeConfig {
             background_reoptimize: true,
             pipeline: PipelineMode::default(),
             pipeline_max_segments: None,
+            precision: WeightPrecision::default(),
         }
     }
 }
@@ -178,6 +186,13 @@ impl ServeConfig {
         self.pipeline_max_segments = Some(max_segments);
         self
     }
+
+    /// Sets the weight precision the engine serves at.
+    #[must_use]
+    pub fn with_precision(mut self, precision: WeightPrecision) -> Self {
+        self.precision = precision;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -194,8 +209,15 @@ mod tests {
             .with_background_reoptimize(false)
             .with_cost_model(CostModelKind::CpuProfiled)
             .with_pipeline(PipelineMode::Auto)
-            .with_pipeline_max_segments(4);
+            .with_pipeline_max_segments(4)
+            .with_precision(WeightPrecision::Int8);
         assert_eq!(config.max_batch, 32);
+        assert_eq!(config.precision, WeightPrecision::Int8);
+        assert_eq!(
+            ServeConfig::default().precision,
+            WeightPrecision::F32,
+            "f32 remains the default precision"
+        );
         assert_eq!(config.pipeline, PipelineMode::Auto);
         assert_eq!(config.pipeline_max_segments, Some(4));
         assert_eq!(

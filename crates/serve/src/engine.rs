@@ -453,7 +453,8 @@ impl ServeEngine {
                 };
                 Arc::new(ProfiledCostModel::with_policy(
                     CpuStageProfiler::with_group_mode(GroupMode::MatchServing)
-                        .with_background_load(load),
+                        .with_background_load(load)
+                        .with_precision(config.precision),
                     1,
                     3,
                 ))
@@ -480,7 +481,7 @@ impl ServeEngine {
             network.with_batch_size(1)
         };
         let sample_shape = base.input_shape;
-        let weights = Arc::new(NetworkWeights::precompute(&base));
+        let weights = Arc::new(NetworkWeights::precompute_as(&base, config.precision));
 
         let shared = Arc::new(Shared {
             sample_shape,
@@ -583,9 +584,9 @@ impl ServeEngine {
     }
 
     /// The serving metrics in Prometheus text exposition format: request
-    /// counters, queue-depth gauge, schedule-cache counters, and the
-    /// latency / queue-wait / batch-assembly / device-time histograms
-    /// (exposed in microseconds).
+    /// counters, queue-depth gauge, schedule-cache counters, weight-cache
+    /// footprint gauges (f32 vs int8 bytes), and the latency / queue-wait /
+    /// batch-assembly / device-time histograms (exposed in microseconds).
     #[must_use]
     pub fn prometheus_text(&self) -> String {
         use ios_telemetry::prometheus as prom;
@@ -645,6 +646,19 @@ impl ServeEngine {
             "ios_schedule_cache_entries",
             "Schedules currently cached.",
             cache.entries as f64,
+        );
+        let footprint = self.shared.weights.footprint();
+        prom::gauge(
+            &mut out,
+            "ios_weight_cache_f32_bytes",
+            "Bytes of f32 weight arrays held by the weight cache.",
+            footprint.f32_bytes as f64,
+        );
+        prom::gauge(
+            &mut out,
+            "ios_weight_cache_int8_bytes",
+            "Bytes of int8 quantized weights (and scales) held by the weight cache.",
+            footprint.int8_bytes as f64,
         );
         prom::histogram_us(
             &mut out,

@@ -367,3 +367,54 @@ fn pool_counters_stay_flat_across_mixed_clone_drop_sequences() {
     }
     engine.shutdown();
 }
+
+/// An int8 engine serves responses byte-identical to the flat quantized
+/// reference path, and its Prometheus exposition reports the quantized
+/// weight-cache footprint — smaller than the f32 engine's — in a
+/// `prometheus::validate`-clean document.
+#[test]
+fn int8_engine_serves_the_quantized_path_and_reports_its_footprint() {
+    use ios_backend::{execute_network_with_weights, NetworkWeights, WeightPrecision};
+
+    let net = serve_network();
+    let engine = ServeEngine::start(
+        net.clone(),
+        ServeConfig::default()
+            .with_max_batch(2)
+            .with_workers(1)
+            .with_precision(WeightPrecision::Int8)
+            .with_max_wait(Duration::from_millis(1)),
+    );
+    let quant_weights = NetworkWeights::precompute_as(&net, WeightPrecision::Int8);
+    for i in 0..3 {
+        let sample = TensorData::random(net.input_shape, 700 + i);
+        let response = engine.infer(sample.clone()).unwrap();
+        let reference = execute_network_with_weights(&net, &quant_weights, &[sample]);
+        assert_eq!(response.outputs.len(), reference.len());
+        for (leased, expected) in response.outputs.iter().zip(&reference) {
+            assert_eq!(
+                leased, expected,
+                "int8 serving must be byte-identical to the flat quantized reference"
+            );
+        }
+    }
+
+    let text = engine.prometheus_text();
+    let samples = ios_telemetry::prometheus::validate(&text).expect("well-formed exposition");
+    assert!(samples > 0);
+    assert!(text.contains("ios_weight_cache_f32_bytes"));
+    assert!(text.contains("ios_weight_cache_int8_bytes"));
+    let quant_fp = quant_weights.footprint();
+    assert!(
+        quant_fp.int8_bytes > 0,
+        "int8 engine holds quantized panels"
+    );
+    let f32_fp = NetworkWeights::precompute(&net).footprint();
+    assert!(
+        quant_fp.total() < f32_fp.total(),
+        "quantization must shrink the weight cache ({} -> {})",
+        f32_fp.total(),
+        quant_fp.total()
+    );
+    engine.shutdown();
+}
