@@ -6,16 +6,45 @@
 //! request has waited `max_wait`, whichever comes first. Under a deep queue
 //! every dispatch is a full batch (maximum device efficiency); under trickle
 //! load the wait bound keeps tail latency in check.
+//!
+//! Two runtime-adaptation extensions ride on the same policy:
+//!
+//! * **deadline-aware flush** — when queued requests carry deadlines, the
+//!   effective wait bound shrinks so the batch dispatches while the most
+//!   urgent request still has `predicted_exec` of slack left (a full batch
+//!   always dispatches immediately and therefore beats an imminent
+//!   deadline flush);
+//! * **bounded admission** — [`BatchQueue::push_bounded`] enforces a hard
+//!   queue-depth capacity *inside* the queue lock, so the bound is exact
+//!   even with racing submitters.
 
 use crate::request::Pending;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Slack reserved on top of `predicted_exec` when a deadline tightens the
+/// flush bound: covers condvar wakeup overshoot and batch assembly on a
+/// loaded machine, so a deadline flush lands *before* the expiry check,
+/// not in a race with it. A deadline closer than this dispatches
+/// immediately.
+const DISPATCH_MARGIN: Duration = Duration::from_millis(20);
 
 #[derive(Debug, Default)]
 struct QueueState {
     queue: VecDeque<Pending>,
     closed: bool,
+}
+
+/// Result of offering a request to the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushResult {
+    /// The request is queued.
+    Accepted,
+    /// The queue is closed (engine shutting down); the request was dropped.
+    Closed,
+    /// The queue is at its admission capacity; the request was dropped.
+    Full,
 }
 
 /// A thread-safe dynamic batching queue.
@@ -31,16 +60,30 @@ impl BatchQueue {
     }
 
     /// Enqueues a request. Returns `false` (dropping the request) if the
-    /// queue is closed.
+    /// queue is closed. (The engine always offers through
+    /// [`BatchQueue::push_bounded`]; this unbounded form serves the tests.)
+    #[cfg(test)]
     pub fn push(&self, pending: Pending) -> bool {
+        self.push_bounded(pending, None) == PushResult::Accepted
+    }
+
+    /// Enqueues a request subject to an optional depth capacity. The
+    /// capacity check happens under the queue lock, so the queue never
+    /// exceeds `capacity` even with racing submitters.
+    pub fn push_bounded(&self, pending: Pending, capacity: Option<usize>) -> PushResult {
         let mut state = self.state.lock().expect("queue lock");
         if state.closed {
-            return false;
+            return PushResult::Closed;
+        }
+        if let Some(cap) = capacity {
+            if state.queue.len() >= cap {
+                return PushResult::Full;
+            }
         }
         state.queue.push_back(pending);
         // Wake one worker; it re-checks the batching condition itself.
         self.available.notify_one();
-        true
+        PushResult::Accepted
     }
 
     /// Number of requests currently queued.
@@ -59,16 +102,24 @@ impl BatchQueue {
     /// `None` when the queue is closed and drained.
     ///
     /// Blocks while the queue is empty (and open), or while a partial batch
-    /// is still inside the oldest request's `max_wait` window.
+    /// is still inside the oldest request's `max_wait` window *and* no
+    /// queued request's deadline is closer than `predicted_exec` — the
+    /// caller's estimate of assembly + device time for the batch about to
+    /// form. A request with deadline `d` must dispatch by `d -
+    /// predicted_exec` to have any chance of completing in time, so the
+    /// most urgent such bound tightens the flush deadline. A full batch
+    /// still dispatches immediately: at exactly `max_batch` queued the
+    /// deadline machinery is never consulted.
     pub fn next_batch(
         &self,
         max_batch: usize,
-        max_wait: std::time::Duration,
+        max_wait: Duration,
+        predicted_exec: Duration,
     ) -> Option<Vec<Pending>> {
         // The span covers the whole wait: on a trace timeline it is the
         // gap between a worker going idle and its next batch forming.
         let mut span = ios_telemetry::tracer().span("batcher.next_batch", "serve");
-        let batch = self.wait_for_batch(max_batch, max_wait);
+        let batch = self.wait_for_batch(max_batch, max_wait, predicted_exec);
         if let Some(batch) = &batch {
             span.set_arg(batch.len() as u64);
         }
@@ -78,7 +129,8 @@ impl BatchQueue {
     fn wait_for_batch(
         &self,
         max_batch: usize,
-        max_wait: std::time::Duration,
+        max_wait: Duration,
+        predicted_exec: Duration,
     ) -> Option<Vec<Pending>> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
@@ -92,14 +144,28 @@ impl BatchQueue {
                 return Some(drain(&mut state.queue, max_batch));
             }
             if let Some(oldest) = state.queue.front() {
-                let deadline = oldest.enqueued_at + max_wait;
+                let mut flush_at = oldest.enqueued_at + max_wait;
+                // Any queued request's deadline may be tighter than the
+                // oldest request's wait bound; dispatch early enough that
+                // the most urgent one still has predicted_exec of slack,
+                // plus a fixed margin for condvar wakeup and assembly
+                // jitter — without it a cold engine (predicted_exec zero)
+                // would flush a lone request exactly at its deadline and
+                // lose the race against its own expiry check.
+                let reserve = predicted_exec + DISPATCH_MARGIN;
+                for p in &state.queue {
+                    if let Some(d) = p.deadline {
+                        flush_at =
+                            flush_at.min(d.checked_sub(reserve).unwrap_or_else(Instant::now));
+                    }
+                }
                 let now = Instant::now();
-                if now >= deadline {
+                if now >= flush_at {
                     return Some(drain(&mut state.queue, max_batch));
                 }
                 let (guard, _) = self
                     .available
-                    .wait_timeout(state, deadline - now)
+                    .wait_timeout(state, flush_at - now)
                     .expect("queue lock");
                 state = guard;
             } else {
@@ -117,22 +183,32 @@ fn drain(queue: &mut VecDeque<Pending>, max_batch: usize) -> Vec<Pending> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::{InferenceResponse, RequestId};
+    use crate::request::{Outcome, RequestId};
     use ios_backend::TensorData;
     use ios_ir::TensorShape;
     use std::sync::mpsc;
     use std::time::Duration;
 
-    fn pending(id: u64) -> (Pending, mpsc::Receiver<InferenceResponse>) {
+    fn pending(id: u64) -> (Pending, mpsc::Receiver<Outcome>) {
+        pending_with_deadline(id, None)
+    }
+
+    fn pending_with_deadline(
+        id: u64,
+        deadline: Option<Instant>,
+    ) -> (Pending, mpsc::Receiver<Outcome>) {
         let (tx, rx) = mpsc::channel();
         let pending = Pending {
             id: RequestId(id),
             input: TensorData::zeros(TensorShape::new(1, 1, 1, 1)),
             enqueued_at: Instant::now(),
+            deadline,
             respond_to: tx,
         };
         (pending, rx)
     }
+
+    const NO_EXEC: Duration = Duration::ZERO;
 
     #[test]
     fn full_batch_dispatches_immediately() {
@@ -144,7 +220,7 @@ mod tests {
             receivers.push(rx);
         }
         let batch = queue
-            .next_batch(4, Duration::from_secs(60))
+            .next_batch(4, Duration::from_secs(60), NO_EXEC)
             .expect("open queue");
         assert_eq!(batch.len(), 4);
         assert_eq!(batch[0].id, RequestId(0));
@@ -158,7 +234,7 @@ mod tests {
         queue.push(p);
         let start = Instant::now();
         let batch = queue
-            .next_batch(8, Duration::from_millis(30))
+            .next_batch(8, Duration::from_millis(30), NO_EXEC)
             .expect("open queue");
         assert_eq!(batch.len(), 1);
         assert!(
@@ -177,7 +253,7 @@ mod tests {
         let queue = std::sync::Arc::new(BatchQueue::new());
         let worker = {
             let queue = std::sync::Arc::clone(&queue);
-            std::thread::spawn(move || queue.next_batch(8, Duration::from_millis(25)))
+            std::thread::spawn(move || queue.next_batch(8, Duration::from_millis(25), NO_EXEC))
         };
         std::thread::sleep(Duration::from_millis(15));
         let start = Instant::now();
@@ -206,7 +282,7 @@ mod tests {
         // not be involved), exactly max_batch handed out, nothing left.
         let start = Instant::now();
         let batch = queue
-            .next_batch(4, Duration::from_secs(60))
+            .next_batch(4, Duration::from_secs(60), NO_EXEC)
             .expect("open queue");
         assert!(
             start.elapsed() < Duration::from_secs(5),
@@ -228,7 +304,7 @@ mod tests {
         let queue = std::sync::Arc::new(BatchQueue::new());
         let worker = {
             let queue = std::sync::Arc::clone(&queue);
-            std::thread::spawn(move || queue.next_batch(8, Duration::from_secs(60)))
+            std::thread::spawn(move || queue.next_batch(8, Duration::from_secs(60), NO_EXEC))
         };
         std::thread::sleep(Duration::from_millis(10));
         let mut receivers = Vec::new();
@@ -245,7 +321,9 @@ mod tests {
             "close must flush immediately, not wait out the deadline"
         );
         assert_eq!(batch.len(), 3);
-        assert!(queue.next_batch(8, Duration::from_secs(60)).is_none());
+        assert!(queue
+            .next_batch(8, Duration::from_secs(60), NO_EXEC)
+            .is_none());
     }
 
     #[test]
@@ -255,10 +333,12 @@ mod tests {
         queue.push(p);
         queue.close();
         let batch = queue
-            .next_batch(8, Duration::from_secs(60))
+            .next_batch(8, Duration::from_secs(60), NO_EXEC)
             .expect("drains first");
         assert_eq!(batch.len(), 1);
-        assert!(queue.next_batch(8, Duration::from_secs(60)).is_none());
+        assert!(queue
+            .next_batch(8, Duration::from_secs(60), NO_EXEC)
+            .is_none());
         let (p, _rx) = pending(1);
         assert!(!queue.push(p), "closed queue rejects new requests");
     }
@@ -268,10 +348,113 @@ mod tests {
         let queue = std::sync::Arc::new(BatchQueue::new());
         let worker = {
             let queue = std::sync::Arc::clone(&queue);
-            std::thread::spawn(move || queue.next_batch(8, Duration::from_secs(60)))
+            std::thread::spawn(move || queue.next_batch(8, Duration::from_secs(60), NO_EXEC))
         };
         std::thread::sleep(Duration::from_millis(20));
         queue.close();
         assert!(worker.join().expect("worker").is_none());
+    }
+
+    #[test]
+    fn request_deadline_tightens_the_flush_bound() {
+        // One queued request whose deadline (150 ms out, with 10 ms of
+        // predicted exec) is far tighter than the 60 s max_wait: the batch
+        // must flush at deadline - predicted_exec - margin, not at
+        // max_wait.
+        let queue = BatchQueue::new();
+        let (p, _rx) = pending_with_deadline(0, Some(Instant::now() + Duration::from_millis(150)));
+        queue.push(p);
+        let start = Instant::now();
+        let batch = queue
+            .next_batch(8, Duration::from_secs(60), Duration::from_millis(10))
+            .expect("open queue");
+        assert_eq!(batch.len(), 1);
+        let waited = start.elapsed();
+        assert!(
+            waited >= Duration::from_millis(60) && waited < Duration::from_secs(5),
+            "flushed at deadline - predicted_exec - margin, got {waited:?}"
+        );
+    }
+
+    #[test]
+    fn already_expired_deadline_flushes_immediately() {
+        // A request whose slack is already gone must not make the worker
+        // wait at all; expiry itself is handled downstream at assembly.
+        let queue = BatchQueue::new();
+        let (p, _rx) = pending_with_deadline(0, Some(Instant::now() - Duration::from_millis(5)));
+        queue.push(p);
+        let start = Instant::now();
+        let batch = queue
+            .next_batch(8, Duration::from_secs(60), Duration::from_millis(10))
+            .expect("open queue");
+        assert_eq!(batch.len(), 1);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "expired deadline must flush without waiting"
+        );
+    }
+
+    #[test]
+    fn exact_max_batch_arrival_beats_an_imminent_deadline_flush() {
+        // max_batch requests are queued and the oldest carries a deadline
+        // about to force a flush: the full-batch condition wins — the
+        // dispatch is a full batch of max_batch, immediately, and the
+        // deadline never truncates it to a partial batch.
+        let queue = BatchQueue::new();
+        let mut receivers = Vec::new();
+        let (p, rx) = pending_with_deadline(0, Some(Instant::now() + Duration::from_millis(30)));
+        queue.push(p);
+        receivers.push(rx);
+        for i in 1..4 {
+            let (p, rx) = pending(i);
+            assert!(queue.push(p));
+            receivers.push(rx);
+        }
+        let start = Instant::now();
+        let batch = queue
+            .next_batch(4, Duration::from_secs(60), Duration::from_millis(25))
+            .expect("open queue");
+        assert_eq!(batch.len(), 4, "the full batch dispatches whole");
+        assert!(
+            start.elapsed() < Duration::from_millis(20),
+            "a full batch dispatches immediately, not on the deadline flush"
+        );
+        assert_eq!(queue.depth(), 0);
+    }
+
+    #[test]
+    fn bounded_push_is_exact_under_racing_submitters() {
+        // 8 threads race 25 offers each at a capacity-10 queue with no
+        // consumer. Exactly 10 are accepted and the rest are Full —
+        // the bound is enforced under the queue lock, not approximately.
+        let queue = std::sync::Arc::new(BatchQueue::new());
+        let accepted = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let full = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let queue = std::sync::Arc::clone(&queue);
+                let accepted = std::sync::Arc::clone(&accepted);
+                let full = std::sync::Arc::clone(&full);
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        let (p, _rx) = pending(t * 100 + i);
+                        match queue.push_bounded(p, Some(10)) {
+                            PushResult::Accepted => {
+                                accepted.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                            }
+                            PushResult::Full => {
+                                full.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                            }
+                            PushResult::Closed => panic!("queue is open"),
+                        };
+                    }
+                });
+            }
+        });
+        let accepted = accepted.load(std::sync::atomic::Ordering::Relaxed);
+        let full = full.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(accepted, 10, "exactly capacity requests admitted");
+        assert_eq!(accepted + full, 200, "every offer got a verdict");
+        assert_eq!(queue.depth(), 10);
     }
 }

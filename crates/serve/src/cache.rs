@@ -53,6 +53,10 @@ pub struct CacheStats {
     pub nearest_served: u64,
     /// Schedules inserted by background re-optimization.
     pub background_inserts: u64,
+    /// Schedules evicted by the adaptation controller because their
+    /// measured device time regretted the prediction past the configured
+    /// threshold.
+    pub evictions: u64,
     /// Number of schedules currently cached.
     pub entries: u64,
 }
@@ -79,6 +83,7 @@ pub struct ScheduleCache {
     misses: AtomicU64,
     nearest_served: AtomicU64,
     background_inserts: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ScheduleCache {
@@ -150,6 +155,23 @@ impl ScheduleCache {
             .insert(key.clone())
     }
 
+    /// Evicts the schedule cached under `key` (regret-driven refresh: the
+    /// prediction stopped describing measured reality). Counts an eviction
+    /// only when something was actually removed; in-flight batches holding
+    /// the schedule's `Arc` finish unaffected.
+    pub fn evict(&self, key: &ScheduleKey) -> bool {
+        let removed = self
+            .entries
+            .lock()
+            .expect("cache lock")
+            .remove(key)
+            .is_some();
+        if removed {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
     /// Current counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -158,6 +180,7 @@ impl ScheduleCache {
             misses: self.misses.load(Ordering::Relaxed),
             nearest_served: self.nearest_served.load(Ordering::Relaxed),
             background_inserts: self.background_inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.entries.lock().expect("cache lock").len() as u64,
         }
     }
@@ -207,6 +230,21 @@ mod tests {
         // Different device: no candidates.
         let other = ScheduleKey::new("net", 6, DeviceKind::TeslaK80);
         assert!(cache.nearest_batch(&other).is_none());
+    }
+
+    #[test]
+    fn eviction_removes_the_entry_and_counts_once() {
+        let cache = ScheduleCache::new();
+        cache.insert(key(4), schedule(4));
+        let held = cache.peek(&key(4)).expect("cached");
+        assert!(cache.evict(&key(4)), "first eviction removes the entry");
+        assert!(!cache.evict(&key(4)), "nothing left to evict");
+        assert!(cache.peek(&key(4)).is_none());
+        // An in-flight batch holding the Arc still reads its schedule.
+        assert_eq!(held.label, "batch4");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 0);
     }
 
     #[test]

@@ -41,6 +41,58 @@ pub enum PipelineMode {
     Forced(usize),
 }
 
+/// Configuration of the runtime adaptation loop: the telemetry-driven
+/// controller (re-planning + regret-based cache eviction), deadline-aware
+/// batching, and load shedding. Everything here is opt-in — the default is
+/// a fully static engine, matching the behaviour of earlier revisions.
+#[derive(Debug, Clone)]
+pub struct AdaptConfig {
+    /// Master switch for the adaptation controller thread. When `false`
+    /// nothing is spawned and only explicitly-passed deadlines (via
+    /// [`crate::ServeEngine::submit_with_deadline`]) have any effect.
+    pub enabled: bool,
+    /// How often the controller wakes to inspect its telemetry window.
+    pub tick: Duration,
+    /// Minimum number of batches a window must contain before the
+    /// controller acts on it — guards against re-planning or shedding on
+    /// statistically vacuous evidence.
+    pub min_window_batches: u64,
+    /// Queue-wait budget for load shedding: when the windowed p95 queue
+    /// wait exceeds this, the engine enters shed mode (new requests beyond
+    /// a batch's worth are rejected with [`crate::Rejected::Shed`]) until
+    /// the windowed p95 falls back below half the budget (hysteresis).
+    /// `None` disables telemetry-driven shedding.
+    pub shed_queue_wait_budget: Option<Duration>,
+    /// Hard bound on the admission queue depth, enforced exactly under the
+    /// queue lock. Offers beyond it are rejected with
+    /// [`crate::Rejected::Shed`] regardless of shed mode. `None` leaves
+    /// the queue unbounded.
+    pub admission_capacity: Option<usize>,
+    /// Deadline budget applied to every plain [`crate::ServeEngine::submit`]
+    /// (measured from submission). `None` means plain submissions carry no
+    /// deadline.
+    pub default_deadline: Option<Duration>,
+    /// A cached schedule is evicted when its observed mean device time
+    /// exceeds `regret_threshold ×` its (calibrated) predicted time — the
+    /// prediction has stopped describing reality, so the entry is removed
+    /// and re-optimized on next use.
+    pub regret_threshold: f64,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            enabled: false,
+            tick: Duration::from_millis(20),
+            min_window_batches: 8,
+            shed_queue_wait_budget: None,
+            admission_capacity: None,
+            default_deadline: None,
+            regret_threshold: 2.0,
+        }
+    }
+}
+
 /// Configuration of a [`crate::ServeEngine`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -77,6 +129,9 @@ pub struct ServeConfig {
     /// thread counts and pipeline segmentations) at a fraction of the
     /// weight-cache footprint; matmul and depthwise stages stay f32.
     pub precision: WeightPrecision,
+    /// Runtime adaptation loop (controller, deadlines, shedding). Disabled
+    /// by default.
+    pub adapt: AdaptConfig,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +151,7 @@ impl Default for ServeConfig {
             pipeline: PipelineMode::default(),
             pipeline_max_segments: None,
             precision: WeightPrecision::default(),
+            adapt: AdaptConfig::default(),
         }
     }
 }
@@ -193,6 +249,62 @@ impl ServeConfig {
         self.precision = precision;
         self
     }
+
+    /// Replaces the whole adaptation configuration.
+    #[must_use]
+    pub fn with_adapt(mut self, adapt: AdaptConfig) -> Self {
+        self.adapt = adapt;
+        self
+    }
+
+    /// Enables (or disables) the adaptation controller thread.
+    #[must_use]
+    pub fn with_adaptation(mut self, enabled: bool) -> Self {
+        self.adapt.enabled = enabled;
+        self
+    }
+
+    /// Sets the controller's tick interval.
+    #[must_use]
+    pub fn with_adapt_tick(mut self, tick: Duration) -> Self {
+        assert!(!tick.is_zero(), "the adaptation tick must be non-zero");
+        self.adapt.tick = tick;
+        self
+    }
+
+    /// Sets the queue-wait p95 budget that triggers load shedding (also
+    /// enables the controller, which hosts the shed policy).
+    #[must_use]
+    pub fn with_shed_queue_wait_budget(mut self, budget: Duration) -> Self {
+        self.adapt.shed_queue_wait_budget = Some(budget);
+        self.adapt.enabled = true;
+        self
+    }
+
+    /// Bounds the admission queue depth (exact, enforced under the queue
+    /// lock). Works with or without the controller.
+    #[must_use]
+    pub fn with_admission_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "admission capacity must be at least 1");
+        self.adapt.admission_capacity = Some(capacity);
+        self
+    }
+
+    /// Applies a default deadline budget to every plain `submit`.
+    #[must_use]
+    pub fn with_default_deadline(mut self, budget: Duration) -> Self {
+        self.adapt.default_deadline = Some(budget);
+        self
+    }
+
+    /// Sets the observed/predicted device-time ratio beyond which a cached
+    /// schedule is evicted as stale.
+    #[must_use]
+    pub fn with_regret_threshold(mut self, threshold: f64) -> Self {
+        assert!(threshold > 1.0, "a regret threshold must exceed 1.0");
+        self.adapt.regret_threshold = threshold;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -253,5 +365,42 @@ mod tests {
     #[should_panic(expected = "max_batch must be at least 1")]
     fn zero_batch_rejected() {
         let _ = ServeConfig::default().with_max_batch(0);
+    }
+
+    #[test]
+    fn adaptation_stays_opt_in_and_builders_compose() {
+        let default = ServeConfig::default();
+        assert!(!default.adapt.enabled, "the adaptation loop is opt-in");
+        assert!(default.adapt.shed_queue_wait_budget.is_none());
+        assert!(default.adapt.admission_capacity.is_none());
+        assert!(default.adapt.default_deadline.is_none());
+
+        let config = ServeConfig::default()
+            .with_shed_queue_wait_budget(Duration::from_millis(10))
+            .with_admission_capacity(64)
+            .with_default_deadline(Duration::from_millis(50))
+            .with_adapt_tick(Duration::from_millis(5))
+            .with_regret_threshold(3.0);
+        assert!(
+            config.adapt.enabled,
+            "configuring a shed budget implies the controller"
+        );
+        assert_eq!(
+            config.adapt.shed_queue_wait_budget,
+            Some(Duration::from_millis(10))
+        );
+        assert_eq!(config.adapt.admission_capacity, Some(64));
+        assert_eq!(
+            config.adapt.default_deadline,
+            Some(Duration::from_millis(50))
+        );
+        assert_eq!(config.adapt.tick, Duration::from_millis(5));
+        assert!((config.adapt.regret_threshold - 3.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "admission capacity must be at least 1")]
+    fn zero_admission_capacity_rejected() {
+        let _ = ServeConfig::default().with_admission_capacity(0);
     }
 }

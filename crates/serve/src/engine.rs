@@ -1,13 +1,14 @@
 //! The serving engine: worker pool wiring the dynamic batcher, the
 //! specialized-schedule cache and a batch execution backend together.
 
-use crate::batcher::BatchQueue;
+use crate::adapt::AdaptState;
+use crate::batcher::{BatchQueue, PushResult};
 use crate::cache::{ScheduleCache, ScheduleKey};
 use crate::config::{CostModelKind, PipelineMode, ServeConfig};
 use crate::exec::{BatchContext, BatchExecutor, CpuReferenceExecutor, SimulatedDeviceExecutor};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::request::{
-    InferenceResponse, Pending, RequestId, ResponseHandle, ResponseLease, ScheduleSource,
+    InferenceResponse, Pending, Rejected, RequestId, ResponseHandle, ResponseLease, ScheduleSource,
     ServeError,
 };
 use ios_backend::{
@@ -23,7 +24,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The host's available parallelism (1 when unknown) — the single probe
 /// the worker split, the pipeline planner's stage budget and the custom
@@ -34,54 +35,57 @@ fn host_cores() -> usize {
         .unwrap_or(1)
 }
 
-/// State shared between the engine handle, its workers and background
-/// re-optimization threads.
-struct Shared {
+/// State shared between the engine handle, its workers, the adaptation
+/// controller ([`crate::adapt`]) and background re-optimization threads.
+pub(crate) struct Shared {
     /// The network at batch size 1 (instances for other batch sizes are
     /// derived lazily).
-    base: Network,
+    pub(crate) base: Network,
     /// Per-sample input shape requests must match.
-    sample_shape: TensorShape,
-    config: ServeConfig,
-    queue: BatchQueue,
-    cache: ScheduleCache,
+    pub(crate) sample_shape: TensorShape,
+    pub(crate) config: ServeConfig,
+    pub(crate) queue: BatchQueue,
+    pub(crate) cache: ScheduleCache,
     /// One thread-safe cost model backs schedule optimization and
     /// background re-optimization (and, for the simulated backend, batch
     /// accounting). Selected by [`ServeConfig::cost_model`]: the analytical
     /// simulator, or stage latencies profiled on the CPU backend.
-    cost: Arc<dyn CostModel + Send + Sync>,
+    pub(crate) cost: Arc<dyn CostModel + Send + Sync>,
     /// Weights are batch-size independent, so one table serves every batch.
-    weights: Arc<NetworkWeights>,
-    executor: Box<dyn BatchExecutor>,
+    pub(crate) weights: Arc<NetworkWeights>,
+    pub(crate) executor: Box<dyn BatchExecutor>,
     /// Pool backing the serving boundary: stacked batch inputs and leased
     /// response tensors. Buffers return here when a [`ResponseLease`]
     /// drops, so steady-state serving performs no fresh tensor allocation
     /// at the boundary.
-    io_pool: Arc<ScratchPool>,
-    metrics: ServeMetrics,
+    pub(crate) io_pool: Arc<ScratchPool>,
+    pub(crate) metrics: ServeMetrics,
     /// The cross-block pipeline plan, when [`ServeConfig::pipeline`] is on
     /// and the backend accepted it; [`Shared::run_batch`] consults it per
     /// batch size to pick pipelined vs flat batched execution.
-    pipeline: Mutex<Option<Arc<PipelinePlan>>>,
+    pub(crate) pipeline: Mutex<Option<Arc<PipelinePlan>>>,
     /// Per-batch sample-worker cap of the *flat* execution path — what the
     /// pipeline's prediction must beat. [`ServeEngine::start`] splits the
     /// host's cores across its dispatch workers, so this is usually below
     /// the core count; custom backends default to the full host.
-    flat_workers: usize,
-    instances: Mutex<HashMap<usize, Arc<Network>>>,
-    background: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) flat_workers: usize,
+    pub(crate) instances: Mutex<HashMap<usize, Arc<Network>>>,
+    pub(crate) background: Mutex<Vec<JoinHandle<()>>>,
     /// Serializes cold-start synchronous schedule optimizations.
-    sync_optimize: Mutex<()>,
-    next_id: AtomicU64,
+    pub(crate) sync_optimize: Mutex<()>,
+    /// Live state of the runtime adaptation loop (shed mode, regret
+    /// observations, controller stop signal).
+    pub(crate) adapt: AdaptState,
+    pub(crate) next_id: AtomicU64,
     /// Batch correlation ids for the tracer: every span and instant a
     /// batch's lifecycle emits carries the same id, so the timeline can be
     /// grouped per batch across worker, pipeline and request lanes.
-    next_batch_id: AtomicU64,
+    pub(crate) next_batch_id: AtomicU64,
 }
 
 impl Shared {
     /// The network instance shaped for `batch`, built on first use.
-    fn instance(&self, batch: usize) -> Arc<Network> {
+    pub(crate) fn instance(&self, batch: usize) -> Arc<Network> {
         let mut instances = self.instances.lock().expect("instances lock");
         Arc::clone(
             instances
@@ -90,12 +94,12 @@ impl Shared {
         )
     }
 
-    fn key(&self, batch: usize) -> ScheduleKey {
+    pub(crate) fn key(&self, batch: usize) -> ScheduleKey {
         ScheduleKey::new(self.base.name.clone(), batch, self.config.device)
     }
 
     /// Optimizes a schedule specialized for `batch` (synchronously).
-    fn optimize(&self, batch: usize) -> Arc<NetworkSchedule> {
+    pub(crate) fn optimize(&self, batch: usize) -> Arc<NetworkSchedule> {
         let network = self.instance(batch);
         Arc::new(optimize_network(&network, &self.cost, &self.config.scheduler).schedule)
     }
@@ -137,19 +141,17 @@ impl Shared {
         (schedule, ScheduleSource::FreshlyOptimized)
     }
 
-    /// Plans the cross-block pipeline at startup when
-    /// [`ServeConfig::pipeline`] asks for one: measure per-block costs of
-    /// the batch-1 schedule with the engine's cost model (for
-    /// [`CostModelKind::CpuProfiled`] with pipelining on, those stage
-    /// latencies were measured *under concurrent load*), choose segment
-    /// boundaries, and offer the plan to the execution backend. The plan
-    /// only sticks if the backend can actually execute it.
-    fn plan_pipeline_if_configured(self: &Arc<Self>) {
+    /// Builds a fresh cross-block pipeline plan from current cost-model
+    /// measurements, or `None` when pipelining is off or the backend can't
+    /// run one. Shared by startup planning and the adaptation controller's
+    /// re-planning — both then decide separately whether the plan is worth
+    /// installing.
+    pub(crate) fn build_pipeline_plan(&self) -> Option<PipelinePlan> {
         if self.config.pipeline == PipelineMode::Off || !self.executor.can_pipeline() {
             // Planning measures every block (expensively, for a profiled
             // cost model): don't pay for a plan a flat-only backend would
             // discard anyway.
-            return;
+            return None;
         }
         // The per-sample (batch-1) schedule drives the plan: the pipeline
         // executes one sample per job regardless of serving batch size.
@@ -160,7 +162,7 @@ impl Shared {
             schedule
         });
         let stage_workers = host_cores();
-        let plan = match self.config.pipeline {
+        Some(match self.config.pipeline {
             PipelineMode::Forced(segments) => PipelinePlan::for_segments(
                 network_block_costs(&self.base, &schedule1, &self.cost),
                 SegmentPlan::even(self.base.blocks.len(), segments.max(1)),
@@ -173,6 +175,35 @@ impl Shared {
                 stage_workers,
                 self.config.pipeline_max_segments,
             ),
+        })
+    }
+
+    /// Offers `plan` to the execution backend and installs it as the
+    /// serving plan if the backend accepts. The executor's
+    /// `prepare_pipeline` is mid-flight-swap safe (in-flight batches hold
+    /// their own `Arc`s), so this is also the controller's re-plan commit.
+    pub(crate) fn install_pipeline_plan(&self, plan: PipelinePlan) -> bool {
+        if self
+            .executor
+            .prepare_pipeline(self.instance(1), Arc::clone(&self.weights), &plan)
+        {
+            *self.pipeline.lock().expect("pipeline plan lock") = Some(Arc::new(plan));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Plans the cross-block pipeline at startup when
+    /// [`ServeConfig::pipeline`] asks for one: measure per-block costs of
+    /// the batch-1 schedule with the engine's cost model (for
+    /// [`CostModelKind::CpuProfiled`] with pipelining on, those stage
+    /// latencies were measured *under concurrent load*), choose segment
+    /// boundaries, and offer the plan to the execution backend. The plan
+    /// only sticks if the backend can actually execute it.
+    fn plan_pipeline_if_configured(self: &Arc<Self>) {
+        let Some(plan) = self.build_pipeline_plan() else {
+            return;
         };
         // Under `Auto` the pipeline only earns its stage workers if some
         // admissible batch size is actually predicted to route to it — a
@@ -181,21 +212,48 @@ impl Shared {
         let worth_running = matches!(self.config.pipeline, PipelineMode::Forced(_))
             || (2..=self.config.max_batch)
                 .any(|batch| plan.prefers_pipeline_vs(batch, self.flat_workers));
-        if worth_running
-            && self
-                .executor
-                .prepare_pipeline(self.instance(1), Arc::clone(&self.weights), &plan)
-        {
-            *self.pipeline.lock().expect("pipeline plan lock") = Some(Arc::new(plan));
+        if worth_running {
+            self.install_pipeline_plan(plan);
+        }
+    }
+
+    /// The wall-clock execute-time estimate the deadline-aware batcher
+    /// subtracts from the most urgent queued deadline: the mean observed
+    /// per-batch device time so far (zero until the first batch lands —
+    /// before any measurement the batcher flushes right at the deadline).
+    fn predicted_exec(&self) -> Duration {
+        let device = self.metrics.device_time_histogram();
+        if device.count() == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(device.mean() as u64)
+    }
+
+    /// The admission queue's effective capacity for the next offer: the
+    /// configured hard bound, tightened to one batch's worth of requests
+    /// while the controller has shed mode engaged (queued work keeps the
+    /// device fed; everything beyond it would only queue-wait past the
+    /// budget).
+    fn admission_capacity(&self) -> Option<usize> {
+        let configured = self.config.adapt.admission_capacity;
+        if self.adapt.shedding() {
+            let shed_cap = self.config.max_batch;
+            Some(configured.map_or(shed_cap, |c| c.min(shed_cap)))
+        } else {
+            configured
         }
     }
 
     /// One worker: take batches until the queue closes and drains.
     fn worker_loop(self: &Arc<Self>) {
-        while let Some(batch) = self
-            .queue
-            .next_batch(self.config.max_batch, self.config.max_wait)
-        {
+        loop {
+            let predicted_exec = self.predicted_exec();
+            let Some(batch) =
+                self.queue
+                    .next_batch(self.config.max_batch, self.config.max_wait, predicted_exec)
+            else {
+                break;
+            };
             self.metrics.set_queue_depth(self.queue.depth());
             // A panicking batch (e.g. a custom executor bug) must not kill
             // the worker: its requests' senders drop (their handles see the
@@ -234,6 +292,21 @@ impl Shared {
 
     fn run_batch(self: &Arc<Self>, batch: Vec<Pending>) {
         let tracer = ios_telemetry::tracer();
+        // Requests whose deadline already passed complete as expired *before*
+        // any schedule resolution or device dispatch — serving them would
+        // burn device time on answers nobody can use.
+        let now = Instant::now();
+        let (batch, expired): (Vec<Pending>, Vec<Pending>) = batch
+            .into_iter()
+            .partition(|p| p.deadline.is_none_or(|d| now < d));
+        for pending in expired {
+            self.metrics.record_deadline_expired();
+            tracer.instant("request.deadline_expired", "request", pending.id.0);
+            let _ = pending.respond_to.send(Err(Rejected::DeadlineExceeded));
+        }
+        if batch.is_empty() {
+            return;
+        }
         let batch_id = self.next_batch_id.fetch_add(1, Ordering::Relaxed);
         let batch_size = batch.len();
         let mut batch_span = tracer.span("batch", "serve");
@@ -287,6 +360,12 @@ impl Shared {
         self.io_pool.recycle_tensor(stacked);
         self.metrics
             .record_batch(batch_size, outcome.device_time_us, pipeline.is_some());
+        if self.config.adapt.enabled && source == ScheduleSource::Exact {
+            // Feed the regret sensor: measured device time vs what the
+            // schedule's optimizer predicted for exactly this batch size.
+            self.adapt
+                .observe(batch_size, outcome.device_time_us, schedule.latency_us);
+        }
 
         // Split the stacked outputs (one entry per network output) into
         // per-sample response leases drawn from the io pool; each lease's
@@ -340,7 +419,7 @@ impl Shared {
                 tracer.instant("request.respond", "request", pending.id.0);
             }
             // A dropped ResponseHandle is fine; the send just fails.
-            let _ = pending.respond_to.send(InferenceResponse {
+            let _ = pending.respond_to.send(Ok(InferenceResponse {
                 id: pending.id,
                 outputs,
                 batch_size,
@@ -349,7 +428,7 @@ impl Shared {
                 queue_us,
                 total_us,
                 device_us: device_share_us,
-            });
+            }));
         }
     }
 }
@@ -376,6 +455,9 @@ impl Shared {
 pub struct ServeEngine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// The adaptation controller thread, when [`crate::AdaptConfig`]
+    /// enabled it.
+    controller: Option<JoinHandle<()>>,
 }
 
 impl ServeEngine {
@@ -497,6 +579,7 @@ impl ServeEngine {
             instances: Mutex::new(HashMap::new()),
             background: Mutex::new(Vec::new()),
             sync_optimize: Mutex::new(()),
+            adapt: AdaptState::new(),
             next_id: AtomicU64::new(0),
             next_batch_id: AtomicU64::new(0),
             base,
@@ -522,18 +605,60 @@ impl ServeEngine {
             })
             .collect();
 
-        ServeEngine { shared, workers }
+        let controller = shared.config.adapt.enabled.then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ios-serve-adapt".to_string())
+                .spawn(move || crate::adapt::controller_loop(&shared))
+                .expect("spawn adaptation controller")
+        });
+
+        ServeEngine {
+            shared,
+            workers,
+            controller,
+        }
     }
 
     /// Submits one single-sample request; the returned handle resolves to
-    /// the response once its batch executed.
+    /// the response once its batch executed. When
+    /// [`crate::AdaptConfig::default_deadline`] is configured the request
+    /// carries that budget as its deadline.
     ///
     /// # Errors
     ///
     /// [`ServeError::WrongInputShape`] if `input` does not match the
     /// network's per-sample input shape, [`ServeError::ShuttingDown`] after
-    /// [`ServeEngine::shutdown`] began.
+    /// [`ServeEngine::shutdown`] began, and
+    /// [`ServeError::Rejected`]`(`[`Rejected::Shed`]`)` when admission
+    /// control turned the request away (bounded queue full, or shed mode
+    /// with a batch's worth already queued).
     pub fn submit(&self, input: TensorData) -> Result<ResponseHandle, ServeError> {
+        self.submit_inner(input, self.shared.config.adapt.default_deadline)
+    }
+
+    /// Submits a request that is only worth answering for the next
+    /// `budget` of wall clock: the batcher flushes early to make the
+    /// deadline, and if it still passes before dispatch the request
+    /// completes with [`Rejected::DeadlineExceeded`] (via
+    /// [`ResponseHandle::wait_outcome`]) instead of a stale result.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeEngine::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        input: TensorData,
+        budget: Duration,
+    ) -> Result<ResponseHandle, ServeError> {
+        self.submit_inner(input, Some(budget))
+    }
+
+    fn submit_inner(
+        &self,
+        input: TensorData,
+        budget: Option<Duration>,
+    ) -> Result<ResponseHandle, ServeError> {
         if input.shape != self.shared.sample_shape {
             return Err(ServeError::WrongInputShape {
                 expected: self.shared.sample_shape,
@@ -542,14 +667,26 @@ impl ServeEngine {
         }
         let id = RequestId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
         let (respond_to, receiver) = mpsc::channel();
+        let enqueued_at = Instant::now();
         let pending = Pending {
             id,
             input,
-            enqueued_at: Instant::now(),
+            enqueued_at,
+            deadline: budget.map(|b| enqueued_at + b),
             respond_to,
         };
-        if !self.shared.queue.push(pending) {
-            return Err(ServeError::ShuttingDown);
+        match self
+            .shared
+            .queue
+            .push_bounded(pending, self.shared.admission_capacity())
+        {
+            PushResult::Accepted => {}
+            PushResult::Closed => return Err(ServeError::ShuttingDown),
+            PushResult::Full => {
+                self.shared.metrics.record_shed();
+                ios_telemetry::tracer().instant("request.shed", "request", id.0);
+                return Err(ServeError::Rejected(Rejected::Shed));
+            }
         }
         ios_telemetry::tracer().instant("request.enqueue", "request", id.0);
         self.shared
@@ -611,6 +748,24 @@ impl ServeEngine {
             "Batches executed through the cross-block pipeline.",
             m.pipelined_batches(),
         );
+        prom::counter(
+            &mut out,
+            "ios_requests_shed_total",
+            "Requests turned away by admission control (bounded queue or shed mode).",
+            m.shed(),
+        );
+        prom::counter(
+            &mut out,
+            "ios_requests_deadline_expired_total",
+            "Requests completed as expired before reaching the device.",
+            m.deadline_expired(),
+        );
+        prom::counter(
+            &mut out,
+            "ios_adaptation_replans_total",
+            "Telemetry-triggered pipeline/schedule re-plans.",
+            m.replans(),
+        );
         prom::gauge(
             &mut out,
             "ios_queue_depth",
@@ -640,6 +795,12 @@ impl ServeEngine {
             "ios_schedule_cache_background_inserts_total",
             "Exact schedules inserted by background re-optimization.",
             cache.background_inserts,
+        );
+        prom::counter(
+            &mut out,
+            "ios_schedule_cache_evictions_total",
+            "Schedules evicted for regretting their predicted device time.",
+            cache.evictions,
         );
         prom::gauge(
             &mut out,
@@ -724,6 +885,13 @@ impl ServeEngine {
         self.shared.queue.depth()
     }
 
+    /// Whether the adaptation controller currently has shed mode engaged
+    /// (windowed p95 queue wait over the configured budget).
+    #[must_use]
+    pub fn is_shedding(&self) -> bool {
+        self.shared.adapt.shedding()
+    }
+
     /// Name of the served network.
     #[must_use]
     pub fn network_name(&self) -> &str {
@@ -743,6 +911,12 @@ impl ServeEngine {
     }
 
     fn stop(&mut self) {
+        // Stop the adaptation controller first so no re-plan or eviction
+        // races the drain below.
+        self.shared.adapt.request_stop();
+        if let Some(controller) = self.controller.take() {
+            let _ = controller.join();
+        }
         self.shared.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();

@@ -34,6 +34,16 @@
 //!   either way.
 //! * **Metrics** ([`metrics`]) — p50/p95/p99 latency, wall and device
 //!   throughput, queue depth, batch shape and cache hit rates.
+//! * **Runtime adaptation** ([`config::AdaptConfig`]) — an opt-in
+//!   controller thread windows the queue-wait and batch-size histograms
+//!   each tick and (1) sheds load when the windowed p95 queue wait
+//!   exceeds a budget, (2) re-plans pipeline boundaries and schedule
+//!   specialization when the observed batch-size mix shifts, and
+//!   (3) evicts cached schedules whose measured device time regrets the
+//!   optimizer's prediction. Requests can carry deadlines
+//!   ([`ServeEngine::submit_with_deadline`]): the batcher flushes early to
+//!   make them, and expired requests complete with
+//!   [`request::Rejected::DeadlineExceeded`] instead of stale results.
 //!
 //! # Quickstart
 //!
@@ -66,6 +76,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod adapt;
 mod batcher;
 pub mod cache;
 pub mod config;
@@ -75,12 +86,13 @@ pub mod metrics;
 pub mod request;
 
 pub use cache::{CacheStats, ScheduleCache, ScheduleKey};
-pub use config::{CostModelKind, PipelineMode, ServeConfig};
+pub use config::{AdaptConfig, CostModelKind, PipelineMode, ServeConfig};
 pub use engine::ServeEngine;
 pub use exec::{
     BatchContext, BatchExecutor, BatchOutcome, CpuReferenceExecutor, SimulatedDeviceExecutor,
 };
 pub use metrics::MetricsSnapshot;
 pub use request::{
-    InferenceResponse, RequestId, ResponseHandle, ResponseLease, ScheduleSource, ServeError,
+    InferenceResponse, Rejected, RequestId, ResponseHandle, ResponseLease, ScheduleSource,
+    ServeError,
 };

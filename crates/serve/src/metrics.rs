@@ -23,6 +23,9 @@ pub(crate) struct ServeMetrics {
     completed: AtomicU64,
     batches: AtomicU64,
     pipelined_batches: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    replans: AtomicU64,
     queue_depth: AtomicUsize,
     /// Completed-request total latencies (submission → response), ns.
     latency: Histogram,
@@ -32,6 +35,9 @@ pub(crate) struct ServeMetrics {
     batch_assembly: Histogram,
     /// Per-batch (simulated) device time, ns.
     device_time: Histogram,
+    /// Dispatched batch sizes — the adaptation controller's sensor for the
+    /// observed traffic mix (windowed mode() = dominant batch size).
+    batch_size: Histogram,
 }
 
 impl ServeMetrics {
@@ -41,11 +47,15 @@ impl ServeMetrics {
             completed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             pipelined_batches: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            replans: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             latency: Histogram::new(),
             queue_wait: Histogram::new(),
             batch_assembly: Histogram::new(),
             device_time: Histogram::new(),
+            batch_size: Histogram::new(),
         }
     }
 
@@ -66,6 +76,23 @@ impl ServeMetrics {
         self.completed
             .fetch_add(batch_size as u64, Ordering::Relaxed);
         self.device_time.record_us(device_time_us);
+        self.batch_size.record(batch_size as u64);
+    }
+
+    /// Records one request turned away by admission control.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request completed as expired (deadline passed before
+    /// dispatch).
+    pub fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one adaptation-triggered re-plan.
+    pub fn record_replan(&self) {
+        self.replans.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one completed request's total latency.
@@ -109,6 +136,12 @@ impl ServeMetrics {
         &self.device_time
     }
 
+    /// The dispatched-batch-size histogram (values are batch sizes, not
+    /// durations), for the adaptation controller.
+    pub fn batch_size_histogram(&self) -> &Histogram {
+        &self.batch_size
+    }
+
     /// Requests answered so far.
     pub fn completed(&self) -> u64 {
         self.completed.load(Ordering::Relaxed)
@@ -122,6 +155,21 @@ impl ServeMetrics {
     /// Batches that ran through the cross-block pipeline.
     pub fn pipelined_batches(&self) -> u64 {
         self.pipelined_batches.load(Ordering::Relaxed)
+    }
+
+    /// Requests turned away by admission control so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests completed as deadline-expired so far.
+    pub fn deadline_expired(&self) -> u64 {
+        self.deadline_expired.load(Ordering::Relaxed)
+    }
+
+    /// Adaptation-triggered re-plans so far.
+    pub fn replans(&self) -> u64 {
+        self.replans.load(Ordering::Relaxed)
     }
 
     /// The queue-depth gauge as last published.
@@ -144,6 +192,9 @@ impl ServeMetrics {
             completed,
             batches,
             pipelined_batches: self.pipelined_batches(),
+            shed: self.shed(),
+            deadline_expired: self.deadline_expired(),
+            replans: self.replans(),
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
@@ -182,6 +233,15 @@ pub struct MetricsSnapshot {
     /// Batches that executed through the cross-block pipeline (the rest
     /// ran flat batched execution).
     pub pipelined_batches: u64,
+    /// Requests turned away by admission control (bounded queue or shed
+    /// mode) — they never entered the queue.
+    pub shed: u64,
+    /// Requests completed as expired: their deadline passed before their
+    /// batch dispatched, so they never reached the device.
+    pub deadline_expired: u64,
+    /// Times the adaptation controller re-planned pipeline segment
+    /// boundaries in response to an observed traffic-mix shift.
+    pub replans: u64,
     /// Mean coalesced batch size (`completed / batches`).
     pub mean_batch_size: f64,
     /// Median request latency (submission → response), µs wall clock.
@@ -309,6 +369,27 @@ mod tests {
             "1000 × 0.6 ns must round to 1 ns each, got {} µs",
             snap.device_time_us
         );
+    }
+
+    #[test]
+    fn adaptation_counters_flow_into_the_snapshot() {
+        let metrics = ServeMetrics::new();
+        metrics.record_shed();
+        metrics.record_shed();
+        metrics.record_deadline_expired();
+        metrics.record_replan();
+        metrics.record_batch(4, 10.0, false);
+        metrics.record_batch(4, 10.0, false);
+        metrics.record_batch(1, 10.0, false);
+        let snap = metrics.snapshot(CacheStats::default());
+        assert_eq!(snap.shed, 2);
+        assert_eq!(snap.deadline_expired, 1);
+        assert_eq!(snap.replans, 1);
+        // The batch-size histogram sees the dispatched sizes; its mode is
+        // the dominant batch size the controller plans for.
+        let sizes = metrics.batch_size_histogram().snapshot();
+        assert_eq!(sizes.count, 3);
+        assert_eq!(sizes.mode(), Some(4));
     }
 
     #[test]

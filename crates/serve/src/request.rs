@@ -141,20 +141,60 @@ pub struct InferenceResponse {
     pub device_us: f64,
 }
 
+/// Why an accepted-or-offered request was completed *without* a result —
+/// the typed rejections of the runtime adaptation loop. A rejected request
+/// never reaches the device: it is either turned away at admission
+/// ([`Rejected::Shed`]) or completed as expired at batch assembly
+/// ([`Rejected::DeadlineExceeded`]) instead of being served a stale
+/// result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The request's deadline passed before its batch dispatched; the
+    /// engine completes it immediately rather than computing a result
+    /// nobody can use.
+    DeadlineExceeded,
+    /// Admission control turned the request away: the bounded admission
+    /// queue was full, or the engine was in shed mode (windowed p95 queue
+    /// wait over the configured budget) with a batch's worth of requests
+    /// already queued.
+    Shed,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::DeadlineExceeded => {
+                write!(f, "the request's deadline passed before dispatch")
+            }
+            Rejected::Shed => write!(f, "the request was shed by admission control"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// What the engine sends back for one request: a computed response, or a
+/// typed rejection.
+pub(crate) type Outcome = Result<InferenceResponse, Rejected>;
+
 /// A pending request as carried through the batching queue.
 #[derive(Debug)]
 pub(crate) struct Pending {
     pub id: RequestId,
     pub input: TensorData,
     pub enqueued_at: Instant,
-    pub respond_to: mpsc::Sender<InferenceResponse>,
+    /// When set, the instant after which serving this request is useless;
+    /// the batcher flushes early to make it, and assembly rejects it with
+    /// [`Rejected::DeadlineExceeded`] once passed.
+    pub deadline: Option<Instant>,
+    pub respond_to: mpsc::Sender<Outcome>,
 }
 
 /// Client-side handle resolving to an [`InferenceResponse`].
 #[derive(Debug)]
 pub struct ResponseHandle {
     pub(crate) id: RequestId,
-    pub(crate) receiver: mpsc::Receiver<InferenceResponse>,
+    pub(crate) receiver: mpsc::Receiver<Outcome>,
 }
 
 impl ResponseHandle {
@@ -169,19 +209,41 @@ impl ResponseHandle {
     /// # Panics
     ///
     /// Panics if the engine shut down without answering (a bug: the engine
-    /// drains its queue before stopping).
+    /// drains its queue before stopping), or if the request was rejected
+    /// (deadline expired) — use [`ResponseHandle::wait_outcome`] when
+    /// deadlines are in play.
     #[must_use]
     pub fn wait(self) -> InferenceResponse {
+        let id = self.id;
+        self.wait_outcome()
+            .unwrap_or_else(|rejected| panic!("{id} was rejected: {rejected}"))
+    }
+
+    /// Blocks until the engine answers, with typed rejections — the form
+    /// deadline-carrying clients should use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Rejected`] reason when the engine completed this
+    /// request without a result (its deadline passed before dispatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine shut down without answering (a bug: the engine
+    /// drains its queue before stopping).
+    pub fn wait_outcome(self) -> Result<InferenceResponse, Rejected> {
         self.receiver
             .recv()
             .expect("engine answered every accepted request")
     }
 
-    /// Returns the response if it already arrived, or the handle back.
+    /// Returns the outcome if it already arrived, or the handle back.
     ///
     /// # Errors
     ///
-    /// Returns `self` unchanged while the response is still pending.
+    /// Returns `self` unchanged while the outcome is still pending;
+    /// `Ok(Err(rejected))` when the engine answered with a typed
+    /// rejection.
     ///
     /// # Panics
     ///
@@ -189,9 +251,9 @@ impl ResponseHandle {
     /// request without answering — e.g. its batch panicked inside a custom
     /// execution backend. Treating that as "still pending" would make a
     /// polling loop spin forever.
-    pub fn try_wait(self) -> Result<InferenceResponse, ResponseHandle> {
+    pub fn try_wait(self) -> Result<Outcome, ResponseHandle> {
         match self.receiver.try_recv() {
-            Ok(response) => Ok(response),
+            Ok(outcome) => Ok(outcome),
             Err(mpsc::TryRecvError::Empty) => Err(self),
             Err(mpsc::TryRecvError::Disconnected) => {
                 panic!(
@@ -216,6 +278,9 @@ pub enum ServeError {
         /// The shape that was submitted.
         submitted: ios_ir::TensorShape,
     },
+    /// Admission control rejected the request synchronously (load
+    /// shedding / bounded queue) — the request never entered the queue.
+    Rejected(Rejected),
 }
 
 impl std::fmt::Display for ServeError {
@@ -230,6 +295,7 @@ impl std::fmt::Display for ServeError {
                 "submitted input shape {submitted:?} does not match the network's per-sample \
                  input shape {expected:?}"
             ),
+            ServeError::Rejected(rejected) => write!(f, "{rejected}"),
         }
     }
 }

@@ -1,0 +1,494 @@
+//! The runtime adaptation suite: deadline-aware batching, the
+//! telemetry-driven controller's re-planning and regret eviction, and the
+//! chaos case of a panic inside an adaptation-triggered re-plan.
+//!
+//! * deadlines: an already-expired request completes with a typed
+//!   rejection **without any device dispatch**; a deadline-carrying
+//!   request flushes early instead of waiting out `max_wait`; a mixed
+//!   batch serves the live requests and rejects only the expired ones;
+//! * re-planning: when the observed batch-size mix shifts, the controller
+//!   re-plans (counter observed) and responses stay **bit-identical** to
+//!   solo references across the adaptation-triggered pipeline swap —
+//!   extending the PR 5 mid-flight-swap proof to swaps the engine decides
+//!   on its own;
+//! * regret: a backend whose measured device time drifts 10× away from
+//!   the optimizer's prediction gets its cached schedule evicted (after a
+//!   first calibration window bridges the units);
+//! * chaos: a panic injected into the re-plan's `prepare_pipeline` leaves
+//!   the old plan serving, the engine bit-identical, and the pool/cache
+//!   counters flat.
+
+use ios_backend::{execute_network, NetworkWeights, TensorData};
+use ios_core::PipelinePlan;
+use ios_ir::Network;
+use ios_serve::{
+    BatchContext, BatchExecutor, BatchOutcome, CpuReferenceExecutor, PipelineMode, Rejected,
+    ServeConfig, ServeEngine,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+mod common {
+    use ios_ir::{Block, Conv2dParams, GraphBuilder, Network, TensorShape};
+
+    /// The three-block chain from the concurrency suite: pipelinable, with
+    /// distinct per-batch schedules, small enough to stress in CI.
+    pub fn three_block_network() -> Network {
+        let input = TensorShape::new(1, 4, 6, 6);
+        let mut b = GraphBuilder::new("adapt_b0", input);
+        let x = b.input(0);
+        let a = b.conv2d("a", x, Conv2dParams::relu(6, (3, 3), (1, 1), (1, 1)));
+        let c = b.conv2d("c", x, Conv2dParams::relu(6, (1, 1), (1, 1), (0, 0)));
+        let cat = b.concat("cat", &[a, c]);
+        let block0 = Block::new(b.build(vec![cat]));
+        let mut b = GraphBuilder::with_inputs("adapt_b1", block0.graph.output_shapes());
+        let x = b.input(0);
+        let d = b.conv2d("d", x, Conv2dParams::relu(8, (3, 3), (1, 1), (1, 1)));
+        let block1 = Block::new(b.build(vec![d]));
+        let mut b = GraphBuilder::with_inputs("adapt_b2", block1.graph.output_shapes());
+        let x = b.input(0);
+        let e = b.conv2d("e", x, Conv2dParams::relu(4, (1, 1), (1, 1), (0, 0)));
+        let block2 = Block::new(b.build(vec![e]));
+        Network::new("adapt_net", input, vec![block0, block1, block2])
+    }
+}
+
+fn reference_outputs(net: &Network, seed: u64) -> Vec<TensorData> {
+    let input = TensorData::random(net.input_shape, seed);
+    execute_network(net, std::slice::from_ref(&input))
+}
+
+// ---------------------------------------------------------------- deadlines
+
+#[test]
+fn an_already_expired_request_is_rejected_without_device_dispatch() {
+    let net = common::three_block_network();
+    let config = ServeConfig::default()
+        .with_max_batch(4)
+        .with_workers(1)
+        .with_max_wait(Duration::from_millis(5));
+    let engine = ServeEngine::start(net.clone(), config);
+    // A zero budget expires at enqueue: the batcher flushes immediately
+    // and assembly must reject it before any schedule resolution or
+    // device work.
+    let handle = engine
+        .submit_with_deadline(TensorData::zeros(net.input_shape), Duration::ZERO)
+        .unwrap();
+    assert_eq!(
+        handle.wait_outcome().err(),
+        Some(Rejected::DeadlineExceeded)
+    );
+    let metrics = engine.metrics();
+    assert_eq!(metrics.deadline_expired, 1);
+    assert_eq!(metrics.batches, 0, "the expired request never dispatched");
+    assert_eq!(metrics.completed, 0);
+    assert_eq!(
+        metrics.cache.hits + metrics.cache.misses,
+        0,
+        "no schedule was even resolved"
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn a_deadline_flushes_the_batch_early_instead_of_waiting_out_max_wait() {
+    let net = common::three_block_network();
+    // max_wait is a full minute; only the deadline can explain a prompt
+    // answer.
+    let config = ServeConfig::default()
+        .with_max_batch(8)
+        .with_workers(1)
+        .with_max_wait(Duration::from_secs(60));
+    let engine = ServeEngine::start(net.clone(), config);
+    let start = Instant::now();
+    let response = engine
+        .submit_with_deadline(
+            TensorData::random(net.input_shape, 3),
+            Duration::from_millis(200),
+        )
+        .unwrap()
+        .wait_outcome()
+        .expect("flushed before its deadline");
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "deadline-aware flush must beat the 60 s max_wait (took {:?})",
+        start.elapsed()
+    );
+    assert_eq!(response.batch_size, 1);
+    for (lease, reference) in response.outputs.iter().zip(&reference_outputs(&net, 3)) {
+        assert_eq!(
+            lease, reference,
+            "an early flush still serves exact numerics"
+        );
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn a_mixed_batch_serves_live_requests_and_rejects_only_the_expired() {
+    let net = common::three_block_network();
+    let config = ServeConfig::default()
+        .with_max_batch(2)
+        .with_workers(1)
+        .with_max_wait(Duration::from_millis(50));
+    let engine = ServeEngine::start(net.clone(), config);
+    // Two requests fill max_batch and dispatch together: one already
+    // expired, one with plenty of slack.
+    let doomed = engine
+        .submit_with_deadline(TensorData::random(net.input_shape, 1), Duration::ZERO)
+        .unwrap();
+    let live = engine
+        .submit_with_deadline(
+            TensorData::random(net.input_shape, 2),
+            Duration::from_secs(60),
+        )
+        .unwrap();
+    assert_eq!(
+        doomed.wait_outcome().err(),
+        Some(Rejected::DeadlineExceeded)
+    );
+    let response = live.wait_outcome().expect("the live request is served");
+    assert_eq!(
+        response.batch_size, 1,
+        "the expired member was partitioned out before stacking"
+    );
+    for (lease, reference) in response.outputs.iter().zip(&reference_outputs(&net, 2)) {
+        assert_eq!(lease, reference);
+    }
+    let metrics = engine.metrics();
+    assert_eq!(metrics.deadline_expired, 1);
+    assert_eq!(metrics.completed, 1);
+    engine.shutdown();
+}
+
+#[test]
+fn default_deadline_applies_to_plain_submits() {
+    let net = common::three_block_network();
+    let config = ServeConfig::default()
+        .with_max_batch(4)
+        .with_workers(1)
+        .with_max_wait(Duration::from_secs(60))
+        .with_default_deadline(Duration::ZERO);
+    let engine = ServeEngine::start(net.clone(), config);
+    let handle = engine.submit(TensorData::zeros(net.input_shape)).unwrap();
+    assert_eq!(
+        handle.wait_outcome().err(),
+        Some(Rejected::DeadlineExceeded)
+    );
+    assert_eq!(engine.metrics().deadline_expired, 1);
+    engine.shutdown();
+}
+
+// ------------------------------------------------------- mix-shift replan
+
+#[test]
+fn a_traffic_mix_shift_triggers_a_replan_and_responses_stay_bit_identical() {
+    let net = common::three_block_network();
+    let config = ServeConfig::default()
+        .with_max_batch(4)
+        .with_workers(1)
+        .with_max_wait(Duration::from_millis(1))
+        .with_prewarm_batches(vec![1, 4])
+        .with_background_reoptimize(false)
+        .with_pipeline(PipelineMode::Forced(2))
+        .with_adaptation(true)
+        .with_adapt_tick(Duration::from_millis(5));
+    let mut adapt_config = config;
+    adapt_config.adapt.min_window_batches = 4;
+    let engine = ServeEngine::start(net.clone(), adapt_config);
+    assert!(engine.pipeline_plan().is_some(), "forced mode must plan");
+    let references: Vec<Vec<TensorData>> = (0..4).map(|s| reference_outputs(&net, s)).collect();
+
+    let check = |handles: Vec<ios_serve::ResponseHandle>, seeds: &[u64]| {
+        for (handle, &seed) in handles.into_iter().zip(seeds) {
+            let response = handle.wait_outcome().expect("no deadline configured");
+            for (lease, reference) in response.outputs.iter().zip(&references[seed as usize]) {
+                assert_eq!(
+                    lease, reference,
+                    "response diverged from solo execution across an \
+                     adaptation-triggered swap (batch {})",
+                    response.batch_size
+                );
+            }
+        }
+    };
+
+    // Phase 1: singles until the controller plans for batch 1.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while engine.metrics().replans < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "controller never re-planned for the single-request mix \
+             (replans {}, batches {})",
+            engine.metrics().replans,
+            engine.metrics().batches
+        );
+        let seed = 1u64;
+        let handle = engine
+            .submit(TensorData::random(net.input_shape, seed))
+            .unwrap();
+        check(vec![handle], &[seed]);
+    }
+
+    // Phase 2: bursts of max_batch shift the dominant size to 4; the
+    // controller must re-plan again, and the swap must stay invisible in
+    // the numerics.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while engine.metrics().replans < 2 {
+        assert!(
+            Instant::now() < deadline,
+            "controller never re-planned after the mix shifted to bursts \
+             (replans {})",
+            engine.metrics().replans
+        );
+        let seeds = [0u64, 1, 2, 3];
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&s| {
+                engine
+                    .submit(TensorData::random(net.input_shape, s))
+                    .unwrap()
+            })
+            .collect();
+        check(handles, &seeds);
+    }
+
+    let metrics = engine.metrics();
+    assert!(
+        metrics.replans >= 2,
+        "one replan per observed dominant size"
+    );
+    assert!(
+        engine.pipeline_plan().is_some(),
+        "forced mode keeps a plan installed across replans"
+    );
+    // The exporter carries the counter.
+    let text = engine.prometheus_text();
+    assert!(text.contains("ios_adaptation_replans_total"));
+    engine.shutdown();
+}
+
+// --------------------------------------------------------- regret eviction
+
+/// Reports whatever device time the dial says — the knob that lets a test
+/// make measured reality drift away from the optimizer's prediction.
+struct DialableDeviceTime {
+    device_us: AtomicU64,
+}
+
+impl BatchExecutor for DialableDeviceTime {
+    fn name(&self) -> &'static str {
+        "dialable-device-time"
+    }
+    fn execute(&self, _ctx: &BatchContext<'_>) -> BatchOutcome {
+        BatchOutcome {
+            outputs: None,
+            device_time_us: self.device_us.load(Ordering::Relaxed) as f64,
+        }
+    }
+}
+
+#[test]
+fn schedules_whose_predictions_regret_measured_reality_are_evicted() {
+    let net = common::three_block_network();
+    let mut config = ServeConfig::default()
+        .with_max_batch(1)
+        .with_workers(1)
+        .with_max_wait(Duration::from_millis(1))
+        .with_prewarm_batches(vec![1])
+        .with_background_reoptimize(false)
+        .with_adaptation(true)
+        .with_adapt_tick(Duration::from_millis(5))
+        .with_regret_threshold(2.0);
+    config.adapt.min_window_batches = 4;
+    let dial = Arc::new(DialableDeviceTime {
+        device_us: AtomicU64::new(100),
+    });
+    struct Handle(Arc<DialableDeviceTime>);
+    impl BatchExecutor for Handle {
+        fn name(&self) -> &'static str {
+            self.0.name()
+        }
+        fn execute(&self, ctx: &BatchContext<'_>) -> BatchOutcome {
+            self.0.execute(ctx)
+        }
+    }
+    let engine =
+        ServeEngine::start_with_executor(net.clone(), config, Box::new(Handle(Arc::clone(&dial))));
+
+    // Calibration phase: a steady 100 µs per batch teaches the controller
+    // the observed/predicted units bridge. Keep submitting until at least
+    // one full window has drained (no eviction must happen here).
+    let calibration_until = Instant::now() + Duration::from_millis(100);
+    while Instant::now() < calibration_until {
+        let _ = engine
+            .submit(TensorData::zeros(net.input_shape))
+            .unwrap()
+            .wait_outcome()
+            .unwrap();
+    }
+    assert_eq!(
+        engine.metrics().cache.evictions,
+        0,
+        "a schedule matching its calibrated prediction must not be evicted"
+    );
+
+    // Drift phase: measured device time jumps 10× past the calibrated
+    // prediction — well over the 2× regret threshold — and the cached
+    // batch-1 schedule must fall out.
+    dial.device_us.store(1000, Ordering::Relaxed);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while engine.metrics().cache.evictions == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "regretted schedule was never evicted"
+        );
+        let _ = engine
+            .submit(TensorData::zeros(net.input_shape))
+            .unwrap()
+            .wait_outcome()
+            .unwrap();
+    }
+    let text = engine.prometheus_text();
+    assert!(text.contains("ios_schedule_cache_evictions_total"));
+    // The engine keeps serving after the eviction (the next miss simply
+    // re-optimizes).
+    let response = engine
+        .submit(TensorData::zeros(net.input_shape))
+        .unwrap()
+        .wait_outcome()
+        .unwrap();
+    assert_eq!(response.batch_size, 1);
+    engine.shutdown();
+}
+
+// ------------------------------------------------------------------ chaos
+
+/// Delegates everything to the CPU reference backend, but panics inside
+/// `prepare_pipeline` on every call after the first — the startup offer
+/// succeeds, every adaptation-triggered re-plan blows up mid-swap.
+struct PanicOnReplan {
+    inner: CpuReferenceExecutor,
+    prepares: AtomicU64,
+}
+
+impl BatchExecutor for PanicOnReplan {
+    fn name(&self) -> &'static str {
+        "panic-on-replan"
+    }
+    fn execute(&self, ctx: &BatchContext<'_>) -> BatchOutcome {
+        self.inner.execute(ctx)
+    }
+    fn can_pipeline(&self) -> bool {
+        true
+    }
+    fn prepare_pipeline(
+        &self,
+        network: Arc<Network>,
+        weights: Arc<NetworkWeights>,
+        plan: &PipelinePlan,
+    ) -> bool {
+        if self.prepares.fetch_add(1, Ordering::SeqCst) == 0 {
+            self.inner.prepare_pipeline(network, weights, plan)
+        } else {
+            panic!("injected fault inside the adaptation-triggered re-plan");
+        }
+    }
+    fn recycle_outputs(&self, outputs: Vec<TensorData>) {
+        self.inner.recycle_outputs(outputs);
+    }
+    fn pool_stats(&self) -> Option<(u64, u64)> {
+        Some(self.inner.pool_stats())
+    }
+}
+
+#[test]
+fn a_panicking_replan_leaves_the_old_plan_serving_and_counters_flat() {
+    let net = common::three_block_network();
+    let mut config = ServeConfig::default()
+        .with_max_batch(4)
+        .with_workers(1)
+        .with_max_wait(Duration::from_millis(1))
+        .with_prewarm_batches(vec![1, 4])
+        .with_background_reoptimize(false)
+        .with_pipeline(PipelineMode::Forced(2))
+        .with_adaptation(true)
+        .with_adapt_tick(Duration::from_millis(5))
+        // This test isolates the re-plan channel: a sky-high regret
+        // threshold keeps CPU timing noise from triggering evictions.
+        .with_regret_threshold(1e9);
+    config.adapt.min_window_batches = 4;
+    let engine = ServeEngine::start_with_executor(
+        net.clone(),
+        config,
+        Box::new(PanicOnReplan {
+            inner: CpuReferenceExecutor::new(),
+            prepares: AtomicU64::new(0),
+        }),
+    );
+    let startup_plan = engine.pipeline_plan().expect("startup offer succeeded");
+    let references: Vec<Vec<TensorData>> = (0..4).map(|s| reference_outputs(&net, s)).collect();
+
+    // Drive singles until the controller attempts (and fails) a re-plan.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while engine.metrics().replans < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "controller never attempted a re-plan"
+        );
+        let response = engine
+            .submit(TensorData::random(net.input_shape, 1))
+            .unwrap()
+            .wait_outcome()
+            .expect("serving survives the panicking re-plan");
+        for (lease, reference) in response.outputs.iter().zip(&references[1]) {
+            assert_eq!(lease, reference);
+        }
+    }
+
+    // The panic was caught: the old plan still serves, bit-identically.
+    let surviving_plan = engine.pipeline_plan().expect("old plan must survive");
+    assert!(
+        Arc::ptr_eq(&startup_plan, &surviving_plan),
+        "the panicking swap must not have replaced the plan"
+    );
+    let before = engine.metrics();
+    let (io_fresh_before, _) = engine.io_pool_stats();
+    let (exec_fresh_before, _) = engine.executor_pool_stats().expect("cpu pools");
+    for seed in 0..4u64 {
+        let response = engine
+            .submit(TensorData::random(net.input_shape, seed))
+            .unwrap()
+            .wait_outcome()
+            .expect("still serving");
+        assert!(
+            response.pipelined,
+            "forced mode still routes the old pipeline"
+        );
+        for (lease, reference) in response.outputs.iter().zip(&references[seed as usize]) {
+            assert_eq!(lease, reference);
+        }
+    }
+    let after = engine.metrics();
+    let (io_fresh_after, _) = engine.io_pool_stats();
+    let (exec_fresh_after, _) = engine.executor_pool_stats().expect("cpu pools");
+    assert_eq!(
+        io_fresh_after, io_fresh_before,
+        "serving-boundary pool stays steady across caught re-plan panics"
+    );
+    assert_eq!(
+        exec_fresh_after, exec_fresh_before,
+        "executor pool stays steady across caught re-plan panics"
+    );
+    assert_eq!(
+        after.cache.background_inserts, before.cache.background_inserts,
+        "no background insert sneaks in (the dominant size was prewarmed)"
+    );
+    assert_eq!(after.cache.evictions, 0, "nothing was evicted");
+    assert_eq!(
+        after.cache.entries, before.cache.entries,
+        "cache stays flat"
+    );
+    engine.shutdown();
+}

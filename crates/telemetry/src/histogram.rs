@@ -273,21 +273,137 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// A snapshot with nothing recorded — what [`window_delta`] of two
+    /// identical snapshots produces, and the natural "no window yet" seed
+    /// for controllers keeping a previous snapshot between ticks.
+    ///
+    /// [`window_delta`]: HistogramSnapshot::window_delta
+    #[must_use]
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Whether the snapshot holds no recorded values. Empty snapshots
+    /// answer `None` to every percentile query — a controller watching a
+    /// window can never act on a vacuous p95.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The values recorded between `earlier` and `self`, as a snapshot —
+    /// the *windowed* view an adaptation controller acts on: take a
+    /// snapshot each tick and delta it against the previous tick's.
+    ///
+    /// Count and sum are the exact differences of the two snapshots'
+    /// fields, and each bucket's count is the exact difference for that
+    /// bucket (bucket counters are monotone, so the per-field subtraction
+    /// is exact even when the two snapshots raced live writers). The
+    /// all-time `min`/`max` cannot be windowed, so the delta's extrema are
+    /// the bucket *bounds* of its first and last non-empty bucket — within
+    /// one bucket width of the true window extrema, preserving the
+    /// [`Histogram::MAX_RELATIVE_ERROR`] percentile bound.
+    ///
+    /// An empty window (`earlier == self`) yields a snapshot whose
+    /// percentile queries return `None`, never a fake zero.
+    #[must_use]
+    pub fn window_delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        let mut prev = earlier.buckets.iter().peekable();
+        for &(index, n) in &self.buckets {
+            let mut before = 0u64;
+            while let Some(&&(pi, pn)) = prev.peek() {
+                if pi < index {
+                    prev.next();
+                } else {
+                    if pi == index {
+                        before = pn;
+                        prev.next();
+                    }
+                    break;
+                }
+            }
+            let delta = n.saturating_sub(before);
+            if delta > 0 {
+                buckets.push((index, delta));
+            }
+        }
+        let min = buckets
+            .first()
+            .map_or(u64::MAX, |&(i, _)| bucket_bounds(i as usize).0);
+        let max = buckets.last().map_or(0, |&(i, _)| {
+            let (lower, width) = bucket_bounds(i as usize);
+            lower + (width - 1)
+        });
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min,
+            max,
+            buckets,
+        }
+    }
+
     /// Nearest-rank percentile (`p` in `0..=100`), or `None` when empty.
     #[must_use]
     pub fn percentile(&self, p: f64) -> Option<u64> {
-        if self.count == 0 {
+        self.percentiles(&[p]).map(|v| v[0])
+    }
+
+    /// Several nearest-rank percentiles in one pass over the buckets.
+    /// `ps` must be ascending (debug-asserted); `None` when the snapshot
+    /// is empty — callers must handle the no-data case explicitly instead
+    /// of mistaking an empty window for "p95 = 0".
+    #[must_use]
+    pub fn percentiles(&self, ps: &[f64]) -> Option<Vec<u64>> {
+        debug_assert!(
+            ps.windows(2).all(|w| w[0] <= w[1]),
+            "percentile queries must be ascending"
+        );
+        if self.count == 0 || ps.is_empty() {
             return None;
         }
-        let rank = (((p / 100.0) * self.count as f64).ceil().max(1.0) as u64).min(self.count);
+        let mut out = Vec::with_capacity(ps.len());
         let mut seen = 0u64;
-        for &(index, n) in &self.buckets {
-            seen += n;
-            if seen >= rank {
-                return Some(bucket_mid(index as usize).clamp(self.min, self.max));
+        let mut next = self.buckets.iter();
+        let mut current: Option<u32> = None;
+        for &p in ps {
+            let rank = (((p / 100.0) * self.count as f64).ceil().max(1.0) as u64).min(self.count);
+            while seen < rank {
+                match next.next() {
+                    Some(&(index, n)) => {
+                        seen += n;
+                        current = Some(index);
+                    }
+                    // A racing writer bumped `count` after the buckets
+                    // were read; the heaviest recorded bucket stands in.
+                    None => break,
+                }
             }
+            out.push(match current {
+                Some(index) => bucket_mid(index as usize).clamp(self.min, self.max),
+                None => self.max,
+            });
         }
-        Some(self.max)
+        Some(out)
+    }
+
+    /// The representative value of the heaviest bucket (ties prefer the
+    /// smaller value), or `None` when empty. For small-integer
+    /// distributions — batch sizes, queue depths — buckets below 32 are
+    /// exact, so this is the exact mode.
+    #[must_use]
+    pub fn mode(&self) -> Option<u64> {
+        self.buckets
+            .iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|&(index, _)| bucket_mid(index as usize).clamp(self.min, self.max))
     }
 
     /// Mean of recorded values, or 0 when empty.
@@ -445,6 +561,75 @@ mod tests {
         h.record(7);
         assert_eq!(h.min(), Some(7));
         assert_eq!(h.max(), Some(7));
+    }
+
+    #[test]
+    fn window_delta_is_exactly_the_values_recorded_in_between() {
+        let h = Histogram::new();
+        for v in [5u64, 80, 80, 1_000] {
+            h.record(v);
+        }
+        let a = h.snapshot();
+        let window = [7u64, 80, 2_000_000, 13];
+        for &v in &window {
+            h.record(v);
+        }
+        let b = h.snapshot();
+        let delta = b.window_delta(&a);
+        assert_eq!(delta.count, window.len() as u64);
+        assert_eq!(delta.sum, window.iter().sum::<u64>());
+        // The delta's buckets are the window's values, bucket for bucket.
+        let oracle = Histogram::new();
+        for &v in &window {
+            oracle.record(v);
+        }
+        assert_eq!(delta.buckets, oracle.snapshot().buckets);
+        // Extrema are within one bucket of the true window extrema.
+        assert!(delta.min <= 7 && delta.max >= 2_000_000);
+        let p50 = delta.percentile(50.0).unwrap() as f64;
+        assert!((p50 - 13.0).abs() <= 13.0 * Histogram::MAX_RELATIVE_ERROR);
+    }
+
+    #[test]
+    fn empty_window_never_reports_percentiles() {
+        let h = Histogram::new();
+        h.record(42);
+        let a = h.snapshot();
+        let delta = a.window_delta(&a);
+        assert!(delta.is_empty());
+        assert_eq!(delta.percentile(95.0), None, "a vacuous p95 must be None");
+        assert_eq!(delta.percentiles(&[50.0, 95.0]), None);
+        assert_eq!(delta.mode(), None);
+        assert_eq!(delta, HistogramSnapshot::empty().window_delta(&a));
+        assert_eq!(HistogramSnapshot::empty().percentile(50.0), None);
+    }
+
+    #[test]
+    fn snapshot_percentiles_match_the_live_histogram() {
+        let h = Histogram::new();
+        for i in 1..=5_000u64 {
+            h.record(i * 91 % 70_001);
+        }
+        let snap = h.snapshot();
+        for p in [1.0, 50.0, 95.0, 99.0] {
+            assert_eq!(snap.percentile(p), h.percentile(p), "p{p}");
+        }
+        let many = snap.percentiles(&[1.0, 50.0, 95.0, 99.0]).unwrap();
+        assert_eq!(many[2], snap.percentile(95.0).unwrap());
+    }
+
+    #[test]
+    fn mode_picks_the_heaviest_bucket_preferring_smaller_ties() {
+        let h = Histogram::new();
+        for v in [4u64, 4, 4, 9, 9, 1] {
+            h.record(v);
+        }
+        assert_eq!(h.snapshot().mode(), Some(4));
+        let tie = Histogram::new();
+        for v in [2u64, 2, 8, 8] {
+            tie.record(v);
+        }
+        assert_eq!(tie.snapshot().mode(), Some(2), "ties prefer the smaller");
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!   with many threads recording at once: within a thread both the global
 //!   sequence number and the timestamp are monotone.
 
-use ios_telemetry::{Histogram, TraceKind, Tracer};
+use ios_telemetry::{Histogram, HistogramSnapshot, TraceKind, Tracer};
+use proptest::prelude::*;
 
 #[test]
 fn racing_recorders_keep_count_and_sum_exact() {
@@ -75,6 +76,112 @@ fn merges_race_cleanly_against_live_recording() {
     assert_eq!(target.sum(), direct + merged);
     assert_eq!(target.min(), Some(0));
     assert_eq!(target.max(), Some((mergers - 1) * 7 + per_thread - 1));
+}
+
+#[test]
+fn window_deltas_stay_exact_and_conserved_under_racing_writers() {
+    // The adaptation controller's sensor: snapshot each tick, delta
+    // against the previous tick. Under racing writers every delta must be
+    // non-negative bucket-by-bucket (counters are monotone), its count and
+    // sum must equal the exact difference of the two snapshots, and the
+    // deltas must *conserve*: chained over the whole run they add back up
+    // to the final totals — no recorded value is double-counted or lost.
+    let h = Histogram::new();
+    let writers = 4u64;
+    let per_thread = 40_000u64;
+    let snapshots = std::thread::scope(|scope| {
+        for t in 0..writers {
+            let h = &h;
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    h.record(t * 999_983 + i * 17);
+                }
+            });
+        }
+        // The reader ticks while the writers race.
+        let mut snaps = vec![HistogramSnapshot::empty()];
+        for _ in 0..50 {
+            snaps.push(h.snapshot());
+            std::thread::yield_now();
+        }
+        snaps
+    });
+    // One more snapshot after the scope joined every writer: quiescent.
+    let last = h.snapshot();
+    assert_eq!(last.count, writers * per_thread);
+
+    let mut chained_count = 0u64;
+    let mut chained_sum = 0u64;
+    let mut chained_buckets: std::collections::BTreeMap<u32, u64> =
+        std::collections::BTreeMap::new();
+    let all: Vec<&HistogramSnapshot> = snapshots.iter().chain(std::iter::once(&last)).collect();
+    for pair in all.windows(2) {
+        let delta = pair[1].window_delta(pair[0]);
+        assert_eq!(delta.count, pair[1].count - pair[0].count);
+        assert_eq!(delta.sum, pair[1].sum - pair[0].sum);
+        if delta.is_empty() {
+            assert_eq!(delta.percentile(95.0), None);
+        }
+        for &(index, n) in &delta.buckets {
+            assert!(n > 0, "deltas keep only non-empty buckets");
+            *chained_buckets.entry(index).or_default() += n;
+        }
+        chained_count += delta.count;
+        chained_sum += delta.sum;
+    }
+    assert_eq!(chained_count, last.count, "windows conserve the count");
+    assert_eq!(chained_sum, last.sum, "windows conserve the sum");
+    let rebuilt: Vec<(u32, u64)> = chained_buckets.into_iter().collect();
+    assert_eq!(
+        rebuilt, last.buckets,
+        "chained window deltas rebuild the final bucket contents exactly"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Single-writer exactness: whatever was recorded between two
+    /// snapshots, `window_delta` is bucket-for-bucket the histogram of
+    /// exactly those values.
+    #[test]
+    fn window_delta_equals_the_window_contents(
+        before in proptest::collection::vec(0u64..2_000_000, 0..200),
+        window in proptest::collection::vec(0u64..2_000_000, 0..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &before {
+            h.record(v);
+        }
+        let a = h.snapshot();
+        for &v in &window {
+            h.record(v);
+        }
+        let delta = h.snapshot().window_delta(&a);
+        let oracle = Histogram::new();
+        for &v in &window {
+            oracle.record(v);
+        }
+        let expected = oracle.snapshot();
+        prop_assert_eq!(delta.count, expected.count);
+        prop_assert_eq!(delta.sum, expected.sum);
+        prop_assert_eq!(&delta.buckets, &expected.buckets);
+        if window.is_empty() {
+            prop_assert_eq!(delta.percentile(95.0), None);
+        } else {
+            // The windowed p95 is within the histogram's error bound of
+            // the exact nearest-rank p95 of the window's values.
+            let mut sorted = window.clone();
+            sorted.sort_unstable();
+            let rank = ((0.95 * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+            let exact = sorted[rank - 1] as f64;
+            let approx = delta.percentile(95.0).unwrap() as f64;
+            prop_assert!(
+                (approx - exact).abs() <= exact.max(1.0) * Histogram::MAX_RELATIVE_ERROR,
+                "windowed p95 {} vs exact {}", approx, exact
+            );
+        }
+    }
 }
 
 #[test]

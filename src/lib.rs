@@ -62,7 +62,8 @@ pub mod prelude {
         SegmentPlan, TensorShape,
     };
     pub use ios_serve::{
-        InferenceResponse, MetricsSnapshot, PipelineMode, ScheduleSource, ServeConfig, ServeEngine,
+        AdaptConfig, InferenceResponse, MetricsSnapshot, PipelineMode, Rejected, ScheduleSource,
+        ServeConfig, ServeEngine,
     };
     pub use ios_sim::{DeviceKind, KernelLibrary, Simulator};
 }
