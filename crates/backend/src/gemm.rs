@@ -49,6 +49,15 @@
 //! the pass-after reference (`max(0, ·)` per element commutes with the
 //! store order).
 //!
+//! **Runtime SIMD dispatch.** Both f32 kernels carry explicit AVX2
+//! variants of their full register tiles (and of the fused epilogue
+//! store), selected per call through the shared [`crate::simd`] dispatch
+//! module; SSE2-and-below hosts keep the auto-vectorized form. The AVX2
+//! tiles use only `vmulps` + `vaddps` — never FMA — and accumulate each
+//! output element over the identical strictly ascending `k` sequence, so
+//! the selected ISA is invisible in the output bits: every path stays
+//! bit-identical to the naive oracle.
+//!
 //! **Int8 quantized path.** [`QuantizedFilter`] holds per-output-channel
 //! symmetric-scale int8 weights in a pair-interleaved panel layout (4× the
 //! lanes of f32 in the same tile footprint); inputs are quantized
@@ -61,6 +70,7 @@
 //! int8 oracle ([`crate::ops_cpu::conv2d_naive_quant`]).
 
 use crate::arena::Arena;
+use crate::simd::{self, Isa};
 use crate::tensor_data::TensorData;
 use ios_ir::{Conv2dParams, TensorShape};
 
@@ -417,6 +427,7 @@ fn conv2d_gemm(
     let m_cols = oh * ow;
     let in_plane = in_shape.height * in_shape.width;
     let relu = params.activation == ios_ir::Activation::Relu || ep.relu;
+    let isa = simd::active_isa();
 
     // A pointwise convolution's patch matrix is the input itself — unless
     // a fused input-ReLU must transform the values, which forces the
@@ -516,6 +527,7 @@ fn conv2d_gemm(
                             j0,
                             nr,
                             &gep,
+                            isa,
                             c,
                         );
                         j0 += PACK_NR;
@@ -713,6 +725,7 @@ pub fn gemm_bit_exact(
     ep: &Epilogue<'_>,
     c: &mut [f32],
 ) {
+    let isa = simd::active_isa();
     let mut i0 = 0;
     while i0 < m_rows {
         let mr = MR.min(m_rows - i0);
@@ -720,7 +733,7 @@ pub fn gemm_bit_exact(
         while j0 < m {
             let nr = NR.min(m - j0);
             if mr == MR && nr == NR {
-                tile_full(i0, j0, m, k_len, a, b, ep, c);
+                tile_full(i0, j0, m, k_len, a, b, ep, c, isa);
             } else {
                 tile_edge(i0, j0, mr, nr, m, k_len, a, b, ep, c);
             }
@@ -730,8 +743,10 @@ pub fn gemm_bit_exact(
     }
 }
 
-/// Full `MR × NR` register tile; the fixed trip counts let the compiler
-/// keep the accumulators in vector registers.
+/// Full `MR × NR` register tile: the explicit AVX2 kernel when the
+/// dispatch selected it, else the auto-vectorized form whose fixed trip
+/// counts let the compiler keep the accumulators in vector registers.
+/// Both run the identical per-element mul+add sequence.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn tile_full(
@@ -743,7 +758,17 @@ fn tile_full(
     b: &[f32],
     ep: &Epilogue<'_>,
     c: &mut [f32],
+    isa: Isa,
 ) {
+    #[cfg(target_arch = "x86_64")]
+    if isa == Isa::Avx2 {
+        // SAFETY: the dispatch module only selects Avx2 after runtime
+        // feature detection (or a forced override validated against it).
+        unsafe { tile_full_avx2(i0, j0, m, k_len, a, b, ep, c) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = isa;
     let mut acc = [[0.0f32; NR]; MR];
     let mut a_rows = [&a[0..0]; MR];
     for (i, row) in a_rows.iter_mut().enumerate() {
@@ -762,6 +787,106 @@ fn tile_full(
     }
     for (i, lane) in acc.iter().enumerate() {
         store_lane(ep, i0 + i, j0, m, lane, c);
+    }
+}
+
+/// Explicit AVX2 form of the full `MR × NR` tile: the 4 × 16 f32
+/// accumulators live in 8 ymm registers (two per row), each k step loads
+/// the `NR`-row of `B` as two vectors and broadcasts one `A` value per
+/// row. Only `vmulps` + `vaddps` are issued — no FMA — so lane `j` of row
+/// `i` receives exactly the scalar sequence `acc += a[i][k] · b[k][j]`
+/// over strictly ascending `k`: bit-identical to the auto-vectorized
+/// tile.
+///
+/// # Safety
+///
+/// AVX2 must be available (guaranteed by the dispatch module). Slice
+/// bounds are the same as [`tile_full`]'s and are debug-asserted.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+unsafe fn tile_full_avx2(
+    i0: usize,
+    j0: usize,
+    m: usize,
+    k_len: usize,
+    a: &[f32],
+    b: &[f32],
+    ep: &Epilogue<'_>,
+    c: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(a.len() >= (i0 + MR) * k_len);
+    debug_assert!(k_len == 0 || b.len() >= (k_len - 1) * m + j0 + NR);
+    // SAFETY: all pointer arithmetic stays inside the slices per the
+    // bounds above; loads are explicitly unaligned.
+    unsafe {
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        let ap = a.as_ptr().add(i0 * k_len);
+        let bp = b.as_ptr().add(j0);
+        for kk in 0..k_len {
+            let brow = bp.add(kk * m);
+            let b0 = _mm256_loadu_ps(brow);
+            let b1 = _mm256_loadu_ps(brow.add(8));
+            for (i, accr) in acc.iter_mut().enumerate() {
+                let aik = _mm256_set1_ps(*ap.add(i * k_len + kk));
+                accr[0] = _mm256_add_ps(accr[0], _mm256_mul_ps(aik, b0));
+                accr[1] = _mm256_add_ps(accr[1], _mm256_mul_ps(aik, b1));
+            }
+        }
+        for (i, accr) in acc.iter().enumerate() {
+            store_lane_avx2(ep, i0 + i, j0, m, *accr, c);
+        }
+    }
+}
+
+/// Vectorized [`store_lane`] for one full 16-wide accumulator row held as
+/// two ymm vectors: bias broadcast-add, residual add and `max(0, ·)`
+/// apply lane-wise in the exact per-element order of the scalar store —
+/// `(acc + bias) + residual`, then the ReLU clamp. `vmaxps(v, +0.0)`
+/// returns `+0.0` for NaN lanes exactly like `f32::max(v, 0.0)`, and a
+/// `-0.0` can never reach the clamp (every accumulator chain starts at
+/// `+0.0`, and IEEE-754 addition only yields `-0.0` from two `-0.0`
+/// operands), so the store is bit-identical to the scalar epilogue.
+///
+/// # Safety
+///
+/// AVX2 must be available. Row `row`, columns `[j0, j0 + NR)` must lie
+/// inside `c` (and inside the residual, when present) — enforced by the
+/// slice indexing below.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn store_lane_avx2(
+    ep: &Epilogue<'_>,
+    row: usize,
+    j0: usize,
+    m: usize,
+    lane: [std::arch::x86_64::__m256; 2],
+    c: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let start = row * m + j0;
+    let [mut v0, mut v1] = lane;
+    // SAFETY: the slice indexing bounds-checks every pointer below.
+    unsafe {
+        if let Some(bias) = ep.bias {
+            let bv = _mm256_set1_ps(bias[row]);
+            v0 = _mm256_add_ps(v0, bv);
+            v1 = _mm256_add_ps(v1, bv);
+        }
+        if let Some(res) = ep.residual {
+            let r = &res[start..start + NR];
+            v0 = _mm256_add_ps(v0, _mm256_loadu_ps(r.as_ptr()));
+            v1 = _mm256_add_ps(v1, _mm256_loadu_ps(r.as_ptr().add(8)));
+        }
+        if ep.relu {
+            let zero = _mm256_setzero_ps();
+            v0 = _mm256_max_ps(v0, zero);
+            v1 = _mm256_max_ps(v1, zero);
+        }
+        let dst = &mut c[start..start + NR];
+        _mm256_storeu_ps(dst.as_mut_ptr(), v0);
+        _mm256_storeu_ps(dst.as_mut_ptr().add(8), v1);
     }
 }
 
@@ -787,10 +912,11 @@ pub fn gemm_bit_exact_packed(
     ep: &Epilogue<'_>,
     c: &mut [f32],
 ) {
+    let isa = simd::active_isa();
     let mut j0 = 0;
     while j0 < m {
         let nr = PACK_NR.min(m - j0);
-        packed_panels_over_block(a_panels, m_rows, m, k_len, &b[j0..], m, j0, nr, ep, c);
+        packed_panels_over_block(a_panels, m_rows, m, k_len, &b[j0..], m, j0, nr, ep, isa, c);
         j0 += PACK_NR;
     }
 }
@@ -815,6 +941,7 @@ fn packed_panels_over_block(
     j0: usize,
     nr: usize,
     ep: &Epilogue<'_>,
+    isa: Isa,
     c: &mut [f32],
 ) {
     let panel_stride = k_len * PACK_MR;
@@ -824,7 +951,7 @@ fn packed_panels_over_block(
         let mr = PACK_MR.min(m_rows - i0);
         let panel = &a_panels[p * panel_stride..(p + 1) * panel_stride];
         if mr == PACK_MR && nr == PACK_NR {
-            packed_tile_full(panel, i0, j0, m, b_stride, k_len, b_block, ep, c);
+            packed_tile_full(panel, i0, j0, m, b_stride, k_len, b_block, ep, c, isa);
         } else {
             packed_tile_edge(panel, i0, j0, mr, nr, m, b_stride, k_len, b_block, ep, c);
         }
@@ -836,6 +963,7 @@ fn packed_panels_over_block(
 /// Full `PACK_MR × PACK_NR` register tile of the packed kernel; per k step it
 /// loads one contiguous `PACK_MR`-slab of `A` and one `PACK_NR`-row of `B`
 /// (read with row stride `b_stride`, written to `C` with row stride `m`).
+/// Dispatches to the explicit AVX2 tile when the dispatch selected it.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn packed_tile_full(
@@ -848,7 +976,17 @@ fn packed_tile_full(
     b: &[f32],
     ep: &Epilogue<'_>,
     c: &mut [f32],
+    isa: Isa,
 ) {
+    #[cfg(target_arch = "x86_64")]
+    if isa == Isa::Avx2 {
+        // SAFETY: the dispatch module only selects Avx2 after runtime
+        // feature detection (or a forced override validated against it).
+        unsafe { packed_tile_full_avx2(panel, i0, j0, m, b_stride, k_len, b, ep, c) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = isa;
     let mut acc = [[0.0f32; PACK_NR]; PACK_MR];
     for kk in 0..k_len {
         let a_k = &panel[kk * PACK_MR..kk * PACK_MR + PACK_MR];
@@ -863,6 +1001,56 @@ fn packed_tile_full(
     }
     for (i, lane) in acc.iter().enumerate() {
         store_lane(ep, i0 + i, j0, m, lane, c);
+    }
+}
+
+/// Explicit AVX2 form of the full packed tile: same 8-ymm accumulator
+/// layout as [`tile_full_avx2`], with `A` read as one contiguous
+/// `PACK_MR`-slab per k step straight from the packed panel. Mul+add
+/// only, strictly ascending `k` per element — bit-identical to the
+/// auto-vectorized packed tile.
+///
+/// # Safety
+///
+/// AVX2 must be available (guaranteed by the dispatch module). Slice
+/// bounds are the same as [`packed_tile_full`]'s and are debug-asserted.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+unsafe fn packed_tile_full_avx2(
+    panel: &[f32],
+    i0: usize,
+    j0: usize,
+    m: usize,
+    b_stride: usize,
+    k_len: usize,
+    b: &[f32],
+    ep: &Epilogue<'_>,
+    c: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(panel.len() >= k_len * PACK_MR);
+    debug_assert!(k_len == 0 || b.len() >= (k_len - 1) * b_stride + PACK_NR);
+    // SAFETY: all pointer arithmetic stays inside the slices per the
+    // bounds above; loads are explicitly unaligned.
+    unsafe {
+        let mut acc = [[_mm256_setzero_ps(); 2]; PACK_MR];
+        let pp = panel.as_ptr();
+        let bp = b.as_ptr();
+        for kk in 0..k_len {
+            let a_k = pp.add(kk * PACK_MR);
+            let brow = bp.add(kk * b_stride);
+            let b0 = _mm256_loadu_ps(brow);
+            let b1 = _mm256_loadu_ps(brow.add(8));
+            for (i, accr) in acc.iter_mut().enumerate() {
+                let aik = _mm256_set1_ps(*a_k.add(i));
+                accr[0] = _mm256_add_ps(accr[0], _mm256_mul_ps(aik, b0));
+                accr[1] = _mm256_add_ps(accr[1], _mm256_mul_ps(aik, b1));
+            }
+        }
+        for (i, accr) in acc.iter().enumerate() {
+            store_lane_avx2(ep, i0 + i, j0, m, *accr, c);
+        }
     }
 }
 
@@ -1189,7 +1377,7 @@ pub fn conv2d_im2col_quant_fused(
     // buffer — the arena is f32-only, see [`as_i16_mut`].
     let mut fblock = pool.take(k_len * PACK_NR);
     let mut qbuf = pool.take(pairs * PACK_NR);
-    let use_avx2 = avx2_available();
+    let isa = simd::active_isa();
     let per_item = in_shape.elements_per_item();
 
     for n in 0..in_shape.batch {
@@ -1235,7 +1423,7 @@ pub fn conv2d_im2col_quant_fused(
                     s_in,
                     scales_g,
                     &gep,
-                    use_avx2,
+                    isa,
                     c,
                 );
                 j0 += PACK_NR;
@@ -1305,7 +1493,7 @@ fn quant_panels_over_block(
     in_scale: f32,
     scales: &[f32],
     ep: &Epilogue<'_>,
-    use_avx2: bool,
+    isa: Isa,
     c: &mut [f32],
 ) {
     let panel_stride = pairs * PACK_MR * 2;
@@ -1316,7 +1504,7 @@ fn quant_panels_over_block(
         let mr = PACK_MR.min(m_rows - i0);
         let panel = &a_panels[p * panel_stride..(p + 1) * panel_stride];
         let mut acc = [0i32; PACK_MR * PACK_NR];
-        quant_tile(panel, pairs, b_block, &mut acc, use_avx2);
+        quant_tile(panel, pairs, b_block, &mut acc, isa);
         for i in 0..mr {
             let row = i0 + i;
             let acc_row = &acc[i * PACK_NR..i * PACK_NR + nr];
@@ -1330,44 +1518,26 @@ fn quant_panels_over_block(
     }
 }
 
-/// Whether the AVX2 integer tile kernel may run; checked once per conv
-/// call, then passed down so the hot loop never re-detects.
-fn avx2_available() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        std::arch::is_x86_feature_detected!("avx2")
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        false
-    }
-}
-
-/// One `PACK_MR × PACK_NR` integer tile: dispatches to the widest
-/// available ISA variant. All variants compute the *same* i32 sums —
-/// integer addition is associative — so the result is byte-identical
-/// regardless of which one runs.
+/// One `PACK_MR × PACK_NR` integer tile: dispatches to the ISA the shared
+/// [`crate::simd`] module selected. All variants compute the *same* i32
+/// sums — integer addition is associative — so the result is
+/// byte-identical regardless of which one runs.
 #[inline]
-fn quant_tile(
-    panel: &[i8],
-    pairs: usize,
-    b: &[i16],
-    acc: &mut [i32; PACK_MR * PACK_NR],
-    use_avx2: bool,
-) {
+fn quant_tile(panel: &[i8], pairs: usize, b: &[i16], acc: &mut [i32; PACK_MR * PACK_NR], isa: Isa) {
     #[cfg(target_arch = "x86_64")]
     {
         // SAFETY: SSE2 is part of the x86_64 baseline; the AVX2 variant
-        // only runs after the caller's runtime feature check passed.
-        if use_avx2 {
-            unsafe { quant_tile_avx2(panel, pairs, b, acc) }
-        } else {
-            unsafe { quant_tile_sse2(panel, pairs, b, acc) }
+        // only runs after the dispatch module's runtime feature check (or
+        // a forced override validated against it) passed.
+        match isa {
+            Isa::Avx2 => unsafe { quant_tile_avx2(panel, pairs, b, acc) },
+            Isa::Sse2 => unsafe { quant_tile_sse2(panel, pairs, b, acc) },
+            Isa::Scalar => quant_tile_scalar(panel, pairs, b, acc),
         }
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
-        let _ = use_avx2;
+        let _ = isa;
         quant_tile_scalar(panel, pairs, b, acc);
     }
 }
@@ -1376,7 +1546,6 @@ fn quant_tile(
 /// exactly. For each output `(row, j)` the accumulator gains
 /// `a[pair][row][0]·b[pair][j][0] + a[pair][row][1]·b[pair][j][1]` over
 /// ascending pairs, all in i32.
-#[cfg_attr(all(target_arch = "x86_64", not(test)), allow(dead_code))]
 fn quant_tile_scalar(panel: &[i8], pairs: usize, b: &[i16], acc: &mut [i32; PACK_MR * PACK_NR]) {
     for pr in 0..pairs {
         let a_pair = &panel[pr * PACK_MR * 2..(pr + 1) * PACK_MR * 2];
@@ -1746,6 +1915,66 @@ mod tests {
                     // SAFETY: AVX2 just detected; slice contract as above.
                     unsafe { quant_tile_avx2(&panel, pairs, &b, &mut got) };
                     assert_eq!(got, want, "avx2 must match scalar at {pairs} pairs");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_tile_isa_variants_agree_bitwise() {
+        // The explicit AVX2 f32 tiles (when the host has them) must
+        // produce bit-identical results to the auto-vectorized baseline,
+        // on both GEMM paths and through every epilogue combination —
+        // the f32 mirror of `quant_tile_isa_variants_agree_with_scalar`.
+        let supported: Vec<Isa> = [Isa::Scalar, Isa::Sse2, Isa::Avx2]
+            .into_iter()
+            .filter(|&i| i <= simd::detected_isa())
+            .collect();
+        // Shapes around the MR/NR boundaries: full tiles, edge tiles, a
+        // single-row matrix, and a k long enough to accumulate error if
+        // any variant reordered the sum.
+        for &(m_rows, m, k_len) in &[
+            (8usize, 32usize, 64usize),
+            (7, 23, 11),
+            (4, 16, 1),
+            (1, 5, 3),
+            (13, 50, 200),
+        ] {
+            let a: Vec<f32> = (0..m_rows * k_len).map(|i| (i as f32).sin()).collect();
+            let b: Vec<f32> = (0..k_len * m).map(|i| (i as f32).cos()).collect();
+            let bias: Vec<f32> = (0..m_rows).map(|i| (i as f32 * 0.7).tan()).collect();
+            let residual: Vec<f32> = (0..m_rows * m).map(|i| (i as f32 * 1.3).sin()).collect();
+            let packed = PackedFilter::pack(&a, m_rows, 1, k_len);
+            for ep_case in 0..4 {
+                let ep = Epilogue {
+                    bias: (ep_case & 1 != 0).then_some(&bias[..]),
+                    residual: (ep_case & 2 != 0).then_some(&residual[..]),
+                    relu: ep_case != 0,
+                };
+                let run = |isa: Isa| {
+                    simd::with_forced_isa(isa, || {
+                        let mut unpacked = vec![0.0f32; m_rows * m];
+                        gemm_bit_exact(m_rows, m, k_len, &a, &b, &ep, &mut unpacked);
+                        let mut from_packed = vec![0.0f32; m_rows * m];
+                        gemm_bit_exact_packed(
+                            m_rows,
+                            m,
+                            k_len,
+                            packed.group(0),
+                            &b,
+                            &ep,
+                            &mut from_packed,
+                        );
+                        (unpacked, from_packed)
+                    })
+                };
+                let want = run(Isa::Scalar);
+                for &isa in &supported[1..] {
+                    let got = run(isa);
+                    assert_eq!(
+                        got, want,
+                        "{m_rows}x{m} (k {k_len}, ep {ep_case}) must be bit-identical on {isa}"
+                    );
                 }
             }
         }

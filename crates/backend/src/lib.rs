@@ -15,6 +15,12 @@
 //!   microkernel's tile-major layout at weight-precompute time; the packed
 //!   kernel streams the weights contiguously with the patch-matrix block
 //!   cache-hot, still bit-identical (packing is a pure permutation);
+//! * [`simd`] — the runtime SIMD dispatch shared by every microkernel:
+//!   the f32 register tiles and the int8 `pmaddwd` tiles both select
+//!   their widest usable ISA (explicit AVX2 kernels, SSE2/scalar floors)
+//!   through one cached table, overridable via `IOS_FORCE_ISA` for
+//!   deterministic fallback testing — every ISA computes bit-identical
+//!   outputs;
 //! * [`arena`] — a scratch-buffer pool so steady-state execution performs
 //!   zero heap allocation, from the op loop out to the stacked batch
 //!   outputs at the serving boundary;
@@ -48,6 +54,7 @@ pub mod gemm;
 pub mod ops_cpu;
 pub mod pipeline;
 pub mod profile;
+pub mod simd;
 pub mod tensor_data;
 
 pub use arena::{Arena, ScratchPool, ScratchScope};
@@ -68,4 +75,5 @@ pub use gemm::{
 };
 pub use pipeline::{execute_network_pipelined, PipelinedNetworkExecutor};
 pub use profile::{BackgroundLoad, CpuStageProfiler, GroupMode};
+pub use simd::Isa;
 pub use tensor_data::TensorData;

@@ -9,7 +9,14 @@
 //! 7-deep reference loop, and [`conv2d`], the im2col + register-blocked GEMM
 //! engine ([`crate::gemm`]) that is several times faster and **bit-identical**
 //! — it preserves the reference's `(ic, ky, kx)` accumulation order per
-//! output element (verified by proptests in `tests/bit_exact.rs`). Every
+//! output element (verified by proptests in `tests/bit_exact.rs`). The GEMM
+//! tile dispatches through [`crate::simd`] at runtime (explicit AVX2
+//! kernels on capable hosts, the auto-vectorized tile elsewhere); every
+//! tier computes the same bits, so the oracle relationship is ISA-free.
+//! The blocked [`matmul`] reduction, by contrast, stays on the
+//! auto-vectorized path only: its dot products accumulate along `k`, and
+//! vectorizing across `k` would reorder the sum and break bit-exactness.
+//! Every
 //! operator has a `*_pooled` variant drawing scratch and output storage from
 //! a [`ScratchPool`] so steady-state serving allocates nothing in the op
 //! loop; the plain variants use the process-global pool.

@@ -1,0 +1,185 @@
+//! Runtime SIMD dispatch shared by every microkernel.
+//!
+//! Both GEMM families — the f32 register tiles and the int8 `pmaddwd`
+//! tiles — pick their widest usable ISA *once* per process instead of
+//! re-running feature detection per convolution call. The selection is
+//! cached in a [`OnceLock`] kernel table keyed by [`Isa`]:
+//!
+//! * **detection** — `is_x86_feature_detected!("avx2")` on x86_64 (SSE2 is
+//!   the unconditional x86_64 floor), scalar elsewhere;
+//! * **`IOS_FORCE_ISA`** — a `{scalar, sse2, avx2}` environment override
+//!   for deterministic testing (e.g. exercising the SSE2 fallback on an
+//!   AVX2 CI runner). Forcing an ISA the host cannot execute panics up
+//!   front rather than faulting in the kernel;
+//! * **[`with_forced_isa`]** — a thread-scoped override for in-process
+//!   cross-ISA identity tests (the proptests run the same convolution
+//!   under every supported ISA and assert bitwise equality).
+//!
+//! Every ISA variant of every kernel computes the *same* per-element
+//! operation sequence, so which entry the table selects is invisible in
+//! the output bits — only in the wall clock.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// An instruction-set tier a microkernel can dispatch to, ordered from
+/// narrowest to widest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Isa {
+    /// Portable scalar code — the only tier off x86_64.
+    Scalar,
+    /// SSE2: the x86_64 baseline. The f32 tiles run their auto-vectorized
+    /// form at this tier; the int8 tiles run explicit `pmaddwd`.
+    Sse2,
+    /// AVX2: explicit 8-lane f32 and 16-lane `vpmaddwd` int8 tiles.
+    Avx2,
+}
+
+impl Isa {
+    /// The lower-case name used by `IOS_FORCE_ISA` and the telemetry
+    /// export (`ios_simd_kernel{isa="…"}`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Sse2 => "sse2",
+            Isa::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses an [`Isa`] from its [`name`](Isa::name) (case-insensitive).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Isa> {
+        match name.to_ascii_lowercase().as_str() {
+            "scalar" => Some(Isa::Scalar),
+            "sse2" => Some(Isa::Sse2),
+            "avx2" => Some(Isa::Avx2),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Isa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The widest ISA this host can execute, from hardware feature detection
+/// alone (no overrides).
+#[must_use]
+pub fn detected_isa() -> Isa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            Isa::Avx2
+        } else {
+            Isa::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Isa::Scalar
+    }
+}
+
+/// The process-wide selection: detection capped by `IOS_FORCE_ISA`,
+/// resolved once and cached.
+static SELECTED: OnceLock<Isa> = OnceLock::new();
+
+fn selected_isa() -> Isa {
+    *SELECTED.get_or_init(|| {
+        let detected = detected_isa();
+        match std::env::var("IOS_FORCE_ISA") {
+            Ok(v) => {
+                let forced = Isa::parse(&v).unwrap_or_else(|| {
+                    panic!("IOS_FORCE_ISA={v:?} is not one of scalar, sse2, avx2")
+                });
+                assert!(
+                    forced <= detected,
+                    "IOS_FORCE_ISA={} but this host only executes up to {}",
+                    forced,
+                    detected
+                );
+                forced
+            }
+            Err(_) => detected,
+        }
+    })
+}
+
+thread_local! {
+    /// Thread-scoped override installed by [`with_forced_isa`].
+    static OVERRIDE: Cell<Option<Isa>> = const { Cell::new(None) };
+}
+
+/// The ISA every microkernel dispatches to on this thread: the
+/// [`with_forced_isa`] override if one is active, else the cached
+/// process-wide selection (`IOS_FORCE_ISA` or hardware detection).
+///
+/// Cheap enough to call once per kernel invocation — a thread-local read
+/// plus a `OnceLock` load; the hot tile loops never re-detect.
+#[must_use]
+pub fn active_isa() -> Isa {
+    OVERRIDE.with(Cell::get).unwrap_or_else(selected_isa)
+}
+
+/// Runs `f` with every kernel on the current thread dispatched at `isa`,
+/// restoring the previous selection afterwards (panic-safe). This is the
+/// hook the cross-ISA bit-identity tests and the `simd_gate` baseline
+/// timing use.
+///
+/// # Panics
+///
+/// Panics if `isa` is wider than [`detected_isa`] — the host could not
+/// execute the kernels it selects.
+pub fn with_forced_isa<R>(isa: Isa, f: impl FnOnce() -> R) -> R {
+    assert!(
+        isa <= detected_isa(),
+        "cannot force {isa}: this host only executes up to {}",
+        detected_isa()
+    );
+    struct Restore(Option<Isa>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(Some(isa))));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa_names_round_trip_and_order() {
+        for isa in [Isa::Scalar, Isa::Sse2, Isa::Avx2] {
+            assert_eq!(Isa::parse(isa.name()), Some(isa));
+            assert_eq!(Isa::parse(&isa.name().to_ascii_uppercase()), Some(isa));
+        }
+        assert_eq!(Isa::parse("avx512"), None);
+        assert!(Isa::Scalar < Isa::Sse2 && Isa::Sse2 < Isa::Avx2);
+    }
+
+    #[test]
+    fn forced_isa_scopes_to_the_closure_and_restores() {
+        let ambient = active_isa();
+        let inner = with_forced_isa(Isa::Scalar, active_isa);
+        assert_eq!(inner, Isa::Scalar);
+        assert_eq!(active_isa(), ambient);
+        // Nested overrides unwind in order, including across panics.
+        let result = std::panic::catch_unwind(|| {
+            with_forced_isa(Isa::Scalar, || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert_eq!(active_isa(), ambient);
+    }
+
+    #[test]
+    fn detection_never_exceeds_the_hardware() {
+        // active_isa() must always be executable on this host.
+        assert!(active_isa() <= detected_isa());
+    }
+}

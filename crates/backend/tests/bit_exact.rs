@@ -3,7 +3,8 @@
 //! interior fast paths, the arena-backed executor and the parallel batched
 //! network path must all be **bit-identical** (`assert_eq!`, no tolerances)
 //! to the naive reference across randomized shapes, strides, padding,
-//! groups and batch sizes.
+//! groups, batch sizes — and SIMD ISAs: the dispatch module's forced-ISA
+//! hook pins every supported tier to the same bits.
 
 use ios_backend::gemm::{
     conv2d_im2col_fused, conv2d_im2col_packed_fused, conv2d_im2col_quant_fused,
@@ -304,6 +305,78 @@ proptest! {
         let packed = PackedFilter::pack(&weights, out_c, groups, channels_per_group * kh * kw);
         let packed_fused = conv2d_im2col_packed_fused(&input, &params, &packed, &ep, &arena);
         prop_assert_eq!(&packed_fused, &reference);
+    }
+
+    #[test]
+    fn f32_kernels_are_bit_identical_across_isas(
+        seed in any::<u64>(),
+        batch in 1usize..3,
+        group_case in 0usize..3,
+        channels_per_group in 1usize..4,
+        out_per_group in 1usize..6,
+        height in 1usize..9,
+        width in 1usize..12,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        sh in 1usize..3,
+        sw in 1usize..3,
+        ph in 0usize..3,
+        pw in 0usize..3,
+        input_relu in any::<bool>(),
+        use_bias in any::<bool>(),
+        use_residual in any::<bool>(),
+        ep_relu in any::<bool>(),
+    ) {
+        // The explicit AVX2 f32 tiles (mirroring the int8 "avx2 must match
+        // scalar" pin): both GEMM paths must produce bit-identical outputs
+        // under every ISA the host supports, across random shapes — edge
+        // tiles (partial mr/nr) included via the free-ranging out_c and
+        // spatial extents — and every epilogue combination.
+        use ios_backend::simd::{self, Isa};
+        let groups = [1usize, 2, 3][group_case];
+        let in_c = channels_per_group * groups;
+        let out_c = out_per_group * groups;
+        let h = height.max(kh.saturating_sub(2 * ph));
+        let w = width.max(kw.saturating_sub(2 * pw));
+        let shape = TensorShape::new(batch, in_c, h, w);
+        let params = Conv2dParams {
+            out_channels: out_c,
+            kernel: (kh, kw),
+            stride: (sh, sw),
+            padding: (ph, pw),
+            groups,
+            activation: Activation::None,
+        };
+        let input = TensorData::random(shape, seed);
+        let weights = conv_weights(seed ^ 0xC0DE, out_c, channels_per_group, (kh, kw));
+        let packed = PackedFilter::pack(&weights, out_c, groups, channels_per_group * kh * kw);
+        let arena = ScratchPool::new();
+        let probe = conv2d_im2col_fused(&input, &params, &weights, &ConvEpilogue::default(), &arena);
+        let bias = conv_weights(seed ^ 0xB1A5, out_c, 1, (1, 1));
+        let residual = TensorData::random(probe.shape, seed ^ 0x9E5);
+        let ep = ConvEpilogue {
+            input_relu,
+            bias: use_bias.then_some(bias.as_slice()),
+            residual: use_residual.then_some(&residual),
+            relu: ep_relu,
+        };
+        let run = |isa: Isa| {
+            simd::with_forced_isa(isa, || {
+                (
+                    conv2d_im2col_fused(&input, &params, &weights, &ep, &arena),
+                    conv2d_im2col_packed_fused(&input, &params, &packed, &ep, &arena),
+                )
+            })
+        };
+        let (ref_unpacked, ref_packed) = run(Isa::Scalar);
+        for isa in [Isa::Sse2, Isa::Avx2] {
+            if isa > simd::detected_isa() {
+                continue;
+            }
+            let (unpacked, packed_out) = run(isa);
+            prop_assert_eq!(&unpacked, &ref_unpacked, "unpacked f32 path differs on {}", isa);
+            prop_assert_eq!(&packed_out, &ref_packed, "packed f32 path differs on {}", isa);
+        }
     }
 
     #[test]

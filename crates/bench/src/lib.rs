@@ -439,6 +439,66 @@ pub fn quant_bench_shapes() -> Vec<ConvCase> {
     ]
 }
 
+/// The convolution shapes the `simd_gate` CI binary runs: the f32 GEMM
+/// register tile under its serving-hot regimes — ResNet body 3×3s (deep
+/// `k`, the tile-bound case the AVX2 kernel targets), a strided
+/// downsample, a bottleneck pointwise (pure GEMM), and a compact
+/// Inception 3×3 so small-`m` layers with edge tiles stay visible. Like
+/// the pack/quant sets, never scaled down in quick mode — that would
+/// shift the compute-vs-traffic regime; `simd_gate --quick` reduces the
+/// round count instead.
+#[must_use]
+pub fn simd_bench_shapes() -> Vec<ConvCase> {
+    use ios_ir::{Conv2dParams, TensorShape};
+    vec![
+        ConvCase {
+            // ResNet conv2_x body: 56×56, 64 channels, k = 576.
+            name: "resnet_3x3_56",
+            input: TensorShape::new(1, 64, 56, 56),
+            params: Conv2dParams::relu(64, (3, 3), (1, 1), (1, 1)),
+        },
+        ConvCase {
+            // ResNet conv3_x body: 28×28, 128 channels, k = 1152.
+            name: "resnet_3x3_28",
+            input: TensorShape::new(1, 128, 28, 28),
+            params: Conv2dParams::relu(128, (3, 3), (1, 1), (1, 1)),
+        },
+        ConvCase {
+            // ResNet conv3 downsample entry: strided 3×3.
+            name: "resnet_3x3_s2",
+            input: TensorShape::new(1, 128, 56, 56),
+            params: Conv2dParams::relu(128, (3, 3), (2, 2), (1, 1)),
+        },
+        ConvCase {
+            // ResNet bottleneck expansion pointwise: pure GEMM, k = 128.
+            name: "bottleneck_1x1_28",
+            input: TensorShape::new(1, 128, 28, 28),
+            params: Conv2dParams::relu(512, (1, 1), (1, 1), (0, 0)),
+        },
+        ConvCase {
+            // Inception mixed-block 3×3 branch: compact, edge tiles.
+            name: "inception_3x3",
+            input: TensorShape::new(1, 96, 15, 15),
+            params: Conv2dParams::relu(96, (3, 3), (1, 1), (1, 1)),
+        },
+    ]
+}
+
+/// Median of a sample set (averages the middle pair for even counts).
+/// The gate binaries use this over per-round speedup ratios so one noisy
+/// round on a shared CI host cannot flip a verdict.
+#[must_use]
+pub fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of an empty sample set");
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
 /// Writes any serializable value as pretty JSON if a path was requested.
 pub fn maybe_write_json<T: Serialize>(opts: &BenchOptions, value: &T) {
     if let Some(path) = &opts.json {
@@ -515,6 +575,23 @@ mod tests {
         assert_eq!(rows.len(), 6);
         assert!(rows.iter().any(|r| r.label == "IOS"));
         assert!(rows.iter().any(|r| r.label == "TensorRT"));
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_unsorted() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
+        // A single outlier round must not move the verdict.
+        assert_eq!(median(&mut [1.0, 1.0, 100.0]), 1.0);
+    }
+
+    #[test]
+    fn simd_shapes_cover_deep_k_and_edge_tiles() {
+        let shapes = simd_bench_shapes();
+        assert!(shapes.len() >= 4);
+        assert!(shapes.iter().any(|c| c.name == "resnet_3x3_56"));
+        assert!(shapes.iter().any(|c| c.params.kernel == (1, 1)));
     }
 
     #[test]

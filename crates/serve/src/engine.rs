@@ -722,8 +722,10 @@ impl ServeEngine {
 
     /// The serving metrics in Prometheus text exposition format: request
     /// counters, queue-depth gauge, schedule-cache counters, weight-cache
-    /// footprint gauges (f32 vs int8 bytes), and the latency / queue-wait /
-    /// batch-assembly / device-time histograms (exposed in microseconds).
+    /// footprint gauges (f32 vs int8 bytes), the selected-microkernel-ISA
+    /// info gauge (`ios_simd_kernel{path,isa}`), and the latency /
+    /// queue-wait / batch-assembly / device-time histograms (exposed in
+    /// microseconds).
     #[must_use]
     pub fn prometheus_text(&self) -> String {
         use ios_telemetry::prometheus as prom;
@@ -820,6 +822,16 @@ impl ServeEngine {
             "ios_weight_cache_int8_bytes",
             "Bytes of int8 quantized weights (and scales) held by the weight cache.",
             footprint.int8_bytes as f64,
+        );
+        let isa = ios_backend::simd::active_isa().name();
+        prom::info(
+            &mut out,
+            "ios_simd_kernel",
+            "Selected microkernel ISA per numeric path (info gauge, constant 1).",
+            &[
+                &[("path", "f32"), ("isa", isa)],
+                &[("path", "int8"), ("isa", isa)],
+            ],
         );
         prom::histogram_us(
             &mut out,

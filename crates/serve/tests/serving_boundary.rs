@@ -404,6 +404,14 @@ fn int8_engine_serves_the_quantized_path_and_reports_its_footprint() {
     assert!(samples > 0);
     assert!(text.contains("ios_weight_cache_f32_bytes"));
     assert!(text.contains("ios_weight_cache_int8_bytes"));
+    // The selected-microkernel info gauge reports the dispatch module's
+    // active ISA for both numeric paths, constant-1 style.
+    let isa = ios_backend::simd::active_isa().name();
+    assert!(
+        text.contains(&format!("ios_simd_kernel{{path=\"f32\",isa=\"{isa}\"}} 1")),
+        "missing f32 simd kernel info gauge in:\n{text}"
+    );
+    assert!(text.contains(&format!("ios_simd_kernel{{path=\"int8\",isa=\"{isa}\"}} 1")));
     let quant_fp = quant_weights.footprint();
     assert!(
         quant_fp.int8_bytes > 0,

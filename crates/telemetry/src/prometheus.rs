@@ -27,6 +27,19 @@ pub fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
     let _ = writeln!(out, "{name} {value}");
 }
 
+/// Appends an info-style gauge: one constant-`1` sample per label set,
+/// carrying build/runtime facts in the labels (the `foo_info` idiom, e.g.
+/// `ios_simd_kernel{path="f32",isa="avx2"} 1`). Label values must not
+/// contain `"` or `\` — these helpers do no escaping.
+pub fn info(out: &mut String, name: &str, help: &str, series: &[&[(&str, &str)]]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for labels in series {
+        let rendered: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        let _ = writeln!(out, "{name}{{{}}} 1", rendered.join(","));
+    }
+}
+
 /// Appends a histogram whose recorded values are nanoseconds, exposed in
 /// microseconds. `name` should end in `_us` by convention.
 pub fn histogram_us(out: &mut String, name: &str, help: &str, snap: &HistogramSnapshot) {
@@ -168,6 +181,24 @@ mod tests {
         assert!(out.contains("ios_request_latency_us_count 5"));
         // Sum is exact: 1055 µs of recorded nanoseconds.
         assert!(out.contains("ios_request_latency_us_sum 1055"));
+    }
+
+    #[test]
+    fn info_gauge_emits_one_series_per_label_set_and_validates() {
+        let mut out = String::new();
+        info(
+            &mut out,
+            "ios_simd_kernel",
+            "Selected microkernel ISA per numeric path.",
+            &[
+                &[("path", "f32"), ("isa", "avx2")],
+                &[("path", "int8"), ("isa", "avx2")],
+            ],
+        );
+        assert!(out.contains("# TYPE ios_simd_kernel gauge"));
+        assert!(out.contains("ios_simd_kernel{path=\"f32\",isa=\"avx2\"} 1"));
+        assert!(out.contains("ios_simd_kernel{path=\"int8\",isa=\"avx2\"} 1"));
+        assert_eq!(validate(&out), Ok(2));
     }
 
     #[test]
