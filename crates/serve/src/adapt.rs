@@ -34,7 +34,7 @@
 use crate::engine::Shared;
 use ios_telemetry::HistogramSnapshot;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Per-batch-size accumulator of observed vs predicted device time,
@@ -57,6 +57,10 @@ pub(crate) struct AdaptState {
     /// Whether shed mode is engaged (set only by the controller; read by
     /// every submit).
     shed_mode: AtomicBool,
+    /// Consecutive controller ticks whose queue-wait window stayed below
+    /// `min_window_batches` while shed mode was engaged — the sensor for
+    /// the trickle-traffic disengage path.
+    stale_ticks: AtomicU64,
     /// Batch size the current pipeline plan / schedule focus was chosen
     /// for; `None` until the first window-driven re-plan.
     planned_for: Mutex<Option<usize>>,
@@ -161,10 +165,16 @@ impl Shared {
     }
 
     /// Shed policy: engage when the windowed p95 queue wait exceeds the
-    /// budget, disengage when it falls below half of it (hysteresis) or
-    /// when the system has drained idle (no samples, empty queue) —
-    /// without the idle clause a shed engine that scared all traffic away
-    /// would never see the samples needed to disengage.
+    /// budget, disengage when it falls below half of it (hysteresis), when
+    /// the system has drained idle (no samples, empty queue), or when
+    /// [`crate::AdaptConfig::shed_stale_ticks`] consecutive ticks pass
+    /// without a full window's worth of samples. Without the idle clause a
+    /// shed engine that scared all traffic away would never see the
+    /// samples needed to disengage; without the stale-tick bound a
+    /// post-overload *trickle* — enough traffic to keep the queue
+    /// occasionally non-empty, never enough to fill a window — would keep
+    /// shed mode latched indefinitely, rejecting load the engine could
+    /// easily serve.
     fn update_shed_mode(&self, wait_window: &HistogramSnapshot) {
         let Some(budget) = self.config.adapt.shed_queue_wait_budget else {
             return;
@@ -172,6 +182,7 @@ impl Shared {
         let budget_ns = u64::try_from(budget.as_nanos()).unwrap_or(u64::MAX);
         match wait_window.percentile(95.0) {
             Some(p95_ns) if wait_window.count >= self.config.adapt.min_window_batches => {
+                self.adapt.stale_ticks.store(0, Ordering::Relaxed);
                 let was = self.adapt.shed_mode.load(Ordering::Relaxed);
                 let now = if p95_ns > budget_ns {
                     true
@@ -186,7 +197,15 @@ impl Shared {
                 }
             }
             _ => {
-                if self.queue.depth() == 0 && self.adapt.shed_mode.swap(false, Ordering::Relaxed) {
+                if !self.adapt.shed_mode.load(Ordering::Relaxed) {
+                    self.adapt.stale_ticks.store(0, Ordering::Relaxed);
+                    return;
+                }
+                let drained_idle = self.queue.depth() == 0;
+                let stale = self.adapt.stale_ticks.fetch_add(1, Ordering::Relaxed) + 1
+                    >= self.config.adapt.shed_stale_ticks.max(1);
+                if (drained_idle || stale) && self.adapt.shed_mode.swap(false, Ordering::Relaxed) {
+                    self.adapt.stale_ticks.store(0, Ordering::Relaxed);
                     ios_telemetry::tracer().instant("adapt.shed_mode", "adapt", 0);
                 }
             }
@@ -252,7 +271,16 @@ impl Shared {
         let Some(dominant) = size_window.mode() else {
             return;
         };
-        let dominant = usize::try_from(dominant).unwrap_or(self.config.max_batch);
+        // Histogram values are exact only below 64; past that, `mode()`
+        // returns a log-bucket representative that may be a batch size
+        // that was never dispatched (a window of batch-96 dispatches
+        // reports 97 with `max_batch = 96`). Snap to the nearest
+        // dispatchable size — at most `max_batch`, at least 1 — so the
+        // controller never optimizes and caches a schedule for a phantom
+        // batch size, churning `planned_for` against reality.
+        let dominant = usize::try_from(dominant)
+            .unwrap_or(self.config.max_batch)
+            .clamp(1, self.config.max_batch);
         if *self.adapt.planned_for.lock().expect("planned-for lock") == Some(dominant) {
             return;
         }

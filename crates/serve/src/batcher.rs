@@ -1,25 +1,52 @@
-//! The dynamic batching queue.
+//! The dynamic batching queue, with per-tenant weighted-fair admission.
 //!
-//! Single-sample requests accumulate in a FIFO; worker threads take
-//! coalesced batches with the classic dynamic-batching policy: dispatch as
-//! soon as `max_batch` requests are queued, or when the *oldest* queued
-//! request has waited `max_wait`, whichever comes first. Under a deep queue
-//! every dispatch is a full batch (maximum device efficiency); under trickle
-//! load the wait bound keeps tail latency in check.
+//! Single-sample requests accumulate in per-tenant FIFO lanes; worker
+//! threads take coalesced batches with the classic dynamic-batching
+//! policy: dispatch as soon as `max_batch` requests are queued (across all
+//! lanes), or when the *oldest* queued request has waited `max_wait`,
+//! whichever comes first. Under a deep queue every dispatch is a full
+//! batch (maximum device efficiency); under trickle load the wait bound
+//! keeps tail latency in check.
 //!
-//! Two runtime-adaptation extensions ride on the same policy:
+//! **Weighted-fair dequeue.** Lanes are drained by virtual-time weighted
+//! fair queuing: each arrival is stamped with a virtual finish tag
+//! (`start + 1/weight`, where `start` continues the lane's previous tag or
+//! the queue's virtual clock, whichever is later), and the next request
+//! popped is always the smallest head tag across lanes. A single tenant
+//! degenerates to plain FIFO — tags ascend in arrival order — so the
+//! single-tenant engine behaves exactly as before. With several tenants,
+//! one tenant's burst cannot starve another's trickle: the burst only
+//! advances its own lane's tags, and the trickle's next request keeps the
+//! smallest tag.
+//!
+//! **Admission** happens entirely inside the queue lock, so every bound is
+//! exact even with racing submitters:
+//!
+//! * **token buckets** — a tenant configured with a rate limit spends one
+//!   token per accepted request ([`PushResult::RateLimited`] when dry);
+//! * **bounded admission** — a hard queue-depth capacity across all lanes;
+//! * **tenant-aware shedding** — in shed mode each tenant may hold at most
+//!   its weighted share `max(1, cap·w/W)` of the shed capacity (`W` = sum
+//!   of weights of lanes with queued work, the submitter included), so the
+//!   over-quota tenant is shed first while an under-share tenant is still
+//!   admitted. With a single tenant the share equals the full capacity —
+//!   the pre-tenant shed semantics.
+//!
+//! Two runtime-adaptation extensions ride on the same dispatch policy:
 //!
 //! * **deadline-aware flush** — when queued requests carry deadlines, the
 //!   effective wait bound shrinks so the batch dispatches while the most
 //!   urgent request still has `predicted_exec` of slack left (a full batch
 //!   always dispatches immediately and therefore beats an imminent
-//!   deadline flush);
-//! * **bounded admission** — [`BatchQueue::push_bounded`] enforces a hard
-//!   queue-depth capacity *inside* the queue lock, so the bound is exact
-//!   even with racing submitters.
+//!   deadline flush). The tightest queued deadline is maintained
+//!   incrementally (a multiset updated on push/drain), not rescanned per
+//!   condvar wakeup;
+//! * **bounded admission** above replaces nothing: `push` without a bound
+//!   still serves the tests.
 
-use crate::request::Pending;
-use std::collections::VecDeque;
+use crate::config::{TenantConfig, TenantsConfig};
+use crate::request::{Pending, TenantId};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -30,10 +57,172 @@ use std::time::{Duration, Instant};
 /// immediately.
 const DISPATCH_MARGIN: Duration = Duration::from_millis(20);
 
+/// A tenant's token-bucket rate limiter, refilled lazily from elapsed
+/// wall clock on each offer. Mutated only under the queue lock, so token
+/// accounting is exact under racing submitters.
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: f64,
+    rate_per_sec: f64,
+    burst: f64,
+    refilled_at: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate_per_sec: f64, burst: f64) -> Self {
+        TokenBucket {
+            // Start full: a tenant's first burst up to `burst` is admitted.
+            tokens: burst,
+            rate_per_sec,
+            burst,
+            refilled_at: Instant::now(),
+        }
+    }
+
+    /// Refills from the elapsed wall clock, then spends one token if
+    /// available.
+    fn try_take(&mut self, now: Instant) -> bool {
+        let elapsed = now
+            .saturating_duration_since(self.refilled_at)
+            .as_secs_f64();
+        self.tokens = (self.tokens + elapsed * self.rate_per_sec).min(self.burst);
+        self.refilled_at = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One tenant's FIFO sub-queue plus its WFQ and quota state. Lanes persist
+/// once created (the virtual-time continuity and bucket level survive the
+/// lane draining empty).
+#[derive(Debug)]
+struct TenantLane {
+    /// Queued requests with their virtual finish tags, in arrival order.
+    queue: VecDeque<(f64, Pending)>,
+    /// Virtual finish tag of the lane's most recent arrival.
+    last_finish: f64,
+    weight: u32,
+    bucket: Option<TokenBucket>,
+}
+
+impl TenantLane {
+    fn from_config(config: &TenantConfig) -> Self {
+        TenantLane {
+            queue: VecDeque::new(),
+            last_finish: 0.0,
+            weight: config.weight.max(1),
+            bucket: config
+                .rate
+                .map(|rate_per_sec| TokenBucket::new(rate_per_sec, config.burst)),
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct QueueState {
-    queue: VecDeque<Pending>,
+    /// Per-tenant lanes, keyed by tenant id (ordered, so iteration — and
+    /// therefore WFQ tie-breaking — is deterministic).
+    lanes: BTreeMap<TenantId, TenantLane>,
+    /// The WFQ virtual clock: the largest finish tag dispatched so far.
+    /// Newly active lanes start from here, so an idle tenant cannot bank
+    /// credit while away.
+    virtual_clock: f64,
+    /// Requests queued across all lanes.
+    total: usize,
+    /// Multiset of queued deadlines: the tightest is `first_key_value()`,
+    /// maintained on push/drain instead of rescanned per condvar wakeup.
+    deadlines: BTreeMap<Instant, u32>,
     closed: bool,
+}
+
+impl QueueState {
+    /// Stamps the request with its virtual finish tag and queues it on its
+    /// tenant's lane. The lane must already exist.
+    fn enqueue(&mut self, pending: Pending) {
+        let lane = self.lanes.get_mut(&pending.tenant).expect("lane exists");
+        let start = self.virtual_clock.max(lane.last_finish);
+        let finish = start + 1.0 / f64::from(lane.weight);
+        lane.last_finish = finish;
+        if let Some(deadline) = pending.deadline {
+            *self.deadlines.entry(deadline).or_insert(0) += 1;
+        }
+        lane.queue.push_back((finish, pending));
+        self.total += 1;
+    }
+
+    /// Pops the request with the smallest head finish tag across lanes
+    /// (ties break toward the lexicographically first tenant).
+    fn pop_next(&mut self) -> Option<Pending> {
+        let mut next: Option<(TenantId, f64)> = None;
+        for (tenant, lane) in &self.lanes {
+            if let Some((finish, _)) = lane.queue.front() {
+                if next.as_ref().is_none_or(|(_, best)| *finish < *best) {
+                    next = Some((tenant.clone(), *finish));
+                }
+            }
+        }
+        let (tenant, finish) = next?;
+        let lane = self.lanes.get_mut(&tenant).expect("lane exists");
+        let (_, pending) = lane.queue.pop_front().expect("non-empty lane");
+        self.virtual_clock = self.virtual_clock.max(finish);
+        if let Some(deadline) = pending.deadline {
+            if let Some(count) = self.deadlines.get_mut(&deadline) {
+                *count -= 1;
+                if *count == 0 {
+                    self.deadlines.remove(&deadline);
+                }
+            }
+        }
+        self.total -= 1;
+        Some(pending)
+    }
+
+    fn drain(&mut self, max_batch: usize) -> Vec<Pending> {
+        let take = self.total.min(max_batch);
+        (0..take).filter_map(|_| self.pop_next()).collect()
+    }
+
+    /// Enqueue time of the oldest queued request (each lane is FIFO, so
+    /// the global oldest is the oldest lane head).
+    fn oldest_enqueued(&self) -> Option<Instant> {
+        self.lanes
+            .values()
+            .filter_map(|lane| lane.queue.front().map(|(_, p)| p.enqueued_at))
+            .min()
+    }
+
+    /// The tightest queued deadline, from the incremental multiset.
+    fn min_deadline(&self) -> Option<Instant> {
+        self.deadlines
+            .first_key_value()
+            .map(|(deadline, _)| *deadline)
+    }
+
+    /// `tenant`'s share of a shed-mode capacity: `max(1, cap·w/W)` over
+    /// the lanes with queued work (the submitter counts as active even
+    /// with an empty lane). A lone tenant's share is the full capacity.
+    fn tenant_share(&self, tenant: &TenantId, capacity: usize) -> usize {
+        let mut weight_total: u64 = 0;
+        let mut weight_self: u64 = 0;
+        for (id, lane) in &self.lanes {
+            if !lane.queue.is_empty() || id == tenant {
+                weight_total += u64::from(lane.weight);
+                if id == tenant {
+                    weight_self = u64::from(lane.weight);
+                }
+            }
+        }
+        if weight_total == 0 {
+            return capacity.max(1);
+        }
+        usize::try_from((capacity as u64 * weight_self) / weight_total)
+            .unwrap_or(capacity)
+            .max(1)
+    }
 }
 
 /// Result of offering a request to the queue.
@@ -43,20 +232,36 @@ pub(crate) enum PushResult {
     Accepted,
     /// The queue is closed (engine shutting down); the request was dropped.
     Closed,
-    /// The queue is at its admission capacity; the request was dropped.
+    /// The queue (or, in shed mode, the tenant's weighted share of it) is
+    /// at its admission capacity; the request was dropped.
     Full,
+    /// The tenant's token bucket is dry; the request was dropped.
+    RateLimited,
 }
 
-/// A thread-safe dynamic batching queue.
+/// A thread-safe dynamic batching queue with per-tenant weighted-fair
+/// admission.
 #[derive(Debug, Default)]
 pub(crate) struct BatchQueue {
     state: Mutex<QueueState>,
     available: Condvar,
+    tenants: TenantsConfig,
 }
 
 impl BatchQueue {
+    #[cfg(test)]
     pub fn new() -> Self {
         BatchQueue::default()
+    }
+
+    /// A queue admitting per the given tenant configuration (weights, rate
+    /// limits); unknown tenants get the fallback.
+    pub fn with_tenants(tenants: TenantsConfig) -> Self {
+        BatchQueue {
+            state: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            tenants,
+        }
     }
 
     /// Enqueues a request. Returns `false` (dropping the request) if the
@@ -64,31 +269,59 @@ impl BatchQueue {
     /// [`BatchQueue::push_bounded`]; this unbounded form serves the tests.)
     #[cfg(test)]
     pub fn push(&self, pending: Pending) -> bool {
-        self.push_bounded(pending, None) == PushResult::Accepted
+        self.push_bounded(pending, None, false) == PushResult::Accepted
     }
 
-    /// Enqueues a request subject to an optional depth capacity. The
-    /// capacity check happens under the queue lock, so the queue never
-    /// exceeds `capacity` even with racing submitters.
-    pub fn push_bounded(&self, pending: Pending, capacity: Option<usize>) -> PushResult {
+    /// Offers a request subject to the tenant's token bucket and an
+    /// optional depth capacity. Every check happens under the queue lock,
+    /// so the bounds are exact even with racing submitters.
+    ///
+    /// With `shedding` set, the capacity is applied per tenant as a
+    /// weighted share (see [`QueueState::tenant_share`]) instead of as one
+    /// shared total, so the over-quota tenant is rejected first.
+    pub fn push_bounded(
+        &self,
+        pending: Pending,
+        capacity: Option<usize>,
+        shedding: bool,
+    ) -> PushResult {
         let mut state = self.state.lock().expect("queue lock");
         if state.closed {
             return PushResult::Closed;
         }
+        if !state.lanes.contains_key(&pending.tenant) {
+            let config = self.tenants.for_tenant(pending.tenant.name());
+            state
+                .lanes
+                .insert(pending.tenant.clone(), TenantLane::from_config(config));
+        }
         if let Some(cap) = capacity {
-            if state.queue.len() >= cap {
+            if shedding {
+                let share = state.tenant_share(&pending.tenant, cap);
+                let queued = state.lanes[&pending.tenant].queue.len();
+                if queued >= share {
+                    return PushResult::Full;
+                }
+            } else if state.total >= cap {
                 return PushResult::Full;
             }
         }
-        state.queue.push_back(pending);
+        let now = Instant::now();
+        let lane = state.lanes.get_mut(&pending.tenant).expect("lane exists");
+        if let Some(bucket) = &mut lane.bucket {
+            if !bucket.try_take(now) {
+                return PushResult::RateLimited;
+            }
+        }
+        state.enqueue(pending);
         // Wake one worker; it re-checks the batching condition itself.
         self.available.notify_one();
         PushResult::Accepted
     }
 
-    /// Number of requests currently queued.
+    /// Number of requests currently queued, across all tenants.
     pub fn depth(&self) -> usize {
-        self.state.lock().expect("queue lock").queue.len()
+        self.state.lock().expect("queue lock").total
     }
 
     /// Closes the queue: pending requests are still handed out, further
@@ -134,34 +367,33 @@ impl BatchQueue {
     ) -> Option<Vec<Pending>> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
-            if state.queue.len() >= max_batch {
-                return Some(drain(&mut state.queue, max_batch));
+            if state.total >= max_batch {
+                return Some(state.drain(max_batch));
             }
             if state.closed {
-                if state.queue.is_empty() {
+                if state.total == 0 {
                     return None;
                 }
-                return Some(drain(&mut state.queue, max_batch));
+                return Some(state.drain(max_batch));
             }
-            if let Some(oldest) = state.queue.front() {
-                let mut flush_at = oldest.enqueued_at + max_wait;
-                // Any queued request's deadline may be tighter than the
+            if let Some(oldest) = state.oldest_enqueued() {
+                let mut flush_at = oldest + max_wait;
+                // The tightest queued deadline may be closer than the
                 // oldest request's wait bound; dispatch early enough that
-                // the most urgent one still has predicted_exec of slack,
-                // plus a fixed margin for condvar wakeup and assembly
-                // jitter — without it a cold engine (predicted_exec zero)
-                // would flush a lone request exactly at its deadline and
-                // lose the race against its own expiry check.
-                let reserve = predicted_exec + DISPATCH_MARGIN;
-                for p in &state.queue {
-                    if let Some(d) = p.deadline {
-                        flush_at =
-                            flush_at.min(d.checked_sub(reserve).unwrap_or_else(Instant::now));
-                    }
+                // it still has predicted_exec of slack, plus a fixed margin
+                // for condvar wakeup and assembly jitter — without it a
+                // cold engine (predicted_exec zero) would flush a lone
+                // request exactly at its deadline and lose the race
+                // against its own expiry check. The minimum is maintained
+                // incrementally on push/drain, not rescanned per wakeup.
+                if let Some(deadline) = state.min_deadline() {
+                    let reserve = predicted_exec + DISPATCH_MARGIN;
+                    flush_at =
+                        flush_at.min(deadline.checked_sub(reserve).unwrap_or_else(Instant::now));
                 }
                 let now = Instant::now();
                 if now >= flush_at {
-                    return Some(drain(&mut state.queue, max_batch));
+                    return Some(state.drain(max_batch));
                 }
                 let (guard, _) = self
                     .available
@@ -173,11 +405,24 @@ impl BatchQueue {
             }
         }
     }
-}
 
-fn drain(queue: &mut VecDeque<Pending>, max_batch: usize) -> Vec<Pending> {
-    let take = queue.len().min(max_batch);
-    queue.drain(..take).collect()
+    /// The incrementally-maintained tightest queued deadline (test hook).
+    #[cfg(test)]
+    fn min_deadline_incremental(&self) -> Option<Instant> {
+        self.state.lock().expect("queue lock").min_deadline()
+    }
+
+    /// The tightest queued deadline recomputed by a full scan — the
+    /// reference the incremental multiset must agree with (test hook).
+    #[cfg(test)]
+    fn min_deadline_scan(&self) -> Option<Instant> {
+        let state = self.state.lock().expect("queue lock");
+        state
+            .lanes
+            .values()
+            .flat_map(|lane| lane.queue.iter().filter_map(|(_, p)| p.deadline))
+            .min()
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +438,12 @@ mod tests {
         pending_with_deadline(id, None)
     }
 
+    fn pending_for(id: u64, tenant: &str) -> (Pending, mpsc::Receiver<Outcome>) {
+        let (mut p, rx) = pending(id);
+        p.tenant = TenantId::from(tenant);
+        (p, rx)
+    }
+
     fn pending_with_deadline(
         id: u64,
         deadline: Option<Instant>,
@@ -200,6 +451,7 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         let pending = Pending {
             id: RequestId(id),
+            tenant: TenantId::default_tenant(),
             input: TensorData::zeros(TensorShape::new(1, 1, 1, 1)),
             enqueued_at: Instant::now(),
             deadline,
@@ -438,14 +690,16 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..25 {
                         let (p, _rx) = pending(t * 100 + i);
-                        match queue.push_bounded(p, Some(10)) {
+                        match queue.push_bounded(p, Some(10), false) {
                             PushResult::Accepted => {
                                 accepted.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
                             }
                             PushResult::Full => {
                                 full.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
                             }
-                            PushResult::Closed => panic!("queue is open"),
+                            PushResult::Closed | PushResult::RateLimited => {
+                                panic!("queue is open and unlimited")
+                            }
                         };
                     }
                 });
@@ -456,5 +710,221 @@ mod tests {
         assert_eq!(accepted, 10, "exactly capacity requests admitted");
         assert_eq!(accepted + full, 200, "every offer got a verdict");
         assert_eq!(queue.depth(), 10);
+    }
+
+    fn two_tenant_queue(alpha_weight: u32, beta_weight: u32) -> BatchQueue {
+        BatchQueue::with_tenants(
+            TenantsConfig::default()
+                .with_tenant("alpha", TenantConfig::default().with_weight(alpha_weight))
+                .with_tenant("beta", TenantConfig::default().with_weight(beta_weight)),
+        )
+    }
+
+    #[test]
+    fn wfq_interleaves_equal_weight_tenants_despite_a_burst() {
+        // Tenant alpha bursts 6 requests before beta's 2 arrive; dequeue
+        // must still alternate while both lanes have work — beta's trickle
+        // is not stuck behind alpha's burst.
+        let queue = two_tenant_queue(1, 1);
+        let mut receivers = Vec::new();
+        for i in 0..6 {
+            let (p, rx) = pending_for(i, "alpha");
+            assert_eq!(queue.push_bounded(p, None, false), PushResult::Accepted);
+            receivers.push(rx);
+        }
+        for i in 10..12 {
+            let (p, rx) = pending_for(i, "beta");
+            assert_eq!(queue.push_bounded(p, None, false), PushResult::Accepted);
+            receivers.push(rx);
+        }
+        let batch = queue
+            .next_batch(8, Duration::from_secs(60), NO_EXEC)
+            .expect("open queue");
+        let order: Vec<u64> = batch.iter().map(|p| p.id.0).collect();
+        assert_eq!(
+            order,
+            vec![0, 10, 1, 11, 2, 3, 4, 5],
+            "equal weights alternate while both lanes are busy"
+        );
+    }
+
+    #[test]
+    fn wfq_serves_tenants_in_proportion_to_their_weights() {
+        // alpha weight 3, beta weight 1, both keep 8 queued: a full batch
+        // of 8 carries 6 alpha and 2 beta requests.
+        let queue = two_tenant_queue(3, 1);
+        let mut receivers = Vec::new();
+        for i in 0..8 {
+            let (p, rx) = pending_for(i, "alpha");
+            queue.push_bounded(p, None, false);
+            receivers.push(rx);
+            let (p, rx) = pending_for(100 + i, "beta");
+            queue.push_bounded(p, None, false);
+            receivers.push(rx);
+        }
+        let batch = queue
+            .next_batch(8, Duration::from_secs(60), NO_EXEC)
+            .expect("open queue");
+        let alpha = batch.iter().filter(|p| p.tenant.name() == "alpha").count();
+        let beta = batch.iter().filter(|p| p.tenant.name() == "beta").count();
+        assert_eq!((alpha, beta), (6, 2), "3:1 weights → 6:2 of a batch of 8");
+        // Within each tenant the order is still FIFO.
+        let alpha_ids: Vec<u64> = batch
+            .iter()
+            .filter(|p| p.tenant.name() == "alpha")
+            .map(|p| p.id.0)
+            .collect();
+        assert_eq!(alpha_ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn single_tenant_wfq_degenerates_to_fifo() {
+        let queue = BatchQueue::new();
+        let mut receivers = Vec::new();
+        for i in 0..10 {
+            let (p, rx) = pending(i);
+            queue.push(p);
+            receivers.push(rx);
+        }
+        let batch = queue
+            .next_batch(10, Duration::from_secs(60), NO_EXEC)
+            .expect("open queue");
+        let order: Vec<u64> = batch.iter().map(|p| p.id.0).collect();
+        assert_eq!(order, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn token_bucket_is_exact_under_racing_submitters() {
+        // A tenant with burst 5 and a (practically) zero refill rate: 8
+        // threads race 10 offers each; exactly 5 are admitted, the rest
+        // are RateLimited — token accounting under the queue lock.
+        let queue = std::sync::Arc::new(BatchQueue::with_tenants(
+            TenantsConfig::default()
+                .with_tenant("limited", TenantConfig::default().with_rate(1e-9, 5.0)),
+        ));
+        let accepted = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let limited = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let queue = std::sync::Arc::clone(&queue);
+                let accepted = std::sync::Arc::clone(&accepted);
+                let limited = std::sync::Arc::clone(&limited);
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        let (p, _rx) = pending_for(t * 100 + i, "limited");
+                        match queue.push_bounded(p, None, false) {
+                            PushResult::Accepted => {
+                                accepted.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                            }
+                            PushResult::RateLimited => {
+                                limited.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                            }
+                            other => panic!("unexpected verdict {other:?}"),
+                        };
+                    }
+                });
+            }
+        });
+        let accepted = accepted.load(std::sync::atomic::Ordering::Relaxed);
+        let limited = limited.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(accepted, 5, "exactly the burst is admitted");
+        assert_eq!(accepted + limited, 80, "every offer got a verdict");
+        assert_eq!(queue.depth(), 5);
+    }
+
+    #[test]
+    fn rate_limit_only_throttles_its_own_tenant() {
+        let queue = BatchQueue::with_tenants(
+            TenantsConfig::default()
+                .with_tenant("limited", TenantConfig::default().with_rate(1e-9, 2.0)),
+        );
+        let mut receivers = Vec::new();
+        for i in 0..5 {
+            let (p, rx) = pending_for(i, "limited");
+            let verdict = queue.push_bounded(p, None, false);
+            receivers.push(rx);
+            if i < 2 {
+                assert_eq!(verdict, PushResult::Accepted);
+            } else {
+                assert_eq!(verdict, PushResult::RateLimited);
+            }
+        }
+        for i in 10..15 {
+            let (p, rx) = pending_for(i, "free");
+            assert_eq!(queue.push_bounded(p, None, false), PushResult::Accepted);
+            receivers.push(rx);
+        }
+        assert_eq!(queue.depth(), 7);
+    }
+
+    #[test]
+    fn shed_mode_limits_each_tenant_to_its_weighted_share() {
+        // Shed capacity 4, equal weights. Alpha alone may fill the whole
+        // capacity (single-tenant share = cap, the pre-tenant semantics);
+        // once beta queues work, each tenant's share is 2 — beta still
+        // gets its slice in, and over-share alpha is the one rejected.
+        let queue = two_tenant_queue(1, 1);
+        let mut receivers = Vec::new();
+        for i in 0..4 {
+            let (p, rx) = pending_for(i, "alpha");
+            assert_eq!(queue.push_bounded(p, Some(4), true), PushResult::Accepted);
+            receivers.push(rx);
+        }
+        // Beta's share is max(1, 4·1/2) = 2: two in, the third rejected.
+        for i in 10..12 {
+            let (p, rx) = pending_for(i, "beta");
+            assert_eq!(queue.push_bounded(p, Some(4), true), PushResult::Accepted);
+            receivers.push(rx);
+        }
+        let (p, _rx) = pending_for(12, "beta");
+        assert_eq!(queue.push_bounded(p, Some(4), true), PushResult::Full);
+        // Alpha is over its share of 2 now that beta is active.
+        let (p, _rx) = pending_for(4, "alpha");
+        assert_eq!(queue.push_bounded(p, Some(4), true), PushResult::Full);
+        assert_eq!(queue.depth(), 6);
+    }
+
+    #[test]
+    fn incremental_min_deadline_matches_a_scan_on_randomized_push_drain() {
+        // Randomized push/drain sequences over three tenants with a mix of
+        // deadline-free and deadline-carrying requests: after every
+        // operation the incrementally-maintained minimum deadline must
+        // equal a full scan over all lanes.
+        let queue = BatchQueue::new();
+        let base = Instant::now();
+        let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            // xorshift64*: deterministic, no external crates.
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng = rng.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            rng
+        };
+        let mut receivers = Vec::new();
+        for op in 0..2000u64 {
+            let r = next();
+            if r % 100 < 70 {
+                let tenant = ["alpha", "beta", "gamma"][(r / 100 % 3) as usize];
+                let deadline = if r % 2 == 0 {
+                    Some(base + Duration::from_millis(next() % 10_000))
+                } else {
+                    None
+                };
+                let (mut p, rx) = pending_with_deadline(op, deadline);
+                p.tenant = TenantId::from(tenant);
+                queue.push_bounded(p, None, false);
+                receivers.push(rx);
+            } else {
+                let take = (r / 1000 % 4) as usize + 1;
+                let mut state = queue.state.lock().expect("queue lock");
+                let _ = state.drain(take);
+            }
+            assert_eq!(
+                queue.min_deadline_incremental(),
+                queue.min_deadline_scan(),
+                "incremental min deadline diverged from the scan at op {op}"
+            );
+        }
     }
 }

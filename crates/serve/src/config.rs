@@ -3,7 +3,99 @@
 use ios_backend::WeightPrecision;
 use ios_core::SchedulerConfig;
 use ios_sim::DeviceKind;
+use std::collections::BTreeMap;
 use std::time::Duration;
+
+/// Admission parameters of one tenant: its weighted-fair-queuing weight
+/// and an optional token-bucket rate limit, both enforced inside the
+/// batching queue's lock (exact under racing submitters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantConfig {
+    /// Weighted-fair-queuing weight: under contention a tenant receives
+    /// dispatch slots in proportion to its weight. Must be at least 1.
+    pub weight: u32,
+    /// Sustained admission rate in requests per second, enforced by a
+    /// token bucket refilled continuously. `None` leaves the tenant
+    /// unlimited (subject only to the global admission capacity).
+    pub rate: Option<f64>,
+    /// Token-bucket capacity: the largest burst admitted at once when the
+    /// bucket is full. Only meaningful with a `rate`.
+    pub burst: f64,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            weight: 1,
+            rate: None,
+            burst: 8.0,
+        }
+    }
+}
+
+impl TenantConfig {
+    /// A tenant with the given WFQ weight (no rate limit).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight` is zero.
+    #[must_use]
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        assert!(weight >= 1, "a tenant weight must be at least 1");
+        self.weight = weight;
+        self
+    }
+
+    /// Sets a token-bucket rate limit: at most `burst` requests admitted
+    /// at once, refilled at `rate` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` is not positive or `burst` is below 1.
+    #[must_use]
+    pub fn with_rate(mut self, rate: f64, burst: f64) -> Self {
+        assert!(rate > 0.0, "a tenant rate must be positive");
+        assert!(burst >= 1.0, "a tenant burst must admit at least 1 request");
+        self.rate = Some(rate);
+        self.burst = burst;
+        self
+    }
+}
+
+/// Per-tenant admission configuration: named tenants with explicit
+/// [`TenantConfig`]s, plus the config any *unknown* tenant (including the
+/// default tenant anonymous traffic maps to) falls back on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantsConfig {
+    /// Explicitly configured tenants, by name. (A `BTreeMap` so exports
+    /// and shares iterate deterministically.)
+    pub tenants: BTreeMap<String, TenantConfig>,
+    /// Fallback for tenants not in the map.
+    pub fallback: TenantConfig,
+}
+
+impl TenantsConfig {
+    /// The admission parameters for `tenant`: its explicit entry, or the
+    /// fallback.
+    #[must_use]
+    pub fn for_tenant(&self, tenant: &str) -> &TenantConfig {
+        self.tenants.get(tenant).unwrap_or(&self.fallback)
+    }
+
+    /// Adds (or replaces) one named tenant's admission parameters.
+    #[must_use]
+    pub fn with_tenant(mut self, name: impl Into<String>, tenant: TenantConfig) -> Self {
+        self.tenants.insert(name.into(), tenant);
+        self
+    }
+
+    /// Sets the fallback applied to tenants not explicitly configured.
+    #[must_use]
+    pub fn with_fallback(mut self, tenant: TenantConfig) -> Self {
+        self.fallback = tenant;
+        self
+    }
+}
 
 /// Which cost model the engine optimizes (and background re-optimizes)
 /// schedules against — the serving face of the paper's §4 profiling loop.
@@ -77,6 +169,13 @@ pub struct AdaptConfig {
     /// prediction has stopped describing reality, so the entry is removed
     /// and re-optimized on next use.
     pub regret_threshold: f64,
+    /// Shed mode disengages after this many *consecutive* controller
+    /// ticks whose window held fewer than `min_window_batches` samples:
+    /// post-overload trickle traffic never fills a window, so without
+    /// this bound a latched shed mode would keep rejecting traffic the
+    /// engine could easily serve. (A full window re-evaluates shedding
+    /// on its own evidence and resets the count.)
+    pub shed_stale_ticks: u64,
 }
 
 impl Default for AdaptConfig {
@@ -89,6 +188,7 @@ impl Default for AdaptConfig {
             admission_capacity: None,
             default_deadline: None,
             regret_threshold: 2.0,
+            shed_stale_ticks: 3,
         }
     }
 }
@@ -132,6 +232,10 @@ pub struct ServeConfig {
     /// Runtime adaptation loop (controller, deadlines, shedding). Disabled
     /// by default.
     pub adapt: AdaptConfig,
+    /// Per-tenant admission: WFQ weights and token-bucket rate limits.
+    /// The default (every tenant on the fallback [`TenantConfig`]: weight
+    /// 1, no rate limit) makes multi-tenancy invisible until configured.
+    pub tenants: TenantsConfig,
 }
 
 impl Default for ServeConfig {
@@ -152,6 +256,7 @@ impl Default for ServeConfig {
             pipeline_max_segments: None,
             precision: WeightPrecision::default(),
             adapt: AdaptConfig::default(),
+            tenants: TenantsConfig::default(),
         }
     }
 }
@@ -303,6 +408,24 @@ impl ServeConfig {
     pub fn with_regret_threshold(mut self, threshold: f64) -> Self {
         assert!(threshold > 1.0, "a regret threshold must exceed 1.0");
         self.adapt.regret_threshold = threshold;
+        self
+    }
+
+    /// Configures one named tenant's admission parameters (WFQ weight,
+    /// token-bucket rate limit). Call once per tenant; submit traffic on
+    /// its behalf with [`crate::ServeEngine::submit_for_tenant`].
+    #[must_use]
+    pub fn with_tenant(mut self, name: impl Into<String>, tenant: TenantConfig) -> Self {
+        self.tenants.tenants.insert(name.into(), tenant);
+        self
+    }
+
+    /// Sets the fallback admission parameters applied to every tenant not
+    /// explicitly configured (including the default tenant anonymous
+    /// traffic maps to).
+    #[must_use]
+    pub fn with_tenant_fallback(mut self, tenant: TenantConfig) -> Self {
+        self.tenants.fallback = tenant;
         self
     }
 }

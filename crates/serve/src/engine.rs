@@ -9,7 +9,7 @@ use crate::exec::{BatchContext, BatchExecutor, CpuReferenceExecutor, SimulatedDe
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::request::{
     InferenceResponse, Pending, Rejected, RequestId, ResponseHandle, ResponseLease, ScheduleSource,
-    ServeError,
+    ServeError, TenantId,
 };
 use ios_backend::{
     stack_batch_pooled, CpuStageProfiler, GroupMode, NetworkWeights, ScratchPool, TensorData,
@@ -229,18 +229,20 @@ impl Shared {
         Duration::from_nanos(device.mean() as u64)
     }
 
-    /// The admission queue's effective capacity for the next offer: the
-    /// configured hard bound, tightened to one batch's worth of requests
-    /// while the controller has shed mode engaged (queued work keeps the
-    /// device fed; everything beyond it would only queue-wait past the
-    /// budget).
-    fn admission_capacity(&self) -> Option<usize> {
+    /// The admission inputs for the next offer: the effective queue
+    /// capacity — the configured hard bound, tightened to one batch's
+    /// worth of requests while the controller has shed mode engaged
+    /// (queued work keeps the device fed; everything beyond it would only
+    /// queue-wait past the budget) — and whether shed mode is on. In shed
+    /// mode the queue applies the capacity per tenant as a weighted share,
+    /// so the over-quota tenant is the one shed.
+    fn admission(&self) -> (Option<usize>, bool) {
         let configured = self.config.adapt.admission_capacity;
         if self.adapt.shedding() {
             let shed_cap = self.config.max_batch;
-            Some(configured.map_or(shed_cap, |c| c.min(shed_cap)))
+            (Some(configured.map_or(shed_cap, |c| c.min(shed_cap))), true)
         } else {
-            configured
+            (configured, false)
         }
     }
 
@@ -401,6 +403,9 @@ impl Shared {
             let queue_us = (dispatched_at - pending.enqueued_at).as_secs_f64() * 1e6;
             self.metrics.record_latency(total_us);
             self.metrics.record_queue_wait(queue_us);
+            self.metrics
+                .tenant(&pending.tenant)
+                .record_completed(queue_us);
             if tracer.is_enabled() {
                 // Back-date the queue-wait span to the request's enqueue:
                 // its record lands on this worker's lane, tagged with the
@@ -567,7 +572,7 @@ impl ServeEngine {
 
         let shared = Arc::new(Shared {
             sample_shape,
-            queue: BatchQueue::new(),
+            queue: BatchQueue::with_tenants(config.tenants.clone()),
             cache: ScheduleCache::new(),
             cost,
             weights,
@@ -634,7 +639,51 @@ impl ServeEngine {
     /// control turned the request away (bounded queue full, or shed mode
     /// with a batch's worth already queued).
     pub fn submit(&self, input: TensorData) -> Result<ResponseHandle, ServeError> {
-        self.submit_inner(input, self.shared.config.adapt.default_deadline)
+        self.submit_inner(
+            TenantId::default_tenant(),
+            input,
+            self.shared.config.adapt.default_deadline,
+        )
+    }
+
+    /// Submits a request on behalf of a named tenant: it queues on the
+    /// tenant's own weighted-fair lane, spends a token from the tenant's
+    /// bucket when one is configured ([`crate::TenantConfig`]), and counts
+    /// toward the tenant's `ios_tenant_*` metrics. Anonymous
+    /// [`ServeEngine::submit`] traffic is the same call with the default
+    /// tenant.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeEngine::submit`];
+    /// [`ServeError::Rejected`]`(`[`Rejected::Shed`]`)` additionally
+    /// covers an exhausted token bucket and, in shed mode, the tenant
+    /// being over its weighted share of the queue.
+    pub fn submit_for_tenant(
+        &self,
+        tenant: impl Into<TenantId>,
+        input: TensorData,
+    ) -> Result<ResponseHandle, ServeError> {
+        self.submit_inner(
+            tenant.into(),
+            input,
+            self.shared.config.adapt.default_deadline,
+        )
+    }
+
+    /// [`ServeEngine::submit_for_tenant`] with a per-request deadline
+    /// budget (see [`ServeEngine::submit_with_deadline`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeEngine::submit_for_tenant`].
+    pub fn submit_for_tenant_with_deadline(
+        &self,
+        tenant: impl Into<TenantId>,
+        input: TensorData,
+        budget: Duration,
+    ) -> Result<ResponseHandle, ServeError> {
+        self.submit_inner(tenant.into(), input, Some(budget))
     }
 
     /// Submits a request that is only worth answering for the next
@@ -651,11 +700,12 @@ impl ServeEngine {
         input: TensorData,
         budget: Duration,
     ) -> Result<ResponseHandle, ServeError> {
-        self.submit_inner(input, Some(budget))
+        self.submit_inner(TenantId::default_tenant(), input, Some(budget))
     }
 
     fn submit_inner(
         &self,
+        tenant: TenantId,
         input: TensorData,
         budget: Option<Duration>,
     ) -> Result<ResponseHandle, ServeError> {
@@ -670,20 +720,19 @@ impl ServeEngine {
         let enqueued_at = Instant::now();
         let pending = Pending {
             id,
+            tenant: tenant.clone(),
             input,
             enqueued_at,
             deadline: budget.map(|b| enqueued_at + b),
             respond_to,
         };
-        match self
-            .shared
-            .queue
-            .push_bounded(pending, self.shared.admission_capacity())
-        {
+        let (capacity, shedding) = self.shared.admission();
+        match self.shared.queue.push_bounded(pending, capacity, shedding) {
             PushResult::Accepted => {}
             PushResult::Closed => return Err(ServeError::ShuttingDown),
-            PushResult::Full => {
+            PushResult::Full | PushResult::RateLimited => {
                 self.shared.metrics.record_shed();
+                self.shared.metrics.tenant(&tenant).record_shed();
                 ios_telemetry::tracer().instant("request.shed", "request", id.0);
                 return Err(ServeError::Rejected(Rejected::Shed));
             }
@@ -723,9 +772,11 @@ impl ServeEngine {
     /// The serving metrics in Prometheus text exposition format: request
     /// counters, queue-depth gauge, schedule-cache counters, weight-cache
     /// footprint gauges (f32 vs int8 bytes), the selected-microkernel-ISA
-    /// info gauge (`ios_simd_kernel{path,isa}`), and the latency /
+    /// info gauge (`ios_simd_kernel{path,isa}`), the latency /
     /// queue-wait / batch-assembly / device-time histograms (exposed in
-    /// microseconds).
+    /// microseconds), and per-tenant completed/shed counters and
+    /// queue-wait histograms as `ios_tenant_*{tenant="…"}` labelled
+    /// series.
     #[must_use]
     pub fn prometheus_text(&self) -> String {
         use ios_telemetry::prometheus as prom;
@@ -857,6 +908,53 @@ impl ServeEngine {
             "Per-batch (simulated) device time, microseconds.",
             &m.device_time_histogram().snapshot(),
         );
+        // Per-tenant labelled series: one sample (or histogram) per tenant
+        // seen so far, `{tenant="…"}`. Absent entirely until the first
+        // request arrives.
+        let tenants = m.tenant_entries();
+        if !tenants.is_empty() {
+            let labels: Vec<[(&str, &str); 1]> = tenants
+                .iter()
+                .map(|(tenant, _)| [("tenant", tenant.name())])
+                .collect();
+            let completed: Vec<(&[(&str, &str)], u64)> = tenants
+                .iter()
+                .zip(&labels)
+                .map(|((_, tm), l)| (l.as_slice(), tm.completed()))
+                .collect();
+            prom::counter_family(
+                &mut out,
+                "ios_tenant_requests_completed_total",
+                "Requests answered, per tenant.",
+                &completed,
+            );
+            let shed: Vec<(&[(&str, &str)], u64)> = tenants
+                .iter()
+                .zip(&labels)
+                .map(|((_, tm), l)| (l.as_slice(), tm.shed()))
+                .collect();
+            prom::counter_family(
+                &mut out,
+                "ios_tenant_requests_shed_total",
+                "Requests turned away by admission control, per tenant.",
+                &shed,
+            );
+            let wait_snaps: Vec<ios_telemetry::HistogramSnapshot> = tenants
+                .iter()
+                .map(|(_, tm)| tm.queue_wait_histogram().snapshot())
+                .collect();
+            let waits: Vec<(&[(&str, &str)], &ios_telemetry::HistogramSnapshot)> = wait_snaps
+                .iter()
+                .zip(&labels)
+                .map(|(snap, l)| (l.as_slice(), snap))
+                .collect();
+            prom::histogram_us_family(
+                &mut out,
+                "ios_tenant_queue_wait_us",
+                "Time requests spent queued before dispatch, per tenant, microseconds.",
+                &waits,
+            );
+        }
         out
     }
 

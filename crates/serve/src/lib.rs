@@ -44,6 +44,16 @@
 //!   ([`ServeEngine::submit_with_deadline`]): the batcher flushes early to
 //!   make them, and expired requests complete with
 //!   [`request::Rejected::DeadlineExceeded`] instead of stale results.
+//! * **Multi-tenant admission** ([`request::TenantId`],
+//!   [`config::TenantsConfig`]) — requests carry a tenant
+//!   ([`ServeEngine::submit_for_tenant`]; anonymous traffic maps to the
+//!   default tenant), each tenant gets its own FIFO lane drained by
+//!   virtual-time weighted-fair queuing (a burst cannot starve another
+//!   tenant's trickle), token-bucket rate limits are enforced inside the
+//!   queue lock (exact under racing submitters), shed mode applies the
+//!   capacity per tenant as a weighted share (the over-quota tenant is
+//!   shed first), and per-tenant completed/shed/queue-wait metrics export
+//!   as `ios_tenant_*{tenant="…"}` labelled Prometheus series.
 //!
 //! # Quickstart
 //!
@@ -86,13 +96,15 @@ pub mod metrics;
 pub mod request;
 
 pub use cache::{CacheStats, ScheduleCache, ScheduleKey};
-pub use config::{AdaptConfig, CostModelKind, PipelineMode, ServeConfig};
+pub use config::{
+    AdaptConfig, CostModelKind, PipelineMode, ServeConfig, TenantConfig, TenantsConfig,
+};
 pub use engine::ServeEngine;
 pub use exec::{
     BatchContext, BatchExecutor, BatchOutcome, CpuReferenceExecutor, SimulatedDeviceExecutor,
 };
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, TenantMetricsSnapshot};
 pub use request::{
     InferenceResponse, Rejected, RequestId, ResponseHandle, ResponseLease, ScheduleSource,
-    ServeError,
+    ServeError, TenantId,
 };

@@ -10,10 +10,61 @@
 //! relative error.
 
 use crate::cache::CacheStats;
+use crate::request::TenantId;
 use ios_telemetry::Histogram;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// One tenant's admission-path counters: requests completed, requests
+/// shed, and the queue-wait distribution. Created lazily on a tenant's
+/// first submit; exported as `ios_tenant_*{tenant="…"}` labelled series.
+#[derive(Debug)]
+pub(crate) struct TenantMetrics {
+    completed: AtomicU64,
+    shed: AtomicU64,
+    /// Time this tenant's completed requests spent queued, ns.
+    queue_wait: Histogram,
+}
+
+impl TenantMetrics {
+    fn new() -> Self {
+        TenantMetrics {
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            queue_wait: Histogram::new(),
+        }
+    }
+
+    /// Records one completed request and its queue wait.
+    pub fn record_completed(&self, queue_wait_us: f64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait.record_us(queue_wait_us);
+    }
+
+    /// Records one request of this tenant turned away by admission
+    /// control (bounded queue, shed share, or token bucket).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests completed for this tenant so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Requests of this tenant turned away so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// The tenant's queue-wait histogram (ns), for exporters.
+    pub fn queue_wait_histogram(&self) -> &Histogram {
+        &self.queue_wait
+    }
+}
 
 /// Live counters updated by the engine; snapshot with
 /// [`ServeMetrics::snapshot`].
@@ -38,6 +89,9 @@ pub(crate) struct ServeMetrics {
     /// Dispatched batch sizes — the adaptation controller's sensor for the
     /// observed traffic mix (windowed mode() = dominant batch size).
     batch_size: Histogram,
+    /// Per-tenant counters, created lazily on a tenant's first submit.
+    /// (A `BTreeMap` so exports iterate deterministically.)
+    tenants: Mutex<BTreeMap<TenantId, Arc<TenantMetrics>>>,
 }
 
 impl ServeMetrics {
@@ -56,7 +110,28 @@ impl ServeMetrics {
             batch_assembly: Histogram::new(),
             device_time: Histogram::new(),
             batch_size: Histogram::new(),
+            tenants: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// The counters of `tenant`, created on first use.
+    pub fn tenant(&self, tenant: &TenantId) -> Arc<TenantMetrics> {
+        let mut tenants = self.tenants.lock().expect("tenant metrics lock");
+        Arc::clone(
+            tenants
+                .entry(tenant.clone())
+                .or_insert_with(|| Arc::new(TenantMetrics::new())),
+        )
+    }
+
+    /// Every tenant seen so far with its counters, in tenant-name order.
+    pub fn tenant_entries(&self) -> Vec<(TenantId, Arc<TenantMetrics>)> {
+        self.tenants
+            .lock()
+            .expect("tenant metrics lock")
+            .iter()
+            .map(|(tenant, metrics)| (tenant.clone(), Arc::clone(metrics)))
+            .collect()
     }
 
     /// Records one dispatched batch and how it was executed (`pipelined`
@@ -219,8 +294,38 @@ impl ServeMetrics {
             },
             queue_depth: self.queue_depth(),
             cache,
+            tenants: self
+                .tenant_entries()
+                .into_iter()
+                .map(|(tenant, m)| TenantMetricsSnapshot {
+                    tenant: tenant.name().to_string(),
+                    completed: m.completed(),
+                    shed: m.shed(),
+                    mean_queue_wait_us: m.queue_wait.mean() / 1e3,
+                    p95_queue_wait_us: m
+                        .queue_wait
+                        .percentile(95.0)
+                        .map_or(0.0, |ns| ns as f64 / 1e3),
+                })
+                .collect(),
         }
     }
+}
+
+/// A point-in-time view of one tenant's admission-path counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantMetricsSnapshot {
+    /// The tenant's name.
+    pub tenant: String,
+    /// Requests completed for this tenant.
+    pub completed: u64,
+    /// Requests of this tenant turned away by admission control.
+    pub shed: u64,
+    /// Mean time this tenant's completed requests spent queued, µs.
+    pub mean_queue_wait_us: f64,
+    /// 95th percentile queue wait of this tenant's completed requests, µs
+    /// (histogram-derived, same error bound as the latency percentiles).
+    pub p95_queue_wait_us: f64,
 }
 
 /// A point-in-time view of the serving metrics.
@@ -268,6 +373,9 @@ pub struct MetricsSnapshot {
     pub queue_depth: usize,
     /// Schedule-cache behaviour.
     pub cache: CacheStats,
+    /// Per-tenant completed/shed/queue-wait counters, in tenant-name
+    /// order. Empty until the first request arrives.
+    pub tenants: Vec<TenantMetricsSnapshot>,
 }
 
 #[cfg(test)]

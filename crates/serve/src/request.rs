@@ -16,6 +16,58 @@ impl std::fmt::Display for RequestId {
     }
 }
 
+/// The tenant a request is submitted on behalf of — the unit of admission
+/// isolation: every tenant gets its own FIFO sub-queue (drained by
+/// weighted-fair queuing), its own token-bucket rate limit and its own
+/// completed/shed/queue-wait metrics. Anonymous traffic
+/// ([`crate::ServeEngine::submit`]) maps to [`TenantId::DEFAULT`].
+///
+/// Cheap to clone (`Arc<str>` inside); build one from any string-ish via
+/// `From`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(Arc<str>);
+
+impl TenantId {
+    /// Name of the tenant anonymous traffic maps to.
+    pub const DEFAULT: &'static str = "default";
+
+    /// The default tenant ([`TenantId::DEFAULT`]).
+    #[must_use]
+    pub fn default_tenant() -> Self {
+        TenantId::from(TenantId::DEFAULT)
+    }
+
+    /// The tenant's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for TenantId {
+    fn default() -> Self {
+        TenantId::default_tenant()
+    }
+}
+
+impl From<&str> for TenantId {
+    fn from(name: &str) -> Self {
+        TenantId(Arc::from(name))
+    }
+}
+
+impl From<String> for TenantId {
+    fn from(name: String) -> Self {
+        TenantId(Arc::from(name.as_str()))
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
 /// How the schedule that executed a request's batch was obtained — the
 /// runtime face of the paper's Table 3 specialization study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,6 +233,9 @@ pub(crate) type Outcome = Result<InferenceResponse, Rejected>;
 #[derive(Debug)]
 pub(crate) struct Pending {
     pub id: RequestId,
+    /// The tenant this request was submitted on behalf of (the default
+    /// tenant for anonymous traffic).
+    pub tenant: TenantId,
     pub input: TensorData,
     pub enqueued_at: Instant,
     /// When set, the instant after which serving this request is useless;

@@ -16,7 +16,13 @@
 //!   first calibration window bridges the units);
 //! * chaos: a panic injected into the re-plan's `prepare_pipeline` leaves
 //!   the old plan serving, the engine bit-identical, and the pool/cache
-//!   counters flat.
+//!   counters flat;
+//! * shed latch: a parked request that keeps the queue occupied (but never
+//!   fills a window) must not latch shed mode forever — the stale-tick
+//!   clause disengages it;
+//! * phantom dominant: a traffic mix of full batch-96 dispatches must not
+//!   make the controller optimize and cache a schedule for batch 97 (a
+//!   log-bucket representative that was never dispatched).
 
 use ios_backend::{execute_network, NetworkWeights, TensorData};
 use ios_core::PipelinePlan;
@@ -489,6 +495,216 @@ fn a_panicking_replan_leaves_the_old_plan_serving_and_counters_flat() {
     assert_eq!(
         after.cache.entries, before.cache.entries,
         "cache stays flat"
+    );
+    engine.shutdown();
+}
+
+// -------------------------------------------------- shed latch regression
+
+/// Burns a fixed wall-clock interval per batch, like the overload suite's
+/// slow executor — the knob that makes queue waits blow past the shed
+/// budget deterministically.
+struct SleepyExecutor {
+    batch_time: Duration,
+}
+
+impl BatchExecutor for SleepyExecutor {
+    fn name(&self) -> &'static str {
+        "sleepy"
+    }
+    fn execute(&self, _ctx: &BatchContext<'_>) -> BatchOutcome {
+        std::thread::sleep(self.batch_time);
+        BatchOutcome {
+            outputs: None,
+            device_time_us: self.batch_time.as_micros() as f64,
+        }
+    }
+}
+
+/// Regression for the shed-mode latch: a post-overload *trickle* — enough
+/// queued work to keep the queue non-empty at every tick, never enough to
+/// fill a window — used to keep shed mode engaged forever. The idle clause
+/// requires an empty queue and the hysteresis clause requires a full
+/// window, so a single parked request starved both disengage paths. The
+/// stale-tick clause must now disengage after
+/// `shed_stale_ticks` sample-free ticks.
+#[test]
+fn shed_mode_disengages_under_a_trickle_that_never_fills_a_window() {
+    let net = common::three_block_network();
+    let batch_time = Duration::from_millis(20);
+    // max_wait is a full minute: a lone queued request never flushes on
+    // its own, pinning the queue depth at 1 for as long as the test runs.
+    let mut config = ServeConfig::default()
+        .with_max_batch(4)
+        .with_workers(1)
+        .with_max_wait(Duration::from_secs(60))
+        .with_prewarm_batches(vec![1, 4])
+        .with_background_reoptimize(false)
+        .with_adaptation(true)
+        .with_adapt_tick(Duration::from_millis(100))
+        .with_shed_queue_wait_budget(Duration::from_millis(2))
+        .with_regret_threshold(1e9);
+    config.adapt.min_window_batches = 4;
+    config.adapt.shed_stale_ticks = 3;
+    let engine = ServeEngine::start_with_executor(
+        net.clone(),
+        config,
+        Box::new(SleepyExecutor { batch_time }),
+    );
+    assert!(!engine.is_shedding(), "a fresh engine starts permissive");
+
+    // Overload phase: 32 requests (an exact multiple of max_batch, so the
+    // queue drains in full batches with no partial leftover) against a
+    // 20 ms server. Queue waits reach ~7 batch times, far past the 2 ms
+    // budget, and the controller must engage shed mode mid-drain.
+    let burst: Vec<_> = (0..32)
+        .map(|i| {
+            engine
+                .submit(TensorData::random(net.input_shape, i))
+                .expect("admission is unbounded before shed mode engages")
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !engine.is_shedding() {
+        assert!(
+            Instant::now() < deadline,
+            "shed mode never engaged under the burst (batches {})",
+            engine.metrics().batches
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Park one request. Shed mode caps the (sole) tenant at one batch's
+    // worth, and the burst drains four-at-a-time, so the retry loop can
+    // only land this request on an *empty* queue — where, at 1 < max_batch
+    // with a 60 s max_wait, it sits parked indefinitely.
+    let parked = loop {
+        match engine.submit(TensorData::random(net.input_shape, 999)) {
+            Ok(handle) => break handle,
+            Err(ios_serve::ServeError::Rejected(Rejected::Shed)) => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+    };
+    for handle in burst {
+        handle.wait_outcome().expect("burst requests complete");
+    }
+
+    // The queue now holds exactly the parked request: no window ever
+    // reaches min_window_batches again and the queue never drains empty.
+    // Pre-fix both disengage clauses are starved and shed mode stays
+    // latched forever; the stale-tick clause must release it within a few
+    // ticks.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while engine.is_shedding() {
+        assert!(
+            Instant::now() < deadline,
+            "shed mode stayed latched under a trickle: the queue is \
+             occupied (depth {}) but no window ever fills, and the \
+             stale-tick clause never disengaged it",
+            engine.queue_depth()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(
+        engine.queue_depth(),
+        1,
+        "the parked request kept the queue occupied throughout"
+    );
+    let parked = match parked.try_wait() {
+        Err(still_pending) => still_pending,
+        Ok(outcome) => panic!(
+            "the parked request must still be pending when shed mode \
+             releases, but it resolved to {outcome:?}"
+        ),
+    };
+    // Admission is permissive again: a fresh offer is accepted, not shed.
+    let follow_up = engine
+        .submit(TensorData::random(net.input_shape, 1000))
+        .expect("admission recovered after the stale-tick disengage");
+    // Shutdown flushes the two parked requests as a final partial batch.
+    engine.shutdown();
+    let parked = match parked.try_wait() {
+        Ok(outcome) => outcome,
+        Err(handle) => handle.wait_outcome(),
+    };
+    parked.expect("shutdown flushes the parked request");
+    follow_up.wait_outcome().expect("and the follow-up");
+}
+
+// -------------------------------------- phantom dominant size regression
+
+/// Regression for the histogram-mode phantom: batch-size histogram buckets
+/// are exact only below 64, so a window of batch-96 dispatches reports its
+/// log-bucket representative 97 as the mode — a batch size that was never
+/// dispatched and (with `max_batch = 96`) never can be. The controller
+/// used to optimize and cache a schedule for that phantom size on every
+/// mix shift; it must snap the dominant size to a dispatchable one.
+#[test]
+fn a_replan_never_caches_a_schedule_for_a_phantom_batch_size() {
+    let net = common::three_block_network();
+    let mut config = ServeConfig::default()
+        .with_max_batch(96)
+        .with_workers(1)
+        .with_max_wait(Duration::from_millis(200))
+        .with_prewarm_batches(vec![96])
+        .with_background_reoptimize(false)
+        .with_adaptation(true)
+        .with_adapt_tick(Duration::from_millis(5))
+        .with_regret_threshold(1e9);
+    config.adapt.min_window_batches = 1;
+    // A metrics-only executor keeps batch-96 dispatches cheap: this test
+    // watches the controller, not the numerics.
+    let engine = ServeEngine::start_with_executor(
+        net.clone(),
+        config,
+        Box::new(DialableDeviceTime {
+            device_us: AtomicU64::new(100),
+        }),
+    );
+    assert_eq!(
+        engine.metrics().cache.entries,
+        1,
+        "exactly the prewarmed batch-96 schedule is cached at startup"
+    );
+
+    // Drive full batches of 96 until the controller re-plans for the
+    // observed mix. Submission is microseconds against a 200 ms max_wait,
+    // so every dispatch is a full batch of exactly 96.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while engine.metrics().replans < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "controller never re-planned for the batch-96 mix (batches {})",
+            engine.metrics().batches
+        );
+        let handles: Vec<_> = (0..96)
+            .map(|i| {
+                engine
+                    .submit(TensorData::random(net.input_shape, i))
+                    .unwrap()
+            })
+            .collect();
+        for handle in handles {
+            handle.wait_outcome().expect("no deadline configured");
+        }
+    }
+    // Let a few more ticks elapse on the same mix: a phantom dominant
+    // would churn the cache on each of them.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let metrics = engine.metrics();
+    assert!(metrics.replans >= 1, "the mix shift was observed");
+    assert_eq!(
+        metrics.cache.background_inserts, 0,
+        "the dominant size must snap to the (already cached) batch 96 — \
+         a background insert means the controller optimized a schedule \
+         for a phantom batch size no dispatch can ever use"
+    );
+    assert_eq!(
+        metrics.cache.entries, 1,
+        "the cache still holds exactly the prewarmed batch-96 schedule"
     );
     engine.shutdown();
 }

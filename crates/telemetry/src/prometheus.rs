@@ -40,21 +40,69 @@ pub fn info(out: &mut String, name: &str, help: &str, series: &[&[(&str, &str)]]
     }
 }
 
+/// Renders a label set as `k="v",…`. No escaping: values must not contain
+/// `"`, `\` or `,` (same contract as [`info`]).
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect::<Vec<String>>()
+        .join(",")
+}
+
+/// Appends a counter family: one `# HELP` / `# TYPE` header, then one
+/// labelled sample per entry (e.g. per-tenant `…_total{tenant="…"}`
+/// series). Label values must not contain `"`, `\` or `,`.
+pub fn counter_family(out: &mut String, name: &str, help: &str, series: &[(&[(&str, &str)], u64)]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    for (labels, value) in series {
+        let _ = writeln!(out, "{name}{{{}}} {value}", render_labels(labels));
+    }
+}
+
 /// Appends a histogram whose recorded values are nanoseconds, exposed in
 /// microseconds. `name` should end in `_us` by convention.
 pub fn histogram_us(out: &mut String, name: &str, help: &str, snap: &HistogramSnapshot) {
+    let no_labels: &[(&str, &str)] = &[];
+    histogram_us_family(out, name, help, &[(no_labels, snap)]);
+}
+
+/// Appends a histogram family: one `# HELP` / `# TYPE` header, then one
+/// full labelled histogram (buckets, `_sum`, `_count`) per entry. The
+/// `le` label is emitted last in each bucket's label set. Label values
+/// must not contain `"`, `\` or `,`.
+pub fn histogram_us_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    series: &[(&[(&str, &str)], &HistogramSnapshot)],
+) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} histogram");
-    for (upper_ns, cumulative) in snap.cumulative() {
-        let _ = writeln!(
-            out,
-            "{name}_bucket{{le=\"{}\"}} {cumulative}",
-            upper_ns as f64 / 1e3
-        );
+    for (labels, snap) in series {
+        let rendered = render_labels(labels);
+        let prefix = if rendered.is_empty() {
+            String::new()
+        } else {
+            format!("{rendered},")
+        };
+        for (upper_ns, cumulative) in snap.cumulative() {
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{prefix}le=\"{}\"}} {cumulative}",
+                upper_ns as f64 / 1e3
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{{prefix}le=\"+Inf\"}} {}", snap.count);
+        if rendered.is_empty() {
+            let _ = writeln!(out, "{name}_sum {}", snap.sum as f64 / 1e3);
+            let _ = writeln!(out, "{name}_count {}", snap.count);
+        } else {
+            let _ = writeln!(out, "{name}_sum{{{rendered}}} {}", snap.sum as f64 / 1e3);
+            let _ = writeln!(out, "{name}_count{{{rendered}}} {}", snap.count);
+        }
     }
-    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
-    let _ = writeln!(out, "{name}_sum {}", snap.sum as f64 / 1e3);
-    let _ = writeln!(out, "{name}_count {}", snap.count);
 }
 
 /// Checks that `text` is well-formed Prometheus text format: every
@@ -118,18 +166,37 @@ pub fn validate(text: &str) -> Result<usize, String> {
         if name.ends_with("_bucket") {
             let labels =
                 labels.ok_or_else(|| format!("line {lineno}: bucket without an le label"))?;
-            let le = labels
-                .strip_prefix("le=\"")
-                .and_then(|l| l.strip_suffix('"'))
-                .ok_or_else(|| format!("line {lineno}: malformed le label {labels:?}"))?;
+            // Split off the `le` label from any other labels (e.g.
+            // `tenant="a",le="1.5"`): cumulative-bucket tracking is keyed
+            // by base name + the non-le labels, so labelled histogram
+            // families validate per series. (No escaping in this format:
+            // label values must not contain `"`, `\` or `,`.)
+            let mut le = None;
+            let mut others: Vec<&str> = Vec::new();
+            for part in labels.split(',') {
+                let (key, val) = part
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {lineno}: malformed label {part:?}"))?;
+                let val = val
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {lineno}: unquoted label value {part:?}"))?;
+                if key == "le" {
+                    le = Some(val);
+                } else {
+                    others.push(part);
+                }
+            }
+            let le = le.ok_or_else(|| format!("line {lineno}: bucket without an le label"))?;
             let le: f64 = if le == "+Inf" {
                 f64::INFINITY
             } else {
                 le.parse()
                     .map_err(|_| format!("line {lineno}: unparseable le {le:?}"))?
             };
-            if let Some((prev_name, prev_le, prev_count)) = &last_bucket {
-                if prev_name == base {
+            let series_key = format!("{base}{{{}}}", others.join(","));
+            if let Some((prev_key, prev_le, prev_count)) = &last_bucket {
+                if *prev_key == series_key {
                     if *prev_le >= le {
                         return Err(format!("line {lineno}: le boundaries must ascend"));
                     }
@@ -138,12 +205,13 @@ pub fn validate(text: &str) -> Result<usize, String> {
                     }
                 }
             }
-            last_bucket = Some((base.to_string(), le, value as u64));
+            last_bucket = Some((series_key, le, value as u64));
         } else if name.ends_with("_count")
             && typed.get(base).map(String::as_str) == Some("histogram")
         {
-            if let Some((prev_name, le, count)) = &last_bucket {
-                if prev_name == base && le.is_infinite() && *count != value as u64 {
+            let series_key = format!("{base}{{{}}}", labels.unwrap_or(""));
+            if let Some((prev_key, le, count)) = &last_bucket {
+                if *prev_key == series_key && le.is_infinite() && *count != value as u64 {
                     return Err(format!(
                         "line {lineno}: {name} ({value}) disagrees with the +Inf bucket ({count})"
                     ));
@@ -199,6 +267,45 @@ mod tests {
         assert!(out.contains("ios_simd_kernel{path=\"f32\",isa=\"avx2\"} 1"));
         assert!(out.contains("ios_simd_kernel{path=\"int8\",isa=\"avx2\"} 1"));
         assert_eq!(validate(&out), Ok(2));
+    }
+
+    #[test]
+    fn labelled_families_validate_per_series() {
+        let a = Histogram::new();
+        a.record(1_000);
+        a.record(2_000);
+        let b = Histogram::new();
+        b.record(5_000);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let alpha: &[(&str, &str)] = &[("tenant", "alpha")];
+        let beta: &[(&str, &str)] = &[("tenant", "beta")];
+        let mut out = String::new();
+        counter_family(
+            &mut out,
+            "ios_tenant_requests_completed_total",
+            "Requests completed per tenant.",
+            &[(alpha, 2), (beta, 1)],
+        );
+        histogram_us_family(
+            &mut out,
+            "ios_tenant_queue_wait_us",
+            "Queue wait per tenant.",
+            &[(alpha, &sa), (beta, &sb)],
+        );
+        let samples = validate(&out).expect("well-formed exposition");
+        assert!(out.contains("ios_tenant_requests_completed_total{tenant=\"alpha\"} 2"));
+        assert!(out.contains("ios_tenant_queue_wait_us_bucket{tenant=\"alpha\",le=\"+Inf\"} 2"));
+        assert!(out.contains("ios_tenant_queue_wait_us_count{tenant=\"beta\"} 1"));
+        assert!(out.contains("ios_tenant_queue_wait_us_sum{tenant=\"beta\"} 5"));
+        // beta's buckets start below alpha's totals: the validator keys
+        // cumulativity per (base, labels) series, so the reset is fine.
+        assert!(samples >= 2 + 4, "got {samples} samples:\n{out}");
+    }
+
+    #[test]
+    fn labelled_bucket_without_le_is_rejected() {
+        let text = "# TYPE h histogram\nh_bucket{tenant=\"a\"} 1\n";
+        assert!(validate(text).is_err());
     }
 
     #[test]
